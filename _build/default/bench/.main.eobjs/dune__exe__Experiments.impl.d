@@ -1,0 +1,1 @@
+bench/experiments.ml: Core Engine Fmt Helpers_bench Kv List Option Sim String

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Core Engine Experiments Fmt Hashtbl Instance Kv List Measure Sim Staged Sys Test Time Toolkit

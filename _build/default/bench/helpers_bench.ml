@@ -1,0 +1,6 @@
+(** Small shared helpers for the bench/experiment executable. *)
+
+(** merged concurrency set of [state] as a sorted string list *)
+let cs_ids graph state =
+  let cs = Core.Concurrency.compute graph in
+  Core.Concurrency.String_set.elements (Core.Concurrency.merged_ids cs ~state)

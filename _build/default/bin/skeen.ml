@@ -1,0 +1,313 @@
+(** [skeen] — command-line front end to the commit-protocol laboratory.
+
+    Subcommands:
+    - [analyze]     run the fundamental nonblocking theorem on a protocol
+    - [graph]       build the reachable state graph (stats or DOT)
+    - [concurrency] print the concurrency-set table
+    - [rulebook]    print the backup coordinator's decision table
+    - [fsa]         print or DOT-render the per-site FSAs
+    - [synthesize]  apply the buffer-state transformation to a 2PC protocol
+    - [simulate]    execute a transaction with optional crash injection
+    - [bank]        run the bank workload on the KV store *)
+
+open Cmdliner
+
+let protocol_conv =
+  let labels = List.map (fun e -> e.Core.Catalog.label) Core.Catalog.all in
+  Arg.enum (List.map (fun l -> (l, l)) labels)
+
+let protocol_arg =
+  Arg.(
+    required
+    & pos 0 (some protocol_conv) None
+    & info [] ~docv:"PROTOCOL" ~doc:"Protocol: 1pc, central-2pc, decentralized-2pc, central-3pc, decentralized-3pc.")
+
+let sites_arg =
+  Arg.(value & opt int 3 & info [ "n"; "sites" ] ~docv:"N" ~doc:"Number of participating sites.")
+
+let build label n = (Core.Catalog.find label).Core.Catalog.build n
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let run label n =
+    let p = build label n in
+    let graph = Core.Reachability.build p in
+    let report = Core.Nonblocking.analyze graph in
+    Fmt.pr "%a@." Core.Nonblocking.pp_report report;
+    let sync = Core.Synchrony.check p in
+    Fmt.pr "synchronous within one state transition: %b@." sync.Core.Synchrony.synchronous;
+    let cm = Core.Committable.compute graph in
+    Fmt.pr "committable states: %a@."
+      Fmt.(list ~sep:comma string)
+      (Core.Committable.committable_ids cm);
+    if report.Core.Nonblocking.nonblocking then `Ok () else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the fundamental nonblocking theorem on a protocol.")
+    Term.(ret (const run $ protocol_arg $ sites_arg))
+
+(* ---------------- graph ---------------- *)
+
+let graph_cmd =
+  let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of statistics.") in
+  let run label n dot =
+    let g = Core.Reachability.build (build label n) in
+    if dot then print_string (Core.Render.reachability_to_dot g)
+    else Fmt.pr "%a@." Core.Reachability.pp_stats (Core.Reachability.stats g)
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Build the reachable state graph of a protocol.")
+    Term.(const run $ protocol_arg $ sites_arg $ dot_arg)
+
+(* ---------------- concurrency ---------------- *)
+
+let concurrency_cmd =
+  let run label n =
+    let g = Core.Reachability.build (build label n) in
+    print_string (Core.Render.concurrency_table g)
+  in
+  Cmd.v
+    (Cmd.info "concurrency" ~doc:"Print the concurrency-set table of a protocol.")
+    Term.(const run $ protocol_arg $ sites_arg)
+
+(* ---------------- rulebook ---------------- *)
+
+let rulebook_cmd =
+  let run label n = Fmt.pr "%a@." Engine.Rulebook.pp (Engine.Rulebook.compile (build label n)) in
+  Cmd.v
+    (Cmd.info "rulebook" ~doc:"Print the backup coordinator's decision table.")
+    Term.(const run $ protocol_arg $ sites_arg)
+
+(* ---------------- fsa ---------------- *)
+
+let fsa_cmd =
+  let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT.") in
+  let site_arg = Arg.(value & opt int 1 & info [ "site" ] ~docv:"S" ~doc:"Site whose FSA to print.") in
+  let run label n dot site =
+    let a = Core.Protocol.automaton (build label n) site in
+    if dot then print_string (Core.Render.automaton_to_dot a) else Fmt.pr "%a@." Core.Automaton.pp a
+  in
+  Cmd.v
+    (Cmd.info "fsa" ~doc:"Print a site's finite state automaton.")
+    Term.(const run $ protocol_arg $ sites_arg $ dot_arg $ site_arg)
+
+(* ---------------- synthesize ---------------- *)
+
+let synthesize_cmd =
+  let run n =
+    let graph = Core.Reachability.build (Core.Catalog.central_2pc n) in
+    let { Core.Synthesis.protocol; buffers_added } = Core.Synthesis.buffer_protocol graph in
+    Fmt.pr "added buffer states: %a@.@."
+      Fmt.(list ~sep:comma (pair ~sep:(any ":") int string))
+      buffers_added;
+    Fmt.pr "%a@." Core.Nonblocking.pp_report (Core.Nonblocking.analyze_protocol protocol)
+  in
+  Cmd.v
+    (Cmd.info "synthesize"
+       ~doc:"Apply the buffer-state transformation to central-site 2PC and verify the result.")
+    Term.(const run $ sites_arg)
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_cmd =
+  let crash_site = Arg.(value & opt (some int) None & info [ "crash-site" ] ~docv:"S" ~doc:"Crash this site.") in
+  let crash_step =
+    Arg.(value & opt int 1 & info [ "crash-step" ] ~docv:"K" ~doc:"Crash at the site's K-th transition (0-based).")
+  in
+  let crash_sent =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sent" ] ~docv:"J"
+          ~doc:"Crash after logging and sending J messages of the transition (default: before the transition).")
+  in
+  let recover_at =
+    Arg.(value & opt (some float) None & info [ "recover-at" ] ~docv:"T" ~doc:"Recover the crashed site at time T.")
+  in
+  let no_votes =
+    Arg.(value & opt_all int [] & info [ "no-vote" ] ~docv:"S" ~doc:"Site S votes no (repeatable).")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.") in
+  let quorum =
+    Arg.(
+      value & flag
+      & info [ "quorum" ]
+          ~doc:"Use quorum-based termination (majority) instead of the paper's decision rule.")
+  in
+  let isolate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "isolate" ] ~docv:"S"
+          ~doc:
+            "Partition site S away from the others from t=2.5 to t=200 with false failure \
+             reports — violates the paper's detector assumption.")
+  in
+  let run label n crash_site crash_step crash_sent recover_at no_votes trace seed quorum isolate =
+    let rb = Engine.Rulebook.compile (build label n) in
+    let plan =
+      match crash_site with
+      | None -> Engine.Failure_plan.none
+      | Some site ->
+          let mode =
+            match crash_sent with
+            | None -> Engine.Failure_plan.Before_transition
+            | Some j -> Engine.Failure_plan.After_logging j
+          in
+          Engine.Failure_plan.make
+            ~step_crashes:[ { Engine.Failure_plan.site; step = crash_step; mode } ]
+            ~recoveries:(match recover_at with Some t -> [ (site, t) ] | None -> [])
+            ()
+    in
+    let votes = List.map (fun s -> (s, Core.Types.No)) no_votes in
+    let termination =
+      if quorum then Engine.Runtime.Quorum (Engine.Runtime.majority n) else Engine.Runtime.Skeen
+    in
+    let partition =
+      Option.map
+        (fun s -> (2.5, 200.0, [ List.filter (fun x -> x <> s) (List.init n (fun i -> i + 1)); [ s ] ]))
+        isolate
+    in
+    let r =
+      Engine.Runtime.run
+        (Engine.Runtime.config ~votes ~plan ~seed ~tracing:trace ~termination ?partition rb)
+    in
+    Fmt.pr "%a@." Engine.Runtime.pp_result r;
+    if trace then
+      List.iter (fun e -> Fmt.pr "%8.2f  %s@." e.Sim.World.at e.Sim.World.what) r.Engine.Runtime.trace
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Execute one distributed transaction on the simulator.")
+    Term.(
+      const run $ protocol_arg $ sites_arg $ crash_site $ crash_step $ crash_sent $ recover_at
+      $ no_votes $ trace $ seed $ quorum $ isolate)
+
+(* ---------------- model-check ---------------- *)
+
+let model_check_cmd =
+  let crashes_arg =
+    Arg.(value & opt int 1 & info [ "k"; "crashes" ] ~docv:"K" ~doc:"Maximum number of crashes.")
+  in
+  let limit_arg =
+    Arg.(value & opt int 4_000_000 & info [ "limit" ] ~docv:"N" ~doc:"State exploration limit.")
+  in
+  let run label n k limit =
+    let rb = Engine.Rulebook.compile (build label n) in
+    let r = Engine.Model_check.run { Engine.Model_check.rulebook = rb; max_crashes = k; limit; rule = `Skeen } in
+    Fmt.pr "%a@." Engine.Model_check.pp_report r;
+    match r.Engine.Model_check.counterexample with
+    | Some path ->
+        Fmt.pr "counterexample:@.";
+        List.iteri (fun i st -> Fmt.pr "%2d: %a@." i Engine.Model_check.pp_st st) path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "model-check"
+       ~doc:
+         "Exhaustively verify a protocol (with its termination protocol) under up to K crashes: \
+          no interleaving may violate atomicity, and for nonblocking protocols every terminal \
+          state must have all operational sites decided.")
+    Term.(const run $ protocol_arg $ sites_arg $ crashes_arg $ limit_arg)
+
+(* ---------------- election ---------------- *)
+
+let election_cmd =
+  let crash =
+    Arg.(
+      value & opt_all (pair ~sep:'@' int float) []
+      & info [ "crash" ] ~docv:"S@T" ~doc:"Crash site S at time T (repeatable).")
+  in
+  let recover =
+    Arg.(
+      value & opt_all (pair ~sep:'@' int float) []
+      & info [ "recover" ] ~docv:"S@T" ~doc:"Recover site S at time T (repeatable).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.") in
+  let run n crashes recoveries seed =
+    let t = Engine.Election.create ~n_sites:n ~seed () in
+    ignore (Engine.Election.run t ~crashes ~recoveries ());
+    List.iter
+      (fun s ->
+        Fmt.pr "site %d: leader %a, witnessed %a@." s
+          Fmt.(option ~none:(any "none") int)
+          (Engine.Election.leader_at t ~site:s)
+          Fmt.(list ~sep:comma (pair ~sep:(any "@") int (fmt "%.1f")))
+          (List.map (fun (at, l) -> (l, at)) (Engine.Election.leader_history t ~site:s)))
+      (List.init n (fun i -> i + 1));
+    Fmt.pr "agreement among operational sites: %b@." (Engine.Election.agreement t)
+  in
+  Cmd.v
+    (Cmd.info "election" ~doc:"Run the bully election protocol under a crash schedule.")
+    Term.(const run $ sites_arg $ crash $ recover $ seed)
+
+(* ---------------- bank ---------------- *)
+
+let bank_cmd =
+  let three_phase =
+    Arg.(value & opt bool true & info [ "three-phase" ] ~docv:"BOOL" ~doc:"Use 3PC (true) or 2PC (false).")
+  in
+  let txns = Arg.(value & opt int 200 & info [ "txns" ] ~docv:"N" ~doc:"Number of transfers.") in
+  let crash_site = Arg.(value & opt (some int) None & info [ "crash-site" ] ~docv:"S" ~doc:"Crash site S mid-run.") in
+  let crash_at = Arg.(value & opt float 60.0 & info [ "crash-at" ] ~docv:"T" ~doc:"Crash time.") in
+  let recover_at = Arg.(value & opt (some float) None & info [ "recover-at" ] ~docv:"T" ~doc:"Recovery time.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload and simulation seed.") in
+  let quorum =
+    Arg.(value & flag & info [ "quorum" ] ~doc:"Terminate orphaned transactions by majority quorum.")
+  in
+  let isolate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "isolate" ] ~docv:"S" ~doc:"Partition site S away from t=40 to t=160.")
+  in
+  let run n three_phase txns crash_site crash_at recover_at seed quorum isolate =
+    let accounts = 32 and initial_balance = 100 in
+    let rng = Sim.Rng.create ~seed in
+    let wl = Kv.Workload.bank rng ~n_txns:txns ~accounts ~arrival_rate:1.0 in
+    let cfg =
+      Kv.Db.config ~n_sites:n
+        ~protocol:(if three_phase then Kv.Node.Three_phase else Kv.Node.Two_phase)
+        ~termination:(if quorum then Kv.Node.T_quorum ((n / 2) + 1) else Kv.Node.T_skeen)
+        ~seed
+        ~crashes:(match crash_site with Some s -> [ (s, crash_at) ] | None -> [])
+        ~recoveries:
+          (match (crash_site, recover_at) with Some s, Some t -> [ (s, t) ] | _ -> [])
+        ~partitions:
+          (match isolate with
+          | Some s ->
+              [ (40.0, 160.0, [ List.filter (fun x -> x <> s) (List.init n (fun i -> i + 1)); [ s ] ]) ]
+          | None -> [])
+        ~initial_data:(Kv.Workload.bank_initial ~accounts ~initial_balance)
+        ()
+    in
+    let r = Kv.Db.run cfg wl in
+    Fmt.pr "%a@." Kv.Db.pp_result r;
+    Fmt.pr "bank total: expected %d, measured %d@."
+      (Kv.Workload.bank_total ~accounts ~initial_balance)
+      r.Kv.Db.storage_totals
+  in
+  Cmd.v
+    (Cmd.info "bank" ~doc:"Run the bank-transfer workload on the distributed KV store.")
+    Term.(
+      const run $ sites_arg $ three_phase $ txns $ crash_site $ crash_at $ recover_at $ seed
+      $ quorum $ isolate)
+
+let () =
+  let doc = "Nonblocking commit protocols (Skeen, SIGMOD 1981): analysis and simulation." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "skeen" ~doc)
+          [
+            analyze_cmd;
+            graph_cmd;
+            concurrency_cmd;
+            rulebook_cmd;
+            fsa_cmd;
+            synthesize_cmd;
+            simulate_cmd;
+            model_check_cmd;
+            election_cmd;
+            bank_cmd;
+          ]))

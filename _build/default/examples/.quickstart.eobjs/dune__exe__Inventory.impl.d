@@ -1,0 +1,1 @@
+examples/inventory.ml: Fmt Kv List Sim

@@ -1,0 +1,1 @@
+examples/partition_tolerance.ml: Core Engine Fmt List

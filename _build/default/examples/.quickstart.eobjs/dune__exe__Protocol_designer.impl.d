@@ -1,0 +1,1 @@
+examples/protocol_designer.ml: Core Fmt List

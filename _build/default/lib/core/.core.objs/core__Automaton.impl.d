@@ -1,0 +1,1 @@
+lib/core/automaton.pp.ml: Fmt Hashtbl List Message Ppx_deriving_runtime Types

@@ -1,0 +1,1 @@
+lib/core/automaton.pp.mli: Format Message Types

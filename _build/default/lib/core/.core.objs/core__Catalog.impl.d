@@ -1,0 +1,1 @@
+lib/core/catalog.pp.ml: Array Automaton Fmt List Message Protocol String Types

@@ -1,0 +1,1 @@
+lib/core/committable.pp.ml: Array Automaton Global Hashtbl List Option Protocol Reachability Types

@@ -1,0 +1,1 @@
+lib/core/committable.pp.mli: Reachability Types

@@ -1,0 +1,1 @@
+lib/core/concurrency.pp.ml: Array Automaton Fmt Global Hashtbl List Option Protocol Reachability Set String Types

@@ -1,0 +1,1 @@
+lib/core/concurrency.pp.mli: Format Reachability Set Types

@@ -1,0 +1,1 @@
+lib/core/global.pp.ml: Array Automaton Fmt Hashtbl List Message Ppx_deriving_runtime Protocol Types

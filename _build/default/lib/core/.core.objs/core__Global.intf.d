@@ -1,0 +1,1 @@
+lib/core/global.pp.mli: Automaton Format Message Protocol Types

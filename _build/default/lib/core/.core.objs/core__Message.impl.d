@@ -1,0 +1,1 @@
+lib/core/message.pp.ml: Fmt List Ppx_deriving_runtime Types

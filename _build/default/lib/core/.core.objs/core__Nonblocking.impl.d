@@ -1,0 +1,1 @@
+lib/core/nonblocking.pp.ml: Committable Concurrency Fmt List Protocol Reachability Types

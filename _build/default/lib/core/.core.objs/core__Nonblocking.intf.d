@@ -1,0 +1,1 @@
+lib/core/nonblocking.pp.mli: Format Protocol Reachability Types

@@ -1,0 +1,1 @@
+lib/core/protocol.pp.ml: Array Automaton Fmt List Message Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/protocol.pp.mli: Automaton Format Message Types

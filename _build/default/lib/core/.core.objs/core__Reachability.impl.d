@@ -1,0 +1,1 @@
+lib/core/reachability.pp.ml: Array Automaton Fmt Global Hashtbl List Protocol Queue Types

@@ -1,0 +1,1 @@
+lib/core/reachability.pp.mli: Automaton Format Global Hashtbl Protocol Types

@@ -1,0 +1,1 @@
+lib/core/render.pp.ml: Automaton Buffer Concurrency Fmt Global List Message Protocol Reachability Skeleton String Types

@@ -1,0 +1,1 @@
+lib/core/render.pp.mli: Automaton Reachability Skeleton

@@ -1,0 +1,1 @@
+lib/core/skeleton.pp.ml: Automaton Committable Fmt List Ppx_deriving_runtime Protocol Reachability Set String Types

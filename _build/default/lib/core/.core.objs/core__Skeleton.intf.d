@@ -1,0 +1,1 @@
+lib/core/skeleton.pp.mli: Format Reachability Set Types

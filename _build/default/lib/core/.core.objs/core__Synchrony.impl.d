@@ -1,0 +1,1 @@
+lib/core/synchrony.pp.ml: Automaton Global Hashtbl List Nonblocking Ppx_deriving_runtime Protocol Queue Reachability Types

@@ -1,0 +1,1 @@
+lib/core/synchrony.pp.mli: Global Nonblocking Protocol Types

@@ -1,0 +1,1 @@
+lib/core/synthesis.pp.ml: Array Automaton Committable Fmt List Message Protocol Reachability Skeleton Types

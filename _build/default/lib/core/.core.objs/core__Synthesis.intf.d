@@ -1,0 +1,1 @@
+lib/core/synthesis.pp.mli: Protocol Reachability Skeleton Types

@@ -1,0 +1,1 @@
+lib/core/termination_rule.pp.ml: Committable Concurrency Fmt List Protocol Reachability Skeleton Types

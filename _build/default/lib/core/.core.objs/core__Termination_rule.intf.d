@@ -1,0 +1,1 @@
+lib/core/termination_rule.pp.mli: Concurrency Format Reachability Skeleton Types

@@ -1,0 +1,1 @@
+lib/core/types.pp.ml: Fmt Ppx_deriving_runtime

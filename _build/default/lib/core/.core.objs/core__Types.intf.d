@@ -1,0 +1,1 @@
+lib/core/types.pp.mli: Format

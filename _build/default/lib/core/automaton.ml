@@ -1,0 +1,202 @@
+(** The per-site nondeterministic finite state automaton.
+
+    Transaction execution at each site is modelled as an FSA whose input and
+    output tapes are the network (paper §2, "the formal model in brief").  A
+    transition reads a string of messages addressed to the site, writes a
+    string of messages, and moves to the next local state.
+
+    The FSAs of commit protocols satisfy structural properties the paper
+    enumerates: they are nondeterministic, their final states partition into
+    commit and abort states, committing and aborting are irreversible, and
+    their state diagrams are acyclic.  {!validate} checks all of these. *)
+
+type state = {
+  id : string;  (** unique within the automaton, e.g. ["q"], ["w"], ["p"] *)
+  kind : Types.state_kind;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+type transition = {
+  from_state : string;
+  to_state : string;
+  consumes : Message.t list;
+      (** messages that must all be present and addressed to this site; the
+          empty list models an internal (spontaneous) decision such as the
+          coordinator's own unilateral abort *)
+  emits : Message.t list;
+  vote : Types.vote option;
+      (** [Some Yes] when firing this transition constitutes the site's yes
+          vote on committing; used by committable-state inference *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  site : Types.site;
+  states : state list;
+  initial : string;
+  transitions : transition list;
+}
+
+let make ~site ~states ~initial ~transitions = { site; states; initial; transitions }
+
+let state_exn t id =
+  match List.find_opt (fun s -> s.id = id) t.states with
+  | Some s -> s
+  | None -> Fmt.invalid_arg "Automaton.state_exn: unknown state %s at site %d" id t.site
+
+let kind_of t id = (state_exn t id).kind
+
+let transitions_from t id = List.filter (fun tr -> tr.from_state = id) t.transitions
+let transitions_into t id = List.filter (fun tr -> tr.to_state = id) t.transitions
+
+(** Successor state ids of [id] in the state diagram. *)
+let successors t id =
+  transitions_from t id |> List.map (fun tr -> tr.to_state) |> List.sort_uniq compare
+
+(** Predecessor state ids of [id] in the state diagram. *)
+let predecessors t id =
+  transitions_into t id |> List.map (fun tr -> tr.from_state) |> List.sort_uniq compare
+
+(** Adjacent states: predecessors and successors, as used by the paper's
+    lemma for protocols synchronous within one state transition. *)
+let adjacent t id = List.sort_uniq compare (successors t id @ predecessors t id)
+
+let final_states t = List.filter (fun s -> Types.is_final s.kind) t.states
+let commit_states t = List.filter (fun s -> Types.is_commit s.kind) t.states
+let abort_states t = List.filter (fun s -> Types.is_abort s.kind) t.states
+
+(** Structural problems {!validate} can report. *)
+type violation =
+  | Unknown_state of string  (** a transition mentions a state not declared *)
+  | Cyclic of string list  (** the state diagram contains the given cycle *)
+  | Final_with_successor of string  (** commit/abort must be irreversible *)
+  | Unreachable of string  (** state not reachable from the initial state *)
+  | Initial_not_declared
+[@@deriving show { with_path = false }, eq]
+
+(** [validate t] checks the structural properties of commit-protocol FSAs
+    (paper §2): acyclicity, irreversibility of final states, reachability of
+    every declared state. *)
+let validate t =
+  let errs = ref [] in
+  let known id = List.exists (fun s -> s.id = id) t.states in
+  if not (known t.initial) then errs := Initial_not_declared :: !errs;
+  List.iter
+    (fun tr ->
+      if not (known tr.from_state) then errs := Unknown_state tr.from_state :: !errs;
+      if not (known tr.to_state) then errs := Unknown_state tr.to_state :: !errs)
+    t.transitions;
+  (* Final states must have no outgoing transitions: irreversibility. *)
+  List.iter
+    (fun s ->
+      if Types.is_final s.kind && transitions_from t s.id <> [] then
+        errs := Final_with_successor s.id :: !errs)
+    t.states;
+  (* Cycle detection by DFS with colors. *)
+  (if !errs = [] then
+     let color = Hashtbl.create 16 in
+     let rec dfs path id =
+       match Hashtbl.find_opt color id with
+       | Some `Done -> ()
+       | Some `Active -> errs := Cyclic (List.rev (id :: path)) :: !errs
+       | None ->
+           Hashtbl.replace color id `Active;
+           List.iter (dfs (id :: path)) (successors t id);
+           Hashtbl.replace color id `Done
+     in
+     List.iter (fun s -> dfs [] s.id) t.states);
+  (* Reachability from the initial state. *)
+  (if !errs = [] then
+     let seen = Hashtbl.create 16 in
+     let rec walk id =
+       if not (Hashtbl.mem seen id) then begin
+         Hashtbl.add seen id ();
+         List.iter walk (successors t id)
+       end
+     in
+     walk t.initial;
+     List.iter (fun s -> if not (Hashtbl.mem seen s.id) then errs := Unreachable s.id :: !errs) t.states);
+  List.rev !errs
+
+let is_valid t = validate t = []
+
+(** [levels t] assigns each state its distance (in transitions) from the
+    initial state.  Commit-protocol FSAs are acyclic and, in the protocols of
+    the paper, every path from [q] to a state has the same length — the
+    "phase" of the state.  Returns [Error id] naming a state with paths of
+    two different lengths, which would make the phase notion ill-defined. *)
+let levels t : ((string * int) list, string) result =
+  let lvl = Hashtbl.create 16 in
+  Hashtbl.replace lvl t.initial 0;
+  let conflict = ref None in
+  (* Breadth-first over the acyclic diagram; revisit checks consistency. *)
+  let rec bfs frontier =
+    match frontier with
+    | [] -> ()
+    | _ ->
+        let next = ref [] in
+        List.iter
+          (fun id ->
+            let d = Hashtbl.find lvl id in
+            List.iter
+              (fun succ ->
+                match Hashtbl.find_opt lvl succ with
+                | Some d' -> if d' <> d + 1 && !conflict = None then conflict := Some succ
+                | None ->
+                    Hashtbl.replace lvl succ (d + 1);
+                    next := succ :: !next)
+              (successors t id))
+          frontier;
+        bfs !next
+  in
+  bfs [ t.initial ];
+  match !conflict with
+  | Some id -> Error id
+  | None -> Ok (Hashtbl.fold (fun k v acc -> (k, v) :: acc) lvl [] |> List.sort compare)
+
+(** [longest_path t] is the maximum number of transitions on any path from
+    the initial state to a final state — the number of {e phases} this
+    site participates in ("a phase occurs when all sites executing the
+    protocol make a state transition", paper §2).  Assumes the FSA is
+    acyclic ({!validate}). *)
+let longest_path t =
+  let memo = Hashtbl.create 16 in
+  let rec depth id =
+    match Hashtbl.find_opt memo id with
+    | Some d -> d
+    | None ->
+        let d =
+          match successors t id with
+          | [] -> 0
+          | succs -> 1 + List.fold_left (fun acc s -> max acc (depth s)) 0 succs
+        in
+        Hashtbl.replace memo id d;
+        d
+  in
+  depth t.initial
+
+(** [enabled t state network] returns the transitions of [t] from [state]
+    whose consumed messages are all present in [network] (addressed to this
+    site).  Spontaneous transitions (empty [consumes]) are always enabled. *)
+let enabled t state_id network =
+  transitions_from t state_id
+  |> List.filter (fun tr -> Message.Multiset.contains_all tr.consumes network)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>FSA site %d (initial %s)@," t.site t.initial;
+  List.iter
+    (fun s -> Fmt.pf ppf "  state %-4s %a@," s.id Types.pp_state_kind s.kind)
+    t.states;
+  List.iter
+    (fun tr ->
+      Fmt.pf ppf "  %s -> %s  consumes %a emits %a%s@," tr.from_state tr.to_state
+        Fmt.(brackets (list ~sep:comma Message.pp))
+        tr.consumes
+        Fmt.(brackets (list ~sep:comma Message.pp))
+        tr.emits
+        (match tr.vote with
+        | Some Types.Yes -> "  [votes yes]"
+        | Some Types.No -> "  [votes no]"
+        | None -> ""))
+    t.transitions;
+  Fmt.pf ppf "@]"

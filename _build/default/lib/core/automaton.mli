@@ -1,0 +1,90 @@
+(** The per-site nondeterministic finite state automaton of the paper's
+    formal model: transitions read a string of messages addressed to the
+    site, write a string of messages, and move to the next local state. *)
+
+type state = { id : string; kind : Types.state_kind }
+
+val pp_state : Format.formatter -> state -> unit
+val show_state : state -> string
+val equal_state : state -> state -> bool
+val compare_state : state -> state -> int
+
+type transition = {
+  from_state : string;
+  to_state : string;
+  consumes : Message.t list;
+      (** messages that must all be present and addressed to this site;
+          empty models an internal (spontaneous) decision *)
+  emits : Message.t list;
+  vote : Types.vote option;
+      (** [Some Yes] when firing constitutes the site's yes vote *)
+}
+
+val pp_transition : Format.formatter -> transition -> unit
+val show_transition : transition -> string
+val equal_transition : transition -> transition -> bool
+
+type t = {
+  site : Types.site;
+  states : state list;
+  initial : string;
+  transitions : transition list;
+}
+
+val make :
+  site:Types.site -> states:state list -> initial:string -> transitions:transition list -> t
+
+val state_exn : t -> string -> state
+(** @raise Invalid_argument on an unknown state id. *)
+
+val kind_of : t -> string -> Types.state_kind
+val transitions_from : t -> string -> transition list
+val transitions_into : t -> string -> transition list
+
+val successors : t -> string -> string list
+(** Successor state ids in the state diagram, sorted and deduplicated. *)
+
+val predecessors : t -> string -> string list
+
+val adjacent : t -> string -> string list
+(** Predecessors and successors — the adjacency used by the paper's lemma
+    for protocols synchronous within one state transition. *)
+
+val final_states : t -> state list
+val commit_states : t -> state list
+val abort_states : t -> state list
+
+(** Structural problems {!validate} can report. *)
+type violation =
+  | Unknown_state of string
+  | Cyclic of string list
+  | Final_with_successor of string  (** commit/abort must be irreversible *)
+  | Unreachable of string
+  | Initial_not_declared
+
+val pp_violation : Format.formatter -> violation -> unit
+val show_violation : violation -> string
+val equal_violation : violation -> violation -> bool
+
+val validate : t -> violation list
+(** Checks the structural properties of commit-protocol FSAs (paper §2):
+    acyclicity, irreversibility of final states, reachability of every
+    declared state. *)
+
+val is_valid : t -> bool
+
+val levels : t -> ((string * int) list, string) result
+(** Distance in transitions from the initial state, when well defined
+    ("the phase of the state"); [Error id] names a state reachable by
+    paths of two different lengths. *)
+
+val longest_path : t -> int
+(** Maximum transitions from the initial state to a final state — the
+    number of phases this site participates in.  Assumes acyclicity. *)
+
+val enabled : t -> string -> Message.Multiset.t -> transition list
+(** [enabled t state network]: transitions from [state] whose consumed
+    messages are all present.  Spontaneous transitions are always
+    enabled. *)
+
+val pp : Format.formatter -> t -> unit

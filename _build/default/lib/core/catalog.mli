@@ -1,0 +1,41 @@
+(** The commit-protocol catalog: every protocol figure in the paper,
+    parameterized by the number of participating sites.
+
+    Vote collectors read the complete string of votes in one transition
+    (as in the paper's figures), so transition counts are exponential in
+    the number of voters; generators insist on [n <= max_sites]. *)
+
+val max_sites : int
+
+val central_2pc : int -> Protocol.t
+(** Central-site two-phase commit: site 1 coordinates, sites 2..n are
+    slaves. *)
+
+val central_3pc : int -> Protocol.t
+(** Central-site three-phase commit: 2PC with the buffer state [p]
+    between [w] and [c] (prepare/ack phase). *)
+
+val decentralized_2pc : int -> Protocol.t
+(** Every site runs the same FSA, broadcasting its vote (including to
+    itself, per the paper) and reading the full vote vector. *)
+
+val decentralized_3pc : int -> Protocol.t
+(** A third interchange of [prepare] messages before committing. *)
+
+val one_pc : int -> Protocol.t
+(** One-phase commit: the coordinator relays the client's decision;
+    slaves cannot vote — the paper's example of an inadequate protocol. *)
+
+val central_2pc_hasty : int -> Protocol.t
+(** A deliberately broken 2PC in which the coordinator may abort
+    spontaneously without reading the votes: {e not} synchronous within
+    one state transition.  Used in tests. *)
+
+type entry = { label : string; build : int -> Protocol.t; nonblocking_expected : bool }
+
+val all : entry list
+(** Every protocol with the paper's verdict on it (the hasty variant is
+    excluded). *)
+
+val find : string -> entry
+(** @raise Invalid_argument on unknown labels, listing the known ones. *)

@@ -1,0 +1,69 @@
+(** Committable states (paper §3): a local state is {e committable} if
+    occupancy of that state by any site implies that all sites have voted
+    yes on committing the transaction.  A state that is not committable is
+    {e noncommittable}.
+
+    We infer committability from the reachable state graph: state [s] of
+    site [i] is committable iff in every reachable global state where site
+    [i] occupies [s], every voting site has cast a yes vote.
+
+    A site whose FSA contains no vote-marked transitions (e.g. the 1PC
+    slave) has no veto right; its consent is implicit and it does not count
+    against committability of other sites' states — the paper's definition
+    tacitly assumes every site votes. *)
+
+type t = {
+  committable : (Types.site * string, bool) Hashtbl.t;
+  voters : bool array;  (** voters.(i-1): does site i's FSA ever cast a vote *)
+}
+
+let compute (graph : Reachability.t) : t =
+  let p = graph.Reachability.protocol in
+  let n = Protocol.n_sites p in
+  let voters =
+    Array.init n (fun i ->
+        let a = Protocol.automaton p (i + 1) in
+        List.exists (fun (tr : Automaton.transition) -> tr.vote <> None) a.Automaton.transitions)
+  in
+  let committable = Hashtbl.create 64 in
+  (* Start by assuming every occupied (site, state) committable, then refute
+     with any witness global state in which some voter has not voted yes. *)
+  Reachability.iter_nodes
+    (fun node ->
+      let g = node.Reachability.state in
+      let all_voted_yes =
+        let ok = ref true in
+        Array.iteri (fun i voted -> if voters.(i) && not voted then ok := false) g.Global.voted_yes;
+        !ok
+      in
+      Array.iteri
+        (fun i id ->
+          let key = (i + 1, id) in
+          match Hashtbl.find_opt committable key with
+          | Some false -> ()
+          | Some true | None -> Hashtbl.replace committable key all_voted_yes)
+        g.Global.locals)
+    graph;
+  { committable; voters }
+
+(** [is_committable t ~site ~state]: committability of [state] at [site].
+    Unreachable states are vacuously committable (they are never occupied);
+    callers interested only in occupiable states should restrict to
+    {!Concurrency.occupied_states}. *)
+let is_committable t ~site ~state =
+  Option.value ~default:true (Hashtbl.find_opt t.committable (site, state))
+
+(** All committable (site, state id) pairs, sorted. *)
+let committable_pairs t =
+  Hashtbl.fold (fun k v acc -> if v then k :: acc else acc) t.committable [] |> List.sort compare
+
+(** Committable state ids: those committable at {e every} site declaring
+    them — the homogeneous-protocol view (e.g. \{p, c\} for canonical 3PC). *)
+let committable_ids t =
+  let by_id = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (_site, id) v ->
+      let cur = Option.value ~default:true (Hashtbl.find_opt by_id id) in
+      Hashtbl.replace by_id id (cur && v))
+    t.committable;
+  Hashtbl.fold (fun id v acc -> if v then id :: acc else acc) by_id [] |> List.sort compare

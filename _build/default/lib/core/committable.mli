@@ -1,0 +1,25 @@
+(** Committable states (paper §3): a local state is committable if
+    occupancy of that state by any site implies that all sites have voted
+    yes on committing — inferred here from the reachable state graph's
+    vote flags.
+
+    A site whose FSA casts no votes (e.g. the 1PC slave) has no veto
+    right; its consent is implicit and does not count against
+    committability — the paper's definition tacitly assumes every site
+    votes. *)
+
+type t
+
+val compute : Reachability.t -> t
+
+val is_committable : t -> site:Types.site -> state:string -> bool
+(** Unreachable states are vacuously committable; callers interested only
+    in occupiable states should restrict to
+    {!Concurrency.occupied_states}. *)
+
+val committable_pairs : t -> (Types.site * string) list
+(** All committable (site, state id) pairs, sorted. *)
+
+val committable_ids : t -> string list
+(** State ids committable at every site declaring them — the
+    homogeneous-protocol view, e.g. \{p, c\} for 3PC and \{c\} for 2PC. *)

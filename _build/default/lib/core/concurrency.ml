@@ -1,0 +1,83 @@
+(** Concurrency sets (paper §3): given that site [k] occupies local state
+    [s], the concurrency set [C(s)] is the set of local states that may be
+    concurrently occupied by the {e other} sites, derived from the reachable
+    state graph.
+
+    Computed exactly, per (site, state) pair, and also merged per state id —
+    the form the paper uses for homogeneous (canonical/decentralized)
+    protocols where every site runs the same FSA. *)
+
+module String_set = Set.Make (String)
+
+module Pair_set = Set.Make (struct
+  type t = Types.site * string
+
+  let compare = compare
+end)
+
+type t = {
+  graph : Reachability.t;
+  exact : (Types.site * string, Pair_set.t) Hashtbl.t;
+      (** (site, state id) -> set of (other site, state id) co-occupiable *)
+}
+
+(** [compute g] derives every concurrency set of the protocol from its
+    reachable state graph in one sweep over the nodes. *)
+let compute (graph : Reachability.t) : t =
+  let exact = Hashtbl.create 64 in
+  let add key v =
+    let cur = Option.value ~default:Pair_set.empty (Hashtbl.find_opt exact key) in
+    Hashtbl.replace exact key (Pair_set.add v cur)
+  in
+  let p = graph.Reachability.protocol in
+  let sites = Protocol.sites p in
+  Reachability.iter_nodes
+    (fun node ->
+      let locals = node.Reachability.state.Global.locals in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j -> if i <> j then add (i, locals.(i - 1)) (j, locals.(j - 1)))
+            sites)
+        sites)
+    graph;
+  { graph; exact }
+
+(** [set t ~site ~state] is the exact concurrency set of [state] at [site]:
+    every (other site, state) pair co-occupiable with it.  Empty if the
+    (site, state) pair is unreachable. *)
+let set t ~site ~state =
+  Option.value ~default:Pair_set.empty (Hashtbl.find_opt t.exact (site, state))
+
+(** [set_ids t ~site ~state] projects {!set} onto state ids. *)
+let set_ids t ~site ~state =
+  Pair_set.fold (fun (_, id) acc -> String_set.add id acc) (set t ~site ~state) String_set.empty
+
+(** [merged_ids t ~state] is the union over all sites declaring [state] of
+    {!set_ids} — the paper's per-state concurrency set for homogeneous
+    protocols, e.g. CS(w) = \{q, w, a, c\} in canonical 2PC. *)
+let merged_ids t ~state =
+  let p = t.graph.Reachability.protocol in
+  Protocol.sites p
+  |> List.fold_left
+       (fun acc site -> String_set.union acc (set_ids t ~site ~state))
+       String_set.empty
+
+(** Kinds present in the concurrency set of [state] at [site]. *)
+let kinds t ~site ~state =
+  let p = t.graph.Reachability.protocol in
+  Pair_set.fold
+    (fun (j, id) acc -> Automaton.kind_of (Protocol.automaton p j) id :: acc)
+    (set t ~site ~state) []
+  |> List.sort_uniq compare
+
+let contains_commit t ~site ~state = List.exists Types.is_commit (kinds t ~site ~state)
+let contains_abort t ~site ~state = List.exists Types.is_abort (kinds t ~site ~state)
+
+(** States of [site] that actually occur in some reachable global state. *)
+let occupied_states t ~site =
+  Hashtbl.fold (fun (s, id) _ acc -> if s = site then id :: acc else acc) t.exact []
+  |> List.sort_uniq compare
+
+let pp_ids ppf ids =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma string) (String_set.elements ids)

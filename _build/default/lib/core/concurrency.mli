@@ -1,0 +1,34 @@
+(** Concurrency sets (paper §3): given that site [k] occupies local state
+    [s], the concurrency set C(s) is the set of local states the other
+    sites may concurrently occupy, derived exactly from the reachable
+    state graph. *)
+
+module String_set : Set.S with type elt = string
+
+module Pair_set : Set.S with type elt = Types.site * string
+
+type t
+
+val compute : Reachability.t -> t
+(** One sweep over the graph derives every concurrency set. *)
+
+val set : t -> site:Types.site -> state:string -> Pair_set.t
+(** Exact concurrency set: every (other site, state) pair co-occupiable
+    with [state] at [site].  Empty if the pair is unreachable. *)
+
+val set_ids : t -> site:Types.site -> state:string -> String_set.t
+(** {!set} projected onto state ids. *)
+
+val merged_ids : t -> state:string -> String_set.t
+(** Union of {!set_ids} over all sites — the paper's per-state
+    concurrency set for homogeneous protocols, e.g. CS(w) = \{q,w,a,c\}
+    in canonical 2PC. *)
+
+val kinds : t -> site:Types.site -> state:string -> Types.state_kind list
+val contains_commit : t -> site:Types.site -> state:string -> bool
+val contains_abort : t -> site:Types.site -> state:string -> bool
+
+val occupied_states : t -> site:Types.site -> string list
+(** States of [site] occurring in some reachable global state, sorted. *)
+
+val pp_ids : Format.formatter -> String_set.t -> unit

@@ -1,0 +1,82 @@
+(** Global transaction states (paper §3, "The definition of a global
+    transaction state").
+
+    A global state comprises the local states of all FSAs and the
+    outstanding messages in the network.  We additionally record which sites
+    have cast a yes vote; this is path information the paper's committable
+    analysis needs ("occupancy of that state implies that all sites have
+    voted yes") and is part of "the complete processing state of a
+    transaction". *)
+
+type t = {
+  locals : string array;  (** local state id of each site, index = site - 1 *)
+  voted_yes : bool array;  (** whether each site has cast a yes vote *)
+  network : Message.Multiset.t;
+}
+[@@deriving eq, ord]
+
+let local t site = t.locals.(site - 1)
+
+let initial (p : Protocol.t) =
+  let n = Protocol.n_sites p in
+  {
+    locals = Array.init n (fun i -> (Protocol.automaton p (i + 1)).Automaton.initial);
+    voted_yes = Array.make n false;
+    network = Message.Multiset.of_list p.Protocol.initial_network;
+  }
+
+(** A global state is {e final} if all local states are final. *)
+let is_final (p : Protocol.t) t =
+  Array.to_list t.locals
+  |> List.mapi (fun i id -> Automaton.kind_of (Protocol.automaton p (i + 1)) id)
+  |> List.for_all Types.is_final
+
+(** A global state is {e inconsistent} if it contains both a local commit
+    state and a local abort state.  A protocol preserving atomicity can have
+    no reachable inconsistent state. *)
+let is_inconsistent (p : Protocol.t) t =
+  let kinds =
+    Array.to_list t.locals
+    |> List.mapi (fun i id -> Automaton.kind_of (Protocol.automaton p (i + 1)) id)
+  in
+  List.exists Types.is_commit kinds && List.exists Types.is_abort kinds
+
+(** One step of one site: fire [transition] at [site].  Assumes the
+    transition is enabled (its consumed messages are present). *)
+let fire (t : t) ~site (tr : Automaton.transition) =
+  let network =
+    match Message.Multiset.remove_all tr.consumes t.network with
+    | Some net -> Message.Multiset.add_all tr.emits net
+    | None -> invalid_arg "Global.fire: transition not enabled"
+  in
+  let locals = Array.copy t.locals in
+  locals.(site - 1) <- tr.to_state;
+  let voted_yes = Array.copy t.voted_yes in
+  (match tr.vote with Some Types.Yes -> voted_yes.(site - 1) <- true | Some Types.No | None -> ());
+  { locals; voted_yes; network }
+
+(** All immediately reachable successor states, with the site and transition
+    that produces each.  State transitions at different sites are
+    asynchronous, so any site with an enabled transition may move. *)
+let successors (p : Protocol.t) (t : t) : (Types.site * Automaton.transition * t) list =
+  Protocol.sites p
+  |> List.concat_map (fun site ->
+         let a = Protocol.automaton p site in
+         Automaton.enabled a (local t site) t.network
+         |> List.map (fun tr -> (site, tr, fire t ~site tr)))
+
+(** A {e terminal} state has no immediately reachable successors; a terminal
+    state that is not final is a {e deadlocked} state. *)
+let is_terminal p t = successors p t = []
+
+let hash t =
+  Hashtbl.hash (t.locals, t.voted_yes, List.map Message.show (Message.Multiset.to_list t.network))
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h><%a | voted=%a | %a>@]"
+    Fmt.(array ~sep:comma string)
+    t.locals
+    Fmt.(array ~sep:comma bool)
+    t.voted_yes Message.Multiset.pp t.network
+
+let show = Fmt.to_to_string pp

@@ -1,0 +1,38 @@
+(** Global transaction states (paper §3): the local states of all FSAs
+    plus the outstanding messages in the network, extended with the
+    yes-vote flags the committability analysis requires. *)
+
+type t = {
+  locals : string array;  (** local state id of each site, index = site − 1 *)
+  voted_yes : bool array;
+  network : Message.Multiset.t;
+}
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val local : t -> Types.site -> string
+val initial : Protocol.t -> t
+
+val is_final : Protocol.t -> t -> bool
+(** All local states are final. *)
+
+val is_inconsistent : Protocol.t -> t -> bool
+(** Contains both a local commit and a local abort state — an atomicity
+    violation; unreachable in any correct commit protocol. *)
+
+val fire : t -> site:Types.site -> Automaton.transition -> t
+(** One step of one site.
+    @raise Invalid_argument if the transition is not enabled. *)
+
+val successors : Protocol.t -> t -> (Types.site * Automaton.transition * t) list
+(** All immediately reachable successors; transitions at different sites
+    are asynchronous, so any site with an enabled transition may move. *)
+
+val is_terminal : Protocol.t -> t -> bool
+(** No immediately reachable successors.  A terminal state that is not
+    final is a deadlocked state. *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string

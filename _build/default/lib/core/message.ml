@@ -1,0 +1,77 @@
+(** Messages on the network tape.
+
+    The paper models the network as a common input/output tape: a state
+    transition reads a (nonempty) string of messages addressed to the site
+    and writes a string of messages.  A message is identified by its name
+    and its (sender, receiver) pair — the decentralized protocols subscript
+    messages with both, e.g. [yes_ij]. *)
+
+type t = {
+  name : string;  (** e.g. ["xact"], ["yes"], ["no"], ["prepare"], ["ack"], ["commit"], ["abort"] *)
+  src : Types.site;
+  dst : Types.site;
+}
+[@@deriving eq, ord]
+
+let make ~name ~src ~dst = { name; src; dst }
+
+let pp ppf m = Fmt.pf ppf "%s(%a->%a)" m.name Types.pp_site m.src Types.pp_site m.dst
+
+let show m = Fmt.to_to_string pp m
+
+(* Canonical message names used by the protocol catalog. *)
+let xact = "xact"
+let request = "request"
+let yes = "yes"
+let no = "no"
+let commit = "commit"
+let abort = "abort"
+let prepare = "prepare"
+let ack = "ack"
+
+(** A multiset of messages, kept as a sorted list so that global states
+    compare and hash structurally.  The network contents of a global state
+    is such a multiset. *)
+module Multiset = struct
+  let pp_one = pp
+
+  type msg = t [@@deriving eq, ord]
+  type t = msg list [@@deriving eq, ord]
+
+  let empty : t = []
+  let of_list ms : t = List.sort compare_msg ms
+  let to_list (t : t) = t
+  let cardinal = List.length
+
+  let add m (t : t) : t =
+    let rec ins = function
+      | [] -> [ m ]
+      | x :: rest as l -> if compare_msg m x <= 0 then m :: l else x :: ins rest
+    in
+    ins t
+
+  let add_all ms t = List.fold_left (fun acc m -> add m acc) t ms
+
+  (** [remove m t] removes one occurrence of [m]; raises [Not_found] if
+      absent. *)
+  let remove m (t : t) : t =
+    let rec rm = function
+      | [] -> raise Not_found
+      | x :: rest -> if equal_msg m x then rest else x :: rm rest
+    in
+    rm t
+
+  let mem m (t : t) = List.exists (equal_msg m) t
+
+  (** [remove_all ms t] removes one occurrence of each message in [ms];
+      returns [None] if any is missing (the transition is not enabled). *)
+  let remove_all ms (t : t) : t option =
+    let rec go t = function
+      | [] -> Some t
+      | m :: rest -> ( match remove m t with exception Not_found -> None | t' -> go t' rest)
+    in
+    go t ms
+
+  let contains_all ms t = match remove_all ms t with Some _ -> true | None -> false
+  let pp ppf (t : t) = Fmt.pf ppf "[%a]" Fmt.(list ~sep:comma pp_one) t
+end

@@ -1,0 +1,57 @@
+(** Messages on the network tape.
+
+    The paper models the network as a common input/output tape: a state
+    transition reads a (nonempty) string of messages addressed to the site
+    and writes a string of messages.  A message is identified by its name
+    and its (sender, receiver) pair — the decentralized protocols
+    subscript messages with both, e.g. [yes_ij]. *)
+
+type t = { name : string; src : Types.site; dst : Types.site }
+
+val make : name:string -> src:Types.site -> dst:Types.site -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+(** Canonical message names used by the protocol catalog. *)
+
+val xact : string
+val request : string
+val yes : string
+val no : string
+val commit : string
+val abort : string
+val prepare : string
+val ack : string
+
+(** A multiset of messages, kept canonically sorted so global states
+    compare and hash structurally.  The network contents of a global state
+    is such a multiset. *)
+module Multiset : sig
+  type msg = t
+
+  type t
+  (** the multiset *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val empty : t
+  val of_list : msg list -> t
+  val to_list : t -> msg list
+  val cardinal : t -> int
+  val add : msg -> t -> t
+  val add_all : msg list -> t -> t
+
+  val remove : msg -> t -> t
+  (** removes one occurrence; raises [Not_found] if absent *)
+
+  val mem : msg -> t -> bool
+
+  val remove_all : msg list -> t -> t option
+  (** [remove_all ms t] removes one occurrence of each message of [ms];
+      [None] if any is missing (the transition is not enabled). *)
+
+  val contains_all : msg list -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,88 @@
+(** The fundamental nonblocking theorem (paper §5).
+
+    A protocol is nonblocking if and only if, at every participating site,
+    both of the following hold:
+
+    + {b Condition 1}: no local state's concurrency set contains both an
+      abort and a commit state;
+    + {b Condition 2}: no noncommittable state's concurrency set contains a
+      commit state.
+
+    When a site's state violates one of the conditions, a site left alone in
+    that state by failures can neither safely commit (it cannot infer that
+    all sites voted yes) nor safely abort (another site may have committed
+    before crashing) — it {e blocks}.
+
+    The corollary: a protocol is nonblocking with respect to [k-1] site
+    failures iff some subset of [k] sites satisfies both conditions; the
+    analysis below reports exactly which sites satisfy them. *)
+
+type violation = {
+  site : Types.site;
+  state : string;
+  condition : [ `Both_commit_and_abort | `Noncommittable_sees_commit ];
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "site %d, state %s: %s" v.site v.state
+    (match v.condition with
+    | `Both_commit_and_abort -> "concurrency set contains both a commit and an abort state"
+    | `Noncommittable_sees_commit -> "noncommittable state whose concurrency set contains a commit state")
+
+type report = {
+  protocol_name : string;
+  violations : violation list;
+  satisfying_sites : Types.site list;
+      (** sites all of whose occupiable states satisfy both conditions *)
+  resilience : int;
+      (** the protocol is nonblocking w.r.t. this many site failures: the
+          corollary gives k-1 where k = |satisfying sites| *)
+  nonblocking : bool;
+}
+
+(** [analyze graph] evaluates both theorem conditions for every occupiable
+    local state of every site, using exact concurrency sets and inferred
+    committability. *)
+let analyze (graph : Reachability.t) : report =
+  let p = graph.Reachability.protocol in
+  let cs = Concurrency.compute graph in
+  let cm = Committable.compute graph in
+  let violations = ref [] in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun state ->
+          let has_commit = Concurrency.contains_commit cs ~site ~state in
+          let has_abort = Concurrency.contains_abort cs ~site ~state in
+          if has_commit && has_abort then
+            violations := { site; state; condition = `Both_commit_and_abort } :: !violations;
+          if has_commit && not (Committable.is_committable cm ~site ~state) then
+            violations := { site; state; condition = `Noncommittable_sees_commit } :: !violations)
+        (Concurrency.occupied_states cs ~site))
+    (Protocol.sites p);
+  let violations = List.rev !violations in
+  let satisfying_sites =
+    Protocol.sites p |> List.filter (fun s -> not (List.exists (fun v -> v.site = s) violations))
+  in
+  let k = List.length satisfying_sites in
+  {
+    protocol_name = p.Protocol.name;
+    violations;
+    satisfying_sites;
+    resilience = max 0 (k - 1);
+    nonblocking = violations = [];
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>protocol %s: %s@," r.protocol_name
+    (if r.nonblocking then "NONBLOCKING" else "BLOCKING");
+  if r.violations <> [] then
+    Fmt.pf ppf "violations:@,%a@,"
+      Fmt.(list ~sep:cut (fun ppf v -> Fmt.pf ppf "  - %a" pp_violation v))
+      r.violations;
+  Fmt.pf ppf "sites satisfying both conditions: %a@,nonblocking w.r.t. %d failure(s)@]"
+    Fmt.(brackets (list ~sep:comma int))
+    r.satisfying_sites r.resilience
+
+(** Convenience: build the graph and analyze in one call. *)
+let analyze_protocol ?limit (p : Protocol.t) = analyze (Reachability.build ?limit p)

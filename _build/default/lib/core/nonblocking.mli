@@ -1,0 +1,32 @@
+(** The fundamental nonblocking theorem (paper §5): a protocol is
+    nonblocking iff at every site (1) no state's concurrency set contains
+    both an abort and a commit state, and (2) no noncommittable state's
+    concurrency set contains a commit state. *)
+
+type violation = {
+  site : Types.site;
+  state : string;
+  condition : [ `Both_commit_and_abort | `Noncommittable_sees_commit ];
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type report = {
+  protocol_name : string;
+  violations : violation list;
+  satisfying_sites : Types.site list;
+      (** sites all of whose occupiable states satisfy both conditions *)
+  resilience : int;
+      (** nonblocking w.r.t. this many site failures (the corollary:
+          k − 1 where k = |satisfying sites|) *)
+  nonblocking : bool;
+}
+
+val analyze : Reachability.t -> report
+(** Evaluates both conditions for every occupiable local state, using
+    exact concurrency sets and inferred committability. *)
+
+val analyze_protocol : ?limit:int -> Protocol.t -> report
+(** Builds the graph and analyzes in one call. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,84 @@
+(** An n-site commit protocol: one FSA per participating site plus the
+    initial network contents (the transaction request injected by the
+    environment).
+
+    Two prevalent paradigms are modelled (paper §4): the central-site model,
+    in which site 1 runs the coordinator FSA and every other site the slave
+    FSA; and the fully decentralized model, in which all sites run the same
+    FSA and exchange messages in rounds. *)
+
+type paradigm = Central_site | Decentralized [@@deriving show { with_path = false }, eq]
+
+type t = {
+  name : string;
+  paradigm : paradigm;
+  automata : Automaton.t array;  (** indexed by site - 1; site ids are 1..n *)
+  initial_network : Message.t list;
+      (** messages present on the tape before any transition: the
+          environment's [request]/[xact] messages *)
+}
+
+let n_sites t = Array.length t.automata
+
+let sites t = List.init (n_sites t) (fun i -> i + 1)
+
+(** [automaton t site] is the FSA run by [site] (1-based). *)
+let automaton t site =
+  if site < 1 || site > n_sites t then
+    Fmt.invalid_arg "Protocol.automaton: site %d out of range 1..%d" site (n_sites t);
+  t.automata.(site - 1)
+
+let make ~name ~paradigm ~automata ~initial_network =
+  Array.iteri
+    (fun i a ->
+      if a.Automaton.site <> i + 1 then
+        Fmt.invalid_arg "Protocol.make: automaton at index %d claims site %d" i a.Automaton.site;
+      match Automaton.validate a with
+      | [] -> ()
+      | v :: _ ->
+          Fmt.invalid_arg "Protocol.make: invalid FSA for site %d: %s" (i + 1)
+            (Automaton.show_violation v))
+    automata;
+  { name; paradigm; automata; initial_network }
+
+(** All distinct local state ids across sites, tagged with the sites that
+    declare them.  In homogeneous (decentralized or canonical) protocols the
+    per-site FSAs share state ids; analyses can then be presented per state
+    id rather than per (site, state). *)
+let state_ids t =
+  Array.to_list t.automata
+  |> List.concat_map (fun a -> List.map (fun s -> s.Automaton.id) a.Automaton.states)
+  |> List.sort_uniq compare
+
+(** [phases t] is the number of phases of the protocol: the maximum, over
+    sites, of the longest transition path from initial to final state.
+    The catalog protocols recover their names — 1 for 1PC, 2 for both 2PC
+    paradigms, 3 for both 3PC paradigms ("commit protocols have at least
+    two phases", paper §2, and the buffer-state transformation adds
+    exactly one). *)
+let phases t =
+  Array.fold_left (fun acc a -> max acc (Automaton.longest_path a)) 0 t.automata
+
+(** [homogeneous t] is true when every site runs a structurally identical
+    FSA (modulo the site subscript on messages) — the decentralized model. *)
+let homogeneous t =
+  match Array.to_list t.automata with
+  | [] | [ _ ] -> true
+  | a0 :: rest ->
+      let sig_of a =
+        ( List.map (fun s -> (s.Automaton.id, s.Automaton.kind)) a.Automaton.states,
+          List.map
+            (fun (tr : Automaton.transition) ->
+              (tr.from_state, tr.to_state, List.length tr.consumes, List.length tr.emits, tr.vote))
+            a.Automaton.transitions )
+      in
+      let s0 = sig_of a0 in
+      List.for_all (fun a -> sig_of a = s0) rest
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>protocol %S (%a, %d sites)@,initial network: %a@,%a@]" t.name pp_paradigm
+    t.paradigm (n_sites t)
+    Fmt.(brackets (list ~sep:comma Message.pp))
+    t.initial_network
+    Fmt.(list ~sep:cut Automaton.pp)
+    (Array.to_list t.automata)

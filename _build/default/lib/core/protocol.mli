@@ -1,0 +1,46 @@
+(** An n-site commit protocol: one FSA per participating site plus the
+    initial network contents (the transaction request injected by the
+    environment). *)
+
+(** The two prevalent paradigms the paper considers. *)
+type paradigm = Central_site | Decentralized
+
+val pp_paradigm : Format.formatter -> paradigm -> unit
+val show_paradigm : paradigm -> string
+val equal_paradigm : paradigm -> paradigm -> bool
+
+type t = {
+  name : string;
+  paradigm : paradigm;
+  automata : Automaton.t array;  (** indexed by site − 1; site ids are 1..n *)
+  initial_network : Message.t list;
+}
+
+val n_sites : t -> int
+val sites : t -> Types.site list
+
+val automaton : t -> Types.site -> Automaton.t
+(** [automaton t site] is the FSA run by [site] (1-based).
+    @raise Invalid_argument if [site] is out of range. *)
+
+val make :
+  name:string ->
+  paradigm:paradigm ->
+  automata:Automaton.t array ->
+  initial_network:Message.t list ->
+  t
+(** Validates every FSA and its claimed site id.
+    @raise Invalid_argument on a structural violation. *)
+
+val state_ids : t -> string list
+(** All distinct local state ids across sites, sorted. *)
+
+val phases : t -> int
+(** The number of phases: the maximum over sites of the longest
+    transition path — 1 for 1PC, 2 for 2PC, 3 for 3PC. *)
+
+val homogeneous : t -> bool
+(** Whether every site runs a structurally identical FSA (modulo message
+    subscripts) — the decentralized model. *)
+
+val pp : Format.formatter -> t -> unit

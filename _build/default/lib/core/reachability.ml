@@ -1,0 +1,131 @@
+(** The reachable state graph (paper §3): all global states reachable from
+    the transaction's initial global state, built by breadth-first search
+    with hash-consed nodes.
+
+    The graph grows exponentially with the number of sites; the paper notes
+    that in practice it seldom needs to be built — the adjacency lemma
+    suffices for synchronous protocols — but we build it exactly for small
+    [n] both to regenerate the paper's figure and to cross-check the fast
+    path. *)
+
+module Tbl = Hashtbl.Make (Global)
+
+type node = {
+  state : Global.t;
+  index : int;  (** BFS discovery order, 0 = initial state *)
+  mutable succs : (Types.site * Automaton.transition * int) list;
+      (** outgoing edges: (site that moved, transition fired, target index) *)
+}
+
+type t = {
+  protocol : Protocol.t;
+  nodes : node array;  (** indexed by node [index] *)
+  table : int Tbl.t;  (** global state -> index *)
+}
+
+exception Too_large of int
+
+(** [build ?limit p] explores the full reachable state graph of [p].
+    Raises {!Too_large} if more than [limit] (default 2_000_000) global
+    states are discovered. *)
+let build ?(limit = 2_000_000) (p : Protocol.t) : t =
+  let table = Tbl.create 4096 in
+  let nodes = ref [] and n_nodes = ref 0 in
+  let queue = Queue.create () in
+  let intern state =
+    match Tbl.find_opt table state with
+    | Some ix -> (ix, false)
+    | None ->
+        let ix = !n_nodes in
+        if ix >= limit then raise (Too_large ix);
+        incr n_nodes;
+        Tbl.add table state ix;
+        let node = { state; index = ix; succs = [] } in
+        nodes := node :: !nodes;
+        Queue.add node queue;
+        (ix, true)
+  in
+  let init = Global.initial p in
+  ignore (intern init);
+  while not (Queue.is_empty queue) do
+    let node = Queue.pop queue in
+    let succs =
+      Global.successors p node.state
+      |> List.map (fun (site, tr, s') ->
+             let ix, _fresh = intern s' in
+             (site, tr, ix))
+    in
+    node.succs <- succs
+  done;
+  let arr = Array.make !n_nodes (List.hd !nodes) in
+  List.iter (fun node -> arr.(node.index) <- node) !nodes;
+  { protocol = p; nodes = arr; table }
+
+let n_nodes t = Array.length t.nodes
+let n_edges t = Array.fold_left (fun acc node -> acc + List.length node.succs) 0 t.nodes
+let node t ix = t.nodes.(ix)
+let initial_node t = t.nodes.(0)
+let iter_nodes f t = Array.iter f t.nodes
+
+let fold_nodes f t acc = Array.fold_left (fun acc node -> f node acc) acc t.nodes
+
+(** Indices of terminal states (no successors). *)
+let terminal_nodes t =
+  Array.to_list t.nodes |> List.filter (fun node -> node.succs = [])
+
+(** Terminal states that are not final: deadlocked states. *)
+let deadlocked_nodes t =
+  terminal_nodes t |> List.filter (fun node -> not (Global.is_final t.protocol node.state))
+
+(** Reachable states containing both a local commit and a local abort —
+    atomicity violations.  Empty for every correct commit protocol. *)
+let inconsistent_nodes t =
+  Array.to_list t.nodes |> List.filter (fun node -> Global.is_inconsistent t.protocol node.state)
+
+(** The possible global verdicts: which final outcomes are reachable. *)
+let reachable_outcomes t =
+  let commit = ref false and abort = ref false in
+  iter_nodes
+    (fun node ->
+      if Global.is_final t.protocol node.state then
+        match node.state.Global.locals.(0) with
+        | id ->
+            let kind = Automaton.kind_of (Protocol.automaton t.protocol 1) id in
+            if Types.is_commit kind then commit := true;
+            if Types.is_abort kind then abort := true)
+    t;
+  (!commit, !abort)
+
+(** Statistics summarising a reachable state graph, as printed by the
+    experiment harness. *)
+type stats = {
+  states : int;
+  edges : int;
+  final : int;
+  terminal : int;
+  deadlocked : int;
+  inconsistent : int;
+  commit_reachable : bool;
+  abort_reachable : bool;
+}
+
+let stats t =
+  let commit_reachable, abort_reachable = reachable_outcomes t in
+  {
+    states = n_nodes t;
+    edges = n_edges t;
+    final =
+      fold_nodes (fun node acc -> if Global.is_final t.protocol node.state then acc + 1 else acc) t 0;
+    terminal = List.length (terminal_nodes t);
+    deadlocked = List.length (deadlocked_nodes t);
+    inconsistent = List.length (inconsistent_nodes t);
+    commit_reachable;
+    abort_reachable;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>global states : %d@,edges         : %d@,final states  : %d@,terminal      : %d@,\
+     deadlocked    : %d@,inconsistent  : %d@,commit reachable: %b@,abort reachable : %b@]"
+    s.states s.edges s.final s.terminal s.deadlocked s.inconsistent s.commit_reachable
+    s.abort_reachable

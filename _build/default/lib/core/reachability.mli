@@ -1,0 +1,57 @@
+(** The reachable state graph (paper §3): all global states reachable from
+    the transaction's initial global state, built breadth-first with
+    hash-consed nodes. *)
+
+type node = {
+  state : Global.t;
+  index : int;  (** BFS discovery order, 0 = initial state *)
+  mutable succs : (Types.site * Automaton.transition * int) list;
+      (** outgoing edges: (site that moved, transition fired, target index) *)
+}
+
+type t = private {
+  protocol : Protocol.t;
+  nodes : node array;
+  table : int Hashtbl.Make(Global).t;
+}
+
+exception Too_large of int
+
+val build : ?limit:int -> Protocol.t -> t
+(** Explores the full reachable state graph.
+    @raise Too_large past [limit] (default 2_000_000) global states. *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+val node : t -> int -> node
+val initial_node : t -> node
+val iter_nodes : (node -> unit) -> t -> unit
+val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
+
+val terminal_nodes : t -> node list
+(** Nodes with no successors. *)
+
+val deadlocked_nodes : t -> node list
+(** Terminal but not final — empty for correct protocols. *)
+
+val inconsistent_nodes : t -> node list
+(** Nodes containing both a commit and an abort local state — empty for
+    correct protocols. *)
+
+val reachable_outcomes : t -> bool * bool
+(** (commit reachable, abort reachable). *)
+
+(** Summary statistics, as printed by the experiment harness. *)
+type stats = {
+  states : int;
+  edges : int;
+  final : int;
+  terminal : int;
+  deadlocked : int;
+  inconsistent : int;
+  commit_reachable : bool;
+  abort_reachable : bool;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

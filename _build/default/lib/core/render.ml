@@ -1,0 +1,93 @@
+(** Rendering of FSAs, skeletons and reachable state graphs, as Graphviz DOT
+    and as plain text, used by the CLI and the experiment harness to
+    regenerate the paper's figures. *)
+
+let dot_escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let kind_attrs = function
+  | Types.Initial -> "shape=circle"
+  | Types.Wait -> "shape=circle"
+  | Types.Buffer -> "shape=doublecircle style=dashed"
+  | Types.Commit -> "shape=doublecircle color=darkgreen"
+  | Types.Abort -> "shape=doublecircle color=red3"
+
+(** DOT rendering of one site's FSA; transition labels follow the paper's
+    "consumed / emitted" convention. *)
+let automaton_to_dot (a : Automaton.t) : string =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  pf "digraph site%d {\n  rankdir=TB;\n" a.Automaton.site;
+  List.iter
+    (fun (s : Automaton.state) ->
+      pf "  %s [label=\"%s\" %s];\n" s.Automaton.id (dot_escape s.Automaton.id)
+        (kind_attrs s.Automaton.kind))
+    a.Automaton.states;
+  List.iter
+    (fun (tr : Automaton.transition) ->
+      let side msgs = Fmt.str "%a" Fmt.(list ~sep:comma Message.pp) msgs in
+      pf "  %s -> %s [label=\"%s / %s\"];\n" tr.Automaton.from_state tr.Automaton.to_state
+        (dot_escape (side tr.Automaton.consumes))
+        (dot_escape (side tr.Automaton.emits)))
+    a.Automaton.transitions;
+  pf "}\n";
+  Buffer.contents buf
+
+(** DOT rendering of a canonical skeleton. *)
+let skeleton_to_dot (sk : Skeleton.t) : string =
+  let buf = Buffer.create 512 in
+  let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  pf "digraph %s {\n  rankdir=TB;\n" (String.map (function '-' | '+' -> '_' | c -> c) sk.Skeleton.name);
+  List.iter
+    (fun (s : Skeleton.state) ->
+      pf "  %s [label=\"%s%s\" %s];\n" s.Skeleton.id s.Skeleton.id
+        (if s.Skeleton.committable then "*" else "")
+        (kind_attrs s.Skeleton.kind))
+    sk.Skeleton.states;
+  List.iter (fun (a, b) -> pf "  %s -> %s;\n" a b) sk.Skeleton.edges;
+  pf "}\n";
+  Buffer.contents buf
+
+(** DOT rendering of a reachable state graph.  Node labels show the local
+    state vector; the network contents are elided for readability (pass
+    [~full:true] to include them). *)
+let reachability_to_dot ?(full = false) (g : Reachability.t) : string =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  pf "digraph reachable {\n  rankdir=TB;\n  node [shape=box fontname=monospace];\n";
+  Reachability.iter_nodes
+    (fun node ->
+      let st = node.Reachability.state in
+      let label =
+        if full then Global.show st
+        else Fmt.str "%a" Fmt.(array ~sep:(any ",") string) st.Global.locals
+      in
+      let color =
+        if Global.is_inconsistent g.Reachability.protocol st then " color=red3"
+        else if Global.is_final g.Reachability.protocol st then " color=darkgreen"
+        else ""
+      in
+      pf "  n%d [label=\"%s\"%s];\n" node.Reachability.index (dot_escape label) color)
+    g;
+  Reachability.iter_nodes
+    (fun node ->
+      List.iter
+        (fun (site, _tr, dst) -> pf "  n%d -> n%d [label=\"s%d\"];\n" node.Reachability.index dst site)
+        node.Reachability.succs)
+    g;
+  pf "}\n";
+  Buffer.contents buf
+
+(** Text rendering of the concurrency-set table of a protocol, merged per
+    state id — the form of the paper's canonical-2PC figure. *)
+let concurrency_table (graph : Reachability.t) : string =
+  let cs = Concurrency.compute graph in
+  let p = graph.Reachability.protocol in
+  let buf = Buffer.create 512 in
+  let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  List.iter
+    (fun id ->
+      let ids = Concurrency.merged_ids cs ~state:id in
+      if not (Concurrency.String_set.is_empty ids) then
+        pf "CS(%s) = {%s}\n" id (String.concat ", " (Concurrency.String_set.elements ids)))
+    (Protocol.state_ids p);
+  Buffer.contents buf

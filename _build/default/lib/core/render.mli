@@ -1,0 +1,20 @@
+(** Rendering of FSAs, skeletons and reachable state graphs as Graphviz
+    DOT and plain text — the CLI and experiment harness regenerate the
+    paper's figures through these. *)
+
+val dot_escape : string -> string
+(** Escape double quotes for DOT labels. *)
+
+val automaton_to_dot : Automaton.t -> string
+(** Transition labels follow the paper's "consumed / emitted"
+    convention. *)
+
+val skeleton_to_dot : Skeleton.t -> string
+
+val reachability_to_dot : ?full:bool -> Reachability.t -> string
+(** Node labels show the local state vector; pass [~full:true] to include
+    network contents and vote flags. *)
+
+val concurrency_table : Reachability.t -> string
+(** The per-state-id concurrency-set table, one [CS(s) = {…}] line per
+    state — the form of the paper's canonical-2PC figure. *)

@@ -1,0 +1,160 @@
+(** Canonical protocol skeletons (paper §6, "The similarity between 2PC
+    protocols").
+
+    The paper abstracts both 2PC paradigms into one {e canonical} protocol:
+    a single acyclic state diagram (q, w, a, c) that every site traverses,
+    with the protocol synchronous within one state transition.  At this
+    level the concurrency set of a state is computable syntactically —
+    [C(s) = \{s\} ∪ adjacent(s)] — and the design method is a pure graph
+    transformation: insert a buffer state on every path from a
+    noncommittable state into a commit state.
+
+    The skeleton carries committability as a marking (at this abstraction
+    there are no votes to infer it from); {!of_protocol_analysis} builds a
+    skeleton from a full protocol's exact analysis so that the two levels
+    can be cross-checked. *)
+
+module String_set = Set.Make (String)
+
+type state = { id : string; kind : Types.state_kind; committable : bool }
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  name : string;
+  states : state list;
+  initial : string;
+  edges : (string * string) list;  (** directed: one state transition *)
+}
+
+let make ~name ~states ~initial ~edges =
+  let known id = List.exists (fun s -> s.id = id) states in
+  if not (known initial) then Fmt.invalid_arg "Skeleton.make: unknown initial state %s" initial;
+  List.iter
+    (fun (a, b) ->
+      if not (known a && known b) then Fmt.invalid_arg "Skeleton.make: unknown edge %s->%s" a b)
+    edges;
+  { name; states; initial; edges }
+
+let state_exn t id =
+  match List.find_opt (fun s -> s.id = id) t.states with
+  | Some s -> s
+  | None -> Fmt.invalid_arg "Skeleton.state_exn: unknown state %s" id
+
+let kind_of t id = (state_exn t id).kind
+let is_committable t id = (state_exn t id).committable
+
+let successors t id = List.filter_map (fun (a, b) -> if a = id then Some b else None) t.edges
+let predecessors t id = List.filter_map (fun (a, b) -> if b = id then Some a else None) t.edges
+
+let adjacent t id = List.sort_uniq compare (successors t id @ predecessors t id)
+
+(** The concurrency set of a state in a protocol synchronous within one
+    state transition: the state itself plus its adjacent states (paper §6,
+    "Concurrency sets in the canonical 2PC protocol"). *)
+let concurrency_set t id = String_set.of_list (id :: adjacent t id)
+
+(** The adjacency lemma, exactly as the paper states it: nonblocking iff no
+    local state is adjacent to both a commit and an abort state, and no
+    noncommittable state is adjacent to a commit state. *)
+let lemma_violations t =
+  List.concat_map
+    (fun s ->
+      let adj_kinds = List.map (kind_of t) (adjacent t s.id) in
+      let has_commit = List.exists Types.is_commit adj_kinds
+      and has_abort = List.exists Types.is_abort adj_kinds in
+      let v1 = if has_commit && has_abort then [ (s.id, `Both_commit_and_abort) ] else [] in
+      let v2 =
+        if has_commit && not s.committable then [ (s.id, `Noncommittable_sees_commit) ] else []
+      in
+      v1 @ v2)
+    t.states
+
+let is_nonblocking t = lemma_violations t = []
+
+(** The canonical two-phase commit skeleton of the paper's figure:
+    q → w (vote yes), q → a (vote no), w → c, w → a.  Its single
+    committable state is [c]. *)
+let canonical_2pc =
+  make ~name:"canonical-2pc"
+    ~states:
+      [
+        { id = "q"; kind = Types.Initial; committable = false };
+        { id = "w"; kind = Types.Wait; committable = false };
+        { id = "a"; kind = Types.Abort; committable = false };
+        { id = "c"; kind = Types.Commit; committable = true };
+      ]
+    ~initial:"q"
+    ~edges:[ ("q", "w"); ("q", "a"); ("w", "c"); ("w", "a") ]
+
+(** The canonical three-phase commit skeleton: 2PC with the buffer state
+    [p] (prepared to commit) between [w] and [c].  Committable states:
+    [p] and [c]. *)
+let canonical_3pc =
+  make ~name:"canonical-3pc"
+    ~states:
+      [
+        { id = "q"; kind = Types.Initial; committable = false };
+        { id = "w"; kind = Types.Wait; committable = false };
+        { id = "p"; kind = Types.Buffer; committable = true };
+        { id = "a"; kind = Types.Abort; committable = false };
+        { id = "c"; kind = Types.Commit; committable = true };
+      ]
+    ~initial:"q"
+    ~edges:[ ("q", "w"); ("q", "a"); ("w", "p"); ("w", "a"); ("p", "c") ]
+
+(** The canonical one-phase commit skeleton: the client decision is relayed;
+    there is no voting, so consent is implicit and [c] is committable —
+    1PC blocks because q is adjacent to both [a] and [c]. *)
+let canonical_1pc =
+  make ~name:"canonical-1pc"
+    ~states:
+      [
+        { id = "q"; kind = Types.Initial; committable = false };
+        { id = "a"; kind = Types.Abort; committable = false };
+        { id = "c"; kind = Types.Commit; committable = true };
+      ]
+    ~initial:"q"
+    ~edges:[ ("q", "c"); ("q", "a") ]
+
+(** [of_protocol_analysis graph] abstracts a full (homogeneous) protocol
+    into its skeleton: state ids and kinds from site 1's FSA, edges from
+    site 1's transitions, committability from the exact inference.  Used to
+    cross-check the canonical figures against the message-level catalog. *)
+let of_protocol_analysis (graph : Reachability.t) : t =
+  let p = graph.Reachability.protocol in
+  let cm = Committable.compute graph in
+  let a = Protocol.automaton p 1 in
+  let committable_everywhere id =
+    Protocol.sites p
+    |> List.for_all (fun site ->
+           let auto = Protocol.automaton p site in
+           (not (List.exists (fun s -> s.Automaton.id = id) auto.Automaton.states))
+           || Committable.is_committable cm ~site ~state:id)
+  in
+  make ~name:(p.Protocol.name ^ "-skeleton")
+    ~states:
+      (List.map
+         (fun (s : Automaton.state) ->
+           { id = s.Automaton.id; kind = s.Automaton.kind; committable = committable_everywhere s.Automaton.id })
+         a.Automaton.states)
+    ~initial:a.Automaton.initial
+    ~edges:
+      (List.map
+         (fun (tr : Automaton.transition) -> (tr.Automaton.from_state, tr.Automaton.to_state))
+         a.Automaton.transitions
+      |> List.sort_uniq compare)
+
+let equal a b =
+  a.initial = b.initial
+  && List.sort compare a.states = List.sort compare b.states
+  && List.sort_uniq compare a.edges = List.sort_uniq compare b.edges
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>skeleton %s (initial %s)@," t.name t.initial;
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "  %-4s %a%s@," s.id Types.pp_state_kind s.kind
+        (if s.committable then " [committable]" else ""))
+    t.states;
+  List.iter (fun (a, b) -> Fmt.pf ppf "  %s -> %s@," a b) t.edges;
+  Fmt.pf ppf "@]"

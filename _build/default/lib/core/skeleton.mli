@@ -1,0 +1,60 @@
+(** Canonical protocol skeletons (paper §6): a single acyclic state
+    diagram every site traverses, for protocols synchronous within one
+    state transition.  At this level the concurrency set is syntactic —
+    C(s) = \{s\} ∪ adjacent(s) — and the design method is a pure graph
+    transformation. *)
+
+module String_set : Set.S with type elt = string
+
+type state = { id : string; kind : Types.state_kind; committable : bool }
+
+val pp_state : Format.formatter -> state -> unit
+val equal_state : state -> state -> bool
+
+type t = {
+  name : string;
+  states : state list;
+  initial : string;
+  edges : (string * string) list;
+}
+
+val make :
+  name:string -> states:state list -> initial:string -> edges:(string * string) list -> t
+(** @raise Invalid_argument on unknown initial state or edge endpoints. *)
+
+val state_exn : t -> string -> state
+val kind_of : t -> string -> Types.state_kind
+val is_committable : t -> string -> bool
+val successors : t -> string -> string list
+val predecessors : t -> string -> string list
+val adjacent : t -> string -> string list
+
+val concurrency_set : t -> string -> String_set.t
+(** \{s\} ∪ adjacent(s), per the paper's synchronous-protocol rule. *)
+
+val lemma_violations : t -> (string * [ `Both_commit_and_abort | `Noncommittable_sees_commit ]) list
+(** The adjacency lemma, exactly as the paper states it. *)
+
+val is_nonblocking : t -> bool
+
+val canonical_2pc : t
+(** q → w (vote yes), q → a (vote no), w → c, w → a; committable: \{c\}. *)
+
+val canonical_3pc : t
+(** 2PC with the buffer state [p] between [w] and [c];
+    committable: \{p, c\}. *)
+
+val canonical_1pc : t
+(** The client decision relayed; no voting, [c] committable by implicit
+    consent; blocks because [q] is adjacent to both finals. *)
+
+val of_protocol_analysis : Reachability.t -> t
+(** Abstracts a full (homogeneous) protocol into its skeleton: state ids,
+    kinds and edges from site 1's FSA, committability from the exact
+    inference — used to cross-check the canonical figures against the
+    message-level catalog. *)
+
+val equal : t -> t -> bool
+(** Structural equality up to the name. *)
+
+val pp : Format.formatter -> t -> unit

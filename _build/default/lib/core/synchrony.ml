@@ -1,0 +1,103 @@
+(** Synchronicity within one state transition (paper §4).
+
+    A protocol is {e synchronous within one state transition} if one site
+    never leads another by more than one state transition during any
+    execution.  Both catalog paradigms have this property; it is the
+    hypothesis of the adjacency lemma and of the buffer-state design method.
+
+    Checking it requires counting transitions made, which is path
+    information not present in a {!Global.t}; we therefore run a dedicated
+    breadth-first search whose states are (global state, step vector)
+    pairs.  Commit-protocol FSAs are acyclic, so step counts are bounded and
+    the search terminates. *)
+
+type counted = { g : Global.t; steps : int list } [@@deriving eq]
+
+let hash_counted c = Hashtbl.hash (Global.hash c.g, c.steps)
+
+module Tbl = Hashtbl.Make (struct
+  type t = counted
+
+  let equal = equal_counted
+  let hash = hash_counted
+end)
+
+type result = {
+  synchronous : bool;
+  max_lead : int;  (** largest observed difference in transitions made *)
+  witness : (Global.t * int list) option;
+      (** a reachable state with lead > 1, when not synchronous *)
+  explored : int;
+}
+
+let lead steps =
+  match steps with
+  | [] -> 0
+  | s :: rest ->
+      let mn, mx = List.fold_left (fun (mn, mx) x -> (min mn x, max mx x)) (s, s) rest in
+      mx - mn
+
+(** [check ?limit p] explores all executions of [p], tracking per-site
+    transition counts, and reports the maximal lead.  Raises
+    {!Reachability.Too_large} beyond [limit] (default 2_000_000) states. *)
+let check ?(limit = 2_000_000) (p : Protocol.t) : result =
+  let seen = Tbl.create 4096 in
+  let queue = Queue.create () in
+  let n = Protocol.n_sites p in
+  let init = { g = Global.initial p; steps = List.init n (fun _ -> 0) } in
+  Tbl.add seen init ();
+  Queue.add init queue;
+  let max_lead = ref 0 and witness = ref None and explored = ref 0 in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    incr explored;
+    if !explored > limit then raise (Reachability.Too_large !explored);
+    let l = lead c.steps in
+    if l > !max_lead then begin
+      max_lead := l;
+      if l > 1 then witness := Some (c.g, c.steps)
+    end;
+    List.iter
+      (fun (site, _tr, g') ->
+        let steps = List.mapi (fun i s -> if i = site - 1 then s + 1 else s) c.steps in
+        let c' = { g = g'; steps } in
+        if not (Tbl.mem seen c') then begin
+          Tbl.add seen c' ();
+          Queue.add c' queue
+        end)
+      (Global.successors p c.g)
+  done;
+  { synchronous = !max_lead <= 1; max_lead = !max_lead; witness = !witness; explored = !explored }
+
+(** The adjacency lemma (paper §6): a protocol synchronous within one state
+    transition is nonblocking iff it contains no local state adjacent to
+    both a commit and an abort state, and no noncommittable state adjacent
+    to a commit state.  [lemma_check] evaluates exactly those two syntactic
+    conditions on the FSAs, given committability information.
+
+    It is only sound for synchronous protocols: callers should first verify
+    {!check}.  [Nonblocking.analyze] is the exact (graph-based) check; tests
+    validate that lemma and theorem agree on the synchronous catalog. *)
+let lemma_check (p : Protocol.t) ~(is_committable : site:Types.site -> state:string -> bool) :
+    Nonblocking.violation list =
+  let violations = ref [] in
+  List.iter
+    (fun site ->
+      let a = Protocol.automaton p site in
+      List.iter
+        (fun (s : Automaton.state) ->
+          let adj = Automaton.adjacent a s.Automaton.id in
+          let kinds = List.map (fun id -> Automaton.kind_of a id) adj in
+          let has_commit = List.exists Types.is_commit kinds
+          and has_abort = List.exists Types.is_abort kinds in
+          if has_commit && has_abort then
+            violations :=
+              { Nonblocking.site; state = s.Automaton.id; condition = `Both_commit_and_abort }
+              :: !violations;
+          if has_commit && not (is_committable ~site ~state:s.Automaton.id) then
+            violations :=
+              { Nonblocking.site; state = s.Automaton.id; condition = `Noncommittable_sees_commit }
+              :: !violations)
+        a.Automaton.states)
+    (Protocol.sites p);
+  List.rev !violations

@@ -1,0 +1,26 @@
+(** Synchronicity within one state transition (paper §4): one site never
+    leads another by more than one state transition — the hypothesis of
+    the adjacency lemma and the buffer-state design method. *)
+
+type result = {
+  synchronous : bool;
+  max_lead : int;  (** largest observed difference in transitions made *)
+  witness : (Global.t * int list) option;
+      (** a reachable state with lead > 1, when not synchronous *)
+  explored : int;
+}
+
+val check : ?limit:int -> Protocol.t -> result
+(** Explores all executions, tracking per-site transition counts.
+    @raise Reachability.Too_large beyond [limit] (default 2_000_000). *)
+
+val lemma_check :
+  Protocol.t ->
+  is_committable:(site:Types.site -> state:string -> bool) ->
+  Nonblocking.violation list
+(** The adjacency lemma (paper §6), evaluated syntactically on the FSAs:
+    no state adjacent to both a commit and an abort state, no
+    noncommittable state adjacent to a commit state.  Sound only for
+    synchronous protocols; exact on homogeneous ones, over-approximate on
+    central-site protocols (it may flag the coordinator) — the overall
+    verdict still agrees with {!Nonblocking.analyze} on the catalog. *)

@@ -1,0 +1,264 @@
+(** The design method for nonblocking protocols (paper §6, "Making the
+    canonical 2PC protocol nonblocking").
+
+    Given a protocol synchronous within one state transition, the lemma's
+    two constraints are violated only on edges leading into commit states
+    from noncommittable states.  Inserting a {e buffer state} ("prepare to
+    commit") on every such edge satisfies both constraints: the buffer state
+    is committable (it is entered only once every site has voted yes), it
+    separates the wait state from the commit state, and the extra message
+    round keeps the protocol synchronous.
+
+    Two levels are provided:
+    - {!buffer_skeleton} transforms a canonical skeleton (pure graph
+      rewrite) — applied to {!Skeleton.canonical_2pc} it yields exactly
+      {!Skeleton.canonical_3pc};
+    - {!buffer_protocol} transforms a full message-level catalog protocol
+      by splicing a prepare/ack phase in front of every commit-entering
+      transition — applied to [Catalog.central_2pc] it yields a protocol
+      whose analysis is nonblocking and whose skeleton equals canonical
+      3PC. *)
+
+(** [buffer_skeleton sk] inserts a fresh buffer state on every edge from a
+    noncommittable state into a commit state.  The buffer state is marked
+    committable; when several offending edges share a source, one buffer
+    state per (source, commit target) pair is created, named
+    ["p"], ["p1"], … *)
+let buffer_skeleton (sk : Skeleton.t) : Skeleton.t =
+  let offending =
+    List.filter
+      (fun (src, dst) ->
+        Types.is_commit (Skeleton.kind_of sk dst) && not (Skeleton.is_committable sk src))
+      sk.Skeleton.edges
+  in
+  if offending = [] then sk
+  else begin
+    let fresh_names =
+      let taken = List.map (fun s -> s.Skeleton.id) sk.Skeleton.states in
+      let rec gen i acc = function
+        | [] -> List.rev acc
+        | _ :: rest ->
+            let rec next j =
+              let cand = if j = 0 then "p" else Fmt.str "p%d" j in
+              if List.mem cand taken || List.mem cand acc then next (j + 1) else cand
+            in
+            let name = next i in
+            gen (i + 1) (name :: acc) rest
+      in
+      gen 0 [] offending
+    in
+    let buffers =
+      List.map2
+        (fun (src, dst) name -> ((src, dst), name))
+        offending fresh_names
+    in
+    let states =
+      sk.Skeleton.states
+      @ List.map
+          (fun (_, name) -> { Skeleton.id = name; kind = Types.Buffer; committable = true })
+          buffers
+    in
+    let edges =
+      List.concat_map
+        (fun (src, dst) ->
+          match List.assoc_opt (src, dst) buffers with
+          | Some name -> [ (src, name); (name, dst) ]
+          | None -> [ (src, dst) ])
+        sk.Skeleton.edges
+    in
+    Skeleton.make ~name:(sk.Skeleton.name ^ "+buffer") ~states ~initial:sk.Skeleton.initial ~edges
+  end
+
+(** Result of transforming a full protocol: the rewritten protocol plus the
+    names of the buffer states introduced at each site. *)
+type protocol_result = { protocol : Protocol.t; buffers_added : (Types.site * string) list }
+
+(* Rewrites one FSA: every transition [src -> c] where [c] is a commit state
+   and [src] is noncommittable gets split into [src -> p] and [p -> c].  In
+   the central-site paradigm the coordinator announces the new phase with
+   [prepare] and collects [ack]; slaves answer [prepare] with [ack] and wait
+   for the deferred commit notice. *)
+let buffer_automaton ~role ~peers ~(is_committable : string -> bool) (a : Automaton.t) :
+    Automaton.t * string list =
+  let offending =
+    List.filter
+      (fun (tr : Automaton.transition) ->
+        Types.is_commit (Automaton.kind_of a tr.Automaton.to_state)
+        && not (is_committable tr.Automaton.from_state))
+      a.Automaton.transitions
+  in
+  if offending = [] then (a, [])
+  else begin
+    let taken = ref (List.map (fun s -> s.Automaton.id) a.Automaton.states) in
+    let fresh () =
+      let rec next j =
+        let cand = if j = 0 then "p" else Fmt.str "p%d" j in
+        if List.mem cand !taken then next (j + 1) else cand
+      in
+      let name = next 0 in
+      taken := name :: !taken;
+      name
+    in
+    (* One buffer per source state: all offending transitions from the same
+       source share one buffer state (the prepared state is per-site, not
+       per-edge, in the message-level protocol). *)
+    let sources =
+      List.sort_uniq compare (List.map (fun tr -> tr.Automaton.from_state) offending)
+    in
+    let buffer_of = List.map (fun src -> (src, fresh ())) sources in
+    let site = a.Automaton.site in
+    let transitions =
+      List.concat_map
+        (fun (tr : Automaton.transition) ->
+          if
+            Types.is_commit (Automaton.kind_of a tr.Automaton.to_state)
+            && not (is_committable tr.Automaton.from_state)
+          then begin
+            let p = List.assoc tr.Automaton.from_state buffer_of in
+            match role with
+            | `Coordinator ->
+                (* w -[votes / prepare to all]-> p ; p -[acks / commit to all]-> c *)
+                [
+                  {
+                    tr with
+                    Automaton.to_state = p;
+                    emits = List.map (fun j -> Message.make ~name:Message.prepare ~src:site ~dst:j) peers;
+                  };
+                  {
+                    Automaton.from_state = p;
+                    to_state = tr.Automaton.to_state;
+                    consumes = List.map (fun j -> Message.make ~name:Message.ack ~src:j ~dst:site) peers;
+                    emits = tr.Automaton.emits;
+                    vote = None;
+                  };
+                ]
+            | `Slave ->
+                (* w -(prepare/ack)-> p ; p -(commit)-> c.  The original
+                   consumed commit notice moves to the second hop. *)
+                [
+                  {
+                    Automaton.from_state = tr.Automaton.from_state;
+                    to_state = p;
+                    consumes = [ Message.make ~name:Message.prepare ~src:1 ~dst:site ];
+                    emits = [ Message.make ~name:Message.ack ~src:site ~dst:1 ];
+                    vote = tr.Automaton.vote;
+                  };
+                  {
+                    Automaton.from_state = p;
+                    to_state = tr.Automaton.to_state;
+                    consumes = tr.Automaton.consumes;
+                    emits = tr.Automaton.emits;
+                    vote = None;
+                  };
+                ]
+          end
+          else [ tr ])
+        a.Automaton.transitions
+    in
+    let states =
+      a.Automaton.states
+      @ List.map (fun (_, p) -> { Automaton.id = p; kind = Types.Buffer }) buffer_of
+    in
+    ( Automaton.make ~site ~states ~initial:a.Automaton.initial ~transitions,
+      List.map snd buffer_of )
+  end
+
+(* Decentralized rewrite: every transition [src -> c] from a noncommittable
+   [src] becomes [src -> p] announcing [prepare] to every site, and
+   [p -> c] consuming the full round of prepares — one extra interchange,
+   exactly the decentralized 3PC construction. *)
+let buffer_automaton_decentralized ~n ~(is_committable : string -> bool) (a : Automaton.t) :
+    Automaton.t * string list =
+  let everyone = List.init n (fun j -> j + 1) in
+  let offending =
+    List.filter
+      (fun (tr : Automaton.transition) ->
+        Types.is_commit (Automaton.kind_of a tr.Automaton.to_state)
+        && not (is_committable tr.Automaton.from_state))
+      a.Automaton.transitions
+  in
+  if offending = [] then (a, [])
+  else begin
+    let taken = ref (List.map (fun s -> s.Automaton.id) a.Automaton.states) in
+    let fresh () =
+      let rec next j =
+        let cand = if j = 0 then "p" else Fmt.str "p%d" j in
+        if List.mem cand !taken then next (j + 1) else cand
+      in
+      let name = next 0 in
+      taken := name :: !taken;
+      name
+    in
+    let sources =
+      List.sort_uniq compare (List.map (fun tr -> tr.Automaton.from_state) offending)
+    in
+    let buffer_of = List.map (fun src -> (src, fresh ())) sources in
+    let site = a.Automaton.site in
+    let transitions =
+      List.concat_map
+        (fun (tr : Automaton.transition) ->
+          if
+            Types.is_commit (Automaton.kind_of a tr.Automaton.to_state)
+            && not (is_committable tr.Automaton.from_state)
+          then begin
+            let p = List.assoc tr.Automaton.from_state buffer_of in
+            [
+              {
+                tr with
+                Automaton.to_state = p;
+                emits = List.map (fun j -> Message.make ~name:Message.prepare ~src:site ~dst:j) everyone;
+              };
+              {
+                Automaton.from_state = p;
+                to_state = tr.Automaton.to_state;
+                consumes =
+                  List.map (fun j -> Message.make ~name:Message.prepare ~src:j ~dst:site) everyone;
+                emits = tr.Automaton.emits;
+                vote = None;
+              };
+            ]
+          end
+          else [ tr ])
+        a.Automaton.transitions
+    in
+    let states =
+      a.Automaton.states
+      @ List.map (fun (_, p) -> { Automaton.id = p; kind = Types.Buffer }) buffer_of
+    in
+    ( Automaton.make ~site ~states ~initial:a.Automaton.initial ~transitions,
+      List.map snd buffer_of )
+  end
+
+(** [buffer_protocol graph] applies the buffer-state transformation to a
+    protocol of either paradigm, using the exact committability inferred
+    from its reachable state graph to locate the offending transitions.
+    Central site: the coordinator's commit announcement becomes a prepare
+    round followed by an ack-collected commit round.  Decentralized: one
+    extra interchange of [prepare] messages precedes committing. *)
+let buffer_protocol (graph : Reachability.t) : protocol_result =
+  let p = graph.Reachability.protocol in
+  let cm = Committable.compute graph in
+  let n = Protocol.n_sites p in
+  let slaves = List.init (n - 1) (fun i -> i + 2) in
+  let buffers = ref [] in
+  let automata =
+    Array.init n (fun i ->
+        let site = i + 1 in
+        let a = Protocol.automaton p site in
+        let is_committable state = Committable.is_committable cm ~site ~state in
+        let a', added =
+          match p.Protocol.paradigm with
+          | Protocol.Central_site ->
+              let role = if site = 1 then `Coordinator else `Slave in
+              buffer_automaton ~role ~peers:slaves ~is_committable a
+          | Protocol.Decentralized -> buffer_automaton_decentralized ~n ~is_committable a
+        in
+        List.iter (fun b -> buffers := (site, b) :: !buffers) added;
+        a')
+  in
+  {
+    protocol =
+      Protocol.make ~name:(p.Protocol.name ^ "+buffer") ~paradigm:p.Protocol.paradigm ~automata
+        ~initial_network:p.Protocol.initial_network;
+    buffers_added = List.rev !buffers;
+  }

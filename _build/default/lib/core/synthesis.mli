@@ -1,0 +1,23 @@
+(** The design method for nonblocking protocols (paper §6): insert a
+    {e buffer state} ("prepare to commit") on every path from a
+    noncommittable state into a commit state. *)
+
+val buffer_skeleton : Skeleton.t -> Skeleton.t
+(** Pure graph rewrite on a canonical skeleton; on
+    {!Skeleton.canonical_2pc} it yields exactly
+    {!Skeleton.canonical_3pc}.  Identity on skeletons with no offending
+    edges. *)
+
+type protocol_result = {
+  protocol : Protocol.t;
+  buffers_added : (Types.site * string) list;  (** buffer-state names per site *)
+}
+
+val buffer_protocol : Reachability.t -> protocol_result
+(** Message-level transformation of a protocol of either paradigm,
+    locating the offending transitions via the exact committability of the
+    input graph.  Central site: the coordinator's commit announcement
+    becomes a prepare round followed by an ack-collected commit round;
+    slaves gain the prepared state.  Decentralized: one extra interchange
+    of [prepare] messages precedes committing.  On the catalog 2PC
+    protocols this reconstructs the corresponding 3PC. *)

@@ -1,0 +1,72 @@
+(** The decision rule for backup coordinators (paper §8).
+
+    When site failures interrupt a nonblocking commit protocol, the
+    operational sites elect a backup coordinator, which decides {e from its
+    local state alone}:
+
+    - if the concurrency set of its current state contains a commit state,
+      the transaction is {b committed};
+    - otherwise it is {b aborted}.
+
+    For canonical 3PC this gives: commit iff the backup's state is in
+    \{p, c\}; abort iff it is in \{q, w, a\} (the paper's termination
+    table).
+
+    The rule is {e safe} exactly when the protocol satisfies the fundamental
+    nonblocking theorem: condition 1 guarantees the chosen outcome cannot
+    contradict a final state some crashed site already reached, and
+    condition 2 guarantees that committing is only chosen from committable
+    states. *)
+
+type decision = Types.outcome = Committed | Aborted
+
+(** [decide cs ~site ~state] applies the rule using exact concurrency
+    sets. *)
+let decide (cs : Concurrency.t) ~site ~state : decision =
+  if Concurrency.contains_commit cs ~site ~state then Committed else Aborted
+
+(** [decide_skeleton sk ~state] applies the rule at the canonical level,
+    where the concurrency set is the adjacency set. *)
+let decide_skeleton (sk : Skeleton.t) ~state : decision =
+  let cs = Skeleton.concurrency_set sk state in
+  let has_commit =
+    Skeleton.String_set.exists (fun id -> Types.is_commit (Skeleton.kind_of sk id)) cs
+  in
+  if has_commit then Committed else Aborted
+
+(** The full decision table for a protocol: every occupiable (site, state)
+    pair with its decision.  This is the table the backup coordinator ships
+    with; the experiment harness prints it for canonical 3PC and compares
+    against the paper's figure. *)
+let table (graph : Reachability.t) : (Types.site * string * decision) list =
+  let cs = Concurrency.compute graph in
+  let p = graph.Reachability.protocol in
+  Protocol.sites p
+  |> List.concat_map (fun site ->
+         Concurrency.occupied_states cs ~site
+         |> List.map (fun state -> (site, state, decide cs ~site ~state)))
+
+(** Safety of the rule for a given protocol: for every state, if the rule
+    says [Committed] the concurrency set must contain no abort state, and
+    the state must be committable; if it says [Aborted] the concurrency set
+    must contain no commit state (immediate from the rule).  Returns the
+    offending states — empty iff the rule is safe, which the fundamental
+    theorem guarantees for nonblocking protocols. *)
+let unsafe_states (graph : Reachability.t) : (Types.site * string) list =
+  let cs = Concurrency.compute graph in
+  let cm = Committable.compute graph in
+  let p = graph.Reachability.protocol in
+  Protocol.sites p
+  |> List.concat_map (fun site ->
+         Concurrency.occupied_states cs ~site
+         |> List.filter (fun state ->
+                match decide cs ~site ~state with
+                | Committed ->
+                    Concurrency.contains_abort cs ~site ~state
+                    || not (Committable.is_committable cm ~site ~state)
+                | Aborted -> Concurrency.contains_commit cs ~site ~state)
+         |> List.map (fun state -> (site, state)))
+
+let pp_decision ppf = function
+  | Committed -> Fmt.string ppf "COMMIT"
+  | Aborted -> Fmt.string ppf "ABORT"

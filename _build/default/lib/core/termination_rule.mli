@@ -1,0 +1,23 @@
+(** The decision rule for backup coordinators (paper §8): commit iff the
+    concurrency set of the backup's current local state contains a commit
+    state; otherwise abort.  For canonical 3PC: commit iff the state is
+    in \{p, c\}. *)
+
+type decision = Types.outcome = Committed | Aborted
+
+val decide : Concurrency.t -> site:Types.site -> state:string -> decision
+(** The literal rule on exact concurrency sets. *)
+
+val decide_skeleton : Skeleton.t -> state:string -> decision
+(** The rule at the canonical level (adjacency concurrency sets). *)
+
+val table : Reachability.t -> (Types.site * string * decision) list
+(** The full decision table: every occupiable (site, state) pair. *)
+
+val unsafe_states : Reachability.t -> (Types.site * string) list
+(** States where the rule's decision is unsafe (commit despite a
+    co-occupiable abort or noncommittable state; abort despite a
+    co-occupiable commit).  Empty exactly when the protocol satisfies the
+    fundamental theorem — the blocking states of 2PC show up here. *)
+
+val pp_decision : Format.formatter -> decision -> unit

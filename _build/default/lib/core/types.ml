@@ -1,0 +1,49 @@
+(** Basic vocabulary shared by the whole formal model.
+
+    Sites are identified by small integers.  The distinguished identifier
+    {!env} denotes the environment (the client submitting the transaction):
+    the initial [xact]/[request] messages are injected into the network with
+    [env] as their sender, exactly as the paper leaves the distribution
+    mechanism unmodelled ("an xact message will be simply received"). *)
+
+type site = int [@@deriving eq, ord]
+(** A participating site.  Sites are numbered from 1, following the paper
+    (site 1 is the coordinator in the central-site model). *)
+
+let env : site = 0
+(** The environment pseudo-site: source of the initial transaction request. *)
+
+(** Classification of a local FSA state.  The paper partitions final states
+    into commit and abort states; intermediate states are the initial state
+    [q], wait states [w], and buffer states [p] introduced by the nonblocking
+    transformation. *)
+type state_kind =
+  | Initial  (** the state [q] occupied before the transaction arrives *)
+  | Wait  (** an intermediate, non-final state such as [w] *)
+  | Buffer  (** a prepared-to-commit buffer state such as [p] *)
+  | Commit  (** a final commit state [c] *)
+  | Abort  (** a final abort state [a] *)
+[@@deriving show { with_path = false }, eq, ord]
+
+let is_final = function
+  | Commit | Abort -> true
+  | Initial | Wait | Buffer -> false
+
+let is_commit = function Commit -> true | Initial | Wait | Buffer | Abort -> false
+let is_abort = function Abort -> true | Initial | Wait | Buffer | Commit -> false
+
+(** The vote a site casts when it first processes the transaction.  A
+    transition may be marked with the vote it embodies; committable-state
+    inference (paper §3) tracks which sites have voted yes. *)
+type vote = Yes | No [@@deriving show { with_path = false }, eq, ord]
+
+(** Outcome of a terminated distributed transaction as observed at one
+    site, or the global verdict of a run. *)
+type outcome = Committed | Aborted [@@deriving show { with_path = false }, eq, ord]
+
+let outcome_of_kind = function
+  | Commit -> Some Committed
+  | Abort -> Some Aborted
+  | Initial | Wait | Buffer -> None
+
+let pp_site ppf s = if s = env then Fmt.string ppf "env" else Fmt.pf ppf "site%d" s

@@ -1,0 +1,57 @@
+(** Basic vocabulary shared by the whole formal model. *)
+
+type site = int
+(** A participating site.  Sites are numbered from 1, following the paper
+    (site 1 is the coordinator in the central-site model). *)
+
+val equal_site : site -> site -> bool
+val compare_site : site -> site -> int
+
+val env : site
+(** The environment pseudo-site (site 0): source of the initial
+    transaction request; the paper leaves the distribution mechanism
+    unmodelled. *)
+
+(** Classification of a local FSA state.  Final states partition into
+    commit and abort states (paper §2); [Buffer] marks the
+    prepared-to-commit states introduced by the nonblocking
+    transformation. *)
+type state_kind =
+  | Initial  (** the state [q] occupied before the transaction arrives *)
+  | Wait  (** an intermediate, non-final state such as [w] *)
+  | Buffer  (** a prepared-to-commit buffer state such as [p] *)
+  | Commit  (** a final commit state [c] *)
+  | Abort  (** a final abort state [a] *)
+
+val pp_state_kind : Format.formatter -> state_kind -> unit
+val show_state_kind : state_kind -> string
+val equal_state_kind : state_kind -> state_kind -> bool
+val compare_state_kind : state_kind -> state_kind -> int
+
+val is_final : state_kind -> bool
+(** Commit and abort states are final; committing and aborting are
+    irreversible. *)
+
+val is_commit : state_kind -> bool
+val is_abort : state_kind -> bool
+
+(** The vote a site casts on committing the transaction. *)
+type vote = Yes | No
+
+val pp_vote : Format.formatter -> vote -> unit
+val show_vote : vote -> string
+val equal_vote : vote -> vote -> bool
+val compare_vote : vote -> vote -> int
+
+(** Outcome of a terminated distributed transaction. *)
+type outcome = Committed | Aborted
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val show_outcome : outcome -> string
+val equal_outcome : outcome -> outcome -> bool
+val compare_outcome : outcome -> outcome -> int
+
+val outcome_of_kind : state_kind -> outcome option
+(** The outcome a final state denotes; [None] for non-final states. *)
+
+val pp_site : Format.formatter -> site -> unit

@@ -1,0 +1,1 @@
+lib/engine/election.pp.ml: Array Fmt List Sim

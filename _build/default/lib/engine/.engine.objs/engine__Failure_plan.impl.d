@@ -1,0 +1,1 @@
+lib/engine/failure_plan.pp.ml: Core List Option Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/engine/failure_plan.pp.mli: Core Format

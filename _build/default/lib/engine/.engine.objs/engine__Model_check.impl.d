@@ -1,0 +1,1 @@
+lib/engine/model_check.pp.ml: Array Core Fmt Hashtbl List Queue Rulebook String

@@ -1,0 +1,1 @@
+lib/engine/model_check.pp.mli: Core Format Rulebook

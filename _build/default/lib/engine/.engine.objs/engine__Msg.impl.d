@@ -1,0 +1,1 @@
+lib/engine/msg.pp.ml: Core Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/engine/msg.pp.mli: Core Format

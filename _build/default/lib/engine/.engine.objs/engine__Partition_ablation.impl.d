@@ -1,0 +1,1 @@
+lib/engine/partition_ablation.pp.ml: Runtime

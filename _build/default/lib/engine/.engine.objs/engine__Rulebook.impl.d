@@ -1,0 +1,1 @@
+lib/engine/rulebook.pp.ml: Core Fmt Hashtbl List Ppx_deriving_runtime

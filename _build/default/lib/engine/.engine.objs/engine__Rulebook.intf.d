@@ -1,0 +1,1 @@
+lib/engine/rulebook.pp.mli: Core Format Hashtbl

@@ -1,0 +1,1 @@
+lib/engine/runtime.pp.ml: Array Core Failure_plan Fmt List Msg Option Rulebook Sim Wal

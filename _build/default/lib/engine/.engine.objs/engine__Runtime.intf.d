@@ -1,0 +1,1 @@
+lib/engine/runtime.pp.mli: Core Failure_plan Format Rulebook Sim

@@ -1,0 +1,1 @@
+lib/engine/wal.pp.ml: Array Core Fmt List Ppx_deriving_runtime

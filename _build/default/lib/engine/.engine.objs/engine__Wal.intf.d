@@ -1,0 +1,1 @@
+lib/engine/wal.pp.mli: Core Format

@@ -1,0 +1,35 @@
+(** A distributed election protocol (bully algorithm, highest id wins).
+
+    The paper's termination protocol begins by electing a backup
+    coordinator, noting that "any distributed election mechanism can be
+    used"; this module provides a full message-based implementation as a
+    standalone substrate (the {!Runtime} uses the simpler deterministic
+    rank rule its reliable failure detector licenses). *)
+
+type msg = Election | Answer | Coordinator of int
+
+val msg_to_string : msg -> string
+
+type t
+
+val create : ?answer_timeout:float -> n_sites:int -> seed:int -> unit -> t
+
+val run :
+  t ->
+  ?crashes:(int * float) list ->
+  ?recoveries:(int * float) list ->
+  ?until:float ->
+  unit ->
+  float
+(** Start an election at every site at time 0 and play out the failure
+    schedule; returns the final simulation time. *)
+
+val leader_at : t -> site:int -> int option
+(** The leader according to [site] at the end of the run. *)
+
+val leader_history : t -> site:int -> (float * int) list
+(** Every distinct (time, leader) declaration [site] witnessed, oldest
+    first. *)
+
+val agreement : t -> bool
+(** All operational sites agree on an operational leader. *)

@@ -1,0 +1,56 @@
+(** Failure injection plans.
+
+    A plan describes, for a single simulated run, which sites crash, when,
+    and how "cleanly".  Crashes can be pinned to protocol progress — before
+    a site's k-th state transition, or part-way through the message sends of
+    that transition (the paper's partially completed transition: "only part
+    of the messages that should be sent during a transition are actually
+    transmitted") — or to wall-clock simulation time.  Recoveries are
+    scheduled by time. *)
+
+type crash_mode =
+  | Before_transition  (** crash before logging/acting on the transition *)
+  | After_logging of int
+      (** complete the forced log write, then send only the first [k]
+          messages of the transition before crashing *)
+  | After_transition  (** crash after the transition completes fully *)
+[@@deriving show { with_path = false }, eq]
+
+type step_crash = {
+  site : Core.Types.site;
+  step : int;  (** the site's n-th protocol transition, 0-based *)
+  mode : crash_mode;
+}
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  step_crashes : step_crash list;
+  timed_crashes : (Core.Types.site * float) list;
+  recoveries : (Core.Types.site * float) list;
+  move_crashes : (Core.Types.site * int) list;
+      (** crash a backup coordinator after sending the first [k] Move_to
+          messages of termination phase 1 (cascading-failure experiments) *)
+  decide_crashes : (Core.Types.site * int) list;
+      (** crash a backup coordinator after sending the first [k] Decide
+          messages of termination phase 2 *)
+}
+[@@deriving show { with_path = false }, eq]
+
+let none =
+  { step_crashes = []; timed_crashes = []; recoveries = []; move_crashes = []; decide_crashes = [] }
+
+let make ?(step_crashes = []) ?(timed_crashes = []) ?(recoveries = []) ?(move_crashes = [])
+    ?(decide_crashes = []) () =
+  { step_crashes; timed_crashes; recoveries; move_crashes; decide_crashes }
+
+(** [crash_at_step ~site ~step ~mode] : the simplest single-crash plan. *)
+let crash_at_step ~site ~step ~mode = { none with step_crashes = [ { site; step; mode } ] }
+
+let find_step_crash t ~site ~step =
+  List.find_opt (fun c -> c.site = site && c.step = step) t.step_crashes
+  |> Option.map (fun c -> c.mode)
+
+let crashing_sites t =
+  List.map (fun c -> c.site) t.step_crashes
+  @ List.map fst t.timed_crashes @ List.map fst t.move_crashes @ List.map fst t.decide_crashes
+  |> List.sort_uniq compare

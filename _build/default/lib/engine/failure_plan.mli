@@ -1,0 +1,48 @@
+(** Failure injection plans: which sites crash, when, and how cleanly —
+    pinned to protocol progress (a site's k-th transition, possibly
+    part-way through its message sends: the paper's partially completed
+    transition) or to simulation time.  Recoveries are timed. *)
+
+type crash_mode =
+  | Before_transition  (** crash before logging/acting on the transition *)
+  | After_logging of int
+      (** complete the forced log write, then send only the first [k]
+          messages of the transition before crashing *)
+  | After_transition
+
+val pp_crash_mode : Format.formatter -> crash_mode -> unit
+val show_crash_mode : crash_mode -> string
+val equal_crash_mode : crash_mode -> crash_mode -> bool
+
+type step_crash = { site : Core.Types.site; step : int; mode : crash_mode }
+
+val pp_step_crash : Format.formatter -> step_crash -> unit
+
+type t = {
+  step_crashes : step_crash list;
+  timed_crashes : (Core.Types.site * float) list;
+  recoveries : (Core.Types.site * float) list;
+  move_crashes : (Core.Types.site * int) list;
+      (** crash a backup after sending the first [k] Move_to messages *)
+  decide_crashes : (Core.Types.site * int) list;
+      (** crash a backup after sending the first [k] Decide messages *)
+}
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val none : t
+
+val make :
+  ?step_crashes:step_crash list ->
+  ?timed_crashes:(Core.Types.site * float) list ->
+  ?recoveries:(Core.Types.site * float) list ->
+  ?move_crashes:(Core.Types.site * int) list ->
+  ?decide_crashes:(Core.Types.site * int) list ->
+  unit ->
+  t
+
+val crash_at_step : site:Core.Types.site -> step:int -> mode:crash_mode -> t
+(** The simplest single-crash plan. *)
+
+val find_step_crash : t -> site:Core.Types.site -> step:int -> crash_mode option
+val crashing_sites : t -> Core.Types.site list

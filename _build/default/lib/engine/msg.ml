@@ -1,0 +1,27 @@
+(** Wire messages exchanged by the protocol runtime: ordinary protocol FSA
+    messages, the termination protocol's two phases, and the recovery
+    protocol's outcome queries. *)
+
+type t =
+  | Proto of Core.Message.t  (** a commit-protocol FSA message *)
+  | Move_to of string  (** termination phase 1: adopt this local state *)
+  | Move_ack of string  (** acknowledgement, carrying the adopted state *)
+  | Decide of Core.Types.outcome  (** termination phase 2 / final notice *)
+  | Query_outcome  (** recovery / blocked-site query: what happened? *)
+  | Outcome_reply of Core.Types.outcome option
+  | State_req  (** quorum termination: a backup polls participant states *)
+  | State_rep of string  (** the participant's current local state *)
+[@@deriving show { with_path = false }, eq]
+
+let to_string = function
+  | Proto m -> Core.Message.show m
+  | Move_to s -> "move-to(" ^ s ^ ")"
+  | Move_ack s -> "move-ack(" ^ s ^ ")"
+  | Decide Core.Types.Committed -> "decide(commit)"
+  | Decide Core.Types.Aborted -> "decide(abort)"
+  | Query_outcome -> "query-outcome"
+  | Outcome_reply None -> "outcome-reply(unknown)"
+  | Outcome_reply (Some Core.Types.Committed) -> "outcome-reply(commit)"
+  | Outcome_reply (Some Core.Types.Aborted) -> "outcome-reply(abort)"
+  | State_req -> "state-req"
+  | State_rep s -> "state-rep(" ^ s ^ ")"

@@ -1,0 +1,16 @@
+(** Wire messages exchanged by the protocol runtime. *)
+
+type t =
+  | Proto of Core.Message.t  (** a commit-protocol FSA message *)
+  | Move_to of string  (** termination phase 1: adopt this local state *)
+  | Move_ack of string
+  | Decide of Core.Types.outcome  (** termination phase 2 / final notice *)
+  | Query_outcome  (** recovery / blocked-site query *)
+  | Outcome_reply of Core.Types.outcome option
+  | State_req  (** quorum termination: a backup polls participant states *)
+  | State_rep of string
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val to_string : t -> string

@@ -1,0 +1,18 @@
+(** The partition ablation: run a commit protocol with the paper's
+    reliable-failure-detection assumption deliberately violated.
+
+    A network partition makes each side's detector wrongly report the
+    other side as failed.  Under 3PC the minority side's termination
+    protocol then decides from its own local state while the majority
+    decides the other way — split brain, the classic limit of 3PC that
+    motivates why Skeen's model explicitly assumes the network "never
+    fails" and reports failures reliably.  Under 2PC the orphaned side
+    merely blocks (and resolves after healing), trading availability for
+    safety.
+
+    This lives next to {!Runtime} so the experiment harness and tests can
+    name the ablation explicitly. *)
+
+let run ~rulebook ~from_t ~until_t ~groups ?(seed = 1) ?(tracing = false) () : Runtime.result =
+  Runtime.run
+    (Runtime.config ~seed ~tracing ~partition:(from_t, until_t, groups) rulebook)

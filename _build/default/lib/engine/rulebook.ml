@@ -1,0 +1,117 @@
+(** The backup coordinator's rulebook, compiled from the formal analysis.
+
+    Before a protocol is deployed, its reachable state graph is analyzed
+    once; the resulting table tells a backup coordinator, for each local
+    state it may find itself in, whether the decision rule yields commit,
+    abort — or whether the state is a {e blocking} state (its concurrency
+    set offers no safe decision, which the fundamental theorem proves can
+    only happen in blocking protocols such as 2PC). *)
+
+type verdict =
+  | Decide of Core.Types.outcome
+  | Blocked  (** no safe unilateral decision exists from this state *)
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  protocol : Core.Protocol.t;
+  verdicts : (Core.Types.site * string, verdict) Hashtbl.t;
+  nonblocking : bool;  (** the fundamental theorem's verdict on the protocol *)
+  resilience : int;
+}
+
+(** [compile protocol] builds the graph, evaluates the theorem and the
+    decision rule for every occupiable (site, state) pair.
+
+    The verdict generalizes the paper's rule so it stays safe {e and}
+    coherent across sites (cascading backups must never reach opposite
+    decisions from the same state id):
+
+    - {b commit} iff the state is committable and its concurrency set
+      contains no abort state — everyone has voted yes and nobody can have
+      aborted;
+    - otherwise {b abort} iff its concurrency set contains no commit state
+      — nobody can have committed;
+    - otherwise {b blocked}.
+
+    On the canonical (homogeneous) protocols this coincides with the
+    paper's "commit iff the concurrency set contains a commit state": under
+    the theorem's condition 2 a concurrency set containing a commit state
+    implies committability.  The generalized form additionally lets the
+    central-site 3PC coordinator commit from its buffer state [p1] — whose
+    exact concurrency set contains no [c] (slaves enter [c] only after the
+    coordinator leaves [p1]) yet from which commit is the only decision
+    coherent with what a slave backup in [p] would decide. *)
+let compile (protocol : Core.Protocol.t) : t =
+  let graph = Core.Reachability.build protocol in
+  let cs = Core.Concurrency.compute graph in
+  let cm = Core.Committable.compute graph in
+  let report = Core.Nonblocking.analyze graph in
+  let verdicts = Hashtbl.create 64 in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun state ->
+          let has_commit = Core.Concurrency.contains_commit cs ~site ~state in
+          let has_abort = Core.Concurrency.contains_abort cs ~site ~state in
+          let committable = Core.Committable.is_committable cm ~site ~state in
+          let verdict =
+            if committable && not has_abort then Decide Core.Types.Committed
+            else if not has_commit then Decide Core.Types.Aborted
+            else Blocked
+          in
+          Hashtbl.replace verdicts (site, state) verdict)
+        (Core.Concurrency.occupied_states cs ~site))
+    (Core.Protocol.sites protocol);
+  (* Coherence: no state id may yield opposite decisions at two sites —
+     successive backup coordinators homogenized by phase 1 would then
+     contradict each other.  This can only arise for protocols outside the
+     catalog; refuse rather than risk inconsistency. *)
+  let by_id = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (_site, id) v ->
+      match v with
+      | Decide o -> (
+          match Hashtbl.find_opt by_id id with
+          | Some o' when o' <> o ->
+              Fmt.invalid_arg "Rulebook.compile: incoherent decisions for state %s of %s" id
+                protocol.Core.Protocol.name
+          | _ -> Hashtbl.replace by_id id o)
+      | Blocked -> ())
+    verdicts;
+  (* Final states decide themselves regardless of concurrency sets. *)
+  List.iter
+    (fun site ->
+      let a = Core.Protocol.automaton protocol site in
+      List.iter
+        (fun (s : Core.Automaton.state) ->
+          match Core.Types.outcome_of_kind s.Core.Automaton.kind with
+          | Some o -> Hashtbl.replace verdicts (site, s.Core.Automaton.id) (Decide o)
+          | None -> ())
+        a.Core.Automaton.states)
+    (Core.Protocol.sites protocol);
+  {
+    protocol;
+    verdicts;
+    nonblocking = report.Core.Nonblocking.nonblocking;
+    resilience = report.Core.Nonblocking.resilience;
+  }
+
+(** [verdict t ~site ~state] : what a backup coordinator at [site], finding
+    itself in [state], may safely do. *)
+let verdict t ~site ~state =
+  match Hashtbl.find_opt t.verdicts (site, state) with
+  | Some v -> v
+  | None ->
+      (* A state never occupied in failure-free runs (it cannot arise);
+         conservatively treat as blocked. *)
+      Blocked
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>rulebook for %s (%s, resilience %d):@," t.protocol.Core.Protocol.name
+    (if t.nonblocking then "nonblocking" else "blocking")
+    t.resilience;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.verdicts []
+  |> List.sort compare
+  |> List.iter (fun ((site, state), v) ->
+         Fmt.pf ppf "  site %d, %-4s -> %a@," site state pp_verdict v);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,35 @@
+(** The backup coordinator's rulebook, compiled from the formal analysis:
+    for each local state, whether the decision rule yields commit, abort,
+    or no safe decision at all (a blocking state — which the fundamental
+    theorem proves exist only in blocking protocols). *)
+
+type verdict =
+  | Decide of Core.Types.outcome
+  | Blocked  (** no safe unilateral decision exists from this state *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val show_verdict : verdict -> string
+val equal_verdict : verdict -> verdict -> bool
+
+type t = private {
+  protocol : Core.Protocol.t;
+  verdicts : (Core.Types.site * string, verdict) Hashtbl.t;
+  nonblocking : bool;  (** the fundamental theorem's verdict *)
+  resilience : int;
+}
+
+val compile : Core.Protocol.t -> t
+(** Builds the reachable state graph and evaluates, per (site, state):
+    commit iff the state is committable and its concurrency set contains
+    no abort state; abort iff the set contains no commit state; blocked
+    otherwise.  This generalization of the paper's rule coincides with it
+    on canonical protocols and is additionally coherent per state id
+    across sites (a cascade of backup coordinators can never reach
+    opposite decisions from the same moved-to state).
+    @raise Invalid_argument if a protocol would yield incoherent
+    decisions. *)
+
+val verdict : t -> site:Core.Types.site -> state:string -> verdict
+(** Unreachable states are conservatively [Blocked]. *)
+
+val pp : Format.formatter -> t -> unit

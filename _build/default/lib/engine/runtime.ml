@@ -1,0 +1,684 @@
+(** The protocol runtime: executes any catalog {!Core.Protocol.t} on the
+    simulator, one interpreter per site, together with the paper's
+    termination protocol (election + two-phase backup protocol) and
+    recovery protocol.
+
+    Division of labour with the formal core: the runtime {e executes};
+    every safety decision a backup coordinator takes comes from the
+    {!Rulebook} compiled from the protocol's reachable state graph — the
+    decision rule of the paper, including the detection of blocking states.
+
+    Election: the paper admits "any distributed election mechanism".  We
+    use the deterministic rule induced by the reliable failure detector the
+    paper assumes: the backup coordinator is the operational site with the
+    smallest id that has not previously crashed during this transaction
+    (a recovered site runs the recovery protocol instead of competing for
+    leadership).  Cascading failures re-run the election automatically. *)
+
+type mode =
+  | Normal  (** executing the commit protocol FSA *)
+  | Leading of { mutable awaiting : Core.Types.site list }
+      (** backup coordinator, phase 1: waiting for move acks *)
+  | Polling of { mutable awaiting : Core.Types.site list; mutable polled : (Core.Types.site * string) list }
+      (** quorum termination: collecting participant states before
+          applying the quorum decision rule *)
+  | Stalled
+      (** cannot make progress alone (blocked state, or recovered with a
+          yes vote on the log): periodically queries for the outcome *)
+
+(** How a backup coordinator decides (see {!start_termination}).
+
+    [Skeen] is the paper's rule: decide from the backup's own local state
+    via the compiled {!Rulebook} — maximally live under fail-stop crashes
+    (any single survivor terminates) but unsafe if the failure detector
+    can lie (network partitions).
+
+    [Quorum q] is the quorum-based termination the paper's companion work
+    introduces: the backup polls reachable participants and commits only
+    if at least [q] are prepared-to-commit (buffer state or beyond),
+    aborts only if at least [q] are not, and otherwise waits.  With
+    [q > n/2] two sides of a partition can never decide differently —
+    at the price of blocking minorities.  Moves are monotone (a site is
+    never demoted out of its buffer state), which makes the counts
+    one-directional and the rule cascade-safe without ballots. *)
+type termination_rule = Skeen | Quorum of int
+
+type site_rt = {
+  site : Core.Types.site;
+  automaton : Core.Automaton.t;
+  wal : Wal.t;
+  mutable state : string;
+  mutable inbox : Core.Message.Multiset.t;
+  mutable steps : int;  (** FSA transitions fired by this incarnation chain *)
+  mutable outcome : Core.Types.outcome option;
+  mutable ever_crashed : bool;
+  mutable mode : mode;
+  mutable queries_left : int;
+  mutable down_view : Core.Types.site list;  (** failure-detector reports *)
+  mutable tainted_view : Core.Types.site list;  (** sites known to have crashed at least once *)
+  mutable decided_at : float option;
+  mutable leader_rank_seen : Core.Types.site;
+      (** highest-ranked backup coordinator this site has obeyed.  Under
+          fail-stop (no recovery into leadership) successive backups have
+          strictly increasing site ids, so the rank doubles as an election
+          epoch: a Move_to from a lower rank is a stale directive from a
+          deposed (crashed) backup and must be ignored — otherwise it can
+          re-move a participant out of the state the current backup put it
+          in (the model checker found exactly that split-brain at n=4 with
+          three cascading crashes). *)
+  mutable impaired : bool;
+      (** a site failure has been detected: the commit protocol proper is
+          over and only the termination/recovery protocols may change this
+          site's state.  Without this freeze a stale in-flight protocol
+          message (e.g. a delayed [prepare]) could move a participant out
+          of the state the backup's phase 1 put it in, and a later backup
+          would decide from the drifted state — the model checker found
+          exactly that split-brain on central 3PC with two crashes. *)
+}
+
+type config = {
+  rulebook : Rulebook.t;
+  votes : (Core.Types.site * Core.Types.vote) list;  (** default: everyone votes yes *)
+  plan : Failure_plan.t;
+  seed : int;
+  tracing : bool;
+  until : float;
+  query_interval : float;
+  max_queries : int;
+  partition : (float * float * Core.Types.site list list) option;
+      (** (from, until, groups): run under a network partition, violating
+          the paper's reliable-detector assumption — the ablation that
+          shows why the assumption is needed *)
+  termination : termination_rule;
+}
+
+let config ?(votes = []) ?(plan = Failure_plan.none) ?(seed = 1) ?(tracing = false)
+    ?(until = 10_000.0) ?(query_interval = 5.0) ?(max_queries = 40) ?partition
+    ?(termination = Skeen) rulebook =
+  { rulebook; votes; plan; seed; tracing; until; query_interval; max_queries; partition; termination }
+
+(** A majority quorum for [n] sites. *)
+let majority n = (n / 2) + 1
+
+type site_report = {
+  site : Core.Types.site;
+  outcome : Core.Types.outcome option;
+  final_state : string;
+  operational : bool;  (** alive when the run ended *)
+  ever_crashed : bool;
+  decided_at : float option;
+}
+
+type result = {
+  reports : site_report list;
+  messages_sent : int;
+  messages_delivered : int;
+  duration : float;  (** latest decision time among sites that decided *)
+  global_outcome : Core.Types.outcome option;
+  consistent : bool;  (** no mix of commit and abort across all logs *)
+  blocked_operational : int;
+      (** operational never-crashed sites that ended undecided — nonzero
+          only for blocking protocols (or total-failure scenarios) *)
+  all_operational_decided : bool;
+  trace : Sim.World.trace_entry list;
+}
+
+let planned_vote cfg site =
+  Option.value ~default:Core.Types.Yes (List.assoc_opt site cfg.votes)
+
+let vote_allowed cfg site (tr : Core.Automaton.transition) =
+  match tr.Core.Automaton.vote with None -> true | Some v -> v = planned_vote cfg site
+
+(* Pick a final state id of the given outcome's kind in this automaton, for
+   aligning the FSA state with a termination decision. *)
+let final_state_for (a : Core.Automaton.t) (o : Core.Types.outcome) =
+  let want = match o with Core.Types.Committed -> Core.Types.Commit | Aborted -> Core.Types.Abort in
+  match List.find_opt (fun s -> s.Core.Automaton.kind = want) a.Core.Automaton.states with
+  | Some s -> s.Core.Automaton.id
+  | None -> (match o with Core.Types.Committed -> "c" | Aborted -> "a")
+
+let site_has_veto (a : Core.Automaton.t) =
+  List.exists
+    (fun (tr : Core.Automaton.transition) -> tr.Core.Automaton.vote = Some Core.Types.No)
+    a.Core.Automaton.transitions
+
+(** The full engine for one transaction execution. *)
+module Exec = struct
+  type t = {
+    cfg : config;
+    protocol : Core.Protocol.t;
+    world : Msg.t Sim.World.t;
+    store : Wal.Store.t;
+    rts : site_rt array;
+  }
+
+  let rt t site = t.rts.(site - 1)
+
+  let record t fmt = Sim.World.record t.world fmt
+
+  let finalize t (rt : site_rt) (o : Core.Types.outcome) =
+    if rt.outcome = None then begin
+      Wal.append rt.wal (Wal.Decided o);
+      rt.outcome <- Some o;
+      rt.decided_at <- Some (Sim.World.now t.world);
+      rt.state <- final_state_for rt.automaton o;
+      rt.mode <- Normal;
+      record t "site %d decides %s" rt.site
+        (match o with Core.Types.Committed -> "COMMIT" | Aborted -> "ABORT")
+    end
+
+  (* ---------------- FSA execution ---------------- *)
+
+  let rec try_fire t ctx (rt : site_rt) =
+    if rt.outcome = None && rt.mode = Normal && not rt.impaired then begin
+      let enabled =
+        Core.Automaton.enabled rt.automaton rt.state rt.inbox
+        |> List.filter (vote_allowed t.cfg rt.site)
+      in
+      match enabled with
+      | [] -> ()
+      | tr :: _ -> (
+          let crash_mode = Failure_plan.find_step_crash t.cfg.plan ~site:rt.site ~step:rt.steps in
+          match crash_mode with
+          | Some Failure_plan.Before_transition ->
+              record t "site %d crashes before transition %s->%s" rt.site rt.state
+                tr.Core.Automaton.to_state;
+              Sim.World.crash_self ctx
+          | _ ->
+              rt.steps <- rt.steps + 1;
+              (* Write-ahead: force the transition record before any message
+                 leaves the site. *)
+              Wal.append rt.wal
+                (Wal.Transitioned { to_state = tr.Core.Automaton.to_state; vote = tr.Core.Automaton.vote });
+              (match Core.Message.Multiset.remove_all tr.Core.Automaton.consumes rt.inbox with
+              | Some inbox -> rt.inbox <- inbox
+              | None -> assert false);
+              let crash_after_k =
+                match crash_mode with
+                | Some (Failure_plan.After_logging k) -> Some k
+                | Some Failure_plan.After_transition -> Some (List.length tr.Core.Automaton.emits)
+                | Some Failure_plan.Before_transition | None -> None
+              in
+              List.iteri
+                (fun i m ->
+                  (match crash_after_k with
+                  | Some k when i = k ->
+                      record t "site %d crashes mid-transition after %d of %d sends" rt.site k
+                        (List.length tr.Core.Automaton.emits);
+                      Sim.World.crash_self ctx
+                  | _ -> ());
+                  Sim.World.send ctx ~dst:m.Core.Message.dst (Msg.Proto m))
+                tr.Core.Automaton.emits;
+              (match crash_after_k with
+              | Some k when k >= List.length tr.Core.Automaton.emits ->
+                  record t "site %d crashes right after transition to %s" rt.site
+                    tr.Core.Automaton.to_state;
+                  Sim.World.crash_self ctx
+              | _ -> ());
+              rt.state <- tr.Core.Automaton.to_state;
+              (if Sim.World.is_alive t.world rt.site then
+                 match Core.Types.outcome_of_kind (Core.Automaton.kind_of rt.automaton rt.state) with
+                 | Some o -> finalize t rt o
+                 | None -> ());
+              if Sim.World.is_alive t.world rt.site then try_fire t ctx rt)
+    end
+
+  (* ---------------- queries (recovery & blocked sites) ---------------- *)
+
+  let rec start_query_loop t ctx (rt : site_rt) =
+    if rt.outcome = None && rt.queries_left > 0 then begin
+      rt.queries_left <- rt.queries_left - 1;
+      let peers = List.filter (fun s -> s <> rt.site) (Sim.World.sites t.world) in
+      Sim.World.broadcast ctx ~dsts:peers Msg.Query_outcome;
+      ignore
+        (Sim.World.set_timer ctx ~delay:t.cfg.query_interval (fun () -> start_query_loop t ctx rt))
+    end
+
+  let enter_stalled t ctx (rt : site_rt) =
+    if rt.mode <> Stalled then begin
+      rt.mode <- Stalled;
+      record t "site %d stalls (state %s): will query for the outcome" rt.site rt.state;
+      start_query_loop t ctx rt
+    end
+
+  (* ---------------- termination protocol ---------------- *)
+
+  (* Leadership is computed from this site's local detector reports only:
+     the paper assumes those reports are reliable, and the partition
+     ablation shows what breaks when they are not. *)
+  let eligible_leader t (rt : site_rt) =
+    let candidates =
+      Sim.World.sites t.world
+      |> List.filter (fun s ->
+             if s = rt.site then not rt.ever_crashed
+             else (not (List.mem s rt.down_view)) && not (List.mem s rt.tainted_view))
+    in
+    match candidates with [] -> None | s :: _ -> Some s
+
+  let broadcast_decide t ctx (rt : site_rt) o =
+    let peers = List.filter (fun s -> s <> rt.site) (Sim.World.sites t.world) in
+    let crash_after = List.assoc_opt rt.site t.cfg.plan.Failure_plan.decide_crashes in
+    List.iteri
+      (fun i dst ->
+        (match crash_after with
+        | Some k when i = k ->
+            record t "backup %d crashes after sending %d decide(s)" rt.site k;
+            Sim.World.crash_self ctx
+        | _ -> ());
+        Sim.World.send ctx ~dst (Msg.Decide o))
+      peers;
+    match crash_after with
+    | Some k when k >= List.length peers -> Sim.World.crash_self ctx
+    | _ -> ()
+
+  let leader_decide t ctx (rt : site_rt) =
+    match Rulebook.verdict t.cfg.rulebook ~site:rt.site ~state:rt.state with
+    | Rulebook.Decide o ->
+        finalize t rt o;
+        broadcast_decide t ctx rt o
+    | Rulebook.Blocked ->
+        (* The decision rule offers no safe outcome: the site blocks.  It
+           keeps querying in case a crashed site recovers and resolves the
+           transaction (the only way out for 2PC). *)
+        record t "backup %d is BLOCKED in state %s" rt.site rt.state;
+        enter_stalled t ctx rt
+
+  let maybe_finish_phase1 t ctx (rt : site_rt) =
+    match rt.mode with
+    | Leading l when l.awaiting = [] && rt.outcome = None -> leader_decide t ctx rt
+    | Leading _ | Polling _ | Normal | Stalled -> ()
+
+  let reachable_participants t (rt : site_rt) =
+    Sim.World.sites t.world
+    |> List.filter (fun s ->
+           s <> rt.site
+           && (not (List.mem s rt.down_view))
+           && not (List.mem s rt.tainted_view))
+
+  (* Phase 1 of the backup protocol: ask the given participants to make a
+     transition to [target]; phase 2 happens in [maybe_finish_phase1]. *)
+  let run_phase1 t ctx (rt : site_rt) ~target ~participants =
+    rt.mode <- Leading { awaiting = participants };
+    let crash_after = List.assoc_opt rt.site t.cfg.plan.Failure_plan.move_crashes in
+    List.iteri
+      (fun i dst ->
+        (match crash_after with
+        | Some k when i = k ->
+            record t "backup %d crashes after sending %d move(s)" rt.site k;
+            Sim.World.crash_self ctx
+        | _ -> ());
+        Sim.World.send ctx ~dst (Msg.Move_to target))
+      participants;
+    (match crash_after with
+    | Some k when k >= List.length participants -> Sim.World.crash_self ctx
+    | _ -> ());
+    if Sim.World.is_alive t.world rt.site then maybe_finish_phase1 t ctx rt
+
+  (* The buffer ("prepared to commit") state id of this site's FSA. *)
+  let buffer_state_id (rt : site_rt) =
+    List.find_opt
+      (fun (s : Core.Automaton.state) -> s.Core.Automaton.kind = Core.Types.Buffer)
+      rt.automaton.Core.Automaton.states
+    |> Option.map (fun s -> s.Core.Automaton.id)
+
+  (* The quorum decision rule over the collected view (which includes the
+     leader's own state).  Monotone: sites are only ever moved up into the
+     buffer state, so the prepared count can only grow and two quorate
+     decisions can never disagree. *)
+  let evaluate_quorum t ctx (rt : site_rt) ~q ~(polled : (Core.Types.site * string) list) =
+    if rt.outcome <> None then ()
+    else begin
+      let kinds =
+        List.map
+          (fun (site, state) ->
+            Core.Automaton.kind_of (Core.Protocol.automaton t.protocol site) state)
+          polled
+      in
+      let n_prepared =
+        List.length (List.filter (fun k -> k = Core.Types.Buffer || Core.Types.is_commit k) kinds)
+      in
+      let n_unprepared = List.length kinds - n_prepared in
+      if List.exists Core.Types.is_commit kinds then begin
+        record t "quorum backup %d: a commit is visible -> COMMIT" rt.site;
+        finalize t rt Core.Types.Committed;
+        broadcast_decide t ctx rt Core.Types.Committed
+      end
+      else if List.exists Core.Types.is_abort kinds then begin
+        record t "quorum backup %d: an abort is visible -> ABORT" rt.site;
+        finalize t rt Core.Types.Aborted;
+        broadcast_decide t ctx rt Core.Types.Aborted
+      end
+      else if n_prepared >= q then begin
+        match buffer_state_id rt with
+        | Some p ->
+            record t "quorum backup %d: %d prepared >= %d -> move up and COMMIT" rt.site
+              n_prepared q;
+            if rt.state <> p then begin
+              Wal.append rt.wal (Wal.Moved { to_state = p });
+              rt.state <- p
+            end;
+            run_phase1 t ctx rt ~target:p
+              ~participants:(List.filter_map (fun (s, _) -> if s <> rt.site then Some s else None) polled)
+        | None ->
+            (* no buffer state (a 2PC run under the quorum rule): without
+               a visible commit there is nothing safe to promote *)
+            record t "quorum backup %d: no buffer state, cannot commit -> wait" rt.site;
+            enter_stalled t ctx rt
+      end
+      else if n_unprepared >= q && buffer_state_id rt <> None then begin
+        (* Monotonicity makes phase 1 unnecessary on the abort side: the
+           unprepared count can only have been larger in the past, so no
+           commit quorum can ever have existed.  This reasoning consumes
+           the buffer phase: it is sound only for protocols whose commit is
+           gated by a quorum of prepared-to-commit sites.  In 2PC the
+           coordinator commits straight from its wait state, so a quorum of
+           unprepared participants proves nothing — the model checker found
+           exactly that unsoundness, hence the buffer-state guard. *)
+        record t "quorum backup %d: %d unprepared >= %d -> ABORT" rt.site n_unprepared q;
+        finalize t rt Core.Types.Aborted;
+        broadcast_decide t ctx rt Core.Types.Aborted
+      end
+      else begin
+        record t "quorum backup %d: no quorum (%d prepared, %d unprepared, need %d) -> wait"
+          rt.site n_prepared n_unprepared q;
+        enter_stalled t ctx rt
+      end
+    end
+
+  let maybe_finish_poll t ctx (rt : site_rt) ~q =
+    match rt.mode with
+    | Polling p when p.awaiting = [] ->
+        rt.mode <- Normal;
+        evaluate_quorum t ctx rt ~q ~polled:p.polled
+    | Polling _ | Leading _ | Normal | Stalled -> ()
+
+  let start_termination t ctx (rt : site_rt) =
+    match rt.mode with
+    | Leading _ | Polling _ | Stalled -> ()
+    | Normal -> (
+        record t "site %d becomes backup coordinator (state %s)" rt.site rt.state;
+        rt.leader_rank_seen <- max rt.leader_rank_seen rt.site;
+        Sim.Metrics.incr (Sim.World.metrics t.world) "elections";
+        match rt.outcome with
+        | Some o ->
+            (* Already final: phase 1 may be omitted (paper §8). *)
+            broadcast_decide t ctx rt o
+        | None -> (
+            match t.cfg.termination with
+            | Quorum q -> (
+                (* poll the reachable participants' states first *)
+                let participants = reachable_participants t rt in
+                rt.mode <- Polling { awaiting = participants; polled = [ (rt.site, rt.state) ] };
+                List.iter (fun dst -> Sim.World.send ctx ~dst Msg.State_req) participants;
+                maybe_finish_poll t ctx rt ~q)
+            | Skeen -> (
+                match Rulebook.verdict t.cfg.rulebook ~site:rt.site ~state:rt.state with
+                | Rulebook.Blocked ->
+                    record t "backup %d is BLOCKED in state %s" rt.site rt.state;
+                    enter_stalled t ctx rt
+                | Rulebook.Decide _ ->
+                    (* Phase 1: move every reachable, never-crashed
+                       participant to our local state, then decide. *)
+                    run_phase1 t ctx rt ~target:rt.state
+                      ~participants:(reachable_participants t rt))))
+
+  let reconsider_leadership t ctx (rt : site_rt) =
+    match eligible_leader t rt with
+    | Some s when s = rt.site -> start_termination t ctx rt
+    | Some _ -> ()
+    | None ->
+        (* Every site has crashed at least once: no termination protocol can
+           run; undecided survivors fall back to querying. *)
+        if rt.outcome = None then enter_stalled t ctx rt
+
+  (* ---------------- handlers ---------------- *)
+
+  let on_message t ctx ~src msg =
+    let rt = rt t ctx.Sim.World.self in
+    match msg with
+    | Msg.Proto m ->
+        if rt.outcome = None then begin
+          rt.inbox <- Core.Message.Multiset.add m rt.inbox;
+          try_fire t ctx rt
+        end
+    | Msg.Move_to s -> (
+        match rt.outcome with
+        | Some o -> Sim.World.send ctx ~dst:src (Msg.Decide o)
+        | None ->
+            if rt.ever_crashed then
+              (* Recovered sites follow the recovery protocol only. *)
+              ()
+            else if src < rt.leader_rank_seen then
+              (* a stale directive from a deposed backup: ignore it *)
+              record t "site %d ignores stale move from deposed backup %d" rt.site src
+            else begin
+              (* a backup with higher authority (from a view in which we
+                 are not the leader) is directing us: abandon any poll of
+                 our own and follow it *)
+              rt.leader_rank_seen <- src;
+              (match rt.mode with Polling _ -> rt.mode <- Normal | Normal | Leading _ | Stalled -> ());
+              if rt.state <> s then begin
+                Wal.append rt.wal (Wal.Moved { to_state = s });
+                record t "site %d moves %s -> %s at backup's request" rt.site rt.state s;
+                rt.state <- s
+              end;
+              Sim.World.send ctx ~dst:src (Msg.Move_ack s)
+            end)
+    | Msg.Move_ack _ -> (
+        match rt.mode with
+        | Leading l ->
+            l.awaiting <- List.filter (fun x -> x <> src) l.awaiting;
+            maybe_finish_phase1 t ctx rt
+        | Polling _ | Normal | Stalled -> ())
+    | Msg.State_req ->
+        (* quorum poll: recovered sites that have not resolved keep quiet
+           (their pre-crash state is stale); everyone else reports *)
+        if rt.outcome <> None || not rt.ever_crashed then
+          Sim.World.send ctx ~dst:src (Msg.State_rep rt.state)
+    | Msg.State_rep s -> (
+        match (rt.mode, t.cfg.termination) with
+        | Polling p, Quorum q ->
+            if not (List.mem_assoc src p.polled) then p.polled <- (src, s) :: p.polled;
+            p.awaiting <- List.filter (fun x -> x <> src) p.awaiting;
+            maybe_finish_poll t ctx rt ~q
+        | _ -> ())
+    | Msg.Decide o ->
+        let was_leading =
+          match rt.mode with Leading _ -> true | Polling _ | Normal | Stalled -> false
+        in
+        if rt.outcome = None then begin
+          finalize t rt o;
+          (* A participant that was already final answered our Move_to with
+             the outcome: relay it so phase 2 still reaches everyone. *)
+          if was_leading then broadcast_decide t ctx rt o
+        end
+    | Msg.Query_outcome -> Sim.World.send ctx ~dst:src (Msg.Outcome_reply rt.outcome)
+    | Msg.Outcome_reply (Some o) ->
+        let was_stalled = rt.mode = Stalled in
+        if rt.outcome = None then begin
+          finalize t rt o;
+          (* A blocked backup that finally learned the outcome spreads it to
+             the other blocked sites. *)
+          if was_stalled then broadcast_decide t ctx rt o
+        end
+    | Msg.Outcome_reply None -> ()
+
+  let on_peer_down t ctx failed =
+    let rt = rt t ctx.Sim.World.self in
+    rt.impaired <- true;
+    if not (List.mem failed rt.down_view) then rt.down_view <- failed :: rt.down_view;
+    if not (List.mem failed rt.tainted_view) then rt.tainted_view <- failed :: rt.tainted_view;
+    (match rt.mode with
+    | Leading l ->
+        l.awaiting <- List.filter (fun x -> x <> failed) l.awaiting;
+        maybe_finish_phase1 t ctx rt
+    | Polling p ->
+        p.awaiting <- List.filter (fun x -> x <> failed) p.awaiting;
+        (match t.cfg.termination with
+        | Quorum q -> maybe_finish_poll t ctx rt ~q
+        | Skeen -> ())
+    | Normal | Stalled -> ());
+    (* Even a site that has already decided must reconsider: if it is now
+       the backup coordinator it announces the outcome, so that sites left
+       waiting by a coordinator that crashed mid-broadcast still learn it. *)
+    reconsider_leadership t ctx rt
+
+  let on_peer_up t ctx recovered =
+    let rt = rt t ctx.Sim.World.self in
+    rt.down_view <- List.filter (fun x -> x <> recovered) rt.down_view;
+    (* tainted_view keeps genuinely crashed sites out of leadership; a
+       healed partition however reported sites "down" that never crashed,
+       and under the quorum rule a blocked minority must now re-poll *)
+    match t.cfg.termination with
+    | Quorum _ when rt.outcome = None ->
+        (match rt.mode with
+        | Stalled | Polling _ -> rt.mode <- Normal
+        | Normal | Leading _ -> ());
+        reconsider_leadership t ctx rt
+    | Quorum _ | Skeen -> ()
+
+  (* Recovery protocol (paper §7): classify the stable log.  Before the
+     commit point — no yes vote on the log — the site aborts unilaterally,
+     provided its protocol gives it a veto at all; otherwise, and after a
+     yes vote, it must learn the outcome from its peers. *)
+  let on_restart t ctx =
+    let rt = rt t ctx.Sim.World.self in
+    rt.ever_crashed <- true;
+    rt.inbox <- Core.Message.Multiset.empty;
+    rt.mode <- Normal;
+    (match Wal.last_state rt.wal with Some s -> rt.state <- s | None -> ());
+    rt.steps <-
+      List.length
+        (List.filter (function Wal.Transitioned _ -> true | _ -> false) (Wal.records rt.wal));
+    (match Wal.decided rt.wal with
+    | Some o ->
+        rt.outcome <- Some o;
+        rt.state <- final_state_for rt.automaton o
+    | None -> (
+        match Core.Types.outcome_of_kind (Core.Automaton.kind_of rt.automaton rt.state) with
+        | Some o ->
+            (* The forced log reached a final state before the crash: the
+               decision stands even if the [Decided] record is missing. *)
+            finalize t rt o
+        | None ->
+            if (not (Wal.voted_yes rt.wal)) && site_has_veto rt.automaton then begin
+              record t "site %d recovers before its commit point: unilateral abort" rt.site;
+              finalize t rt Core.Types.Aborted
+            end
+            else begin
+              record t "site %d recovers after voting yes: must ask peers" rt.site;
+              enter_stalled t ctx rt
+            end));
+    Sim.Metrics.incr (Sim.World.metrics t.world) "recoveries_processed"
+
+  let handlers t _site : Msg.t Sim.World.handlers =
+    {
+      Sim.World.on_start = (fun _ctx -> ());
+      on_message = (fun ctx ~src msg -> on_message t ctx ~src msg);
+      on_peer_down = (fun ctx failed -> on_peer_down t ctx failed);
+      on_peer_up = (fun ctx recovered -> on_peer_up t ctx recovered);
+      on_restart = (fun ctx -> on_restart t ctx);
+    }
+end
+
+(** [run cfg] executes one distributed transaction under the configured
+    protocol, votes and failure plan, and reports the outcome at every
+    site. *)
+let run (cfg : config) : result =
+  let protocol = cfg.rulebook.Rulebook.protocol in
+  let n = Core.Protocol.n_sites protocol in
+  let world = Sim.World.create ~n_sites:n ~seed:cfg.seed ~msg_to_string:Msg.to_string () in
+  Sim.World.set_tracing world cfg.tracing;
+  let store = Wal.Store.create ~n_sites:n in
+  let rts =
+    Array.init n (fun i ->
+        let site = i + 1 in
+        let automaton = Core.Protocol.automaton protocol site in
+        let wal = Wal.Store.log store ~site in
+        Wal.append wal
+          (Wal.Began { protocol = protocol.Core.Protocol.name; initial = automaton.Core.Automaton.initial });
+        {
+          site;
+          automaton;
+          wal;
+          state = automaton.Core.Automaton.initial;
+          inbox = Core.Message.Multiset.empty;
+          steps = 0;
+          outcome = None;
+          ever_crashed = false;
+          mode = Normal;
+          queries_left = cfg.max_queries;
+          down_view = [];
+          tainted_view = [];
+          decided_at = None;
+          leader_rank_seen = 0;
+          impaired = false;
+        })
+  in
+  let exec = { Exec.cfg; protocol; world; store; rts } in
+  (* Environment input: the initial transaction requests. *)
+  List.iter
+    (fun m -> Sim.World.inject world ~dst:m.Core.Message.dst ~at:0.01 (Msg.Proto m))
+    protocol.Core.Protocol.initial_network;
+  (* Timed failures and recoveries. *)
+  List.iter (fun (s, at) -> Sim.World.schedule_crash world ~at s) cfg.plan.Failure_plan.timed_crashes;
+  List.iter
+    (fun (s, at) -> Sim.World.schedule_recovery world ~at s)
+    cfg.plan.Failure_plan.recoveries;
+  (match cfg.partition with
+  | Some (from_t, until_t, groups) when groups <> [] ->
+      Sim.World.schedule_partition world ~from_t ~until_t groups
+  | Some _ | None -> ());
+  ignore (Sim.World.run world ~handlers:(Exec.handlers exec) ~until:cfg.until ());
+  (* ---- reporting ---- *)
+  let reports =
+    Array.to_list rts
+    |> List.map (fun (rt : site_rt) ->
+           {
+             site = rt.site;
+             outcome = rt.outcome;
+             final_state = rt.state;
+             operational = Sim.World.is_alive world rt.site;
+             ever_crashed = rt.ever_crashed || not (Sim.World.is_alive world rt.site);
+             decided_at = rt.decided_at;
+           })
+  in
+  let outcomes = List.filter_map (fun r -> r.outcome) reports in
+  let has_commit = List.mem Core.Types.Committed outcomes
+  and has_abort = List.mem Core.Types.Aborted outcomes in
+  let operational_undecided =
+    List.filter (fun r -> r.operational && (not r.ever_crashed) && r.outcome = None) reports
+  in
+  let metrics = Sim.World.metrics world in
+  {
+    reports;
+    messages_sent = Sim.Metrics.counter metrics "messages_sent";
+    messages_delivered = Sim.Metrics.counter metrics "messages_delivered";
+    duration =
+      List.fold_left (fun acc r -> match r.decided_at with Some x -> max acc x | None -> acc) 0.0
+        reports;
+    global_outcome =
+      (if has_commit then Some Core.Types.Committed
+       else if has_abort then Some Core.Types.Aborted
+       else None);
+    consistent = not (has_commit && has_abort);
+    blocked_operational = List.length operational_undecided;
+    all_operational_decided = operational_undecided = [];
+    trace = Sim.World.trace_entries world;
+  }
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "site %d: %s state=%s%s%s@," s.site
+        (match s.outcome with
+        | Some Core.Types.Committed -> "COMMITTED"
+        | Some Core.Types.Aborted -> "ABORTED"
+        | None -> "undecided")
+        s.final_state
+        (if s.operational then "" else " (down)")
+        (if s.ever_crashed then " (crashed)" else ""))
+    r.reports;
+  Fmt.pf ppf "messages: %d sent, %d delivered@,consistent: %b, blocked operational: %d@]"
+    r.messages_sent r.messages_delivered r.consistent r.blocked_operational

@@ -1,0 +1,87 @@
+(** The protocol runtime: executes any catalog {!Core.Protocol.t} on the
+    simulator — one FSA interpreter per site — together with the paper's
+    termination protocol (election + two-phase backup protocol) and
+    recovery protocol.  Every failure-time decision comes from the
+    compiled {!Rulebook}.
+
+    Election: the backup coordinator is the operational site with the
+    smallest id that has not previously crashed during this transaction
+    (deterministic under the paper's reliable failure detector);
+    recovered sites run the recovery protocol instead of competing.
+    Cascading failures re-run the election automatically. *)
+
+(** How a backup coordinator decides.
+
+    [Skeen] is the paper's rule: decide from the backup's own local state
+    via the compiled {!Rulebook} — maximally live under fail-stop crashes
+    (any single survivor terminates) but unsafe if the failure detector
+    can lie (network partitions).
+
+    [Quorum q] is quorum-based termination (the direction of Skeen's
+    companion quorum-commit work): the backup polls reachable
+    participants and commits only if at least [q] are prepared-to-commit,
+    aborts only if at least [q] are not, and otherwise waits.  With
+    [q > n/2] two partition sides can never decide differently, at the
+    price of blocking minorities.  Moves are monotone (no demotions), so
+    the rule is cascade-safe without ballots. *)
+type termination_rule = Skeen | Quorum of int
+
+val majority : int -> int
+(** [majority n = n/2 + 1]. *)
+
+type config = {
+  rulebook : Rulebook.t;
+  votes : (Core.Types.site * Core.Types.vote) list;  (** default: everyone votes yes *)
+  plan : Failure_plan.t;
+  seed : int;
+  tracing : bool;
+  until : float;
+  query_interval : float;
+  max_queries : int;
+  partition : (float * float * Core.Types.site list list) option;
+      (** (from, until, groups): run under a network partition, violating
+          the paper's reliable-detector assumption *)
+  termination : termination_rule;
+}
+
+val config :
+  ?votes:(Core.Types.site * Core.Types.vote) list ->
+  ?plan:Failure_plan.t ->
+  ?seed:int ->
+  ?tracing:bool ->
+  ?until:float ->
+  ?query_interval:float ->
+  ?max_queries:int ->
+  ?partition:float * float * Core.Types.site list list ->
+  ?termination:termination_rule ->
+  Rulebook.t ->
+  config
+
+type site_report = {
+  site : Core.Types.site;
+  outcome : Core.Types.outcome option;
+  final_state : string;
+  operational : bool;  (** alive when the run ended *)
+  ever_crashed : bool;
+  decided_at : float option;
+}
+
+type result = {
+  reports : site_report list;
+  messages_sent : int;
+  messages_delivered : int;
+  duration : float;  (** latest decision time among deciding sites *)
+  global_outcome : Core.Types.outcome option;
+  consistent : bool;  (** no mix of commit and abort across all logs *)
+  blocked_operational : int;
+      (** operational never-crashed sites left undecided — nonzero only
+          for blocking protocols or total-failure scenarios *)
+  all_operational_decided : bool;
+  trace : Sim.World.trace_entry list;
+}
+
+val run : config -> result
+(** Executes one distributed transaction under the configured protocol,
+    votes and failure plan.  Deterministic in the seed. *)
+
+val pp_result : Format.formatter -> result -> unit

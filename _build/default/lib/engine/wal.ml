@@ -1,0 +1,59 @@
+(** Per-site write-ahead log on stable storage.
+
+    The paper assumes each site has a local recovery strategy providing
+    atomicity at the local level.  We model it with an append-only log that
+    survives crashes (it lives outside the site's volatile state): the
+    protocol runtime forces a record {e before} acting on a state
+    transition, and the recovery protocol replays the log to classify where
+    the site was when it failed. *)
+
+type record =
+  | Began of { protocol : string; initial : string }
+  | Transitioned of { to_state : string; vote : Core.Types.vote option }
+      (** a protocol FSA transition, logged before its messages are sent *)
+  | Moved of { to_state : string }
+      (** phase 1 of the termination protocol: adopted the backup's state *)
+  | Decided of Core.Types.outcome
+[@@deriving show { with_path = false }, eq]
+
+type t = { mutable records : record list (* newest first *) }
+
+let create () = { records = [] }
+let append t r = t.records <- r :: t.records
+let records t = List.rev t.records
+let length t = List.length t.records
+
+(** Last logged local state, replayed in order: [Began] sets it,
+    [Transitioned]/[Moved] update it. *)
+let last_state t =
+  List.fold_left
+    (fun acc r ->
+      match r with
+      | Began { initial; _ } -> Some initial
+      | Transitioned { to_state; _ } | Moved { to_state } -> Some to_state
+      | Decided _ -> acc)
+    None (records t)
+
+(** Whether the site had cast a yes vote before the log ends — the paper's
+    "commit point" question for a participant: before voting yes it may
+    abort unilaterally upon recovery. *)
+let voted_yes t =
+  List.exists
+    (function Transitioned { vote = Some Core.Types.Yes; _ } -> true | _ -> false)
+    (records t)
+
+let decided t =
+  List.fold_left (fun acc r -> match r with Decided o -> Some o | _ -> acc) None (records t)
+
+let pp ppf t = Fmt.(list ~sep:cut pp_record) ppf (records t)
+
+(** Stable storage for a whole simulated system: one log per site,
+    surviving that site's crashes. *)
+module Store = struct
+  type wal = t
+  type nonrec t = wal array (* index = site - 1 *)
+
+  let create ~n_sites : t = Array.init n_sites (fun _ -> create ())
+
+  let log (t : t) ~site = t.(site - 1)
+end

@@ -1,0 +1,45 @@
+(** Per-site write-ahead log on stable storage: the protocol runtime
+    forces a record before acting on a state transition; the recovery
+    protocol replays the log to classify where the site was when it
+    failed. *)
+
+type record =
+  | Began of { protocol : string; initial : string }
+  | Transitioned of { to_state : string; vote : Core.Types.vote option }
+      (** a protocol FSA transition, logged before its messages are sent *)
+  | Moved of { to_state : string }
+      (** termination phase 1: adopted the backup's state *)
+  | Decided of Core.Types.outcome
+
+val pp_record : Format.formatter -> record -> unit
+val show_record : record -> string
+val equal_record : record -> record -> bool
+
+type t
+
+val create : unit -> t
+val append : t -> record -> unit
+val records : t -> record list
+(** Oldest first. *)
+
+val length : t -> int
+
+val last_state : t -> string option
+(** Last logged local state, replayed in order. *)
+
+val voted_yes : t -> bool
+(** Whether the site cast a yes vote before the log ends — the "commit
+    point" question for a participant. *)
+
+val decided : t -> Core.Types.outcome option
+val pp : Format.formatter -> t -> unit
+
+(** Stable storage for a whole simulated system: one log per site,
+    surviving that site's crashes. *)
+module Store : sig
+  type wal = t
+  type t
+
+  val create : n_sites:int -> t
+  val log : t -> site:Core.Types.site -> wal
+end

@@ -1,0 +1,1 @@
+lib/kv/db.pp.ml: Array Core Fmt Hashtbl Kv_msg Kv_wal List Node Ppx_deriving_runtime Sim Storage Txn

@@ -1,0 +1,1 @@
+lib/kv/db.pp.mli: Core Format Node Txn

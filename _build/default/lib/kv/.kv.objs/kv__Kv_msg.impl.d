@@ -1,0 +1,1 @@
+lib/kv/kv_msg.pp.ml: Core Fmt List Ppx_deriving_runtime Txn

@@ -1,0 +1,1 @@
+lib/kv/kv_msg.pp.mli: Core Format Txn

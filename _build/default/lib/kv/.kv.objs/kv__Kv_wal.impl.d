@@ -1,0 +1,1 @@
+lib/kv/kv_wal.pp.ml: Core List Lock_table Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/kv/kv_wal.pp.mli: Core Format Lock_table

@@ -1,0 +1,1 @@
+lib/kv/lock_table.pp.ml: Hashtbl List Ppx_deriving_runtime Queue

@@ -1,0 +1,1 @@
+lib/kv/lock_table.pp.mli: Format

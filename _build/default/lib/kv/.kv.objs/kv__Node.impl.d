@@ -1,0 +1,1 @@
+lib/kv/node.pp.ml: Core Hashtbl Kv_msg Kv_wal List Lock_table Ppx_deriving_runtime Sim Storage Txn

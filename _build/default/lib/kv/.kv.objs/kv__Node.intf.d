@@ -1,0 +1,1 @@
+lib/kv/node.pp.mli: Core Format Hashtbl Kv_msg Kv_wal Lock_table Sim Storage Txn

@@ -1,0 +1,1 @@
+lib/kv/storage.pp.mli:

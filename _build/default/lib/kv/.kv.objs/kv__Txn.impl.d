@@ -1,0 +1,1 @@
+lib/kv/txn.pp.ml: Hashtbl List Lock_table Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/kv/txn.pp.mli: Core Format Lock_table

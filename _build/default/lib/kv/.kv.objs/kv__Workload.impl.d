@@ -1,0 +1,1 @@
+lib/kv/workload.pp.ml: Array Float Fmt List Sim Txn

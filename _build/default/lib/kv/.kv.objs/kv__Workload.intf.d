@@ -1,0 +1,1 @@
+lib/kv/workload.pp.mli: Sim Txn

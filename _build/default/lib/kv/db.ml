@@ -1,0 +1,207 @@
+(** The distributed database: n sites, hash-partitioned keys, concurrent
+    transactions committed with either 2PC or the paper's nonblocking 3PC.
+    This is the end-to-end harness for experiment E12: what does the extra
+    phase cost, and what does blocking cost, on a live workload with
+    failures. *)
+
+type config = {
+  n_sites : int;
+  protocol : Node.protocol;
+  presumption : Node.presumption;
+  termination : Node.termination;
+  read_only_opt : bool;
+  seed : int;
+  lock_wait_timeout : float;
+  query_interval : float;
+  query_budget : int;
+  tracing : bool;
+  until : float;
+  crashes : (Core.Types.site * float) list;
+  recoveries : (Core.Types.site * float) list;
+  partitions : (float * float * Core.Types.site list list) list;
+  initial_data : (string * int) list;
+}
+
+let config ?(n_sites = 4) ?(protocol = Node.Three_phase) ?(presumption = Node.No_presumption)
+    ?(termination = Node.T_skeen) ?(read_only_opt = false) ?(seed = 1) ?(lock_wait_timeout = 25.0)
+    ?(query_interval = 10.0) ?(query_budget = 200) ?(tracing = false) ?(until = 100_000.0)
+    ?(crashes = []) ?(recoveries = []) ?(partitions = []) ?(initial_data = []) () =
+  {
+    n_sites;
+    protocol;
+    presumption;
+    termination;
+    read_only_opt;
+    seed;
+    lock_wait_timeout;
+    query_interval;
+    query_budget;
+    tracing;
+    until;
+    crashes;
+    recoveries;
+    partitions;
+    initial_data;
+  }
+
+type txn_fate = Fate_committed | Fate_aborted | Fate_pending
+[@@deriving show { with_path = false }, eq]
+
+type result = {
+  committed : int;
+  aborted : int;
+  pending : int;  (** submitted but unresolved when the run ended (blocked) *)
+  deadlock_aborts : int;
+  duration : float;  (** simulated time when the system went quiescent *)
+  throughput : float;  (** committed transactions per time unit *)
+  mean_latency : float option;  (** submission → coordinator decision, committed+aborted *)
+  blocked_time : float;  (** total lock-time spent blocked across sites *)
+  messages_sent : int;
+  atomicity_ok : bool;
+      (** every transaction's outcome agrees across all logs, and committed
+          writes are applied at every operational participant *)
+  fates : (int * txn_fate) list;
+  storage_totals : int;  (** sum of all values across all sites *)
+  metrics : (string * int) list;
+}
+
+(** [run cfg workload] executes [workload] (arrival-time, transaction)
+    pairs and reports aggregate behaviour.  Deterministic in [cfg.seed]. *)
+let run (cfg : config) (workload : (float * Txn.t) list) : result =
+  let world =
+    Sim.World.create ~n_sites:cfg.n_sites ~seed:cfg.seed ~msg_to_string:Kv_msg.to_string ()
+  in
+  Sim.World.set_tracing world cfg.tracing;
+  let storages = Array.init cfg.n_sites (fun _ -> Storage.create ()) in
+  let wals = Array.init cfg.n_sites (fun _ -> Kv_wal.create ()) in
+  (* partition the initial data *)
+  List.iter
+    (fun (k, v) ->
+      let site = Txn.owner ~n_sites:cfg.n_sites k in
+      Storage.load storages.(site - 1) [ (k, v) ])
+    cfg.initial_data;
+  let nodes =
+    Array.init cfg.n_sites (fun i ->
+        Node.create ~presumption:cfg.presumption ~termination:cfg.termination
+          ~read_only_opt:cfg.read_only_opt ~site:(i + 1)
+          ~n_sites:cfg.n_sites ~protocol:cfg.protocol ~storage:storages.(i) ~wal:wals.(i)
+          ~lock_wait_timeout:cfg.lock_wait_timeout ~query_interval:cfg.query_interval
+          ~query_budget:cfg.query_budget ())
+  in
+  let node site = nodes.(site - 1) in
+  let handlers site : Kv_msg.t Sim.World.handlers =
+    let n = node site in
+    {
+      Sim.World.on_start = (fun ctx -> Node.install_grant_hook n ctx);
+      on_message = (fun ctx ~src msg -> Node.on_message n ctx ~src msg);
+      on_peer_down = (fun ctx failed -> Node.on_peer_down n ctx failed);
+      on_peer_up = (fun ctx recovered -> Node.on_peer_up n ctx recovered);
+      on_restart =
+        (fun ctx ->
+          Node.install_grant_hook n ctx;
+          Node.on_restart n ctx);
+    }
+  in
+  (* client arrivals *)
+  List.iter
+    (fun (at, txn) ->
+      let coord = Txn.coordinator ~n_sites:cfg.n_sites txn in
+      Sim.World.inject world ~dst:coord ~at (Kv_msg.Client_begin txn))
+    workload;
+  List.iter (fun (s, at) -> Sim.World.schedule_crash world ~at s) cfg.crashes;
+  List.iter
+    (fun (from_t, until_t, groups) -> Sim.World.schedule_partition world ~from_t ~until_t groups)
+    cfg.partitions;
+  List.iter (fun (s, at) -> Sim.World.schedule_recovery world ~at s) cfg.recoveries;
+  let duration = Sim.World.run world ~handlers ~until:cfg.until () in
+  (* transactions still blocked at quiescence never resolved: account their
+     lock-holding time up to the end of the run *)
+  Array.iter
+    (fun (n : Node.t) ->
+      Hashtbl.iter
+        (fun _ (p : Node.p_txn) ->
+          match p.Node.blocked_since with
+          | Some t0 ->
+              n.Node.blocked_time <- n.Node.blocked_time +. (duration -. t0);
+              p.Node.blocked_since <- None
+          | None -> ())
+        n.Node.p_txns)
+    nodes;
+  (* ---- collect outcomes across all stable logs ---- *)
+  let fate_tbl : (int, txn_fate) Hashtbl.t = Hashtbl.create 64 in
+  let contradiction = ref false in
+  let note txn fate =
+    match Hashtbl.find_opt fate_tbl txn with
+    | None -> Hashtbl.replace fate_tbl txn fate
+    | Some f when f = fate -> ()
+    | Some Fate_pending -> Hashtbl.replace fate_tbl txn fate
+    | Some _ when fate = Fate_pending -> ()
+    | Some _ -> contradiction := true
+  in
+  List.iter (fun (_, txn) -> note txn.Txn.id Fate_pending) workload;
+  Array.iter
+    (fun wal ->
+      List.iter
+        (fun r ->
+          match r with
+          | Kv_wal.C_decided { txn; commit } | Kv_wal.P_outcome { txn; commit } ->
+              note txn (if commit then Fate_committed else Fate_aborted)
+          | _ -> ())
+        (Kv_wal.records wal))
+    wals;
+  (* committed writes must be applied at every participant site that is
+     currently operational (a down site applies them on recovery) *)
+  let applied_ok = ref true in
+  Hashtbl.iter
+    (fun txn fate ->
+      if fate = Fate_committed then
+        match List.find_opt (fun (_, t) -> t.Txn.id = txn) workload with
+        | None -> ()
+        | Some (_, t) ->
+            List.iter
+              (fun site ->
+                if
+                  Sim.World.is_alive world site
+                  && Txn.ops_for ~n_sites:cfg.n_sites t ~site
+                     |> List.exists (function Txn.Put _ | Txn.Add _ -> true | Txn.Get _ -> false)
+                  && not (Storage.has_applied storages.(site - 1) ~txn)
+                then applied_ok := false)
+              (Txn.participants ~n_sites:cfg.n_sites t))
+    fate_tbl;
+  let fates =
+    Hashtbl.fold (fun txn fate acc -> (txn, fate) :: acc) fate_tbl [] |> List.sort compare
+  in
+  let count f = List.length (List.filter (fun (_, x) -> x = f) fates) in
+  let committed = count Fate_committed
+  and aborted = count Fate_aborted
+  and pending = count Fate_pending in
+  let latencies = Array.to_list nodes |> List.concat_map (fun n -> n.Node.latencies) in
+  let metrics = Sim.World.metrics world in
+  {
+    committed;
+    aborted;
+    pending;
+    deadlock_aborts = Array.to_list nodes |> List.fold_left (fun a n -> a + n.Node.deadlock_aborts) 0;
+    duration;
+    throughput = (if duration > 0.0 then float_of_int committed /. duration else 0.0);
+    mean_latency =
+      (match latencies with
+      | [] -> None
+      | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)));
+    blocked_time = Array.to_list nodes |> List.fold_left (fun a n -> a +. n.Node.blocked_time) 0.0;
+    messages_sent = Sim.Metrics.counter metrics "messages_sent";
+    atomicity_ok = (not !contradiction) && !applied_ok;
+    fates;
+    storage_totals = Array.to_list storages |> List.fold_left (fun a s -> a + Storage.total s) 0;
+    metrics = Sim.Metrics.counters metrics;
+  }
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "@[<v>committed %d, aborted %d (deadlock %d), pending %d@,\
+     duration %.1f, throughput %.4f txn/u, mean latency %a@,\
+     blocked lock time %.1f, messages %d@,\
+     atomicity ok: %b, storage total %d@]"
+    r.committed r.aborted r.deadlock_aborts r.pending r.duration r.throughput
+    Fmt.(option ~none:(any "n/a") (fmt "%.2f"))
+    r.mean_latency r.blocked_time r.messages_sent r.atomicity_ok r.storage_totals

@@ -1,0 +1,72 @@
+(** The distributed database harness: n sites, hash-partitioned keys,
+    concurrent transactions committed with 2PC or the paper's nonblocking
+    3PC, under timed crash/recovery schedules — experiment E12's
+    instrument. *)
+
+type config = {
+  n_sites : int;
+  protocol : Node.protocol;
+  presumption : Node.presumption;
+  termination : Node.termination;
+  read_only_opt : bool;
+  seed : int;
+  lock_wait_timeout : float;
+  query_interval : float;
+  query_budget : int;
+  tracing : bool;
+  until : float;
+  crashes : (Core.Types.site * float) list;
+  recoveries : (Core.Types.site * float) list;
+  partitions : (float * float * Core.Types.site list list) list;
+  initial_data : (string * int) list;
+}
+
+val config :
+  ?n_sites:int ->
+  ?protocol:Node.protocol ->
+  ?presumption:Node.presumption ->
+  ?termination:Node.termination ->
+  ?read_only_opt:bool ->
+  ?seed:int ->
+  ?lock_wait_timeout:float ->
+  ?query_interval:float ->
+  ?query_budget:int ->
+  ?tracing:bool ->
+  ?until:float ->
+  ?crashes:(Core.Types.site * float) list ->
+  ?recoveries:(Core.Types.site * float) list ->
+  ?partitions:(float * float * Core.Types.site list list) list ->
+  ?initial_data:(string * int) list ->
+  unit ->
+  config
+
+type txn_fate = Fate_committed | Fate_aborted | Fate_pending
+
+val pp_txn_fate : Format.formatter -> txn_fate -> unit
+val equal_txn_fate : txn_fate -> txn_fate -> bool
+
+type result = {
+  committed : int;
+  aborted : int;
+  pending : int;  (** submitted but unresolved at the end (blocked or lost) *)
+  deadlock_aborts : int;
+  duration : float;
+  throughput : float;
+  mean_latency : float option;
+  blocked_time : float;
+      (** cumulative lock-holding time of transactions blocked by a dead
+          coordinator — the operational cost of a blocking protocol *)
+  messages_sent : int;
+  atomicity_ok : bool;
+      (** outcomes agree across all logs and committed writes are applied
+          at every operational participant *)
+  fates : (int * txn_fate) list;
+  storage_totals : int;
+  metrics : (string * int) list;
+}
+
+val run : config -> (float * Txn.t) list -> result
+(** Executes the workload ((arrival time, transaction) pairs).
+    Deterministic in the seed. *)
+
+val pp_result : Format.formatter -> result -> unit

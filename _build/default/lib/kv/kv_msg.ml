@@ -1,0 +1,51 @@
+(** Wire messages of the database commit path: the commit protocol proper
+    (prepare/vote/precommit/outcome), the termination protocol used when a
+    coordinator fails under 3PC, and the recovery-time status queries. *)
+
+type t =
+  | Client_begin of Txn.t  (** a client submits a transaction to its coordinator *)
+  | Prepare of { txn : int; ops : Txn.op list; participants : Core.Types.site list }
+      (** phase 1: execute, lock, vote.  Carries the participant list so
+          survivors can run the termination protocol without the
+          coordinator. *)
+  | Vote of { txn : int; vote : [ `Yes | `No | `Read_only ] }
+      (** [`Read_only]: the participant only read, has released its locks,
+          and need not hear the outcome (the R*-style optimization) *)
+  | Precommit of { txn : int }  (** 3PC buffer phase; also termination phase 1 "move up" *)
+  | Precommit_ack of { txn : int }
+  | Demote of { txn : int }  (** termination phase 1 "move down" to prepared *)
+  | Demote_ack of { txn : int }
+  | Outcome of { txn : int; commit : bool }
+  | Done of { txn : int }  (** participant's final acknowledgement *)
+  | Status_req of { txn : int }  (** recovery: what happened to this transaction? *)
+  | Status_rep of { txn : int; outcome : bool option }
+  | PState_req of { txn : int }
+      (** quorum termination: a backup polls participant progress *)
+  | PState_rep of { txn : int; state : [ `Working | `Prepared | `Precommitted | `Done of bool ] }
+[@@deriving show { with_path = false }, eq]
+
+let to_string = function
+  | Client_begin t -> Fmt.str "client-begin(t%d)" t.Txn.id
+  | Prepare { txn; ops; _ } -> Fmt.str "prepare(t%d,%d ops)" txn (List.length ops)
+  | Vote { txn; vote } ->
+      Fmt.str "vote(t%d,%s)" txn
+        (match vote with `Yes -> "yes" | `No -> "no" | `Read_only -> "read-only")
+  | Precommit { txn } -> Fmt.str "precommit(t%d)" txn
+  | Precommit_ack { txn } -> Fmt.str "precommit-ack(t%d)" txn
+  | Demote { txn } -> Fmt.str "demote(t%d)" txn
+  | Demote_ack { txn } -> Fmt.str "demote-ack(t%d)" txn
+  | Outcome { txn; commit } -> Fmt.str "outcome(t%d,%s)" txn (if commit then "commit" else "abort")
+  | Done { txn } -> Fmt.str "done(t%d)" txn
+  | Status_req { txn } -> Fmt.str "status-req(t%d)" txn
+  | Status_rep { txn; outcome } ->
+      Fmt.str "status-rep(t%d,%s)" txn
+        (match outcome with None -> "unknown" | Some true -> "commit" | Some false -> "abort")
+  | PState_req { txn } -> Fmt.str "pstate-req(t%d)" txn
+  | PState_rep { txn; state } ->
+      Fmt.str "pstate-rep(t%d,%s)" txn
+        (match state with
+        | `Working -> "working"
+        | `Prepared -> "prepared"
+        | `Precommitted -> "precommitted"
+        | `Done true -> "committed"
+        | `Done false -> "aborted")

@@ -1,0 +1,24 @@
+(** Wire messages of the database commit path. *)
+
+type t =
+  | Client_begin of Txn.t
+  | Prepare of { txn : int; ops : Txn.op list; participants : Core.Types.site list }
+      (** phase 1: execute, lock, vote; carries the participant list so
+          survivors can run the termination protocol *)
+  | Vote of { txn : int; vote : [ `Yes | `No | `Read_only ] }
+  | Precommit of { txn : int }  (** 3PC buffer phase / termination move-up *)
+  | Precommit_ack of { txn : int }
+  | Demote of { txn : int }  (** termination phase 1 on the abort side *)
+  | Demote_ack of { txn : int }
+  | Outcome of { txn : int; commit : bool }
+  | Done of { txn : int }
+  | Status_req of { txn : int }
+  | Status_rep of { txn : int; outcome : bool option }
+  | PState_req of { txn : int }
+      (** quorum termination: a backup polls participant progress *)
+  | PState_rep of { txn : int; state : [ `Working | `Prepared | `Precommitted | `Done of bool ] }
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val to_string : t -> string

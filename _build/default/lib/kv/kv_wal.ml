@@ -1,0 +1,90 @@
+(** The database write-ahead log: per-site stable storage for the commit
+    path.  Forced records at every protocol boundary, replayed by crash
+    recovery to re-establish locks of in-doubt transactions and to classify
+    them (before the vote: unilateral abort; after: in doubt). *)
+
+type record =
+  | P_prepared of {
+      txn : int;
+      coordinator : Core.Types.site;
+      participants : Core.Types.site list;
+      writes : (string * int) list;
+      locks : (string * Lock_table.mode) list;
+    }
+      (** participant voted yes; its write set, locks and the transaction's
+          topology are on the log (recovery needs to know whom to ask) *)
+  | P_precommitted of { txn : int }
+  | P_outcome of { txn : int; commit : bool }  (** participant learned / applied the outcome *)
+  | C_begin of { txn : int; participants : Core.Types.site list; three_phase : bool }
+      (** coordinator accepted the transaction *)
+  | C_precommitted of { txn : int }  (** coordinator logged the buffer phase *)
+  | C_decided of { txn : int; commit : bool }
+  | C_finished of { txn : int }
+[@@deriving show { with_path = false }, eq]
+
+type t = { mutable records : record list (* newest first *) }
+
+let create () = { records = [] }
+let append t r = t.records <- r :: t.records
+let records t = List.rev t.records
+let length t = List.length t.records
+
+(** Participant-side classification of [txn] from the log. *)
+type p_class =
+  | P_unknown  (** nothing logged: crashed before voting — unilateral abort *)
+  | P_in_doubt of {
+      coordinator : Core.Types.site;
+      participants : Core.Types.site list;
+      writes : (string * int) list;
+      locks : (string * Lock_table.mode) list;
+      precommitted : bool;
+    }
+  | P_resolved of bool
+
+let classify_participant t ~txn : p_class =
+  List.fold_left
+    (fun acc r ->
+      match r with
+      | P_prepared { txn = x; coordinator; participants; writes; locks } when x = txn ->
+          P_in_doubt { coordinator; participants; writes; locks; precommitted = false }
+      | P_precommitted { txn = x } when x = txn -> (
+          match acc with
+          | P_in_doubt d -> P_in_doubt { d with precommitted = true }
+          | other -> other)
+      | P_outcome { txn = x; commit } when x = txn -> P_resolved commit
+      | _ -> acc)
+    P_unknown (records t)
+
+(** Coordinator-side classification. *)
+type c_class =
+  | C_unknown
+  | C_collecting of { participants : Core.Types.site list; three_phase : bool }
+  | C_in_precommit of { participants : Core.Types.site list }
+  | C_resolved of { participants : Core.Types.site list; commit : bool; finished : bool }
+
+let classify_coordinator t ~txn : c_class =
+  List.fold_left
+    (fun acc r ->
+      match (r, acc) with
+      | C_begin { txn = x; participants; three_phase }, _ when x = txn ->
+          C_collecting { participants; three_phase }
+      | C_precommitted { txn = x }, C_collecting { participants; _ } when x = txn ->
+          C_in_precommit { participants }
+      | C_decided { txn = x; commit }, C_collecting { participants; _ } when x = txn ->
+          C_resolved { participants; commit; finished = false }
+      | C_decided { txn = x; commit }, C_in_precommit { participants } when x = txn ->
+          C_resolved { participants; commit; finished = false }
+      | C_finished { txn = x }, C_resolved res when x = txn ->
+          C_resolved { res with finished = true }
+      | _ -> acc)
+    C_unknown (records t)
+
+(** Every transaction id mentioned as coordinator on this log. *)
+let coordinated_txns t =
+  List.filter_map (function C_begin { txn; _ } -> Some txn | _ -> None) (records t)
+  |> List.sort_uniq compare
+
+(** Every transaction id mentioned as participant on this log. *)
+let participated_txns t =
+  List.filter_map (function P_prepared { txn; _ } -> Some txn | _ -> None) (records t)
+  |> List.sort_uniq compare

@@ -1,0 +1,53 @@
+(** The database write-ahead log: per-site stable storage for the commit
+    path, with forced records at every protocol boundary. *)
+
+type record =
+  | P_prepared of {
+      txn : int;
+      coordinator : Core.Types.site;
+      participants : Core.Types.site list;
+      writes : (string * int) list;
+      locks : (string * Lock_table.mode) list;
+    }
+  | P_precommitted of { txn : int }
+  | P_outcome of { txn : int; commit : bool }
+  | C_begin of { txn : int; participants : Core.Types.site list; three_phase : bool }
+  | C_precommitted of { txn : int }
+  | C_decided of { txn : int; commit : bool }
+  | C_finished of { txn : int }
+
+val pp_record : Format.formatter -> record -> unit
+val show_record : record -> string
+val equal_record : record -> record -> bool
+
+type t
+
+val create : unit -> t
+val append : t -> record -> unit
+val records : t -> record list
+val length : t -> int
+
+(** Participant-side classification of a transaction from the log. *)
+type p_class =
+  | P_unknown  (** nothing logged: crashed before voting — unilateral abort *)
+  | P_in_doubt of {
+      coordinator : Core.Types.site;
+      participants : Core.Types.site list;
+      writes : (string * int) list;
+      locks : (string * Lock_table.mode) list;
+      precommitted : bool;
+    }
+  | P_resolved of bool
+
+val classify_participant : t -> txn:int -> p_class
+
+(** Coordinator-side classification. *)
+type c_class =
+  | C_unknown
+  | C_collecting of { participants : Core.Types.site list; three_phase : bool }
+  | C_in_precommit of { participants : Core.Types.site list }
+  | C_resolved of { participants : Core.Types.site list; commit : bool; finished : bool }
+
+val classify_coordinator : t -> txn:int -> c_class
+val coordinated_txns : t -> int list
+val participated_txns : t -> int list

@@ -1,0 +1,188 @@
+(** Strict two-phase locking with waits-for deadlock detection.
+
+    This is the concurrency-control substrate the paper's introduction
+    appeals to: "a server may not be able to commit its part of a
+    transaction due to issues of concurrency control, e.g. the resolution
+    of a deadlock" — the organic source of unilateral {e no} votes.
+
+    Locks are per-key, shared (read) or exclusive (write).  Requests that
+    cannot be granted wait in FIFO order; a waits-for graph is maintained
+    and checked for cycles on every new wait edge.  When a cycle is found
+    the {e requesting} transaction is chosen as the victim (deterministic,
+    and the newcomer has done the least work). *)
+
+type mode = Shared | Exclusive [@@deriving show { with_path = false }, eq]
+
+type granted = { txn : int; mode : mode }
+
+type waiting = { w_txn : int; w_mode : mode }
+
+type entry = { mutable holders : granted list; mutable queue : waiting list }
+
+type outcome =
+  | Granted
+  | Waiting
+  | Deadlock of int list  (** the waits-for cycle found, requester first *)
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  locks : (string, entry) Hashtbl.t;
+  mutable grants : (int -> unit) option;
+      (** callback invoked with each transaction whose pending request
+          becomes granted after a release *)
+}
+
+let create () = { locks = Hashtbl.create 64; grants = None }
+
+let on_grant t f = t.grants <- Some f
+
+let entry t key =
+  match Hashtbl.find_opt t.locks key with
+  | Some e -> e
+  | None ->
+      let e = { holders = []; queue = [] } in
+      Hashtbl.add t.locks key e;
+      e
+
+let compatible held requested =
+  match (held, requested) with Shared, Shared -> true | _ -> false
+
+let holds_sufficient e ~txn ~mode =
+  List.exists
+    (fun g -> g.txn = txn && (g.mode = Exclusive || g.mode = mode))
+    e.holders
+
+let can_grant e ~txn ~mode =
+  List.for_all (fun g -> g.txn = txn || compatible g.mode mode) e.holders
+
+(* ---- waits-for graph, rebuilt on demand from the tables ---- *)
+
+(** Transactions that [txn] currently waits for: the holders and the
+    earlier queue entries of every key where [txn] queues. *)
+let waits_for t txn =
+  Hashtbl.fold
+    (fun _key e acc ->
+      if List.exists (fun w -> w.w_txn = txn) e.queue then
+        let holders = List.filter_map (fun g -> if g.txn <> txn then Some g.txn else None) e.holders in
+        let ahead =
+          let rec take acc = function
+            | [] -> acc
+            | w :: _ when w.w_txn = txn -> acc
+            | w :: rest -> take (w.w_txn :: acc) rest
+          in
+          take [] e.queue
+        in
+        holders @ ahead @ acc
+      else acc)
+    t.locks []
+  |> List.sort_uniq compare
+
+(** Cycle search in the waits-for graph: pretending [start] additionally
+    waits for [extra], a cycle through [start] exists iff [start] is
+    reachable from some node of [extra].  Breadth-first with a shared
+    visited set (linear in the graph) and a parent map to reconstruct the
+    cycle for diagnostics. *)
+let find_cycle t ~start ~extra =
+  let visited = Hashtbl.create 16 in
+  let parent = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem visited n) then begin
+        Hashtbl.add visited n ();
+        Queue.add n queue
+      end)
+    extra;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let node = Queue.pop queue in
+    if node = start then begin
+      (* reconstruct start <- ... <- entry point *)
+      let rec path n acc =
+        match Hashtbl.find_opt parent n with None -> n :: acc | Some p -> path p (n :: acc)
+      in
+      found := Some (start :: path node [])
+    end
+    else
+      List.iter
+        (fun next ->
+          if not (Hashtbl.mem visited next) then begin
+            Hashtbl.add visited next ();
+            Hashtbl.replace parent next node;
+            Queue.add next queue
+          end)
+        (waits_for t node)
+  done;
+  !found
+
+(** [acquire t ~txn ~key ~mode] requests a lock.  [Granted] means the lock
+    is held on return.  [Waiting] means the request is queued; the
+    [on_grant] callback fires when it is eventually granted.  [Deadlock]
+    means granting would close a waits-for cycle: the request is {e not}
+    queued and the caller must abort [txn]. *)
+let acquire t ~txn ~key ~mode : outcome =
+  let e = entry t key in
+  if holds_sufficient e ~txn ~mode then Granted
+  else if can_grant e ~txn ~mode && e.queue = [] then begin
+    (* Lock upgrade replaces the shared grant. *)
+    e.holders <- { txn; mode } :: List.filter (fun g -> g.txn <> txn) e.holders;
+    Granted
+  end
+  else begin
+    let blockers =
+      List.filter_map (fun g -> if g.txn <> txn then Some g.txn else None) e.holders
+      @ List.map (fun w -> w.w_txn) e.queue
+      |> List.sort_uniq compare
+    in
+    match find_cycle t ~start:txn ~extra:blockers with
+    | Some cycle -> Deadlock cycle
+    | None ->
+        e.queue <- e.queue @ [ { w_txn = txn; w_mode = mode } ];
+        Waiting
+  end
+
+(* After any release, promote waiters in FIFO order. *)
+let promote t key e =
+  let rec go () =
+    match e.queue with
+    | [] -> ()
+    | w :: rest ->
+        if can_grant e ~txn:w.w_txn ~mode:w.w_mode then begin
+          e.queue <- rest;
+          e.holders <- { txn = w.w_txn; mode = w.w_mode } :: List.filter (fun g -> g.txn <> w.w_txn) e.holders;
+          (match t.grants with Some f -> f w.w_txn | None -> ());
+          go ()
+        end
+  in
+  ignore key;
+  go ()
+
+(** [release_all t ~txn] drops every lock and queued request of [txn]
+    (commit or abort time), promoting any newly grantable waiters. *)
+let release_all t ~txn =
+  Hashtbl.iter
+    (fun key e ->
+      let had = List.exists (fun g -> g.txn = txn) e.holders in
+      e.holders <- List.filter (fun g -> g.txn <> txn) e.holders;
+      e.queue <- List.filter (fun w -> w.w_txn <> txn) e.queue;
+      if had || e.queue <> [] then promote t key e)
+    t.locks
+
+(** Keys on which [txn] currently holds a lock. *)
+let held_keys t ~txn =
+  Hashtbl.fold
+    (fun key e acc -> if List.exists (fun g -> g.txn = txn) e.holders then key :: acc else acc)
+    t.locks []
+  |> List.sort compare
+
+(** Number of transactions currently waiting on some lock. *)
+let n_waiting t =
+  Hashtbl.fold (fun _ e acc -> acc + List.length e.queue) t.locks 0
+
+(** [force_grant t ~txn ~key ~mode] installs a lock unconditionally — used
+    by crash recovery to re-establish the locks of prepared transactions
+    from the log before the shard accepts new work. *)
+let force_grant t ~txn ~key ~mode =
+  let e = entry t key in
+  if not (holds_sufficient e ~txn ~mode) then
+    e.holders <- { txn; mode } :: List.filter (fun g -> g.txn <> txn) e.holders

@@ -1,0 +1,43 @@
+(** Strict two-phase locking with waits-for deadlock detection — the
+    concurrency-control substrate behind the paper's unilateral no votes
+    ("the resolution of a deadlock, when a locking scheme is adopted"). *)
+
+type mode = Shared | Exclusive
+
+val pp_mode : Format.formatter -> mode -> unit
+val show_mode : mode -> string
+val equal_mode : mode -> mode -> bool
+
+type outcome =
+  | Granted
+  | Waiting  (** queued FIFO; the [on_grant] callback fires when granted *)
+  | Deadlock of int list
+      (** granting would close this waits-for cycle; the request was not
+          queued and the caller must abort the transaction *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val equal_outcome : outcome -> outcome -> bool
+
+type t
+
+val create : unit -> t
+
+val on_grant : t -> (int -> unit) -> unit
+(** Callback invoked with each transaction whose pending request becomes
+    granted after a release. *)
+
+val acquire : t -> txn:int -> key:string -> mode:mode -> outcome
+
+val release_all : t -> txn:int -> unit
+(** Drop every lock and queued request of [txn] (commit or abort time),
+    promoting newly grantable waiters in FIFO order. *)
+
+val held_keys : t -> txn:int -> string list
+val n_waiting : t -> int
+
+val waits_for : t -> int -> int list
+(** Transactions [txn] currently waits for. *)
+
+val force_grant : t -> txn:int -> key:string -> mode:mode -> unit
+(** Install a lock unconditionally — crash recovery re-establishing the
+    locks of prepared transactions from the log. *)

@@ -1,0 +1,840 @@
+(** One database site: a resource manager (shard) for the keys it owns and
+    a transaction manager (coordinator) for the transactions submitted to
+    it.  The commit path can run as classical central-site 2PC or as the
+    paper's nonblocking central-site 3PC; the difference under failures is
+    the point of experiment E12.
+
+    Under 2PC, a participant that voted yes and then loses its coordinator
+    {e blocks}: it must hold its locks until the coordinator recovers, and
+    every transaction that touches those keys queues behind it.  Under
+    3PC, the surviving participants elect a backup coordinator which
+    applies the paper's decision rule to its own local state (prepared →
+    abort, precommitted → commit), preceded by the two-phase backup
+    protocol: move every operational participant to my state, collect
+    acknowledgements, then announce the decision — so cascading backup
+    failures stay safe. *)
+
+type protocol = Two_phase | Three_phase [@@deriving show { with_path = false }, eq]
+
+(** The classic commit-protocol presumptions (of the R-star system): which outcome the
+    coordinator may "forget" immediately, because a recovering or inquiring
+    participant will presume it when no information is found.  The covered
+    side skips the participants' final acknowledgements and the
+    coordinator's retained state. *)
+type presumption = No_presumption | Presume_abort | Presume_commit
+[@@deriving show { with_path = false }, eq]
+
+(** How orphaned transactions are terminated when their coordinator dies
+    under 3PC (see {!Engine.Runtime.termination_rule} for the protocol-level
+    discussion): [T_skeen] decides from the backup's own transaction state
+    (the paper's rule — live but partition-unsafe); [T_quorum q] polls
+    reachable participants and requires a quorum either way, with monotone
+    moves (never demoting a precommit). *)
+type termination = T_skeen | T_quorum of int [@@deriving show { with_path = false }, eq]
+
+type p_status = P_working | P_prepared | P_precommitted | P_done of bool
+[@@deriving show { with_path = false }, eq]
+
+type p_txn = {
+  txn : int;
+  coordinator : Core.Types.site;
+  participants : Core.Types.site list;
+  mutable pending_ops : Txn.op list;  (** ops whose locks are not yet held *)
+  mutable held : (string * Lock_table.mode) list;
+  mutable writes : (string * int) list;
+  mutable status : p_status;
+  mutable blocked_since : float option;  (** prepared with a dead 2PC coordinator *)
+}
+
+type c_status = C_collecting | C_precommitting | C_decided of bool
+[@@deriving show { with_path = false }, eq]
+
+type c_txn = {
+  c_id : int;
+  mutable c_participants : Core.Types.site list;
+  mutable awaiting_votes : Core.Types.site list;
+  mutable awaiting_acks : Core.Types.site list;
+  mutable c_status : c_status;
+  submitted_at : float;
+}
+
+(** Termination-protocol state for one orphaned transaction (3PC backup
+    coordinator): phase 1 in flight. *)
+type backup_state = { mutable b_awaiting : Core.Types.site list; b_commit : bool }
+
+(** Quorum termination: a state poll in flight. *)
+type poll_state = {
+  mutable q_awaiting : Core.Types.site list;
+  mutable q_reps : (Core.Types.site * [ `Working | `Prepared | `Precommitted | `Done of bool ]) list;
+}
+
+type t = {
+  site : Core.Types.site;
+  n_sites : int;
+  protocol : protocol;
+  presumption : presumption;
+  termination : termination;
+  read_only_opt : bool;
+      (** participants that only read vote read-only, release their locks
+          at once, and drop out of phase 2 *)
+  storage : Storage.t;  (** stable: survives crashes *)
+  wal : Kv_wal.t;  (** stable: survives crashes *)
+  mutable locks : Lock_table.t;  (** volatile *)
+  p_txns : (int, p_txn) Hashtbl.t;  (** volatile *)
+  c_txns : (int, c_txn) Hashtbl.t;  (** volatile *)
+  backups : (int, backup_state) Hashtbl.t;  (** volatile *)
+  pollings : (int, poll_state) Hashtbl.t;  (** volatile: quorum-termination polls *)
+  mutable down_view : Core.Types.site list;
+  mutable tainted : Core.Types.site list;  (** peers known to have crashed this run *)
+  mutable ever_crashed : bool;
+  lock_wait_timeout : float;
+  query_interval : float;
+  mutable query_budget : int;
+  (* observability *)
+  mutable committed : int;  (** transactions this site coordinated to commit *)
+  mutable aborted : int;
+  mutable deadlock_aborts : int;
+  mutable latencies : float list;
+  mutable blocked_time : float;  (** cumulative blocked-lock-holding time *)
+}
+
+let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_opt = false)
+    ~site ~n_sites ~protocol ~storage ~wal ~lock_wait_timeout ~query_interval ~query_budget () =
+  {
+    site;
+    n_sites;
+    protocol;
+    presumption;
+    termination;
+    read_only_opt;
+    storage;
+    wal;
+    locks = Lock_table.create ();
+    p_txns = Hashtbl.create 32;
+    c_txns = Hashtbl.create 32;
+    backups = Hashtbl.create 8;
+    pollings = Hashtbl.create 8;
+    down_view = [];
+    tainted = [];
+    ever_crashed = false;
+    lock_wait_timeout;
+    query_interval;
+    query_budget;
+    committed = 0;
+    aborted = 0;
+    deadlock_aborts = 0;
+    latencies = [];
+    blocked_time = 0.0;
+  }
+
+let metric ctx name = Sim.Metrics.incr (Sim.World.metrics ctx.Sim.World.world) name
+let now ctx = Sim.World.now ctx.Sim.World.world
+
+(* ------------------------------------------------------------------ *)
+(* participant (resource manager) side                                 *)
+(* ------------------------------------------------------------------ *)
+
+let release node (p : p_txn) =
+  Lock_table.release_all node.locks ~txn:p.txn;
+  p.held <- []
+
+let buffered_value node (p : p_txn) key =
+  match List.assoc_opt key p.writes with
+  | Some v -> v
+  | None -> Storage.get_or node.storage key ~default:0
+
+let note_unblocked node ctx (p : p_txn) =
+  match p.blocked_since with
+  | Some t0 ->
+      node.blocked_time <- node.blocked_time +. (now ctx -. t0);
+      p.blocked_since <- None
+  | None -> ()
+
+(* Local abort before voting: the unilateral abort right.  [notify] sends
+   the no vote to the coordinator. *)
+let p_abort_unvoted node ctx (p : p_txn) ~notify =
+  match p.status with
+  | P_working ->
+      Kv_wal.append node.wal (Kv_wal.P_outcome { txn = p.txn; commit = false });
+      p.status <- P_done false;
+      release node p;
+      if notify then
+        Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Vote { txn = p.txn; vote = `No })
+  | P_prepared | P_precommitted | P_done _ -> ()
+
+let p_finish node ctx (p : p_txn) ~commit =
+  match p.status with
+  | P_done _ -> ()
+  | P_working | P_prepared | P_precommitted ->
+      if commit then Storage.apply node.storage ~txn:p.txn p.writes;
+      Kv_wal.append node.wal (Kv_wal.P_outcome { txn = p.txn; commit });
+      note_unblocked node ctx p;
+      p.status <- P_done commit;
+      release node p;
+      (* the presumed side needs no acknowledgement: the coordinator has
+         already forgotten the transaction *)
+      let presumed =
+        match node.presumption with
+        | No_presumption -> false
+        | Presume_abort -> not commit
+        | Presume_commit -> commit
+      in
+      if not presumed then Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Done { txn = p.txn })
+
+(* Continue acquiring locks for p's remaining ops; once all are held, force
+   the prepared record and vote yes. *)
+let rec p_continue node ctx (p : p_txn) =
+  match p.pending_ops with
+  | op :: rest -> (
+      let key = Txn.key_of_op op and mode = Txn.lock_mode op in
+      match Lock_table.acquire node.locks ~txn:p.txn ~key ~mode with
+      | Lock_table.Granted ->
+          if (not (List.mem_assoc key p.held)) || mode = Lock_table.Exclusive then
+            p.held <- (key, mode) :: List.remove_assoc key p.held;
+          (match op with
+          | Txn.Get _ -> ()
+          | Txn.Put (k, v) -> p.writes <- (k, v) :: List.remove_assoc k p.writes
+          | Txn.Add (k, d) ->
+              let v = buffered_value node p k + d in
+              p.writes <- (k, v) :: List.remove_assoc k p.writes);
+          p.pending_ops <- rest;
+          p_continue node ctx p
+      | Lock_table.Waiting ->
+          (* Parked; the lock table's grant callback resumes us.  The timer
+             bounds the wait: deadlock cycles spanning several sites escape
+             the local detector and resolve by timeout. *)
+          metric ctx "lock_waits";
+          let txn = p.txn in
+          ignore
+            (Sim.World.set_timer ctx ~delay:node.lock_wait_timeout (fun () ->
+                 match Hashtbl.find_opt node.p_txns txn with
+                 | Some p when p.status = P_working && p.pending_ops <> [] ->
+                     metric ctx "lock_timeouts";
+                     node.deadlock_aborts <- node.deadlock_aborts + 1;
+                     p_abort_unvoted node ctx p ~notify:true
+                 | _ -> ()))
+      | Lock_table.Deadlock _cycle ->
+          metric ctx "deadlocks";
+          node.deadlock_aborts <- node.deadlock_aborts + 1;
+          p_abort_unvoted node ctx p ~notify:true)
+  | [] ->
+      if p.status = P_working then
+        if node.read_only_opt && p.writes = [] then begin
+          (* Read-only participant: done at vote time — release the read
+             locks and drop out of phase 2 (nothing to log: there is
+             nothing to redo or undo here).  Crucially it leaves the
+             transaction entirely: were it to stay as a "done" participant
+             it could be elected backup coordinator and announce a commit
+             outcome it never actually learned. *)
+          metric ctx "read_only_votes";
+          release node p;
+          Hashtbl.remove node.p_txns p.txn;
+          Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Vote { txn = p.txn; vote = `Read_only })
+        end
+        else begin
+          Kv_wal.append node.wal
+            (Kv_wal.P_prepared
+               {
+                 txn = p.txn;
+                 coordinator = p.coordinator;
+                 participants = p.participants;
+                 writes = p.writes;
+                 locks = p.held;
+               });
+          p.status <- P_prepared;
+          Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Vote { txn = p.txn; vote = `Yes })
+        end
+
+let on_prepare node ctx ~src ~txn ~ops ~participants =
+  if not (Hashtbl.mem node.p_txns txn) then begin
+    let p =
+      {
+        txn;
+        coordinator = src;
+        participants;
+        pending_ops = ops;
+        held = [];
+        writes = [];
+        status = P_working;
+        blocked_since = None;
+      }
+    in
+    Hashtbl.replace node.p_txns txn p;
+    p_continue node ctx p
+  end
+
+(* ------------------------------------------------------------------ *)
+(* coordinator (transaction manager) side                              *)
+(* ------------------------------------------------------------------ *)
+
+let c_announce node ctx (c : c_txn) ~commit =
+  c.c_status <- C_decided commit;
+  Kv_wal.append node.wal (Kv_wal.C_decided { txn = c.c_id; commit });
+  if commit then node.committed <- node.committed + 1 else node.aborted <- node.aborted + 1;
+  node.latencies <- (now ctx -. c.submitted_at) :: node.latencies;
+  List.iter
+    (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = c.c_id; commit }))
+    c.c_participants;
+  (* the presumed side is forgotten at once: no acknowledgements expected,
+     no retained coordinator state (inquiries are answered from the log) *)
+  let presumed =
+    match node.presumption with
+    | No_presumption -> false
+    | Presume_abort -> not commit
+    | Presume_commit -> commit
+  in
+  if presumed then begin
+    Kv_wal.append node.wal (Kv_wal.C_finished { txn = c.c_id });
+    Hashtbl.remove node.c_txns c.c_id
+  end
+
+let c_all_votes_in node ctx (c : c_txn) =
+  match node.protocol with
+  | Two_phase -> c_announce node ctx c ~commit:true
+  | Three_phase ->
+      if c.c_participants = [] then
+        (* every participant was read-only: nothing to precommit *)
+        c_announce node ctx c ~commit:true
+      else begin
+        (* the buffer phase: log it, then move every participant to
+           prepared-to-commit *)
+        c.c_status <- C_precommitting;
+        c.awaiting_acks <- c.c_participants;
+        Kv_wal.append node.wal (Kv_wal.C_precommitted { txn = c.c_id });
+        List.iter
+          (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = c.c_id }))
+          c.c_participants
+      end
+
+let on_client_begin node ctx (txn : Txn.t) =
+  let involved = Txn.participants ~n_sites:node.n_sites txn in
+  (* Under the read-only optimization, sites that only read will drop out
+     at vote time; they are therefore excluded from the {e termination}
+     participant list up front (every site knows the write-participants
+     from the Prepare), so no survivor ever waits for a read-only site to
+     act as backup coordinator. *)
+  let participants =
+    if node.read_only_opt then
+      List.filter
+        (fun s ->
+          Txn.ops_for ~n_sites:node.n_sites txn ~site:s
+          |> List.exists (function Txn.Put _ | Txn.Add _ -> true | Txn.Get _ -> false))
+        involved
+    else involved
+  in
+  if List.exists (fun s -> List.mem s node.down_view) involved then begin
+    (* a participant is known to be down: refuse outright (abort without
+       engaging the commit protocol) *)
+    Kv_wal.append node.wal
+      (Kv_wal.C_begin { txn = txn.Txn.id; participants; three_phase = node.protocol = Three_phase });
+    Kv_wal.append node.wal (Kv_wal.C_decided { txn = txn.Txn.id; commit = false });
+    node.aborted <- node.aborted + 1;
+    node.latencies <- 0.0 :: node.latencies;
+    metric ctx "refused_participant_down"
+  end
+  else
+  let c =
+    {
+      c_id = txn.Txn.id;
+      c_participants = participants;
+      (* every involved site must vote, read-only ones included *)
+      awaiting_votes = involved;
+      awaiting_acks = [];
+      c_status = C_collecting;
+      submitted_at = now ctx;
+    }
+  in
+  Hashtbl.replace node.c_txns txn.Txn.id c;
+  Kv_wal.append node.wal
+    (Kv_wal.C_begin
+       { txn = txn.Txn.id; participants; three_phase = node.protocol = Three_phase });
+  List.iter
+    (fun dst ->
+      Sim.World.send ctx ~dst
+        (Kv_msg.Prepare
+           { txn = txn.Txn.id; ops = Txn.ops_for ~n_sites:node.n_sites txn ~site:dst; participants }))
+    involved
+
+let on_vote node ctx ~src ~txn ~vote =
+  match Hashtbl.find_opt node.c_txns txn with
+  | None -> ()
+  | Some c -> (
+      match c.c_status with
+      | C_decided _ | C_precommitting -> ()
+      | C_collecting -> (
+          match vote with
+          | `Yes ->
+              c.awaiting_votes <- List.filter (fun s -> s <> src) c.awaiting_votes;
+              if c.awaiting_votes = [] then c_all_votes_in node ctx c
+          | `Read_only ->
+              (* already released and done: no outcome for this site *)
+              c.awaiting_votes <- List.filter (fun s -> s <> src) c.awaiting_votes;
+              c.c_participants <- List.filter (fun s -> s <> src) c.c_participants;
+              if c.awaiting_votes = [] then c_all_votes_in node ctx c
+          | `No -> c_announce node ctx c ~commit:false))
+
+let on_precommit_ack node ctx ~src ~txn =
+  (* either the coordinator collecting 3PC acks, or a backup coordinator in
+     termination phase 1 (commit side) *)
+  (match Hashtbl.find_opt node.c_txns txn with
+  | Some c when c.c_status = C_precommitting ->
+      c.awaiting_acks <- List.filter (fun s -> s <> src) c.awaiting_acks;
+      if c.awaiting_acks = [] then c_announce node ctx c ~commit:true
+  | Some _ | None -> ());
+  match Hashtbl.find_opt node.backups txn with
+  | Some b when b.b_commit ->
+      b.b_awaiting <- List.filter (fun s -> s <> src) b.b_awaiting;
+      if b.b_awaiting = [] then begin
+        Hashtbl.remove node.backups txn;
+        match Hashtbl.find_opt node.p_txns txn with
+        | Some p ->
+            List.iter
+              (fun dst ->
+                if dst <> node.site then
+                  Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit = true }))
+              p.participants;
+            p_finish node ctx p ~commit:true
+        | None -> ()
+      end
+  | Some _ | None -> ()
+
+let on_demote_ack node ctx ~src ~txn =
+  match Hashtbl.find_opt node.backups txn with
+  | Some b when not b.b_commit ->
+      b.b_awaiting <- List.filter (fun s -> s <> src) b.b_awaiting;
+      if b.b_awaiting = [] then begin
+        Hashtbl.remove node.backups txn;
+        match Hashtbl.find_opt node.p_txns txn with
+        | Some p ->
+            List.iter
+              (fun dst ->
+                if dst <> node.site then
+                  Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit = false }))
+              p.participants;
+            p_finish node ctx p ~commit:false
+        | None -> ()
+      end
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* termination protocol (3PC) and blocking (2PC)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Periodic outcome query for in-doubt transactions: a blocked 2PC
+   participant asking its (hopefully recovering) coordinator, or a
+   recovered site asking its peers. *)
+let rec query_loop node ctx ~txn ~targets =
+  let unresolved () =
+    match Hashtbl.find_opt node.p_txns txn with
+    | Some p -> (match p.status with P_done _ -> false | _ -> true)
+    | None -> (
+        match Kv_wal.classify_coordinator node.wal ~txn with
+        | Kv_wal.C_in_precommit _ -> not (Hashtbl.mem node.c_txns txn)
+        | _ -> false)
+  in
+  if unresolved () && node.query_budget > 0 then begin
+    node.query_budget <- node.query_budget - 1;
+    List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Status_req { txn })) targets;
+    ignore
+      (Sim.World.set_timer ctx ~delay:node.query_interval (fun () -> query_loop node ctx ~txn ~targets))
+  end
+
+let reachable_others node (p : p_txn) =
+  List.filter
+    (fun s ->
+      s <> node.site && (not (List.mem s node.down_view)) && not (List.mem s node.tainted))
+    p.participants
+
+(** The backup coordinator's action for one orphaned transaction, driven by
+    the paper's decision rule applied to {e its own} participant state. *)
+let run_termination node ctx (p : p_txn) =
+  if not (Hashtbl.mem node.backups p.txn) then begin
+    metric ctx "terminations";
+    let others = reachable_others node p in
+    match p.status with
+    | P_done commit ->
+        (* already final: phase 1 omitted *)
+        List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = p.txn; commit })) others
+    | P_precommitted ->
+        (* decision rule: concurrency set of the buffer state contains a
+           commit state -> COMMIT.  Phase 1: move everyone up to
+           precommitted; phase 2 on the acks. *)
+        Hashtbl.replace node.backups p.txn { b_awaiting = others; b_commit = true };
+        List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = p.txn })) others;
+        if others = [] then on_precommit_ack node ctx ~src:node.site ~txn:p.txn
+    | P_prepared | P_working ->
+        (* decision rule: no commit state in the concurrency set -> ABORT.
+           Phase 1: move everyone down to prepared; phase 2 on the acks. *)
+        Hashtbl.replace node.backups p.txn { b_awaiting = others; b_commit = false };
+        List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Demote { txn = p.txn })) others;
+        if others = [] then on_demote_ack node ctx ~src:node.site ~txn:p.txn
+  end
+
+(* ---- quorum termination (T_quorum): poll, then decide by counts ---- *)
+
+let local_pstate node ~txn : [ `Working | `Prepared | `Precommitted | `Done of bool ] =
+  match Hashtbl.find_opt node.p_txns txn with
+  | Some p -> (
+      match p.status with
+      | P_working -> `Working
+      | P_prepared -> `Prepared
+      | P_precommitted -> `Precommitted
+      | P_done o -> `Done o)
+  | None -> (
+      match Kv_wal.classify_participant node.wal ~txn with
+      | Kv_wal.P_resolved o -> `Done o
+      | Kv_wal.P_in_doubt { precommitted; _ } -> if precommitted then `Precommitted else `Prepared
+      | Kv_wal.P_unknown -> `Working)
+
+let rec evaluate_quorum_poll node ctx (p : p_txn) ~q (poll : poll_state) =
+  if poll.q_awaiting = [] && Hashtbl.mem node.pollings p.txn then begin
+    Hashtbl.remove node.pollings p.txn;
+    let reps = poll.q_reps in
+    let has f = List.exists (fun (_, r) -> f r) reps in
+    let count f = List.length (List.filter (fun (_, r) -> f r) reps) in
+    let prepared_up = function `Precommitted | `Done true -> true | _ -> false in
+    if has (fun r -> r = `Done true) then finish_orphan node ctx p ~commit:true
+    else if has (fun r -> r = `Done false) then finish_orphan node ctx p ~commit:false
+    else if count prepared_up >= q then begin
+      (* move the reachable prepared participants up, then commit *)
+      let to_move =
+        List.filter_map (fun (s, r) -> if s <> node.site && r = `Prepared then Some s else None) reps
+      in
+      (match Hashtbl.find_opt node.p_txns p.txn with
+      | Some me when me.status = P_prepared ->
+          Kv_wal.append node.wal (Kv_wal.P_precommitted { txn = p.txn });
+          me.status <- P_precommitted
+      | _ -> ());
+      Hashtbl.replace node.backups p.txn { b_awaiting = to_move; b_commit = true };
+      List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = p.txn })) to_move;
+      if to_move = [] then on_precommit_ack node ctx ~src:node.site ~txn:p.txn
+    end
+    else if count (fun r -> r = `Working || r = `Prepared) >= q then
+      (* monotone: no demotion needed — a commit quorum can never have
+         existed and never will among these states *)
+      finish_orphan node ctx p ~commit:false
+    else begin
+      (* below quorum either way: wait for recoveries/healing; the query
+         loop doubles as the retry channel *)
+      metric ctx "quorum_blocked";
+      query_loop node ctx ~txn:p.txn ~targets:p.participants
+    end
+  end
+
+and finish_orphan node ctx (p : p_txn) ~commit =
+  List.iter
+    (fun dst -> if dst <> node.site then Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = p.txn; commit }))
+    p.participants;
+  p_finish node ctx p ~commit
+
+(** Quorum termination for one orphaned transaction: poll the reachable
+    participants' states, then commit only on a quorum of
+    prepared-to-commit sites, abort only on a quorum of not-prepared ones,
+    and wait otherwise. *)
+let run_quorum_termination node ctx (p : p_txn) ~q =
+  if (not (Hashtbl.mem node.backups p.txn)) && not (Hashtbl.mem node.pollings p.txn) then begin
+    metric ctx "terminations";
+    match p.status with
+    | P_done commit ->
+        List.iter
+          (fun dst ->
+            if dst <> node.site then Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = p.txn; commit }))
+          (reachable_others node p)
+    | P_working | P_prepared | P_precommitted ->
+        let others = reachable_others node p in
+        let poll = { q_awaiting = others; q_reps = [ (node.site, local_pstate node ~txn:p.txn) ] } in
+        Hashtbl.replace node.pollings p.txn poll;
+        List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.PState_req { txn = p.txn })) others;
+        evaluate_quorum_poll node ctx p ~q poll
+  end
+
+(* Called when this site learns that [failed] crashed: handle every
+   transaction whose progress depended on it. *)
+let on_peer_down node ctx failed =
+  if not (List.mem failed node.down_view) then node.down_view <- failed :: node.down_view;
+  if not (List.mem failed node.tainted) then node.tainted <- failed :: node.tainted;
+  (* Coordinator side: a crashed participant means a missing vote (abort),
+     a missing precommit ack (skip it), or a missing done (ignore). *)
+  Hashtbl.iter
+    (fun _ c ->
+      if List.mem failed c.c_participants || List.mem failed c.awaiting_votes then
+        match c.c_status with
+        | C_collecting when List.mem failed c.awaiting_votes -> c_announce node ctx c ~commit:false
+        | C_precommitting ->
+            c.awaiting_acks <- List.filter (fun s -> s <> failed) c.awaiting_acks;
+            if c.awaiting_acks = [] then c_announce node ctx c ~commit:true
+        | C_collecting | C_decided _ -> ())
+    node.c_txns;
+  (* Backup side: a participant crashed during termination phase 1. *)
+  Hashtbl.iter
+    (fun txn b ->
+      if List.mem failed b.b_awaiting then begin
+        b.b_awaiting <- List.filter (fun s -> s <> failed) b.b_awaiting;
+        if b.b_awaiting = [] then
+          if b.b_commit then on_precommit_ack node ctx ~src:failed ~txn
+          else on_demote_ack node ctx ~src:failed ~txn
+      end)
+    node.backups;
+  (* Participant side: orphaned transactions (their coordinator died). *)
+  Hashtbl.iter
+    (fun _ p ->
+      if p.coordinator = failed then
+        match p.status with
+        | P_working ->
+            (* before the vote: unilateral abort, release immediately *)
+            p_abort_unvoted node ctx p ~notify:false
+        | P_prepared | P_precommitted | P_done _ -> (
+            match node.protocol with
+            | Two_phase -> (
+                match p.status with
+                | P_done _ -> ()
+                | _ ->
+                    (* The blocking case: locks stay held.  Cooperative
+                       termination: query the peers too — one of them may
+                       have received the outcome before the coordinator
+                       died; if none did, we stay blocked until the
+                       coordinator recovers. *)
+                    metric ctx "blocked_2pc";
+                    if p.blocked_since = None then p.blocked_since <- Some (now ctx);
+                    let targets =
+                      p.coordinator :: List.filter (fun s -> s <> node.site) p.participants
+                      |> List.sort_uniq compare
+                    in
+                    query_loop node ctx ~txn:p.txn ~targets)
+            | Three_phase ->
+                (* Elect the backup: lowest operational, never-crashed
+                   participant.  Deterministic given the reliable failure
+                   detector; cascading failures re-elect automatically.  A
+                   backup already in a final state announces the outcome
+                   directly (phase 1 omitted). *)
+                let eligible =
+                  List.filter
+                    (fun s ->
+                      (not (List.mem s node.down_view))
+                      && (not (List.mem s node.tainted))
+                      && (s <> node.site || not node.ever_crashed))
+                    p.participants
+                in
+                (match eligible with
+                | backup :: _ when backup = node.site -> (
+                    match node.termination with
+                    | T_skeen -> run_termination node ctx p
+                    | T_quorum q -> run_quorum_termination node ctx p ~q)
+                | _ :: _ -> ()
+                | [] ->
+                    (* every participant crashed at least once: fall back to
+                       querying (total-failure case) *)
+                    query_loop node ctx ~txn:p.txn ~targets:p.participants)))
+    node.p_txns;
+  (* quorum polls waiting on the crashed site *)
+  Hashtbl.iter
+    (fun txn (poll : poll_state) ->
+      if List.mem failed poll.q_awaiting then begin
+        poll.q_awaiting <- List.filter (fun s -> s <> failed) poll.q_awaiting;
+        match (Hashtbl.find_opt node.p_txns txn, node.termination) with
+        | Some p, T_quorum q -> evaluate_quorum_poll node ctx p ~q poll
+        | _ -> ()
+      end)
+    node.pollings
+
+let on_peer_up node ctx recovered =
+  node.down_view <- List.filter (fun s -> s <> recovered) node.down_view;
+  (* under quorum termination a healed partition may have restored the
+     quorum: re-poll every still-orphaned transaction *)
+  match node.termination with
+  | T_quorum q ->
+      Hashtbl.iter
+        (fun _ (p : p_txn) ->
+          match p.status with
+          | (P_prepared | P_precommitted)
+            when List.mem p.coordinator node.tainted && not (Hashtbl.mem node.backups p.txn) -> (
+              let eligible =
+                List.filter
+                  (fun s ->
+                    (not (List.mem s node.down_view))
+                    && (not (List.mem s node.tainted))
+                    && (s <> node.site || not node.ever_crashed))
+                  p.participants
+              in
+              match eligible with
+              | backup :: _ when backup = node.site ->
+                  Hashtbl.remove node.pollings p.txn;
+                  run_quorum_termination node ctx p ~q
+              | _ -> ())
+          | _ -> ())
+        node.p_txns
+  | T_skeen -> ()
+
+(* ------------------------------------------------------------------ *)
+(* recovery                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Crash recovery: rebuild volatile state from the stable log.
+
+    Participant transactions: in-doubt entries re-establish their locks
+    before any new work is accepted, then query the coordinator for the
+    outcome; unlogged transactions aborted implicitly (before the commit
+    point).  Coordinated transactions: decided-but-unfinished outcomes are
+    re-announced; undecided 2PC/collecting-state transactions are aborted
+    (presumed abort — no participant can have learned an outcome); a 3PC
+    transaction that had reached its buffer phase may have been terminated
+    either way by a backup, so the recovered coordinator must ask. *)
+let on_restart node ctx =
+  node.ever_crashed <- true;
+  node.locks <- Lock_table.create ();
+  Hashtbl.reset node.p_txns;
+  Hashtbl.reset node.c_txns;
+  Hashtbl.reset node.backups;
+  Hashtbl.reset node.pollings;
+  (* participant side *)
+  List.iter
+    (fun txn ->
+      match Kv_wal.classify_participant node.wal ~txn with
+      | Kv_wal.P_unknown | Kv_wal.P_resolved _ -> ()
+      | Kv_wal.P_in_doubt { coordinator; participants; writes; locks; precommitted } ->
+          List.iter
+            (fun (key, mode) -> Lock_table.force_grant node.locks ~txn ~key ~mode)
+            locks;
+          let p =
+            {
+              txn;
+              coordinator;
+              participants;
+              pending_ops = [];
+              held = locks;
+              writes;
+              status = (if precommitted then P_precommitted else P_prepared);
+              blocked_since = None;
+            }
+          in
+          Hashtbl.replace node.p_txns txn p)
+    (Kv_wal.participated_txns node.wal);
+  (* coordinator side *)
+  List.iter
+    (fun txn ->
+      match Kv_wal.classify_coordinator node.wal ~txn with
+      | Kv_wal.C_unknown -> ()
+      | Kv_wal.C_resolved { finished = true; _ } -> ()
+      | Kv_wal.C_resolved { participants; commit; finished = false } ->
+          List.iter
+            (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit }))
+            participants
+      | Kv_wal.C_collecting { participants; _ } ->
+          (* presumed abort: no outcome can have been announced *)
+          Kv_wal.append node.wal (Kv_wal.C_decided { txn; commit = false });
+          node.aborted <- node.aborted + 1;
+          List.iter
+            (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit = false }))
+            participants
+      | Kv_wal.C_in_precommit { participants } ->
+          (* a backup may have committed or aborted it: ask *)
+          query_loop node ctx ~txn ~targets:(List.filter (fun s -> s <> node.site) participants))
+    (Kv_wal.coordinated_txns node.wal);
+  (* the in-doubt participant entries: ask around *)
+  Hashtbl.iter
+    (fun txn (p : p_txn) ->
+      match p.status with
+      | P_prepared | P_precommitted ->
+          let everyone = List.filter (fun s -> s <> node.site) (List.init node.n_sites (fun i -> i + 1)) in
+          query_loop node ctx ~txn ~targets:everyone
+      | P_working | P_done _ -> ())
+    node.p_txns
+
+(* ------------------------------------------------------------------ *)
+(* message dispatch                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let status_of node ~txn : bool option =
+  (* what this site knows about txn's outcome, from stable state *)
+  match Kv_wal.classify_coordinator node.wal ~txn with
+  | Kv_wal.C_resolved { commit; _ } -> Some commit
+  | _ -> (
+      match Kv_wal.classify_participant node.wal ~txn with
+      | Kv_wal.P_resolved commit -> Some commit
+      | _ -> None)
+
+let on_message node ctx ~src (msg : Kv_msg.t) =
+  match msg with
+  | Kv_msg.Client_begin txn -> on_client_begin node ctx txn
+  | Kv_msg.Prepare { txn; ops; participants } -> on_prepare node ctx ~src ~txn ~ops ~participants
+  | Kv_msg.Vote { txn; vote } -> on_vote node ctx ~src ~txn ~vote
+  | Kv_msg.Precommit { txn } -> (
+      match Hashtbl.find_opt node.p_txns txn with
+      | Some p ->
+          (match p.status with
+          | P_prepared ->
+              Kv_wal.append node.wal (Kv_wal.P_precommitted { txn });
+              p.status <- P_precommitted
+          | P_working | P_precommitted | P_done _ -> ());
+          (match p.status with
+          | P_precommitted -> Sim.World.send ctx ~dst:src (Kv_msg.Precommit_ack { txn })
+          | P_done true -> Sim.World.send ctx ~dst:src (Kv_msg.Precommit_ack { txn })
+          | _ -> ())
+      | None -> ())
+  | Kv_msg.Precommit_ack { txn } -> on_precommit_ack node ctx ~src ~txn
+  | Kv_msg.Demote { txn } -> (
+      match Hashtbl.find_opt node.p_txns txn with
+      | Some p ->
+          (* termination phase 1, abort side: adopt the backup's state
+             (prepared), surrendering a precommit if we held one *)
+          (match p.status with
+          | P_precommitted -> p.status <- P_prepared
+          | P_working | P_prepared | P_done _ -> ());
+          (match p.status with
+          | P_prepared | P_working -> Sim.World.send ctx ~dst:src (Kv_msg.Demote_ack { txn })
+          | P_done false -> Sim.World.send ctx ~dst:src (Kv_msg.Demote_ack { txn })
+          | P_done true | P_precommitted -> ())
+      | None -> Sim.World.send ctx ~dst:src (Kv_msg.Demote_ack { txn }))
+  | Kv_msg.Demote_ack { txn } -> on_demote_ack node ctx ~src ~txn
+  | Kv_msg.Outcome { txn; commit } -> (
+      match Hashtbl.find_opt node.p_txns txn with
+      | Some p -> p_finish node ctx p ~commit
+      | None ->
+          (* nothing prepared here (e.g. recovered before voting): a commit
+             outcome is impossible without our yes vote *)
+          ())
+  | Kv_msg.Done { txn } -> (
+      match Hashtbl.find_opt node.c_txns txn with
+      | Some c -> (
+          match c.c_status with
+          | C_decided _ ->
+              Kv_wal.append node.wal (Kv_wal.C_finished { txn });
+              Hashtbl.remove node.c_txns txn
+          | C_collecting | C_precommitting -> ())
+      | None -> ())
+  | Kv_msg.Status_req { txn } ->
+      Sim.World.send ctx ~dst:src (Kv_msg.Status_rep { txn; outcome = status_of node ~txn })
+  | Kv_msg.PState_req { txn } ->
+      Sim.World.send ctx ~dst:src (Kv_msg.PState_rep { txn; state = local_pstate node ~txn })
+  | Kv_msg.PState_rep { txn; state } -> (
+      match (Hashtbl.find_opt node.pollings txn, node.termination) with
+      | Some poll, T_quorum q when List.mem src poll.q_awaiting -> (
+          poll.q_awaiting <- List.filter (fun s -> s <> src) poll.q_awaiting;
+          poll.q_reps <- (src, state) :: poll.q_reps;
+          match Hashtbl.find_opt node.p_txns txn with
+          | Some p -> evaluate_quorum_poll node ctx p ~q poll
+          | None -> ())
+      | _ -> ())
+  | Kv_msg.Status_rep { txn; outcome } -> (
+      match outcome with
+      | None -> ()
+      | Some commit -> (
+          (match Hashtbl.find_opt node.p_txns txn with
+          | Some p -> p_finish node ctx p ~commit
+          | None -> ());
+          match Kv_wal.classify_coordinator node.wal ~txn with
+          | Kv_wal.C_in_precommit { participants } when not (Hashtbl.mem node.c_txns txn) ->
+              Kv_wal.append node.wal (Kv_wal.C_decided { txn; commit });
+              if commit then node.committed <- node.committed + 1
+              else node.aborted <- node.aborted + 1;
+              List.iter
+                (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit }))
+                participants
+          | _ -> ()))
+
+(* wire the lock table's grant callback so parked transactions resume *)
+let install_grant_hook node ctx =
+  Lock_table.on_grant node.locks (fun txn ->
+      match Hashtbl.find_opt node.p_txns txn with
+      | Some p when p.status = P_working -> p_continue node ctx p
+      | _ -> ())

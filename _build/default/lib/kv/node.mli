@@ -1,0 +1,121 @@
+(** One database site: a resource manager (shard) for the keys it owns and
+    a transaction manager (coordinator) for the transactions submitted to
+    it.  {!Db} wires nodes into a world; this interface exposes the
+    handler surface plus the observability counters the harness reads. *)
+
+type protocol = Two_phase | Three_phase
+
+val pp_protocol : Format.formatter -> protocol -> unit
+val show_protocol : protocol -> string
+val equal_protocol : protocol -> protocol -> bool
+
+(** The classic commit-protocol presumptions: the covered outcome is
+    forgotten by the coordinator immediately and participants skip its
+    final acknowledgement; inquiries are answered by presumption. *)
+type presumption = No_presumption | Presume_abort | Presume_commit
+
+val pp_presumption : Format.formatter -> presumption -> unit
+val show_presumption : presumption -> string
+val equal_presumption : presumption -> presumption -> bool
+
+(** How orphaned transactions are terminated when their coordinator dies
+    under 3PC: [T_skeen] decides from the backup's own transaction state
+    (the paper's rule — live but partition-unsafe); [T_quorum q] polls
+    reachable participants and requires a quorum either way, with
+    monotone moves (never demoting a precommit). *)
+type termination = T_skeen | T_quorum of int
+
+val pp_termination : Format.formatter -> termination -> unit
+val show_termination : termination -> string
+val equal_termination : termination -> termination -> bool
+
+type p_status = P_working | P_prepared | P_precommitted | P_done of bool
+
+val pp_p_status : Format.formatter -> p_status -> unit
+val equal_p_status : p_status -> p_status -> bool
+
+type p_txn = {
+  txn : int;
+  coordinator : Core.Types.site;
+  participants : Core.Types.site list;
+  mutable pending_ops : Txn.op list;
+  mutable held : (string * Lock_table.mode) list;
+  mutable writes : (string * int) list;
+  mutable status : p_status;
+  mutable blocked_since : float option;  (** prepared with a dead 2PC coordinator *)
+}
+
+type c_status = C_collecting | C_precommitting | C_decided of bool
+
+type c_txn = {
+  c_id : int;
+  mutable c_participants : Core.Types.site list;
+  mutable awaiting_votes : Core.Types.site list;
+  mutable awaiting_acks : Core.Types.site list;
+  mutable c_status : c_status;
+  submitted_at : float;
+}
+
+type backup_state = { mutable b_awaiting : Core.Types.site list; b_commit : bool }
+
+(** Quorum termination: a state poll in flight. *)
+type poll_state = {
+  mutable q_awaiting : Core.Types.site list;
+  mutable q_reps :
+    (Core.Types.site * [ `Working | `Prepared | `Precommitted | `Done of bool ]) list;
+}
+
+type t = {
+  site : Core.Types.site;
+  n_sites : int;
+  protocol : protocol;
+  presumption : presumption;
+  termination : termination;
+  read_only_opt : bool;
+  storage : Storage.t;  (** stable: survives crashes *)
+  wal : Kv_wal.t;  (** stable: survives crashes *)
+  mutable locks : Lock_table.t;  (** volatile *)
+  p_txns : (int, p_txn) Hashtbl.t;  (** volatile *)
+  c_txns : (int, c_txn) Hashtbl.t;  (** volatile *)
+  backups : (int, backup_state) Hashtbl.t;  (** volatile *)
+  pollings : (int, poll_state) Hashtbl.t;  (** volatile *)
+  mutable down_view : Core.Types.site list;
+  mutable tainted : Core.Types.site list;
+  mutable ever_crashed : bool;
+  lock_wait_timeout : float;
+  query_interval : float;
+  mutable query_budget : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable deadlock_aborts : int;
+  mutable latencies : float list;
+  mutable blocked_time : float;  (** cumulative blocked-lock-holding time *)
+}
+
+val create :
+  ?presumption:presumption ->
+  ?termination:termination ->
+  ?read_only_opt:bool ->
+  site:Core.Types.site ->
+  n_sites:int ->
+  protocol:protocol ->
+  storage:Storage.t ->
+  wal:Kv_wal.t ->
+  lock_wait_timeout:float ->
+  query_interval:float ->
+  query_budget:int ->
+  unit ->
+  t
+
+val on_message : t -> Kv_msg.t Sim.World.ctx -> src:Core.Types.site -> Kv_msg.t -> unit
+val on_peer_down : t -> Kv_msg.t Sim.World.ctx -> Core.Types.site -> unit
+val on_peer_up : t -> Kv_msg.t Sim.World.ctx -> Core.Types.site -> unit
+
+val on_restart : t -> Kv_msg.t Sim.World.ctx -> unit
+(** Crash recovery: rebuild volatile state from the stable log,
+    re-establishing the locks of in-doubt transactions before accepting
+    new work, and resolve them by presumption or inquiry. *)
+
+val install_grant_hook : t -> Kv_msg.t Sim.World.ctx -> unit
+(** Wire the lock table's grant callback so parked transactions resume;
+    must be called at start and after every restart. *)

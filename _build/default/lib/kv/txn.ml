@@ -1,0 +1,41 @@
+(** Distributed transactions over the partitioned store.
+
+    Operations are deliberately read-modify-write friendly: [Add] lets a
+    bank transfer be expressed without a separate read round, while still
+    requiring exclusive locks and (for the invariant checker) exercising
+    atomicity across sites. *)
+
+type op =
+  | Get of string  (** shared lock, read *)
+  | Put of string * int  (** exclusive lock, absolute write *)
+  | Add of string * int  (** exclusive lock, increment *)
+[@@deriving show { with_path = false }, eq]
+
+type t = { id : int; ops : op list } [@@deriving show { with_path = false }, eq]
+
+let key_of_op = function Get k | Put (k, _) | Add (k, _) -> k
+
+let keys t = List.map key_of_op t.ops |> List.sort_uniq compare
+
+let lock_mode = function
+  | Get _ -> Lock_table.Shared
+  | Put _ | Add _ -> Lock_table.Exclusive
+
+(** [owner ~n_sites key] : the site storing [key] (hash partitioning,
+    sites 1..n). *)
+let owner ~n_sites key = (Hashtbl.hash key mod n_sites) + 1
+
+(** [participants ~n_sites t] : the sites touched by [t], sorted. *)
+let participants ~n_sites t =
+  List.map (owner ~n_sites) (keys t) |> List.sort_uniq compare
+
+(** [coordinator ~n_sites t] : the site that coordinates [t] — the owner of
+    its first key, so coordination is spread across the system. *)
+let coordinator ~n_sites t =
+  match t.ops with
+  | [] -> invalid_arg "Txn.coordinator: empty transaction"
+  | op :: _ -> owner ~n_sites (key_of_op op)
+
+(** Operations of [t] that execute at [site]. *)
+let ops_for ~n_sites t ~site =
+  List.filter (fun op -> owner ~n_sites (key_of_op op) = site) t.ops

@@ -1,0 +1,30 @@
+(** Distributed transactions over the partitioned store. *)
+
+type op =
+  | Get of string  (** shared lock, read *)
+  | Put of string * int  (** exclusive lock, absolute write *)
+  | Add of string * int  (** exclusive lock, increment (read-modify-write) *)
+
+val pp_op : Format.formatter -> op -> unit
+val show_op : op -> string
+val equal_op : op -> op -> bool
+
+type t = { id : int; ops : op list }
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+
+val key_of_op : op -> string
+val keys : t -> string list
+val lock_mode : op -> Lock_table.mode
+
+val owner : n_sites:int -> string -> Core.Types.site
+(** The site storing a key (hash partitioning, sites 1..n). *)
+
+val participants : n_sites:int -> t -> Core.Types.site list
+val coordinator : n_sites:int -> t -> Core.Types.site
+(** The owner of the first key coordinates, spreading coordination.
+    @raise Invalid_argument on empty transactions. *)
+
+val ops_for : n_sites:int -> t -> site:Core.Types.site -> op list

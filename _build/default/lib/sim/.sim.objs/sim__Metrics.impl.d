@@ -1,0 +1,1 @@
+lib/sim/metrics.pp.ml: Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/sim/world.pp.ml: Array Eventq Fmt List Metrics Rng

@@ -1,0 +1,1 @@
+lib/sim/world.pp.mli: Format Metrics Rng

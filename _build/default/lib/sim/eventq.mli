@@ -1,0 +1,16 @@
+(** A binary min-heap of timestamped events.  Ties on time are broken by
+    insertion sequence, making the schedule fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on negative or NaN time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the earliest event. *)
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,44 @@
+(** Simulation metrics: labelled counters and simple summary statistics,
+    collected per run and reported by the experiment harness. *)
+
+type summary = { count : int; total : float; min : float; max : float; mean : float }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  samples : (string, float list ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; samples = Hashtbl.create 16 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let observe t name v =
+  match Hashtbl.find_opt t.samples name with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.add t.samples name (ref [ v ])
+
+let summarize t name : summary option =
+  match Hashtbl.find_opt t.samples name with
+  | None | Some { contents = [] } -> None
+  | Some { contents = xs } ->
+      let count = List.length xs in
+      let total = List.fold_left ( +. ) 0.0 xs in
+      let mn = List.fold_left min infinity xs and mx = List.fold_left max neg_infinity xs in
+      Some { count; total; min = mn; max = mx; mean = total /. float_of_int count }
+
+let counters t = Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.counters [] |> List.sort compare
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-28s %d@," k v) (counters t);
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.samples []
+  |> List.sort compare
+  |> List.iter (fun k ->
+         match summarize t k with
+         | Some s ->
+             Fmt.pf ppf "%-28s n=%d mean=%.3f min=%.3f max=%.3f@," k s.count s.mean s.min s.max
+         | None -> ())

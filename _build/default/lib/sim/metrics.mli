@@ -1,0 +1,18 @@
+(** Simulation metrics: labelled counters and simple summary statistics,
+    collected per run and reported by the experiment harness. *)
+
+type t
+
+type summary = { count : int; total : float; min : float; max : float; mean : float }
+
+val create : unit -> t
+val incr : ?by:int -> t -> string -> unit
+val counter : t -> string -> int
+(** 0 for unknown counters. *)
+
+val observe : t -> string -> float -> unit
+val summarize : t -> string -> summary option
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every source of randomness in a simulation flows from one seed, so any
+    run — including every Monte-Carlo experiment — is exactly replayable
+    from its seed. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(** [split t] derives an independent generator; used to give each component
+    its own stream so adding draws in one component does not perturb
+    another. *)
+let split t =
+  let open Int64 in
+  { state = logxor (mul t.state 0x9E3779B97F4A7C15L) 0xBF58476D1CE4E5B9L }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [int t bound] draws uniformly from [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+(** [float t bound] draws uniformly from [0, bound). *)
+let float t bound =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  x /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [choice t l] picks a uniform element of the non-empty list [l]. *)
+let choice t l =
+  match l with
+  | [] -> invalid_arg "Rng.choice: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+(** Bernoulli draw with success probability [p]. *)
+let flip t ~p = float t 1.0 < p
+
+(** Exponentially distributed draw with the given [mean]. *)
+let exponential t ~mean = -.mean *. log (1.0 -. float t 1.0)
+
+(** Fisher–Yates shuffle (fresh list). *)
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

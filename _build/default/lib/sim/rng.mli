@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random numbers (splitmix64): every simulation is
+    a pure function of its seed. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent generator derived from the current state, so one
+    component's draws do not perturb another's. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+
+val choice : t -> 'a list -> 'a
+(** @raise Invalid_argument on the empty list. *)
+
+val flip : t -> p:float -> bool
+(** Bernoulli draw with success probability [p]. *)
+
+val exponential : t -> mean:float -> float
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates; returns a fresh list. *)

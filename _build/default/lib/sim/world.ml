@@ -1,0 +1,303 @@
+(** The simulated distributed system.
+
+    Implements exactly the paper's environmental assumptions (§"Design
+    assumptions"): the network provides point-to-point communication and
+    never fails; it can detect the failure of a site and reliably report it
+    to every operational site.  Sites fail by crashing (fail-stop) and may
+    later recover with their stable storage intact.
+
+    Determinism: every run is a pure function of the seed — event ties are
+    broken by sequence number and all randomness flows from {!Rng}.
+
+    Partial state transitions (paper §"Site failures and atomicity of local
+    state transitions") are expressible: a handler may call {!crash_self}
+    between two [send]s, after which its remaining sends are dropped — the
+    site "transmitted only part of the messages" of the transition. *)
+
+type site = int
+
+type 'msg event =
+  | Deliver of { src : site; dst : site; dst_gen : int; msg : 'msg }
+  | Timer of { site : site; gen : int; id : int; callback : unit -> unit }
+  | Crash of site
+  | Recover of site
+  | Detect_down of { observer : site; failed : site }
+  | Detect_up of { observer : site; recovered : site }
+  | False_down of { observer : site; suspect : site }
+      (** a partition makes the detector wrongly report a live site as
+          failed — the violation of the paper's reliability assumption *)
+
+type trace_entry = { at : float; what : string }
+
+type 'msg handlers = {
+  on_start : 'msg ctx -> unit;  (** called once at time 0 *)
+  on_message : 'msg ctx -> src:site -> 'msg -> unit;
+  on_peer_down : 'msg ctx -> site -> unit;  (** reliable failure report *)
+  on_peer_up : 'msg ctx -> site -> unit;  (** reliable recovery report *)
+  on_restart : 'msg ctx -> unit;  (** this site restarts after a crash *)
+}
+
+and 'msg t = {
+  n_sites : int;
+  mutable now : float;
+  queue : 'msg event Eventq.t;
+  alive : bool array;
+  generation : int array;  (** incarnation number; bumped on crash *)
+  mutable handlers : (site -> 'msg handlers) option;
+  latency : 'msg t -> src:site -> dst:site -> float;
+  detection_delay : float;
+  rng : Rng.t;
+  metrics : Metrics.t;
+  msg_to_string : 'msg -> string;
+  mutable trace : trace_entry list;  (** reverse order *)
+  mutable tracing : bool;
+  mutable next_timer_id : int;
+  mutable cancelled_timers : int list;
+  mutable stopped : bool;
+  mutable partitions : partition list;
+}
+
+and partition = { p_from : float; p_until : float; p_group : (site * int) list }
+
+and 'msg ctx = { world : 'msg t; self : site }
+
+let default_latency world ~src:_ ~dst:_ = 1.0 +. Rng.float world.rng 0.1
+
+(** [create ~n_sites ~seed ~msg_to_string ()] builds a world of [n_sites]
+    sites (numbered 1..n), all initially operational.
+
+    @param latency per-message delay; default 1.0 + U(0, 0.1)
+    @param detection_delay how long after a crash the detector reports it;
+           default 2.0 *)
+let create ?(latency = default_latency) ?(detection_delay = 2.0) ~n_sites ~seed ~msg_to_string () =
+  if n_sites < 1 then invalid_arg "World.create: need at least one site";
+  {
+    n_sites;
+    now = 0.0;
+    queue = Eventq.create ();
+    alive = Array.make (n_sites + 1) true;
+    generation = Array.make (n_sites + 1) 0;
+    handlers = None;
+    latency;
+    detection_delay;
+    rng = Rng.create ~seed;
+    metrics = Metrics.create ();
+    msg_to_string;
+    trace = [];
+    tracing = false;
+    next_timer_id = 0;
+    cancelled_timers = [];
+    stopped = false;
+    partitions = [];
+  }
+
+let now w = w.now
+let rng w = w.rng
+let metrics w = w.metrics
+let sites w = List.init w.n_sites (fun i -> i + 1)
+let set_tracing w b = w.tracing <- b
+
+let trace_entries w = List.rev w.trace
+
+let record w fmt =
+  Fmt.kstr
+    (fun s -> if w.tracing then w.trace <- { at = w.now; what = s } :: w.trace)
+    fmt
+
+let check_site w s =
+  if s < 1 || s > w.n_sites then Fmt.invalid_arg "World: site %d out of range 1..%d" s w.n_sites
+
+(** The perfect failure detector's current view, queryable by any site. *)
+let is_alive w s =
+  check_site w s;
+  w.alive.(s)
+
+let operational_sites w = List.filter (is_alive w) (sites w)
+
+(* Are [a] and [b] currently separated by an active partition? *)
+let separated w a b =
+  a <> b
+  && List.exists
+       (fun p ->
+         w.now >= p.p_from && w.now < p.p_until
+         &&
+         match (List.assoc_opt a p.p_group, List.assoc_opt b p.p_group) with
+         | Some ga, Some gb -> ga <> gb
+         | _ -> false)
+       w.partitions
+
+(** [schedule_partition w ~from_t ~until_t groups] splits the network into
+    the given site groups during [from_t, until_t): messages between
+    groups are silently dropped, and — the crucial violation of the
+    paper's assumption — after the detection delay each side's failure
+    detector wrongly reports the other side's sites as failed.  When the
+    partition heals the detector issues recovery reports. *)
+let schedule_partition w ~from_t ~until_t groups =
+  let p_group = List.concat (List.mapi (fun g ss -> List.map (fun s -> (s, g)) ss) groups) in
+  List.iter (fun (s, _) -> check_site w s) p_group;
+  w.partitions <- { p_from = from_t; p_until = until_t; p_group } :: w.partitions;
+  List.iter
+    (fun (a, ga) ->
+      List.iter
+        (fun (b, gb) ->
+          if a <> b && ga <> gb then begin
+            Eventq.push w.queue ~time:(from_t +. w.detection_delay)
+              (False_down { observer = a; suspect = b });
+            Eventq.push w.queue ~time:(until_t +. w.detection_delay)
+              (Detect_up { observer = a; recovered = b })
+          end)
+        p_group)
+    p_group
+
+let handlers_for w s =
+  match w.handlers with
+  | Some f -> f s
+  | None -> invalid_arg "World: no handlers registered"
+
+(** [send ctx ~dst msg] puts [msg] on the wire.  Messages from a crashed
+    sender are dropped (models partial transmission when a handler crashes
+    itself mid-broadcast); messages reach [dst] only if it is still the same
+    incarnation when the message arrives. *)
+let send ctx ~dst msg =
+  let w = ctx.world in
+  check_site w dst;
+  if w.alive.(ctx.self) then begin
+    Metrics.incr w.metrics "messages_sent";
+    record w "send %d->%d %s" ctx.self dst (w.msg_to_string msg);
+    let delay = w.latency w ~src:ctx.self ~dst in
+    Eventq.push w.queue ~time:(w.now +. delay)
+      (Deliver { src = ctx.self; dst; dst_gen = w.generation.(dst); msg })
+  end
+  else record w "send-dropped (sender %d down) ->%d %s" ctx.self dst (w.msg_to_string msg)
+
+let broadcast ctx ~dsts msg = List.iter (fun dst -> send ctx ~dst msg) dsts
+
+(** [inject w ~dst ~at msg] delivers [msg] to [dst] at absolute time [at],
+    from outside the system (the environment/client, site 0).  Used for the
+    initial transaction requests, whose distribution mechanism the paper
+    deliberately leaves unmodelled. *)
+let inject w ~dst ~at msg =
+  check_site w dst;
+  Eventq.push w.queue ~time:at (Deliver { src = 0; dst; dst_gen = w.generation.(dst); msg })
+
+(** [set_timer ctx ~delay f] schedules [f] to run at [now + delay] unless
+    the site crashes first or the timer is cancelled. *)
+let set_timer ctx ~delay f =
+  let w = ctx.world in
+  let id = w.next_timer_id in
+  w.next_timer_id <- id + 1;
+  Eventq.push w.queue ~time:(w.now +. delay)
+    (Timer { site = ctx.self; gen = w.generation.(ctx.self); id; callback = f });
+  id
+
+let cancel_timer ctx id = ctx.world.cancelled_timers <- id :: ctx.world.cancelled_timers
+
+let schedule_crash w ~at s =
+  check_site w s;
+  Eventq.push w.queue ~time:at (Crash s)
+
+let schedule_recovery w ~at s =
+  check_site w s;
+  Eventq.push w.queue ~time:at (Recover s)
+
+let do_crash w s =
+  if w.alive.(s) then begin
+    w.alive.(s) <- false;
+    w.generation.(s) <- w.generation.(s) + 1;
+    Metrics.incr w.metrics "crashes";
+    record w "CRASH site %d" s;
+    (* The network reliably reports the failure to every operational site
+       after the detection delay. *)
+    List.iter
+      (fun observer ->
+        if observer <> s then
+          Eventq.push w.queue ~time:(w.now +. w.detection_delay)
+            (Detect_down { observer; failed = s }))
+      (sites w)
+  end
+
+(** [crash_self ctx] crashes the calling site immediately: its pending
+    timers die, and any [send] it performs later in the same handler is
+    dropped. *)
+let crash_self ctx = do_crash ctx.world ctx.self
+
+let do_recover w s =
+  if not w.alive.(s) then begin
+    w.alive.(s) <- true;
+    Metrics.incr w.metrics "recoveries";
+    record w "RECOVER site %d" s;
+    (handlers_for w s).on_restart { world = w; self = s };
+    List.iter
+      (fun observer ->
+        if observer <> s then
+          Eventq.push w.queue ~time:(w.now +. w.detection_delay)
+            (Detect_up { observer; recovered = s }))
+      (sites w)
+  end
+
+let stop w = w.stopped <- true
+
+let dispatch w = function
+  | Deliver { src; dst; dst_gen; msg } ->
+      if separated w src dst then begin
+        Metrics.incr w.metrics "messages_partitioned";
+        record w "partition drops %d->%d %s" src dst (w.msg_to_string msg)
+      end
+      else if w.alive.(dst) && w.generation.(dst) = dst_gen then begin
+        Metrics.incr w.metrics "messages_delivered";
+        record w "deliver %d->%d %s" src dst (w.msg_to_string msg);
+        (handlers_for w dst).on_message { world = w; self = dst } ~src msg
+      end
+      else begin
+        Metrics.incr w.metrics "messages_dropped";
+        record w "drop %d->%d %s" src dst (w.msg_to_string msg)
+      end
+  | Timer { site; gen; id; callback } ->
+      if w.alive.(site) && w.generation.(site) = gen && not (List.mem id w.cancelled_timers) then
+        callback ()
+  | Crash s -> do_crash w s
+  | Recover s -> do_recover w s
+  | Detect_down { observer; failed } ->
+      if w.alive.(observer) && not w.alive.(failed) then begin
+        record w "site %d detects failure of site %d" observer failed;
+        (handlers_for w observer).on_peer_down { world = w; self = observer } failed
+      end
+  | False_down { observer; suspect } ->
+      (* only while the partition still separates them: a short-lived
+         partition that healed before detection stays invisible *)
+      if w.alive.(observer) && separated w observer suspect then begin
+        Metrics.incr w.metrics "false_suspicions";
+        record w "site %d FALSELY suspects site %d (partition)" observer suspect;
+        (handlers_for w observer).on_peer_down { world = w; self = observer } suspect
+      end
+  | Detect_up { observer; recovered } ->
+      if w.alive.(observer) && w.alive.(recovered) then begin
+        record w "site %d detects recovery of site %d" observer recovered;
+        (handlers_for w observer).on_peer_up { world = w; self = observer } recovered
+      end
+
+(** [run w ~handlers ?until ()] registers handlers, starts every site, and
+    processes events in timestamp order until quiescence, [until] (default
+    100_000.0 time units), or {!stop}.  Returns the final simulation
+    time. *)
+let run w ~handlers ?(until = 100_000.0) () =
+  w.handlers <- Some handlers;
+  List.iter (fun s -> if w.alive.(s) then (handlers s).on_start { world = w; self = s }) (sites w);
+  let rec loop () =
+    if w.stopped then ()
+    else
+      match Eventq.pop w.queue with
+      | None -> ()
+      | Some (time, ev) ->
+          if time > until then ()
+          else begin
+            w.now <- max w.now time;
+            dispatch w ev;
+            loop ()
+          end
+  in
+  loop ();
+  w.now
+
+let pp_trace ppf w =
+  List.iter (fun e -> Fmt.pf ppf "%8.2f  %s@," e.at e.what) (trace_entries w)

@@ -1,0 +1,94 @@
+(** The simulated distributed system, implementing exactly the paper's
+    environmental assumptions: reliable point-to-point communication, a
+    network that detects site failures and reliably reports them to every
+    operational site, fail-stop crashes with later recovery, and stable
+    storage managed by the layers above.
+
+    Partial state transitions are expressible: a handler may call
+    {!crash_self} between two sends, after which its remaining sends are
+    dropped — the site "transmitted only part of the messages" of the
+    transition. *)
+
+type site = int
+
+type trace_entry = { at : float; what : string }
+
+type 'msg t
+
+type 'msg ctx = { world : 'msg t; self : site }
+(** The capability handed to handlers: the world plus the identity of the
+    site the handler runs at. *)
+
+type 'msg handlers = {
+  on_start : 'msg ctx -> unit;  (** called once at time 0 *)
+  on_message : 'msg ctx -> src:site -> 'msg -> unit;
+  on_peer_down : 'msg ctx -> site -> unit;  (** reliable failure report *)
+  on_peer_up : 'msg ctx -> site -> unit;  (** reliable recovery report *)
+  on_restart : 'msg ctx -> unit;  (** this site restarts after a crash *)
+}
+
+val create :
+  ?latency:('msg t -> src:site -> dst:site -> float) ->
+  ?detection_delay:float ->
+  n_sites:int ->
+  seed:int ->
+  msg_to_string:('msg -> string) ->
+  unit ->
+  'msg t
+(** A world of [n_sites] sites (numbered 1..n), all initially
+    operational.  Default latency: 1.0 + U(0, 0.1); default detection
+    delay: 2.0.  Deterministic in [seed]. *)
+
+val now : 'msg t -> float
+val rng : 'msg t -> Rng.t
+val metrics : 'msg t -> Metrics.t
+val sites : 'msg t -> site list
+val is_alive : 'msg t -> site -> bool
+(** The perfect failure detector's current view. *)
+
+val operational_sites : 'msg t -> site list
+
+val send : 'msg ctx -> dst:site -> 'msg -> unit
+(** Messages from a crashed sender are dropped (partial transmission);
+    messages reach [dst] only if it is still the same incarnation on
+    arrival. *)
+
+val broadcast : 'msg ctx -> dsts:site list -> 'msg -> unit
+
+val inject : 'msg t -> dst:site -> at:float -> 'msg -> unit
+(** Delivery from the environment (site 0) at absolute time [at] — the
+    initial transaction requests. *)
+
+val set_timer : 'msg ctx -> delay:float -> (unit -> unit) -> int
+(** Fires unless the site crashes first or the timer is cancelled;
+    returns a cancellation id. *)
+
+val cancel_timer : 'msg ctx -> int -> unit
+val schedule_crash : 'msg t -> at:float -> site -> unit
+val schedule_recovery : 'msg t -> at:float -> site -> unit
+
+val schedule_partition : 'msg t -> from_t:float -> until_t:float -> site list list -> unit
+(** Split the network into the given groups during [from_t, until_t):
+    messages between groups are dropped and — violating the paper's
+    reliable-detector assumption — each side's detector wrongly reports
+    the other side's sites as failed after the detection delay.  Healing
+    issues recovery reports.  Used by the ablation experiment that shows
+    why the paper must assume a partition-free network. *)
+
+val crash_self : 'msg ctx -> unit
+(** Immediate crash of the calling site: pending timers die, later sends
+    in the same handler are dropped. *)
+
+val stop : 'msg t -> unit
+
+val run : 'msg t -> handlers:(site -> 'msg handlers) -> ?until:float -> unit -> float
+(** Registers handlers, starts every site, processes events in timestamp
+    order until quiescence, [until] (default 100_000.0), or {!stop}.
+    Returns the final simulation time. *)
+
+val set_tracing : 'msg t -> bool -> unit
+val trace_entries : 'msg t -> trace_entry list
+val record : 'msg t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Append a formatted line to the trace (no-op unless tracing). *)
+
+val pp_trace : Format.formatter -> 'msg t -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Core Engine Kv List QCheck2 QCheck_alcotest

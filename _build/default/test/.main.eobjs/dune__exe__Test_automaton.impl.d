@@ -1,0 +1,1 @@
+test/test_automaton.ml: Alcotest Core Dump Fmt Helpers List

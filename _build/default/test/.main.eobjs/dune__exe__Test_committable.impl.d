@@ -1,0 +1,1 @@
+test/test_committable.ml: Alcotest Core Fmt List

@@ -1,0 +1,1 @@
+test/test_db_quorum.ml: Alcotest Kv List Sim

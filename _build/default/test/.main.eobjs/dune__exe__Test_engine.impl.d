@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Core Engine Fmt Helpers List

@@ -1,0 +1,1 @@
+test/test_global.ml: Alcotest Array Core List

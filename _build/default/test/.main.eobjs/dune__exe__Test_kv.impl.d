@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Helpers Kv List QCheck2 Sim

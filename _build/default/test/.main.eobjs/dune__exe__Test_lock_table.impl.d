@@ -1,0 +1,1 @@
+test/test_lock_table.ml: Alcotest Helpers Kv List QCheck2

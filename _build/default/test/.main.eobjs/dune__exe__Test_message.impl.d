@@ -1,0 +1,1 @@
+test/test_message.ml: Alcotest Core Helpers List QCheck2

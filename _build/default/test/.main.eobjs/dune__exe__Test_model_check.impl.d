@@ -1,0 +1,1 @@
+test/test_model_check.ml: Alcotest Array Core Engine Fmt List

@@ -1,0 +1,1 @@
+test/test_model_check_quorum.ml: Alcotest Core Engine Fmt List

@@ -1,0 +1,1 @@
+test/test_nonblocking.ml: Alcotest Core Fmt List

@@ -1,0 +1,1 @@
+test/test_presumption.ml: Alcotest Fmt Kv List Sim

@@ -1,0 +1,1 @@
+test/test_properties.ml: Core Engine Fmt Helpers Kv Lazy List QCheck2 Sim

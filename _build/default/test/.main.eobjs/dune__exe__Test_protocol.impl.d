@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Core Fmt List String

@@ -1,0 +1,1 @@
+test/test_reachability.ml: Alcotest Array Core List

@@ -1,0 +1,1 @@
+test/test_read_only_termination.ml: Alcotest Fmt Kv List

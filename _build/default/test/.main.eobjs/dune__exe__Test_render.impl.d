@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Core List String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Core Engine Fmt Helpers Lazy List

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Fmt Fun Helpers List Option QCheck2 Sim String

@@ -1,0 +1,1 @@
+test/test_skeleton.ml: Alcotest Core Helpers List

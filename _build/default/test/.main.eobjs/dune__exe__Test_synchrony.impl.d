@@ -1,0 +1,1 @@
+test/test_synchrony.ml: Alcotest Core Fmt List

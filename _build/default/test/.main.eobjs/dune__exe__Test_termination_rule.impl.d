@@ -1,0 +1,1 @@
+test/test_termination_rule.ml: Alcotest Core Fmt Helpers List

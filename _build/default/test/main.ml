@@ -1,0 +1,35 @@
+(** The aggregated test runner: one suite per module of the library. *)
+
+let () =
+  Alcotest.run "skeen81"
+    [
+      ("message", Test_message.suite);
+      ("automaton", Test_automaton.suite);
+      ("catalog", Test_catalog.suite);
+      ("protocol", Test_protocol.suite);
+      ("global", Test_global.suite);
+      ("reachability", Test_reachability.suite);
+      ("concurrency", Test_concurrency.suite);
+      ("committable", Test_committable.suite);
+      ("nonblocking", Test_nonblocking.suite);
+      ("synchrony", Test_synchrony.suite);
+      ("skeleton", Test_skeleton.suite);
+      ("synthesis", Test_synthesis.suite);
+      ("termination-rule", Test_termination_rule.suite);
+      ("sim", Test_sim.suite);
+      ("engine", Test_engine.suite);
+      ("election", Test_election.suite);
+      ("partition", Test_partition.suite);
+      ("properties", Test_properties.suite);
+      ("quorum", Test_quorum.suite);
+      ("presumption", Test_presumption.suite);
+      ("render", Test_render.suite);
+      ("model-check", Test_model_check.suite);
+      ("model-check-quorum", Test_model_check_quorum.suite);
+      ("db-quorum", Test_db_quorum.suite);
+      ("read-only-termination", Test_read_only_termination.suite);
+      ("runtime", Test_runtime.suite);
+      ("lock-table", Test_lock_table.suite);
+      ("kv", Test_kv.suite);
+      ("db", Test_db.suite);
+    ]

@@ -1,0 +1,143 @@
+(** Tests for {!Core.Automaton}: structure, validation, adjacency, levels,
+    enabled transitions. *)
+
+module A = Core.Automaton
+module M = Core.Message
+
+let st id kind = { A.id; kind }
+let msg name src dst = M.make ~name ~src ~dst
+
+let tr ?(consumes = []) ?(emits = []) ?vote from_state to_state =
+  { A.from_state; to_state; consumes; emits; vote }
+
+let simple =
+  A.make ~site:1
+    ~states:[ st "q" Core.Types.Initial; st "w" Core.Types.Wait; st "a" Core.Types.Abort; st "c" Core.Types.Commit ]
+    ~initial:"q"
+    ~transitions:
+      [
+        tr "q" "w" ~consumes:[ msg "xact" 0 1 ] ~emits:[ msg "yes" 1 2 ] ~vote:Core.Types.Yes;
+        tr "q" "a" ~consumes:[ msg "xact" 0 1 ] ~emits:[ msg "no" 1 2 ] ~vote:Core.Types.No;
+        tr "w" "c" ~consumes:[ msg "commit" 2 1 ];
+        tr "w" "a" ~consumes:[ msg "abort" 2 1 ];
+      ]
+
+let test_valid () = Alcotest.(check bool) "simple FSA is valid" true (A.is_valid simple)
+
+let test_successors () =
+  Alcotest.(check (list string)) "succ q" [ "a"; "w" ] (A.successors simple "q");
+  Alcotest.(check (list string)) "succ w" [ "a"; "c" ] (A.successors simple "w");
+  Alcotest.(check (list string)) "succ c" [] (A.successors simple "c")
+
+let test_predecessors () =
+  Alcotest.(check (list string)) "pred a" [ "q"; "w" ] (A.predecessors simple "a");
+  Alcotest.(check (list string)) "pred q" [] (A.predecessors simple "q")
+
+let test_adjacent () =
+  Alcotest.(check (list string)) "adjacent w" [ "a"; "c"; "q" ] (A.adjacent simple "w");
+  Alcotest.(check (list string)) "adjacent c" [ "w" ] (A.adjacent simple "c")
+
+let test_kind_lookup () =
+  Alcotest.check Helpers.state_kind "kind c" Core.Types.Commit (A.kind_of simple "c");
+  Alcotest.check_raises "unknown state"
+    (Invalid_argument "Automaton.state_exn: unknown state zz at site 1") (fun () ->
+      ignore (A.kind_of simple "zz"))
+
+let test_final_partition () =
+  Alcotest.(check int) "two final states" 2 (List.length (A.final_states simple));
+  Alcotest.(check int) "one commit" 1 (List.length (A.commit_states simple));
+  Alcotest.(check int) "one abort" 1 (List.length (A.abort_states simple))
+
+let test_validate_cycle () =
+  let cyclic =
+    A.make ~site:1
+      ~states:[ st "q" Core.Types.Initial; st "w" Core.Types.Wait ]
+      ~initial:"q"
+      ~transitions:[ tr "q" "w"; tr "w" "q" ]
+  in
+  match A.validate cyclic with
+  | [ A.Cyclic _ ] -> ()
+  | other -> Alcotest.failf "expected cycle violation, got %a" Fmt.(Dump.list A.pp_violation) other
+
+let test_validate_final_successor () =
+  let bad =
+    A.make ~site:1
+      ~states:[ st "q" Core.Types.Initial; st "c" Core.Types.Commit; st "a" Core.Types.Abort ]
+      ~initial:"q"
+      ~transitions:[ tr "q" "c"; tr "c" "a" ]
+  in
+  Alcotest.(check bool) "commit with successor rejected" true
+    (List.mem (A.Final_with_successor "c") (A.validate bad))
+
+let test_validate_unreachable () =
+  let bad =
+    A.make ~site:1
+      ~states:[ st "q" Core.Types.Initial; st "c" Core.Types.Commit; st "w" Core.Types.Wait ]
+      ~initial:"q"
+      ~transitions:[ tr "q" "c" ]
+  in
+  Alcotest.(check bool) "unreachable state reported" true
+    (List.mem (A.Unreachable "w") (A.validate bad))
+
+let test_validate_unknown_state () =
+  let bad =
+    A.make ~site:1 ~states:[ st "q" Core.Types.Initial ] ~initial:"q"
+      ~transitions:[ tr "q" "ghost" ]
+  in
+  Alcotest.(check bool) "unknown state reported" true
+    (List.mem (A.Unknown_state "ghost") (A.validate bad))
+
+let test_levels () =
+  (* a chain without the q->a shortcut has well-defined phases *)
+  let chain =
+    A.make ~site:1
+      ~states:
+        [ st "q" Core.Types.Initial; st "w" Core.Types.Wait; st "p" Core.Types.Buffer; st "c" Core.Types.Commit ]
+      ~initial:"q"
+      ~transitions:[ tr "q" "w"; tr "w" "p"; tr "p" "c" ]
+  in
+  match A.levels chain with
+  | Ok levels ->
+      Alcotest.(check (option int)) "q at level 0" (Some 0) (List.assoc_opt "q" levels);
+      Alcotest.(check (option int)) "w at level 1" (Some 1) (List.assoc_opt "w" levels);
+      Alcotest.(check (option int)) "c at level 3" (Some 3) (List.assoc_opt "c" levels)
+  | Error id -> Alcotest.failf "unexpected level conflict at %s" id
+
+let test_levels_conflict () =
+  (* state [a] reachable in 1 step (q->a) and 2 steps (q->w->a): the phase
+     is ill-defined, which [levels] must report. *)
+  match A.levels simple with
+  | Error "a" -> ()
+  | Error other -> Alcotest.failf "conflict at wrong state %s" other
+  | Ok _ -> Alcotest.fail "expected a level conflict on state a"
+
+let test_enabled () =
+  let net = M.Multiset.of_list [ msg "xact" 0 1 ] in
+  let en = A.enabled simple "q" net in
+  Alcotest.(check int) "both vote transitions enabled" 2 (List.length en);
+  Alcotest.(check int) "nothing enabled on empty tape" 0
+    (List.length (A.enabled simple "q" M.Multiset.empty));
+  let spont =
+    A.make ~site:1
+      ~states:[ st "q" Core.Types.Initial; st "a" Core.Types.Abort ]
+      ~initial:"q" ~transitions:[ tr "q" "a" ]
+  in
+  Alcotest.(check int) "spontaneous transition always enabled" 1
+    (List.length (A.enabled spont "q" M.Multiset.empty))
+
+let suite =
+  [
+    Alcotest.test_case "valid FSA" `Quick test_valid;
+    Alcotest.test_case "successors" `Quick test_successors;
+    Alcotest.test_case "predecessors" `Quick test_predecessors;
+    Alcotest.test_case "adjacent" `Quick test_adjacent;
+    Alcotest.test_case "kind lookup" `Quick test_kind_lookup;
+    Alcotest.test_case "final partition" `Quick test_final_partition;
+    Alcotest.test_case "cycle detection" `Quick test_validate_cycle;
+    Alcotest.test_case "final irreversibility" `Quick test_validate_final_successor;
+    Alcotest.test_case "unreachable detection" `Quick test_validate_unreachable;
+    Alcotest.test_case "unknown state detection" `Quick test_validate_unknown_state;
+    Alcotest.test_case "levels" `Quick test_levels;
+    Alcotest.test_case "level conflict (2PC abort)" `Quick test_levels_conflict;
+    Alcotest.test_case "enabled transitions" `Quick test_enabled;
+  ]

@@ -1,0 +1,71 @@
+(** Tests for {!Core.Committable}: the vote-based inference of committable
+    states (paper §3). *)
+
+module C = Core.Catalog
+module Cm = Core.Committable
+module R = Core.Reachability
+
+let committable_ids p = Cm.committable_ids (Cm.compute (R.build p))
+
+let test_2pc_single_committable () =
+  (* "A blocking protocol usually has only one committable state" *)
+  Alcotest.(check (list string)) "central 2pc: only c" [ "c" ]
+    (committable_ids (C.central_2pc 3));
+  Alcotest.(check (list string)) "decentralized 2pc: only c" [ "c" ]
+    (committable_ids (C.decentralized_2pc 3))
+
+let test_3pc_two_committable () =
+  (* "nonblocking protocols always have more than one" *)
+  Alcotest.(check (list string)) "central 3pc: p and c" [ "c"; "p" ]
+    (committable_ids (C.central_3pc 3));
+  Alcotest.(check (list string)) "decentralized 3pc: p and c" [ "c"; "p" ]
+    (committable_ids (C.decentralized_3pc 3))
+
+let test_per_site () =
+  let cm = Cm.compute (R.build (C.central_3pc 3)) in
+  List.iter
+    (fun site ->
+      Alcotest.(check bool) (Fmt.str "site %d: w noncommittable" site) false
+        (Cm.is_committable cm ~site ~state:"w");
+      Alcotest.(check bool) (Fmt.str "site %d: p committable" site) true
+        (Cm.is_committable cm ~site ~state:"p");
+      Alcotest.(check bool) (Fmt.str "site %d: q noncommittable" site) false
+        (Cm.is_committable cm ~site ~state:"q"))
+    [ 1; 2; 3 ]
+
+let test_one_pc_implicit_consent () =
+  (* 1PC slaves never vote: their consent is implicit, so occupancy of c
+     still counts as committable (the blocking defect of 1PC lies in its
+     concurrency sets, not here) *)
+  Alcotest.(check (list string)) "1pc: c committable" [ "c" ] (committable_ids (C.one_pc 3))
+
+let test_committable_pairs_sorted () =
+  let cm = Cm.compute (R.build (C.central_2pc 2)) in
+  let pairs = Cm.committable_pairs cm in
+  Alcotest.(check bool) "sorted" true (List.sort compare pairs = pairs);
+  Alcotest.(check bool) "contains (1, c)" true (List.mem (1, "c") pairs);
+  Alcotest.(check bool) "contains (2, c)" true (List.mem (2, "c") pairs)
+
+let test_abort_states_noncommittable () =
+  (* a state reachable with a no vote cast can never be committable *)
+  List.iter
+    (fun p ->
+      let cm = Cm.compute (R.build p) in
+      List.iter
+        (fun site ->
+          Alcotest.(check bool)
+            (Fmt.str "%s site %d: a noncommittable" p.Core.Protocol.name site)
+            false
+            (Cm.is_committable cm ~site ~state:"a"))
+        (Core.Protocol.sites p))
+    [ C.central_2pc 3; C.central_3pc 3; C.decentralized_2pc 3 ]
+
+let suite =
+  [
+    Alcotest.test_case "2PC: one committable state" `Quick test_2pc_single_committable;
+    Alcotest.test_case "3PC: two committable states" `Quick test_3pc_two_committable;
+    Alcotest.test_case "per-site committability" `Quick test_per_site;
+    Alcotest.test_case "1PC implicit consent" `Quick test_one_pc_implicit_consent;
+    Alcotest.test_case "committable pairs" `Quick test_committable_pairs_sorted;
+    Alcotest.test_case "abort states noncommittable" `Quick test_abort_states_noncommittable;
+  ]

@@ -1,0 +1,106 @@
+(** Tests for {!Core.Concurrency}: exact concurrency sets, checked against
+    the tables printed in the paper. *)
+
+module C = Core.Catalog
+module Cs = Core.Concurrency
+module R = Core.Reachability
+
+let test_canonical_2pc_table () =
+  (* the paper's figure "Concurrency sets in the canonical 2PC protocol":
+     CS(q) = {q,w,a}, CS(w) = {q,w,a,c}, CS(a) = {q,w,a}, CS(c) = {w,c} —
+     realised exactly by the 2-site decentralized 2PC *)
+  let g = R.build (C.decentralized_2pc 2) in
+  Helpers.check_sorted_list "CS(q)" [ "a"; "q"; "w" ] (Helpers.cs_ids g "q");
+  Helpers.check_sorted_list "CS(w)" [ "a"; "c"; "q"; "w" ] (Helpers.cs_ids g "w");
+  Helpers.check_sorted_list "CS(a)" [ "a"; "q"; "w" ] (Helpers.cs_ids g "a");
+  Helpers.check_sorted_list "CS(c)" [ "c"; "w" ] (Helpers.cs_ids g "c")
+
+let test_canonical_3pc_table () =
+  (* the 3PC counterpart: the buffer state separates w from c *)
+  let g = R.build (C.decentralized_3pc 2) in
+  Helpers.check_sorted_list "CS(q)" [ "a"; "q"; "w" ] (Helpers.cs_ids g "q");
+  Helpers.check_sorted_list "CS(w)" [ "a"; "p"; "q"; "w" ] (Helpers.cs_ids g "w");
+  Helpers.check_sorted_list "CS(p)" [ "c"; "p"; "w" ] (Helpers.cs_ids g "p");
+  Helpers.check_sorted_list "CS(a)" [ "a"; "q"; "w" ] (Helpers.cs_ids g "a");
+  Helpers.check_sorted_list "CS(c)" [ "c"; "p" ] (Helpers.cs_ids g "c")
+
+let test_central_2pc_coordinator_never_sees_commit_in_w () =
+  (* the key asymmetry of central 2PC: a slave in w may coexist with a
+     commit state, the coordinator in w may not *)
+  let g = R.build (C.central_2pc 3) in
+  let cs = Cs.compute g in
+  Alcotest.(check bool) "coordinator w: no commit" false
+    (Cs.contains_commit cs ~site:1 ~state:"w");
+  Alcotest.(check bool) "slave w: commit possible" true
+    (Cs.contains_commit cs ~site:2 ~state:"w");
+  Alcotest.(check bool) "slave w: abort possible" true (Cs.contains_abort cs ~site:2 ~state:"w")
+
+let test_central_3pc_p_has_no_abort () =
+  let g = R.build (C.central_3pc 3) in
+  let cs = Cs.compute g in
+  List.iter
+    (fun site ->
+      Alcotest.(check bool)
+        (Fmt.str "site %d p: no abort" site)
+        false
+        (Cs.contains_abort cs ~site ~state:"p"))
+    [ 1; 2; 3 ]
+
+let test_occupied_states () =
+  let g = R.build (C.central_2pc 2) in
+  let cs = Cs.compute g in
+  Helpers.check_sorted_list "coordinator occupies all four" [ "a"; "c"; "q"; "w" ]
+    (Cs.occupied_states cs ~site:1);
+  Helpers.check_sorted_list "slave occupies all four" [ "a"; "c"; "q"; "w" ]
+    (Cs.occupied_states cs ~site:2)
+
+let test_set_symmetry () =
+  (* j's state in CS_i(s_i) iff i's state in CS_j(s_j) for the witnessing
+     global state: check the pairwise-set symmetry on a whole graph *)
+  let p = C.decentralized_2pc 3 in
+  let g = R.build p in
+  let cs = Cs.compute g in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun state ->
+          Cs.Pair_set.iter
+            (fun (j, t) ->
+              Alcotest.(check bool)
+                (Fmt.str "symmetric (%d,%s)<->(%d,%s)" site state j t)
+                true
+                (Cs.Pair_set.mem (site, state) (Cs.set cs ~site:j ~state:t)))
+            (Cs.set cs ~site ~state))
+        (Cs.occupied_states cs ~site))
+    (Core.Protocol.sites p)
+
+let test_unreachable_state_empty_cs () =
+  let g = R.build (C.central_2pc 2) in
+  let cs = Cs.compute g in
+  Alcotest.(check bool) "unknown state has empty CS" true
+    (Cs.Pair_set.is_empty (Cs.set cs ~site:1 ~state:"zz"))
+
+let test_decentralized_sites_symmetric () =
+  (* in a homogeneous protocol every site's per-state CS projects to the
+     same id set *)
+  let g = R.build (C.decentralized_3pc 3) in
+  let cs = Cs.compute g in
+  List.iter
+    (fun state ->
+      let ids site = Cs.String_set.elements (Cs.set_ids cs ~site ~state) in
+      Alcotest.(check (list string)) (Fmt.str "site1 = site2 on %s" state) (ids 1) (ids 2);
+      Alcotest.(check (list string)) (Fmt.str "site2 = site3 on %s" state) (ids 2) (ids 3))
+    [ "q"; "w"; "p"; "a"; "c" ]
+
+let suite =
+  [
+    Alcotest.test_case "canonical 2PC table (paper figure)" `Quick test_canonical_2pc_table;
+    Alcotest.test_case "canonical 3PC table" `Quick test_canonical_3pc_table;
+    Alcotest.test_case "central 2PC coordinator asymmetry" `Quick
+      test_central_2pc_coordinator_never_sees_commit_in_w;
+    Alcotest.test_case "central 3PC: no abort beside p" `Quick test_central_3pc_p_has_no_abort;
+    Alcotest.test_case "occupied states" `Quick test_occupied_states;
+    Alcotest.test_case "pairwise symmetry" `Quick test_set_symmetry;
+    Alcotest.test_case "unreachable state" `Quick test_unreachable_state_empty_cs;
+    Alcotest.test_case "homogeneous site symmetry" `Quick test_decentralized_sites_symmetric;
+  ]

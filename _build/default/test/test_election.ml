@@ -1,0 +1,77 @@
+(** Tests for {!Engine.Election}: the bully algorithm under crashes,
+    cascades and usurping recoveries. *)
+
+module E = Engine.Election
+
+let test_failure_free () =
+  let t = E.create ~n_sites:5 ~seed:1 () in
+  ignore (E.run t ());
+  Alcotest.(check bool) "agreement" true (E.agreement t);
+  List.iter
+    (fun s ->
+      Alcotest.(check (option int)) (Fmt.str "site %d elects 5" s) (Some 5) (E.leader_at t ~site:s))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_two_sites () =
+  let t = E.create ~n_sites:2 ~seed:1 () in
+  ignore (E.run t ());
+  Alcotest.(check (option int)) "site 1 elects 2" (Some 2) (E.leader_at t ~site:1);
+  Alcotest.(check (option int)) "site 2 elects itself" (Some 2) (E.leader_at t ~site:2)
+
+let test_leader_crash_reelection () =
+  let t = E.create ~n_sites:4 ~seed:3 () in
+  ignore (E.run t ~crashes:[ (4, 30.0) ] ());
+  Alcotest.(check bool) "agreement among survivors" true (E.agreement t);
+  List.iter
+    (fun s ->
+      Alcotest.(check (option int)) (Fmt.str "site %d now elects 3" s) (Some 3) (E.leader_at t ~site:s))
+    [ 1; 2; 3 ]
+
+let test_cascading_crashes () =
+  let t = E.create ~n_sites:4 ~seed:5 () in
+  ignore (E.run t ~crashes:[ (4, 20.0); (3, 40.0); (2, 60.0) ] ());
+  Alcotest.(check (option int)) "last survivor leads itself" (Some 1) (E.leader_at t ~site:1);
+  Alcotest.(check bool) "agreement" true (E.agreement t);
+  (* site 1 witnessed the whole succession *)
+  let history = List.map snd (E.leader_history t ~site:1) in
+  Alcotest.(check (list int)) "succession 4, 3, 2, 1" [ 4; 3; 2; 1 ] history
+
+let test_recovery_usurps () =
+  (* the highest site crashes, a lower one takes over, then the highest
+     recovers and bullies its way back *)
+  let t = E.create ~n_sites:3 ~seed:7 () in
+  ignore (E.run t ~crashes:[ (3, 20.0) ] ~recoveries:[ (3, 50.0) ] ());
+  Alcotest.(check bool) "agreement" true (E.agreement t);
+  List.iter
+    (fun s ->
+      Alcotest.(check (option int)) (Fmt.str "site %d back to 3" s) (Some 3) (E.leader_at t ~site:s))
+    [ 1; 2; 3 ];
+  let history = List.map snd (E.leader_history t ~site:1) in
+  Alcotest.(check (list int)) "site 1 saw 3, then 2, then 3 again" [ 3; 2; 3 ] history
+
+let test_candidate_crash_mid_election () =
+  (* the would-be winner dies right after the initial elections start;
+     the answer timeout plus the detector sort it out *)
+  let t = E.create ~n_sites:3 ~seed:9 () in
+  ignore (E.run t ~crashes:[ (3, 0.5) ] ());
+  Alcotest.(check bool) "agreement" true (E.agreement t);
+  Alcotest.(check (option int)) "site 2 wins" (Some 2) (E.leader_at t ~site:1)
+
+let test_determinism () =
+  let run () =
+    let t = E.create ~n_sites:5 ~seed:11 () in
+    ignore (E.run t ~crashes:[ (5, 10.0); (4, 25.0) ] ());
+    List.map (fun s -> E.leader_at t ~site:s) [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list (option int))) "same leaders both runs" (run ()) (run ())
+
+let suite =
+  [
+    Alcotest.test_case "failure-free: highest wins" `Quick test_failure_free;
+    Alcotest.test_case "two sites" `Quick test_two_sites;
+    Alcotest.test_case "leader crash re-election" `Quick test_leader_crash_reelection;
+    Alcotest.test_case "cascading crashes" `Quick test_cascading_crashes;
+    Alcotest.test_case "recovered site usurps" `Quick test_recovery_usurps;
+    Alcotest.test_case "candidate crash mid-election" `Quick test_candidate_crash_mid_election;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

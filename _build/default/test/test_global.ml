@@ -1,0 +1,101 @@
+(** Tests for {!Core.Global}: global transaction states and the successor
+    relation. *)
+
+module G = Core.Global
+module C = Core.Catalog
+module M = Core.Message
+
+let p2 = C.central_2pc 2
+
+let test_initial () =
+  let g = G.initial p2 in
+  Alcotest.(check (array string)) "everyone starts in q" [| "q"; "q" |] g.G.locals;
+  Alcotest.(check int) "the request is on the tape" 1 (M.Multiset.cardinal g.G.network);
+  Alcotest.(check bool) "no yes votes" true (Array.for_all not g.G.voted_yes)
+
+let test_initial_not_final () =
+  let g = G.initial p2 in
+  Alcotest.(check bool) "not final" false (G.is_final p2 g);
+  Alcotest.(check bool) "not inconsistent" false (G.is_inconsistent p2 g);
+  Alcotest.(check bool) "not terminal" false (G.is_terminal p2 g)
+
+let test_successors_from_initial () =
+  (* only the coordinator can move: it consumes the request *)
+  let g = G.initial p2 in
+  let succs = G.successors p2 g in
+  Alcotest.(check int) "exactly one successor" 1 (List.length succs);
+  let site, _tr, g' = List.hd succs in
+  Alcotest.(check int) "coordinator moved" 1 site;
+  Alcotest.(check string) "coordinator now in w" "w" (G.local g' 1);
+  Alcotest.(check string) "slave still in q" "q" (G.local g' 2)
+
+let test_fire_vote_tracking () =
+  let g = G.initial p2 in
+  let _, _, g1 = List.hd (G.successors p2 g) in
+  (* slave now has the xact: both vote transitions enabled *)
+  let slave_moves = List.filter (fun (s, _, _) -> s = 2) (G.successors p2 g1) in
+  Alcotest.(check int) "slave has two choices" 2 (List.length slave_moves);
+  let yes_move =
+    List.find (fun (_, tr, _) -> tr.Core.Automaton.vote = Some Core.Types.Yes) slave_moves
+  in
+  let _, _, g2 = yes_move in
+  Alcotest.(check bool) "slave vote recorded" true g2.G.voted_yes.(1);
+  Alcotest.(check bool) "coordinator vote not recorded" false g2.G.voted_yes.(0)
+
+let test_fire_not_enabled () =
+  let g = G.initial p2 in
+  let fake =
+    {
+      Core.Automaton.from_state = "q";
+      to_state = "w";
+      consumes = [ M.make ~name:"ghost" ~src:0 ~dst:1 ];
+      emits = [];
+      vote = None;
+    }
+  in
+  Alcotest.check_raises "firing disabled transition"
+    (Invalid_argument "Global.fire: transition not enabled") (fun () ->
+      ignore (G.fire g ~site:1 fake))
+
+let test_inconsistency_detection () =
+  (* construct an artificial mixed state *)
+  let g = G.initial p2 in
+  let mixed = { g with G.locals = [| "c"; "a" |] } in
+  Alcotest.(check bool) "commit+abort is inconsistent" true (G.is_inconsistent p2 mixed);
+  Alcotest.(check bool) "mixed state is final" true (G.is_final p2 mixed);
+  let all_c = { g with G.locals = [| "c"; "c" |] } in
+  Alcotest.(check bool) "all-commit consistent" false (G.is_inconsistent p2 all_c)
+
+let test_equal_and_hash () =
+  let g = G.initial p2 in
+  let g' = G.initial p2 in
+  Alcotest.(check bool) "structurally equal" true (G.equal g g');
+  Alcotest.(check bool) "equal hash" true (G.hash g = G.hash g');
+  let _, _, g1 = List.hd (G.successors p2 g) in
+  Alcotest.(check bool) "successor differs" false (G.equal g g1)
+
+let test_run_to_completion () =
+  (* drive an arbitrary maximal path; it must end in a consistent final state *)
+  let rec drive g steps =
+    if steps > 100 then Alcotest.fail "no quiescence after 100 steps"
+    else
+      match G.successors p2 g with
+      | [] -> g
+      | (_, _, g') :: _ -> drive g' (steps + 1)
+  in
+  let final = drive (G.initial p2) 0 in
+  Alcotest.(check bool) "terminal" true (G.is_terminal p2 final);
+  Alcotest.(check bool) "final" true (G.is_final p2 final);
+  Alcotest.(check bool) "consistent" false (G.is_inconsistent p2 final)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial;
+    Alcotest.test_case "initial classification" `Quick test_initial_not_final;
+    Alcotest.test_case "successors from initial" `Quick test_successors_from_initial;
+    Alcotest.test_case "vote tracking" `Quick test_fire_vote_tracking;
+    Alcotest.test_case "fire requires enablement" `Quick test_fire_not_enabled;
+    Alcotest.test_case "inconsistency detection" `Quick test_inconsistency_detection;
+    Alcotest.test_case "equality and hashing" `Quick test_equal_and_hash;
+    Alcotest.test_case "drive to completion" `Quick test_run_to_completion;
+  ]

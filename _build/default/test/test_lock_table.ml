@@ -1,0 +1,145 @@
+(** Tests for {!Kv.Lock_table}: strict 2PL with deadlock detection. *)
+
+module L = Kv.Lock_table
+
+let test_grant_exclusive () =
+  let t = L.create () in
+  Alcotest.check Helpers.lock_outcome "first exclusive" L.Granted
+    (L.acquire t ~txn:1 ~key:"k" ~mode:L.Exclusive);
+  Alcotest.check Helpers.lock_outcome "re-acquire is granted" L.Granted
+    (L.acquire t ~txn:1 ~key:"k" ~mode:L.Exclusive);
+  Alcotest.check Helpers.lock_outcome "second txn waits" L.Waiting
+    (L.acquire t ~txn:2 ~key:"k" ~mode:L.Exclusive)
+
+let test_shared_compatible () =
+  let t = L.create () in
+  Alcotest.check Helpers.lock_outcome "reader 1" L.Granted (L.acquire t ~txn:1 ~key:"k" ~mode:L.Shared);
+  Alcotest.check Helpers.lock_outcome "reader 2" L.Granted (L.acquire t ~txn:2 ~key:"k" ~mode:L.Shared);
+  Alcotest.check Helpers.lock_outcome "writer waits" L.Waiting
+    (L.acquire t ~txn:3 ~key:"k" ~mode:L.Exclusive)
+
+let test_exclusive_holder_allows_own_shared () =
+  let t = L.create () in
+  ignore (L.acquire t ~txn:1 ~key:"k" ~mode:L.Exclusive);
+  Alcotest.check Helpers.lock_outcome "own shared under exclusive" L.Granted
+    (L.acquire t ~txn:1 ~key:"k" ~mode:L.Shared)
+
+let test_upgrade () =
+  let t = L.create () in
+  ignore (L.acquire t ~txn:1 ~key:"k" ~mode:L.Shared);
+  Alcotest.check Helpers.lock_outcome "sole reader upgrades" L.Granted
+    (L.acquire t ~txn:1 ~key:"k" ~mode:L.Exclusive);
+  Alcotest.(check (list string)) "holds k" [ "k" ] (L.held_keys t ~txn:1)
+
+let test_release_promotes_fifo () =
+  let t = L.create () in
+  let granted = ref [] in
+  L.on_grant t (fun txn -> granted := txn :: !granted);
+  ignore (L.acquire t ~txn:1 ~key:"k" ~mode:L.Exclusive);
+  ignore (L.acquire t ~txn:2 ~key:"k" ~mode:L.Exclusive);
+  ignore (L.acquire t ~txn:3 ~key:"k" ~mode:L.Exclusive);
+  L.release_all t ~txn:1;
+  Alcotest.(check (list int)) "txn 2 first" [ 2 ] !granted;
+  L.release_all t ~txn:2;
+  Alcotest.(check (list int)) "then txn 3" [ 3; 2 ] !granted
+
+let test_release_promotes_readers_together () =
+  let t = L.create () in
+  let granted = ref [] in
+  L.on_grant t (fun txn -> granted := txn :: !granted);
+  ignore (L.acquire t ~txn:1 ~key:"k" ~mode:L.Exclusive);
+  ignore (L.acquire t ~txn:2 ~key:"k" ~mode:L.Shared);
+  ignore (L.acquire t ~txn:3 ~key:"k" ~mode:L.Shared);
+  L.release_all t ~txn:1;
+  Alcotest.(check (list int)) "both readers granted" [ 2; 3 ] (List.sort compare !granted)
+
+let test_deadlock_two_txns () =
+  let t = L.create () in
+  ignore (L.acquire t ~txn:1 ~key:"a" ~mode:L.Exclusive);
+  ignore (L.acquire t ~txn:2 ~key:"b" ~mode:L.Exclusive);
+  Alcotest.check Helpers.lock_outcome "1 waits for b" L.Waiting
+    (L.acquire t ~txn:1 ~key:"b" ~mode:L.Exclusive);
+  (match L.acquire t ~txn:2 ~key:"a" ~mode:L.Exclusive with
+  | L.Deadlock _ -> ()
+  | other -> Alcotest.failf "expected deadlock, got %a" L.pp_outcome other);
+  (* the victim was not queued: releasing txn 1's locks should leave txn 2
+     able to proceed *)
+  L.release_all t ~txn:1;
+  Alcotest.check Helpers.lock_outcome "2 proceeds after victim release" L.Granted
+    (L.acquire t ~txn:2 ~key:"a" ~mode:L.Exclusive)
+
+let test_deadlock_three_txns () =
+  let t = L.create () in
+  ignore (L.acquire t ~txn:1 ~key:"a" ~mode:L.Exclusive);
+  ignore (L.acquire t ~txn:2 ~key:"b" ~mode:L.Exclusive);
+  ignore (L.acquire t ~txn:3 ~key:"c" ~mode:L.Exclusive);
+  ignore (L.acquire t ~txn:1 ~key:"b" ~mode:L.Exclusive);
+  ignore (L.acquire t ~txn:2 ~key:"c" ~mode:L.Exclusive);
+  match L.acquire t ~txn:3 ~key:"a" ~mode:L.Exclusive with
+  | L.Deadlock cycle -> Alcotest.(check bool) "cycle mentions requester" true (List.mem 3 cycle)
+  | other -> Alcotest.failf "expected 3-cycle deadlock, got %a" L.pp_outcome other
+
+let test_no_false_deadlock () =
+  let t = L.create () in
+  ignore (L.acquire t ~txn:1 ~key:"a" ~mode:L.Exclusive);
+  ignore (L.acquire t ~txn:2 ~key:"b" ~mode:L.Exclusive);
+  Alcotest.check Helpers.lock_outcome "chain, not cycle" L.Waiting
+    (L.acquire t ~txn:2 ~key:"a" ~mode:L.Exclusive)
+
+let test_force_grant () =
+  let t = L.create () in
+  L.force_grant t ~txn:9 ~key:"k" ~mode:L.Exclusive;
+  Alcotest.(check (list string)) "recovered lock held" [ "k" ] (L.held_keys t ~txn:9);
+  Alcotest.check Helpers.lock_outcome "others wait behind it" L.Waiting
+    (L.acquire t ~txn:1 ~key:"k" ~mode:L.Shared)
+
+let test_n_waiting () =
+  let t = L.create () in
+  ignore (L.acquire t ~txn:1 ~key:"k" ~mode:L.Exclusive);
+  ignore (L.acquire t ~txn:2 ~key:"k" ~mode:L.Shared);
+  ignore (L.acquire t ~txn:3 ~key:"k" ~mode:L.Shared);
+  Alcotest.(check int) "two waiting" 2 (L.n_waiting t);
+  L.release_all t ~txn:1;
+  Alcotest.(check int) "none waiting" 0 (L.n_waiting t)
+
+(* property: under random single-key schedules, never two exclusive holders *)
+let prop_no_double_exclusive =
+  Helpers.qtest "no two exclusive holders on one key" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 1 40)
+        (pair (int_range 1 5) (oneofl [ `Acquire_x; `Acquire_s; `Release ])))
+    (fun script ->
+      let t = L.create () in
+      let ok = ref true in
+      let others_hold txn =
+        List.exists
+          (fun other -> other <> txn && L.held_keys t ~txn:other <> [])
+          [ 1; 2; 3; 4; 5 ]
+      in
+      List.iter
+        (fun (txn, action) ->
+          match action with
+          | `Acquire_x -> (
+              match L.acquire t ~txn ~key:"k" ~mode:L.Exclusive with
+              | L.Granted -> if others_hold txn then ok := false
+              | L.Waiting | L.Deadlock _ -> ())
+          | `Acquire_s -> ignore (L.acquire t ~txn ~key:"k" ~mode:L.Shared)
+          | `Release -> L.release_all t ~txn)
+        script;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "exclusive grants" `Quick test_grant_exclusive;
+    Alcotest.test_case "shared compatibility" `Quick test_shared_compatible;
+    Alcotest.test_case "own shared under exclusive" `Quick test_exclusive_holder_allows_own_shared;
+    Alcotest.test_case "lock upgrade" `Quick test_upgrade;
+    Alcotest.test_case "FIFO promotion" `Quick test_release_promotes_fifo;
+    Alcotest.test_case "readers promoted together" `Quick test_release_promotes_readers_together;
+    Alcotest.test_case "two-transaction deadlock" `Quick test_deadlock_two_txns;
+    Alcotest.test_case "three-transaction deadlock" `Quick test_deadlock_three_txns;
+    Alcotest.test_case "no false deadlock on chains" `Quick test_no_false_deadlock;
+    Alcotest.test_case "force grant (recovery)" `Quick test_force_grant;
+    Alcotest.test_case "waiting count" `Quick test_n_waiting;
+    prop_no_double_exclusive;
+  ]

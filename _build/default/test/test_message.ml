@@ -1,0 +1,96 @@
+(** Tests for {!Core.Message}: message identity and the network multiset. *)
+
+module M = Core.Message
+module MS = Core.Message.Multiset
+
+let m ?(name = "yes") ?(src = 1) ?(dst = 2) () = M.make ~name ~src ~dst
+
+let test_equality () =
+  Alcotest.check Helpers.msg "same fields equal" (m ()) (m ());
+  Alcotest.(check bool) "different name" false (M.equal (m ()) (m ~name:"no" ()));
+  Alcotest.(check bool) "different src" false (M.equal (m ()) (m ~src:3 ()));
+  Alcotest.(check bool) "different dst" false (M.equal (m ()) (m ~dst:3 ()))
+
+let test_show () =
+  Alcotest.(check string) "render" "yes(site1->site2)" (M.show (m ()));
+  Alcotest.(check string) "env sender" "xact(env->site1)"
+    (M.show (M.make ~name:"xact" ~src:Core.Types.env ~dst:1))
+
+let test_multiset_add_remove () =
+  let a = m () and b = m ~name:"no" () in
+  let s = MS.of_list [ a; b; a ] in
+  Alcotest.(check int) "cardinal" 3 (MS.cardinal s);
+  Alcotest.(check bool) "mem a" true (MS.mem a s);
+  let s' = MS.remove a s in
+  Alcotest.(check int) "one removed" 2 (MS.cardinal s');
+  Alcotest.(check bool) "still mem a (was twice)" true (MS.mem a s');
+  let s'' = MS.remove a s' in
+  Alcotest.(check bool) "a gone" false (MS.mem a s'');
+  Alcotest.(check bool) "b remains" true (MS.mem b s'')
+
+let test_multiset_remove_missing () =
+  let s = MS.of_list [ m () ] in
+  Alcotest.check_raises "remove missing raises" Not_found (fun () ->
+      ignore (MS.remove (m ~name:"nope" ()) s))
+
+let test_remove_all () =
+  let a = m () and b = m ~name:"no" () and c = m ~name:"ack" () in
+  let s = MS.of_list [ a; b; c ] in
+  (match MS.remove_all [ a; c ] s with
+  | Some rest ->
+      Alcotest.(check int) "two removed" 1 (MS.cardinal rest);
+      Alcotest.(check bool) "b left" true (MS.mem b rest)
+  | None -> Alcotest.fail "remove_all should succeed");
+  Alcotest.(check bool) "missing element fails" true
+    (MS.remove_all [ a; a ] s = None);
+  Alcotest.(check bool) "contains_all subset" true (MS.contains_all [ b ] s);
+  Alcotest.(check bool) "contains_all with duplicate demand" false (MS.contains_all [ b; b ] s)
+
+let test_empty () =
+  Alcotest.(check int) "empty cardinal" 0 (MS.cardinal MS.empty);
+  Alcotest.(check bool) "contains_all [] of empty" true (MS.contains_all [] MS.empty)
+
+(* --- properties --- *)
+
+let gen_msg =
+  QCheck2.Gen.(
+    let* name = oneofl [ "xact"; "yes"; "no"; "commit"; "abort"; "prepare"; "ack" ] in
+    let* src = int_range 0 5 in
+    let* dst = int_range 0 5 in
+    return (M.make ~name ~src ~dst))
+
+let prop_sorted =
+  Helpers.qtest "multiset stays sorted under adds" (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 30) gen_msg)
+    (fun msgs ->
+      let s = List.fold_left (fun acc x -> MS.add x acc) MS.empty msgs in
+      let l = MS.to_list s in
+      List.sort M.compare l = l && MS.cardinal s = List.length msgs)
+
+let prop_add_remove_roundtrip =
+  Helpers.qtest "add then remove is identity"
+    QCheck2.Gen.(pair gen_msg (list_size (int_range 0 20) gen_msg))
+    (fun (x, msgs) ->
+      let s = MS.of_list msgs in
+      MS.equal (MS.remove x (MS.add x s)) s)
+
+let prop_remove_all_order_independent =
+  Helpers.qtest "remove_all result independent of demand order"
+    QCheck2.Gen.(pair (list_size (int_range 0 8) gen_msg) (list_size (int_range 0 15) gen_msg))
+    (fun (demand, msgs) ->
+      let s = MS.of_list (demand @ msgs) in
+      match (MS.remove_all demand s, MS.remove_all (List.rev demand) s) with
+      | Some a, Some b -> MS.equal a b
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "equality" `Quick test_equality;
+    Alcotest.test_case "show" `Quick test_show;
+    Alcotest.test_case "multiset add/remove" `Quick test_multiset_add_remove;
+    Alcotest.test_case "multiset remove missing" `Quick test_multiset_remove_missing;
+    Alcotest.test_case "remove_all" `Quick test_remove_all;
+    Alcotest.test_case "empty multiset" `Quick test_empty;
+    prop_sorted;
+    prop_add_remove_roundtrip;
+    prop_remove_all_order_independent;
+  ]

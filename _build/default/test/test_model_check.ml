@@ -1,0 +1,96 @@
+(** Tests for {!Engine.Model_check}: exhaustive verification of the
+    protocols with failures — the strongest evidence this repository
+    offers for the paper's claims. *)
+
+module MC = Engine.Model_check
+
+let rb label n = Engine.Rulebook.compile ((Core.Catalog.find label).Core.Catalog.build n)
+
+let run label n k = MC.run { MC.rulebook = rb label n; max_crashes = k; limit = 4_000_000; rule = `Skeen }
+
+let test_3pc_safe_and_nonblocking () =
+  List.iter
+    (fun (label, n, k) ->
+      let r = run label n k in
+      Alcotest.(check bool) (Fmt.str "%s n=%d k=%d safe" label n k) true r.MC.safe;
+      Alcotest.(check bool) (Fmt.str "%s n=%d k=%d nonblocking" label n k) true r.MC.nonblocking;
+      Alcotest.(check bool) "explored something" true (r.MC.explored > 10))
+    [
+      ("central-3pc", 2, 1);
+      ("central-3pc", 3, 1);
+      ("central-3pc", 3, 2);
+      ("central-3pc", 4, 2);
+      ("decentralized-3pc", 2, 1);
+      ("decentralized-3pc", 3, 1);
+    ]
+
+let test_corollary_to_one_survivor () =
+  (* the corollary in full: n=4, three cascading crashes — every
+     interleaving, including two successive backup failures with stale
+     moves in flight (the scenario that forced election epochs) *)
+  let r = run "central-3pc" 4 3 in
+  Alcotest.(check bool) "safe" true r.MC.safe;
+  Alcotest.(check bool) "nonblocking down to one survivor" true r.MC.nonblocking
+
+let test_3pc_decentralized_two_crashes () =
+  (* the big one: every interleaving of two crashes among three sites *)
+  let r = run "decentralized-3pc" 3 2 in
+  Alcotest.(check bool) "safe" true r.MC.safe;
+  Alcotest.(check bool) "nonblocking" true r.MC.nonblocking
+
+let test_2pc_safe_but_blocking () =
+  List.iter
+    (fun (n, k) ->
+      let r = run "central-2pc" n k in
+      Alcotest.(check bool) (Fmt.str "2pc n=%d k=%d safe" n k) true r.MC.safe;
+      Alcotest.(check bool) (Fmt.str "2pc n=%d k=%d has blocked terminals" n k) false
+        r.MC.nonblocking)
+    [ (2, 1); (3, 1); (3, 2) ]
+
+let test_2pc_blocked_example_shape () =
+  (* the canonical blocked terminal: the coordinator logged its decision
+     and died; an operational slave is stuck in w *)
+  let r = run "central-2pc" 2 1 in
+  Alcotest.(check bool) "a blocked terminal with a slave in w exists" true
+    (List.exists
+       (fun (st : MC.st) -> (not st.MC.alive.(0)) && st.MC.alive.(1) && st.MC.locals.(1) = "w")
+       r.MC.blocked_terminals)
+
+let test_1pc_blocking () =
+  let r = run "1pc" 2 1 in
+  Alcotest.(check bool) "1pc safe (no recovery modelled)" true r.MC.safe;
+  Alcotest.(check bool) "1pc blocks" false r.MC.nonblocking
+
+let test_no_crashes_degenerates_to_reachability () =
+  (* with zero crashes the model adds nothing: same safety, all terminals
+     decided, and the state count matches the plain reachability graph *)
+  let r = run "central-3pc" 3 0 in
+  Alcotest.(check bool) "safe" true r.MC.safe;
+  Alcotest.(check bool) "all terminals decided" true r.MC.nonblocking;
+  let plain = Core.Reachability.stats (Core.Reachability.build (Core.Catalog.central_3pc 3)) in
+  Alcotest.(check int) "state count = plain reachability" plain.Core.Reachability.states
+    r.MC.explored
+
+let test_limit_enforced () =
+  Alcotest.(check bool) "limit raises" true
+    (match MC.run { MC.rulebook = rb "central-3pc" 3; max_crashes = 2; limit = 100; rule = `Skeen } with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_counterexample_none_when_safe () =
+  let r = run "central-3pc" 2 1 in
+  Alcotest.(check bool) "no counterexample" true (r.MC.counterexample = None)
+
+let suite =
+  [
+    Alcotest.test_case "3PC safe and nonblocking (exhaustive)" `Slow test_3pc_safe_and_nonblocking;
+    Alcotest.test_case "decentralized 3PC, two crashes" `Slow test_3pc_decentralized_two_crashes;
+    Alcotest.test_case "corollary: n=4 down to one survivor" `Slow test_corollary_to_one_survivor;
+    Alcotest.test_case "2PC safe but blocking (exhaustive)" `Quick test_2pc_safe_but_blocking;
+    Alcotest.test_case "2PC blocked-terminal shape" `Quick test_2pc_blocked_example_shape;
+    Alcotest.test_case "1PC blocks" `Quick test_1pc_blocking;
+    Alcotest.test_case "k=0 degenerates to reachability" `Quick
+      test_no_crashes_degenerates_to_reachability;
+    Alcotest.test_case "state limit" `Quick test_limit_enforced;
+    Alcotest.test_case "no counterexample when safe" `Quick test_counterexample_none_when_safe;
+  ]

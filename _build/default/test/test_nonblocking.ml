@@ -1,0 +1,101 @@
+(** Tests for {!Core.Nonblocking}: the fundamental nonblocking theorem on
+    the whole catalog — the paper's central result. *)
+
+module C = Core.Catalog
+module N = Core.Nonblocking
+
+let analyze label n =
+  let entry = C.find label in
+  N.analyze_protocol (entry.C.build n)
+
+let test_catalog_verdicts () =
+  List.iter
+    (fun (entry : C.entry) ->
+      List.iter
+        (fun n ->
+          let report = N.analyze_protocol (entry.C.build n) in
+          Alcotest.(check bool)
+            (Fmt.str "%s n=%d nonblocking" entry.C.label n)
+            entry.C.nonblocking_expected report.N.nonblocking)
+        [ 2; 3; 4 ])
+    C.all
+
+let test_2pc_violations_at_w () =
+  let r = analyze "central-2pc" 3 in
+  (* every violation concerns a slave's w state, and each slave violates
+     both conditions *)
+  Alcotest.(check int) "four violations" 4 (List.length r.N.violations);
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "state w" "w" v.N.state;
+      Alcotest.(check bool) "slave site" true (v.N.site > 1))
+    r.N.violations
+
+let test_2pc_coordinator_satisfies () =
+  let r = analyze "central-2pc" 4 in
+  Alcotest.(check (list int)) "only the coordinator satisfies" [ 1 ] r.N.satisfying_sites;
+  Alcotest.(check int) "resilience 0" 0 r.N.resilience
+
+let test_3pc_resilience () =
+  List.iter
+    (fun n ->
+      let r = analyze "central-3pc" n in
+      Alcotest.(check (list int))
+        (Fmt.str "all %d sites satisfy" n)
+        (List.init n (fun i -> i + 1))
+        r.N.satisfying_sites;
+      Alcotest.(check int) "resilience n-1" (n - 1) r.N.resilience)
+    [ 2; 3; 4 ]
+
+let test_decentralized_2pc_no_site_satisfies () =
+  let r = analyze "decentralized-2pc" 3 in
+  Alcotest.(check (list int)) "no site satisfies" [] r.N.satisfying_sites
+
+let test_1pc_blocking_via_condition1 () =
+  let r = analyze "1pc" 3 in
+  Alcotest.(check bool) "blocking" false r.N.nonblocking;
+  Alcotest.(check bool) "condition 1 violated somewhere" true
+    (List.exists (fun v -> v.N.condition = `Both_commit_and_abort) r.N.violations)
+
+let test_violation_conditions_2pc () =
+  let r = analyze "decentralized-2pc" 2 in
+  let conds site =
+    List.filter_map (fun v -> if v.N.site = site then Some v.N.condition else None) r.N.violations
+  in
+  List.iter
+    (fun site ->
+      Alcotest.(check bool)
+        (Fmt.str "site %d violates condition 1" site)
+        true
+        (List.mem `Both_commit_and_abort (conds site));
+      Alcotest.(check bool)
+        (Fmt.str "site %d violates condition 2" site)
+        true
+        (List.mem `Noncommittable_sees_commit (conds site)))
+    [ 1; 2 ]
+
+let test_3pc_no_violations () =
+  List.iter
+    (fun label ->
+      let r = analyze label 3 in
+      Alcotest.(check int) (label ^ " violation count") 0 (List.length r.N.violations))
+    [ "central-3pc"; "decentralized-3pc" ]
+
+let test_report_names_protocol () =
+  let r = analyze "central-2pc" 2 in
+  Alcotest.(check string) "protocol name" "central-2pc-2" r.N.protocol_name
+
+let suite =
+  [
+    Alcotest.test_case "catalog verdicts (paper's table of protocols)" `Slow test_catalog_verdicts;
+    Alcotest.test_case "2PC violations pinpoint w" `Quick test_2pc_violations_at_w;
+    Alcotest.test_case "2PC coordinator satisfies both conditions" `Quick
+      test_2pc_coordinator_satisfies;
+    Alcotest.test_case "3PC resilience is n-1 (corollary)" `Quick test_3pc_resilience;
+    Alcotest.test_case "decentralized 2PC: no site satisfies" `Quick
+      test_decentralized_2pc_no_site_satisfies;
+    Alcotest.test_case "1PC blocks via condition 1" `Quick test_1pc_blocking_via_condition1;
+    Alcotest.test_case "2PC violates both conditions" `Quick test_violation_conditions_2pc;
+    Alcotest.test_case "3PC: zero violations" `Quick test_3pc_no_violations;
+    Alcotest.test_case "report carries protocol name" `Quick test_report_names_protocol;
+  ]

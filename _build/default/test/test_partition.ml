@@ -1,0 +1,125 @@
+(** Tests for the partition ablation: what happens when the paper's
+    reliable-failure-detection assumption is violated.
+
+    The headline negative result (well known since the paper): under a
+    network partition, 3PC's termination protocol can split-brain — the
+    minority side elects its own backup and decides from its local state
+    while the majority decides the other way.  2PC, by contrast, merely
+    blocks the orphaned side.  Skeen's assumptions exclude partitions for
+    exactly this reason; these tests pin the behaviour down. *)
+
+module R = Engine.Runtime
+module FP = Engine.Failure_plan
+
+let rb3 = lazy (Engine.Rulebook.compile (Core.Catalog.central_3pc 3))
+let rb2 = lazy (Engine.Rulebook.compile (Core.Catalog.central_2pc 3))
+
+(* World-level sanity: partitions drop cross-group messages and produce
+   false suspicions, and heal cleanly. *)
+let test_world_partition_drops () =
+  let w = Sim.World.create ~n_sites:2 ~seed:1 ~msg_to_string:(fun s -> s) () in
+  Sim.World.schedule_partition w ~from_t:0.0 ~until_t:50.0 [ [ 1 ]; [ 2 ] ];
+  let got = ref 0 and suspected = ref [] in
+  let handlers _site =
+    {
+      Sim.World.on_start = (fun ctx -> if ctx.Sim.World.self = 1 then Sim.World.send ctx ~dst:2 "hi");
+      on_message = (fun _ ~src:_ _ -> incr got);
+      on_peer_down = (fun ctx s -> suspected := (ctx.Sim.World.self, s) :: !suspected);
+      on_peer_up = (fun _ _ -> ());
+      on_restart = (fun _ -> ());
+    }
+  in
+  ignore (Sim.World.run w ~handlers ());
+  Alcotest.(check int) "message dropped" 0 !got;
+  Alcotest.(check (list (pair int int))) "mutual false suspicion" [ (1, 2); (2, 1) ]
+    (List.sort compare !suspected);
+  Alcotest.(check int) "partition drop counted" 1
+    (Sim.Metrics.counter (Sim.World.metrics w) "messages_partitioned")
+
+let test_world_partition_heals () =
+  let w = Sim.World.create ~n_sites:2 ~seed:1 ~msg_to_string:(fun s -> s) () in
+  Sim.World.schedule_partition w ~from_t:0.0 ~until_t:5.0 [ [ 1 ]; [ 2 ] ];
+  let ups = ref [] and got = ref 0 in
+  let handlers _site =
+    {
+      Sim.World.on_start = (fun _ -> ());
+      on_message = (fun _ ~src:_ _ -> incr got);
+      on_peer_down = (fun _ _ -> ());
+      on_peer_up =
+        (fun ctx s ->
+          ups := (ctx.Sim.World.self, s) :: !ups;
+          (* the link works again *)
+          Sim.World.send ctx ~dst:s "hello-again");
+      on_restart = (fun _ -> ());
+    }
+  in
+  ignore (Sim.World.run w ~handlers ());
+  Alcotest.(check (list (pair int int))) "mutual recovery report" [ (1, 2); (2, 1) ]
+    (List.sort compare !ups);
+  Alcotest.(check int) "post-heal messages flow" 2 !got
+
+let test_short_partition_invisible () =
+  (* healed before the detection delay: no false suspicion fires *)
+  let w = Sim.World.create ~n_sites:2 ~seed:1 ~detection_delay:2.0 ~msg_to_string:(fun s -> s) () in
+  Sim.World.schedule_partition w ~from_t:0.0 ~until_t:1.0 [ [ 1 ]; [ 2 ] ];
+  let suspected = ref 0 in
+  let handlers _site =
+    {
+      Sim.World.on_start = (fun _ -> ());
+      on_message = (fun _ ~src:_ _ -> ());
+      on_peer_down = (fun _ _ -> incr suspected);
+      on_peer_up = (fun _ _ -> ());
+      on_restart = (fun _ -> ());
+    }
+  in
+  ignore (Sim.World.run w ~handlers ());
+  Alcotest.(check int) "no suspicion" 0 !suspected
+
+(* Protocol-level ablation.  Partition the lone slave 3 away from {1,2}
+   right after the votes are in (t = 2.5): under 3PC both sides terminate
+   — in opposite directions; under 2PC the minority blocks instead. *)
+let test_3pc_splits_brain_under_partition () =
+  let r =
+    Engine.Partition_ablation.run ~rulebook:(Lazy.force rb3) ~from_t:2.5 ~until_t:200.0
+      ~groups:[ [ 1; 2 ]; [ 3 ] ] ~seed:1 ()
+  in
+  Alcotest.(check bool) "INCONSISTENT outcome (split brain)" false r.R.consistent;
+  (* majority side committed, minority aborted *)
+  let outcome s = (List.nth r.R.reports (s - 1)).R.outcome in
+  Alcotest.(check (option Helpers.outcome)) "site 1 committed" (Some Core.Types.Committed) (outcome 1);
+  Alcotest.(check (option Helpers.outcome)) "site 2 committed" (Some Core.Types.Committed) (outcome 2);
+  Alcotest.(check (option Helpers.outcome)) "site 3 aborted" (Some Core.Types.Aborted) (outcome 3)
+
+let test_2pc_blocks_but_stays_consistent () =
+  let r =
+    Engine.Partition_ablation.run ~rulebook:(Lazy.force rb2) ~from_t:2.5 ~until_t:200.0
+      ~groups:[ [ 1; 2 ]; [ 3 ] ] ~seed:1 ()
+  in
+  Alcotest.(check bool) "consistent" true r.R.consistent;
+  let outcome s = (List.nth r.R.reports (s - 1)).R.outcome in
+  Alcotest.(check (option Helpers.outcome)) "site 1 committed" (Some Core.Types.Committed) (outcome 1);
+  (* the partitioned slave eventually learns the outcome after healing *)
+  Alcotest.(check (option Helpers.outcome)) "site 3 resolves after heal"
+    (Some Core.Types.Committed) (outcome 3)
+
+let test_no_partition_no_difference () =
+  (* the ablation entry point with an empty partition behaves like run *)
+  let r =
+    Engine.Partition_ablation.run ~rulebook:(Lazy.force rb3) ~from_t:0.0 ~until_t:0.0 ~groups:[]
+      ~seed:1 ()
+  in
+  Alcotest.(check bool) "consistent" true r.R.consistent;
+  Alcotest.(check bool) "all decided" true r.R.all_operational_decided
+
+let suite =
+  [
+    Alcotest.test_case "partition drops messages + false suspicion" `Quick
+      test_world_partition_drops;
+    Alcotest.test_case "partition heals" `Quick test_world_partition_heals;
+    Alcotest.test_case "short partition invisible" `Quick test_short_partition_invisible;
+    Alcotest.test_case "3PC split-brain under partition (known limit)" `Quick
+      test_3pc_splits_brain_under_partition;
+    Alcotest.test_case "2PC blocks but stays consistent" `Quick
+      test_2pc_blocks_but_stays_consistent;
+    Alcotest.test_case "ablation with no partition" `Quick test_no_partition_no_difference;
+  ]

@@ -1,0 +1,75 @@
+(** Tests for {!Core.Protocol}: construction validation and derived
+    structure. *)
+
+module P = Core.Protocol
+module A = Core.Automaton
+
+let st id kind = { A.id; kind }
+
+let valid_fsa site =
+  A.make ~site
+    ~states:[ st "q" Core.Types.Initial; st "c" Core.Types.Commit; st "a" Core.Types.Abort ]
+    ~initial:"q"
+    ~transitions:
+      [
+        { A.from_state = "q"; to_state = "c"; consumes = []; emits = []; vote = Some Core.Types.Yes };
+        { A.from_state = "q"; to_state = "a"; consumes = []; emits = []; vote = Some Core.Types.No };
+      ]
+
+let test_make_checks_site_ids () =
+  Alcotest.check_raises "wrong site id"
+    (Invalid_argument "Protocol.make: automaton at index 0 claims site 2") (fun () ->
+      ignore
+        (P.make ~name:"bad" ~paradigm:P.Decentralized
+           ~automata:[| valid_fsa 2 |]
+           ~initial_network:[]))
+
+let test_make_validates_fsas () =
+  let cyclic =
+    A.make ~site:1
+      ~states:[ st "q" Core.Types.Initial; st "w" Core.Types.Wait ]
+      ~initial:"q"
+      ~transitions:
+        [
+          { A.from_state = "q"; to_state = "w"; consumes = []; emits = []; vote = None };
+          { A.from_state = "w"; to_state = "q"; consumes = []; emits = []; vote = None };
+        ]
+  in
+  Alcotest.(check bool) "cyclic FSA rejected" true
+    (match P.make ~name:"bad" ~paradigm:P.Decentralized ~automata:[| cyclic |] ~initial_network:[] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_automaton_range () =
+  let p = Core.Catalog.central_2pc 3 in
+  Alcotest.check_raises "site 0" (Invalid_argument "Protocol.automaton: site 0 out of range 1..3")
+    (fun () -> ignore (P.automaton p 0));
+  Alcotest.check_raises "site 4" (Invalid_argument "Protocol.automaton: site 4 out of range 1..3")
+    (fun () -> ignore (P.automaton p 4))
+
+let test_sites () =
+  Alcotest.(check (list int)) "sites 1..4" [ 1; 2; 3; 4 ] (P.sites (Core.Catalog.central_2pc 4))
+
+let test_single_site_homogeneous () =
+  let p = P.make ~name:"solo" ~paradigm:P.Decentralized ~automata:[| valid_fsa 1 |] ~initial_network:[] in
+  Alcotest.(check bool) "single site is homogeneous" true (P.homogeneous p);
+  Alcotest.(check int) "one phase" 1 (P.phases p)
+
+let test_pp_runs () =
+  (* smoke: the printers must not raise on catalog protocols *)
+  List.iter
+    (fun (e : Core.Catalog.entry) ->
+      let p = e.Core.Catalog.build 2 in
+      let s = Fmt.str "%a" P.pp p in
+      Alcotest.(check bool) (e.Core.Catalog.label ^ " pp nonempty") true (String.length s > 50))
+    Core.Catalog.all
+
+let suite =
+  [
+    Alcotest.test_case "site id validation" `Quick test_make_checks_site_ids;
+    Alcotest.test_case "FSA validation" `Quick test_make_validates_fsas;
+    Alcotest.test_case "automaton range" `Quick test_automaton_range;
+    Alcotest.test_case "sites listing" `Quick test_sites;
+    Alcotest.test_case "single-site protocol" `Quick test_single_site_homogeneous;
+    Alcotest.test_case "pretty printers" `Quick test_pp_runs;
+  ]

@@ -1,0 +1,132 @@
+(** Tests for {!Core.Reachability}: the reachable state graph of every
+    catalog protocol — no deadlocks, no inconsistent states, both outcomes
+    reachable (paper §3). *)
+
+module R = Core.Reachability
+module C = Core.Catalog
+
+let stats_of p = R.stats (R.build p)
+
+let catalog n =
+  [ C.one_pc n; C.central_2pc n; C.central_3pc n; C.decentralized_2pc n; C.decentralized_3pc n ]
+
+let test_no_inconsistent_states () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun p ->
+          let s = stats_of p in
+          Alcotest.(check int) (p.Core.Protocol.name ^ " inconsistent") 0 s.R.inconsistent)
+        (catalog n))
+    [ 2; 3 ]
+
+let test_no_deadlocks () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun p ->
+          let s = stats_of p in
+          Alcotest.(check int) (p.Core.Protocol.name ^ " deadlocked") 0 s.R.deadlocked)
+        (catalog n))
+    [ 2; 3 ]
+
+let test_both_outcomes_reachable () =
+  List.iter
+    (fun p ->
+      let s = stats_of p in
+      Alcotest.(check bool) (p.Core.Protocol.name ^ " commit reachable") true s.R.commit_reachable;
+      Alcotest.(check bool) (p.Core.Protocol.name ^ " abort reachable") true s.R.abort_reachable)
+    (catalog 3)
+
+let test_terminal_are_final () =
+  List.iter
+    (fun p ->
+      let g = R.build p in
+      List.iter
+        (fun node ->
+          Alcotest.(check bool)
+            (p.Core.Protocol.name ^ " terminal is final")
+            true
+            (Core.Global.is_final p node.R.state))
+        (R.terminal_nodes g))
+    (catalog 3)
+
+let test_2site_2pc_size () =
+  (* The paper's figure: the reachable state graph for the 2-site 2PC
+     protocol.  Our encoding (with vote flags in the state identity) gives
+     a fixed, regression-checked size. *)
+  let s = stats_of (C.central_2pc 2) in
+  Alcotest.(check int) "states" 9 s.R.states;
+  Alcotest.(check int) "edges" 8 s.R.edges;
+  Alcotest.(check int) "final" 3 s.R.final
+
+let test_growth_with_sites () =
+  (* exponential growth in the number of sites (paper §3) *)
+  let sizes =
+    List.map (fun n -> (stats_of (C.central_2pc n)).R.states) [ 2; 3; 4 ]
+  in
+  match sizes with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "monotone growth" true (a < b && b < c);
+      Alcotest.(check bool) "superlinear" true (c - b > b - a)
+  | _ -> assert false
+
+let test_initial_node () =
+  let g = R.build (C.central_2pc 2) in
+  let n0 = R.initial_node g in
+  Alcotest.(check int) "initial has index 0" 0 n0.R.index;
+  Alcotest.(check bool) "initial state matches" true
+    (Core.Global.equal n0.R.state (Core.Global.initial (C.central_2pc 2)))
+
+let test_limit () =
+  Alcotest.(check bool) "limit raises Too_large" true
+    (match R.build ~limit:5 (C.central_2pc 3) with
+    | exception R.Too_large _ -> true
+    | _ -> false)
+
+let test_edges_consistent () =
+  (* every recorded edge's target index must be in range and the fired
+     transition must actually lead there *)
+  let p = C.decentralized_3pc 2 in
+  let g = R.build p in
+  R.iter_nodes
+    (fun node ->
+      List.iter
+        (fun (site, tr, dst) ->
+          Alcotest.(check bool) "target in range" true (dst >= 0 && dst < R.n_nodes g);
+          let fired = Core.Global.fire node.R.state ~site tr in
+          Alcotest.(check bool) "edge target correct" true
+            (Core.Global.equal fired (R.node g dst).R.state))
+        node.R.succs)
+    g
+
+let test_all_yes_path_commits () =
+  (* restricting to yes votes only, every terminal state commits *)
+  let p = C.central_3pc 3 in
+  let g = R.build p in
+  let commit_only =
+    R.terminal_nodes g
+    |> List.for_all (fun node ->
+           let kinds =
+             Array.to_list node.R.state.Core.Global.locals
+             |> List.mapi (fun i id ->
+                    Core.Automaton.kind_of (Core.Protocol.automaton p (i + 1)) id)
+           in
+           (* terminal states are all-commit or all-abort, never mixed *)
+           List.for_all Core.Types.is_commit kinds || List.for_all Core.Types.is_abort kinds)
+  in
+  Alcotest.(check bool) "terminals are uniform" true commit_only
+
+let suite =
+  [
+    Alcotest.test_case "no inconsistent states" `Quick test_no_inconsistent_states;
+    Alcotest.test_case "no deadlocks" `Quick test_no_deadlocks;
+    Alcotest.test_case "both outcomes reachable" `Quick test_both_outcomes_reachable;
+    Alcotest.test_case "terminal states are final" `Quick test_terminal_are_final;
+    Alcotest.test_case "2-site 2PC graph size (paper figure)" `Quick test_2site_2pc_size;
+    Alcotest.test_case "exponential growth" `Quick test_growth_with_sites;
+    Alcotest.test_case "initial node" `Quick test_initial_node;
+    Alcotest.test_case "node limit" `Quick test_limit;
+    Alcotest.test_case "edge consistency" `Quick test_edges_consistent;
+    Alcotest.test_case "terminal uniformity" `Quick test_all_yes_path_commits;
+  ]

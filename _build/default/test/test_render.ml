@@ -1,0 +1,56 @@
+(** Tests for {!Core.Render}: the DOT and text renderings behind the
+    figure regeneration. *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_automaton_dot () =
+  let a = Core.Protocol.automaton (Core.Catalog.central_2pc 2) 2 in
+  let dot = Core.Render.automaton_to_dot a in
+  Alcotest.(check bool) "digraph header" true (contains ~needle:"digraph site2" dot);
+  List.iter
+    (fun s -> Alcotest.(check bool) (s ^ " node present") true (contains ~needle:(s ^ " [label=") dot))
+    [ "q"; "w"; "a"; "c" ];
+  Alcotest.(check bool) "edge q->w" true (contains ~needle:"q -> w" dot);
+  Alcotest.(check bool) "commit colored" true (contains ~needle:"color=darkgreen" dot);
+  Alcotest.(check bool) "abort colored" true (contains ~needle:"color=red3" dot)
+
+let test_skeleton_dot () =
+  let dot = Core.Render.skeleton_to_dot Core.Skeleton.canonical_3pc in
+  Alcotest.(check bool) "buffer dashed" true (contains ~needle:"style=dashed" dot);
+  Alcotest.(check bool) "committable starred" true (contains ~needle:"p*" dot);
+  Alcotest.(check bool) "edge w->p" true (contains ~needle:"w -> p" dot)
+
+let test_reachability_dot () =
+  let g = Core.Reachability.build (Core.Catalog.central_2pc 2) in
+  let dot = Core.Render.reachability_to_dot g in
+  Alcotest.(check bool) "initial node" true (contains ~needle:"n0 [label=\"q,q\"]" dot);
+  (* one DOT node per reachable global state *)
+  let count_nodes =
+    String.split_on_char '\n' dot
+    |> List.filter (fun l -> contains ~needle:"[label=" l && not (contains ~needle:"->" l))
+    |> List.length
+  in
+  Alcotest.(check int) "node count matches graph" (Core.Reachability.n_nodes g) count_nodes;
+  let full = Core.Render.reachability_to_dot ~full:true g in
+  Alcotest.(check bool) "full mode includes network" true (contains ~needle:"request" full)
+
+let test_concurrency_table () =
+  let g = Core.Reachability.build (Core.Catalog.decentralized_2pc 2) in
+  let table = Core.Render.concurrency_table g in
+  Alcotest.(check bool) "CS(w) line" true (contains ~needle:"CS(w) = {a, c, q, w}" table);
+  Alcotest.(check bool) "CS(c) line" true (contains ~needle:"CS(c) = {c, w}" table)
+
+let test_dot_escaping () =
+  Alcotest.(check string) "quotes escaped" "a\\\"b" (Core.Render.dot_escape "a\"b")
+
+let suite =
+  [
+    Alcotest.test_case "automaton DOT" `Quick test_automaton_dot;
+    Alcotest.test_case "skeleton DOT" `Quick test_skeleton_dot;
+    Alcotest.test_case "reachability DOT" `Quick test_reachability_dot;
+    Alcotest.test_case "concurrency table" `Quick test_concurrency_table;
+    Alcotest.test_case "dot escaping" `Quick test_dot_escaping;
+  ]

@@ -1,0 +1,337 @@
+(** Tests for the simulation substrate: {!Sim.Rng}, {!Sim.Eventq},
+    {!Sim.Metrics} and {!Sim.World}. *)
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:42 and b = Sim.Rng.create ~seed:42 in
+  let xs = List.init 50 (fun _ -> Sim.Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Sim.Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create ~seed:1 and b = Sim.Rng.create ~seed:2 in
+  let xs = List.init 20 (fun _ -> Sim.Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different seeds differ" false (xs = ys)
+
+let prop_rng_int_range =
+  Helpers.qtest "int draws stay in range"
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 500))
+    (fun (seed, bound) ->
+      let rng = Sim.Rng.create ~seed in
+      List.for_all
+        (fun _ ->
+          let x = Sim.Rng.int rng bound in
+          x >= 0 && x < bound)
+        (List.init 100 Fun.id))
+
+let prop_rng_float_range =
+  Helpers.qtest "float draws stay in range" (QCheck2.Gen.int_range 0 10_000) (fun seed ->
+      let rng = Sim.Rng.create ~seed in
+      List.for_all
+        (fun _ ->
+          let x = Sim.Rng.float rng 2.5 in
+          x >= 0.0 && x < 2.5)
+        (List.init 100 Fun.id))
+
+let prop_shuffle_permutation =
+  Helpers.qtest "shuffle is a permutation"
+    QCheck2.Gen.(pair (int_range 0 1000) (list_size (int_range 0 30) (int_range 0 100)))
+    (fun (seed, l) ->
+      let rng = Sim.Rng.create ~seed in
+      List.sort compare (Sim.Rng.shuffle rng l) = List.sort compare l)
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create ~seed:5 in
+  let b = Sim.Rng.split a in
+  let xs = List.init 20 (fun _ -> Sim.Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.int b 1000) in
+  Alcotest.(check bool) "split stream differs" false (xs = ys)
+
+let test_rng_bool_mixes () =
+  let rng = Sim.Rng.create ~seed:3 in
+  let draws = List.init 200 (fun _ -> Sim.Rng.bool rng) in
+  let trues = List.length (List.filter Fun.id draws) in
+  Alcotest.(check bool) "both outcomes occur" true (trues > 50 && trues < 150)
+
+let test_rng_flip_extremes () =
+  let rng = Sim.Rng.create ~seed:3 in
+  Alcotest.(check bool) "p=0 never" false (Sim.Rng.flip rng ~p:0.0);
+  Alcotest.(check bool) "p=1 always" true (Sim.Rng.flip rng ~p:1.0)
+
+let test_rng_choice_empty () =
+  let rng = Sim.Rng.create ~seed:1 in
+  Alcotest.check_raises "choice of empty" (Invalid_argument "Rng.choice: empty list") (fun () ->
+      ignore (Sim.Rng.choice rng []))
+
+let test_exponential_positive () =
+  let rng = Sim.Rng.create ~seed:9 in
+  for _ = 1 to 100 do
+    let x = Sim.Rng.exponential rng ~mean:3.0 in
+    Alcotest.(check bool) "exponential >= 0" true (x >= 0.0)
+  done
+
+(* ---------------- Eventq ---------------- *)
+
+let test_eventq_ordering () =
+  let q = Sim.Eventq.create () in
+  Sim.Eventq.push q ~time:3.0 "c";
+  Sim.Eventq.push q ~time:1.0 "a";
+  Sim.Eventq.push q ~time:2.0 "b";
+  let pops = List.init 3 (fun _ -> Option.get (Sim.Eventq.pop q)) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.map snd pops)
+
+let test_eventq_fifo_ties () =
+  let q = Sim.Eventq.create () in
+  List.iter (fun s -> Sim.Eventq.push q ~time:1.0 s) [ "x"; "y"; "z" ];
+  let pops = List.init 3 (fun _ -> snd (Option.get (Sim.Eventq.pop q))) in
+  Alcotest.(check (list string)) "insertion order on ties" [ "x"; "y"; "z" ] pops
+
+let test_eventq_empty () =
+  let q = Sim.Eventq.create () in
+  Alcotest.(check bool) "empty pop" true (Sim.Eventq.pop q = None);
+  Alcotest.(check bool) "peek none" true (Sim.Eventq.peek_time q = None);
+  Alcotest.(check int) "length 0" 0 (Sim.Eventq.length q)
+
+let test_eventq_bad_time () =
+  let q = Sim.Eventq.create () in
+  Alcotest.check_raises "negative time" (Invalid_argument "Eventq.push: bad time") (fun () ->
+      Sim.Eventq.push q ~time:(-1.0) "x")
+
+let prop_eventq_sorted =
+  Helpers.qtest "pops come out time-sorted"
+    QCheck2.Gen.(list_size (int_range 0 100) (float_range 0.0 1000.0))
+    (fun times ->
+      let q = Sim.Eventq.create () in
+      List.iteri (fun i t -> Sim.Eventq.push q ~time:t i) times;
+      let rec drain acc = match Sim.Eventq.pop q with None -> List.rev acc | Some (t, _) -> drain (t :: acc) in
+      let popped = drain [] in
+      popped = List.sort compare popped && List.length popped = List.length times)
+
+(* ---------------- Metrics ---------------- *)
+
+let test_metrics () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.incr m "x";
+  Sim.Metrics.incr m ~by:4 "x";
+  Alcotest.(check int) "counter" 5 (Sim.Metrics.counter m "x");
+  Alcotest.(check int) "missing counter" 0 (Sim.Metrics.counter m "y");
+  Sim.Metrics.observe m "lat" 1.0;
+  Sim.Metrics.observe m "lat" 3.0;
+  match Sim.Metrics.summarize m "lat" with
+  | Some s ->
+      Alcotest.(check int) "n" 2 s.Sim.Metrics.count;
+      Alcotest.(check (float 0.001)) "mean" 2.0 s.Sim.Metrics.mean;
+      Alcotest.(check (float 0.001)) "min" 1.0 s.Sim.Metrics.min
+  | None -> Alcotest.fail "expected summary"
+
+(* ---------------- World ---------------- *)
+
+type wmsg = Ping | Pong
+
+let wmsg_str = function Ping -> "ping" | Pong -> "pong"
+
+let quiet_handlers ?(on_message = fun _ ~src:_ _ -> ()) ?(on_start = fun _ -> ())
+    ?(on_peer_down = fun _ _ -> ()) ?(on_restart = fun _ -> ()) () _site =
+  { Sim.World.on_start; on_message; on_peer_down; on_peer_up = (fun _ _ -> ()); on_restart }
+
+let test_world_delivery () =
+  let w = Sim.World.create ~n_sites:2 ~seed:1 ~msg_to_string:wmsg_str () in
+  let got = ref [] in
+  let handlers =
+    quiet_handlers
+      ~on_start:(fun ctx -> if ctx.Sim.World.self = 1 then Sim.World.send ctx ~dst:2 Ping)
+      ~on_message:(fun ctx ~src m ->
+        got := (ctx.Sim.World.self, src, m) :: !got;
+        if m = Ping then Sim.World.send ctx ~dst:src Pong)
+      ()
+  in
+  let t_end = Sim.World.run w ~handlers () in
+  Alcotest.(check int) "two deliveries" 2 (List.length !got);
+  Alcotest.(check bool) "positive end time" true (t_end > 0.0);
+  Alcotest.(check int) "metrics sent" 2 (Sim.Metrics.counter (Sim.World.metrics w) "messages_sent")
+
+let test_world_crash_drops_messages () =
+  let w = Sim.World.create ~n_sites:2 ~seed:1 ~msg_to_string:wmsg_str () in
+  Sim.World.schedule_crash w ~at:0.5 2;
+  let got = ref 0 in
+  let handlers =
+    quiet_handlers
+      ~on_start:(fun ctx -> if ctx.Sim.World.self = 1 then Sim.World.send ctx ~dst:2 Ping)
+      ~on_message:(fun _ ~src:_ _ -> incr got)
+      ()
+  in
+  ignore (Sim.World.run w ~handlers ());
+  (* latency ~1.0 > crash at 0.5: the message dies with the target *)
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check int) "drop recorded" 1
+    (Sim.Metrics.counter (Sim.World.metrics w) "messages_dropped")
+
+let test_world_detector () =
+  let w = Sim.World.create ~n_sites:3 ~seed:1 ~msg_to_string:wmsg_str () in
+  Sim.World.schedule_crash w ~at:1.0 3;
+  let reports = ref [] in
+  let handlers =
+    quiet_handlers ~on_peer_down:(fun ctx failed -> reports := (ctx.Sim.World.self, failed) :: !reports) ()
+  in
+  ignore (Sim.World.run w ~handlers ());
+  Alcotest.(check (list (pair int int))) "both survivors notified" [ (1, 3); (2, 3) ]
+    (List.sort compare !reports);
+  Alcotest.(check bool) "detector view" false (Sim.World.is_alive w 3);
+  Alcotest.(check (list int)) "operational sites" [ 1; 2 ] (Sim.World.operational_sites w)
+
+let test_world_recovery_and_restart () =
+  let w = Sim.World.create ~n_sites:2 ~seed:1 ~msg_to_string:wmsg_str () in
+  Sim.World.schedule_crash w ~at:1.0 2;
+  Sim.World.schedule_recovery w ~at:5.0 2;
+  let restarted = ref false and ups = ref [] in
+  let handlers site =
+    {
+      (quiet_handlers ~on_restart:(fun ctx -> if ctx.Sim.World.self = 2 then restarted := true) () site)
+      with
+      Sim.World.on_peer_up = (fun ctx s -> ups := (ctx.Sim.World.self, s) :: !ups);
+    }
+  in
+  ignore (Sim.World.run w ~handlers ());
+  Alcotest.(check bool) "restart handler ran" true !restarted;
+  Alcotest.(check (list (pair int int))) "peer-up notification" [ (1, 2) ] !ups;
+  Alcotest.(check bool) "alive again" true (Sim.World.is_alive w 2)
+
+let test_world_timer_cancelled_by_crash () =
+  let w = Sim.World.create ~n_sites:1 ~seed:1 ~msg_to_string:wmsg_str () in
+  Sim.World.schedule_crash w ~at:1.0 1;
+  let fired = ref false in
+  let handlers =
+    quiet_handlers
+      ~on_start:(fun ctx -> ignore (Sim.World.set_timer ctx ~delay:5.0 (fun () -> fired := true)))
+      ()
+  in
+  ignore (Sim.World.run w ~handlers ());
+  Alcotest.(check bool) "timer died with the site" false !fired
+
+let test_world_timer_cancel () =
+  let w = Sim.World.create ~n_sites:1 ~seed:1 ~msg_to_string:wmsg_str () in
+  let fired = ref false in
+  let handlers =
+    quiet_handlers
+      ~on_start:(fun ctx ->
+        let id = Sim.World.set_timer ctx ~delay:2.0 (fun () -> fired := true) in
+        ignore (Sim.World.set_timer ctx ~delay:1.0 (fun () -> Sim.World.cancel_timer ctx id)))
+      ()
+  in
+  ignore (Sim.World.run w ~handlers ());
+  Alcotest.(check bool) "cancelled timer silent" false !fired
+
+let test_world_sender_crash_partial_broadcast () =
+  (* crash_self between two sends models a partially completed transition:
+     the second message must not leave the site *)
+  let w = Sim.World.create ~n_sites:3 ~seed:1 ~msg_to_string:wmsg_str () in
+  let got = ref [] in
+  let handlers =
+    quiet_handlers
+      ~on_start:(fun ctx ->
+        if ctx.Sim.World.self = 1 then begin
+          Sim.World.send ctx ~dst:2 Ping;
+          Sim.World.crash_self ctx;
+          Sim.World.send ctx ~dst:3 Ping
+        end)
+      ~on_message:(fun ctx ~src:_ _ -> got := ctx.Sim.World.self :: !got)
+      ()
+  in
+  ignore (Sim.World.run w ~handlers ());
+  Alcotest.(check (list int)) "only the first send arrives" [ 2 ] !got
+
+let test_world_inject_and_generations () =
+  let w = Sim.World.create ~n_sites:1 ~seed:1 ~msg_to_string:wmsg_str () in
+  (* message injected for generation 0, but the site crashes and recovers
+     (generation 1) before delivery: the stale message is dropped *)
+  Sim.World.inject w ~dst:1 ~at:5.0 Ping;
+  Sim.World.schedule_crash w ~at:1.0 1;
+  Sim.World.schedule_recovery w ~at:2.0 1;
+  let got = ref 0 in
+  let handlers = quiet_handlers ~on_message:(fun _ ~src:_ _ -> incr got) () in
+  ignore (Sim.World.run w ~handlers ());
+  Alcotest.(check int) "stale-generation message dropped" 0 !got
+
+let test_world_trace_and_pp () =
+  let w = Sim.World.create ~n_sites:2 ~seed:1 ~msg_to_string:wmsg_str () in
+  Sim.World.set_tracing w true;
+  let handlers =
+    quiet_handlers ~on_start:(fun ctx -> if ctx.Sim.World.self = 1 then Sim.World.send ctx ~dst:2 Ping) ()
+  in
+  ignore (Sim.World.run w ~handlers ());
+  let entries = Sim.World.trace_entries w in
+  Alcotest.(check bool) "trace nonempty" true (List.length entries >= 2);
+  Alcotest.(check bool) "trace ordered" true
+    (let times = List.map (fun e -> e.Sim.World.at) entries in
+     List.sort compare times = times);
+  let rendered = Fmt.str "%a" Sim.World.pp_trace w in
+  let contains needle hay =
+    let rec go i =
+      i + String.length needle <= String.length hay
+      && (String.sub hay i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "pp_trace mentions the send" true (contains "send 1->2 ping" rendered)
+
+let test_metrics_pp () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.incr m "events";
+  Sim.Metrics.observe m "lat" 2.0;
+  let s = Fmt.str "%a" Sim.Metrics.pp m in
+  Alcotest.(check bool) "mentions counter" true
+    (let needle = "events" in
+     let rec go i =
+       i + String.length needle <= String.length s
+       && (String.sub s i (String.length needle) = needle || go (i + 1))
+     in
+     go 0)
+
+let test_world_until () =
+  let w = Sim.World.create ~n_sites:1 ~seed:1 ~msg_to_string:wmsg_str () in
+  let count = ref 0 in
+  let handlers =
+    quiet_handlers
+      ~on_start:(fun ctx ->
+        let rec tick () =
+          incr count;
+          ignore (Sim.World.set_timer ctx ~delay:1.0 tick)
+        in
+        tick ())
+      ()
+  in
+  ignore (Sim.World.run w ~handlers ~until:10.5 ());
+  Alcotest.(check bool) "bounded by until" true (!count <= 12)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    prop_rng_int_range;
+    prop_rng_float_range;
+    prop_shuffle_permutation;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng bool mixes" `Quick test_rng_bool_mixes;
+    Alcotest.test_case "rng flip extremes" `Quick test_rng_flip_extremes;
+    Alcotest.test_case "rng choice empty" `Quick test_rng_choice_empty;
+    Alcotest.test_case "rng exponential" `Quick test_exponential_positive;
+    Alcotest.test_case "eventq ordering" `Quick test_eventq_ordering;
+    Alcotest.test_case "eventq fifo ties" `Quick test_eventq_fifo_ties;
+    Alcotest.test_case "eventq empty" `Quick test_eventq_empty;
+    Alcotest.test_case "eventq bad time" `Quick test_eventq_bad_time;
+    prop_eventq_sorted;
+    Alcotest.test_case "metrics" `Quick test_metrics;
+    Alcotest.test_case "world delivery" `Quick test_world_delivery;
+    Alcotest.test_case "crash drops in-flight messages" `Quick test_world_crash_drops_messages;
+    Alcotest.test_case "failure detector" `Quick test_world_detector;
+    Alcotest.test_case "recovery and restart" `Quick test_world_recovery_and_restart;
+    Alcotest.test_case "timers die with their site" `Quick test_world_timer_cancelled_by_crash;
+    Alcotest.test_case "timer cancellation" `Quick test_world_timer_cancel;
+    Alcotest.test_case "partial broadcast on crash" `Quick test_world_sender_crash_partial_broadcast;
+    Alcotest.test_case "inject and incarnations" `Quick test_world_inject_and_generations;
+    Alcotest.test_case "run until bound" `Quick test_world_until;
+    Alcotest.test_case "tracing and pp_trace" `Quick test_world_trace_and_pp;
+    Alcotest.test_case "metrics pp" `Quick test_metrics_pp;
+  ]

@@ -1,0 +1,87 @@
+(** Tests for {!Core.Skeleton}: the canonical protocol abstraction, its
+    adjacency-based concurrency sets, and the lemma at the canonical
+    level. *)
+
+module Sk = Core.Skeleton
+
+let cs sk state = Sk.String_set.elements (Sk.concurrency_set sk state)
+
+let test_canonical_2pc_concurrency_sets () =
+  let sk = Sk.canonical_2pc in
+  Alcotest.(check (list string)) "CS(q)" [ "a"; "q"; "w" ] (cs sk "q");
+  Alcotest.(check (list string)) "CS(w)" [ "a"; "c"; "q"; "w" ] (cs sk "w");
+  Alcotest.(check (list string)) "CS(a)" [ "a"; "q"; "w" ] (cs sk "a");
+  Alcotest.(check (list string)) "CS(c)" [ "c"; "w" ] (cs sk "c")
+
+let test_canonical_2pc_blocking () =
+  let violations = Sk.lemma_violations Sk.canonical_2pc in
+  Alcotest.(check bool) "blocking" false (Sk.is_nonblocking Sk.canonical_2pc);
+  Alcotest.(check bool) "w violates condition 1" true
+    (List.mem ("w", `Both_commit_and_abort) violations);
+  Alcotest.(check bool) "w violates condition 2" true
+    (List.mem ("w", `Noncommittable_sees_commit) violations);
+  Alcotest.(check int) "only w violates" 2 (List.length violations)
+
+let test_canonical_3pc_nonblocking () =
+  Alcotest.(check bool) "nonblocking" true (Sk.is_nonblocking Sk.canonical_3pc);
+  Alcotest.(check (list (pair string string))) "no violations" []
+    (List.map (fun (s, _) -> (s, s)) (Sk.lemma_violations Sk.canonical_3pc))
+
+let test_canonical_1pc_blocking () =
+  let violations = Sk.lemma_violations Sk.canonical_1pc in
+  Alcotest.(check bool) "blocking" false (Sk.is_nonblocking Sk.canonical_1pc);
+  Alcotest.(check bool) "q adjacent to both finals" true
+    (List.mem ("q", `Both_commit_and_abort) violations)
+
+let test_canonical_3pc_structure () =
+  let sk = Sk.canonical_3pc in
+  Alcotest.(check (list string)) "succ w" [ "a"; "p" ] (List.sort compare (Sk.successors sk "w"));
+  Alcotest.(check (list string)) "pred c" [ "p" ] (Sk.predecessors sk "c");
+  Alcotest.(check bool) "p committable" true (Sk.is_committable sk "p");
+  Alcotest.(check bool) "w noncommittable" false (Sk.is_committable sk "w");
+  Alcotest.check Helpers.state_kind "p is a buffer" Core.Types.Buffer (Sk.kind_of sk "p")
+
+let test_make_validation () =
+  Alcotest.check_raises "unknown initial" (Invalid_argument "Skeleton.make: unknown initial state x")
+    (fun () ->
+      ignore
+        (Sk.make ~name:"bad"
+           ~states:[ { Sk.id = "q"; kind = Core.Types.Initial; committable = false } ]
+           ~initial:"x" ~edges:[]));
+  Alcotest.check_raises "unknown edge" (Invalid_argument "Skeleton.make: unknown edge q->z")
+    (fun () ->
+      ignore
+        (Sk.make ~name:"bad"
+           ~states:[ { Sk.id = "q"; kind = Core.Types.Initial; committable = false } ]
+           ~initial:"q"
+           ~edges:[ ("q", "z") ]))
+
+let test_of_protocol_analysis_2pc () =
+  (* abstracting the decentralized 2PC recovers the canonical 2PC skeleton *)
+  let g = Core.Reachability.build (Core.Catalog.decentralized_2pc 2) in
+  let sk = Sk.of_protocol_analysis g in
+  Alcotest.(check bool) "equals canonical 2pc" true (Sk.equal sk Sk.canonical_2pc)
+
+let test_of_protocol_analysis_3pc () =
+  let g = Core.Reachability.build (Core.Catalog.decentralized_3pc 2) in
+  let sk = Sk.of_protocol_analysis g in
+  Alcotest.(check bool) "equals canonical 3pc" true (Sk.equal sk Sk.canonical_3pc)
+
+let test_skeleton_equal_ignores_name () =
+  let a = Sk.canonical_2pc in
+  let b = Sk.make ~name:"renamed" ~states:a.Sk.states ~initial:a.Sk.initial ~edges:a.Sk.edges in
+  Alcotest.(check bool) "names don't matter" true (Sk.equal a b)
+
+let suite =
+  [
+    Alcotest.test_case "canonical 2PC concurrency sets (paper figure)" `Quick
+      test_canonical_2pc_concurrency_sets;
+    Alcotest.test_case "canonical 2PC blocks at w" `Quick test_canonical_2pc_blocking;
+    Alcotest.test_case "canonical 3PC nonblocking" `Quick test_canonical_3pc_nonblocking;
+    Alcotest.test_case "canonical 1PC blocking" `Quick test_canonical_1pc_blocking;
+    Alcotest.test_case "canonical 3PC structure" `Quick test_canonical_3pc_structure;
+    Alcotest.test_case "construction validation" `Quick test_make_validation;
+    Alcotest.test_case "abstraction: dec 2PC -> canonical 2PC" `Quick test_of_protocol_analysis_2pc;
+    Alcotest.test_case "abstraction: dec 3PC -> canonical 3PC" `Quick test_of_protocol_analysis_3pc;
+    Alcotest.test_case "skeleton equality" `Quick test_skeleton_equal_ignores_name;
+  ]

@@ -1,0 +1,85 @@
+(** Tests for {!Core.Synchrony}: the "synchronous within one state
+    transition" property (paper §4) and the adjacency lemma. *)
+
+module C = Core.Catalog
+module S = Core.Synchrony
+
+let test_catalog_synchronous () =
+  (* both paradigms of both protocols are synchronous within one state
+     transition, as the paper claims *)
+  List.iter
+    (fun (entry : C.entry) ->
+      List.iter
+        (fun n ->
+          let r = S.check (entry.C.build n) in
+          Alcotest.(check bool) (Fmt.str "%s n=%d synchronous" entry.C.label n) true r.S.synchronous;
+          Alcotest.(check int) (Fmt.str "%s n=%d max lead" entry.C.label n) 1 r.S.max_lead)
+        [ 2; 3 ])
+    C.all
+
+let test_hasty_2pc_not_synchronous () =
+  (* a coordinator that aborts without reading the votes can get two
+     transitions ahead of a slave still in q *)
+  let r = S.check (C.central_2pc_hasty 3) in
+  Alcotest.(check bool) "not synchronous" false r.S.synchronous;
+  Alcotest.(check bool) "lead exceeds 1" true (r.S.max_lead > 1);
+  Alcotest.(check bool) "witness produced" true (r.S.witness <> None)
+
+let test_lemma_agrees_with_theorem_homogeneous () =
+  (* on homogeneous synchronous protocols the adjacency lemma and the exact
+     theorem agree per (site, state) *)
+  List.iter
+    (fun label ->
+      let p = (C.find label).C.build 3 in
+      let graph = Core.Reachability.build p in
+      let exact = Core.Nonblocking.analyze graph in
+      let cm = Core.Committable.compute graph in
+      let lemma =
+        S.lemma_check p ~is_committable:(fun ~site ~state ->
+            Core.Committable.is_committable cm ~site ~state)
+      in
+      let key (v : Core.Nonblocking.violation) = (v.site, v.state, v.condition) in
+      Alcotest.(check bool)
+        (label ^ ": lemma = theorem")
+        true
+        (List.sort_uniq compare (List.map key exact.Core.Nonblocking.violations)
+        = List.sort_uniq compare (List.map key lemma)))
+    [ "decentralized-2pc"; "decentralized-3pc" ]
+
+let test_lemma_verdict_agrees_on_central () =
+  (* on central-site protocols the lemma over-approximates per site (it
+     may flag the coordinator) but the overall verdict must agree *)
+  List.iter
+    (fun (label, expect_nonblocking) ->
+      let p = (C.find label).C.build 3 in
+      let graph = Core.Reachability.build p in
+      let cm = Core.Committable.compute graph in
+      let lemma =
+        S.lemma_check p ~is_committable:(fun ~site ~state ->
+            Core.Committable.is_committable cm ~site ~state)
+      in
+      Alcotest.(check bool) (label ^ " lemma verdict") expect_nonblocking (lemma = []))
+    [ ("central-2pc", false); ("central-3pc", true); ("1pc", false) ]
+
+let test_explored_counts () =
+  let r = S.check (C.central_2pc 2) in
+  Alcotest.(check bool) "explored something" true (r.S.explored > 0)
+
+let test_limit () =
+  Alcotest.(check bool) "limit raises" true
+    (match S.check ~limit:3 (C.central_2pc 3) with
+    | exception Core.Reachability.Too_large _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "catalog is synchronous within one transition" `Slow
+      test_catalog_synchronous;
+    Alcotest.test_case "hasty 2PC variant is not synchronous" `Quick test_hasty_2pc_not_synchronous;
+    Alcotest.test_case "lemma = theorem on homogeneous protocols" `Quick
+      test_lemma_agrees_with_theorem_homogeneous;
+    Alcotest.test_case "lemma verdict on central-site protocols" `Quick
+      test_lemma_verdict_agrees_on_central;
+    Alcotest.test_case "exploration counting" `Quick test_explored_counts;
+    Alcotest.test_case "exploration limit" `Quick test_limit;
+  ]

@@ -1,0 +1,83 @@
+(** Tests for {!Core.Termination_rule}: the backup coordinator's decision
+    rule and its safety (paper §8). *)
+
+module T = Core.Termination_rule
+module Sk = Core.Skeleton
+module C = Core.Catalog
+module R = Core.Reachability
+
+let test_canonical_3pc_table () =
+  (* the paper's table: commit iff the backup's state is in {p, c} *)
+  List.iter
+    (fun (state, expected) ->
+      Alcotest.check Helpers.outcome (Fmt.str "backup in %s" state) expected
+        (T.decide_skeleton Sk.canonical_3pc ~state))
+    [
+      ("q", Core.Types.Aborted);
+      ("w", Core.Types.Aborted);
+      ("p", Core.Types.Committed);
+      ("a", Core.Types.Aborted);
+      ("c", Core.Types.Committed);
+    ]
+
+let test_canonical_2pc_rule_unsafe () =
+  (* mechanically the rule says commit from w (its adjacency set contains
+     c) — exactly the decision that is unsafe in 2PC *)
+  Alcotest.check Helpers.outcome "2pc w would commit" Core.Types.Committed
+    (T.decide_skeleton Sk.canonical_2pc ~state:"w")
+
+let test_exact_table_3pc () =
+  (* the paper's rule is applied by backup coordinators, which in the
+     central-site model are always slaves; for them the literal rule gives
+     the canonical table.  The coordinator's own p1 is the documented
+     asymmetry: its exact concurrency set contains no c (slaves reach c
+     only after it leaves p1), so the literal rule reads abort there —
+     the engine's Rulebook generalizes the rule to close that gap. *)
+  let graph = R.build (C.central_3pc 3) in
+  let table = T.table graph in
+  List.iter
+    (fun (site, state, decision) ->
+      let expected =
+        if site = 1 && state = "p" then Core.Types.Aborted
+        else if state = "p" || state = "c" then Core.Types.Committed
+        else Core.Types.Aborted
+      in
+      Alcotest.check Helpers.outcome (Fmt.str "site %d state %s" site state) expected decision)
+    table
+
+let test_unsafe_states () =
+  (* the rule is safe for every state of a nonblocking protocol, and unsafe
+     exactly at the blocking states of 2PC *)
+  Alcotest.(check (list (pair int string))) "3pc central: safe everywhere" []
+    (T.unsafe_states (R.build (C.central_3pc 3)));
+  Alcotest.(check (list (pair int string))) "3pc decentralized: safe everywhere" []
+    (T.unsafe_states (R.build (C.decentralized_3pc 3)));
+  let unsafe = T.unsafe_states (R.build (C.central_2pc 3)) in
+  Alcotest.(check (list (pair int string))) "2pc central: slaves' w unsafe"
+    [ (2, "w"); (3, "w") ]
+    (List.sort compare unsafe)
+
+let test_decide_exact_2pc_coordinator () =
+  (* the coordinator of central 2PC can decide safely from every state *)
+  let graph = R.build (C.central_2pc 3) in
+  let cs = Core.Concurrency.compute graph in
+  List.iter
+    (fun (state, expected) ->
+      Alcotest.check Helpers.outcome (Fmt.str "coordinator %s" state) expected
+        (T.decide cs ~site:1 ~state))
+    [
+      ("q", Core.Types.Aborted);
+      ("w", Core.Types.Aborted);
+      ("a", Core.Types.Aborted);
+      ("c", Core.Types.Committed);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "canonical 3PC decision table (paper figure)" `Quick
+      test_canonical_3pc_table;
+    Alcotest.test_case "2PC rule unsafe at w" `Quick test_canonical_2pc_rule_unsafe;
+    Alcotest.test_case "exact table for central 3PC" `Quick test_exact_table_3pc;
+    Alcotest.test_case "rule safety per protocol" `Quick test_unsafe_states;
+    Alcotest.test_case "2PC coordinator decisions" `Quick test_decide_exact_2pc_coordinator;
+  ]
