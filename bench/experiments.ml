@@ -13,6 +13,14 @@ let check id ok =
   if not ok then all_pass := false;
   verdict id ok
 
+(* Machine-readable results, accumulated alongside the printed artifacts
+   and exported by bench/main.ml as BENCH_results.json. *)
+module J = Sim.Json
+
+let results : (string * J.t) list ref = ref []
+let record_result name json = results := (name, json) :: List.remove_assoc name !results
+let results_json () = J.Obj (List.rev !results)
+
 (* ------------------------------------------------------------------ *)
 
 let e1_fsa_figures () =
@@ -213,7 +221,21 @@ let e9_message_complexity () =
   (* latency: one extra phase *)
   let _, (_, t2), (_, t3), _, _ = List.nth results 1 in
   Fmt.pr "central latency n=3: 2pc %.2f vs 3pc %.2f@." t2 t3;
-  check "E9 3pc latency exceeds 2pc (extra phase)" (t3 > t2)
+  check "E9 3pc latency exceeds 2pc (extra phase)" (t3 > t2);
+  let cost (m, t) = J.Obj [ ("messages", J.Int m); ("duration", J.Float t) ] in
+  record_result "E9"
+    (J.List
+       (List.map
+          (fun (n, c2, c3, d2, d3) ->
+            J.Obj
+              [
+                ("n", J.Int n);
+                ("central_2pc", cost c2);
+                ("central_3pc", cost c3);
+                ("decentralized_2pc", cost d2);
+                ("decentralized_3pc", cost d3);
+              ])
+          results))
 
 let e10_resilience_cascade () =
   section "E10" "Resilience: cascading failures down to one survivor (corollary)";
@@ -295,6 +317,7 @@ let e12_kv_ablation () =
   in
   Fmt.pr "%-24s %-6s %9s %8s %8s %10s %9s %9s %8s@." "regime" "proto" "committed" "aborted"
     "pending" "thruput" "latency" "blocked" "msgs";
+  let rows = ref [] in
   List.iter
     (fun (regime, crashes, recoveries) ->
       List.iter
@@ -322,6 +345,24 @@ let e12_kv_ablation () =
             (avg (fun r -> Option.value ~default:0.0 r.Kv.Db.mean_latency))
             (avg (fun r -> r.Kv.Db.blocked_time))
             (avi (fun r -> r.Kv.Db.messages_sent));
+          rows :=
+            ( Fmt.str "%s/%s" regime pl,
+              J.Obj
+                [
+                  ("committed", J.Int (avi (fun r -> r.Kv.Db.committed)));
+                  ("aborted", J.Int (avi (fun r -> r.Kv.Db.aborted)));
+                  ("pending", J.Int (avi (fun r -> r.Kv.Db.pending)));
+                  ("throughput", J.Float (avg (fun r -> r.Kv.Db.throughput)));
+                  ( "mean_latency",
+                    J.Float (avg (fun r -> Option.value ~default:0.0 r.Kv.Db.mean_latency)) );
+                  ("blocked_time", J.Float (avg (fun r -> r.Kv.Db.blocked_time)));
+                  ("messages_sent", J.Int (avi (fun r -> r.Kv.Db.messages_sent)));
+                  (* full metrics of the seed-1 run: counters, gauges and
+                     the commit-latency / phase-split histograms with
+                     p50/p90/p99 *)
+                  ("metrics", (List.hd results).Kv.Db.metrics_json);
+                ] )
+            :: !rows;
           List.iter
             (fun r ->
               check (Fmt.str "E12 %s/%s atomic" regime pl) r.Kv.Db.atomicity_ok;
@@ -331,31 +372,49 @@ let e12_kv_ablation () =
                   (r.Kv.Db.storage_totals = expected_total))
             results)
         [ ("2pc", Kv.Node.Two_phase); ("3pc", Kv.Node.Three_phase) ])
-    regimes
+    regimes;
+  record_result "E12" (J.Obj (List.rev !rows))
 
 let e13_partition_ablation () =
   section "E13"
     "Ablation: violating the reliable-detector assumption (network partition)";
   Fmt.pr
     "The paper assumes the network never fails and reports site failures@.\
-     reliably.  This ablation partitions site 3 away from {1,2} right after@.\
-     the votes are in, so each side falsely suspects the other:@.@.";
+     reliably.  This ablation partitions site 3 away from {1,2} after the@.\
+     votes are sent but before the precommit goes out, so each side@.\
+     falsely suspects the other:@.@.";
   let rb3 = Engine.Rulebook.compile (Core.Catalog.central_3pc 3) in
   let rb2 = Engine.Rulebook.compile (Core.Catalog.central_2pc 3) in
   let r3 =
-    Engine.Partition_ablation.run ~rulebook:rb3 ~from_t:2.5 ~until_t:200.0
+    Engine.Partition_ablation.run ~rulebook:rb3 ~from_t:1.5 ~until_t:200.0
       ~groups:[ [ 1; 2 ]; [ 3 ] ] ~seed:1 ()
   in
   Fmt.pr "--- central 3PC under partition ---@.%a@.@." Engine.Runtime.pp_result r3;
   check "E13 3PC violates atomicity under partition (split brain — the known limit)"
     (not r3.Engine.Runtime.consistent);
   let r2 =
-    Engine.Partition_ablation.run ~rulebook:rb2 ~from_t:2.5 ~until_t:200.0
+    Engine.Partition_ablation.run ~rulebook:rb2 ~from_t:1.5 ~until_t:200.0
       ~groups:[ [ 1; 2 ]; [ 3 ] ] ~seed:1 ()
   in
   Fmt.pr "--- central 2PC under partition ---@.%a@.@." Engine.Runtime.pp_result r2;
   check "E13 2PC stays consistent under partition (it blocks instead)"
     r2.Engine.Runtime.consistent;
+  record_result "E13"
+    (J.Obj
+       [
+         ( "central_3pc",
+           J.Obj
+             [
+               ("consistent", J.Bool r3.Engine.Runtime.consistent);
+               ("metrics", r3.Engine.Runtime.metrics_json);
+             ] );
+         ( "central_2pc",
+           J.Obj
+             [
+               ("consistent", J.Bool r2.Engine.Runtime.consistent);
+               ("metrics", r2.Engine.Runtime.metrics_json);
+             ] );
+       ]);
   Fmt.pr
     "Safety under partitions requires quorums (Skeen's later quorum-based@.\
      commit work); within this paper's model the assumption is essential.@."
@@ -368,7 +427,7 @@ let e14_quorum_termination () =
   (* the E13 partition, now under the quorum rule *)
   let rq =
     Engine.Runtime.run
-      (Engine.Runtime.config ~partition:(2.5, 200.0, [ [ 1; 2 ]; [ 3 ] ])
+      (Engine.Runtime.config ~partition:(1.5, 200.0, [ [ 1; 2 ]; [ 3 ] ])
          ~termination:(Engine.Runtime.Quorum q) rb3)
   in
   Fmt.pr "--- E13's partition, quorum rule ---@.%a@.@." Engine.Runtime.pp_result rq;
@@ -377,6 +436,12 @@ let e14_quorum_termination () =
   check "E14 everyone converges after healing"
     (List.for_all (fun (s : Engine.Runtime.site_report) -> s.outcome <> None)
        rq.Engine.Runtime.reports);
+  record_result "E14"
+    (J.Obj
+       [
+         ("consistent", J.Bool rq.Engine.Runtime.consistent);
+         ("metrics", rq.Engine.Runtime.metrics_json);
+       ]);
   (* the liveness price: a lone survivor blocks under the quorum rule and
      decides under Skeen's rule *)
   let plan =
@@ -502,8 +567,9 @@ let e17_db_partition () =
   let k1 = List.find (fun k -> Kv.Txn.owner ~n_sites k = 2) (List.init 100 Kv.Workload.key_name) in
   let k2 = List.find (fun k -> Kv.Txn.owner ~n_sites k = 3) (List.init 100 Kv.Workload.key_name) in
   let wl = [ (1.0, { Kv.Txn.id = 1; ops = [ Kv.Txn.Add (k1, -5); Kv.Txn.Add (k2, 5) ] }) ] in
-  (* open the window after the votes, before the minority's precommit *)
-  let partitions = [ (3.5, 200.0, [ [ 1; 2 ]; [ 3 ] ]) ] in
+  (* open the window after the votes are sent, before the coordinator
+     sends the minority's precommit (partitions drop at send time) *)
+  let partitions = [ (2.8, 200.0, [ [ 1; 2 ]; [ 3 ] ]) ] in
   let run termination =
     Kv.Db.run
       (Kv.Db.config ~n_sites ~protocol:Kv.Node.Three_phase ~termination ~seed:3 ~partitions
@@ -517,7 +583,23 @@ let e17_db_partition () =
   check "E17 Skeen rule split-brains on this schedule" (not skeen.Kv.Db.atomicity_ok);
   check "E17 quorum rule stays atomic" quorum.Kv.Db.atomicity_ok;
   check "E17 quorum rule converges after healing" (quorum.Kv.Db.pending = 0);
-  check "E17 quorum conserves money" (quorum.Kv.Db.storage_totals = 200)
+  check "E17 quorum conserves money" (quorum.Kv.Db.storage_totals = 200);
+  record_result "E17"
+    (J.Obj
+       [
+         ( "skeen",
+           J.Obj
+             [
+               ("atomicity_ok", J.Bool skeen.Kv.Db.atomicity_ok);
+               ("metrics", skeen.Kv.Db.metrics_json);
+             ] );
+         ( "quorum",
+           J.Obj
+             [
+               ("atomicity_ok", J.Bool quorum.Kv.Db.atomicity_ok);
+               ("metrics", quorum.Kv.Db.metrics_json);
+             ] );
+       ])
 
 let run_all () =
   e1_fsa_figures ();

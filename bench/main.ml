@@ -106,6 +106,7 @@ let micro_tests =
       b_lock_table;
     ]
 
+(* Returns (name, ns/run) estimates so the run report can export them. *)
 let run_micro () =
   Fmt.pr "@.=== Bechamel micro-benchmarks (monotonic clock, ns/run) ===@.";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -114,6 +115,7 @@ let run_micro () =
   let raw_results = Benchmark.all cfg instances micro_tests in
   let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
   let results = Analyze.merge ols instances results in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun measure tbl ->
       if measure = Measure.label Instance.monotonic_clock then
@@ -121,13 +123,26 @@ let run_micro () =
         |> List.sort compare
         |> List.iter (fun (name, ols) ->
                match Analyze.OLS.estimates ols with
-               | Some [ est ] -> Fmt.pr "%-48s %12.1f ns/run@." name est
+               | Some [ est ] ->
+                   estimates := (name, est) :: !estimates;
+                   Fmt.pr "%-48s %12.1f ns/run@." name est
                | _ -> Fmt.pr "%-48s %12s@." name "n/a"))
-    results
+    results;
+  List.rev !estimates
+
+let report_file = "BENCH_results.json"
 
 let () =
   let argv = Array.to_list Sys.argv in
   let want s = List.mem s argv in
+  let report = Sim.Report.create () in
   let ok = if want "micro" && not (want "experiments") then true else Experiments.run_all () in
-  if (not (want "experiments")) || want "micro" then run_micro ();
+  Sim.Report.add report "experiments" (Experiments.results_json ());
+  if (not (want "experiments")) || want "micro" then begin
+    let estimates = run_micro () in
+    Sim.Report.add report "micro_ns_per_run"
+      (Sim.Json.Obj (List.map (fun (name, est) -> (name, Sim.Json.Float est)) estimates))
+  end;
+  Sim.Report.write report ~file:report_file;
+  Fmt.pr "@.wrote %s@." report_file;
   if not ok then exit 1

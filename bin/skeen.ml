@@ -110,6 +110,28 @@ let synthesize_cmd =
 
 (* ---------------- simulate ---------------- *)
 
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics (counters, gauges and latency histograms with p50/p90/p99) \
+           as JSON to $(docv).")
+
+let write_metrics_json file json =
+  match open_out file with
+  | exception Sys_error msg ->
+      Fmt.epr "skeen: cannot write metrics: %s@." msg;
+      exit 1
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Sim.Json.to_string json);
+          output_char oc '\n');
+      Fmt.pr "wrote metrics to %s@." file
+
 let simulate_cmd =
   let crash_site = Arg.(value & opt (some int) None & info [ "crash-site" ] ~docv:"S" ~doc:"Crash this site.") in
   let crash_step =
@@ -142,10 +164,11 @@ let simulate_cmd =
       & opt (some int) None
       & info [ "isolate" ] ~docv:"S"
           ~doc:
-            "Partition site S away from the others from t=2.5 to t=200 with false failure \
+            "Partition site S away from the others from t=1.5 to t=200 with false failure \
              reports — violates the paper's detector assumption.")
   in
-  let run label n crash_site crash_step crash_sent recover_at no_votes trace seed quorum isolate =
+  let run label n crash_site crash_step crash_sent recover_at no_votes trace seed quorum isolate
+      metrics_json =
     let rb = Engine.Rulebook.compile (build label n) in
     let plan =
       match crash_site with
@@ -167,7 +190,7 @@ let simulate_cmd =
     in
     let partition =
       Option.map
-        (fun s -> (2.5, 200.0, [ List.filter (fun x -> x <> s) (List.init n (fun i -> i + 1)); [ s ] ]))
+        (fun s -> (1.5, 200.0, [ List.filter (fun x -> x <> s) (List.init n (fun i -> i + 1)); [ s ] ]))
         isolate
     in
     let r =
@@ -176,13 +199,14 @@ let simulate_cmd =
     in
     Fmt.pr "%a@." Engine.Runtime.pp_result r;
     if trace then
-      List.iter (fun e -> Fmt.pr "%8.2f  %s@." e.Sim.World.at e.Sim.World.what) r.Engine.Runtime.trace
+      List.iter (fun e -> Fmt.pr "%8.2f  %s@." e.Sim.World.at e.Sim.World.what) r.Engine.Runtime.trace;
+    Option.iter (fun f -> write_metrics_json f r.Engine.Runtime.metrics_json) metrics_json
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Execute one distributed transaction on the simulator.")
     Term.(
       const run $ protocol_arg $ sites_arg $ crash_site $ crash_step $ crash_sent $ recover_at
-      $ no_votes $ trace $ seed $ quorum $ isolate)
+      $ no_votes $ trace $ seed $ quorum $ isolate $ metrics_json_arg)
 
 (* ---------------- model-check ---------------- *)
 
@@ -262,7 +286,7 @@ let bank_cmd =
       & opt (some int) None
       & info [ "isolate" ] ~docv:"S" ~doc:"Partition site S away from t=40 to t=160.")
   in
-  let run n three_phase txns crash_site crash_at recover_at seed quorum isolate =
+  let run n three_phase txns crash_site crash_at recover_at seed quorum isolate metrics_json =
     let accounts = 32 and initial_balance = 100 in
     let rng = Sim.Rng.create ~seed in
     let wl = Kv.Workload.bank rng ~n_txns:txns ~accounts ~arrival_rate:1.0 in
@@ -286,13 +310,14 @@ let bank_cmd =
     Fmt.pr "%a@." Kv.Db.pp_result r;
     Fmt.pr "bank total: expected %d, measured %d@."
       (Kv.Workload.bank_total ~accounts ~initial_balance)
-      r.Kv.Db.storage_totals
+      r.Kv.Db.storage_totals;
+    Option.iter (fun f -> write_metrics_json f r.Kv.Db.metrics_json) metrics_json
   in
   Cmd.v
     (Cmd.info "bank" ~doc:"Run the bank-transfer workload on the distributed KV store.")
     Term.(
       const run $ sites_arg $ three_phase $ txns $ crash_site $ crash_at $ recover_at $ seed
-      $ quorum $ isolate)
+      $ quorum $ isolate $ metrics_json_arg)
 
 let () =
   let doc = "Nonblocking commit protocols (Skeen, SIGMOD 1981): analysis and simulation." in

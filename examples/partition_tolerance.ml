@@ -16,7 +16,7 @@
 
     Run with: dune exec examples/partition_tolerance.exe *)
 
-let partition = (2.5, 200.0, [ [ 1; 2 ]; [ 3 ] ])
+let partition = (1.5, 200.0, [ [ 1; 2 ]; [ 3 ] ])
 
 let describe label (r : Engine.Runtime.result) =
   Fmt.pr "--- %s ---@.%a@." label Engine.Runtime.pp_result r;
@@ -28,7 +28,7 @@ let describe label (r : Engine.Runtime.result) =
 
 let () =
   Fmt.pr
-    "Partition {1,2} | {3} from t=2.5 to t=200, with false failure reports@.\
+    "Partition {1,2} | {3} from t=1.5 to t=200, with false failure reports@.\
      on both sides (the paper's assumptions, violated).@.@.";
 
   let rb3 = Engine.Rulebook.compile (Core.Catalog.central_3pc 3) in

@@ -121,6 +121,9 @@ type result = {
           only for blocking protocols (or total-failure scenarios) *)
   all_operational_decided : bool;
   trace : Sim.World.trace_entry list;
+  metrics_json : Sim.Json.t;
+      (** full metrics snapshot of the run ({!Sim.Metrics.to_json}):
+          counters, gauges and latency histograms *)
 }
 
 let planned_vote cfg site =
@@ -156,13 +159,23 @@ module Exec = struct
 
   let record t fmt = Sim.World.record t.world fmt
 
+  (* every forced-log write goes through here so the run's WAL traffic is
+     visible in the metrics *)
+  let append_wal t wal r =
+    Sim.Metrics.incr (Sim.World.metrics t.world) "wal_appends";
+    Wal.append wal r
+
   let finalize t (rt : site_rt) (o : Core.Types.outcome) =
     if rt.outcome = None then begin
-      Wal.append rt.wal (Wal.Decided o);
+      append_wal t rt.wal (Wal.Decided o);
       rt.outcome <- Some o;
       rt.decided_at <- Some (Sim.World.now t.world);
       rt.state <- final_state_for rt.automaton o;
       rt.mode <- Normal;
+      let m = Sim.World.metrics t.world in
+      Sim.Metrics.observe m "decision_latency" (Sim.World.now t.world);
+      Sim.Metrics.observe m "messages_to_decision"
+        (float_of_int (Sim.Metrics.counter m "messages_sent"));
       record t "site %d decides %s" rt.site
         (match o with Core.Types.Committed -> "COMMIT" | Aborted -> "ABORT")
     end
@@ -188,7 +201,7 @@ module Exec = struct
               rt.steps <- rt.steps + 1;
               (* Write-ahead: force the transition record before any message
                  leaves the site. *)
-              Wal.append rt.wal
+              append_wal t rt.wal
                 (Wal.Transitioned { to_state = tr.Core.Automaton.to_state; vote = tr.Core.Automaton.vote });
               (match Core.Message.Multiset.remove_all tr.Core.Automaton.consumes rt.inbox with
               | Some inbox -> rt.inbox <- inbox
@@ -354,7 +367,7 @@ module Exec = struct
             record t "quorum backup %d: %d prepared >= %d -> move up and COMMIT" rt.site
               n_prepared q;
             if rt.state <> p then begin
-              Wal.append rt.wal (Wal.Moved { to_state = p });
+              append_wal t rt.wal (Wal.Moved { to_state = p });
               rt.state <- p
             end;
             run_phase1 t ctx rt ~target:p
@@ -403,7 +416,9 @@ module Exec = struct
         | Some o ->
             (* Already final: phase 1 may be omitted (paper §8). *)
             broadcast_decide t ctx rt o
-        | None -> (
+        | None ->
+            Sim.Metrics.incr (Sim.World.metrics t.world) "termination_rounds";
+            (
             match t.cfg.termination with
             | Quorum q -> (
                 (* poll the reachable participants' states first *)
@@ -458,7 +473,7 @@ module Exec = struct
               rt.leader_rank_seen <- src;
               (match rt.mode with Polling _ -> rt.mode <- Normal | Normal | Leading _ | Stalled -> ());
               if rt.state <> s then begin
-                Wal.append rt.wal (Wal.Moved { to_state = s });
+                append_wal t rt.wal (Wal.Moved { to_state = s });
                 record t "site %d moves %s -> %s at backup's request" rt.site rt.state s;
                 rt.state <- s
               end;
@@ -526,6 +541,16 @@ module Exec = struct
   let on_peer_up t ctx recovered =
     let rt = rt t ctx.Sim.World.self in
     rt.down_view <- List.filter (fun x -> x <> recovered) rt.down_view;
+    (* a stalled site that exhausted its query budget during a long
+       partition gets a fresh one: the peer's return is the signal that
+       querying can succeed again (messages dropped by the partition are
+       dropped at send time, so nothing sent during the window survives
+       to resolve the stall for us) *)
+    if rt.outcome = None && rt.mode = Stalled && rt.queries_left = 0 then begin
+      rt.queries_left <- t.cfg.max_queries;
+      record t "site %d re-queries: site %d is reachable again" rt.site recovered;
+      start_query_loop t ctx rt
+    end;
     (* tainted_view keeps genuinely crashed sites out of leadership; a
        healed partition however reported sites "down" that never crashed,
        and under the quorum rule a blocked minority must now re-poll *)
@@ -595,6 +620,7 @@ let run (cfg : config) : result =
         let site = i + 1 in
         let automaton = Core.Protocol.automaton protocol site in
         let wal = Wal.Store.log store ~site in
+        Sim.Metrics.incr (Sim.World.metrics world) "wal_appends";
         Wal.append wal
           (Wal.Began { protocol = protocol.Core.Protocol.name; initial = automaton.Core.Automaton.initial });
         {
@@ -665,6 +691,7 @@ let run (cfg : config) : result =
     blocked_operational = List.length operational_undecided;
     all_operational_decided = operational_undecided = [];
     trace = Sim.World.trace_entries world;
+    metrics_json = Sim.Metrics.to_json metrics;
   }
 
 let pp_result ppf r =

@@ -78,6 +78,11 @@ type result = {
           for blocking protocols or total-failure scenarios *)
   all_operational_decided : bool;
   trace : Sim.World.trace_entry list;
+  metrics_json : Sim.Json.t;
+      (** full metrics snapshot of the run ({!Sim.Metrics.to_json}):
+          counters, gauges and latency histograms — decision latency,
+          messages-to-decision, WAL appends, termination rounds, event
+          counts and queue-depth high-water mark *)
 }
 
 val run : config -> result

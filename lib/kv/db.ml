@@ -63,6 +63,10 @@ type result = {
   fates : (int * txn_fate) list;
   storage_totals : int;  (** sum of all values across all sites *)
   metrics : (string * int) list;
+  metrics_json : Sim.Json.t;
+      (** full metrics snapshot ({!Sim.Metrics.to_json}): counters, gauges
+          and latency histograms — commit latency and its
+          lock-wait/vote/decision phase split, blocked durations *)
 }
 
 (** [run cfg workload] executes [workload] (arrival-time, transaction)
@@ -194,6 +198,7 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
     fates;
     storage_totals = Array.to_list storages |> List.fold_left (fun a s -> a + Storage.total s) 0;
     metrics = Sim.Metrics.counters metrics;
+    metrics_json = Sim.Metrics.to_json metrics;
   }
 
 let pp_result ppf r =

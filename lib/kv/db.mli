@@ -63,6 +63,10 @@ type result = {
   fates : (int * txn_fate) list;
   storage_totals : int;
   metrics : (string * int) list;
+  metrics_json : Sim.Json.t;
+      (** full metrics snapshot ({!Sim.Metrics.to_json}): counters, gauges
+          and latency histograms — commit latency and its
+          lock-wait/vote/decision phase split, blocked durations *)
 }
 
 val run : config -> (float * Txn.t) list -> result

@@ -56,6 +56,7 @@ type c_txn = {
   mutable awaiting_acks : Core.Types.site list;
   mutable c_status : c_status;
   submitted_at : float;
+  mutable votes_in_at : float option;  (** when the last vote arrived (phase split) *)
 }
 
 (** Termination-protocol state for one orphaned transaction (3PC backup
@@ -129,6 +130,8 @@ let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_
 
 let metric ctx name = Sim.Metrics.incr (Sim.World.metrics ctx.Sim.World.world) name
 let now ctx = Sim.World.now ctx.Sim.World.world
+let metrics ctx = Sim.World.metrics ctx.Sim.World.world
+let observe ctx name v = Sim.Metrics.observe (metrics ctx) name v
 
 (* ------------------------------------------------------------------ *)
 (* participant (resource manager) side                                 *)
@@ -147,6 +150,7 @@ let note_unblocked node ctx (p : p_txn) =
   match p.blocked_since with
   | Some t0 ->
       node.blocked_time <- node.blocked_time +. (now ctx -. t0);
+      observe ctx "kv_blocked_duration" (now ctx -. t0);
       p.blocked_since <- None
   | None -> ()
 
@@ -155,6 +159,7 @@ let note_unblocked node ctx (p : p_txn) =
 let p_abort_unvoted node ctx (p : p_txn) ~notify =
   match p.status with
   | P_working ->
+      Sim.Metrics.timer_discard (metrics ctx) "kv_lock_wait" ~key:p.txn;
       Kv_wal.append node.wal (Kv_wal.P_outcome { txn = p.txn; commit = false });
       p.status <- P_done false;
       release node p;
@@ -227,11 +232,13 @@ let rec p_continue node ctx (p : p_txn) =
              it could be elected backup coordinator and announce a commit
              outcome it never actually learned. *)
           metric ctx "read_only_votes";
+          Sim.Metrics.timer_stop (metrics ctx) "kv_lock_wait" ~key:p.txn ~at:(now ctx);
           release node p;
           Hashtbl.remove node.p_txns p.txn;
           Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Vote { txn = p.txn; vote = `Read_only })
         end
         else begin
+          Sim.Metrics.timer_stop (metrics ctx) "kv_lock_wait" ~key:p.txn ~at:(now ctx);
           Kv_wal.append node.wal
             (Kv_wal.P_prepared
                {
@@ -260,6 +267,9 @@ let on_prepare node ctx ~src ~txn ~ops ~participants =
       }
     in
     Hashtbl.replace node.p_txns txn p;
+    (* lock-wait phase: from the prepare's arrival to this participant's
+       vote (stopped in [p_continue], discarded on unilateral abort) *)
+    Sim.Metrics.timer_start (metrics ctx) "kv_lock_wait" ~key:txn ~at:(now ctx);
     p_continue node ctx p
   end
 
@@ -272,6 +282,12 @@ let c_announce node ctx (c : c_txn) ~commit =
   Kv_wal.append node.wal (Kv_wal.C_decided { txn = c.c_id; commit });
   if commit then node.committed <- node.committed + 1 else node.aborted <- node.aborted + 1;
   node.latencies <- (now ctx -. c.submitted_at) :: node.latencies;
+  observe ctx (if commit then "commit_latency" else "abort_latency") (now ctx -. c.submitted_at);
+  (* decision phase: from the last vote's arrival to the outcome
+     broadcast (covers 3PC's precommit round; ~0 under 2PC) *)
+  (match c.votes_in_at with
+  | Some t0 -> observe ctx "kv_decision_phase" (now ctx -. t0)
+  | None -> ());
   List.iter
     (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = c.c_id; commit }))
     c.c_participants;
@@ -289,6 +305,9 @@ let c_announce node ctx (c : c_txn) ~commit =
   end
 
 let c_all_votes_in node ctx (c : c_txn) =
+  c.votes_in_at <- Some (now ctx);
+  (* vote phase: from submission to the last yes vote *)
+  observe ctx "kv_vote_phase" (now ctx -. c.submitted_at);
   match node.protocol with
   | Two_phase -> c_announce node ctx c ~commit:true
   | Three_phase ->
@@ -342,6 +361,7 @@ let on_client_begin node ctx (txn : Txn.t) =
       awaiting_acks = [];
       c_status = C_collecting;
       submitted_at = now ctx;
+      votes_in_at = None;
     }
   in
   Hashtbl.replace node.c_txns txn.Txn.id c;

@@ -54,6 +54,7 @@ type c_txn = {
   mutable awaiting_acks : Core.Types.site list;
   mutable c_status : c_status;
   submitted_at : float;
+  mutable votes_in_at : float option;  (** when the last vote arrived (phase split) *)
 }
 
 type backup_state = { mutable b_awaiting : Core.Types.site list; b_commit : bool }

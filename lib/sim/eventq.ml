@@ -1,29 +1,36 @@
 (** A binary min-heap of timestamped events.
 
     Ties on time are broken by insertion sequence number, which makes the
-    simulation schedule fully deterministic. *)
+    simulation schedule fully deterministic.
+
+    Slots are ['a entry option] so a vacated slot can be cleared to
+    [None] on pop: otherwise the array would retain every popped entry —
+    and its closure payload, e.g. timer callbacks capturing site state —
+    until the slot happened to be overwritten by a later push. *)
 
 type 'a entry = { time : float; seq : int; payload : 'a }
 
-type 'a t = { mutable heap : 'a entry array; mutable size : int; mutable next_seq : int }
+type 'a t = { mutable heap : 'a entry option array; mutable size : int; mutable next_seq : int }
 
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
+let get t i = match t.heap.(i) with Some e -> e | None -> assert false
+
 let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
 let grow t =
   let cap = max 16 (2 * Array.length t.heap) in
-  let heap = Array.make cap t.heap.(0) in
+  let heap = Array.make cap None in
   Array.blit t.heap 0 heap 0 t.size;
   t.heap <- heap
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_before t.heap.(i) t.heap.(parent) then begin
+    if entry_before (get t i) (get t parent) then begin
       let tmp = t.heap.(i) in
       t.heap.(i) <- t.heap.(parent);
       t.heap.(parent) <- tmp;
@@ -34,8 +41,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && entry_before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && entry_before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.size && entry_before (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && entry_before (get t r) (get t !smallest) then smallest := r;
   if !smallest <> i then begin
     let tmp = t.heap.(i) in
     t.heap.(i) <- t.heap.(!smallest);
@@ -48,23 +55,26 @@ let push t ~time payload =
   if time < 0.0 || Float.is_nan time then invalid_arg "Eventq.push: bad time";
   let entry = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
   if t.size = Array.length t.heap then grow t;
-  t.heap.(t.size) <- entry;
+  t.heap.(t.size) <- Some entry;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-(** [pop t] removes and returns the earliest event, or [None] if empty. *)
+(** [pop t] removes and returns the earliest event, or [None] if empty.
+    The vacated slot is cleared so the heap never retains popped
+    payloads. *)
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.heap.(0) <- t.heap.(t.size);
+      t.heap.(t.size) <- None;
       sift_down t 0
-    end;
+    end
+    else t.heap.(0) <- None;
     Some (top.time, top.payload)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let peek_time t = if t.size = 0 then None else Some (get t 0).time

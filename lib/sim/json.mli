@@ -1,0 +1,29 @@
+(** A minimal JSON tree, emitter and parser — enough for metrics export
+    and bench run reports, with no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  NaN and infinities become [null]. *)
+
+val pp : Format.formatter -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Inverse of {!to_string} (integers stay [Int], everything with a
+    fractional part or exponent becomes [Float]).
+    @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** [member key (Obj kvs)] looks up [key]; [None] on non-objects. *)
+
+val to_float_opt : t -> float option
+(** Numeric coercion: [Int] and [Float] succeed, everything else [None]. *)

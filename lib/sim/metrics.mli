@@ -1,18 +1,83 @@
-(** Simulation metrics: labelled counters and simple summary statistics,
-    collected per run and reported by the experiment harness. *)
+(** Simulation metrics: labelled counters, high-water-mark gauges,
+    fixed-bucket histograms with percentile summaries, and labelled
+    timers.  O(1) insert and O(1) memory per label; exportable as JSON
+    for cross-run perf diffing. *)
 
 type t
 
-type summary = { count : int; total : float; min : float; max : float; mean : float }
+type summary = {
+  count : int;
+  total : float;
+  min : float;
+  max : float;
+  mean : float;  (** exact (tracked alongside the buckets) *)
+  p50 : float;
+  p90 : float;
+  p99 : float;  (** bucket-interpolated, within one bucket width *)
+}
 
 val create : unit -> t
+
+(** {1 Counters} *)
+
 val incr : ?by:int -> t -> string -> unit
 val counter : t -> string -> int
 (** 0 for unknown counters. *)
 
-val observe : t -> string -> float -> unit
-val summarize : t -> string -> summary option
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
+
+(** {1 Gauges (high-water marks)} *)
+
+val gauge_max : t -> string -> int -> unit
+(** Record [v]; the gauge keeps the maximum ever recorded. *)
+
+val gauge : t -> string -> int
+(** 0 for unknown gauges. *)
+
+val gauges : t -> (string * int) list
+
+(** {1 Histograms} *)
+
+val observe : t -> string -> float -> unit
+(** O(1): bump the value's bucket and the exact running count/total/min/max. *)
+
+val summarize : t -> string -> summary option
+val percentile : t -> string -> float -> float option
+(** [percentile t name p] for [p] in [0..100]; [None] if nothing was
+    observed under [name]. *)
+
+val histograms : t -> (string * summary) list
+(** All histograms, sorted by name. *)
+
+val buckets : t -> string -> (float * float * int) list
+(** Non-empty buckets as [(lower, upper, count)]; the last bucket's upper
+    bound is [infinity]. *)
+
+(** {1 Bucket layout (exposed for tests)} *)
+
+val n_buckets : int
+val bucket_index : float -> int
+val bucket_lower : int -> float
+val bucket_upper : int -> float
+
+(** {1 Labelled timers}
+
+    A timer is identified by a label and an integer key (e.g. a
+    transaction id), so many instances of the same measurement can be in
+    flight at once.  [timer_stop] records the elapsed time into the
+    label's histogram. *)
+
+val timer_start : t -> string -> key:int -> at:float -> unit
+val timer_stop : t -> string -> key:int -> at:float -> unit
+(** No-op if no matching [timer_start] is pending. *)
+
+val timer_discard : t -> string -> key:int -> unit
+
+(** {1 Export} *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name:
+    {count,total,min,max,mean,p50,p90,p99,buckets:[{le,count},...]}}}] *)
 
 val pp : Format.formatter -> t -> unit

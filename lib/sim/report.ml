@@ -1,0 +1,27 @@
+(** A run report: named JSON sections accumulated while a bench or
+    experiment harness runs, written out as one machine-readable file
+    (e.g. BENCH_results.json) for cross-run diffing. *)
+
+let schema_version = 1
+
+type t = { mutable sections : (string * Json.t) list  (** newest first *) }
+
+let create () = { sections = [] }
+
+let add t name json =
+  if List.mem_assoc name t.sections then
+    t.sections <-
+      List.map (fun (n, j) -> if n = name then (n, json) else (n, j)) t.sections
+  else t.sections <- (name, json) :: t.sections
+
+let sections t = List.rev t.sections
+
+let to_json t = Json.Obj (("schema_version", Json.Int schema_version) :: sections t)
+
+let write t ~file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')

@@ -1,0 +1,22 @@
+(** A run report: named JSON sections accumulated while a bench or
+    experiment harness runs, written out as one machine-readable file
+    (e.g. BENCH_results.json) for cross-run diffing. *)
+
+type t
+
+val schema_version : int
+
+val create : unit -> t
+
+val add : t -> string -> Json.t -> unit
+(** [add t name json] appends section [name]; re-adding a name replaces
+    its previous value in place. *)
+
+val sections : t -> (string * Json.t) list
+(** In insertion order. *)
+
+val to_json : t -> Json.t
+(** [{"schema_version": n, <section>: ..., ...}] in insertion order. *)
+
+val write : t -> file:string -> unit
+(** Write {!to_json} (compact, one line) to [file]. *)

@@ -52,7 +52,10 @@ and 'msg t = {
   mutable trace : trace_entry list;  (** reverse order *)
   mutable tracing : bool;
   mutable next_timer_id : int;
-  mutable cancelled_timers : int list;
+  cancelled_timers : (int, unit) Hashtbl.t;
+      (** ids cancelled before their fire time; an id is removed when its
+          timer event dispatches (fired or skipped), so membership tests
+          and memory stay O(1) no matter how many timers a run cancels *)
   mutable stopped : bool;
   mutable partitions : partition list;
 }
@@ -86,7 +89,7 @@ let create ?(latency = default_latency) ?(detection_delay = 2.0) ~n_sites ~seed 
     trace = [];
     tracing = false;
     next_timer_id = 0;
-    cancelled_timers = [];
+    cancelled_timers = Hashtbl.create 64;
     stopped = false;
     partitions = [];
   }
@@ -156,17 +159,27 @@ let handlers_for w s =
 
 (** [send ctx ~dst msg] puts [msg] on the wire.  Messages from a crashed
     sender are dropped (models partial transmission when a handler crashes
-    itself mid-broadcast); messages reach [dst] only if it is still the same
-    incarnation when the message arrives. *)
+    itself mid-broadcast); messages sent across an active partition are
+    silently dropped at the sending edge (the partition decision belongs
+    to the moment of transmission — a partition that heals before arrival
+    does not resurrect the message, and a message already in flight when
+    a partition starts is not retroactively lost); messages reach [dst]
+    only if it is still the same incarnation when the message arrives. *)
 let send ctx ~dst msg =
   let w = ctx.world in
   check_site w dst;
   if w.alive.(ctx.self) then begin
     Metrics.incr w.metrics "messages_sent";
-    record w "send %d->%d %s" ctx.self dst (w.msg_to_string msg);
-    let delay = w.latency w ~src:ctx.self ~dst in
-    Eventq.push w.queue ~time:(w.now +. delay)
-      (Deliver { src = ctx.self; dst; dst_gen = w.generation.(dst); msg })
+    if separated w ctx.self dst then begin
+      Metrics.incr w.metrics "messages_partitioned";
+      record w "partition drops %d->%d %s" ctx.self dst (w.msg_to_string msg)
+    end
+    else begin
+      record w "send %d->%d %s" ctx.self dst (w.msg_to_string msg);
+      let delay = w.latency w ~src:ctx.self ~dst in
+      Eventq.push w.queue ~time:(w.now +. delay)
+        (Deliver { src = ctx.self; dst; dst_gen = w.generation.(dst); msg })
+    end
   end
   else record w "send-dropped (sender %d down) ->%d %s" ctx.self dst (w.msg_to_string msg)
 
@@ -190,7 +203,7 @@ let set_timer ctx ~delay f =
     (Timer { site = ctx.self; gen = w.generation.(ctx.self); id; callback = f });
   id
 
-let cancel_timer ctx id = ctx.world.cancelled_timers <- id :: ctx.world.cancelled_timers
+let cancel_timer ctx id = Hashtbl.replace ctx.world.cancelled_timers id ()
 
 let schedule_crash w ~at s =
   check_site w s;
@@ -239,11 +252,10 @@ let stop w = w.stopped <- true
 
 let dispatch w = function
   | Deliver { src; dst; dst_gen; msg } ->
-      if separated w src dst then begin
-        Metrics.incr w.metrics "messages_partitioned";
-        record w "partition drops %d->%d %s" src dst (w.msg_to_string msg)
-      end
-      else if w.alive.(dst) && w.generation.(dst) = dst_gen then begin
+      (* the partition check happened at send time: a message on the wire
+         is past the network's drop decision *)
+      Metrics.incr w.metrics "events_deliver";
+      if w.alive.(dst) && w.generation.(dst) = dst_gen then begin
         Metrics.incr w.metrics "messages_delivered";
         record w "deliver %d->%d %s" src dst (w.msg_to_string msg);
         (handlers_for w dst).on_message { world = w; self = dst } ~src msg
@@ -253,16 +265,27 @@ let dispatch w = function
         record w "drop %d->%d %s" src dst (w.msg_to_string msg)
       end
   | Timer { site; gen; id; callback } ->
-      if w.alive.(site) && w.generation.(site) = gen && not (List.mem id w.cancelled_timers) then
-        callback ()
-  | Crash s -> do_crash w s
-  | Recover s -> do_recover w s
+      Metrics.incr w.metrics "events_timer";
+      let cancelled = Hashtbl.mem w.cancelled_timers id in
+      if cancelled then begin
+        Hashtbl.remove w.cancelled_timers id;
+        Metrics.incr w.metrics "timers_cancelled"
+      end;
+      if (not cancelled) && w.alive.(site) && w.generation.(site) = gen then callback ()
+  | Crash s ->
+      Metrics.incr w.metrics "events_crash";
+      do_crash w s
+  | Recover s ->
+      Metrics.incr w.metrics "events_recover";
+      do_recover w s
   | Detect_down { observer; failed } ->
+      Metrics.incr w.metrics "events_detect_down";
       if w.alive.(observer) && not w.alive.(failed) then begin
         record w "site %d detects failure of site %d" observer failed;
         (handlers_for w observer).on_peer_down { world = w; self = observer } failed
       end
   | False_down { observer; suspect } ->
+      Metrics.incr w.metrics "events_false_down";
       (* only while the partition still separates them: a short-lived
          partition that healed before detection stays invisible *)
       if w.alive.(observer) && separated w observer suspect then begin
@@ -271,6 +294,7 @@ let dispatch w = function
         (handlers_for w observer).on_peer_down { world = w; self = observer } suspect
       end
   | Detect_up { observer; recovered } ->
+      Metrics.incr w.metrics "events_detect_up";
       if w.alive.(observer) && w.alive.(recovered) then begin
         record w "site %d detects recovery of site %d" observer recovered;
         (handlers_for w observer).on_peer_up { world = w; self = observer } recovered
@@ -285,7 +309,8 @@ let run w ~handlers ?(until = 100_000.0) () =
   List.iter (fun s -> if w.alive.(s) then (handlers s).on_start { world = w; self = s }) (sites w);
   let rec loop () =
     if w.stopped then ()
-    else
+    else begin
+      Metrics.gauge_max w.metrics "queue_depth_hwm" (Eventq.length w.queue);
       match Eventq.pop w.queue with
       | None -> ()
       | Some (time, ev) ->
@@ -295,6 +320,7 @@ let run w ~handlers ?(until = 100_000.0) () =
             dispatch w ev;
             loop ()
           end
+    end
   in
   loop ();
   w.now

@@ -17,6 +17,7 @@ let () =
       ("synthesis", Test_synthesis.suite);
       ("termination-rule", Test_termination_rule.suite);
       ("sim", Test_sim.suite);
+      ("metrics", Test_metrics.suite);
       ("engine", Test_engine.suite);
       ("election", Test_election.suite);
       ("partition", Test_partition.suite);

@@ -1,0 +1,224 @@
+(** Tests for {!Sim.Metrics}: the geometric-bucket histograms behind the
+    observability layer — bucket boundaries, percentile accuracy against
+    a sorted-sample oracle, JSON export round-trips, and determinism. *)
+
+module M = Sim.Metrics
+module J = Sim.Json
+
+(* ---------------- bucket layout ---------------- *)
+
+let test_bucket_boundaries () =
+  Alcotest.(check int) "zero -> bucket 0" 0 (M.bucket_index 0.0);
+  Alcotest.(check int) "negative -> bucket 0" 0 (M.bucket_index (-3.0));
+  Alcotest.(check int) "tiny -> bucket 0" 0 (M.bucket_index 1e-9);
+  Alcotest.(check int) "nan -> bucket 0" 0 (M.bucket_index Float.nan);
+  Alcotest.(check int) "huge -> last bucket" (M.n_buckets - 1) (M.bucket_index 1e30);
+  Alcotest.(check int) "infinity -> last bucket" (M.n_buckets - 1)
+    (M.bucket_index Float.infinity);
+  (* a value on a bucket's lower boundary belongs to that bucket
+     ([lower, upper) intervals), and interior points stay inside *)
+  for i = 1 to M.n_buckets - 2 do
+    let lo = M.bucket_lower i and hi = M.bucket_upper i in
+    Alcotest.(check bool) (Fmt.str "bucket %d lower < upper" i) true (lo < hi);
+    Alcotest.(check int) (Fmt.str "lower boundary of bucket %d" i) i (M.bucket_index lo);
+    let mid = Float.sqrt (lo *. hi) in
+    Alcotest.(check int) (Fmt.str "midpoint of bucket %d" i) i (M.bucket_index mid)
+  done;
+  (* buckets tile the positive axis: upper(i) = lower(i+1) *)
+  for i = 0 to M.n_buckets - 3 do
+    Alcotest.(check (float 1e-12))
+      (Fmt.str "upper %d = lower %d" i (i + 1))
+      (M.bucket_upper i) (M.bucket_lower (i + 1))
+  done
+
+let test_bucket_index_monotone () =
+  let rng = Sim.Rng.create ~seed:7 in
+  let values =
+    List.init 2_000 (fun _ -> Sim.Rng.float rng 2.0e6) |> List.sort compare
+  in
+  let _ =
+    List.fold_left
+      (fun prev v ->
+        let i = M.bucket_index v in
+        Alcotest.(check bool) "bucket index nondecreasing" true (i >= prev);
+        i)
+      0 values
+  in
+  ()
+
+(* ---------------- summaries and percentiles ---------------- *)
+
+let test_summary_exact_fields () =
+  let m = M.create () in
+  List.iter (M.observe m "x") [ 3.0; 1.0; 2.0; 10.0 ];
+  match M.summarize m "x" with
+  | None -> Alcotest.fail "expected a summary"
+  | Some s ->
+      Alcotest.(check int) "count" 4 s.M.count;
+      Alcotest.(check (float 1e-9)) "total" 16.0 s.M.total;
+      Alcotest.(check (float 1e-9)) "mean" 4.0 s.M.mean;
+      Alcotest.(check (float 1e-9)) "min" 1.0 s.M.min;
+      Alcotest.(check (float 1e-9)) "max" 10.0 s.M.max
+
+let test_percentile_against_oracle () =
+  (* percentiles interpolated from geometric buckets must land within one
+     bucket width (a factor of 1.25) of the exact sorted-sample value *)
+  let rng = Sim.Rng.create ~seed:42 in
+  let n = 5_000 in
+  let values = List.init n (fun _ -> 0.001 +. Sim.Rng.float rng 1000.0) in
+  let m = M.create () in
+  List.iter (M.observe m "lat") values;
+  let sorted = Array.of_list (List.sort compare values) in
+  let oracle p =
+    let rank = int_of_float (Float.round (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  in
+  List.iter
+    (fun p ->
+      match M.percentile m "lat" p with
+      | None -> Alcotest.fail "expected a percentile"
+      | Some est ->
+          let exact = oracle p in
+          let ratio = est /. exact in
+          Alcotest.(check bool)
+            (Fmt.str "p%.0f estimate %.4f within a bucket of exact %.4f" p est exact)
+            true
+            (ratio > 1.0 /. 1.3 && ratio < 1.3))
+    [ 50.0; 90.0; 99.0 ];
+  (* edge percentiles are exact: tracked min/max *)
+  Alcotest.(check (option (float 1e-9))) "p0 = min" (Some sorted.(0)) (M.percentile m "lat" 0.0);
+  Alcotest.(check (option (float 1e-9)))
+    "p100 = max"
+    (Some sorted.(n - 1))
+    (M.percentile m "lat" 100.0)
+
+let test_percentiles_ordered () =
+  let m = M.create () in
+  let rng = Sim.Rng.create ~seed:9 in
+  List.iter (fun _ -> M.observe m "d" (Sim.Rng.exponential rng ~mean:5.0)) (List.init 1000 Fun.id);
+  match M.summarize m "d" with
+  | None -> Alcotest.fail "expected a summary"
+  | Some s ->
+      Alcotest.(check bool) "min <= p50" true (s.M.min <= s.M.p50);
+      Alcotest.(check bool) "p50 <= p90" true (s.M.p50 <= s.M.p90);
+      Alcotest.(check bool) "p90 <= p99" true (s.M.p90 <= s.M.p99);
+      Alcotest.(check bool) "p99 <= max" true (s.M.p99 <= s.M.max)
+
+(* ---------------- counters, gauges, timers ---------------- *)
+
+let test_counters_and_gauges () =
+  let m = M.create () in
+  M.incr m "a";
+  M.incr ~by:4 m "a";
+  M.incr m "b";
+  Alcotest.(check int) "a" 5 (M.counter m "a");
+  Alcotest.(check int) "b" 1 (M.counter m "b");
+  Alcotest.(check int) "unknown counter" 0 (M.counter m "nope");
+  M.gauge_max m "depth" 3;
+  M.gauge_max m "depth" 9;
+  M.gauge_max m "depth" 5;
+  Alcotest.(check int) "gauge keeps max" 9 (M.gauge m "depth");
+  Alcotest.(check (list (pair string int))) "counters sorted" [ ("a", 5); ("b", 1) ] (M.counters m)
+
+let test_timers () =
+  let m = M.create () in
+  M.timer_start m "op" ~key:1 ~at:10.0;
+  M.timer_start m "op" ~key:2 ~at:11.0;
+  M.timer_stop m "op" ~key:2 ~at:14.0;
+  M.timer_stop m "op" ~key:1 ~at:12.0;
+  M.timer_stop m "op" ~key:3 ~at:99.0;
+  (* no matching start: ignored *)
+  M.timer_start m "op" ~key:4 ~at:0.0;
+  M.timer_discard m "op" ~key:4;
+  M.timer_stop m "op" ~key:4 ~at:50.0;
+  (* discarded: ignored *)
+  match M.summarize m "op" with
+  | None -> Alcotest.fail "expected a summary"
+  | Some s ->
+      Alcotest.(check int) "two completed timers" 2 s.M.count;
+      Alcotest.(check (float 1e-9)) "total elapsed" 5.0 s.M.total;
+      Alcotest.(check (float 1e-9)) "min elapsed" 2.0 s.M.min;
+      Alcotest.(check (float 1e-9)) "max elapsed" 3.0 s.M.max
+
+(* ---------------- JSON ---------------- *)
+
+let test_json_roundtrip () =
+  let m = M.create () in
+  M.incr ~by:7 m "msgs";
+  M.gauge_max m "queue" 12;
+  let rng = Sim.Rng.create ~seed:3 in
+  List.iter (fun _ -> M.observe m "lat" (Sim.Rng.float rng 50.0)) (List.init 500 Fun.id);
+  let j = M.to_json m in
+  let s = J.to_string j in
+  let j' = J.of_string s in
+  (* canonical after one round trip: parse(print(j)) prints identically *)
+  Alcotest.(check string) "fixed point" s (J.to_string j');
+  (* spot-check structure through the parsed tree *)
+  Alcotest.(check (option (float 0.0)))
+    "counter preserved" (Some 7.0)
+    Option.(bind (J.member "counters" j') (J.member "msgs") |> fun o -> bind o J.to_float_opt);
+  Alcotest.(check (option (float 0.0)))
+    "gauge preserved" (Some 12.0)
+    Option.(bind (J.member "gauges" j') (J.member "queue") |> fun o -> bind o J.to_float_opt);
+  let hist =
+    Option.bind (J.member "histograms" j') (J.member "lat")
+  in
+  Alcotest.(check (option (float 0.0)))
+    "histogram count preserved" (Some 500.0)
+    Option.(bind hist (J.member "count") |> fun o -> bind o J.to_float_opt);
+  (match Option.bind hist (J.member "buckets") with
+  | Some (J.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "expected non-empty buckets list");
+  (* NaN and infinities degrade to null, not invalid JSON *)
+  Alcotest.(check string)
+    "non-finite -> null" "[null,null,null]"
+    (J.to_string (J.List [ J.Float Float.nan; J.Float Float.infinity; J.Float Float.neg_infinity ]))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | exception J.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Fmt.str "expected parse error on %S" s))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_run_deterministic () =
+  (* the full metrics snapshot of a simulated run is a pure function of
+     the seed: byte-identical JSON across runs *)
+  let snapshot () =
+    let rb = Engine.Rulebook.compile (Core.Catalog.central_3pc 3) in
+    let plan =
+      Engine.Failure_plan.crash_at_step ~site:1 ~step:2 ~mode:(Engine.Failure_plan.After_logging 0)
+    in
+    let r = Engine.Runtime.run (Engine.Runtime.config ~plan ~seed:5 rb) in
+    J.to_string r.Engine.Runtime.metrics_json
+  in
+  Alcotest.(check string) "same seed, same metrics" (snapshot ()) (snapshot ())
+
+(* ---------------- report ---------------- *)
+
+let test_report_sections () =
+  let r = Sim.Report.create () in
+  Sim.Report.add r "first" (J.Int 1);
+  Sim.Report.add r "second" (J.Str "two");
+  Sim.Report.add r "first" (J.Int 3);
+  (* replaced in place *)
+  Alcotest.(check string)
+    "insertion order, schema_version first"
+    "{\"schema_version\":1,\"first\":3,\"second\":\"two\"}"
+    (J.to_string (Sim.Report.to_json r))
+
+let suite =
+  [
+    Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+    Alcotest.test_case "bucket index monotone" `Quick test_bucket_index_monotone;
+    Alcotest.test_case "summary exact fields" `Quick test_summary_exact_fields;
+    Alcotest.test_case "percentiles vs sorted oracle" `Quick test_percentile_against_oracle;
+    Alcotest.test_case "percentiles ordered" `Quick test_percentiles_ordered;
+    Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+    Alcotest.test_case "labelled timers" `Quick test_timers;
+    Alcotest.test_case "to_json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "run metrics deterministic" `Quick test_run_deterministic;
+    Alcotest.test_case "report sections" `Quick test_report_sections;
+  ]

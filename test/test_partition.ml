@@ -75,12 +75,63 @@ let test_short_partition_invisible () =
   ignore (Sim.World.run w ~handlers ());
   Alcotest.(check int) "no suspicion" 0 !suspected
 
+(* Send-time semantics: whether a message crosses a partition is decided
+   the moment it is sent, not when it would be delivered.  A message
+   already in flight when the partition opens still arrives (the packets
+   left the site); a message sent inside the window is lost for good even
+   if the network heals before its would-be delivery time. *)
+let test_send_before_partition_delivered () =
+  let w = Sim.World.create ~n_sites:2 ~seed:1 ~msg_to_string:(fun s -> s) () in
+  (* sent at t=0, delivered ~1.05 — the window covers the delivery time only *)
+  Sim.World.schedule_partition w ~from_t:0.5 ~until_t:5.0 [ [ 1 ]; [ 2 ] ];
+  let got = ref 0 in
+  let handlers _site =
+    {
+      Sim.World.on_start = (fun ctx -> if ctx.Sim.World.self = 1 then Sim.World.send ctx ~dst:2 "early");
+      on_message = (fun _ ~src:_ _ -> incr got);
+      on_peer_down = (fun _ _ -> ());
+      on_peer_up = (fun _ _ -> ());
+      on_restart = (fun _ -> ());
+    }
+  in
+  ignore (Sim.World.run w ~handlers ());
+  Alcotest.(check int) "in-flight message survives" 1 !got;
+  Alcotest.(check int) "no partition drop" 0
+    (Sim.Metrics.counter (Sim.World.metrics w) "messages_partitioned")
+
+let test_send_during_partition_dropped () =
+  let w = Sim.World.create ~n_sites:2 ~seed:1 ~msg_to_string:(fun s -> s) () in
+  (* sent at t=0.5 inside the window, would-be delivery ~1.55 after the
+     heal at 1.0 — still dropped, because the send happened while cut *)
+  Sim.World.schedule_partition w ~from_t:0.0 ~until_t:1.0 [ [ 1 ]; [ 2 ] ];
+  let got = ref 0 in
+  let handlers _site =
+    {
+      Sim.World.on_start =
+        (fun ctx ->
+          if ctx.Sim.World.self = 1 then
+            ignore
+              (Sim.World.set_timer ctx ~delay:0.5 (fun () -> Sim.World.send ctx ~dst:2 "mid-window")));
+      on_message = (fun _ ~src:_ _ -> incr got);
+      on_peer_down = (fun _ _ -> ());
+      on_peer_up = (fun _ _ -> ());
+      on_restart = (fun _ -> ());
+    }
+  in
+  ignore (Sim.World.run w ~handlers ());
+  Alcotest.(check int) "mid-window message lost despite heal" 0 !got;
+  Alcotest.(check int) "partition drop counted" 1
+    (Sim.Metrics.counter (Sim.World.metrics w) "messages_partitioned")
+
 (* Protocol-level ablation.  Partition the lone slave 3 away from {1,2}
-   right after the votes are in (t = 2.5): under 3PC both sides terminate
-   — in opposite directions; under 2PC the minority blocks instead. *)
+   after the votes are sent but before the coordinator's precommit goes
+   out (t = 1.5; the partition check happens at send time, so a window
+   opening at 1.5 lets the in-flight votes through and drops the
+   precommit): under 3PC both sides terminate — in opposite directions;
+   under 2PC the minority blocks instead. *)
 let test_3pc_splits_brain_under_partition () =
   let r =
-    Engine.Partition_ablation.run ~rulebook:(Lazy.force rb3) ~from_t:2.5 ~until_t:200.0
+    Engine.Partition_ablation.run ~rulebook:(Lazy.force rb3) ~from_t:1.5 ~until_t:200.0
       ~groups:[ [ 1; 2 ]; [ 3 ] ] ~seed:1 ()
   in
   Alcotest.(check bool) "INCONSISTENT outcome (split brain)" false r.R.consistent;
@@ -92,7 +143,7 @@ let test_3pc_splits_brain_under_partition () =
 
 let test_2pc_blocks_but_stays_consistent () =
   let r =
-    Engine.Partition_ablation.run ~rulebook:(Lazy.force rb2) ~from_t:2.5 ~until_t:200.0
+    Engine.Partition_ablation.run ~rulebook:(Lazy.force rb2) ~from_t:1.5 ~until_t:200.0
       ~groups:[ [ 1; 2 ]; [ 3 ] ] ~seed:1 ()
   in
   Alcotest.(check bool) "consistent" true r.R.consistent;
@@ -117,6 +168,10 @@ let suite =
       test_world_partition_drops;
     Alcotest.test_case "partition heals" `Quick test_world_partition_heals;
     Alcotest.test_case "short partition invisible" `Quick test_short_partition_invisible;
+    Alcotest.test_case "in-flight message survives partition" `Quick
+      test_send_before_partition_delivered;
+    Alcotest.test_case "mid-window send dropped despite heal" `Quick
+      test_send_during_partition_dropped;
     Alcotest.test_case "3PC split-brain under partition (known limit)" `Quick
       test_3pc_splits_brain_under_partition;
     Alcotest.test_case "2PC blocks but stays consistent" `Quick

@@ -71,7 +71,7 @@ let test_partition_safe () =
   (* the E13 split-brain scenario: under the quorum rule the minority
      blocks instead of aborting, so consistency survives the partition *)
   let r =
-    R.run (qcfg ~partition:(2.5, 200.0, [ [ 1; 2 ]; [ 3 ] ]) (Lazy.force rb3) 3)
+    R.run (qcfg ~partition:(1.5, 200.0, [ [ 1; 2 ]; [ 3 ] ]) (Lazy.force rb3) 3)
   in
   Alcotest.(check bool) "consistent under partition" true r.R.consistent;
   (* after healing everyone converges on commit *)
@@ -86,7 +86,7 @@ let test_partition_minority_blocks_until_heal () =
   (* a partition that never heals: the majority decides, the minority
      stays blocked — consistent, just not live *)
   let r =
-    R.run (qcfg ~partition:(2.5, 9_999.0, [ [ 1; 2 ]; [ 3 ] ]) (Lazy.force rb3) 3)
+    R.run (qcfg ~partition:(1.5, 9_999.0, [ [ 1; 2 ]; [ 3 ] ]) (Lazy.force rb3) 3)
   in
   Alcotest.(check bool) "consistent" true r.R.consistent;
   let outcome s = (List.nth r.R.reports (s - 1)).R.outcome in

@@ -223,6 +223,33 @@ let test_world_timer_cancel () =
   ignore (Sim.World.run w ~handlers ());
   Alcotest.(check bool) "cancelled timer silent" false !fired
 
+let test_world_timer_cancel_many () =
+  (* regression: cancellations used to accumulate in an int list, making
+     each timer dispatch a linear scan (O(n^2) over a run). 10k cancelled
+     timers must dispatch silently and finish instantly. *)
+  let n = 10_000 in
+  let w = Sim.World.create ~n_sites:1 ~seed:1 ~msg_to_string:wmsg_str () in
+  let fired = ref 0 in
+  let handlers =
+    quiet_handlers
+      ~on_start:(fun ctx ->
+        for i = 1 to n do
+          let id =
+            Sim.World.set_timer ctx ~delay:(float_of_int i *. 0.001) (fun () -> incr fired)
+          in
+          Sim.World.cancel_timer ctx id
+        done)
+      ()
+  in
+  let t0 = Sys.time () in
+  ignore (Sim.World.run w ~handlers ());
+  let elapsed = Sys.time () -. t0 in
+  Alcotest.(check int) "no cancelled timer fired" 0 !fired;
+  Alcotest.(check int) "all cancellations accounted for" n
+    (Sim.Metrics.counter (Sim.World.metrics w) "timers_cancelled");
+  (* generous bound: the O(n^2) list-scan version takes far longer *)
+  Alcotest.(check bool) (Fmt.str "completed quickly (%.3fs)" elapsed) true (elapsed < 2.0)
+
 let test_world_sender_crash_partial_broadcast () =
   (* crash_self between two sends models a partially completed transition:
      the second message must not leave the site *)
@@ -329,6 +356,7 @@ let suite =
     Alcotest.test_case "recovery and restart" `Quick test_world_recovery_and_restart;
     Alcotest.test_case "timers die with their site" `Quick test_world_timer_cancelled_by_crash;
     Alcotest.test_case "timer cancellation" `Quick test_world_timer_cancel;
+    Alcotest.test_case "10k timer cancellations stay fast" `Quick test_world_timer_cancel_many;
     Alcotest.test_case "partial broadcast on crash" `Quick test_world_sender_crash_partial_broadcast;
     Alcotest.test_case "inject and incarnations" `Quick test_world_inject_and_generations;
     Alcotest.test_case "run until bound" `Quick test_world_until;
