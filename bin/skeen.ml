@@ -235,6 +235,45 @@ let model_check_cmd =
           state must have all operational sites decided.")
     Term.(const run $ protocol_arg $ sites_arg $ crashes_arg $ limit_arg)
 
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let crashes_arg =
+    Arg.(value & opt int 1 & info [ "k"; "crashes" ] ~docv:"K" ~doc:"Maximum number of crashes.")
+  in
+  let limit_arg =
+    Arg.(value & opt int 4_000_000 & info [ "limit" ] ~docv:"N" ~doc:"State exploration limit.")
+  in
+  let bench_arg =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:"Report wall-clock time, states/sec and peak resident states for the run.")
+  in
+  let run label n k limit bench =
+    let rb = Engine.Rulebook.compile (build label n) in
+    let cfg = { Engine.Model_check.rulebook = rb; max_crashes = k; limit; rule = `Skeen } in
+    let t0 = Unix.gettimeofday () in
+    let r = Engine.Model_check.run cfg in
+    let wall = Unix.gettimeofday () -. t0 in
+    Fmt.pr "%a@." Engine.Model_check.pp_report r;
+    if bench then
+      Fmt.pr "wall: %.3f s, %.0f states/sec, peak resident states: %d@." wall
+        (if wall > 0.0 then float_of_int r.Engine.Model_check.explored /. wall else 0.0)
+        r.Engine.Model_check.explored;
+    match r.Engine.Model_check.counterexample with
+    | Some path ->
+        Fmt.pr "counterexample:@.";
+        List.iteri (fun i st -> Fmt.pr "%2d: %a@." i Engine.Model_check.pp_st st) path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively verify a protocol with the interned state-space engine; $(b,--bench) \
+          additionally reports wall-clock throughput (states/sec) and peak resident states.")
+    Term.(const run $ protocol_arg $ sites_arg $ crashes_arg $ limit_arg $ bench_arg)
+
 (* ---------------- election ---------------- *)
 
 let election_cmd =
@@ -333,6 +372,7 @@ let () =
             synthesize_cmd;
             simulate_cmd;
             model_check_cmd;
+            check_cmd;
             election_cmd;
             bank_cmd;
           ]))

@@ -1,0 +1,283 @@
+(** Per-run interning and compact state encoding for the state-space
+    engines ({!Reachability} and the engine-level model checker).
+
+    The explorers used to hash global states by formatting every network
+    message to a string ([Message.show]) on every hash of every state —
+    the dominant cost of exhaustive exploration.  This module interns
+    automaton state ids and message names into small ints once per run,
+    compiles every FSA transition to int-coded consume/emit arrays, packs
+    whole messages into single ints, and provides a hash table keyed by
+    packed [int array] encodings under a memoized FNV-1a hash.  Explorers
+    then never touch a string on the hot path. *)
+
+(* ---------------- symbol tables ---------------- *)
+
+type symtab = {
+  mutable next : int;
+  fwd : (string, int) Hashtbl.t;
+  mutable bwd : string array;  (** code -> symbol; grown on demand *)
+}
+
+let create_symtab () = { next = 0; fwd = Hashtbl.create 16; bwd = Array.make 8 "" }
+
+let intern t s =
+  match Hashtbl.find_opt t.fwd s with
+  | Some i -> i
+  | None ->
+      let i = t.next in
+      t.next <- i + 1;
+      Hashtbl.add t.fwd s i;
+      if i >= Array.length t.bwd then begin
+        let bwd = Array.make (2 * Array.length t.bwd) "" in
+        Array.blit t.bwd 0 bwd 0 (Array.length t.bwd);
+        t.bwd <- bwd
+      end;
+      t.bwd.(i) <- s;
+      i
+
+let find t s = Hashtbl.find_opt t.fwd s
+
+let name_of t i =
+  if i < 0 || i >= t.next then Fmt.invalid_arg "Intern.name_of: unknown code %d" i;
+  t.bwd.(i)
+
+let size t = t.next
+
+(* ---------------- FNV-1a over int arrays ---------------- *)
+
+(* 64-bit FNV-1a constants; the offset basis is truncated to OCaml's
+   63-bit native int (multiplication wraps, which is exactly what FNV
+   wants).  The result is masked non-negative for Hashtbl. *)
+let fnv_prime = 0x100000001b3
+let fnv_offset = 0x4bf29ce484222325
+
+let fnv (a : int array) =
+  let h = ref (fnv_offset lxor Array.length a) in
+  for i = 0 to Array.length a - 1 do
+    h := (!h lxor a.(i)) * fnv_prime
+  done;
+  !h land max_int
+
+(* ---------------- packed keys with memoized hash ---------------- *)
+
+type key = { data : int array; hash : int }
+
+let key data = { data; hash = fnv data }
+
+module Tbl = Hashtbl.Make (struct
+  type t = key
+
+  let hash k = k.hash
+
+  let equal a b =
+    a.hash = b.hash
+    && Array.length a.data = Array.length b.data
+    &&
+    let rec go i = i < 0 || (a.data.(i) = b.data.(i) && go (i - 1)) in
+    go (Array.length a.data - 1)
+end)
+
+(* ---------------- sorted int-multiset operations ---------------- *)
+
+(** The network of a packed state is a sorted [int array] of message
+    codes — the multiset identity the explorers deduplicate on. *)
+module Net = struct
+  let empty : int array = [||]
+
+  (** [remove_all consumes net]: remove one occurrence of each code in
+      [consumes] (sorted); [None] if any is missing. *)
+  let remove_all (consumes : int array) (net : int array) : int array option =
+    let nc = Array.length consumes and nn = Array.length net in
+    if nc = 0 then Some net
+    else if nc > nn then None
+    else begin
+      let out = Array.make (nn - nc) 0 in
+      let exception Missing in
+      try
+        let k = ref 0 and i = ref 0 in
+        for j = 0 to nc - 1 do
+          let c = consumes.(j) in
+          while !i < nn && net.(!i) < c do
+            (* more leftovers than capacity means some later consume
+               cannot be present *)
+            if !k >= nn - nc then raise Missing;
+            out.(!k) <- net.(!i);
+            incr k;
+            incr i
+          done;
+          if !i >= nn || net.(!i) <> c then raise Missing;
+          incr i
+        done;
+        Array.blit net !i out !k (nn - !i);
+        Some out
+      with Missing -> None
+    end
+
+  let contains_all consumes net = remove_all consumes net <> None
+
+  (** [add_all adds net]: merge [adds] (sorted) into [net]. *)
+  let add_all (adds : int array) (net : int array) : int array =
+    let na = Array.length adds and nn = Array.length net in
+    if na = 0 then net
+    else begin
+      let out = Array.make (na + nn) 0 in
+      let i = ref 0 and j = ref 0 in
+      for k = 0 to na + nn - 1 do
+        if !j >= na || (!i < nn && net.(!i) <= adds.(!j)) then begin
+          out.(k) <- net.(!i);
+          incr i
+        end
+        else begin
+          out.(k) <- adds.(!j);
+          incr j
+        end
+      done;
+      out
+    end
+
+  let add_one code net =
+    let nn = Array.length net in
+    let out = Array.make (nn + 1) 0 in
+    let i = ref 0 in
+    while !i < nn && net.(!i) <= code do
+      out.(!i) <- net.(!i);
+      incr i
+    done;
+    out.(!i) <- code;
+    Array.blit net !i out (!i + 1) (nn - !i);
+    out
+
+  (** Remove the element at index [ix] (used when consuming one known
+      occurrence during iteration). *)
+  let remove_index ix net =
+    let nn = Array.length net in
+    let out = Array.make (nn - 1) 0 in
+    Array.blit net 0 out 0 ix;
+    Array.blit net (ix + 1) out ix (nn - 1 - ix);
+    out
+end
+
+(* ---------------- compiled protocols ---------------- *)
+
+type ctrans = {
+  c_to : int;  (** target state code *)
+  c_consumes : int array;  (** sorted message codes *)
+  c_emits : int array;  (** message codes in emission order (partial-crash prefixes) *)
+  c_emits_sorted : int array;  (** the same codes sorted, for merging *)
+  c_vote_yes : bool;
+  c_tr : Automaton.transition;  (** the original transition, for graph edges *)
+}
+
+type t = {
+  protocol : Protocol.t;
+  n : int;
+  states : symtab;  (** automaton state ids, shared across sites *)
+  msg_names : symtab;  (** protocol message names *)
+  kinds : Types.state_kind option array array;
+      (** site-1 -> state code -> kind ([None] = not declared at that site) *)
+  trans : ctrans array array array;  (** site-1 -> from-state code -> transitions *)
+  initial_locals : int array;  (** initial state code per site *)
+  initial_net : int array;  (** sorted message codes *)
+}
+
+(* Message codec: a whole message packs into one int.
+   code = (name_code * (n+1) + src) * (n+1) + dst, src in 0..n (0 = env),
+   dst in 1..n.  Name codes beyond the interned protocol names are free
+   for callers (the model checker assigns termination-message tags
+   there); the codec functions work for any name code. *)
+
+let msg_code t ~name ~src ~dst = ((name * (t.n + 1)) + src) * (t.n + 1) + dst
+let msg_dst t code = code mod (t.n + 1)
+let msg_src t code = code / (t.n + 1) mod (t.n + 1)
+let msg_name_code t code = code / ((t.n + 1) * (t.n + 1))
+
+let encode_msg t (m : Message.t) =
+  match find t.msg_names m.Message.name with
+  | Some name -> msg_code t ~name ~src:m.Message.src ~dst:m.Message.dst
+  | None -> Fmt.invalid_arg "Intern.encode_msg: unknown message name %S" m.Message.name
+
+(** Decode a protocol-message code ([msg_name_code] below the symbol-table
+    size).  The model checker layers its own decoder for termination
+    codes on top. *)
+let decode_msg t code =
+  Message.make
+    ~name:(name_of t.msg_names (msg_name_code t code))
+    ~src:(msg_src t code) ~dst:(msg_dst t code)
+
+let compile (p : Protocol.t) : t =
+  let n = Protocol.n_sites p in
+  let states = create_symtab () in
+  let msg_names = create_symtab () in
+  (* Intern every state id and message name up front so codes are stable
+     regardless of exploration order. *)
+  Array.iter
+    (fun (a : Automaton.t) ->
+      List.iter (fun (s : Automaton.state) -> ignore (intern states s.Automaton.id)) a.Automaton.states;
+      List.iter
+        (fun (tr : Automaton.transition) ->
+          List.iter (fun (m : Message.t) -> ignore (intern msg_names m.Message.name)) tr.Automaton.consumes;
+          List.iter (fun (m : Message.t) -> ignore (intern msg_names m.Message.name)) tr.Automaton.emits)
+        a.Automaton.transitions)
+    p.Protocol.automata;
+  List.iter (fun (m : Message.t) -> ignore (intern msg_names m.Message.name)) p.Protocol.initial_network;
+  let n_codes = size states in
+  let t =
+    {
+      protocol = p;
+      n;
+      states;
+      msg_names;
+      kinds = Array.init n (fun _ -> Array.make n_codes None);
+      trans = Array.init n (fun _ -> Array.make n_codes [||]);
+      initial_locals = Array.make n 0;
+      initial_net = [||];
+    }
+  in
+  let encode m = encode_msg t m in
+  Array.iteri
+    (fun i (a : Automaton.t) ->
+      List.iter
+        (fun (s : Automaton.state) ->
+          t.kinds.(i).(intern states s.Automaton.id) <- Some s.Automaton.kind)
+        a.Automaton.states;
+      t.initial_locals.(i) <- intern states a.Automaton.initial;
+      List.iter
+        (fun (s : Automaton.state) ->
+          let code = intern states s.Automaton.id in
+          let ctrs =
+            Automaton.transitions_from a s.Automaton.id
+            |> List.map (fun (tr : Automaton.transition) ->
+                   let consumes =
+                     let arr = Array.of_list (List.map encode tr.Automaton.consumes) in
+                     Array.sort compare arr;
+                     arr
+                   in
+                   let emits = Array.of_list (List.map encode tr.Automaton.emits) in
+                   let emits_sorted = Array.copy emits in
+                   Array.sort compare emits_sorted;
+                   {
+                     c_to = intern states tr.Automaton.to_state;
+                     c_consumes = consumes;
+                     c_emits = emits;
+                     c_emits_sorted = emits_sorted;
+                     c_vote_yes = tr.Automaton.vote = Some Types.Yes;
+                     c_tr = tr;
+                   })
+          in
+          t.trans.(i).(code) <- Array.of_list ctrs)
+        a.Automaton.states)
+    p.Protocol.automata;
+  let net = Array.of_list (List.map encode p.Protocol.initial_network) in
+  Array.sort compare net;
+  { t with initial_net = net }
+
+let n_state_codes t = size t.states
+let state_code t id = find t.states id
+let state_name t code = name_of t.states code
+
+let kind_of t ~site ~code =
+  match t.kinds.(site - 1).(code) with
+  | Some k -> k
+  | None ->
+      Fmt.invalid_arg "Intern.kind_of: state %s not declared at site %d" (name_of t.states code)
+        site

@@ -6,9 +6,16 @@
     that in practice it seldom needs to be built — the adjacency lemma
     suffices for synchronous protocols — but we build it exactly for small
     [n] both to regenerate the paper's figure and to cross-check the fast
-    path. *)
+    path.
 
-module Tbl = Hashtbl.Make (Global)
+    The search runs entirely over {!Intern}'s compact encoding: a global
+    state is one packed [int array] (vote bitset, interned local state
+    codes, sorted int-coded message multiset) deduplicated under a
+    memoized FNV hash.  The earlier implementation hashed states by
+    formatting every network message to a string on every hash; interning
+    removes all string traffic from the hot loop while producing the
+    identical graph (same states, same indices, same edge order — see the
+    differential tests in [test_statespace.ml]). *)
 
 type node = {
   state : Global.t;
@@ -20,46 +27,95 @@ type node = {
 type t = {
   protocol : Protocol.t;
   nodes : node array;  (** indexed by node [index] *)
-  table : int Tbl.t;  (** global state -> index *)
 }
 
 exception Too_large of int
+
+(* Packed encoding of a global state, for [n] sites:
+   [| voted bitset; local code (site 1) .. local code (site n);
+      sorted message codes ... |] *)
+
+let decode_state (c : Intern.t) (data : int array) : Global.t =
+  let n = c.Intern.n in
+  let voted = data.(0) in
+  {
+    Global.locals = Array.init n (fun i -> Intern.state_name c data.(i + 1));
+    voted_yes = Array.init n (fun i -> voted land (1 lsl i) <> 0);
+    network =
+      Message.Multiset.of_list
+        (List.init (Array.length data - n - 1) (fun j -> Intern.decode_msg c data.(j + n + 1)));
+  }
 
 (** [build ?limit p] explores the full reachable state graph of [p].
     Raises {!Too_large} if more than [limit] (default 2_000_000) global
     states are discovered. *)
 let build ?(limit = 2_000_000) (p : Protocol.t) : t =
-  let table = Tbl.create 4096 in
-  let nodes = ref [] and n_nodes = ref 0 in
+  let c = Intern.compile p in
+  let n = Protocol.n_sites p in
+  let table = Intern.Tbl.create 4096 in
+  let nodes = ref (Array.make 1024 None) and n_nodes = ref 0 in
   let queue = Queue.create () in
-  let intern state =
-    match Tbl.find_opt table state with
-    | Some ix -> (ix, false)
+  let intern_packed data =
+    let key = Intern.key data in
+    match Intern.Tbl.find_opt table key with
+    | Some ix -> ix
     | None ->
         let ix = !n_nodes in
         if ix >= limit then raise (Too_large ix);
         incr n_nodes;
-        Tbl.add table state ix;
-        let node = { state; index = ix; succs = [] } in
-        nodes := node :: !nodes;
-        Queue.add node queue;
-        (ix, true)
+        Intern.Tbl.add table key ix;
+        if ix >= Array.length !nodes then begin
+          let grown = Array.make (2 * Array.length !nodes) None in
+          Array.blit !nodes 0 grown 0 (Array.length !nodes);
+          nodes := grown
+        end;
+        let node = { state = decode_state c data; index = ix; succs = [] } in
+        !nodes.(ix) <- Some node;
+        Queue.add (node, data) queue;
+        ix
   in
-  let init = Global.initial p in
-  ignore (intern init);
+  let init =
+    let data = Array.make (1 + n + Array.length c.Intern.initial_net) 0 in
+    for i = 0 to n - 1 do
+      data.(i + 1) <- c.Intern.initial_locals.(i)
+    done;
+    Array.blit c.Intern.initial_net 0 data (n + 1) (Array.length c.Intern.initial_net);
+    data
+  in
+  ignore (intern_packed init);
   while not (Queue.is_empty queue) do
-    let node = Queue.pop queue in
-    let succs =
-      Global.successors p node.state
-      |> List.map (fun (site, tr, s') ->
-             let ix, _fresh = intern s' in
-             (site, tr, ix))
-    in
-    node.succs <- succs
+    let node, data = Queue.pop queue in
+    let voted = data.(0) in
+    let net_len = Array.length data - n - 1 in
+    let net = Array.sub data (n + 1) net_len in
+    let succs = ref [] in
+    (* iterate sites in descending order so the accumulated (prepended)
+       list comes out in ascending site order, matching the original
+       [List.concat_map] over sites *)
+    for i = n - 1 downto 0 do
+      let trs = c.Intern.trans.(i).(data.(i + 1)) in
+      for ti = Array.length trs - 1 downto 0 do
+        let tr = trs.(ti) in
+        match Intern.Net.remove_all tr.Intern.c_consumes net with
+        | None -> ()
+        | Some base ->
+            let net' = Intern.Net.add_all tr.Intern.c_emits_sorted base in
+            let data' = Array.make (1 + n + Array.length net') 0 in
+            data'.(0) <- (if tr.Intern.c_vote_yes then voted lor (1 lsl i) else voted);
+            Array.blit data 1 data' 1 n;
+            data'.(i + 1) <- tr.Intern.c_to;
+            Array.blit net' 0 data' (n + 1) (Array.length net');
+            let ix = intern_packed data' in
+            succs := (i + 1, tr.Intern.c_tr, ix) :: !succs
+      done
+    done;
+    node.succs <- !succs
   done;
-  let arr = Array.make !n_nodes (List.hd !nodes) in
-  List.iter (fun node -> arr.(node.index) <- node) !nodes;
-  { protocol = p; nodes = arr; table }
+  let arr =
+    Array.init !n_nodes (fun i ->
+        match !nodes.(i) with Some node -> node | None -> assert false)
+  in
+  { protocol = p; nodes = arr }
 
 let n_nodes t = Array.length t.nodes
 let n_edges t = Array.fold_left (fun acc node -> acc + List.length node.succs) 0 t.nodes
@@ -109,18 +165,42 @@ type stats = {
   abort_reachable : bool;
 }
 
+(* One pass over the node array computes every count (the per-count list
+   materialisations this replaced walked the array five times and built
+   four intermediate lists). *)
 let stats t =
-  let commit_reachable, abort_reachable = reachable_outcomes t in
+  let edges = ref 0
+  and final = ref 0
+  and terminal = ref 0
+  and deadlocked = ref 0
+  and inconsistent = ref 0
+  and commit_reachable = ref false
+  and abort_reachable = ref false in
+  Array.iter
+    (fun node ->
+      edges := !edges + List.length node.succs;
+      let is_final = Global.is_final t.protocol node.state in
+      if is_final then begin
+        incr final;
+        let kind = Automaton.kind_of (Protocol.automaton t.protocol 1) node.state.Global.locals.(0) in
+        if Types.is_commit kind then commit_reachable := true;
+        if Types.is_abort kind then abort_reachable := true
+      end;
+      if node.succs = [] then begin
+        incr terminal;
+        if not is_final then incr deadlocked
+      end;
+      if Global.is_inconsistent t.protocol node.state then incr inconsistent)
+    t.nodes;
   {
     states = n_nodes t;
-    edges = n_edges t;
-    final =
-      fold_nodes (fun node acc -> if Global.is_final t.protocol node.state then acc + 1 else acc) t 0;
-    terminal = List.length (terminal_nodes t);
-    deadlocked = List.length (deadlocked_nodes t);
-    inconsistent = List.length (inconsistent_nodes t);
-    commit_reachable;
-    abort_reachable;
+    edges = !edges;
+    final = !final;
+    terminal = !terminal;
+    deadlocked = !deadlocked;
+    inconsistent = !inconsistent;
+    commit_reachable = !commit_reachable;
+    abort_reachable = !abort_reachable;
   }
 
 let pp_stats ppf s =

@@ -1,6 +1,7 @@
 (** The reachable state graph (paper §3): all global states reachable from
-    the transaction's initial global state, built breadth-first with
-    hash-consed nodes. *)
+    the transaction's initial global state, built breadth-first over
+    {!Intern}'s packed state encoding (no string formatting or hashing on
+    the hot path). *)
 
 type node = {
   state : Global.t;
@@ -12,7 +13,6 @@ type node = {
 type t = private {
   protocol : Protocol.t;
   nodes : node array;
-  table : int Hashtbl.Make(Global).t;
 }
 
 exception Too_large of int

@@ -24,7 +24,18 @@
 
     Termination-protocol messages ride the same network multiset as
     protocol messages, under reserved names ("!move:…", "!mack",
-    "!decide:…") no catalog FSA matches. *)
+    "!decide:…") no catalog FSA matches.
+
+    {b Engine.}  Exploration runs entirely over {!Core.Intern}'s compact
+    encoding: state ids and message names are interned to small ints once
+    per run, whole messages pack into single ints (termination messages
+    become tagged name codes above the protocol's — no prefix-string
+    parsing on the hot path), and each global state dedups as one packed
+    [int array] under a memoized FNV hash.  The frontier is a queue of
+    state indices over index-based [seen]/[parent] tables.  The original
+    string-keyed engine survives as {!Model_check_ref}; differential
+    tests assert both produce identical [explored] counts and verdicts,
+    and [Packed] below exposes the codec for round-trip tests. *)
 
 module MS = Core.Message.Multiset
 
@@ -57,51 +68,6 @@ type st = {
           out of the current backup's state (found at n=4, k=3). *)
 }
 
-let equal_st a b =
-  a.locals = b.locals && a.voted = b.voted && a.alive = b.alive && a.aware = b.aware
-  && a.crashes_left = b.crashes_left
-  && MS.equal a.network b.network
-  && a.moving = b.moving && a.polling = b.polling && a.polled = b.polled && a.epoch = b.epoch
-
-let hash_st s =
-  Hashtbl.hash
-    ( s.locals,
-      s.voted,
-      s.alive,
-      s.aware,
-      s.crashes_left,
-      List.map Core.Message.show (MS.to_list s.network),
-      s.moving,
-      s.polling,
-      s.polled,
-      s.epoch )
-
-module Tbl = Hashtbl.Make (struct
-  type t = st
-
-  let equal = equal_st
-  let hash = hash_st
-end)
-
-(* reserved termination-message names *)
-let move_name target = "!move:" ^ target
-let mack_name = "!mack"
-let streq_name = "!streq"
-let strep_name state = "!strep:" ^ state
-
-let is_strep m =
-  String.length m.Core.Message.name > 7 && String.sub m.Core.Message.name 0 7 = "!strep:"
-
-let strep_state m = String.sub m.Core.Message.name 7 (String.length m.Core.Message.name - 7)
-let decide_name (o : Core.Types.outcome) =
-  match o with Core.Types.Committed -> "!decide:c" | Aborted -> "!decide:a"
-
-let is_move m = String.length m.Core.Message.name > 6 && String.sub m.Core.Message.name 0 6 = "!move:"
-let move_target m = String.sub m.Core.Message.name 6 (String.length m.Core.Message.name - 6)
-
-let outcome_of_decide m =
-  if m.Core.Message.name = "!decide:c" then Core.Types.Committed else Core.Types.Aborted
-
 type config = {
   rulebook : Rulebook.t;
   max_crashes : int;
@@ -119,37 +85,388 @@ type report = {
   counterexample : st list option;  (** path from the initial state to the first inconsistency *)
 }
 
-let run (cfg : config) : report =
-  let protocol = cfg.rulebook.Rulebook.protocol in
-  let n = Core.Protocol.n_sites protocol in
-  let automaton i = Core.Protocol.automaton protocol (i + 1) in
-  let kind_of i id = Core.Automaton.kind_of (automaton i) id in
-  let final_state_for i (o : Core.Types.outcome) =
-    let want = match o with Core.Types.Committed -> Core.Types.Commit | Aborted -> Core.Types.Abort in
-    match
-      List.find_opt (fun s -> s.Core.Automaton.kind = want) (automaton i).Core.Automaton.states
-    with
-    | Some s -> s.Core.Automaton.id
-    | None -> assert false
+module I = Core.Intern
+
+(* ---------------- interned context ---------------- *)
+
+(* Termination-message name codes are laid out above the protocol's
+   interned message names (codes < [base] are protocol messages):
+
+     base+0            !mack
+     base+1            !streq
+     base+2 / base+3   !decide:c / !decide:a
+     base+4+s          !move:<state s>      (s < n_state_codes)
+     base+4+S+s        !strep:<state s>
+
+   so a whole termination message still packs into one int via the
+   shared [(name * (n+1) + src) * (n+1) + dst] codec. *)
+type ctx = {
+  c : I.t;
+  n : int;
+  base : int;  (** first termination name code *)
+  s_codes : int;  (** number of interned state ids *)
+  full_alive : int;  (** bitset of all n sites *)
+  kinds : Core.Types.state_kind option array array;  (** site-1 -> code *)
+  commit_code : int array;  (** per site: its commit final state's code *)
+  abort_code : int array;
+  buffer_code : int option array;  (** per site: first declared Buffer state *)
+  verdicts : Rulebook.verdict array array;  (** site-1 -> code -> verdict *)
+}
+
+let make_ctx (rulebook : Rulebook.t) : ctx =
+  let protocol = rulebook.Rulebook.protocol in
+  let c = I.compile protocol in
+  let n = c.I.n in
+  let s_codes = I.n_state_codes c in
+  let find_kind i want =
+    let a = Core.Protocol.automaton protocol (i + 1) in
+    List.find_opt (fun s -> s.Core.Automaton.kind = want) a.Core.Automaton.states
   in
-  let decided st i = Core.Types.is_final (kind_of i st.locals.(i)) in
-  let site_outcome st i = Core.Types.outcome_of_kind (kind_of i st.locals.(i)) in
+  let code_exn id =
+    match I.state_code c id with Some x -> x | None -> assert false
+  in
+  {
+    c;
+    n;
+    base = I.size c.I.msg_names;
+    s_codes;
+    full_alive = (1 lsl n) - 1;
+    kinds = c.I.kinds;
+    commit_code =
+      Array.init n (fun i ->
+          match find_kind i Core.Types.Commit with
+          | Some s -> code_exn s.Core.Automaton.id
+          | None -> -1);
+    abort_code =
+      Array.init n (fun i ->
+          match find_kind i Core.Types.Abort with
+          | Some s -> code_exn s.Core.Automaton.id
+          | None -> -1);
+    buffer_code =
+      Array.init n (fun i ->
+          Option.map (fun s -> code_exn s.Core.Automaton.id) (find_kind i Core.Types.Buffer));
+    verdicts =
+      Array.init n (fun i ->
+          Array.init s_codes (fun code ->
+              if c.I.kinds.(i).(code) = None then Rulebook.Blocked
+              else Rulebook.verdict rulebook ~site:(i + 1) ~state:(I.state_name c code)));
+  }
+
+(* termination name codes *)
+let mack_nc ctx = ctx.base
+let streq_nc ctx = ctx.base + 1
+let decide_nc ctx (o : Core.Types.outcome) =
+  match o with Core.Types.Committed -> ctx.base + 2 | Aborted -> ctx.base + 3
+
+let move_nc ctx state = ctx.base + 4 + state
+let strep_nc ctx state = ctx.base + 4 + ctx.s_codes + state
+let is_term ctx code = I.msg_name_code ctx.c code >= ctx.base
+let is_move_nc ctx nc = nc >= ctx.base + 4 && nc < ctx.base + 4 + ctx.s_codes
+let is_strep_nc ctx nc = nc >= ctx.base + 4 + ctx.s_codes
+let move_target_nc ctx nc = nc - ctx.base - 4
+let strep_state_nc ctx nc = nc - ctx.base - 4 - ctx.s_codes
+
+let kind_exn ctx i code =
+  match ctx.kinds.(i).(code) with
+  | Some k -> k
+  | None ->
+      Fmt.invalid_arg "Model_check: state %s not declared at site %d" (I.state_name ctx.c code)
+        (i + 1)
+
+let term_name ctx nc =
+  if nc = mack_nc ctx then "!mack"
+  else if nc = streq_nc ctx then "!streq"
+  else if nc = ctx.base + 2 then "!decide:c"
+  else if nc = ctx.base + 3 then "!decide:a"
+  else if is_move_nc ctx nc then "!move:" ^ I.state_name ctx.c (move_target_nc ctx nc)
+  else "!strep:" ^ I.state_name ctx.c (strep_state_nc ctx nc)
+
+let term_name_code ctx name =
+  let state_code_exn id =
+    match I.state_code ctx.c id with
+    | Some x -> x
+    | None -> Fmt.invalid_arg "Model_check: unknown state id %S" id
+  in
+  let has_prefix p = String.length name > String.length p && String.sub name 0 (String.length p) = p in
+  let after p = String.sub name (String.length p) (String.length name - String.length p) in
+  if name = "!mack" then mack_nc ctx
+  else if name = "!streq" then streq_nc ctx
+  else if name = "!decide:c" then ctx.base + 2
+  else if name = "!decide:a" then ctx.base + 3
+  else if has_prefix "!move:" then move_nc ctx (state_code_exn (after "!move:"))
+  else if has_prefix "!strep:" then strep_nc ctx (state_code_exn (after "!strep:"))
+  else Fmt.invalid_arg "Model_check: unknown termination message %S" name
+
+(* ---------------- interned working state ---------------- *)
+
+(* The working representation during exploration: bitsets for the boolean
+   arrays (record copies are then free), int codes everywhere, the
+   network a sorted int array.  [moving]/[polling] keep the reference
+   engine's list shapes — and crucially its list {e orders} — so state
+   identity matches [Model_check_ref.equal_st] exactly: the awaiting and
+   reps lists there compare order-sensitively, and reps order feeds the
+   quorum rule's [to_move]. *)
+type ist = {
+  ilocals : int array;  (** state code per site *)
+  ivoted : int;
+  ialive : int;
+  iaware : int;
+  ipolled : int;
+  icrashes : int;
+  inet : int array;  (** sorted message codes *)
+  imoving : (int * int list) option array;  (** (target code, awaiting sites) *)
+  ipolling : (int list * int list) option array;
+      (** (awaiting sites, reps); a rep packs as [src * s_codes + state code] *)
+  iepoch : int array;
+}
+
+let rep_pack ctx ~src ~code = (src * ctx.s_codes) + code
+let rep_src ctx r = r / ctx.s_codes
+let rep_code ctx r = r mod ctx.s_codes
+
+(* ---------------- packed canonical encoding ---------------- *)
+
+(* Layout (variable-length sections carry explicit lengths, so the
+   encoding is injective):
+     [0]  crashes_left    [1] voted  [2] alive  [3] aware  [4] polled
+     [5 .. 5+n-1]         locals
+     [5+n .. 5+2n-1]      epoch
+     moving  mask; per set bit (ascending site): target, |awaiting|, awaiting…
+     polling mask; per set bit: |awaiting|, awaiting…, |reps|, reps…
+     network codes (the remaining tail) *)
+
+module Ibuf = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 256 0; len = 0 }
+  let clear b = b.len <- 0
+
+  let reserve b extra =
+    if b.len + extra > Array.length b.a then begin
+      let cap = ref (2 * Array.length b.a) in
+      while b.len + extra > !cap do
+        cap := 2 * !cap
+      done;
+      let a = Array.make !cap 0 in
+      Array.blit b.a 0 a 0 b.len;
+      b.a <- a
+    end
+
+  let push b x =
+    reserve b 1;
+    b.a.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let blit b src =
+    let k = Array.length src in
+    reserve b k;
+    Array.blit src 0 b.a b.len k;
+    b.len <- b.len + k
+
+  let to_array b = Array.sub b.a 0 b.len
+end
+
+let pack_into ctx (buf : Ibuf.t) (s : ist) : int array =
+  let n = ctx.n in
+  Ibuf.clear buf;
+  Ibuf.push buf s.icrashes;
+  Ibuf.push buf s.ivoted;
+  Ibuf.push buf s.ialive;
+  Ibuf.push buf s.iaware;
+  Ibuf.push buf s.ipolled;
+  Ibuf.blit buf s.ilocals;
+  Ibuf.blit buf s.iepoch;
+  let mask = ref 0 in
+  for i = 0 to n - 1 do
+    if s.imoving.(i) <> None then mask := !mask lor (1 lsl i)
+  done;
+  Ibuf.push buf !mask;
+  for i = 0 to n - 1 do
+    match s.imoving.(i) with
+    | None -> ()
+    | Some (target, awaiting) ->
+        Ibuf.push buf target;
+        Ibuf.push buf (List.length awaiting);
+        List.iter (Ibuf.push buf) awaiting
+  done;
+  mask := 0;
+  for i = 0 to n - 1 do
+    if s.ipolling.(i) <> None then mask := !mask lor (1 lsl i)
+  done;
+  Ibuf.push buf !mask;
+  for i = 0 to n - 1 do
+    match s.ipolling.(i) with
+    | None -> ()
+    | Some (awaiting, reps) ->
+        Ibuf.push buf (List.length awaiting);
+        List.iter (Ibuf.push buf) awaiting;
+        Ibuf.push buf (List.length reps);
+        List.iter (Ibuf.push buf) reps
+  done;
+  Ibuf.blit buf s.inet;
+  Ibuf.to_array buf
+
+let unpack ctx (data : int array) : ist =
+  let n = ctx.n in
+  let pos = ref (5 + (2 * n)) in
+  let take () =
+    let x = data.(!pos) in
+    incr pos;
+    x
+  in
+  let take_list () = List.init (take ()) (fun _ -> take ()) in
+  let moving_mask = take () in
+  let imoving =
+    Array.init n (fun i ->
+        if moving_mask land (1 lsl i) = 0 then None
+        else begin
+          let target = take () in
+          Some (target, take_list ())
+        end)
+  in
+  let polling_mask = take () in
+  let ipolling =
+    Array.init n (fun i ->
+        if polling_mask land (1 lsl i) = 0 then None
+        else begin
+          let awaiting = take_list () in
+          let reps = take_list () in
+          Some (awaiting, reps)
+        end)
+  in
+  {
+    icrashes = data.(0);
+    ivoted = data.(1);
+    ialive = data.(2);
+    iaware = data.(3);
+    ipolled = data.(4);
+    ilocals = Array.sub data 5 n;
+    iepoch = Array.sub data (5 + n) n;
+    imoving;
+    ipolling;
+    inet = Array.sub data !pos (Array.length data - !pos);
+  }
+
+(* ---------------- interned <-> public state ---------------- *)
+
+let decode_tmsg ctx code =
+  let nc = I.msg_name_code ctx.c code in
+  let name = if nc < ctx.base then I.name_of ctx.c.I.msg_names nc else term_name ctx nc in
+  Core.Message.make ~name ~src:(I.msg_src ctx.c code) ~dst:(I.msg_dst ctx.c code)
+
+let encode_tmsg ctx (m : Core.Message.t) =
+  let name =
+    if String.length m.Core.Message.name > 0 && m.Core.Message.name.[0] = '!' then
+      term_name_code ctx m.Core.Message.name
+    else
+      match I.find ctx.c.I.msg_names m.Core.Message.name with
+      | Some nc -> nc
+      | None -> Fmt.invalid_arg "Model_check: unknown message name %S" m.Core.Message.name
+  in
+  I.msg_code ctx.c ~name ~src:m.Core.Message.src ~dst:m.Core.Message.dst
+
+let to_public ctx (s : ist) : st =
+  let n = ctx.n in
+  let bit set i = set land (1 lsl i) <> 0 in
+  {
+    locals = Array.init n (fun i -> I.state_name ctx.c s.ilocals.(i));
+    voted = Array.init n (bit s.ivoted);
+    alive = Array.init n (bit s.ialive);
+    aware = Array.init n (bit s.iaware);
+    crashes_left = s.icrashes;
+    network = MS.of_list (Array.to_list (Array.map (decode_tmsg ctx) s.inet));
+    moving =
+      Array.map
+        (Option.map (fun (target, awaiting) -> (I.state_name ctx.c target, awaiting)))
+        s.imoving;
+    polling =
+      Array.map
+        (Option.map (fun (awaiting, reps) ->
+             ( awaiting,
+               List.map (fun r -> (rep_src ctx r, I.state_name ctx.c (rep_code ctx r))) reps )))
+        s.ipolling;
+    polled = Array.init n (bit s.ipolled);
+    epoch = Array.copy s.iepoch;
+  }
+
+let of_public ctx (s : st) : ist =
+  let bits a =
+    let x = ref 0 in
+    Array.iteri (fun i b -> if b then x := !x lor (1 lsl i)) a;
+    !x
+  in
+  let state_code_exn id =
+    match I.state_code ctx.c id with
+    | Some x -> x
+    | None -> Fmt.invalid_arg "Model_check: unknown state id %S" id
+  in
+  let inet = Array.of_list (List.map (encode_tmsg ctx) (MS.to_list s.network)) in
+  Array.sort compare inet;
+  {
+    ilocals = Array.map state_code_exn s.locals;
+    ivoted = bits s.voted;
+    ialive = bits s.alive;
+    iaware = bits s.aware;
+    ipolled = bits s.polled;
+    icrashes = s.crashes_left;
+    inet;
+    imoving = Array.map (Option.map (fun (t, aw) -> (state_code_exn t, aw))) s.moving;
+    ipolling =
+      Array.map
+        (Option.map (fun (aw, reps) ->
+             (aw, List.map (fun (src, id) -> rep_pack ctx ~src ~code:(state_code_exn id)) reps)))
+        s.polling;
+    iepoch = Array.copy s.epoch;
+  }
+
+(* ---------------- the checker ---------------- *)
+
+let run (cfg : config) : report =
+  let ctx = make_ctx cfg.rulebook in
+  let c = ctx.c in
+  let n = ctx.n in
+  let decided s i = Core.Types.is_final (kind_exn ctx i s.ilocals.(i)) in
+  let site_outcome s i = Core.Types.outcome_of_kind (kind_exn ctx i s.ilocals.(i)) in
+  let alive s i = s.ialive land (1 lsl i) <> 0 in
   (* the elected backup: lowest operational site (no recoveries, so
      operational = never crashed) *)
-  let leader st =
-    let rec go i = if i >= n then None else if st.alive.(i) then Some i else go (i + 1) in
+  let leader s =
+    let rec go i = if i >= n then -1 else if alive s i then i else go (i + 1) in
     go 0
   in
-  let some_crash st = Array.exists not st.alive in
-  (* add a message unless its target is dead (reliable network: undeliverable) *)
-  let deliverable st msgs = List.filter (fun m -> st.alive.(m.Core.Message.dst - 1)) msgs in
+  let some_crash s = s.ialive <> ctx.full_alive in
+  (* drop messages whose target is dead (reliable network: undeliverable) *)
+  let deliverable s (codes : int array) =
+    let kept = ref 0 in
+    Array.iter (fun m -> if alive s (I.msg_dst c m - 1) then incr kept) codes;
+    if !kept = Array.length codes then codes
+    else begin
+      let out = Array.make !kept 0 in
+      let k = ref 0 in
+      Array.iter
+        (fun m ->
+          if alive s (I.msg_dst c m - 1) then begin
+            out.(!k) <- m;
+            incr k
+          end)
+        codes;
+      out
+    end
+  in
+  let final_code i (o : Core.Types.outcome) =
+    match o with Core.Types.Committed -> ctx.commit_code.(i) | Aborted -> ctx.abort_code.(i)
+  in
 
-  (* ---- successor enumeration ---- *)
-  let successors st : st list =
-    let succs = ref [] in
-    let push s = succs := s :: !succs in
+  (* ---- successor enumeration ----
+     A transcription of [Model_check_ref]'s successor function over the
+     interned representation; every branch mirrors the reference 1:1 so
+     the explored state set is identical.  [push] is the caller's sink —
+     successors are packed and deduped as they are produced rather than
+     collected into a list. *)
+  let successors s push =
     for i = 0 to n - 1 do
-      if st.alive.(i) then begin
+      if alive s i then begin
+        let bit = 1 lsl i in
         (* 1. protocol FSA steps, complete and (if crash budget remains)
            partially completed.  A backup coordinator with phase 1 in
            flight is frozen: its decision must come from the state it
@@ -158,283 +475,255 @@ let run (cfg : config) : report =
            firing the FSA outside Normal mode — an earlier version of
            this model omitted it and the checker produced a genuine
            split-brain counterexample through exactly that hole) *)
-        if (not (decided st i)) && st.moving.(i) = None && not st.aware.(i) then
-          List.iter
-            (fun (tr : Core.Automaton.transition) ->
-              let base_net =
-                match MS.remove_all tr.Core.Automaton.consumes st.network with
-                | Some net -> net
-                | None -> assert false
-              in
-              let locals = Array.copy st.locals in
-              locals.(i) <- tr.Core.Automaton.to_state;
-              let voted = Array.copy st.voted in
-              (match tr.Core.Automaton.vote with
-              | Some Core.Types.Yes -> voted.(i) <- true
-              | Some Core.Types.No | None -> ());
-              (* complete transition *)
-              push
-                {
-                  st with
-                  locals;
-                  voted;
-                  network = MS.add_all (deliverable st tr.Core.Automaton.emits) base_net;
-                };
-              (* crash after forcing the log, having sent only the first
-                 k messages, for every k *)
-              if st.crashes_left > 0 then
-                for k = 0 to List.length tr.Core.Automaton.emits do
-                  let sent = List.filteri (fun j _ -> j < k) tr.Core.Automaton.emits in
-                  let alive = Array.copy st.alive in
-                  alive.(i) <- false;
-                  let moving = Array.copy st.moving in
-                  moving.(i) <- None;
-                  let polling = Array.copy st.polling in
-                  polling.(i) <- None;
-                  push
-                    {
-                      st with
-                      locals;
-                      voted;
-                      alive;
-                      crashes_left = st.crashes_left - 1;
-                      network = MS.add_all (deliverable st sent) base_net;
-                      moving;
-                      polling;
-                    }
-                done)
-            (Core.Automaton.enabled (automaton i) st.locals.(i) st.network);
+        if (not (decided s i)) && s.imoving.(i) = None && s.iaware land bit = 0 then begin
+          let trs = c.I.trans.(i).(s.ilocals.(i)) in
+          for ti = 0 to Array.length trs - 1 do
+            let tr = trs.(ti) in
+            match I.Net.remove_all tr.I.c_consumes s.inet with
+            | None -> ()
+            | Some base_net ->
+                let ilocals = Array.copy s.ilocals in
+                ilocals.(i) <- tr.I.c_to;
+                let ivoted = if tr.I.c_vote_yes then s.ivoted lor bit else s.ivoted in
+                (* complete transition *)
+                push
+                  {
+                    s with
+                    ilocals;
+                    ivoted;
+                    inet = I.Net.add_all (deliverable s tr.I.c_emits_sorted) base_net;
+                  };
+                (* crash after forcing the log, having sent only the first
+                   k messages, for every k *)
+                if s.icrashes > 0 then
+                  for k = 0 to Array.length tr.I.c_emits do
+                    let sent =
+                      let pfx = Array.sub tr.I.c_emits 0 k in
+                      Array.sort compare pfx;
+                      deliverable s pfx
+                    in
+                    let imoving = Array.copy s.imoving in
+                    imoving.(i) <- None;
+                    let ipolling = Array.copy s.ipolling in
+                    ipolling.(i) <- None;
+                    push
+                      {
+                        s with
+                        ilocals;
+                        ivoted;
+                        ialive = s.ialive land lnot bit;
+                        icrashes = s.icrashes - 1;
+                        inet = I.Net.add_all sent base_net;
+                        imoving;
+                        ipolling;
+                      }
+                  done
+          done
+        end;
         (* 2. spontaneous crash (before any transition) *)
-        if st.crashes_left > 0 then begin
-          let alive = Array.copy st.alive in
-          alive.(i) <- false;
-          let moving = Array.copy st.moving in
-          moving.(i) <- None;
-          let polling = Array.copy st.polling in
-          polling.(i) <- None;
-          push { st with alive; crashes_left = st.crashes_left - 1; moving; polling }
+        if s.icrashes > 0 then begin
+          let imoving = Array.copy s.imoving in
+          imoving.(i) <- None;
+          let ipolling = Array.copy s.ipolling in
+          ipolling.(i) <- None;
+          push
+            { s with ialive = s.ialive land lnot bit; icrashes = s.icrashes - 1; imoving; ipolling }
         end;
         (* 2b. failure detection: after any crash, each site becomes aware
            at a nondeterministic moment; from then on its commit-protocol
            FSA is frozen and it may serve as backup coordinator *)
-        if some_crash st && not st.aware.(i) then begin
-          let aware = Array.copy st.aware in
-          aware.(i) <- true;
-          push { st with aware }
-        end;
+        if some_crash s && s.iaware land bit = 0 then push { s with iaware = s.iaware lor bit };
         (* 3. termination-message deliveries addressed to site i+1 *)
-        List.iter
-          (fun m ->
-            if m.Core.Message.dst = i + 1 && String.length m.Core.Message.name > 0
-               && m.Core.Message.name.[0] = '!' then begin
-              let net = MS.remove m st.network in
-              (* receiving a termination message is itself awareness *)
-              let st =
-                if st.aware.(i) then st
-                else begin
-                  let aware = Array.copy st.aware in
-                  aware.(i) <- true;
-                  { st with aware }
-                end
-              in
-              if is_move m then
-                if m.Core.Message.src < st.epoch.(i) then
-                  (* stale directive from a deposed backup: discard *)
-                  push { st with network = net }
-                else if decided st i then
-                  (* answer with the outcome instead of an ack *)
-                  (match site_outcome st i with
-                  | Some o ->
-                      push
-                        {
-                          st with
-                          network =
-                            MS.add_all
-                              (deliverable st
-                                 [ Core.Message.make ~name:(decide_name o) ~src:(i + 1) ~dst:m.Core.Message.src ])
-                              net;
-                        }
-                  | None -> assert false)
-                else begin
-                  let locals = Array.copy st.locals in
-                  locals.(i) <- move_target m;
-                  let epoch = Array.copy st.epoch in
-                  epoch.(i) <- m.Core.Message.src;
-                  push
-                    {
-                      st with
-                      locals;
-                      epoch;
-                      network =
-                        MS.add_all
-                          (deliverable st
-                             [ Core.Message.make ~name:mack_name ~src:(i + 1) ~dst:m.Core.Message.src ])
-                          net;
-                    }
-                end
-              else if m.Core.Message.name = mack_name then (
-                match st.moving.(i) with
-                | Some (target, awaiting) when List.mem m.Core.Message.src awaiting ->
-                    let awaiting = List.filter (fun s -> s <> m.Core.Message.src) awaiting in
-                    let moving = Array.copy st.moving in
-                    moving.(i) <- Some (target, awaiting);
-                    push { st with network = net; moving }
-                | _ -> push { st with network = net })
-              else if m.Core.Message.name = streq_name then
-                (* quorum poll: report the current local state *)
-                push
-                  {
-                    st with
-                    network =
-                      MS.add_all
-                        (deliverable st
-                           [
-                             Core.Message.make
-                               ~name:(strep_name st.locals.(i))
-                               ~src:(i + 1) ~dst:m.Core.Message.src;
-                           ])
-                        net;
-                  }
-              else if is_strep m then (
-                match st.polling.(i) with
-                | Some (awaiting, reps) when List.mem m.Core.Message.src awaiting ->
-                    let awaiting = List.filter (fun s -> s <> m.Core.Message.src) awaiting in
-                    let polling = Array.copy st.polling in
-                    polling.(i) <- Some (awaiting, (m.Core.Message.src, strep_state m) :: reps);
-                    push { st with network = net; polling }
-                | _ -> push { st with network = net })
+        for j = 0 to Array.length s.inet - 1 do
+          let m = s.inet.(j) in
+          if I.msg_dst c m = i + 1 && is_term ctx m then begin
+            let net = I.Net.remove_index j s.inet in
+            (* receiving a termination message is itself awareness *)
+            let s = if s.iaware land bit <> 0 then s else { s with iaware = s.iaware lor bit } in
+            let nc = I.msg_name_code c m in
+            let src = I.msg_src c m in
+            if is_move_nc ctx nc then begin
+              if src < s.iepoch.(i) then
+                (* stale directive from a deposed backup: discard *)
+                push { s with inet = net }
+              else if decided s i then
+                (* answer with the outcome instead of an ack *)
+                (match site_outcome s i with
+                | Some o ->
+                    let reply = I.msg_code c ~name:(decide_nc ctx o) ~src:(i + 1) ~dst:src in
+                    let inet =
+                      if alive s (src - 1) then I.Net.add_one reply net else net
+                    in
+                    push { s with inet }
+                | None -> assert false)
               else begin
-                (* a decide *)
-                let o = outcome_of_decide m in
-                if decided st i then push { st with network = net }
-                else begin
-                  let locals = Array.copy st.locals in
-                  locals.(i) <- final_state_for i o;
-                  let moving = Array.copy st.moving in
-                  moving.(i) <- None;
-                  push { st with locals; network = net; moving }
-                end
+                let ilocals = Array.copy s.ilocals in
+                ilocals.(i) <- move_target_nc ctx nc;
+                let iepoch = Array.copy s.iepoch in
+                iepoch.(i) <- src;
+                let ack = I.msg_code c ~name:(mack_nc ctx) ~src:(i + 1) ~dst:src in
+                let inet = if alive s (src - 1) then I.Net.add_one ack net else net in
+                push { s with ilocals; iepoch; inet }
               end
-            end)
-          (MS.to_list st.network);
+            end
+            else if nc = mack_nc ctx then (
+              match s.imoving.(i) with
+              | Some (target, awaiting) when List.mem src awaiting ->
+                  let awaiting = List.filter (fun x -> x <> src) awaiting in
+                  let imoving = Array.copy s.imoving in
+                  imoving.(i) <- Some (target, awaiting);
+                  push { s with inet = net; imoving }
+              | _ -> push { s with inet = net })
+            else if nc = streq_nc ctx then begin
+              (* quorum poll: report the current local state *)
+              let reply =
+                I.msg_code c ~name:(strep_nc ctx s.ilocals.(i)) ~src:(i + 1) ~dst:src
+              in
+              let inet = if alive s (src - 1) then I.Net.add_one reply net else net in
+              push { s with inet }
+            end
+            else if is_strep_nc ctx nc then (
+              match s.ipolling.(i) with
+              | Some (awaiting, reps) when List.mem src awaiting ->
+                  let awaiting = List.filter (fun x -> x <> src) awaiting in
+                  let ipolling = Array.copy s.ipolling in
+                  ipolling.(i) <-
+                    Some (awaiting, rep_pack ctx ~src ~code:(strep_state_nc ctx nc) :: reps);
+                  push { s with inet = net; ipolling }
+              | _ -> push { s with inet = net })
+            else begin
+              (* a decide *)
+              let o =
+                if nc = ctx.base + 2 then Core.Types.Committed else Core.Types.Aborted
+              in
+              if decided s i then push { s with inet = net }
+              else begin
+                let ilocals = Array.copy s.ilocals in
+                ilocals.(i) <- final_code i o;
+                let imoving = Array.copy s.imoving in
+                imoving.(i) <- None;
+                push { s with ilocals; inet = net; imoving }
+              end
+            end
+          end
+        done;
         (* 4. backup coordinator actions at the elected leader, once it is
            aware of a failure *)
-        if leader st = Some i && some_crash st && st.aware.(i) then begin
-          let others = List.init n (fun j -> j) |> List.filter (fun j -> j <> i && st.alive.(j)) in
-          (* broadcast helper with partial-crash variants *)
-          let broadcast make_msg after =
-            let msgs = List.map make_msg others in
+        if leader s = i && some_crash s && s.iaware land bit <> 0 then begin
+          let others = List.init n (fun j -> j) |> List.filter (fun j -> j <> i && alive s j) in
+          (* broadcast helper with partial-crash variants.  All broadcasts
+             send one name from src i+1 to ascending destinations, so the
+             code array is sorted, as is any prefix of it. *)
+          let broadcast name after =
+            let msgs =
+              Array.of_list (List.map (fun j -> I.msg_code c ~name ~src:(i + 1) ~dst:(j + 1)) others)
+            in
             (* complete broadcast *)
-            push (after { st with network = MS.add_all (deliverable st msgs) st.network });
-            if st.crashes_left > 0 then
-              for k = 0 to List.length msgs do
-                let sent = List.filteri (fun j _ -> j < k) msgs in
-                let s' = after { st with network = MS.add_all (deliverable st sent) st.network } in
-                let alive = Array.copy s'.alive in
-                alive.(i) <- false;
-                let moving = Array.copy s'.moving in
-                moving.(i) <- None;
-                let polling = Array.copy s'.polling in
-                polling.(i) <- None;
-                push { s' with alive; crashes_left = st.crashes_left - 1; moving; polling }
+            push (after { s with inet = I.Net.add_all (deliverable s msgs) s.inet });
+            if s.icrashes > 0 then
+              for k = 0 to Array.length msgs do
+                let sent = deliverable s (Array.sub msgs 0 k) in
+                let s' = after { s with inet = I.Net.add_all sent s.inet } in
+                let imoving = Array.copy s'.imoving in
+                imoving.(i) <- None;
+                let ipolling = Array.copy s'.ipolling in
+                ipolling.(i) <- None;
+                push
+                  {
+                    s' with
+                    ialive = s'.ialive land lnot bit;
+                    icrashes = s.icrashes - 1;
+                    imoving;
+                    ipolling;
+                  }
               done
           in
-          match st.moving.(i) with
+          match s.imoving.(i) with
           | Some (_, awaiting) ->
               (* phase 1 in flight: complete it when every awaited site is
                  acked or dead *)
-              if List.for_all (fun j -> not st.alive.(j - 1)) awaiting || awaiting = [] then begin
-                match
-                  Rulebook.verdict cfg.rulebook ~site:(i + 1) ~state:st.locals.(i)
-                with
+              if List.for_all (fun j -> not (alive s (j - 1))) awaiting then begin
+                match ctx.verdicts.(i).(s.ilocals.(i)) with
                 | Rulebook.Decide o ->
-                    let locals = Array.copy st.locals in
-                    locals.(i) <- final_state_for i o;
-                    let moving = Array.copy st.moving in
-                    moving.(i) <- None;
-                    broadcast
-                      (fun j -> Core.Message.make ~name:(decide_name o) ~src:(i + 1) ~dst:(j + 1))
-                      (fun s -> { s with locals; moving })
+                    let ilocals = Array.copy s.ilocals in
+                    ilocals.(i) <- final_code i o;
+                    let imoving = Array.copy s.imoving in
+                    imoving.(i) <- None;
+                    broadcast (decide_nc ctx o) (fun s -> { s with ilocals; imoving })
                 | Rulebook.Blocked -> ()
               end
           | None ->
-              if decided st i then begin
+              if decided s i then begin
                 (* already final: phase 1 omitted; announce, but only if
                    someone still needs it and no announcement is already
                    in flight (keeps the graph finite) *)
-                match site_outcome st i with
+                match site_outcome s i with
                 | Some o ->
+                    let dnc = decide_nc ctx o in
                     let needed =
                       List.exists
                         (fun j ->
-                          (not (decided st j))
+                          (not (decided s j))
                           && not
-                               (MS.to_list st.network
-                               |> List.exists (fun m ->
-                                      m.Core.Message.dst = j + 1
-                                      && m.Core.Message.name = decide_name o)))
+                               (Array.exists
+                                  (fun m ->
+                                    I.msg_dst c m = j + 1 && I.msg_name_code c m = dnc)
+                                  s.inet))
                         others
                     in
-                    if needed then
-                      broadcast
-                        (fun j -> Core.Message.make ~name:(decide_name o) ~src:(i + 1) ~dst:(j + 1))
-                        (fun s -> s)
+                    if needed then broadcast dnc (fun s -> s)
                 | None -> assert false
               end
               else begin
                 match cfg.rule with
                 | `Skeen -> (
-                    match Rulebook.verdict cfg.rulebook ~site:(i + 1) ~state:st.locals.(i) with
+                    match ctx.verdicts.(i).(s.ilocals.(i)) with
                     | Rulebook.Decide _ ->
                         (* phase 1: move everyone to our state — only once
                            per configuration (no move already in flight
                            from us) *)
                         let already =
-                          MS.to_list st.network
-                          |> List.exists (fun m -> m.Core.Message.src = i + 1 && is_move m)
+                          Array.exists
+                            (fun m ->
+                              I.msg_src c m = i + 1 && is_move_nc ctx (I.msg_name_code c m))
+                            s.inet
                         in
                         if not already then begin
-                          let target = st.locals.(i) in
-                          let moving = Array.copy st.moving in
-                          moving.(i) <- Some (target, List.map (fun j -> j + 1) others);
-                          let epoch = Array.copy st.epoch in
-                          epoch.(i) <- max epoch.(i) (i + 1);
-                          broadcast
-                            (fun j ->
-                              Core.Message.make ~name:(move_name target) ~src:(i + 1) ~dst:(j + 1))
-                            (fun s -> { s with moving; epoch })
+                          let target = s.ilocals.(i) in
+                          let imoving = Array.copy s.imoving in
+                          imoving.(i) <- Some (target, List.map (fun j -> j + 1) others);
+                          let iepoch = Array.copy s.iepoch in
+                          iepoch.(i) <- max iepoch.(i) (i + 1);
+                          broadcast (move_nc ctx target) (fun s -> { s with imoving; iepoch })
                         end
                     | Rulebook.Blocked -> ())
                 | `Quorum q -> (
-                    match st.polling.(i) with
+                    match s.ipolling.(i) with
                     | None ->
-                        if not st.polled.(i) then begin
+                        if s.ipolled land bit = 0 then begin
                           (* start the (single) state poll *)
-                          let polled = Array.copy st.polled in
-                          polled.(i) <- true;
-                          let polling = Array.copy st.polling in
-                          polling.(i) <- Some (List.map (fun j -> j + 1) others, []);
-                          let epoch = Array.copy st.epoch in
-                          epoch.(i) <- max epoch.(i) (i + 1);
-                          broadcast
-                            (fun j -> Core.Message.make ~name:streq_name ~src:(i + 1) ~dst:(j + 1))
-                            (fun s -> { s with polled; polling; epoch })
+                          let ipolling = Array.copy s.ipolling in
+                          ipolling.(i) <- Some (List.map (fun j -> j + 1) others, []);
+                          let iepoch = Array.copy s.iepoch in
+                          iepoch.(i) <- max iepoch.(i) (i + 1);
+                          broadcast (streq_nc ctx) (fun s ->
+                              { s with ipolled = s.ipolled lor bit; ipolling; iepoch })
                         end
                     | Some (awaiting, reps)
-                      when awaiting = [] || List.for_all (fun j -> not st.alive.(j - 1)) awaiting
+                      when awaiting = [] || List.for_all (fun j -> not (alive s (j - 1))) awaiting
                       -> (
                         (* the view is complete: decide by counts, moves
                            monotone (never demoting a precommit) *)
-                        let view = ((i + 1), st.locals.(i)) :: reps in
-                        let kinds = List.map (fun (s, id) -> kind_of (s - 1) id) view in
+                        let view = rep_pack ctx ~src:(i + 1) ~code:s.ilocals.(i) :: reps in
+                        let kinds =
+                          List.map (fun r -> kind_exn ctx (rep_src ctx r - 1) (rep_code ctx r)) view
+                        in
                         let commit_decide o =
-                          let locals = Array.copy st.locals in
-                          locals.(i) <- final_state_for i o;
-                          let polling = Array.copy st.polling in
-                          polling.(i) <- None;
-                          broadcast
-                            (fun j -> Core.Message.make ~name:(decide_name o) ~src:(i + 1) ~dst:(j + 1))
-                            (fun s -> { s with locals; polling })
+                          let ilocals = Array.copy s.ilocals in
+                          ilocals.(i) <- final_code i o;
+                          let ipolling = Array.copy s.ipolling in
+                          ipolling.(i) <- None;
+                          broadcast (decide_nc ctx o) (fun s -> { s with ilocals; ipolling })
                         in
                         let prepared_up =
                           List.length
@@ -449,46 +738,34 @@ let run (cfg : config) : report =
                         else if prepared_up >= q then begin
                           (* move the view up to the buffer state, then the
                              shared phase-1 completion commits *)
-                          match
-                            List.find_opt
-                              (fun s -> s.Core.Automaton.kind = Core.Types.Buffer)
-                              (automaton i).Core.Automaton.states
-                          with
-                          | Some b ->
-                              let target = b.Core.Automaton.id in
-                              let locals = Array.copy st.locals in
-                              locals.(i) <- target;
-                              let polling = Array.copy st.polling in
-                              polling.(i) <- None;
+                          match ctx.buffer_code.(i) with
+                          | Some target ->
+                              let ilocals = Array.copy s.ilocals in
+                              ilocals.(i) <- target;
+                              let ipolling = Array.copy s.ipolling in
+                              ipolling.(i) <- None;
                               let to_move =
                                 List.filter_map
-                                  (fun (s, id) ->
-                                    if s <> i + 1 && st.alive.(s - 1) && id <> target then Some s
+                                  (fun r ->
+                                    let src = rep_src ctx r in
+                                    if src <> i + 1 && alive s (src - 1) && rep_code ctx r <> target
+                                    then Some src
                                     else None)
                                   reps
                               in
-                              let moving = Array.copy st.moving in
-                              moving.(i) <- Some (target, to_move);
-                              let epoch = Array.copy st.epoch in
-                              epoch.(i) <- max epoch.(i) (i + 1);
-                              broadcast
-                                (fun j ->
-                                  if List.mem (j + 1) to_move then
-                                    Core.Message.make ~name:(move_name target) ~src:(i + 1)
-                                      ~dst:(j + 1)
-                                  else
-                                    (* harmless re-move for already-buffered
-                                       sites keeps the broadcast uniform *)
-                                    Core.Message.make ~name:(move_name target) ~src:(i + 1)
-                                      ~dst:(j + 1))
-                                (fun s -> { s with locals; polling; moving; epoch })
+                              let imoving = Array.copy s.imoving in
+                              imoving.(i) <- Some (target, to_move);
+                              let iepoch = Array.copy s.iepoch in
+                              iepoch.(i) <- max iepoch.(i) (i + 1);
+                              (* the move goes to every other operational
+                                 site — a harmless re-move for
+                                 already-buffered ones keeps the broadcast
+                                 uniform *)
+                              broadcast (move_nc ctx target) (fun s ->
+                                  { s with ilocals; ipolling; imoving; iepoch })
                           | None -> ()
                         end
-                        else if
-                          List.length kinds - prepared_up >= q
-                          && List.exists
-                               (fun s -> s.Core.Automaton.kind = Core.Types.Buffer)
-                               (automaton i).Core.Automaton.states
+                        else if List.length kinds - prepared_up >= q && ctx.buffer_code.(i) <> None
                           (* the unprepared-quorum abort is sound only when
                              committing requires a quorum-visible buffer
                              phase; without one (2PC) only visible outcomes
@@ -499,73 +776,116 @@ let run (cfg : config) : report =
               end
         end
       end
-    done;
-    !succs
+    done
   in
 
-  (* ---- BFS ---- *)
+  (* ---- BFS over packed states: Queue-of-indices frontier, index-based
+     seen/parent tables ---- *)
   let init =
     {
-      locals = Array.init n (fun i -> (automaton i).Core.Automaton.initial);
-      voted = Array.make n false;
-      alive = Array.make n true;
-      aware = Array.make n false;
-      crashes_left = cfg.max_crashes;
-      network = MS.of_list protocol.Core.Protocol.initial_network;
-      moving = Array.make n None;
-      polling = Array.make n None;
-      polled = Array.make n false;
-      epoch = Array.make n 0;
+      ilocals = Array.copy c.I.initial_locals;
+      ivoted = 0;
+      ialive = ctx.full_alive;
+      iaware = 0;
+      ipolled = 0;
+      icrashes = cfg.max_crashes;
+      inet = Array.copy c.I.initial_net;
+      imoving = Array.make n None;
+      ipolling = Array.make n None;
+      iepoch = Array.make n 0;
     }
   in
-  let seen = Tbl.create 4096 in
-  let parent : st Tbl.t = Tbl.create 4096 in
-  let queue = Queue.create () in
-  Tbl.add seen init ();
-  Queue.add init queue;
+  let seen : int I.Tbl.t = I.Tbl.create 4096 in
+  let keys = ref (Array.make 4096 I.(key [||])) in
+  let parent = ref (Array.make 4096 (-1)) in
+  let n_states = ref 0 in
+  let buf = Ibuf.create () in
+  let intern_state parent_ix s =
+    let k = I.key (pack_into ctx buf s) in
+    match I.Tbl.find_opt seen k with
+    | Some _ -> None
+    | None ->
+        let ix = !n_states in
+        incr n_states;
+        I.Tbl.add seen k ix;
+        if ix >= Array.length !keys then begin
+          let grow a fill =
+            let g = Array.make (2 * Array.length a) fill in
+            Array.blit a 0 g 0 (Array.length a);
+            g
+          in
+          keys := grow !keys I.(key [||]);
+          parent := grow !parent (-1)
+        end;
+        !keys.(ix) <- k;
+        !parent.(ix) <- parent_ix;
+        Some ix
+  in
+  (* the frontier carries the working state alongside its index, so no
+     state is ever unpacked on the hot path (decoding only happens for
+     the handful of reported states at the end) *)
+  let queue : (ist * int) Queue.t = Queue.create () in
+  (match intern_state (-1) init with
+  | Some ix -> Queue.add (init, ix) queue
+  | None -> assert false);
   let explored = ref 0 in
   let inconsistent = ref [] and blocked_terminals = ref [] in
   while not (Queue.is_empty queue) do
-    let st = Queue.pop queue in
+    let s, ix = Queue.pop queue in
     incr explored;
     if !explored > cfg.limit then failwith "Model_check.run: state limit exceeded";
     (* safety: mixed outcomes across ALL sites (crashed sites' last forced
        log state counts) *)
-    let kinds = Array.to_list (Array.mapi (fun i id -> kind_of i id) st.locals) in
-    if List.exists Core.Types.is_commit kinds && List.exists Core.Types.is_abort kinds then
-      inconsistent := st :: !inconsistent;
-    let succs = successors st in
-    if succs = [] then begin
+    let commit = ref false and abort = ref false in
+    Array.iteri
+      (fun i code ->
+        let k = kind_exn ctx i code in
+        if Core.Types.is_commit k then commit := true;
+        if Core.Types.is_abort k then abort := true)
+      s.ilocals;
+    if !commit && !abort then inconsistent := ix :: !inconsistent;
+    let n_succ = ref 0 in
+    successors s (fun succ ->
+        incr n_succ;
+        match intern_state ix succ with
+        | None -> ()
+        | Some six -> Queue.add (succ, six) queue);
+    if !n_succ = 0 then begin
       (* terminal: every operational site should have decided *)
       let blocked = ref false in
-      Array.iteri (fun i a -> if a && not (decided st i) then blocked := true) st.alive;
-      if !blocked then blocked_terminals := st :: !blocked_terminals
+      for i = 0 to n - 1 do
+        if s.ialive land (1 lsl i) <> 0 && not (decided s i) then blocked := true
+      done;
+      if !blocked then blocked_terminals := ix :: !blocked_terminals
     end
-    else
-      List.iter
-        (fun s ->
-          if not (Tbl.mem seen s) then begin
-            Tbl.add seen s ();
-            Tbl.add parent s st;
-            Queue.add s queue
-          end)
-        succs
   done;
+  let decode ix = to_public ctx (unpack ctx (!keys.(ix)).I.data) in
   let path_to target =
-    let rec go st acc =
-      match Tbl.find_opt parent st with None -> st :: acc | Some p -> go p (st :: acc)
+    let rec go ix acc =
+      let acc = decode ix :: acc in
+      if !parent.(ix) < 0 then acc else go !parent.(ix) acc
     in
     go target []
   in
   {
     explored = !explored;
-    inconsistent = !inconsistent;
-    blocked_terminals = !blocked_terminals;
+    inconsistent = List.map decode !inconsistent;
+    blocked_terminals = List.map decode !blocked_terminals;
     safe = !inconsistent = [];
     nonblocking = !blocked_terminals = [];
     counterexample =
-      (match !inconsistent with [] -> None | st :: _ -> Some (path_to st));
+      (match !inconsistent with [] -> None | ix :: _ -> Some (path_to ix));
   }
+
+(* ---------------- packed codec, exposed for round-trip tests ---------------- *)
+
+module Packed = struct
+  type nonrec ctx = ctx
+
+  let ctx rulebook = make_ctx rulebook
+  let encode ctx s = pack_into ctx (Ibuf.create ()) (of_public ctx s)
+  let decode ctx data = to_public ctx (unpack ctx data)
+end
 
 let pp_st ppf st =
   Fmt.pf ppf "<%a | alive=%a | %a>"

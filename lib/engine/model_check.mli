@@ -20,7 +20,12 @@
     the checker produced a genuine split-brain counterexample — a
     participant drifting out of its moved-to state by consuming a stale
     in-flight [prepare].  Both now freeze the FSA once a failure is
-    detected, and the checker passes. *)
+    detected, and the checker passes.
+
+    The exploration engine runs over {!Core.Intern}'s packed int-array
+    encoding (interned ids, one-int messages, memoized FNV hashing, a
+    queue-of-indices frontier); the original string-keyed engine is kept
+    as {!Model_check_ref} and the differential tests assert both agree. *)
 
 type st = {
   locals : string array;
@@ -61,3 +66,16 @@ val run : config -> report
 
 val pp_st : Format.formatter -> st -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** The packed canonical state encoding used internally for
+    deduplication, exposed for round-trip testing: [decode ctx
+    (encode ctx st)] must reproduce [st] exactly (including the order of
+    in-flight move/poll bookkeeping lists, which is part of state
+    identity). *)
+module Packed : sig
+  type ctx
+
+  val ctx : Rulebook.t -> ctx
+  val encode : ctx -> st -> int array
+  val decode : ctx -> int array -> st
+end

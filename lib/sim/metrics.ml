@@ -87,6 +87,18 @@ let gauge_max t name v =
   | Some r -> if v > !r then r := v
   | None -> Hashtbl.add t.gauges name (ref v)
 
+type gauge = int ref
+
+let gauge_handle t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.gauges name r;
+      r
+
+let gauge_record (g : gauge) v = if v > !g then g := v
+
 let gauge t name = match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0
 
 let gauges t = Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.gauges [] |> List.sort compare

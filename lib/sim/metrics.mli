@@ -32,6 +32,18 @@ val counters : t -> (string * int) list
 val gauge_max : t -> string -> int -> unit
 (** Record [v]; the gauge keeps the maximum ever recorded. *)
 
+type gauge
+(** A pre-resolved handle to one gauge: callers on hot paths (e.g. the
+    simulator's event loop recording queue depth per event) resolve the
+    name once and then record through the handle with no per-call
+    string-keyed lookup. *)
+
+val gauge_handle : t -> string -> gauge
+(** Resolve (creating at 0 if absent) the named gauge. *)
+
+val gauge_record : gauge -> int -> unit
+(** Same high-water-mark semantics as {!gauge_max}, O(1). *)
+
 val gauge : t -> string -> int
 (** 0 for unknown gauges. *)
 

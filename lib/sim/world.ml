@@ -102,10 +102,14 @@ let set_tracing w b = w.tracing <- b
 
 let trace_entries w = List.rev w.trace
 
+(* Check [tracing] before formatting: with tracing off (the common case —
+   every send/deliver/drop on every simulated event goes through here)
+   the format arguments must cost nothing.  [ikfprintf] consumes them
+   without rendering. *)
 let record w fmt =
-  Fmt.kstr
-    (fun s -> if w.tracing then w.trace <- { at = w.now; what = s } :: w.trace)
-    fmt
+  if w.tracing then
+    Fmt.kstr (fun s -> w.trace <- { at = w.now; what = s } :: w.trace) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let check_site w s =
   if s < 1 || s > w.n_sites then Fmt.invalid_arg "World: site %d out of range 1..%d" s w.n_sites
@@ -307,10 +311,11 @@ let dispatch w = function
 let run w ~handlers ?(until = 100_000.0) () =
   w.handlers <- Some handlers;
   List.iter (fun s -> if w.alive.(s) then (handlers s).on_start { world = w; self = s }) (sites w);
+  let queue_depth_hwm = Metrics.gauge_handle w.metrics "queue_depth_hwm" in
   let rec loop () =
     if w.stopped then ()
     else begin
-      Metrics.gauge_max w.metrics "queue_depth_hwm" (Eventq.length w.queue);
+      Metrics.gauge_record queue_depth_hwm (Eventq.length w.queue);
       match Eventq.pop w.queue with
       | None -> ()
       | Some (time, ev) ->

@@ -26,6 +26,7 @@ let () =
       ("presumption", Test_presumption.suite);
       ("render", Test_render.suite);
       ("model-check", Test_model_check.suite);
+      ("statespace", Test_statespace.suite);
       ("model-check-quorum", Test_model_check_quorum.suite);
       ("db-quorum", Test_db_quorum.suite);
       ("read-only-termination", Test_read_only_termination.suite);
