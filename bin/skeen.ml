@@ -8,6 +8,7 @@
     - [fsa]         print or DOT-render the per-site FSAs
     - [synthesize]  apply the buffer-state transformation to a 2PC protocol
     - [simulate]    execute a transaction with optional crash injection
+    - [chaos]       randomized fault schedules + oracles + shrinking
     - [bank]        run the bank workload on the KV store *)
 
 open Cmdliner
@@ -208,6 +209,205 @@ let simulate_cmd =
       const run $ protocol_arg $ sites_arg $ crash_site $ crash_step $ crash_sent $ recover_at
       $ no_votes $ trace $ seed $ quorum $ isolate $ metrics_json_arg)
 
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let protocol_opt =
+    Arg.(
+      required
+      & opt (some protocol_conv) None
+      & info [ "protocol" ] ~docv:"PROTOCOL"
+          ~doc:"Protocol: 1pc, central-2pc, decentralized-2pc, central-3pc, decentralized-3pc.")
+  in
+  let k_arg =
+    Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Maximum concurrent failures to inject.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"M" ~doc:"Number of seeds (schedules) to run.")
+  in
+  let seed_base_arg =
+    Arg.(value & opt int 0 & info [ "seed-base" ] ~docv:"S" ~doc:"First seed of the sweep.")
+  in
+  let until_arg =
+    Arg.(
+      value & opt float 1500.0
+      & info [ "until" ] ~docv:"T"
+          ~doc:"Stall budget: simulation horizon after which an undecided site is a liveness violation.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:"Replay one seed with tracing: print its generated plan, verdicts and full event trace.")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Run one explicit failure plan (the $(b,Failure_plan.to_string) syntax a shrunk \
+             counterexample is printed in, e.g. 'crash site=1 at=2; msg nth=4 fault=dup') \
+             instead of generating schedules.")
+  in
+  let partitions_arg =
+    Arg.(
+      value & flag
+      & info [ "partitions" ]
+          ~doc:
+            "Ablation profile: include partition windows in the schedules.  Under partitions the \
+             Skeen rule is expected to split-brain (see experiment E13).")
+  in
+  let drops_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "drops" ] ~docv:"W"
+          ~doc:
+            "Ablation profile: relative weight of message-drop faults (default 0 — drops violate \
+             the paper's reliable-network assumption).")
+  in
+  let quorum_arg =
+    Arg.(value & flag & info [ "quorum" ] ~doc:"Terminate with the majority-quorum rule.")
+  in
+  let kv_arg =
+    Arg.(
+      value & flag
+      & info [ "kv" ]
+          ~doc:
+            "Drive the database harness instead of a bare protocol instance: the same schedules \
+             against a bank-transfer workload, judged by the atomicity, conservation and \
+             nonblocking-progress oracles (central-2pc and central-3pc only).")
+  in
+  let run_kv label n k seeds seed_base until replay partitions drops quorum =
+    let protocol =
+      match label with
+      | "central-2pc" -> Kv.Node.Two_phase
+      | "central-3pc" -> Kv.Node.Three_phase
+      | other ->
+          Fmt.epr "skeen chaos --kv: unsupported protocol %s (use central-2pc or central-3pc)@."
+            other;
+          exit 2
+    in
+    let termination =
+      if quorum then Kv.Node.T_quorum (Engine.Runtime.majority n) else Kv.Node.T_skeen
+    in
+    let profile =
+      {
+        Kv.Chaos_db.default_profile with
+        Sim.Nemesis.p_partition = (if partitions then 0.35 else 0.0);
+        drop_weight = drops;
+      }
+    in
+    match replay with
+    | Some seed ->
+        let o =
+          Kv.Chaos_db.run_one ~profile ~protocol ~termination ~n_sites:n ~until ~tracing:true ~k
+            ~seed ()
+        in
+        Fmt.pr "seed %d schedule:@.%s@." seed
+          (match Sim.Nemesis.to_string o.Kv.Chaos_db.schedule with "" -> "(no faults)" | s -> s);
+        Fmt.pr "%a@." Kv.Db.pp_result o.Kv.Chaos_db.result;
+        List.iter (fun v -> Fmt.pr "VIOLATION %a@." Kv.Chaos_db.pp_violation v) o.Kv.Chaos_db.violations;
+        List.iter
+          (fun e -> Fmt.pr "%8.2f  %s@." e.Sim.World.at e.Sim.World.what)
+          o.Kv.Chaos_db.result.Kv.Db.trace;
+        if o.Kv.Chaos_db.violations <> [] then exit 1
+    | None ->
+        let t0 = Unix.gettimeofday () in
+        let summary =
+          Kv.Chaos_db.sweep ~profile ~protocol ~termination ~n_sites:n ~until ~seed_base ~k ~seeds ()
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        Fmt.pr "%a@." Kv.Chaos_db.pp_summary summary;
+        Fmt.pr "%.0f schedules/sec (%.2f s wall)@."
+          (if wall > 0.0 then float_of_int seeds /. wall else 0.0)
+          wall;
+        List.iter
+          (fun (seed, vs, shrunk) ->
+            Fmt.pr "@.seed %d:@." seed;
+            List.iter (fun v -> Fmt.pr "  %a@." Kv.Chaos_db.pp_violation v) vs;
+            Fmt.pr "  shrunk schedule: %s@."
+              (match Sim.Nemesis.to_string shrunk with "" -> "(no faults)" | s -> s))
+          summary.Kv.Chaos_db.failing;
+        if summary.Kv.Chaos_db.violations_by_oracle <> [] then exit 1
+  in
+  let run label n k seeds seed_base until replay plan_str partitions drops quorum kv metrics_json =
+    if kv then run_kv label n k seeds seed_base until replay partitions drops quorum
+    else
+    let rb = Engine.Rulebook.compile (build label n) in
+    let termination =
+      if quorum then Engine.Runtime.Quorum (Engine.Runtime.majority n) else Engine.Runtime.Skeen
+    in
+    let profile =
+      {
+        Sim.Nemesis.default_profile with
+        Sim.Nemesis.p_partition = (if partitions then 0.35 else 0.0);
+        drop_weight = drops;
+      }
+    in
+    match (plan_str, replay) with
+    | Some s, _ ->
+        let plan =
+          try Engine.Failure_plan.of_string s
+          with Engine.Failure_plan.Parse_error msg ->
+            Fmt.epr "skeen chaos: bad --plan: %s@." msg;
+            exit 2
+        in
+        let result, violations =
+          Engine.Chaos.run_plan ~until ~termination ~tracing:true rb ~plan ~seed:seed_base ()
+        in
+        Fmt.pr "plan: %s@." (Engine.Failure_plan.to_string plan);
+        Fmt.pr "%a@." Engine.Runtime.pp_result result;
+        List.iter (fun v -> Fmt.pr "VIOLATION %a@." Engine.Chaos.pp_violation v) violations;
+        List.iter
+          (fun e -> Fmt.pr "%8.2f  %s@." e.Sim.World.at e.Sim.World.what)
+          result.Engine.Runtime.trace;
+        if violations <> [] then exit 1
+    | None, Some seed ->
+        let { Engine.Chaos.plan; violations; _ } =
+          Engine.Chaos.run_one ~profile ~until ~termination rb ~k ~seed ()
+        in
+        let result, _ =
+          Engine.Chaos.run_plan ~until ~termination ~tracing:true rb ~plan ~seed ()
+        in
+        Fmt.pr "seed %d generates: %s@." seed
+          (match Engine.Failure_plan.to_string plan with "" -> "(no faults)" | s -> s);
+        Fmt.pr "%a@." Engine.Runtime.pp_result result;
+        List.iter (fun v -> Fmt.pr "VIOLATION %a@." Engine.Chaos.pp_violation v) violations;
+        List.iter
+          (fun e -> Fmt.pr "%8.2f  %s@." e.Sim.World.at e.Sim.World.what)
+          result.Engine.Runtime.trace
+    | None, None ->
+        let t0 = Unix.gettimeofday () in
+        let summary =
+          Engine.Chaos.sweep ~profile ~until ~termination ~seed_base rb ~k ~seeds ()
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        Fmt.pr "%a@." Engine.Chaos.pp_summary summary;
+        Fmt.pr "%.0f schedules/sec (%.2f s wall)@."
+          (if wall > 0.0 then float_of_int seeds /. wall else 0.0)
+          wall;
+        List.iter
+          (fun cx -> Fmt.pr "@.%a@." Engine.Chaos.pp_counterexample cx)
+          summary.Engine.Chaos.counterexamples;
+        Option.iter
+          (fun f -> write_metrics_json f (Sim.Metrics.to_json summary.Engine.Chaos.metrics))
+          metrics_json;
+        if summary.Engine.Chaos.violations_by_oracle <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run randomized fault schedules (crashes, recoveries, duplicated/delayed messages; \
+          partitions and drops as opt-in ablations) against a protocol and judge each run with \
+          the atomicity, nonblocking-progress and recovery-convergence oracles.  Violations are \
+          shrunk to a minimal replayable failure plan.  Exits 1 if any violation was found.")
+    Term.(
+      const run $ protocol_opt $ sites_arg $ k_arg $ seeds_arg $ seed_base_arg $ until_arg
+      $ replay_arg $ plan_arg $ partitions_arg $ drops_arg $ quorum_arg $ kv_arg
+      $ metrics_json_arg)
+
 (* ---------------- model-check ---------------- *)
 
 let model_check_cmd =
@@ -360,8 +560,13 @@ let bank_cmd =
 
 let () =
   let doc = "Nonblocking commit protocols (Skeen, SIGMOD 1981): analysis and simulation." in
+  (* cmdliner renders one-character names as short options only; accept the
+     long spellings --n and --k as synonyms of -n and -k *)
+  let argv =
+    Array.map (function "--n" -> "-n" | "--k" -> "-k" | s -> s) Sys.argv
+  in
   exit
-    (Cmd.eval
+    (Cmd.eval ~argv
        (Cmd.group (Cmd.info "skeen" ~doc)
           [
             analyze_cmd;
@@ -371,6 +576,7 @@ let () =
             fsa_cmd;
             synthesize_cmd;
             simulate_cmd;
+            chaos_cmd;
             model_check_cmd;
             check_cmd;
             election_cmd;

@@ -1,0 +1,321 @@
+(** Chaos harness: randomized fault schedules, consistency oracles, and
+    counterexample shrinking.
+
+    Each run is a pure function of [(protocol, n, k, seed)]: the seed
+    feeds a {!Sim.Rng.split} stream to {!Sim.Nemesis.generate}, the
+    schedule lowers to a {!Failure_plan.t}, and one protocol instance
+    executes it on the simulator.  After quiescence three oracles judge
+    the history:
+
+    - {e atomicity}: no history where one site commits and another
+      aborts; crashed sites are judged by their last WAL-forced state
+      ([wal_outcome]), since a site that logged a commit-final transition
+      and died mid-broadcast has decided, whatever its volatile memory
+      said.
+    - {e nonblocking progress}: every operational never-crashed site
+      decides when concurrent failures stay ≤ k (the generator enforces
+      the bound).  The run's [until] horizon is the stall budget: a
+      liveness violation is detected, not hung on.
+    - {e recovery convergence}: every recovered site replays its WAL and
+      reaches the cohort's decision, when one exists.  When no site
+      decided at all and every site crashed at least once, that is the
+      paper's total-failure scenario — out of scope for the termination
+      protocol, so not flagged.
+
+    On violation the schedule is greedily shrunk — drop faults one at a
+    time, then round fault times — re-running after each candidate until
+    no single removal preserves the violation.  The minimal plan prints
+    as a {!Failure_plan.to_string} value that pastes straight into a
+    regression test, together with the event trace of its run. *)
+
+type oracle = Atomicity | Progress | Recovery_convergence
+[@@deriving show { with_path = false }, eq]
+
+let oracle_name = function
+  | Atomicity -> "atomicity"
+  | Progress -> "progress"
+  | Recovery_convergence -> "recovery"
+
+type violation = { oracle : oracle; detail : string } [@@deriving show { with_path = false }, eq]
+
+type run_outcome = {
+  seed : int;
+  plan : Failure_plan.t;
+  result : Runtime.result;
+  violations : violation list;
+}
+
+type counterexample = {
+  cx_seed : int;
+  cx_violation : violation;
+  cx_plan : Failure_plan.t;  (** shrunk to a local minimum *)
+  cx_original_faults : int;
+  cx_shrunk_faults : int;
+  cx_shrink_runs : int;  (** re-executions spent shrinking *)
+  cx_trace : Sim.World.trace_entry list;  (** trace of the minimal plan's run *)
+}
+
+type summary = {
+  protocol : string;
+  n_sites : int;
+  k : int;
+  seeds_run : int;
+  counterexamples : counterexample list;
+  violations_by_oracle : (oracle * int) list;
+  metrics : Sim.Metrics.t;
+      (** chaos_runs, shrink_runs, per-oracle violation counters and
+          oracle_*_s timing histograms, schedule_faults histogram *)
+}
+
+let outcome_str = function Core.Types.Committed -> "commit" | Core.Types.Aborted -> "abort"
+
+(* A site's effective decision: what its stable log forced, falling back
+   to nothing.  Volatile [outcome] is always backed by a WAL record
+   ([finalize] writes before it sets), so the WAL view subsumes it; the
+   interesting divergence is a crashed site whose log decided. *)
+let effective (r : Runtime.site_report) =
+  match r.outcome with Some o -> Some o | None -> r.wal_outcome
+
+let check_atomicity (result : Runtime.result) =
+  let decided =
+    List.filter_map
+      (fun (r : Runtime.site_report) -> Option.map (fun o -> (r.site, o)) (effective r))
+      result.reports
+  in
+  let commits = List.filter (fun (_, o) -> o = Core.Types.Committed) decided in
+  let aborts = List.filter (fun (_, o) -> o = Core.Types.Aborted) decided in
+  if commits <> [] && aborts <> [] then
+    Some
+      {
+        oracle = Atomicity;
+        detail =
+          Printf.sprintf "sites %s committed but sites %s aborted"
+            (String.concat "," (List.map (fun (s, _) -> string_of_int s) commits))
+            (String.concat "," (List.map (fun (s, _) -> string_of_int s) aborts));
+      }
+  else None
+
+let check_progress (result : Runtime.result) =
+  let stuck =
+    List.filter
+      (fun (r : Runtime.site_report) ->
+        r.operational && (not r.ever_crashed) && r.outcome = None)
+      result.reports
+  in
+  if stuck <> [] then
+    Some
+      {
+        oracle = Progress;
+        detail =
+          Printf.sprintf "operational never-crashed site(s) %s undecided at the stall budget"
+            (String.concat ","
+               (List.map (fun (r : Runtime.site_report) -> string_of_int r.site) stuck));
+      }
+  else None
+
+let check_recovery (result : Runtime.result) =
+  let decisions =
+    List.filter_map effective result.reports |> List.sort_uniq compare
+  in
+  match decisions with
+  | [ d ] ->
+      (* a unique cohort decision exists: every recovered operational
+         site must have converged to it (a contradictory decision is the
+         atomicity oracle's finding, not this one's) *)
+      let stuck =
+        List.filter
+          (fun (r : Runtime.site_report) ->
+            r.operational && r.ever_crashed && r.outcome = None)
+          result.reports
+      in
+      if stuck <> [] then
+        Some
+          {
+            oracle = Recovery_convergence;
+            detail =
+              Printf.sprintf "cohort decided %s but recovered site(s) %s never converged"
+                (outcome_str d)
+                (String.concat ","
+                   (List.map (fun (r : Runtime.site_report) -> string_of_int r.site) stuck));
+          }
+      else None
+  | _ -> None
+
+(* Run the three oracles, timing each into [metrics] when provided. *)
+let violations_of ?metrics result =
+  let timed name f =
+    match metrics with
+    | None -> f result
+    | Some m ->
+        let t0 = Sys.time () in
+        let v = f result in
+        Sim.Metrics.observe m (Printf.sprintf "oracle_%s_s" name) (Sys.time () -. t0);
+        v
+  in
+  List.filter_map Fun.id
+    [
+      timed "atomicity" check_atomicity;
+      timed "progress" check_progress;
+      timed "recovery" check_recovery;
+    ]
+
+let run_plan ?metrics ?(until = 1500.0) ?(termination = Runtime.Skeen) ?(tracing = false) rulebook
+    ~plan ~seed () =
+  let result =
+    Runtime.run (Runtime.config ~plan ~seed ~tracing ~until ~termination rulebook)
+  in
+  (result, violations_of ?metrics result)
+
+let run_one ?metrics ?(profile = Sim.Nemesis.default_profile) ?until ?termination rulebook ~k
+    ~seed () =
+  let n_sites = Core.Protocol.n_sites rulebook.Rulebook.protocol in
+  (* The seed's randomness splits: the schedule draws from its own
+     stream, the world's latency draws from another, so the schedule
+     never perturbs message timing beyond the faults it injects. *)
+  let sched_rng = Sim.Rng.split (Sim.Rng.create ~seed) in
+  let schedule = Sim.Nemesis.generate sched_rng ~n_sites ~k profile in
+  let plan = Failure_plan.of_schedule schedule in
+  (match metrics with
+  | Some m ->
+      Sim.Metrics.incr m "chaos_runs";
+      Sim.Metrics.observe m "schedule_faults" (float_of_int (Failure_plan.fault_count plan))
+  | None -> ());
+  let result, violations = run_plan ?metrics ?until ?termination rulebook ~plan ~seed () in
+  { seed; plan; result; violations }
+
+(* ---------------- shrinking ---------------- *)
+
+let remove_nth n l = List.filteri (fun i _ -> i <> n) l
+
+let removal_candidates (p : Failure_plan.t) =
+  let open Failure_plan in
+  List.mapi (fun i _ -> { p with step_crashes = remove_nth i p.step_crashes }) p.step_crashes
+  @ List.mapi (fun i _ -> { p with timed_crashes = remove_nth i p.timed_crashes }) p.timed_crashes
+  @ List.mapi (fun i _ -> { p with recoveries = remove_nth i p.recoveries }) p.recoveries
+  @ List.mapi (fun i _ -> { p with move_crashes = remove_nth i p.move_crashes }) p.move_crashes
+  @ List.mapi (fun i _ -> { p with decide_crashes = remove_nth i p.decide_crashes }) p.decide_crashes
+  @ List.mapi (fun i _ -> { p with partitions = remove_nth i p.partitions }) p.partitions
+  @ List.mapi (fun i _ -> { p with msg_faults = remove_nth i p.msg_faults }) p.msg_faults
+
+(* Round every non-integral fault time, one at a time, so the minimal
+   counterexample reads "crash site=1 at=2" rather than "at=2.0386...". *)
+let rounding_candidates (p : Failure_plan.t) =
+  let open Failure_plan in
+  let set_nth n x l = List.mapi (fun i y -> if i = n then x else y) l in
+  let rounded f k l =
+    List.concat
+      (List.mapi
+         (fun i x ->
+           match f x with Some x' -> [ k (set_nth i x' l) ] | None -> [])
+         l)
+  in
+  let round_time (s, at) =
+    if Float.round at <> at then Some (s, Float.round at) else None
+  in
+  rounded round_time (fun l -> { p with timed_crashes = l }) p.timed_crashes
+  @ rounded round_time (fun l -> { p with recoveries = l }) p.recoveries
+  @ rounded
+      (fun (pt : partition_spec) ->
+        let from_t = Float.round pt.from_t and until_t = Float.round pt.until_t in
+        if from_t <> pt.from_t || until_t <> pt.until_t then Some { pt with from_t; until_t }
+        else None)
+      (fun l -> { p with partitions = l })
+      p.partitions
+  @ rounded
+      (fun (nth, f) ->
+        match f with
+        | Sim.World.Fault_delay extra when Float.round extra <> extra && Float.round extra > 0.0
+          ->
+            Some (nth, Sim.World.Fault_delay (Float.round extra))
+        | _ -> None)
+      (fun l -> { p with msg_faults = l })
+      p.msg_faults
+
+let shrink ?metrics ?until ?termination rulebook ~seed ~oracle plan =
+  let runs = ref 0 in
+  let still_fails p =
+    incr runs;
+    (match metrics with Some m -> Sim.Metrics.incr m "shrink_runs" | None -> ());
+    let _, vs = run_plan ?metrics ?until ?termination rulebook ~plan:p ~seed () in
+    List.exists (fun v -> v.oracle = oracle) vs
+  in
+  let rec reduce candidates_of p =
+    match List.find_opt still_fails (candidates_of p) with
+    | Some p' -> reduce candidates_of p'
+    | None -> p
+  in
+  let p = reduce removal_candidates plan in
+  let p = reduce rounding_candidates p in
+  (p, !runs)
+
+let counterexample_of ?metrics ?until ?termination rulebook (run : run_outcome) violation =
+  let cx_plan, cx_shrink_runs =
+    shrink ?metrics ?until ?termination rulebook ~seed:run.seed ~oracle:violation.oracle
+      run.plan
+  in
+  (* replay the minimal plan with tracing to capture the evidence *)
+  let result, vs =
+    run_plan ?until ?termination ~tracing:true rulebook ~plan:cx_plan ~seed:run.seed ()
+  in
+  let cx_violation =
+    match List.find_opt (fun v -> v.oracle = violation.oracle) vs with
+    | Some v -> v
+    | None -> violation (* unreachable: shrinking preserved the oracle *)
+  in
+  {
+    cx_seed = run.seed;
+    cx_violation;
+    cx_plan;
+    cx_original_faults = Failure_plan.fault_count run.plan;
+    cx_shrunk_faults = Failure_plan.fault_count cx_plan;
+    cx_shrink_runs;
+    cx_trace = result.Runtime.trace;
+  }
+
+(* ---------------- seed sweeps ---------------- *)
+
+let sweep ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?(seed_base = 0)
+    ?(max_counterexamples = 5) rulebook ~k ~seeds () =
+  let metrics = Sim.Metrics.create () in
+  let counterexamples = ref [] in
+  let by_oracle = Hashtbl.create 4 in
+  for i = 0 to seeds - 1 do
+    let seed = seed_base + i in
+    let run = run_one ~metrics ~profile ?until ?termination rulebook ~k ~seed () in
+    List.iter
+      (fun v ->
+        Sim.Metrics.incr metrics (Printf.sprintf "violations_%s" (oracle_name v.oracle));
+        Hashtbl.replace by_oracle v.oracle
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_oracle v.oracle));
+        if List.length !counterexamples < max_counterexamples then
+          counterexamples :=
+            counterexample_of ~metrics ?until ?termination rulebook run v :: !counterexamples)
+      run.violations
+  done;
+  {
+    protocol = rulebook.Rulebook.protocol.Core.Protocol.name;
+    n_sites = Core.Protocol.n_sites rulebook.Rulebook.protocol;
+    k;
+    seeds_run = seeds;
+    counterexamples = List.rev !counterexamples;
+    violations_by_oracle =
+      Hashtbl.fold (fun o c acc -> (o, c) :: acc) by_oracle [] |> List.sort compare;
+    metrics;
+  }
+
+let pp_counterexample ppf cx =
+  Fmt.pf ppf "@[<v>seed %d: %s violation — %s@,shrunk %d -> %d fault(s) in %d re-run(s)@,plan: %s@,trace:@,%a@]"
+    cx.cx_seed
+    (oracle_name cx.cx_violation.oracle)
+    cx.cx_violation.detail cx.cx_original_faults cx.cx_shrunk_faults cx.cx_shrink_runs
+    (match Failure_plan.to_string cx.cx_plan with "" -> "(no faults)" | s -> s)
+    (Fmt.list ~sep:Fmt.cut (fun ppf (e : Sim.World.trace_entry) ->
+         Fmt.pf ppf "  %8.2f  %s" e.at e.what))
+    cx.cx_trace
+
+let pp_summary ppf s =
+  Fmt.pf ppf "@[<v>chaos %s n=%d k=%d: %d seed(s), %d violation(s)%a@]" s.protocol s.n_sites s.k
+    s.seeds_run
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 s.violations_by_oracle)
+    (Fmt.list ~sep:Fmt.nop (fun ppf (o, c) -> Fmt.pf ppf "@,  %s: %d" (oracle_name o) c))
+    s.violations_by_oracle

@@ -1,0 +1,111 @@
+(** Chaos harness: randomized fault schedules, consistency oracles, and
+    counterexample shrinking.
+
+    Every run is a pure function of [(protocol, n, k, seed)]: the seed
+    drives {!Sim.Nemesis.generate} through a {!Sim.Rng.split} stream, the
+    schedule lowers to a {!Failure_plan.t} via
+    {!Failure_plan.of_schedule}, one protocol instance executes it, and
+    three oracles judge the quiesced history — atomicity (crashed sites
+    judged by their WAL), nonblocking progress under ≤ k concurrent
+    failures (the [until] horizon is the stall budget), and recovery
+    convergence.  Violations are greedily shrunk to a minimal plan that
+    {!Failure_plan.to_string} renders ready to paste into a regression
+    test. *)
+
+type oracle = Atomicity | Progress | Recovery_convergence
+
+val pp_oracle : Format.formatter -> oracle -> unit
+val equal_oracle : oracle -> oracle -> bool
+val oracle_name : oracle -> string
+
+type violation = { oracle : oracle; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type run_outcome = {
+  seed : int;
+  plan : Failure_plan.t;
+  result : Runtime.result;
+  violations : violation list;
+}
+
+type counterexample = {
+  cx_seed : int;
+  cx_violation : violation;
+  cx_plan : Failure_plan.t;  (** shrunk to a local minimum *)
+  cx_original_faults : int;
+  cx_shrunk_faults : int;
+  cx_shrink_runs : int;  (** re-executions spent shrinking *)
+  cx_trace : Sim.World.trace_entry list;  (** trace of the minimal plan's run *)
+}
+
+type summary = {
+  protocol : string;
+  n_sites : int;
+  k : int;
+  seeds_run : int;
+  counterexamples : counterexample list;
+  violations_by_oracle : (oracle * int) list;
+  metrics : Sim.Metrics.t;
+      (** chaos_runs / shrink_runs / violations_* counters, per-oracle
+          [oracle_*_s] timing histograms, schedule_faults histogram *)
+}
+
+val violations_of : ?metrics:Sim.Metrics.t -> Runtime.result -> violation list
+(** Run the three oracles on a finished run (timing each into [metrics]
+    when given). *)
+
+val run_plan :
+  ?metrics:Sim.Metrics.t ->
+  ?until:float ->
+  ?termination:Runtime.termination_rule ->
+  ?tracing:bool ->
+  Rulebook.t ->
+  plan:Failure_plan.t ->
+  seed:int ->
+  unit ->
+  Runtime.result * violation list
+(** Execute one explicit plan (e.g. a pasted counterexample) and judge
+    it.  [until] (default 1500.0) is the stall budget. *)
+
+val run_one :
+  ?metrics:Sim.Metrics.t ->
+  ?profile:Sim.Nemesis.profile ->
+  ?until:float ->
+  ?termination:Runtime.termination_rule ->
+  Rulebook.t ->
+  k:int ->
+  seed:int ->
+  unit ->
+  run_outcome
+(** Generate the seed's schedule and execute it.  Deterministic. *)
+
+val shrink :
+  ?metrics:Sim.Metrics.t ->
+  ?until:float ->
+  ?termination:Runtime.termination_rule ->
+  Rulebook.t ->
+  seed:int ->
+  oracle:oracle ->
+  Failure_plan.t ->
+  Failure_plan.t * int
+(** Greedy minimisation: repeatedly drop single faults, then round fault
+    times, keeping any candidate that still trips [oracle] under the same
+    seed.  Returns the minimal plan and the number of re-runs spent. *)
+
+val sweep :
+  ?profile:Sim.Nemesis.profile ->
+  ?until:float ->
+  ?termination:Runtime.termination_rule ->
+  ?seed_base:int ->
+  ?max_counterexamples:int ->
+  Rulebook.t ->
+  k:int ->
+  seeds:int ->
+  unit ->
+  summary
+(** Run seeds [seed_base .. seed_base + seeds - 1]; shrink (and trace) at
+    most [max_counterexamples] violations (default 5). *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+val pp_summary : Format.formatter -> summary -> unit

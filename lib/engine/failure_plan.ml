@@ -6,7 +6,13 @@
     that transition (the paper's partially completed transition: "only part
     of the messages that should be sent during a transition are actually
     transmitted") — or to wall-clock simulation time.  Recoveries are
-    scheduled by time. *)
+    scheduled by time.  Plans also carry the network-level faults a chaos
+    schedule composes: partition windows and message-level faults keyed by
+    global send index.
+
+    Plans round-trip through a compact text form ({!to_string} /
+    {!of_string}), so a shrunk chaos counterexample can be pasted into a
+    deterministic regression test. *)
 
 type crash_mode =
   | Before_transition  (** crash before logging/acting on the transition *)
@@ -23,6 +29,13 @@ type step_crash = {
 }
 [@@deriving show { with_path = false }, eq]
 
+type partition_spec = {
+  from_t : float;
+  until_t : float;
+  groups : Core.Types.site list list;
+}
+[@@deriving show { with_path = false }, eq]
+
 type t = {
   step_crashes : step_crash list;
   timed_crashes : (Core.Types.site * float) list;
@@ -33,15 +46,26 @@ type t = {
   decide_crashes : (Core.Types.site * int) list;
       (** crash a backup coordinator after sending the first [k] Decide
           messages of termination phase 2 *)
+  partitions : partition_spec list;
+  msg_faults : (int * Sim.World.msg_fault) list;
+      (** the nth global send attempt suffers the paired fault *)
 }
 [@@deriving show { with_path = false }, eq]
 
 let none =
-  { step_crashes = []; timed_crashes = []; recoveries = []; move_crashes = []; decide_crashes = [] }
+  {
+    step_crashes = [];
+    timed_crashes = [];
+    recoveries = [];
+    move_crashes = [];
+    decide_crashes = [];
+    partitions = [];
+    msg_faults = [];
+  }
 
 let make ?(step_crashes = []) ?(timed_crashes = []) ?(recoveries = []) ?(move_crashes = [])
-    ?(decide_crashes = []) () =
-  { step_crashes; timed_crashes; recoveries; move_crashes; decide_crashes }
+    ?(decide_crashes = []) ?(partitions = []) ?(msg_faults = []) () =
+  { step_crashes; timed_crashes; recoveries; move_crashes; decide_crashes; partitions; msg_faults }
 
 (** [crash_at_step ~site ~step ~mode] : the simplest single-crash plan. *)
 let crash_at_step ~site ~step ~mode = { none with step_crashes = [ { site; step; mode } ] }
@@ -54,3 +78,164 @@ let crashing_sites t =
   List.map (fun c -> c.site) t.step_crashes
   @ List.map fst t.timed_crashes @ List.map fst t.move_crashes @ List.map fst t.decide_crashes
   |> List.sort_uniq compare
+
+let fault_count t =
+  List.length t.step_crashes + List.length t.timed_crashes + List.length t.recoveries
+  + List.length t.move_crashes + List.length t.decide_crashes + List.length t.partitions
+  + List.length t.msg_faults
+
+(** Lower a generated {!Sim.Nemesis} schedule into a plan the runtime can
+    execute.  Order within each fault family is preserved. *)
+let of_schedule (schedule : Sim.Nemesis.schedule) =
+  List.fold_left
+    (fun plan fault ->
+      match fault with
+      | Sim.Nemesis.Crash { site; at } ->
+          { plan with timed_crashes = plan.timed_crashes @ [ (site, at) ] }
+      | Sim.Nemesis.Step_crash { site; step; sent } ->
+          let mode =
+            match sent with None -> Before_transition | Some j -> After_logging j
+          in
+          { plan with step_crashes = plan.step_crashes @ [ { site; step; mode } ] }
+      | Sim.Nemesis.Backup_crash { site; phase = Sim.Nemesis.Move; sent } ->
+          { plan with move_crashes = plan.move_crashes @ [ (site, sent) ] }
+      | Sim.Nemesis.Backup_crash { site; phase = Sim.Nemesis.Decide; sent } ->
+          { plan with decide_crashes = plan.decide_crashes @ [ (site, sent) ] }
+      | Sim.Nemesis.Recover { site; at } ->
+          { plan with recoveries = plan.recoveries @ [ (site, at) ] }
+      | Sim.Nemesis.Partition { from_t; until_t; groups } ->
+          { plan with partitions = plan.partitions @ [ { from_t; until_t; groups } ] }
+      | Sim.Nemesis.Msg { nth; fault } ->
+          { plan with msg_faults = plan.msg_faults @ [ (nth, fault) ] })
+    none schedule
+
+(* ------------------------------------------------------------------ *)
+(* Textual round-trip.  One clause per fault, "; "-separated, so a
+   shrunk counterexample pastes into a test as a single string.  Floats
+   print with %.17g, which [float_of_string] reads back exactly. *)
+
+let float_str x = Printf.sprintf "%.17g" x
+
+let mode_str = function
+  | Before_transition -> "before"
+  | After_logging k -> Printf.sprintf "after-logging:%d" k
+  | After_transition -> "after-transition"
+
+let clause_strings t =
+  List.map
+    (fun c -> Printf.sprintf "step-crash site=%d step=%d mode=%s" c.site c.step (mode_str c.mode))
+    t.step_crashes
+  @ List.map (fun (s, at) -> Printf.sprintf "crash site=%d at=%s" s (float_str at)) t.timed_crashes
+  @ List.map (fun (s, at) -> Printf.sprintf "recover site=%d at=%s" s (float_str at)) t.recoveries
+  @ List.map (fun (s, k) -> Printf.sprintf "move-crash site=%d sent=%d" s k) t.move_crashes
+  @ List.map (fun (s, k) -> Printf.sprintf "decide-crash site=%d sent=%d" s k) t.decide_crashes
+  @ List.map
+      (fun p ->
+        Printf.sprintf "partition from=%s until=%s groups=%s" (float_str p.from_t)
+          (float_str p.until_t)
+          (String.concat "|"
+             (List.map (fun g -> String.concat "," (List.map string_of_int g)) p.groups)))
+      t.partitions
+  @ List.map
+      (fun (nth, f) ->
+        let f_str =
+          match f with
+          | Sim.World.Fault_drop -> "drop"
+          | Sim.World.Fault_duplicate -> "dup"
+          | Sim.World.Fault_delay extra -> Printf.sprintf "delay:%s" (float_str extra)
+        in
+        Printf.sprintf "msg nth=%d fault=%s" nth f_str)
+      t.msg_faults
+
+let to_string t = String.concat "; " (clause_strings t)
+
+exception Parse_error of string
+
+let parse_fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let kv_of_token token =
+  match String.index_opt token '=' with
+  | Some i ->
+      (String.sub token 0 i, String.sub token (i + 1) (String.length token - i - 1))
+  | None -> parse_fail "expected key=value, got %S" token
+
+let get key kvs =
+  match List.assoc_opt key kvs with
+  | Some v -> v
+  | None -> parse_fail "missing %s=..." key
+
+let int_of key v = try int_of_string v with _ -> parse_fail "bad int for %s: %S" key v
+let float_of key v = try float_of_string v with _ -> parse_fail "bad float for %s: %S" key v
+
+let parse_mode = function
+  | "before" -> Before_transition
+  | "after-transition" -> After_transition
+  | v -> (
+      match String.split_on_char ':' v with
+      | [ "after-logging"; k ] -> After_logging (int_of "mode" k)
+      | _ -> parse_fail "bad mode: %S" v)
+
+let parse_groups v =
+  String.split_on_char '|' v
+  |> List.map (fun g ->
+         String.split_on_char ',' g
+         |> List.filter (fun s -> s <> "")
+         |> List.map (fun s -> int_of "groups" s))
+
+let parse_msg_fault = function
+  | "drop" -> Sim.World.Fault_drop
+  | "dup" -> Sim.World.Fault_duplicate
+  | v -> (
+      match String.split_on_char ':' v with
+      | [ "delay"; x ] -> Sim.World.Fault_delay (float_of "fault" x)
+      | _ -> parse_fail "bad msg fault: %S" v)
+
+let parse_clause plan clause =
+  match
+    String.split_on_char ' ' (String.trim clause) |> List.filter (fun s -> s <> "")
+  with
+  | [] -> plan
+  | verb :: tokens -> (
+      let kvs = List.map kv_of_token tokens in
+      match verb with
+      | "step-crash" ->
+          let c =
+            {
+              site = int_of "site" (get "site" kvs);
+              step = int_of "step" (get "step" kvs);
+              mode = parse_mode (get "mode" kvs);
+            }
+          in
+          { plan with step_crashes = plan.step_crashes @ [ c ] }
+      | "crash" ->
+          let c = (int_of "site" (get "site" kvs), float_of "at" (get "at" kvs)) in
+          { plan with timed_crashes = plan.timed_crashes @ [ c ] }
+      | "recover" ->
+          let r = (int_of "site" (get "site" kvs), float_of "at" (get "at" kvs)) in
+          { plan with recoveries = plan.recoveries @ [ r ] }
+      | "move-crash" ->
+          let c = (int_of "site" (get "site" kvs), int_of "sent" (get "sent" kvs)) in
+          { plan with move_crashes = plan.move_crashes @ [ c ] }
+      | "decide-crash" ->
+          let c = (int_of "site" (get "site" kvs), int_of "sent" (get "sent" kvs)) in
+          { plan with decide_crashes = plan.decide_crashes @ [ c ] }
+      | "partition" ->
+          let p =
+            {
+              from_t = float_of "from" (get "from" kvs);
+              until_t = float_of "until" (get "until" kvs);
+              groups = parse_groups (get "groups" kvs);
+            }
+          in
+          { plan with partitions = plan.partitions @ [ p ] }
+      | "msg" ->
+          let f = (int_of "nth" (get "nth" kvs), parse_msg_fault (get "fault" kvs)) in
+          { plan with msg_faults = plan.msg_faults @ [ f ] }
+      | v -> parse_fail "unknown fault kind: %S" v)
+
+(** Inverse of {!to_string}; clauses separated by ';' or newlines.
+    @raise Parse_error on malformed input. *)
+let of_string s =
+  String.split_on_char '\n' s
+  |> List.concat_map (String.split_on_char ';')
+  |> List.fold_left parse_clause none

@@ -18,6 +18,11 @@ type step_crash = { site : Core.Types.site; step : int; mode : crash_mode }
 
 val pp_step_crash : Format.formatter -> step_crash -> unit
 
+type partition_spec = { from_t : float; until_t : float; groups : Core.Types.site list list }
+
+val pp_partition_spec : Format.formatter -> partition_spec -> unit
+val equal_partition_spec : partition_spec -> partition_spec -> bool
+
 type t = {
   step_crashes : step_crash list;
   timed_crashes : (Core.Types.site * float) list;
@@ -26,6 +31,9 @@ type t = {
       (** crash a backup after sending the first [k] Move_to messages *)
   decide_crashes : (Core.Types.site * int) list;
       (** crash a backup after sending the first [k] Decide messages *)
+  partitions : partition_spec list;
+  msg_faults : (int * Sim.World.msg_fault) list;
+      (** the nth global send attempt suffers the paired fault *)
 }
 
 val pp : Format.formatter -> t -> unit
@@ -38,6 +46,8 @@ val make :
   ?recoveries:(Core.Types.site * float) list ->
   ?move_crashes:(Core.Types.site * int) list ->
   ?decide_crashes:(Core.Types.site * int) list ->
+  ?partitions:partition_spec list ->
+  ?msg_faults:(int * Sim.World.msg_fault) list ->
   unit ->
   t
 
@@ -46,3 +56,25 @@ val crash_at_step : site:Core.Types.site -> step:int -> mode:crash_mode -> t
 
 val find_step_crash : t -> site:Core.Types.site -> step:int -> crash_mode option
 val crashing_sites : t -> Core.Types.site list
+
+val fault_count : t -> int
+(** Total number of discrete faults (every clause counts, recoveries
+    included) — the size a chaos counterexample is shrunk against. *)
+
+val of_schedule : Sim.Nemesis.schedule -> t
+(** Lower a generated nemesis schedule into an executable plan:
+    [Step_crash] becomes a [step_crash] ([sent = None] ⇒
+    [Before_transition], [Some j] ⇒ [After_logging j]), [Backup_crash]
+    becomes a move/decide crash, and the rest map one-to-one. *)
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** One clause per fault, "; "-separated — e.g.
+    ["crash site=1 at=3.5; msg nth=4 fault=dup"] — printable into a
+    regression test and read back by {!of_string} exactly
+    ([of_string (to_string p)] equals [p]). *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; clauses separated by ';' or newlines.
+    @raise Parse_error on malformed input. *)

@@ -53,7 +53,9 @@ type site_rt = {
   mutable outcome : Core.Types.outcome option;
   mutable ever_crashed : bool;
   mutable mode : mode;
-  mutable queries_left : int;
+  mutable query_attempts : int;
+      (** consecutive outcome queries sent since the last reset; drives
+          the exponential backoff *)
   mutable down_view : Core.Types.site list;  (** failure-detector reports *)
   mutable tainted_view : Core.Types.site list;  (** sites known to have crashed at least once *)
   mutable decided_at : float option;
@@ -83,8 +85,12 @@ type config = {
   seed : int;
   tracing : bool;
   until : float;
-  query_interval : float;
-  max_queries : int;
+  query_interval : float;  (** base delay of the query backoff *)
+  query_backoff_cap : float;
+      (** ceiling on the exponential backoff between outcome queries.
+          Queries retry for as long as the site is undecided — the run's
+          [until] horizon bounds them, not a counter; a fixed budget made
+          liveness depend on how long a peer stayed unreachable. *)
   partition : (float * float * Core.Types.site list list) option;
       (** (from, until, groups): run under a network partition, violating
           the paper's reliable-detector assumption — the ablation that
@@ -93,9 +99,20 @@ type config = {
 }
 
 let config ?(votes = []) ?(plan = Failure_plan.none) ?(seed = 1) ?(tracing = false)
-    ?(until = 10_000.0) ?(query_interval = 5.0) ?(max_queries = 40) ?partition
+    ?(until = 10_000.0) ?(query_interval = 5.0) ?(query_backoff_cap = 45.0) ?partition
     ?(termination = Skeen) rulebook =
-  { rulebook; votes; plan; seed; tracing; until; query_interval; max_queries; partition; termination }
+  {
+    rulebook;
+    votes;
+    plan;
+    seed;
+    tracing;
+    until;
+    query_interval;
+    query_backoff_cap;
+    partition;
+    termination;
+  }
 
 (** A majority quorum for [n] sites. *)
 let majority n = (n / 2) + 1
@@ -103,6 +120,11 @@ let majority n = (n / 2) + 1
 type site_report = {
   site : Core.Types.site;
   outcome : Core.Types.outcome option;
+  wal_outcome : Core.Types.outcome option;
+      (** the decision forced to this site's stable log — a [Decided]
+          record, or a final state the log reached before a crash cut the
+          announcements short.  A crashed site is judged by this, not by
+          its (lost) volatile [outcome]. *)
   final_state : string;
   operational : bool;  (** alive when the run ended *)
   ever_crashed : bool;
@@ -120,6 +142,7 @@ type result = {
       (** operational never-crashed sites that ended undecided — nonzero
           only for blocking protocols (or total-failure scenarios) *)
   all_operational_decided : bool;
+  store : Wal.Store.t;  (** every site's stable log, for post-hoc oracles *)
   trace : Sim.World.trace_entry list;
   metrics_json : Sim.Json.t;
       (** full metrics snapshot of the run ({!Sim.Metrics.to_json}):
@@ -153,6 +176,9 @@ module Exec = struct
     world : Msg.t Sim.World.t;
     store : Wal.Store.t;
     rts : site_rt array;
+    query_rng : Sim.Rng.t;
+        (** jitter for the query backoff — its own stream, so query
+            timing never perturbs the network latency draws *)
   }
 
   let rt t site = t.rts.(site - 1)
@@ -238,13 +264,28 @@ module Exec = struct
 
   (* ---------------- queries (recovery & blocked sites) ---------------- *)
 
+  let query_peers t ctx (rt : site_rt) =
+    Sim.Metrics.incr (Sim.World.metrics t.world) "termination_queries";
+    let peers = List.filter (fun s -> s <> rt.site) (Sim.World.sites t.world) in
+    Sim.World.broadcast ctx ~dsts:peers Msg.Query_outcome
+
+  (* Outcome queries retry for as long as the site is undecided, with
+     capped exponential backoff plus jitter: a fixed retry budget tied
+     liveness to how long a peer stayed unreachable, while a fixed
+     interval kept blocked runs noisy.  The backoff resets when a peer
+     comes back (see [on_peer_up]) and on restart. *)
   let rec start_query_loop t ctx (rt : site_rt) =
-    if rt.outcome = None && rt.queries_left > 0 then begin
-      rt.queries_left <- rt.queries_left - 1;
-      let peers = List.filter (fun s -> s <> rt.site) (Sim.World.sites t.world) in
-      Sim.World.broadcast ctx ~dsts:peers Msg.Query_outcome;
+    if rt.outcome = None then begin
+      query_peers t ctx rt;
+      let backoff =
+        Float.min
+          (t.cfg.query_interval *. (2.0 ** float_of_int (min rt.query_attempts 12)))
+          t.cfg.query_backoff_cap
+      in
+      let jitter = Sim.Rng.float t.query_rng (0.25 *. backoff) in
+      rt.query_attempts <- rt.query_attempts + 1;
       ignore
-        (Sim.World.set_timer ctx ~delay:t.cfg.query_interval (fun () -> start_query_loop t ctx rt))
+        (Sim.World.set_timer ctx ~delay:(backoff +. jitter) (fun () -> start_query_loop t ctx rt))
     end
 
   let enter_stalled t ctx (rt : site_rt) =
@@ -541,15 +582,16 @@ module Exec = struct
   let on_peer_up t ctx recovered =
     let rt = rt t ctx.Sim.World.self in
     rt.down_view <- List.filter (fun x -> x <> recovered) rt.down_view;
-    (* a stalled site that exhausted its query budget during a long
-       partition gets a fresh one: the peer's return is the signal that
-       querying can succeed again (messages dropped by the partition are
-       dropped at send time, so nothing sent during the window survives
-       to resolve the stall for us) *)
-    if rt.outcome = None && rt.mode = Stalled && rt.queries_left = 0 then begin
-      rt.queries_left <- t.cfg.max_queries;
+    (* a stalled site may be deep into its backoff when the peer returns:
+       the recovery report is the signal that querying can succeed again
+       (messages dropped by a partition are dropped at send time, so
+       nothing sent during the window survives to resolve the stall for
+       us), so reset the backoff and query immediately — the standing
+       timer chain keeps the retries going afterwards *)
+    if rt.outcome = None && rt.mode = Stalled then begin
+      rt.query_attempts <- 0;
       record t "site %d re-queries: site %d is reachable again" rt.site recovered;
-      start_query_loop t ctx rt
+      query_peers t ctx rt
     end;
     (* tainted_view keeps genuinely crashed sites out of leadership; a
        healed partition however reported sites "down" that never crashed,
@@ -571,6 +613,7 @@ module Exec = struct
     rt.ever_crashed <- true;
     rt.inbox <- Core.Message.Multiset.empty;
     rt.mode <- Normal;
+    rt.query_attempts <- 0;
     (match Wal.last_state rt.wal with Some s -> rt.state <- s | None -> ());
     rt.steps <-
       List.length
@@ -633,7 +676,7 @@ let run (cfg : config) : result =
           outcome = None;
           ever_crashed = false;
           mode = Normal;
-          queries_left = cfg.max_queries;
+          query_attempts = 0;
           down_view = [];
           tainted_view = [];
           decided_at = None;
@@ -641,7 +684,16 @@ let run (cfg : config) : result =
           impaired = false;
         })
   in
-  let exec = { Exec.cfg; protocol; world; store; rts } in
+  let exec =
+    {
+      Exec.cfg;
+      protocol;
+      world;
+      store;
+      rts;
+      query_rng = Sim.Rng.split (Sim.Rng.create ~seed:cfg.seed);
+    }
+  in
   (* Environment input: the initial transaction requests. *)
   List.iter
     (fun m -> Sim.World.inject world ~dst:m.Core.Message.dst ~at:0.01 (Msg.Proto m))
@@ -655,14 +707,29 @@ let run (cfg : config) : result =
   | Some (from_t, until_t, groups) when groups <> [] ->
       Sim.World.schedule_partition world ~from_t ~until_t groups
   | Some _ | None -> ());
+  List.iter
+    (fun (p : Failure_plan.partition_spec) ->
+      if p.groups <> [] then
+        Sim.World.schedule_partition world ~from_t:p.from_t ~until_t:p.until_t p.groups)
+    cfg.plan.Failure_plan.partitions;
+  Sim.World.set_msg_faults world cfg.plan.Failure_plan.msg_faults;
   ignore (Sim.World.run world ~handlers:(Exec.handlers exec) ~until:cfg.until ());
   (* ---- reporting ---- *)
+  let wal_outcome (rt : site_rt) =
+    match Wal.decided rt.wal with
+    | Some o -> Some o
+    | None -> (
+        match Wal.last_state rt.wal with
+        | Some s -> Core.Types.outcome_of_kind (Core.Automaton.kind_of rt.automaton s)
+        | None -> None)
+  in
   let reports =
     Array.to_list rts
     |> List.map (fun (rt : site_rt) ->
            {
              site = rt.site;
              outcome = rt.outcome;
+             wal_outcome = wal_outcome rt;
              final_state = rt.state;
              operational = Sim.World.is_alive world rt.site;
              ever_crashed = rt.ever_crashed || not (Sim.World.is_alive world rt.site);
@@ -690,6 +757,7 @@ let run (cfg : config) : result =
     consistent = not (has_commit && has_abort);
     blocked_operational = List.length operational_undecided;
     all_operational_decided = operational_undecided = [];
+    store;
     trace = Sim.World.trace_entries world;
     metrics_json = Sim.Metrics.to_json metrics;
   }

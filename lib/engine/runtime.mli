@@ -36,8 +36,11 @@ type config = {
   seed : int;
   tracing : bool;
   until : float;
-  query_interval : float;
-  max_queries : int;
+  query_interval : float;  (** base delay of the query backoff *)
+  query_backoff_cap : float;
+      (** ceiling on the exponential backoff between outcome queries;
+          undecided sites retry (with jitter) until the run's [until]
+          horizon, not until a counter runs out *)
   partition : (float * float * Core.Types.site list list) option;
       (** (from, until, groups): run under a network partition, violating
           the paper's reliable-detector assumption *)
@@ -51,7 +54,7 @@ val config :
   ?tracing:bool ->
   ?until:float ->
   ?query_interval:float ->
-  ?max_queries:int ->
+  ?query_backoff_cap:float ->
   ?partition:float * float * Core.Types.site list list ->
   ?termination:termination_rule ->
   Rulebook.t ->
@@ -60,6 +63,10 @@ val config :
 type site_report = {
   site : Core.Types.site;
   outcome : Core.Types.outcome option;
+  wal_outcome : Core.Types.outcome option;
+      (** the decision forced to this site's stable log — a [Decided]
+          record, or a final state the log reached before a crash cut the
+          announcements short.  Crashed sites are judged by this. *)
   final_state : string;
   operational : bool;  (** alive when the run ended *)
   ever_crashed : bool;
@@ -77,6 +84,7 @@ type result = {
       (** operational never-crashed sites left undecided — nonzero only
           for blocking protocols or total-failure scenarios *)
   all_operational_decided : bool;
+  store : Wal.Store.t;  (** every site's stable log, for post-hoc oracles *)
   trace : Sim.World.trace_entry list;
   metrics_json : Sim.Json.t;
       (** full metrics snapshot of the run ({!Sim.Metrics.to_json}):

@@ -1,0 +1,276 @@
+(** Chaos driver for the database harness: the same nemesis schedules the
+    protocol-level harness uses ({!Sim.Nemesis}), lowered onto a {!Db} run
+    of the bank-transfer workload, judged by end-to-end oracles.
+
+    The step- and backup-pinned crash kinds are protocol-engine notions
+    with no meaning on a multi-transaction database, so the default
+    profile generates timed crashes only; message-level faults (duplicate
+    / extra delay, drops opt-in) apply unchanged.
+
+    Every run is a pure function of [(protocol, n_sites, k, seed)]: the
+    seed derives both the workload and the schedule through split
+    {!Sim.Rng} streams.  A violating schedule is greedily shrunk — drop
+    one fault at a time, then round fault times — to a minimal
+    counterexample that {!Sim.Nemesis.to_string} renders ready to pin in
+    a regression test. *)
+
+type oracle = Atomicity | Conservation | Progress
+[@@deriving show { with_path = false }, eq]
+
+let oracle_name = function
+  | Atomicity -> "atomicity"
+  | Conservation -> "conservation"
+  | Progress -> "progress"
+
+type violation = { oracle : oracle; detail : string }
+
+let pp_violation ppf v = Fmt.pf ppf "%s violation: %s" (oracle_name v.oracle) v.detail
+
+(* Timed faults only: the engine interprets step-pinned crashes, the
+   database cannot.  A longer horizon and send window than the protocol
+   profile, because a database run spans many transactions. *)
+let default_profile =
+  {
+    Sim.Nemesis.default_profile with
+    Sim.Nemesis.p_step_crash = 0.0;
+    p_backup_crash = 0.0;
+    horizon = 40.0;
+    recover_delay_min = 10.0;
+    recover_delay_max = 80.0;
+    max_msg_faults = 4;
+    send_window = 150;
+    delay_max = 10.0;
+  }
+
+let accounts = 8
+let initial_balance = 100
+let n_txns = 10
+
+let workload_of ~seed =
+  let rng = Sim.Rng.split (Sim.Rng.create ~seed) in
+  Workload.bank rng ~n_txns ~accounts ~arrival_rate:0.4
+
+(* Lower a nemesis schedule onto the Db config's fault surface.  Step- and
+   backup-pinned crashes (absent under the default profile) are ignored. *)
+let lower (schedule : Sim.Nemesis.schedule) =
+  List.fold_left
+    (fun (crashes, recoveries, partitions, msg_faults) fault ->
+      match fault with
+      | Sim.Nemesis.Crash { site; at } -> ((site, at) :: crashes, recoveries, partitions, msg_faults)
+      | Sim.Nemesis.Recover { site; at } ->
+          (crashes, (site, at) :: recoveries, partitions, msg_faults)
+      | Sim.Nemesis.Partition { from_t; until_t; groups } ->
+          (crashes, recoveries, (from_t, until_t, groups) :: partitions, msg_faults)
+      | Sim.Nemesis.Msg { nth; fault } ->
+          (crashes, recoveries, partitions, (nth, fault) :: msg_faults)
+      | Sim.Nemesis.Step_crash _ | Sim.Nemesis.Backup_crash _ ->
+          (crashes, recoveries, partitions, msg_faults))
+    ([], [], [], []) schedule
+  |> fun (c, r, p, m) -> (List.rev c, List.rev r, List.rev p, List.rev m)
+
+let crash_sites schedule =
+  List.filter_map
+    (function Sim.Nemesis.Crash { site; _ } -> Some site | _ -> None)
+    schedule
+
+let recover_sites schedule =
+  List.filter_map
+    (function Sim.Nemesis.Recover { site; _ } -> Some site | _ -> None)
+    schedule
+
+let violations ~(protocol : Node.protocol) ~schedule (r : Db.result) =
+  ignore protocol;
+  let crashed = crash_sites schedule in
+  let down_at_end = List.filter (fun s -> not (List.mem s (recover_sites schedule))) crashed in
+  (* A transaction whose whole participant set crashed at some point is a
+     total failure: the paper's termination and recovery protocols
+     explicitly do not cover it, so a survivor legitimately stays in doubt
+     (and its writes legitimately stay unapplied). *)
+  let total_failure participants =
+    participants <> [] && List.for_all (fun p -> List.mem p crashed) participants
+  in
+  let atomicity =
+    let missing =
+      List.filter (fun (_, _, participants) -> not (total_failure participants)) r.Db.missing_applied
+    in
+    if r.Db.outcome_contradiction then
+      [ { oracle = Atomicity; detail = "a transaction has both commit and abort records" } ]
+    else
+      match missing with
+      | [] -> []
+      | (txn, site, _) :: _ ->
+          [
+            {
+              oracle = Atomicity;
+              detail =
+                Fmt.str "%d committed write set(s) unapplied, e.g. txn %d at site %d"
+                  (List.length missing) txn site;
+            };
+          ]
+  in
+  (* Nonblocking progress: no operational site may end the run holding
+     locks in doubt — unless its transaction's participant set totally
+     failed. *)
+  let blocked =
+    List.filter (fun (_, _, participants) -> not (total_failure participants)) r.Db.in_doubt
+  in
+  let progress =
+    match blocked with
+    | [] -> []
+    | (site, txn, _) :: _ ->
+        [
+          {
+            oracle = Progress;
+            detail =
+              Fmt.str "%d in-doubt participant(s) at quiescence, e.g. txn %d at site %d"
+                (List.length blocked) txn site;
+          };
+        ]
+  in
+  (* Conservation of the bank total: meaningful only once every site is
+     back up and no buffered writes are parked in doubt. *)
+  let conservation =
+    if down_at_end <> [] || r.Db.in_doubt <> [] then []
+    else
+      let expected = Workload.bank_total ~accounts ~initial_balance in
+      if r.Db.storage_totals = expected then []
+      else
+        [
+          {
+            oracle = Conservation;
+            detail = Fmt.str "bank total %d, expected %d" r.Db.storage_totals expected;
+          };
+        ]
+  in
+  atomicity @ progress @ conservation
+
+let run_schedule ?(protocol = Node.Three_phase) ?(termination = Node.T_skeen) ?(n_sites = 4)
+    ?(until = 3000.0) ?(tracing = false) ~seed (schedule : Sim.Nemesis.schedule) =
+  let crashes, recoveries, partitions, msg_faults = lower schedule in
+  let cfg =
+    Db.config ~n_sites ~protocol ~termination ~seed ~until ~tracing ~crashes ~recoveries
+      ~partitions ~msg_faults
+      ~initial_data:(Workload.bank_initial ~accounts ~initial_balance)
+      ()
+  in
+  let r = Db.run cfg (workload_of ~seed) in
+  (r, violations ~protocol ~schedule r)
+
+type run_outcome = {
+  seed : int;
+  schedule : Sim.Nemesis.schedule;
+  result : Db.result;
+  violations : violation list;
+}
+
+let run_one ?(profile = default_profile) ?protocol ?termination ?(n_sites = 4) ?until ?tracing
+    ~k ~seed () =
+  let root = Sim.Rng.create ~seed in
+  ignore (Sim.Rng.split root) (* the workload stream, consumed by [workload_of] *);
+  let sched_rng = Sim.Rng.split root in
+  let schedule = Sim.Nemesis.generate sched_rng ~n_sites ~k profile in
+  let result, violations =
+    run_schedule ?protocol ?termination ~n_sites ?until ?tracing ~seed schedule
+  in
+  { seed; schedule; result; violations }
+
+(* ---- counterexample shrinking, at schedule granularity ---- *)
+
+let remove_nth i l = List.filteri (fun j _ -> j <> i) l
+
+let round_candidates (schedule : Sim.Nemesis.schedule) =
+  let non_integral x = Float.round x <> x in
+  List.concat
+    (List.mapi
+       (fun i fault ->
+         let replace f' = List.mapi (fun j f -> if j = i then f' else f) schedule in
+         match fault with
+         | Sim.Nemesis.Crash { site; at } when non_integral at ->
+             [ replace (Sim.Nemesis.Crash { site; at = Float.round at }) ]
+         | Sim.Nemesis.Recover { site; at } when non_integral at ->
+             [ replace (Sim.Nemesis.Recover { site; at = Float.round at }) ]
+         | Sim.Nemesis.Partition { from_t; until_t; groups }
+           when non_integral from_t || non_integral until_t ->
+             [
+               replace
+                 (Sim.Nemesis.Partition
+                    { from_t = Float.round from_t; until_t = Float.round until_t; groups });
+             ]
+         | Sim.Nemesis.Msg { nth; fault = Sim.World.Fault_delay d } when non_integral d ->
+             [
+               replace
+                 (Sim.Nemesis.Msg
+                    { nth; fault = Sim.World.Fault_delay (Float.max 1.0 (Float.round d)) });
+             ]
+         | _ -> [])
+       schedule)
+
+let shrink ?protocol ?termination ?n_sites ?until ~seed ~oracle (schedule : Sim.Nemesis.schedule)
+    =
+  let runs = ref 0 in
+  let still_fails candidate =
+    incr runs;
+    let _, vs = run_schedule ?protocol ?termination ?n_sites ?until ~seed candidate in
+    List.exists (fun v -> v.oracle = oracle) vs
+  in
+  let rec reduce current =
+    let removals = List.mapi (fun i _ -> remove_nth i current) current in
+    match List.find_opt still_fails removals with
+    | Some smaller -> reduce smaller
+    | None -> (
+        match List.find_opt still_fails (round_candidates current) with
+        | Some rounded -> reduce rounded
+        | None -> current)
+  in
+  let minimal = reduce schedule in
+  (minimal, !runs)
+
+type summary = {
+  protocol : Node.protocol;
+  n_sites : int;
+  k : int;
+  seeds_run : int;
+  failing : (int * violation list * Sim.Nemesis.schedule) list;
+      (** (seed, violations, shrunk schedule) for each failing seed, at
+          most [max_counterexamples] of them shrunk *)
+  violations_by_oracle : (oracle * int) list;
+}
+
+let sweep ?(profile = default_profile) ?(protocol = Node.Three_phase) ?termination ?(n_sites = 4)
+    ?until ?(seed_base = 0) ?(max_counterexamples = 3) ~k ~seeds () =
+  let by_oracle = Hashtbl.create 4 in
+  let failing = ref [] in
+  for i = 0 to seeds - 1 do
+    let seed = seed_base + i in
+    let o = run_one ~profile ~protocol ?termination ~n_sites ?until ~k ~seed () in
+    if o.violations <> [] then begin
+      List.iter
+        (fun v ->
+          Hashtbl.replace by_oracle v.oracle
+            (1 + Option.value ~default:0 (Hashtbl.find_opt by_oracle v.oracle)))
+        o.violations;
+      let shrunk =
+        if List.length !failing < max_counterexamples then
+          let v = List.hd o.violations in
+          fst
+            (shrink ~protocol ?termination ~n_sites ?until ~seed ~oracle:v.oracle o.schedule)
+        else o.schedule
+      in
+      failing := (seed, o.violations, shrunk) :: !failing
+    end
+  done;
+  {
+    protocol;
+    n_sites;
+    k;
+    seeds_run = seeds;
+    failing = List.rev !failing;
+    violations_by_oracle = Hashtbl.fold (fun o n acc -> (o, n) :: acc) by_oracle [];
+  }
+
+let pp_summary ppf (s : summary) =
+  Fmt.pf ppf "kv chaos %s n=%d k=%d: %d seed(s), %d failing%a"
+    (Node.show_protocol s.protocol) s.n_sites s.k s.seeds_run (List.length s.failing)
+    Fmt.(
+      list ~sep:nop (fun ppf (o, n) -> Fmt.pf ppf ", %d %s" n (oracle_name o)))
+    s.violations_by_oracle

@@ -1,0 +1,109 @@
+(** Chaos driver for the database harness: {!Sim.Nemesis} schedules
+    lowered onto a {!Db} bank-transfer run, judged by end-to-end oracles —
+    atomicity (outcome logs agree, committed writes applied), conservation
+    (the bank total is invariant once every site is back and nothing is in
+    doubt), and nonblocking progress (no operational site ends the run
+    holding locks in doubt unless its transaction's whole participant set
+    crashed).  Violating schedules shrink greedily to a minimal
+    counterexample.  Deterministic in [(protocol, n_sites, k, seed)]. *)
+
+type oracle = Atomicity | Conservation | Progress
+
+val pp_oracle : Format.formatter -> oracle -> unit
+val equal_oracle : oracle -> oracle -> bool
+val oracle_name : oracle -> string
+
+type violation = { oracle : oracle; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val default_profile : Sim.Nemesis.profile
+(** Timed crashes, recoveries and message faults only: step- and
+    backup-pinned crashes are protocol-engine notions the database cannot
+    interpret. *)
+
+val workload_of : seed:int -> (float * Txn.t) list
+(** The seed's bank-transfer workload (a split stream of the seed's root
+    rng, independent of the schedule stream). *)
+
+val lower :
+  Sim.Nemesis.schedule ->
+  (Core.Types.site * float) list
+  * (Core.Types.site * float) list
+  * (float * float * Core.Types.site list list) list
+  * (int * Sim.World.msg_fault) list
+(** Schedule → (crashes, recoveries, partitions, msg_faults) as
+    {!Db.config} takes them.  Step- and backup-pinned crashes are
+    dropped. *)
+
+val run_schedule :
+  ?protocol:Node.protocol ->
+  ?termination:Node.termination ->
+  ?n_sites:int ->
+  ?until:float ->
+  ?tracing:bool ->
+  seed:int ->
+  Sim.Nemesis.schedule ->
+  Db.result * violation list
+(** Execute one explicit schedule (e.g. a pinned counterexample) against
+    the seed's workload and judge it. *)
+
+type run_outcome = {
+  seed : int;
+  schedule : Sim.Nemesis.schedule;
+  result : Db.result;
+  violations : violation list;
+}
+
+val run_one :
+  ?profile:Sim.Nemesis.profile ->
+  ?protocol:Node.protocol ->
+  ?termination:Node.termination ->
+  ?n_sites:int ->
+  ?until:float ->
+  ?tracing:bool ->
+  k:int ->
+  seed:int ->
+  unit ->
+  run_outcome
+(** Generate the seed's schedule and execute it.  Deterministic. *)
+
+val shrink :
+  ?protocol:Node.protocol ->
+  ?termination:Node.termination ->
+  ?n_sites:int ->
+  ?until:float ->
+  seed:int ->
+  oracle:oracle ->
+  Sim.Nemesis.schedule ->
+  Sim.Nemesis.schedule * int
+(** Greedy minimisation: drop single faults, then round fault times,
+    keeping any candidate that still trips [oracle] under the same seed.
+    Returns the minimal schedule and the number of re-runs spent. *)
+
+type summary = {
+  protocol : Node.protocol;
+  n_sites : int;
+  k : int;
+  seeds_run : int;
+  failing : (int * violation list * Sim.Nemesis.schedule) list;
+      (** (seed, violations, shrunk schedule) per failing seed; at most
+          [max_counterexamples] of them are shrunk, the rest keep their
+          full schedule *)
+  violations_by_oracle : (oracle * int) list;
+}
+
+val sweep :
+  ?profile:Sim.Nemesis.profile ->
+  ?protocol:Node.protocol ->
+  ?termination:Node.termination ->
+  ?n_sites:int ->
+  ?until:float ->
+  ?seed_base:int ->
+  ?max_counterexamples:int ->
+  k:int ->
+  seeds:int ->
+  unit ->
+  summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -13,19 +13,22 @@ type config = {
   seed : int;
   lock_wait_timeout : float;
   query_interval : float;
+  query_backoff_cap : float;
   query_budget : int;
   tracing : bool;
   until : float;
   crashes : (Core.Types.site * float) list;
   recoveries : (Core.Types.site * float) list;
   partitions : (float * float * Core.Types.site list list) list;
+  msg_faults : (int * Sim.World.msg_fault) list;
   initial_data : (string * int) list;
 }
 
 let config ?(n_sites = 4) ?(protocol = Node.Three_phase) ?(presumption = Node.No_presumption)
     ?(termination = Node.T_skeen) ?(read_only_opt = false) ?(seed = 1) ?(lock_wait_timeout = 25.0)
-    ?(query_interval = 10.0) ?(query_budget = 200) ?(tracing = false) ?(until = 100_000.0)
-    ?(crashes = []) ?(recoveries = []) ?(partitions = []) ?(initial_data = []) () =
+    ?(query_interval = 10.0) ?(query_backoff_cap = 60.0) ?(query_budget = 200) ?(tracing = false)
+    ?(until = 100_000.0) ?(crashes = []) ?(recoveries = []) ?(partitions = []) ?(msg_faults = [])
+    ?(initial_data = []) () =
   {
     n_sites;
     protocol;
@@ -35,12 +38,14 @@ let config ?(n_sites = 4) ?(protocol = Node.Three_phase) ?(presumption = Node.No
     seed;
     lock_wait_timeout;
     query_interval;
+    query_backoff_cap;
     query_budget;
     tracing;
     until;
     crashes;
     recoveries;
     partitions;
+    msg_faults;
     initial_data;
   }
 
@@ -60,8 +65,22 @@ type result = {
   atomicity_ok : bool;
       (** every transaction's outcome agrees across all logs, and committed
           writes are applied at every operational participant *)
+  outcome_contradiction : bool;
+      (** some transaction has both a commit and an abort record across the
+          stable logs — the unconditional half of [atomicity_ok] *)
+  missing_applied : (int * Core.Types.site * Core.Types.site list) list;
+      (** (txn, site, participants): a committed transaction's writes not
+          applied at an operational participant — the other half of
+          [atomicity_ok], separated out because a total participant-set
+          failure legitimately strands a recovered site in doubt *)
+  in_doubt : (Core.Types.site * int * Core.Types.site list) list;
+      (** (site, txn, participants) still prepared or precommitted at an
+          operational site when the run ended — locks held, outcome
+          unknown.  Nonempty means blocking (or a total participant-set
+          failure the termination protocol does not cover). *)
   fates : (int * txn_fate) list;
   storage_totals : int;  (** sum of all values across all sites *)
+  trace : Sim.World.trace_entry list;  (** empty unless [tracing] *)
   metrics : (string * int) list;
   metrics_json : Sim.Json.t;
       (** full metrics snapshot ({!Sim.Metrics.to_json}): counters, gauges
@@ -84,10 +103,13 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
       let site = Txn.owner ~n_sites:cfg.n_sites k in
       Storage.load storages.(site - 1) [ (k, v) ])
     cfg.initial_data;
+  Sim.World.set_msg_faults world cfg.msg_faults;
+  let qrng_root = Sim.Rng.create ~seed:cfg.seed in
   let nodes =
     Array.init cfg.n_sites (fun i ->
         Node.create ~presumption:cfg.presumption ~termination:cfg.termination
-          ~read_only_opt:cfg.read_only_opt ~site:(i + 1)
+          ~read_only_opt:cfg.read_only_opt ~query_backoff_cap:cfg.query_backoff_cap
+          ~query_rng:(Sim.Rng.split qrng_root) ~site:(i + 1)
           ~n_sites:cfg.n_sites ~protocol:cfg.protocol ~storage:storages.(i) ~wal:wals.(i)
           ~lock_wait_timeout:cfg.lock_wait_timeout ~query_interval:cfg.query_interval
           ~query_budget:cfg.query_budget ())
@@ -155,13 +177,14 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
     wals;
   (* committed writes must be applied at every participant site that is
      currently operational (a down site applies them on recovery) *)
-  let applied_ok = ref true in
+  let missing_applied = ref [] in
   Hashtbl.iter
     (fun txn fate ->
       if fate = Fate_committed then
         match List.find_opt (fun (_, t) -> t.Txn.id = txn) workload with
         | None -> ()
         | Some (_, t) ->
+            let participants = Txn.participants ~n_sites:cfg.n_sites t in
             List.iter
               (fun site ->
                 if
@@ -169,9 +192,10 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
                   && Txn.ops_for ~n_sites:cfg.n_sites t ~site
                      |> List.exists (function Txn.Put _ | Txn.Add _ -> true | Txn.Get _ -> false)
                   && not (Storage.has_applied storages.(site - 1) ~txn)
-                then applied_ok := false)
-              (Txn.participants ~n_sites:cfg.n_sites t))
+                then missing_applied := (txn, site, participants) :: !missing_applied)
+              participants)
     fate_tbl;
+  let missing_applied = List.sort compare !missing_applied in
   let fates =
     Hashtbl.fold (fun txn fate acc -> (txn, fate) :: acc) fate_tbl [] |> List.sort compare
   in
@@ -180,6 +204,20 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
   and aborted = count Fate_aborted
   and pending = count Fate_pending in
   let latencies = Array.to_list nodes |> List.concat_map (fun n -> n.Node.latencies) in
+  let in_doubt =
+    Array.to_list nodes
+    |> List.concat_map (fun (n : Node.t) ->
+           if not (Sim.World.is_alive world n.Node.site) then []
+           else
+             Hashtbl.fold
+               (fun txn (p : Node.p_txn) acc ->
+                 match p.Node.status with
+                 | Node.P_prepared | Node.P_precommitted ->
+                     (n.Node.site, txn, p.Node.participants) :: acc
+                 | Node.P_working | Node.P_done _ -> acc)
+               n.Node.p_txns [])
+    |> List.sort compare
+  in
   let metrics = Sim.World.metrics world in
   {
     committed;
@@ -194,9 +232,13 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
       | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)));
     blocked_time = Array.to_list nodes |> List.fold_left (fun a n -> a +. n.Node.blocked_time) 0.0;
     messages_sent = Sim.Metrics.counter metrics "messages_sent";
-    atomicity_ok = (not !contradiction) && !applied_ok;
+    atomicity_ok = (not !contradiction) && missing_applied = [];
+    outcome_contradiction = !contradiction;
+    missing_applied;
+    in_doubt;
     fates;
     storage_totals = Array.to_list storages |> List.fold_left (fun a s -> a + Storage.total s) 0;
+    trace = Sim.World.trace_entries world;
     metrics = Sim.Metrics.counters metrics;
     metrics_json = Sim.Metrics.to_json metrics;
   }

@@ -12,12 +12,17 @@ type config = {
   seed : int;
   lock_wait_timeout : float;
   query_interval : float;
+  query_backoff_cap : float;
+      (** ceiling on the exponential backoff between outcome queries *)
   query_budget : int;
   tracing : bool;
   until : float;
   crashes : (Core.Types.site * float) list;
   recoveries : (Core.Types.site * float) list;
   partitions : (float * float * Core.Types.site list list) list;
+  msg_faults : (int * Sim.World.msg_fault) list;
+      (** message-level chaos keyed by global send index
+          ({!Sim.World.set_msg_faults}) *)
   initial_data : (string * int) list;
 }
 
@@ -30,12 +35,14 @@ val config :
   ?seed:int ->
   ?lock_wait_timeout:float ->
   ?query_interval:float ->
+  ?query_backoff_cap:float ->
   ?query_budget:int ->
   ?tracing:bool ->
   ?until:float ->
   ?crashes:(Core.Types.site * float) list ->
   ?recoveries:(Core.Types.site * float) list ->
   ?partitions:(float * float * Core.Types.site list list) list ->
+  ?msg_faults:(int * Sim.World.msg_fault) list ->
   ?initial_data:(string * int) list ->
   unit ->
   config
@@ -60,8 +67,22 @@ type result = {
   atomicity_ok : bool;
       (** outcomes agree across all logs and committed writes are applied
           at every operational participant *)
+  outcome_contradiction : bool;
+      (** some transaction has both a commit and an abort record across the
+          stable logs — the unconditional half of [atomicity_ok] *)
+  missing_applied : (int * Core.Types.site * Core.Types.site list) list;
+      (** (txn, site, participants): a committed transaction's writes not
+          applied at an operational participant — the other half of
+          [atomicity_ok], separated out because a total participant-set
+          failure legitimately strands a recovered site in doubt *)
+  in_doubt : (Core.Types.site * int * Core.Types.site list) list;
+      (** (site, txn, participants) still prepared or precommitted at an
+          operational site when the run ended — locks held, outcome
+          unknown.  Nonempty means blocking (or a total participant-set
+          failure the termination protocol does not cover). *)
   fates : (int * txn_fate) list;
   storage_totals : int;
+  trace : Sim.World.trace_entry list;  (** empty unless [tracing] *)
   metrics : (string * int) list;
   metrics_json : Sim.Json.t;
       (** full metrics snapshot ({!Sim.Metrics.to_json}): counters, gauges

@@ -85,11 +85,21 @@ type t = {
   c_txns : (int, c_txn) Hashtbl.t;  (** volatile *)
   backups : (int, backup_state) Hashtbl.t;  (** volatile *)
   pollings : (int, poll_state) Hashtbl.t;  (** volatile: quorum-termination polls *)
+  ro_done : (int, unit) Hashtbl.t;
+      (** volatile: transactions this site completed as a read-only
+          participant.  The p_txn is removed at vote time, so without this
+          tombstone a duplicated Prepare would re-open the transaction —
+          and a lock-wait timeout on the re-opened copy force-logs an
+          abort outcome for a transaction the cohort may have committed.
+          Volatile is enough: a crash bumps the site's generation, which
+          already kills every pre-crash duplicate in flight. *)
   mutable down_view : Core.Types.site list;
   mutable tainted : Core.Types.site list;  (** peers known to have crashed this run *)
   mutable ever_crashed : bool;
   lock_wait_timeout : float;
   query_interval : float;
+  query_backoff_cap : float;
+  query_rng : Sim.Rng.t;  (** jitter stream for the query backoff *)
   mutable query_budget : int;
   (* observability *)
   mutable committed : int;  (** transactions this site coordinated to commit *)
@@ -100,7 +110,8 @@ type t = {
 }
 
 let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_opt = false)
-    ~site ~n_sites ~protocol ~storage ~wal ~lock_wait_timeout ~query_interval ~query_budget () =
+    ?(query_backoff_cap = 60.0) ?query_rng ~site ~n_sites ~protocol ~storage ~wal
+    ~lock_wait_timeout ~query_interval ~query_budget () =
   {
     site;
     n_sites;
@@ -115,11 +126,15 @@ let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_
     c_txns = Hashtbl.create 32;
     backups = Hashtbl.create 8;
     pollings = Hashtbl.create 8;
+    ro_done = Hashtbl.create 8;
     down_view = [];
     tainted = [];
     ever_crashed = false;
     lock_wait_timeout;
     query_interval;
+    query_backoff_cap;
+    query_rng =
+      (match query_rng with Some r -> r | None -> Sim.Rng.create ~seed:(site * 7919));
     query_budget;
     committed = 0;
     aborted = 0;
@@ -235,6 +250,7 @@ let rec p_continue node ctx (p : p_txn) =
           Sim.Metrics.timer_stop (metrics ctx) "kv_lock_wait" ~key:p.txn ~at:(now ctx);
           release node p;
           Hashtbl.remove node.p_txns p.txn;
+          Hashtbl.replace node.ro_done p.txn ();
           Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Vote { txn = p.txn; vote = `Read_only })
         end
         else begin
@@ -253,7 +269,8 @@ let rec p_continue node ctx (p : p_txn) =
         end
 
 let on_prepare node ctx ~src ~txn ~ops ~participants =
-  if not (Hashtbl.mem node.p_txns txn) then begin
+  if Hashtbl.mem node.ro_done txn then metric ctx "duplicate_prepare_ignored"
+  else if not (Hashtbl.mem node.p_txns txn) then begin
     let p =
       {
         txn;
@@ -315,14 +332,18 @@ let c_all_votes_in node ctx (c : c_txn) =
         (* every participant was read-only: nothing to precommit *)
         c_announce node ctx c ~commit:true
       else begin
-        (* the buffer phase: log it, then move every participant to
-           prepared-to-commit *)
+        (* The buffer phase: log it, then move every participant to
+           prepared-to-commit.  A participant that voted yes and has since
+           been detected down must be skipped here: it cannot ack, and its
+           failure notification already fired (while we were still
+           collecting votes), so nothing would ever prune it from the ack
+           wait — it learns the outcome at recovery instead. *)
+        let up = List.filter (fun s -> not (List.mem s node.down_view)) c.c_participants in
         c.c_status <- C_precommitting;
-        c.awaiting_acks <- c.c_participants;
+        c.awaiting_acks <- up;
         Kv_wal.append node.wal (Kv_wal.C_precommitted { txn = c.c_id });
-        List.iter
-          (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = c.c_id }))
-          c.c_participants
+        List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = c.c_id })) up;
+        if up = [] then c_announce node ctx c ~commit:true
       end
 
 let on_client_begin node ctx (txn : Txn.t) =
@@ -375,12 +396,33 @@ let on_client_begin node ctx (txn : Txn.t) =
            { txn = txn.Txn.id; ops = Txn.ops_for ~n_sites:node.n_sites txn ~site:dst; participants }))
     involved
 
+let status_of node ~txn : bool option =
+  (* what this site knows about txn's outcome, from stable state *)
+  match Kv_wal.classify_coordinator node.wal ~txn with
+  | Kv_wal.C_resolved { commit; _ } -> Some commit
+  | _ -> (
+      match Kv_wal.classify_participant node.wal ~txn with
+      | Kv_wal.P_resolved commit -> Some commit
+      | _ -> None)
+
 let on_vote node ctx ~src ~txn ~vote =
   match Hashtbl.find_opt node.c_txns txn with
-  | None -> ()
+  | None -> (
+      (* The transaction is gone from volatile state (decided and
+         forgotten).  A vote can still arrive — a chaos-delayed Prepare
+         prepares its participant after the decision — and that
+         participant now holds locks awaiting an outcome that was
+         announced before it voted.  Answer from the log. *)
+      match status_of node ~txn with
+      | Some commit -> Sim.World.send ctx ~dst:src (Kv_msg.Outcome { txn; commit })
+      | None -> ())
   | Some c -> (
       match c.c_status with
-      | C_decided _ | C_precommitting -> ()
+      | C_decided commit ->
+          (* late or duplicated vote after the decision: the voter is a
+             prepared participant that missed the announcement — repeat it *)
+          Sim.World.send ctx ~dst:src (Kv_msg.Outcome { txn; commit })
+      | C_precommitting -> ()
       | C_collecting -> (
           match vote with
           | `Yes ->
@@ -442,8 +484,11 @@ let on_demote_ack node ctx ~src ~txn =
 
 (* Periodic outcome query for in-doubt transactions: a blocked 2PC
    participant asking its (hopefully recovering) coordinator, or a
-   recovered site asking its peers. *)
-let rec query_loop node ctx ~txn ~targets =
+   recovered site asking its peers.  Retries back off exponentially
+   (capped, jittered) so a long outage is not hammered at a fixed rate;
+   [query_budget] stays as the outer bound across all of this site's
+   in-doubt transactions. *)
+let rec query_round node ctx ~txn ~targets ~attempt =
   let unresolved () =
     match Hashtbl.find_opt node.p_txns txn with
     | Some p -> (match p.status with P_done _ -> false | _ -> true)
@@ -455,9 +500,18 @@ let rec query_loop node ctx ~txn ~targets =
   if unresolved () && node.query_budget > 0 then begin
     node.query_budget <- node.query_budget - 1;
     List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Status_req { txn })) targets;
+    let backoff =
+      Float.min
+        (node.query_interval *. (2.0 ** float_of_int (min attempt 12)))
+        node.query_backoff_cap
+    in
+    let jitter = Sim.Rng.float node.query_rng (0.25 *. backoff) in
     ignore
-      (Sim.World.set_timer ctx ~delay:node.query_interval (fun () -> query_loop node ctx ~txn ~targets))
+      (Sim.World.set_timer ctx ~delay:(backoff +. jitter) (fun () ->
+           query_round node ctx ~txn ~targets ~attempt:(attempt + 1)))
   end
+
+let query_loop node ctx ~txn ~targets = query_round node ctx ~txn ~targets ~attempt:0
 
 let reachable_others node (p : p_txn) =
   List.filter
@@ -706,6 +760,7 @@ let on_restart node ctx =
   Hashtbl.reset node.c_txns;
   Hashtbl.reset node.backups;
   Hashtbl.reset node.pollings;
+  Hashtbl.reset node.ro_done;
   (* participant side *)
   List.iter
     (fun txn ->
@@ -764,20 +819,21 @@ let on_restart node ctx =
 (* message dispatch                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let status_of node ~txn : bool option =
-  (* what this site knows about txn's outcome, from stable state *)
-  match Kv_wal.classify_coordinator node.wal ~txn with
-  | Kv_wal.C_resolved { commit; _ } -> Some commit
-  | _ -> (
-      match Kv_wal.classify_participant node.wal ~txn with
-      | Kv_wal.P_resolved commit -> Some commit
-      | _ -> None)
-
 let on_message node ctx ~src (msg : Kv_msg.t) =
   match msg with
   | Kv_msg.Client_begin txn -> on_client_begin node ctx txn
   | Kv_msg.Prepare { txn; ops; participants } -> on_prepare node ctx ~src ~txn ~ops ~participants
   | Kv_msg.Vote { txn; vote } -> on_vote node ctx ~src ~txn ~vote
+  | Kv_msg.Precommit { txn } when List.mem src node.tainted ->
+      (* a state move from a sender known to have crashed is stale — it was
+         in flight (delayed or duplicated) when the sender died, and the
+         live backup coordinator now owns this transaction's state.
+         Adopting it could re-promote a participant the backup demoted. *)
+      ignore txn;
+      metric ctx "stale_termination_ignored"
+  | Kv_msg.Demote { txn } when List.mem src node.tainted ->
+      ignore txn;
+      metric ctx "stale_termination_ignored"
   | Kv_msg.Precommit { txn } -> (
       match Hashtbl.find_opt node.p_txns txn with
       | Some p ->

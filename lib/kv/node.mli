@@ -80,11 +80,18 @@ type t = {
   c_txns : (int, c_txn) Hashtbl.t;  (** volatile *)
   backups : (int, backup_state) Hashtbl.t;  (** volatile *)
   pollings : (int, poll_state) Hashtbl.t;  (** volatile *)
+  ro_done : (int, unit) Hashtbl.t;
+      (** volatile: read-only participations already completed, so a
+          duplicated Prepare cannot re-open them (and then force-log a
+          spurious abort on a lock-wait timeout) *)
   mutable down_view : Core.Types.site list;
   mutable tainted : Core.Types.site list;
   mutable ever_crashed : bool;
   lock_wait_timeout : float;
   query_interval : float;
+  query_backoff_cap : float;
+      (** ceiling on the exponential backoff between outcome queries *)
+  query_rng : Sim.Rng.t;
   mutable query_budget : int;
   mutable committed : int;
   mutable aborted : int;
@@ -97,6 +104,8 @@ val create :
   ?presumption:presumption ->
   ?termination:termination ->
   ?read_only_opt:bool ->
+  ?query_backoff_cap:float ->
+  ?query_rng:Sim.Rng.t ->
   site:Core.Types.site ->
   n_sites:int ->
   protocol:protocol ->

@@ -1,0 +1,195 @@
+(** Randomized fault-schedule generation.
+
+    A nemesis schedule is a list of discrete faults — timed crashes with
+    optional recoveries, protocol-step-pinned crashes (interpreted by the
+    engine layer), backup-phase crashes, partitions with heals, and
+    message-level faults keyed by global send index ({!World.msg_fault}).
+    Discreteness is the point: a schedule shrinks by dropping one fault at
+    a time, and it round-trips through text, so a minimal counterexample
+    can be pasted into a regression test.
+
+    Generation is a pure function of the {!Rng.t} handed in: the same
+    stream yields the same schedule, byte for byte. *)
+
+type backup_phase = Move | Decide [@@deriving show { with_path = false }, eq]
+
+type fault =
+  | Crash of { site : int; at : float }
+  | Step_crash of { site : int; step : int; sent : int option }
+      (** crash while executing the [step]-th protocol transition; [sent]
+          is how many of the transition's messages were sent after the
+          forced log write ([None] = before the write).  Interpreted by
+          the engine layer; sim-only drivers ignore it. *)
+  | Backup_crash of { site : int; phase : backup_phase; sent : int }
+      (** crash while acting as elected backup, mid-broadcast of the
+          termination protocol's phase-1 moves or phase-2 decides *)
+  | Recover of { site : int; at : float }
+  | Partition of { from_t : float; until_t : float; groups : int list list }
+  | Msg of { nth : int; fault : World.msg_fault }
+[@@deriving show { with_path = false }, eq]
+
+type schedule = fault list [@@deriving show { with_path = false }, eq]
+
+type profile = {
+  horizon : float;  (** timed crashes land in [0, horizon) *)
+  p_step_crash : float;  (** a crash incident is step-pinned rather than timed *)
+  p_backup_crash : float;  (** ... or pinned to the backup's own broadcasts *)
+  p_recover : float;  (** a crashed site later recovers *)
+  recover_delay_min : float;
+  recover_delay_max : float;
+  max_steps : int;  (** step-pinned crashes draw their step from [0, max_steps) *)
+  max_msg_faults : int;
+  send_window : int;  (** message-fault indices are drawn from [0, send_window) *)
+  dup_weight : int;
+  delay_weight : int;
+  drop_weight : int;
+      (** relative weights for duplicate / extra-delay / drop message
+          faults.  Drops default to 0: dropping a message violates the
+          paper's reliable-network assumption outright, so they are
+          opt-in for ablation profiles, like partitions. *)
+  delay_max : float;  (** extra delay drawn from (0, delay_max] *)
+  p_partition : float;
+      (** probability the schedule includes one partition window.
+          Default 0: under partitions the Skeen termination rule is
+          *known* to split-brain (ablation E13), so partition chaos is an
+          ablation profile, not a correctness profile. *)
+  partition_min_len : float;
+  partition_max_len : float;
+}
+
+let default_profile =
+  {
+    horizon = 12.0;
+    p_step_crash = 0.35;
+    p_backup_crash = 0.15;
+    p_recover = 0.6;
+    recover_delay_min = 5.0;
+    recover_delay_max = 80.0;
+    max_steps = 5;
+    max_msg_faults = 3;
+    send_window = 40;
+    dup_weight = 3;
+    delay_weight = 3;
+    drop_weight = 0;
+    delay_max = 8.0;
+    p_partition = 0.0;
+    partition_min_len = 5.0;
+    partition_max_len = 40.0;
+  }
+
+(* Conservative activity interval of a crash incident, for the ≤ k
+   concurrent-failures bound: step- and backup-pinned crashes have no
+   a-priori firing time, so they are treated as down from time 0. *)
+let interval = function
+  | Crash { at; _ } -> Some (at, infinity)
+  | Step_crash _ | Backup_crash _ -> Some (0.0, infinity)
+  | Recover _ | Partition _ | Msg _ -> None
+
+let close_interval recovery_at = function
+  | Some (from_t, _) -> Some (from_t, recovery_at)
+  | None -> None
+
+let overlaps (a0, a1) (b0, b1) = a0 < b1 && b0 < a1
+
+(* Would adding [iv] push some instant above [k] concurrent failures? *)
+let fits_k k existing iv =
+  let concurrent = List.filter (fun iv' -> overlaps iv iv') existing in
+  List.length concurrent < k
+
+let gen_crash_incident rng ~n_sites ~site profile =
+  let kind =
+    let x = Rng.float rng 1.0 in
+    if x < profile.p_step_crash then `Step
+    else if x < profile.p_step_crash +. profile.p_backup_crash then `Backup
+    else `Timed
+  in
+  let crash =
+    match kind with
+    | `Timed -> Crash { site; at = Rng.float rng profile.horizon }
+    | `Step ->
+        let step = Rng.int rng profile.max_steps in
+        let sent = if Rng.bool rng then None else Some (Rng.int rng (n_sites + 1)) in
+        Step_crash { site; step; sent }
+    | `Backup ->
+        let phase = if Rng.bool rng then Move else Decide in
+        Backup_crash { site; phase; sent = Rng.int rng n_sites }
+  in
+  let recovery =
+    if Rng.flip rng ~p:profile.p_recover then begin
+      let base = match crash with Crash { at; _ } -> at | _ -> profile.horizon in
+      let delay =
+        profile.recover_delay_min
+        +. Rng.float rng (profile.recover_delay_max -. profile.recover_delay_min)
+      in
+      Some (Recover { site; at = base +. delay })
+    end
+    else None
+  in
+  (crash, recovery)
+
+let gen_msg_fault rng profile =
+  let total = profile.dup_weight + profile.delay_weight + profile.drop_weight in
+  if total = 0 then None
+  else begin
+    let nth = Rng.int rng profile.send_window in
+    let x = Rng.int rng total in
+    let fault =
+      if x < profile.dup_weight then World.Fault_duplicate
+      else if x < profile.dup_weight + profile.delay_weight then
+        World.Fault_delay (0.25 +. Rng.float rng profile.delay_max)
+      else World.Fault_drop
+    in
+    Some (Msg { nth; fault })
+  end
+
+let gen_partition rng ~n_sites profile =
+  if n_sites < 2 || not (Rng.flip rng ~p:profile.p_partition) then None
+  else begin
+    let from_t = Rng.float rng profile.horizon in
+    let len =
+      profile.partition_min_len
+      +. Rng.float rng (profile.partition_max_len -. profile.partition_min_len)
+    in
+    (* isolate one site from the rest — the minimal, and per the paper the
+       canonical, partition shape *)
+    let isolated = 1 + Rng.int rng n_sites in
+    let rest = List.filter (fun s -> s <> isolated) (List.init n_sites (fun i -> i + 1)) in
+    Some (Partition { from_t; until_t = from_t +. len; groups = [ [ isolated ]; rest ] })
+  end
+
+let generate rng ~n_sites ~k profile =
+  if n_sites < 1 then invalid_arg "Nemesis.generate: need at least one site";
+  if k < 0 then invalid_arg "Nemesis.generate: k must be >= 0";
+  let n_incidents = if k = 0 then 0 else Rng.int rng (k + 2) in
+  let sites = Rng.shuffle rng (List.init n_sites (fun i -> i + 1)) in
+  let rec build taken intervals = function
+    | [] -> []
+    | _ when taken >= n_incidents -> []
+    | site :: rest ->
+        let crash, recovery = gen_crash_incident rng ~n_sites ~site profile in
+        let iv =
+          match recovery with
+          | Some (Recover { at; _ }) -> close_interval at (interval crash)
+          | _ -> interval crash
+        in
+        let keep = match iv with None -> false | Some iv -> fits_k k intervals iv in
+        if keep then
+          let faults = crash :: Option.to_list recovery in
+          faults
+          @ build (taken + 1)
+              (match iv with Some iv -> iv :: intervals | None -> intervals)
+              rest
+        else build taken intervals rest
+  in
+  let crashes = build 0 [] sites in
+  let msg_faults =
+    let m = Rng.int rng (profile.max_msg_faults + 1) in
+    List.filter_map (fun _ -> gen_msg_fault rng profile) (List.init m Fun.id)
+  in
+  let partition = Option.to_list (gen_partition rng ~n_sites profile) in
+  crashes @ partition @ msg_faults
+
+let to_string schedule =
+  String.concat "\n" (List.map show_fault schedule)
+
+let pp = pp_schedule

@@ -1,0 +1,63 @@
+(** Randomized fault-schedule generation: seeded, discrete, shrinkable.
+
+    A schedule composes timed crashes with optional recoveries,
+    protocol-step-pinned crashes (interpreted by the engine layer),
+    backup-phase crashes, at most one partition window, and message-level
+    faults keyed by global send index.  Generation is a pure function of
+    the {!Rng.t} handed in — same stream, same schedule, byte for byte —
+    and the generated crash incidents never exceed [k] concurrent
+    failures (step-pinned crashes are conservatively treated as down from
+    time 0). *)
+
+type backup_phase = Move | Decide [@@deriving show, eq]
+
+type fault =
+  | Crash of { site : int; at : float }
+  | Step_crash of { site : int; step : int; sent : int option }
+      (** crash at the site's [step]-th protocol transition after sending
+          [sent] of its messages ([None] = before the forced log write) *)
+  | Backup_crash of { site : int; phase : backup_phase; sent : int }
+      (** crash mid-broadcast while acting as elected backup *)
+  | Recover of { site : int; at : float }
+  | Partition of { from_t : float; until_t : float; groups : int list list }
+  | Msg of { nth : int; fault : World.msg_fault }
+[@@deriving show, eq]
+
+type schedule = fault list [@@deriving show, eq]
+
+type profile = {
+  horizon : float;
+  p_step_crash : float;
+  p_backup_crash : float;
+  p_recover : float;
+  recover_delay_min : float;
+  recover_delay_max : float;
+  max_steps : int;
+  max_msg_faults : int;
+  send_window : int;
+  dup_weight : int;
+  delay_weight : int;
+  drop_weight : int;
+  delay_max : float;
+  p_partition : float;
+  partition_min_len : float;
+  partition_max_len : float;
+}
+
+val default_profile : profile
+(** Crashes (timed, step-pinned, backup-pinned) with recoveries, plus
+    duplicate and extra-delay message faults.  Message drops and
+    partitions are OFF: both violate the paper's network assumptions, so
+    they belong to ablation profiles ([drop_weight > 0],
+    [p_partition > 0]), not the correctness profile. *)
+
+val generate : Rng.t -> n_sites:int -> k:int -> profile -> schedule
+(** Deterministic in the stream: crash incidents hit distinct sites and
+    stay within [k] concurrent failures. *)
+
+val interval : fault -> (float * float) option
+(** Conservative down-interval of a crash fault ([None] for recoveries,
+    partitions and message faults); exposed for the ≤ k bound tests. *)
+
+val to_string : schedule -> string
+val pp : Format.formatter -> schedule -> unit

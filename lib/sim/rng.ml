@@ -8,14 +8,15 @@ type t = { mutable state : int64 }
 
 let create ~seed = { state = Int64.of_int seed }
 
-(** [split t] derives an independent generator; used to give each component
-    its own stream so adding draws in one component does not perturb
-    another. *)
-let split t =
+let rec split t =
+  (* Consumes one draw from the parent: successive splits must yield
+     distinct streams, and drawing from a child must not perturb the
+     parent beyond that single draw. *)
+  let x = next_int64 t in
   let open Int64 in
-  { state = logxor (mul t.state 0x9E3779B97F4A7C15L) 0xBF58476D1CE4E5B9L }
+  { state = logxor (mul x 0x9E3779B97F4A7C15L) 0xBF58476D1CE4E5B9L }
 
-let next_int64 t =
+and next_int64 t =
   let open Int64 in
   t.state <- add t.state 0x9E3779B97F4A7C15L;
   let z = t.state in

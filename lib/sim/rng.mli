@@ -7,7 +7,8 @@ val create : seed:int -> t
 
 val split : t -> t
 (** An independent generator derived from the current state, so one
-    component's draws do not perturb another's. *)
+    component's draws do not perturb another's.  Splitting consumes one
+    draw from the parent, so successive splits yield distinct streams. *)
 
 val next_int64 : t -> int64
 

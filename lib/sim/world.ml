@@ -27,6 +27,8 @@ type 'msg event =
       (** a partition makes the detector wrongly report a live site as
           failed — the violation of the paper's reliability assumption *)
 
+type msg_fault = Fault_drop | Fault_duplicate | Fault_delay of float [@@deriving show { with_path = false }, eq]
+
 type trace_entry = { at : float; what : string }
 
 type 'msg handlers = {
@@ -58,6 +60,10 @@ and 'msg t = {
           and memory stay O(1) no matter how many timers a run cancels *)
   mutable stopped : bool;
   mutable partitions : partition list;
+  mutable send_seq : int;
+      (** global count of send attempts from live senders; the key space
+          of the message-fault schedule below *)
+  msg_faults : (int, msg_fault) Hashtbl.t;
 }
 
 and partition = { p_from : float; p_until : float; p_group : (site * int) list }
@@ -92,6 +98,8 @@ let create ?(latency = default_latency) ?(detection_delay = 2.0) ~n_sites ~seed 
     cancelled_timers = Hashtbl.create 64;
     stopped = false;
     partitions = [];
+    send_seq = 0;
+    msg_faults = Hashtbl.create 16;
   }
 
 let now w = w.now
@@ -169,20 +177,49 @@ let handlers_for w s =
     does not resurrect the message, and a message already in flight when
     a partition starts is not retroactively lost); messages reach [dst]
     only if it is still the same incarnation when the message arrives. *)
+let set_msg_faults w faults =
+  Hashtbl.reset w.msg_faults;
+  List.iter (fun (nth, f) -> Hashtbl.replace w.msg_faults nth f) faults
+
+let sends_attempted w = w.send_seq
+
 let send ctx ~dst msg =
   let w = ctx.world in
   check_site w dst;
   if w.alive.(ctx.self) then begin
+    (* Every send attempt from a live sender consumes one index of the
+       fault schedule, whether or not a partition then drops it — the
+       numbering must not depend on partition state. *)
+    let nth = w.send_seq in
+    w.send_seq <- nth + 1;
     Metrics.incr w.metrics "messages_sent";
     if separated w ctx.self dst then begin
       Metrics.incr w.metrics "messages_partitioned";
       record w "partition drops %d->%d %s" ctx.self dst (w.msg_to_string msg)
     end
     else begin
-      record w "send %d->%d %s" ctx.self dst (w.msg_to_string msg);
-      let delay = w.latency w ~src:ctx.self ~dst in
-      Eventq.push w.queue ~time:(w.now +. delay)
-        (Deliver { src = ctx.self; dst; dst_gen = w.generation.(dst); msg })
+      let enqueue ?(extra = 0.0) () =
+        let delay = w.latency w ~src:ctx.self ~dst in
+        Eventq.push w.queue ~time:(w.now +. delay +. extra)
+          (Deliver { src = ctx.self; dst; dst_gen = w.generation.(dst); msg })
+      in
+      match Hashtbl.find_opt w.msg_faults nth with
+      | Some Fault_drop ->
+          Metrics.incr w.metrics "messages_chaos_dropped";
+          record w "chaos drops send #%d %d->%d %s" nth ctx.self dst (w.msg_to_string msg)
+      | Some Fault_duplicate ->
+          Metrics.incr w.metrics "messages_duplicated";
+          record w "send %d->%d %s (chaos duplicates #%d)" ctx.self dst (w.msg_to_string msg) nth;
+          enqueue ();
+          enqueue ()
+      | Some (Fault_delay extra) ->
+          Metrics.incr w.metrics "messages_chaos_delayed";
+          record w "send %d->%d %s (chaos delays #%d by %.2f)" ctx.self dst (w.msg_to_string msg)
+            nth extra;
+          enqueue ~extra ()
+      | None ->
+          record w "send %d->%d %s" ctx.self dst (w.msg_to_string msg);
+          enqueue ()
     end
   end
   else record w "send-dropped (sender %d down) ->%d %s" ctx.self dst (w.msg_to_string msg)

@@ -11,6 +11,12 @@
 
 type site = int
 
+type msg_fault =
+  | Fault_drop  (** the message never makes it onto the wire *)
+  | Fault_duplicate  (** two copies are enqueued, each with its own latency *)
+  | Fault_delay of float  (** extra latency on top of the normal draw — reordering *)
+[@@deriving show, eq]
+
 type trace_entry = { at : float; what : string }
 
 type 'msg t
@@ -52,6 +58,16 @@ val send : 'msg ctx -> dst:site -> 'msg -> unit
 (** Messages from a crashed sender are dropped (partial transmission);
     messages reach [dst] only if it is still the same incarnation on
     arrival. *)
+
+val set_msg_faults : 'msg t -> (int * msg_fault) list -> unit
+(** Arm message-level faults keyed by global send index: the [nth] send
+    attempt from a live sender (0-based, counted across all sites and
+    whether or not a partition drops it) suffers the paired fault.
+    Indices beyond the run's actual send count never fire.  Replaces any
+    previously armed schedule. *)
+
+val sends_attempted : 'msg t -> int
+(** How many fault-indexable send attempts have happened so far. *)
 
 val broadcast : 'msg ctx -> dsts:site list -> 'msg -> unit
 

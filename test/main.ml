@@ -34,4 +34,7 @@ let () =
       ("lock-table", Test_lock_table.suite);
       ("kv", Test_kv.suite);
       ("db", Test_db.suite);
+      ("nemesis", Test_nemesis.suite);
+      ("failure-plan", Test_failure_plan.suite);
+      ("chaos", Test_chaos.suite);
     ]

@@ -1,0 +1,181 @@
+(** Tests for the chaos harness ({!Engine.Chaos} and {!Kv.Chaos_db}):
+    determinism per seed, a clean 3PC corpus, the pinned 2PC blocking
+    counterexample and its shrink-to-one-fault, replay of a shrunk plan
+    through the textual round-trip, and the duplicate-delivery
+    idempotence regressions the nemesis originally surfaced. *)
+
+module C = Engine.Chaos
+module FP = Engine.Failure_plan
+module R = Engine.Runtime
+
+let rb_c2 = lazy (Engine.Rulebook.compile (Core.Catalog.central_2pc 3))
+let rb_c3 = lazy (Engine.Rulebook.compile (Core.Catalog.central_3pc 3))
+let rb_d3 = lazy (Engine.Rulebook.compile (Core.Catalog.decentralized_3pc 3))
+
+let has o vs = List.exists (fun (v : C.violation) -> v.C.oracle = o) vs
+
+(* ---------------- determinism ---------------- *)
+
+let test_run_one_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = C.run_one (Lazy.force rb_c3) ~k:1 ~seed () in
+      let b = C.run_one (Lazy.force rb_c3) ~k:1 ~seed () in
+      Alcotest.(check bool) (Fmt.str "seed %d same plan" seed) true (FP.equal a.C.plan b.C.plan);
+      Alcotest.(check int)
+        (Fmt.str "seed %d same verdicts" seed)
+        (List.length a.C.violations) (List.length b.C.violations))
+    [ 0; 35; 48; 911 ]
+
+let test_replay_trace_byte_identical () =
+  (* the debuggability contract: replaying a seed's plan reproduces not
+     just the verdict but the exact event trace *)
+  let trace_of () =
+    let o = C.run_one (Lazy.force rb_c2) ~k:1 ~seed:35 () in
+    let result, _ = C.run_plan (Lazy.force rb_c2) ~plan:o.C.plan ~seed:35 ~tracing:true () in
+    List.map (fun (e : Sim.World.trace_entry) -> Fmt.str "%.6f %s" e.Sim.World.at e.Sim.World.what)
+      result.R.trace
+  in
+  let a = trace_of () and b = trace_of () in
+  Alcotest.(check bool) "trace nonempty" true (a <> []);
+  Alcotest.(check (list string)) "byte-identical trace" a b
+
+(* ---------------- 3PC corpus is clean ---------------- *)
+
+let test_central_3pc_corpus_clean () =
+  let s = C.sweep (Lazy.force rb_c3) ~k:1 ~seeds:60 () in
+  Alcotest.(check int) "no violations" 0 (List.length s.C.violations_by_oracle);
+  Alcotest.(check int) "60 seeds run" 60 s.C.seeds_run
+
+let test_decentralized_3pc_corpus_clean () =
+  let s = C.sweep (Lazy.force rb_d3) ~k:1 ~seeds:40 () in
+  Alcotest.(check int) "no violations" 0 (List.length s.C.violations_by_oracle)
+
+(* ---------------- 2PC blocks, and the counterexample shrinks ---------------- *)
+
+let test_2pc_pinned_blocking_seed () =
+  (* seed 35 is the sweep's first blocking schedule: the coordinator
+     crashes mid-protocol and both survivors stall in doubt *)
+  let o = C.run_one (Lazy.force rb_c2) ~k:1 ~seed:35 () in
+  Alcotest.(check bool) "progress violation found" true (has C.Progress o.C.violations);
+  Alcotest.(check bool) "atomicity still holds" false (has C.Atomicity o.C.violations)
+
+let test_2pc_counterexample_shrinks_to_one_fault () =
+  let o = C.run_one (Lazy.force rb_c2) ~k:1 ~seed:35 () in
+  let minimal, _runs = C.shrink (Lazy.force rb_c2) ~seed:35 ~oracle:C.Progress o.C.plan in
+  Alcotest.(check int) "one fault suffices" 1 (FP.fault_count minimal);
+  (* the textbook schedule: the coordinator dies at its commit point *)
+  Alcotest.(check string) "the textbook counterexample" "step-crash site=1 step=1 mode=before"
+    (FP.to_string minimal)
+
+let test_shrunk_plan_replays_through_text () =
+  (* a counterexample pasted into a report must reproduce: round-trip the
+     minimal plan through its printed form and re-judge it *)
+  let o = C.run_one (Lazy.force rb_c2) ~k:1 ~seed:35 () in
+  let minimal, _ = C.shrink (Lazy.force rb_c2) ~seed:35 ~oracle:C.Progress o.C.plan in
+  let reloaded = FP.of_string (FP.to_string minimal) in
+  let _, violations = C.run_plan (Lazy.force rb_c2) ~plan:reloaded ~seed:35 () in
+  Alcotest.(check bool) "reloaded plan still trips the oracle" true (has C.Progress violations)
+
+let test_2pc_sweep_reports_blocking () =
+  let s = C.sweep (Lazy.force rb_c2) ~k:1 ~seeds:100 () in
+  Alcotest.(check bool) "progress violations reported" true
+    (List.mem_assoc C.Progress s.C.violations_by_oracle);
+  Alcotest.(check bool) "atomicity violations absent" false
+    (List.mem_assoc C.Atomicity s.C.violations_by_oracle);
+  List.iter
+    (fun cx ->
+      Alcotest.(check bool)
+        (Fmt.str "seed %d shrunk to <= 2 faults" cx.C.cx_seed)
+        true (cx.C.cx_shrunk_faults <= 2))
+    s.C.counterexamples
+
+(* ---------------- duplicate-delivery idempotence ---------------- *)
+
+let dup_everything = FP.make ~msg_faults:(List.init 60 (fun i -> (i, Sim.World.Fault_duplicate))) ()
+
+let decided_records (r : R.result) site =
+  List.length
+    (List.filter
+       (function Engine.Wal.Decided _ -> true | _ -> false)
+       (Engine.Wal.records (Engine.Wal.Store.log r.R.store ~site)))
+
+let test_runtime_idempotent_under_duplicates () =
+  (* every message delivered twice: the run must still decide once per
+     site — duplicates must neither violate an oracle nor double-log *)
+  List.iter
+    (fun (name, rb) ->
+      let result, violations = C.run_plan (Lazy.force rb) ~plan:dup_everything ~seed:7 () in
+      Alcotest.(check int) (name ^ ": no violations") 0 (List.length violations);
+      Alcotest.(check bool) (name ^ ": consistent") true result.R.consistent;
+      List.iter
+        (fun site ->
+          Alcotest.(check int)
+            (Fmt.str "%s: site %d logs exactly one decision" name site)
+            1 (decided_records result site))
+        [ 1; 2; 3 ])
+    [ ("c2", rb_c2); ("c3", rb_c3); ("d3", rb_d3) ]
+
+(* ---------------- the database harness ---------------- *)
+
+let kv_has o vs = List.exists (fun (v : Kv.Chaos_db.violation) -> v.Kv.Chaos_db.oracle = o) vs
+
+let test_kv_regression_seeds_clean () =
+  (* the two schedules that found real 3PC bugs in the Kv layer: seed 48
+     wedged the coordinator precommitting to a dead participant, seed 176
+     resurrected an aborted transaction from a chaos-delayed Prepare.
+     Both must stay clean. *)
+  List.iter
+    (fun seed ->
+      let o = Kv.Chaos_db.run_one ~n_sites:4 ~k:1 ~seed () in
+      Alcotest.(check int) (Fmt.str "seed %d clean" seed) 0 (List.length o.Kv.Chaos_db.violations))
+    [ 48; 176 ]
+
+let test_kv_3pc_corpus_clean () =
+  let s = Kv.Chaos_db.sweep ~protocol:Kv.Node.Three_phase ~n_sites:4 ~k:1 ~seeds:30 () in
+  Alcotest.(check int) "no violations" 0 (List.length s.Kv.Chaos_db.violations_by_oracle)
+
+let test_kv_2pc_blocks_and_shrinks () =
+  (* seed 15 crashes a coordinator for good: 2PC leaves participants in
+     doubt, and the schedule shrinks to that single permanent crash *)
+  let o = Kv.Chaos_db.run_one ~protocol:Kv.Node.Two_phase ~n_sites:4 ~k:1 ~seed:15 () in
+  Alcotest.(check bool) "progress violation" true
+    (kv_has Kv.Chaos_db.Progress o.Kv.Chaos_db.violations);
+  Alcotest.(check bool) "atomicity still holds" false
+    (kv_has Kv.Chaos_db.Atomicity o.Kv.Chaos_db.violations);
+  let minimal, _ =
+    Kv.Chaos_db.shrink ~protocol:Kv.Node.Two_phase ~n_sites:4 ~seed:15
+      ~oracle:Kv.Chaos_db.Progress o.Kv.Chaos_db.schedule
+  in
+  Alcotest.(check int) "one fault suffices" 1 (List.length minimal);
+  match minimal with
+  | [ Sim.Nemesis.Crash _ ] -> ()
+  | other -> Alcotest.failf "expected a single crash, got %s" (Sim.Nemesis.to_string other)
+
+let test_kv_run_one_deterministic () =
+  let a = Kv.Chaos_db.run_one ~n_sites:4 ~k:1 ~seed:48 () in
+  let b = Kv.Chaos_db.run_one ~n_sites:4 ~k:1 ~seed:48 () in
+  Alcotest.(check bool) "same schedule" true
+    (Sim.Nemesis.equal_schedule a.Kv.Chaos_db.schedule b.Kv.Chaos_db.schedule);
+  Alcotest.(check int) "same commits" a.Kv.Chaos_db.result.Kv.Db.committed
+    b.Kv.Chaos_db.result.Kv.Db.committed;
+  Alcotest.(check int) "same messages" a.Kv.Chaos_db.result.Kv.Db.messages_sent
+    b.Kv.Chaos_db.result.Kv.Db.messages_sent
+
+let suite =
+  [
+    Alcotest.test_case "run_one is deterministic" `Quick test_run_one_deterministic;
+    Alcotest.test_case "replay trace byte-identical" `Quick test_replay_trace_byte_identical;
+    Alcotest.test_case "central 3PC corpus clean" `Quick test_central_3pc_corpus_clean;
+    Alcotest.test_case "decentralized 3PC corpus clean" `Quick test_decentralized_3pc_corpus_clean;
+    Alcotest.test_case "2PC: pinned blocking seed" `Quick test_2pc_pinned_blocking_seed;
+    Alcotest.test_case "2PC: shrinks to one fault" `Quick test_2pc_counterexample_shrinks_to_one_fault;
+    Alcotest.test_case "shrunk plan replays through text" `Quick test_shrunk_plan_replays_through_text;
+    Alcotest.test_case "2PC: sweep reports blocking" `Quick test_2pc_sweep_reports_blocking;
+    Alcotest.test_case "runtime idempotent under duplicates" `Quick
+      test_runtime_idempotent_under_duplicates;
+    Alcotest.test_case "kv: regression seeds 48 and 176 clean" `Quick test_kv_regression_seeds_clean;
+    Alcotest.test_case "kv: 3PC corpus clean" `Quick test_kv_3pc_corpus_clean;
+    Alcotest.test_case "kv: 2PC blocks and shrinks" `Quick test_kv_2pc_blocks_and_shrinks;
+    Alcotest.test_case "kv: run_one deterministic" `Quick test_kv_run_one_deterministic;
+  ]

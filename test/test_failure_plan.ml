@@ -1,0 +1,156 @@
+(** Tests for {!Engine.Failure_plan}: the textual round-trip a shrunk
+    chaos counterexample relies on ([of_string (to_string p) = p]), and
+    the lowering of generated nemesis schedules into executable plans. *)
+
+module FP = Engine.Failure_plan
+module N = Sim.Nemesis
+
+let plan : FP.t Alcotest.testable = Alcotest.testable FP.pp FP.equal
+
+(* ---------------- to_string / of_string ---------------- *)
+
+let test_round_trip_every_clause () =
+  let p =
+    FP.make
+      ~step_crashes:
+        [
+          { FP.site = 1; step = 1; mode = FP.Before_transition };
+          { FP.site = 2; step = 0; mode = FP.After_logging 1 };
+          { FP.site = 3; step = 2; mode = FP.After_transition };
+        ]
+      ~timed_crashes:[ (1, 3.5); (2, 10.25) ]
+      ~recoveries:[ (1, 40.0) ]
+      ~move_crashes:[ (2, 1) ] ~decide_crashes:[ (3, 0) ]
+      ~partitions:[ { FP.from_t = 5.0; until_t = 9.5; groups = [ [ 1 ]; [ 2; 3 ] ] } ]
+      ~msg_faults:
+        [ (0, Sim.World.Fault_drop); (4, Sim.World.Fault_duplicate); (7, Sim.World.Fault_delay 2.75) ]
+      ()
+  in
+  Alcotest.check plan "round trip" p (FP.of_string (FP.to_string p))
+
+let test_round_trip_empty () =
+  Alcotest.check plan "empty plan" FP.none (FP.of_string (FP.to_string FP.none))
+
+let test_parse_pinned_syntax () =
+  (* the exact strings counterexamples print in — pinned so a plan pasted
+     into a regression test keeps parsing across releases *)
+  let p = FP.of_string "step-crash site=1 step=1 mode=before; msg nth=4 fault=dup" in
+  Alcotest.check plan "parses the documented syntax"
+    (FP.make
+       ~step_crashes:[ { FP.site = 1; step = 1; mode = FP.Before_transition } ]
+       ~msg_faults:[ (4, Sim.World.Fault_duplicate) ]
+       ())
+    p;
+  Alcotest.check plan "newlines separate clauses too"
+    (FP.of_string "crash site=2 at=3\nrecover site=2 at=20")
+    (FP.make ~timed_crashes:[ (2, 3.0) ] ~recoveries:[ (2, 20.0) ] ())
+
+let test_parse_error () =
+  Alcotest.check_raises "garbage raises Parse_error"
+    (FP.Parse_error "unknown fault kind: \"frobnicate\"") (fun () ->
+      ignore (FP.of_string "frobnicate site=1"))
+
+let gen_plan =
+  let open QCheck2.Gen in
+  let site = int_range 1 5 in
+  let mode =
+    oneof
+      [
+        return FP.Before_transition;
+        map (fun k -> FP.After_logging k) (int_range 0 3);
+        return FP.After_transition;
+      ]
+  in
+  let tf = map (fun x -> float_of_int x /. 4.0) (int_range 0 400) in
+  let fault =
+    oneof
+      [
+        return Sim.World.Fault_drop;
+        return Sim.World.Fault_duplicate;
+        map (fun d -> Sim.World.Fault_delay d) tf;
+      ]
+  in
+  let* step_crashes =
+    small_list (map2 (fun s (step, mode) -> { FP.site = s; step; mode }) site (pair (int_range 0 4) mode))
+  in
+  let* timed_crashes = small_list (pair site tf) in
+  let* recoveries = small_list (pair site tf) in
+  let* move_crashes = small_list (pair site (int_range 0 3)) in
+  let* decide_crashes = small_list (pair site (int_range 0 3)) in
+  let* partitions =
+    small_list
+      (map2
+         (fun (f, u) g -> { FP.from_t = f; until_t = u; groups = [ g; [ 9 ] ] })
+         (pair tf tf)
+         (small_list site))
+  in
+  let* msg_faults = small_list (pair (int_range 0 50) fault) in
+  return
+    (FP.make ~step_crashes ~timed_crashes ~recoveries ~move_crashes ~decide_crashes ~partitions
+       ~msg_faults ())
+
+let prop_round_trip =
+  Helpers.qtest "of_string (to_string p) = p" gen_plan (fun p ->
+      FP.equal p (FP.of_string (FP.to_string p)))
+
+let prop_fault_count_matches_clauses =
+  Helpers.qtest "fault_count counts every clause" gen_plan (fun p ->
+      let clauses =
+        List.length p.FP.step_crashes + List.length p.FP.timed_crashes
+        + List.length p.FP.recoveries + List.length p.FP.move_crashes
+        + List.length p.FP.decide_crashes + List.length p.FP.partitions
+        + List.length p.FP.msg_faults
+      in
+      FP.fault_count p = clauses)
+
+(* ---------------- of_schedule ---------------- *)
+
+let test_of_schedule_mapping () =
+  let schedule =
+    [
+      N.Crash { site = 2; at = 3.0 };
+      N.Step_crash { site = 1; step = 1; sent = None };
+      N.Step_crash { site = 3; step = 0; sent = Some 2 };
+      N.Backup_crash { site = 2; phase = N.Move; sent = 1 };
+      N.Backup_crash { site = 3; phase = N.Decide; sent = 0 };
+      N.Recover { site = 2; at = 30.0 };
+      N.Partition { from_t = 4.0; until_t = 8.0; groups = [ [ 1 ]; [ 2; 3 ] ] };
+      N.Msg { nth = 5; fault = Sim.World.Fault_duplicate };
+    ]
+  in
+  Alcotest.check plan "lowers one-to-one"
+    (FP.make
+       ~step_crashes:
+         [
+           { FP.site = 1; step = 1; mode = FP.Before_transition };
+           { FP.site = 3; step = 0; mode = FP.After_logging 2 };
+         ]
+       ~timed_crashes:[ (2, 3.0) ]
+       ~recoveries:[ (2, 30.0) ]
+       ~move_crashes:[ (2, 1) ] ~decide_crashes:[ (3, 0) ]
+       ~partitions:[ { FP.from_t = 4.0; until_t = 8.0; groups = [ [ 1 ]; [ 2; 3 ] ] } ]
+       ~msg_faults:[ (5, Sim.World.Fault_duplicate) ]
+       ())
+    (FP.of_schedule schedule)
+
+let prop_of_schedule_round_trips_textually =
+  Helpers.qtest "generated schedules lower to printable plans"
+    QCheck2.Gen.(int_range 0 2_000)
+    (fun seed ->
+      let schedule =
+        N.generate (Sim.Rng.create ~seed) ~n_sites:3 ~k:2 N.default_profile
+      in
+      let p = FP.of_schedule schedule in
+      FP.equal p (FP.of_string (FP.to_string p)))
+
+let suite =
+  [
+    Alcotest.test_case "round trip: every clause kind" `Quick test_round_trip_every_clause;
+    Alcotest.test_case "round trip: empty" `Quick test_round_trip_empty;
+    Alcotest.test_case "pinned counterexample syntax parses" `Quick test_parse_pinned_syntax;
+    Alcotest.test_case "parse error on garbage" `Quick test_parse_error;
+    prop_round_trip;
+    prop_fault_count_matches_clauses;
+    Alcotest.test_case "of_schedule maps each fault kind" `Quick test_of_schedule_mapping;
+    prop_of_schedule_round_trips_textually;
+  ]
