@@ -270,6 +270,25 @@ let chaos_cmd =
   let quorum_arg =
     Arg.(value & flag & info [ "quorum" ] ~doc:"Terminate with the majority-quorum rule.")
   in
+  let disk_faults_arg =
+    Arg.(
+      value & flag
+      & info [ "disk-faults" ]
+          ~doc:
+            "Storage-fault profile: crash incidents may carry a torn or corrupted log tail on the \
+             crashing site's disk.  Recovery repairs the log (truncating at the first invalid \
+             record) and the durability oracle checks every externally visible action against \
+             the repaired log.")
+  in
+  let lost_flush_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "lost-flush" ] ~docv:"W"
+          ~doc:
+            "Ablation profile: relative weight of lying-sync faults (default 0 — a sync that \
+             reports success without persisting violates the paper's stable-storage axiom, so \
+             expect durability violations).  Implies the storage-fault profile.")
+  in
   let kv_arg =
     Arg.(
       value & flag
@@ -279,7 +298,13 @@ let chaos_cmd =
              against a bank-transfer workload, judged by the atomicity, conservation and \
              nonblocking-progress oracles (central-2pc and central-3pc only).")
   in
-  let run_kv label n k seeds seed_base until replay partitions drops quorum =
+  let storage_profile base ~disk_faults ~lost_flush =
+    if disk_faults || lost_flush > 0 then
+      { base with Sim.Nemesis.p_disk_fault = 0.6; lost_flush_weight = lost_flush }
+    else base
+  in
+  let run_kv label n k seeds seed_base until replay partitions drops quorum ~disk_faults
+      ~lost_flush =
     let protocol =
       match label with
       | "central-2pc" -> Kv.Node.Two_phase
@@ -293,11 +318,12 @@ let chaos_cmd =
       if quorum then Kv.Node.T_quorum (Engine.Runtime.majority n) else Kv.Node.T_skeen
     in
     let profile =
-      {
-        Kv.Chaos_db.default_profile with
-        Sim.Nemesis.p_partition = (if partitions then 0.35 else 0.0);
-        drop_weight = drops;
-      }
+      storage_profile ~disk_faults ~lost_flush
+        {
+          Kv.Chaos_db.default_profile with
+          Sim.Nemesis.p_partition = (if partitions then 0.35 else 0.0);
+          drop_weight = drops;
+        }
     in
     match replay with
     | Some seed ->
@@ -332,27 +358,31 @@ let chaos_cmd =
           summary.Kv.Chaos_db.failing;
         if summary.Kv.Chaos_db.violations_by_oracle <> [] then exit 1
   in
-  let run label n k seeds seed_base until replay plan_str partitions drops quorum kv metrics_json =
-    if kv then run_kv label n k seeds seed_base until replay partitions drops quorum
+  let run label n k seeds seed_base until replay plan_str partitions drops quorum disk_faults
+      lost_flush kv metrics_json =
+    if kv then run_kv label n k seeds seed_base until replay partitions drops quorum ~disk_faults
+        ~lost_flush
     else
     let rb = Engine.Rulebook.compile (build label n) in
     let termination =
       if quorum then Engine.Runtime.Quorum (Engine.Runtime.majority n) else Engine.Runtime.Skeen
     in
     let profile =
-      {
-        Sim.Nemesis.default_profile with
-        Sim.Nemesis.p_partition = (if partitions then 0.35 else 0.0);
-        drop_weight = drops;
-      }
+      storage_profile ~disk_faults ~lost_flush
+        {
+          Sim.Nemesis.default_profile with
+          Sim.Nemesis.p_partition = (if partitions then 0.35 else 0.0);
+          drop_weight = drops;
+        }
     in
     match (plan_str, replay) with
     | Some s, _ ->
         let plan =
-          try Engine.Failure_plan.of_string s
-          with Engine.Failure_plan.Parse_error msg ->
-            Fmt.epr "skeen chaos: bad --plan: %s@." msg;
-            exit 2
+          match Engine.Failure_plan.of_string s with
+          | Ok plan -> plan
+          | Error msg ->
+              Fmt.epr "skeen chaos: bad --plan: %s@." msg;
+              exit 2
         in
         let result, violations =
           Engine.Chaos.run_plan ~until ~termination ~tracing:true rb ~plan ~seed:seed_base ()
@@ -400,13 +430,14 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:
          "Run randomized fault schedules (crashes, recoveries, duplicated/delayed messages; \
-          partitions and drops as opt-in ablations) against a protocol and judge each run with \
-          the atomicity, nonblocking-progress and recovery-convergence oracles.  Violations are \
-          shrunk to a minimal replayable failure plan.  Exits 1 if any violation was found.")
+          partitions, drops and storage faults as opt-in ablations) against a protocol and judge \
+          each run with the atomicity, nonblocking-progress, recovery-convergence and durability \
+          oracles.  Violations are shrunk to a minimal replayable failure plan.  Exits 1 if any \
+          violation was found.")
     Term.(
       const run $ protocol_opt $ sites_arg $ k_arg $ seeds_arg $ seed_base_arg $ until_arg
-      $ replay_arg $ plan_arg $ partitions_arg $ drops_arg $ quorum_arg $ kv_arg
-      $ metrics_json_arg)
+      $ replay_arg $ plan_arg $ partitions_arg $ drops_arg $ quorum_arg $ disk_faults_arg
+      $ lost_flush_arg $ kv_arg $ metrics_json_arg)
 
 (* ---------------- model-check ---------------- *)
 

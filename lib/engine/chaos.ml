@@ -21,6 +21,12 @@
       decided at all and every site crashed at least once, that is the
       paper's total-failure scenario — out of scope for the termination
       protocol, so not flagged.
+    - {e durability}: anything a site let the world observe must be
+      justified by its durable log.  A yes vote on the wire with no
+      yes-vote record surviving on the log, or an announced outcome the
+      log cannot reproduce after crash + repair, means the site acted
+      before its forced write was stable — a repaired-away record must
+      never resurrect (or un-decide) a transaction.
 
     On violation the schedule is greedily shrunk — drop faults one at a
     time, then round fault times — re-running after each candidate until
@@ -28,13 +34,14 @@
     as a {!Failure_plan.to_string} value that pastes straight into a
     regression test, together with the event trace of its run. *)
 
-type oracle = Atomicity | Progress | Recovery_convergence
+type oracle = Atomicity | Progress | Recovery_convergence | Durability
 [@@deriving show { with_path = false }, eq]
 
 let oracle_name = function
   | Atomicity -> "atomicity"
   | Progress -> "progress"
   | Recovery_convergence -> "recovery"
+  | Durability -> "durability"
 
 type violation = { oracle : oracle; detail : string } [@@deriving show { with_path = false }, eq]
 
@@ -141,7 +148,35 @@ let check_recovery (result : Runtime.result) =
       else None
   | _ -> None
 
-(* Run the three oracles, timing each into [metrics] when provided. *)
+(* Durability: what the world observed from a site must be derivable from
+   its durable log.  [Wal.crash] rebuilds the volatile view from the
+   durable image at every crash, so a crashed site's WAL view *is* its
+   durable prefix after repair — comparing it against the sticky
+   [sent_yes]/[announced] flags (which survive crashes precisely because
+   the world cannot un-see a message) makes the check sound post-hoc. *)
+let check_durability (result : Runtime.result) =
+  let problems =
+    List.filter_map
+      (fun (r : Runtime.site_report) ->
+        let wal = Wal.Store.log result.store ~site:r.site in
+        if r.sent_yes && not (Wal.voted_yes wal) then
+          Some
+            (Printf.sprintf "site %d sent a yes vote its durable log cannot justify" r.site)
+        else
+          match r.announced with
+          | Some o when r.wal_outcome <> Some o ->
+              Some
+                (Printf.sprintf "site %d announced %s but its durable log says %s" r.site
+                   (outcome_str o)
+                   (match r.wal_outcome with Some o' -> outcome_str o' | None -> "nothing"))
+          | _ -> None)
+      result.reports
+  in
+  if problems <> [] then
+    Some { oracle = Durability; detail = String.concat "; " problems }
+  else None
+
+(* Run the four oracles, timing each into [metrics] when provided. *)
 let violations_of ?metrics result =
   let timed name f =
     match metrics with
@@ -157,17 +192,18 @@ let violations_of ?metrics result =
       timed "atomicity" check_atomicity;
       timed "progress" check_progress;
       timed "recovery" check_recovery;
+      timed "durability" check_durability;
     ]
 
-let run_plan ?metrics ?(until = 1500.0) ?(termination = Runtime.Skeen) ?(tracing = false) rulebook
-    ~plan ~seed () =
+let run_plan ?metrics ?(until = 1500.0) ?(termination = Runtime.Skeen) ?(tracing = false)
+    ?(late_force = false) rulebook ~plan ~seed () =
   let result =
-    Runtime.run (Runtime.config ~plan ~seed ~tracing ~until ~termination rulebook)
+    Runtime.run (Runtime.config ~plan ~seed ~tracing ~until ~termination ~late_force rulebook)
   in
   (result, violations_of ?metrics result)
 
-let run_one ?metrics ?(profile = Sim.Nemesis.default_profile) ?until ?termination rulebook ~k
-    ~seed () =
+let run_one ?metrics ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?late_force
+    rulebook ~k ~seed () =
   let n_sites = Core.Protocol.n_sites rulebook.Rulebook.protocol in
   (* The seed's randomness splits: the schedule draws from its own
      stream, the world's latency draws from another, so the schedule
@@ -180,7 +216,9 @@ let run_one ?metrics ?(profile = Sim.Nemesis.default_profile) ?until ?terminatio
       Sim.Metrics.incr m "chaos_runs";
       Sim.Metrics.observe m "schedule_faults" (float_of_int (Failure_plan.fault_count plan))
   | None -> ());
-  let result, violations = run_plan ?metrics ?until ?termination rulebook ~plan ~seed () in
+  let result, violations =
+    run_plan ?metrics ?until ?termination ?late_force rulebook ~plan ~seed ()
+  in
   { seed; plan; result; violations }
 
 (* ---------------- shrinking ---------------- *)
@@ -196,6 +234,7 @@ let removal_candidates (p : Failure_plan.t) =
   @ List.mapi (fun i _ -> { p with decide_crashes = remove_nth i p.decide_crashes }) p.decide_crashes
   @ List.mapi (fun i _ -> { p with partitions = remove_nth i p.partitions }) p.partitions
   @ List.mapi (fun i _ -> { p with msg_faults = remove_nth i p.msg_faults }) p.msg_faults
+  @ List.mapi (fun i _ -> { p with disk_faults = remove_nth i p.disk_faults }) p.disk_faults
 
 (* Round every non-integral fault time, one at a time, so the minimal
    counterexample reads "crash site=1 at=2" rather than "at=2.0386...". *)
@@ -231,12 +270,12 @@ let rounding_candidates (p : Failure_plan.t) =
       (fun l -> { p with msg_faults = l })
       p.msg_faults
 
-let shrink ?metrics ?until ?termination rulebook ~seed ~oracle plan =
+let shrink ?metrics ?until ?termination ?late_force rulebook ~seed ~oracle plan =
   let runs = ref 0 in
   let still_fails p =
     incr runs;
     (match metrics with Some m -> Sim.Metrics.incr m "shrink_runs" | None -> ());
-    let _, vs = run_plan ?metrics ?until ?termination rulebook ~plan:p ~seed () in
+    let _, vs = run_plan ?metrics ?until ?termination ?late_force rulebook ~plan:p ~seed () in
     List.exists (fun v -> v.oracle = oracle) vs
   in
   let rec reduce candidates_of p =
@@ -248,14 +287,16 @@ let shrink ?metrics ?until ?termination rulebook ~seed ~oracle plan =
   let p = reduce rounding_candidates p in
   (p, !runs)
 
-let counterexample_of ?metrics ?until ?termination rulebook (run : run_outcome) violation =
+let counterexample_of ?metrics ?until ?termination ?late_force rulebook (run : run_outcome)
+    violation =
   let cx_plan, cx_shrink_runs =
-    shrink ?metrics ?until ?termination rulebook ~seed:run.seed ~oracle:violation.oracle
-      run.plan
+    shrink ?metrics ?until ?termination ?late_force rulebook ~seed:run.seed
+      ~oracle:violation.oracle run.plan
   in
   (* replay the minimal plan with tracing to capture the evidence *)
   let result, vs =
-    run_plan ?until ?termination ~tracing:true rulebook ~plan:cx_plan ~seed:run.seed ()
+    run_plan ?until ?termination ~tracing:true ?late_force rulebook ~plan:cx_plan
+      ~seed:run.seed ()
   in
   let cx_violation =
     match List.find_opt (fun v -> v.oracle = violation.oracle) vs with
@@ -274,14 +315,14 @@ let counterexample_of ?metrics ?until ?termination rulebook (run : run_outcome) 
 
 (* ---------------- seed sweeps ---------------- *)
 
-let sweep ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?(seed_base = 0)
-    ?(max_counterexamples = 5) rulebook ~k ~seeds () =
+let sweep ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?late_force
+    ?(seed_base = 0) ?(max_counterexamples = 5) rulebook ~k ~seeds () =
   let metrics = Sim.Metrics.create () in
   let counterexamples = ref [] in
   let by_oracle = Hashtbl.create 4 in
   for i = 0 to seeds - 1 do
     let seed = seed_base + i in
-    let run = run_one ~metrics ~profile ?until ?termination rulebook ~k ~seed () in
+    let run = run_one ~metrics ~profile ?until ?termination ?late_force rulebook ~k ~seed () in
     List.iter
       (fun v ->
         Sim.Metrics.incr metrics (Printf.sprintf "violations_%s" (oracle_name v.oracle));
@@ -289,7 +330,8 @@ let sweep ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?(seed_ba
           (1 + Option.value ~default:0 (Hashtbl.find_opt by_oracle v.oracle));
         if List.length !counterexamples < max_counterexamples then
           counterexamples :=
-            counterexample_of ~metrics ?until ?termination rulebook run v :: !counterexamples)
+            counterexample_of ~metrics ?until ?termination ?late_force rulebook run v
+            :: !counterexamples)
       run.violations
   done;
   {

@@ -5,14 +5,15 @@
     drives {!Sim.Nemesis.generate} through a {!Sim.Rng.split} stream, the
     schedule lowers to a {!Failure_plan.t} via
     {!Failure_plan.of_schedule}, one protocol instance executes it, and
-    three oracles judge the quiesced history — atomicity (crashed sites
+    four oracles judge the quiesced history — atomicity (crashed sites
     judged by their WAL), nonblocking progress under ≤ k concurrent
-    failures (the [until] horizon is the stall budget), and recovery
-    convergence.  Violations are greedily shrunk to a minimal plan that
-    {!Failure_plan.to_string} renders ready to paste into a regression
-    test. *)
+    failures (the [until] horizon is the stall budget), recovery
+    convergence, and durability (what the world observed from a site must
+    be derivable from its durable log after crash + repair).  Violations
+    are greedily shrunk to a minimal plan that {!Failure_plan.to_string}
+    renders ready to paste into a regression test. *)
 
-type oracle = Atomicity | Progress | Recovery_convergence
+type oracle = Atomicity | Progress | Recovery_convergence | Durability
 
 val pp_oracle : Format.formatter -> oracle -> unit
 val equal_oracle : oracle -> oracle -> bool
@@ -52,7 +53,7 @@ type summary = {
 }
 
 val violations_of : ?metrics:Sim.Metrics.t -> Runtime.result -> violation list
-(** Run the three oracles on a finished run (timing each into [metrics]
+(** Run the four oracles on a finished run (timing each into [metrics]
     when given). *)
 
 val run_plan :
@@ -60,19 +61,23 @@ val run_plan :
   ?until:float ->
   ?termination:Runtime.termination_rule ->
   ?tracing:bool ->
+  ?late_force:bool ->
   Rulebook.t ->
   plan:Failure_plan.t ->
   seed:int ->
   unit ->
   Runtime.result * violation list
 (** Execute one explicit plan (e.g. a pasted counterexample) and judge
-    it.  [until] (default 1500.0) is the stall budget. *)
+    it.  [until] (default 1500.0) is the stall budget; [late_force]
+    (default false) runs the mis-placed-force-point ablation the
+    durability oracle must catch. *)
 
 val run_one :
   ?metrics:Sim.Metrics.t ->
   ?profile:Sim.Nemesis.profile ->
   ?until:float ->
   ?termination:Runtime.termination_rule ->
+  ?late_force:bool ->
   Rulebook.t ->
   k:int ->
   seed:int ->
@@ -84,6 +89,7 @@ val shrink :
   ?metrics:Sim.Metrics.t ->
   ?until:float ->
   ?termination:Runtime.termination_rule ->
+  ?late_force:bool ->
   Rulebook.t ->
   seed:int ->
   oracle:oracle ->
@@ -97,6 +103,7 @@ val sweep :
   ?profile:Sim.Nemesis.profile ->
   ?until:float ->
   ?termination:Runtime.termination_rule ->
+  ?late_force:bool ->
   ?seed_base:int ->
   ?max_counterexamples:int ->
   Rulebook.t ->

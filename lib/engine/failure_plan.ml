@@ -49,6 +49,8 @@ type t = {
   partitions : partition_spec list;
   msg_faults : (int * Sim.World.msg_fault) list;
       (** the nth global send attempt suffers the paired fault *)
+  disk_faults : (Core.Types.site * Sim.Disk.injection) list;
+      (** storage faults armed on the site's log device *)
 }
 [@@deriving show { with_path = false }, eq]
 
@@ -61,11 +63,21 @@ let none =
     decide_crashes = [];
     partitions = [];
     msg_faults = [];
+    disk_faults = [];
   }
 
 let make ?(step_crashes = []) ?(timed_crashes = []) ?(recoveries = []) ?(move_crashes = [])
-    ?(decide_crashes = []) ?(partitions = []) ?(msg_faults = []) () =
-  { step_crashes; timed_crashes; recoveries; move_crashes; decide_crashes; partitions; msg_faults }
+    ?(decide_crashes = []) ?(partitions = []) ?(msg_faults = []) ?(disk_faults = []) () =
+  {
+    step_crashes;
+    timed_crashes;
+    recoveries;
+    move_crashes;
+    decide_crashes;
+    partitions;
+    msg_faults;
+    disk_faults;
+  }
 
 (** [crash_at_step ~site ~step ~mode] : the simplest single-crash plan. *)
 let crash_at_step ~site ~step ~mode = { none with step_crashes = [ { site; step; mode } ] }
@@ -82,7 +94,7 @@ let crashing_sites t =
 let fault_count t =
   List.length t.step_crashes + List.length t.timed_crashes + List.length t.recoveries
   + List.length t.move_crashes + List.length t.decide_crashes + List.length t.partitions
-  + List.length t.msg_faults
+  + List.length t.msg_faults + List.length t.disk_faults
 
 (** Lower a generated {!Sim.Nemesis} schedule into a plan the runtime can
     execute.  Order within each fault family is preserved. *)
@@ -106,7 +118,9 @@ let of_schedule (schedule : Sim.Nemesis.schedule) =
       | Sim.Nemesis.Partition { from_t; until_t; groups } ->
           { plan with partitions = plan.partitions @ [ { from_t; until_t; groups } ] }
       | Sim.Nemesis.Msg { nth; fault } ->
-          { plan with msg_faults = plan.msg_faults @ [ (nth, fault) ] })
+          { plan with msg_faults = plan.msg_faults @ [ (nth, fault) ] }
+      | Sim.Nemesis.Disk_fault { site; fault; nth } ->
+          { plan with disk_faults = plan.disk_faults @ [ (site, { Sim.Disk.fault; nth }) ] })
     none schedule
 
 (* ------------------------------------------------------------------ *)
@@ -146,6 +160,16 @@ let clause_strings t =
         in
         Printf.sprintf "msg nth=%d fault=%s" nth f_str)
       t.msg_faults
+  @ List.map
+      (fun (site, { Sim.Disk.fault; nth }) ->
+        let f_str =
+          match fault with
+          | Sim.Disk.Torn -> "torn"
+          | Sim.Disk.Corrupt -> "corrupt"
+          | Sim.Disk.Lost_flush -> "lost-flush"
+        in
+        Printf.sprintf "disk site=%d fault=%s nth=%d" site f_str nth)
+      t.disk_faults
 
 let to_string t = String.concat "; " (clause_strings t)
 
@@ -231,11 +255,26 @@ let parse_clause plan clause =
       | "msg" ->
           let f = (int_of "nth" (get "nth" kvs), parse_msg_fault (get "fault" kvs)) in
           { plan with msg_faults = plan.msg_faults @ [ f ] }
+      | "disk" ->
+          let fault =
+            match get "fault" kvs with
+            | "torn" -> Sim.Disk.Torn
+            | "corrupt" -> Sim.Disk.Corrupt
+            | "lost-flush" -> Sim.Disk.Lost_flush
+            | v -> parse_fail "bad disk fault: %S" v
+          in
+          let d = (int_of "site" (get "site" kvs), { Sim.Disk.fault; nth = int_of "nth" (get "nth" kvs) }) in
+          { plan with disk_faults = plan.disk_faults @ [ d ] }
       | v -> parse_fail "unknown fault kind: %S" v)
 
 (** Inverse of {!to_string}; clauses separated by ';' or newlines.
     @raise Parse_error on malformed input. *)
-let of_string s =
+let of_string_exn s =
   String.split_on_char '\n' s
   |> List.concat_map (String.split_on_char ';')
   |> List.fold_left parse_clause none
+
+(** Total version for anything that parses user input — the CLI's
+    [--plan], a counterexample pasted from a report: a malformed clause
+    becomes a friendly [Error message], never a backtrace. *)
+let of_string s = match of_string_exn s with p -> Ok p | exception Parse_error m -> Error m

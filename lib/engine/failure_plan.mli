@@ -34,6 +34,8 @@ type t = {
   partitions : partition_spec list;
   msg_faults : (int * Sim.World.msg_fault) list;
       (** the nth global send attempt suffers the paired fault *)
+  disk_faults : (Core.Types.site * Sim.Disk.injection) list;
+      (** storage faults armed on the site's log device *)
 }
 
 val pp : Format.formatter -> t -> unit
@@ -48,6 +50,7 @@ val make :
   ?decide_crashes:(Core.Types.site * int) list ->
   ?partitions:partition_spec list ->
   ?msg_faults:(int * Sim.World.msg_fault) list ->
+  ?disk_faults:(Core.Types.site * Sim.Disk.injection) list ->
   unit ->
   t
 
@@ -75,6 +78,11 @@ val to_string : t -> string
     regression test and read back by {!of_string} exactly
     ([of_string (to_string p)] equals [p]). *)
 
-val of_string : string -> t
+val of_string : string -> (t, string) result
 (** Inverse of {!to_string}; clauses separated by ';' or newlines.
-    @raise Parse_error on malformed input. *)
+    Total: malformed input becomes [Error message] — what the CLI's
+    [--plan] and any pasted counterexample should go through. *)
+
+val of_string_exn : string -> t
+(** As {!of_string} but raising {!Parse_error} — for pinned plans in
+    tests where a parse failure is itself the test failure. *)

@@ -76,6 +76,15 @@ type site_rt = {
           of the state the backup's phase 1 put it in, and a later backup
           would decide from the drifted state — the model checker found
           exactly that split-brain on central 3PC with two crashes. *)
+  mutable sent_yes : bool;
+      (** this site put a message of a yes-vote transition on the wire.
+          Deliberately volatile-but-sticky (it survives crashes, unlike
+          the log): the durability oracle compares what the world could
+          observe against what the durable log can justify. *)
+  mutable announced : Core.Types.outcome option;
+      (** an outcome this site actually announced to a peer (a [Decide],
+          an [Outcome_reply], a final transition's messages) — sticky for
+          the same reason as [sent_yes]. *)
 }
 
 type config = {
@@ -96,11 +105,16 @@ type config = {
           the paper's reliable-detector assumption — the ablation that
           shows why the assumption is needed *)
   termination : termination_rule;
+  durable_wal : bool;  (** [false]: the PR 3 in-memory log (bench baseline) *)
+  late_force : bool;
+      (** deliberately mis-place the transition force point: append, send
+          the transition's messages, and only then sync.  A test-only
+          ablation — the durability oracle must catch it. *)
 }
 
 let config ?(votes = []) ?(plan = Failure_plan.none) ?(seed = 1) ?(tracing = false)
     ?(until = 10_000.0) ?(query_interval = 5.0) ?(query_backoff_cap = 45.0) ?partition
-    ?(termination = Skeen) rulebook =
+    ?(termination = Skeen) ?(durable_wal = true) ?(late_force = false) rulebook =
   {
     rulebook;
     votes;
@@ -112,6 +126,8 @@ let config ?(votes = []) ?(plan = Failure_plan.none) ?(seed = 1) ?(tracing = fal
     query_backoff_cap;
     partition;
     termination;
+    durable_wal;
+    late_force;
   }
 
 (** A majority quorum for [n] sites. *)
@@ -129,6 +145,8 @@ type site_report = {
   operational : bool;  (** alive when the run ended *)
   ever_crashed : bool;
   decided_at : float option;
+  sent_yes : bool;  (** a yes-vote transition's message reached the wire *)
+  announced : Core.Types.outcome option;  (** an outcome this site announced to a peer *)
 }
 
 type result = {
@@ -185,15 +203,22 @@ module Exec = struct
 
   let record t fmt = Sim.World.record t.world fmt
 
-  (* every forced-log write goes through here so the run's WAL traffic is
+  (* every log write goes through here so the run's WAL traffic is
      visible in the metrics *)
   let append_wal t wal r =
     Sim.Metrics.incr (Sim.World.metrics t.world) "wal_appends";
     Wal.append wal r
 
+  (* the paper's forced write: append + sync, durable before the caller
+     takes any externally visible action *)
+  let force_wal t wal r =
+    append_wal t wal r;
+    Wal.sync wal
+
   let finalize t (rt : site_rt) (o : Core.Types.outcome) =
     if rt.outcome = None then begin
-      append_wal t rt.wal (Wal.Decided o);
+      (* forced before any caller announces the decision to a peer *)
+      force_wal t rt.wal (Wal.Decided o);
       rt.outcome <- Some o;
       rt.decided_at <- Some (Sim.World.now t.world);
       rt.state <- final_state_for rt.automaton o;
@@ -226,9 +251,14 @@ module Exec = struct
           | _ ->
               rt.steps <- rt.steps + 1;
               (* Write-ahead: force the transition record before any message
-                 leaves the site. *)
+                 leaves the site — the paper's rule.  Under the [late_force]
+                 ablation only the append happens here; the sync is deferred
+                 until after the sends, opening exactly the
+                 acted-before-durable window the durability oracle must
+                 catch. *)
               append_wal t rt.wal
                 (Wal.Transitioned { to_state = tr.Core.Automaton.to_state; vote = tr.Core.Automaton.vote });
+              if not t.cfg.late_force then Wal.sync rt.wal;
               (match Core.Message.Multiset.remove_all tr.Core.Automaton.consumes rt.inbox with
               | Some inbox -> rt.inbox <- inbox
               | None -> assert false);
@@ -238,6 +268,10 @@ module Exec = struct
                 | Some Failure_plan.After_transition -> Some (List.length tr.Core.Automaton.emits)
                 | Some Failure_plan.Before_transition | None -> None
               in
+              let announces =
+                Core.Types.outcome_of_kind
+                  (Core.Automaton.kind_of rt.automaton tr.Core.Automaton.to_state)
+              in
               List.iteri
                 (fun i m ->
                   (match crash_after_k with
@@ -246,6 +280,14 @@ module Exec = struct
                         (List.length tr.Core.Automaton.emits);
                       Sim.World.crash_self ctx
                   | _ -> ());
+                  (* sends from a crashed site are dropped by the world, so
+                     only live sends count as externally observed *)
+                  if Sim.World.is_alive t.world rt.site then begin
+                    (match tr.Core.Automaton.vote with
+                    | Some Core.Types.Yes -> rt.sent_yes <- true
+                    | Some Core.Types.No | None -> ());
+                    match announces with Some o -> rt.announced <- Some o | None -> ()
+                  end;
                   Sim.World.send ctx ~dst:m.Core.Message.dst (Msg.Proto m))
                 tr.Core.Automaton.emits;
               (match crash_after_k with
@@ -254,6 +296,7 @@ module Exec = struct
                     tr.Core.Automaton.to_state;
                   Sim.World.crash_self ctx
               | _ -> ());
+              if t.cfg.late_force && Sim.World.is_alive t.world rt.site then Wal.sync rt.wal;
               rt.state <- tr.Core.Automaton.to_state;
               (if Sim.World.is_alive t.world rt.site then
                  match Core.Types.outcome_of_kind (Core.Automaton.kind_of rt.automaton rt.state) with
@@ -319,6 +362,7 @@ module Exec = struct
             record t "backup %d crashes after sending %d decide(s)" rt.site k;
             Sim.World.crash_self ctx
         | _ -> ());
+        if Sim.World.is_alive t.world rt.site then rt.announced <- Some o;
         Sim.World.send ctx ~dst (Msg.Decide o))
       peers;
     match crash_after with
@@ -408,7 +452,7 @@ module Exec = struct
             record t "quorum backup %d: %d prepared >= %d -> move up and COMMIT" rt.site
               n_prepared q;
             if rt.state <> p then begin
-              append_wal t rt.wal (Wal.Moved { to_state = p });
+              force_wal t rt.wal (Wal.Moved { to_state = p });
               rt.state <- p
             end;
             run_phase1 t ctx rt ~target:p
@@ -499,7 +543,9 @@ module Exec = struct
         end
     | Msg.Move_to s -> (
         match rt.outcome with
-        | Some o -> Sim.World.send ctx ~dst:src (Msg.Decide o)
+        | Some o ->
+            rt.announced <- Some o;
+            Sim.World.send ctx ~dst:src (Msg.Decide o)
         | None ->
             if rt.ever_crashed then
               (* Recovered sites follow the recovery protocol only. *)
@@ -514,7 +560,9 @@ module Exec = struct
               rt.leader_rank_seen <- src;
               (match rt.mode with Polling _ -> rt.mode <- Normal | Normal | Leading _ | Stalled -> ());
               if rt.state <> s then begin
-                append_wal t rt.wal (Wal.Moved { to_state = s });
+                (* forced before the ack: the backup will decide from the
+                   belief that this move is stable *)
+                force_wal t rt.wal (Wal.Moved { to_state = s });
                 record t "site %d moves %s -> %s at backup's request" rt.site rt.state s;
                 rt.state <- s
               end;
@@ -548,7 +596,9 @@ module Exec = struct
              the outcome: relay it so phase 2 still reaches everyone. *)
           if was_leading then broadcast_decide t ctx rt o
         end
-    | Msg.Query_outcome -> Sim.World.send ctx ~dst:src (Msg.Outcome_reply rt.outcome)
+    | Msg.Query_outcome ->
+        (match rt.outcome with Some o -> rt.announced <- Some o | None -> ());
+        Sim.World.send ctx ~dst:src (Msg.Outcome_reply rt.outcome)
     | Msg.Outcome_reply (Some o) ->
         let was_stalled = rt.mode = Stalled in
         if rt.outcome = None then begin
@@ -614,6 +664,12 @@ module Exec = struct
     rt.inbox <- Core.Message.Multiset.empty;
     rt.mode <- Normal;
     rt.query_attempts <- 0;
+    (* volatile memory did not survive: the decision must be re-derived
+       from the stable log.  With a lossless log this is a no-op (the
+       [Decided] record restores it below); with a lossy one, keeping the
+       pre-crash [outcome] would resurrect a decision the disk lost —
+       exactly what the durability oracle exists to catch, not mask. *)
+    rt.outcome <- None;
     (match Wal.last_state rt.wal with Some s -> rt.state <- s | None -> ());
     rt.steps <-
       List.length
@@ -657,14 +713,36 @@ let run (cfg : config) : result =
   let n = Core.Protocol.n_sites protocol in
   let world = Sim.World.create ~n_sites:n ~seed:cfg.seed ~msg_to_string:Msg.to_string () in
   Sim.World.set_tracing world cfg.tracing;
-  let store = Wal.Store.create ~n_sites:n in
+  let store = Wal.Store.create ~durable:cfg.durable_wal ~n_sites:n () in
+  (* storage faults from the plan arm each site's private disk *)
+  List.iter
+    (fun site ->
+      match
+        List.filter_map
+          (fun (s, inj) -> if s = site then Some inj else None)
+          cfg.plan.Failure_plan.disk_faults
+      with
+      | [] -> ()
+      | injs -> Wal.set_faults (Wal.Store.log store ~site) injs)
+    (Wal.Store.sites store);
+  (* a crash takes the log down with the site: the unsynced tail is lost
+     (with whatever storage faults are armed) and the log rebuilds itself
+     from the durable image *)
+  Sim.World.set_crash_hook world (fun site ->
+      match Wal.crash (Wal.Store.log store ~site) with
+      | None -> ()
+      | Some rep ->
+          Sim.Metrics.incr (Sim.World.metrics world) "wal_repairs";
+          Sim.World.record world "site %d wal repair: %d survived, %d lost, %d bytes dropped%s"
+            site rep.Wal.survived rep.Wal.lost_records rep.Wal.dropped_bytes
+            (match rep.Wal.reason with Some r -> " (" ^ r ^ ")" | None -> ""));
   let rts =
     Array.init n (fun i ->
         let site = i + 1 in
         let automaton = Core.Protocol.automaton protocol site in
         let wal = Wal.Store.log store ~site in
         Sim.Metrics.incr (Sim.World.metrics world) "wal_appends";
-        Wal.append wal
+        Wal.force wal
           (Wal.Began { protocol = protocol.Core.Protocol.name; initial = automaton.Core.Automaton.initial });
         {
           site;
@@ -682,6 +760,8 @@ let run (cfg : config) : result =
           decided_at = None;
           leader_rank_seen = 0;
           impaired = false;
+          sent_yes = false;
+          announced = None;
         })
   in
   let exec =
@@ -734,6 +814,8 @@ let run (cfg : config) : result =
              operational = Sim.World.is_alive world rt.site;
              ever_crashed = rt.ever_crashed || not (Sim.World.is_alive world rt.site);
              decided_at = rt.decided_at;
+             sent_yes = rt.sent_yes;
+             announced = rt.announced;
            })
   in
   let outcomes = List.filter_map (fun r -> r.outcome) reports in

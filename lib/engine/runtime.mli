@@ -45,6 +45,13 @@ type config = {
       (** (from, until, groups): run under a network partition, violating
           the paper's reliable-detector assumption *)
   termination : termination_rule;
+  durable_wal : bool;
+      (** [false]: the PR 3 in-memory log (sync free, crash lossless) —
+          kept as the benchmark baseline *)
+  late_force : bool;
+      (** deliberately mis-place the transition force point (append, send,
+          then sync) — a test-only ablation the durability oracle must
+          catch *)
 }
 
 val config :
@@ -57,6 +64,8 @@ val config :
   ?query_backoff_cap:float ->
   ?partition:float * float * Core.Types.site list list ->
   ?termination:termination_rule ->
+  ?durable_wal:bool ->
+  ?late_force:bool ->
   Rulebook.t ->
   config
 
@@ -71,6 +80,13 @@ type site_report = {
   operational : bool;  (** alive when the run ended *)
   ever_crashed : bool;
   decided_at : float option;
+  sent_yes : bool;
+      (** a yes-vote transition's message reached the wire — sticky across
+          crashes, unlike the log: the durability oracle compares what the
+          world observed against what the durable log can justify *)
+  announced : Core.Types.outcome option;
+      (** an outcome this site actually announced to a peer — sticky for
+          the same reason *)
 }
 
 type result = {

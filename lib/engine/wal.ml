@@ -1,11 +1,21 @@
 (** Per-site write-ahead log on stable storage.
 
     The paper assumes each site has a local recovery strategy providing
-    atomicity at the local level.  We model it with an append-only log that
-    survives crashes (it lives outside the site's volatile state): the
-    protocol runtime forces a record {e before} acting on a state
-    transition, and the recovery protocol replays the log to classify where
-    the site was when it failed. *)
+    atomicity at the local level.  Through PR 3 we modelled that with a
+    perfect in-memory append; this version earns the assumption: records
+    are serialized through a binary codec ({!to_bytes}/{!of_bytes}),
+    framed with a length prefix and CRC-32 ({!Sim.Disk.Frame}), and
+    written to a simulated disk whose [sync] barrier defines what a
+    crash preserves.  {!append} alone is *not* durable — the runtime
+    must {!force} (append + sync) before any externally visible action,
+    which is exactly the paper's "forces a record to stable storage
+    before acting".
+
+    On crash the log replays itself from the disk: scan the durable
+    image, verify checksums, truncate at the first invalid frame, and
+    report what was repaired.  A record that was appended but never
+    synced is gone — a *different*, and correctly handled, state than a
+    crash after the sync. *)
 
 type record =
   | Began of { protocol : string; initial : string }
@@ -16,12 +26,181 @@ type record =
   | Decided of Core.Types.outcome
 [@@deriving show { with_path = false }, eq]
 
-type t = { mutable records : record list (* newest first *) }
+(* ---------------- binary codec ---------------- *)
 
-let create () = { records = [] }
-let append t r = t.records <- r :: t.records
-let records t = List.rev t.records
-let length t = List.length t.records
+let put_string b s =
+  let n = String.length s in
+  if n > 0xffff then invalid_arg "Wal: string too long to encode";
+  Buffer.add_uint16_le b n;
+  Buffer.add_string b s
+
+let to_bytes r =
+  let b = Buffer.create 32 in
+  (match r with
+  | Began { protocol; initial } ->
+      Buffer.add_uint8 b 0;
+      put_string b protocol;
+      put_string b initial
+  | Transitioned { to_state; vote } ->
+      Buffer.add_uint8 b 1;
+      put_string b to_state;
+      Buffer.add_uint8 b
+        (match vote with None -> 0 | Some Core.Types.Yes -> 1 | Some Core.Types.No -> 2)
+  | Moved { to_state } ->
+      Buffer.add_uint8 b 2;
+      put_string b to_state
+  | Decided o ->
+      Buffer.add_uint8 b 3;
+      Buffer.add_uint8 b (match o with Core.Types.Committed -> 0 | Core.Types.Aborted -> 1));
+  Buffer.to_bytes b
+
+let of_bytes bytes =
+  let total = Bytes.length bytes in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Failure m)) fmt in
+  let u8 () =
+    if !pos >= total then fail "truncated record at byte %d" !pos;
+    let v = Char.code (Bytes.get bytes !pos) in
+    incr pos;
+    v
+  in
+  let str () =
+    if !pos + 2 > total then fail "truncated string length at byte %d" !pos;
+    let n = Bytes.get_uint16_le bytes !pos in
+    pos := !pos + 2;
+    if !pos + n > total then fail "truncated string body at byte %d" !pos;
+    let s = Bytes.sub_string bytes !pos n in
+    pos := !pos + n;
+    s
+  in
+  match
+    let r =
+      match u8 () with
+      | 0 ->
+          let protocol = str () in
+          let initial = str () in
+          Began { protocol; initial }
+      | 1 ->
+          let to_state = str () in
+          let vote =
+            match u8 () with
+            | 0 -> None
+            | 1 -> Some Core.Types.Yes
+            | 2 -> Some Core.Types.No
+            | v -> fail "bad vote byte %d" v
+          in
+          Transitioned { to_state; vote }
+      | 2 -> Moved { to_state = str () }
+      | 3 -> (
+          match u8 () with
+          | 0 -> Decided Core.Types.Committed
+          | 1 -> Decided Core.Types.Aborted
+          | v -> fail "bad outcome byte %d" v)
+      | tag -> fail "unknown record tag %d" tag
+    in
+    if !pos <> total then fail "%d trailing bytes after record" (total - !pos);
+    r
+  with
+  | r -> Ok r
+  | exception Failure m -> Error m
+
+(* ---------------- the log ---------------- *)
+
+type repair = {
+  survived : int;  (** records readable from the durable image after the crash *)
+  lost_records : int;  (** appended records that did not survive — unsynced, torn or corrupted *)
+  dropped_bytes : int;  (** bytes the recovery scan cut from the durable image *)
+  reason : string option;
+      (** why the scan truncated ([None]: the tail was lost cleanly at
+          the sync boundary, nothing to scan away) *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type mode = Memory | Durable of Sim.Disk.t
+
+type t = {
+  mutable cache : record list;  (** newest first — the live (volatile) view of the log *)
+  mode : mode;
+  mutable repair_log : repair list;  (** newest first; one entry per crash that lost anything *)
+}
+
+(** [durable:false] is the PR 3 in-memory log — sync is free and a crash
+    loses nothing; it remains as the benchmark baseline the codec+sync
+    overhead is measured against.  [seed] feeds the disk's private fault
+    stream (torn lengths, flipped bits) only. *)
+let create ?(seed = 0) ?(durable = true) () =
+  {
+    cache = [];
+    mode = (if durable then Durable (Sim.Disk.create ~seed ()) else Memory);
+    repair_log = [];
+  }
+
+let append t r =
+  t.cache <- r :: t.cache;
+  match t.mode with
+  | Memory -> ()
+  | Durable disk -> Sim.Disk.write disk (Sim.Disk.Frame.encode (to_bytes r))
+
+let sync t = match t.mode with Memory -> () | Durable disk -> Sim.Disk.sync disk
+
+(** The paper's forced write: not durable until both halves complete. *)
+let force t r =
+  append t r;
+  sync t
+
+let records t = List.rev t.cache
+let length t = List.length t.cache
+
+let set_faults t injections =
+  match t.mode with
+  | Memory -> ()
+  | Durable disk -> Sim.Disk.set_faults disk injections
+
+let disk t = match t.mode with Memory -> None | Durable d -> Some d
+
+(** Crash the log's disk and rebuild the cache from what the durable
+    image yields: scan frames, verify checksums, truncate at the first
+    invalid one (and cut the disk back to that valid prefix, so
+    post-recovery appends land after well-formed frames).  After this
+    returns, the in-memory view *is* the durable view. *)
+let crash t =
+  match t.mode with
+  | Memory -> None
+  | Durable disk ->
+      let before = List.length t.cache in
+      Sim.Disk.crash disk;
+      let image = Sim.Disk.durable_contents disk in
+      let payloads, frame_repair = Sim.Disk.Frame.scan image in
+      (* a frame whose checksum passes but whose payload does not decode
+         would be a codec bug, not a storage fault; treat it like
+         corruption all the same and truncate there *)
+      let rec decode acc kept_bytes err = function
+        | [] -> (acc, kept_bytes, err)
+        | p :: rest -> (
+            match of_bytes p with
+            | Ok r ->
+                decode (r :: acc) (kept_bytes + Sim.Disk.Frame.header_len + Bytes.length p) err rest
+            | Error e -> (acc, kept_bytes, Some (Printf.sprintf "undecodable record: %s" e)))
+      in
+      let rev_records, kept_bytes, decode_err = decode [] 0 None payloads in
+      Sim.Disk.truncate disk kept_bytes;
+      t.cache <- rev_records;
+      let survived = List.length rev_records in
+      let repair =
+        {
+          survived;
+          lost_records = before - survived;
+          dropped_bytes = Bytes.length image - kept_bytes;
+          reason = (match decode_err with Some _ as e -> e | None -> frame_repair.Sim.Disk.Frame.reason);
+        }
+      in
+      if repair.lost_records > 0 || repair.dropped_bytes > 0 then begin
+        t.repair_log <- repair :: t.repair_log;
+        Some repair
+      end
+      else None
+
+let repairs t = List.rev t.repair_log
 
 (** Last logged local state, replayed in order: [Began] sets it,
     [Transitioned]/[Moved] update it. *)
@@ -53,7 +232,17 @@ module Store = struct
   type wal = t
   type nonrec t = wal array (* index = site - 1 *)
 
-  let create ~n_sites : t = Array.init n_sites (fun _ -> create ())
+  (* each site's disk gets its own fault stream, seeded by site id:
+     independent of the world RNG and of every other disk *)
+  let create ?(durable = true) ~n_sites () : t =
+    Array.init n_sites (fun i -> create ~seed:(i + 1) ~durable ())
 
   let log (t : t) ~site = t.(site - 1)
+  let sites (t : t) = List.init (Array.length t) (fun i -> i + 1)
+  let iter f (t : t) = Array.iteri (fun i w -> f (i + 1) w) t
+
+  let fold f init (t : t) =
+    let acc = ref init in
+    Array.iteri (fun i w -> acc := f !acc (i + 1) w) t;
+    !acc
 end

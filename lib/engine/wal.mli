@@ -1,7 +1,11 @@
-(** Per-site write-ahead log on stable storage: the protocol runtime
-    forces a record before acting on a state transition; the recovery
-    protocol replays the log to classify where the site was when it
-    failed. *)
+(** Per-site write-ahead log on stable storage: records are serialized
+    through a binary codec, framed with a length prefix + CRC-32, and
+    written to a simulated {!Sim.Disk} whose sync barrier defines what a
+    crash preserves.  {!append} alone is not durable — the runtime must
+    {!force} (append + sync) before any externally visible action, the
+    paper's forced write.  On crash the log replays itself from the
+    durable image, truncating at the first invalid frame and reporting
+    what was repaired. *)
 
 type record =
   | Began of { protocol : string; initial : string }
@@ -15,10 +19,53 @@ val pp_record : Format.formatter -> record -> unit
 val show_record : record -> string
 val equal_record : record -> record -> bool
 
+val to_bytes : record -> Bytes.t
+(** The on-disk payload (framing is {!Sim.Disk.Frame}'s job). *)
+
+val of_bytes : Bytes.t -> (record, string) result
+(** Total inverse of {!to_bytes}: [of_bytes (to_bytes r) = Ok r]; any
+    truncated or mangled payload is an [Error], never an exception. *)
+
+type repair = {
+  survived : int;  (** records readable from the durable image after the crash *)
+  lost_records : int;  (** appended records that did not survive *)
+  dropped_bytes : int;  (** bytes the recovery scan cut from the durable image *)
+  reason : string option;
+      (** why the scan truncated ([None]: clean loss at the sync boundary) *)
+}
+
+val pp_repair : Format.formatter -> repair -> unit
+val show_repair : repair -> string
+val equal_repair : repair -> repair -> bool
+
 type t
 
-val create : unit -> t
+val create : ?seed:int -> ?durable:bool -> unit -> t
+(** [durable:false] is the PR 3 in-memory log (sync free, crash
+    lossless), kept as the benchmark baseline.  [seed] feeds only the
+    disk's private fault stream. *)
+
 val append : t -> record -> unit
+(** Volatile until the next {!sync}. *)
+
+val sync : t -> unit
+
+val force : t -> record -> unit
+(** [append] + [sync]: the paper's "force a record to stable storage". *)
+
+val crash : t -> repair option
+(** Lose the unsynced tail (with whatever storage faults are armed),
+    rescan the durable image, truncate at the first invalid frame, and
+    rebuild the in-memory view from what survived — after this the
+    volatile view {e is} the durable view.  [Some repair] iff anything
+    was lost. *)
+
+val set_faults : t -> Sim.Disk.injection list -> unit
+val disk : t -> Sim.Disk.t option
+
+val repairs : t -> repair list
+(** Oldest first; one entry per crash that lost records or bytes. *)
+
 val records : t -> record list
 (** Oldest first. *)
 
@@ -35,11 +82,15 @@ val decided : t -> Core.Types.outcome option
 val pp : Format.formatter -> t -> unit
 
 (** Stable storage for a whole simulated system: one log per site,
-    surviving that site's crashes. *)
+    surviving that site's crashes.  Each site's disk gets a private
+    fault stream seeded by site id. *)
 module Store : sig
   type wal = t
   type t
 
-  val create : n_sites:int -> t
+  val create : ?durable:bool -> n_sites:int -> unit -> t
   val log : t -> site:Core.Types.site -> wal
+  val sites : t -> Core.Types.site list
+  val iter : (Core.Types.site -> wal -> unit) -> t -> unit
+  val fold : ('a -> Core.Types.site -> wal -> 'a) -> 'a -> t -> 'a
 end

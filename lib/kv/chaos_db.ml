@@ -14,13 +14,14 @@
     counterexample that {!Sim.Nemesis.to_string} renders ready to pin in
     a regression test. *)
 
-type oracle = Atomicity | Conservation | Progress
+type oracle = Atomicity | Conservation | Progress | Durability
 [@@deriving show { with_path = false }, eq]
 
 let oracle_name = function
   | Atomicity -> "atomicity"
   | Conservation -> "conservation"
   | Progress -> "progress"
+  | Durability -> "durability"
 
 type violation = { oracle : oracle; detail : string }
 
@@ -54,19 +55,26 @@ let workload_of ~seed =
    backup-pinned crashes (absent under the default profile) are ignored. *)
 let lower (schedule : Sim.Nemesis.schedule) =
   List.fold_left
-    (fun (crashes, recoveries, partitions, msg_faults) fault ->
+    (fun (crashes, recoveries, partitions, msg_faults, disk_faults) fault ->
       match fault with
-      | Sim.Nemesis.Crash { site; at } -> ((site, at) :: crashes, recoveries, partitions, msg_faults)
+      | Sim.Nemesis.Crash { site; at } ->
+          ((site, at) :: crashes, recoveries, partitions, msg_faults, disk_faults)
       | Sim.Nemesis.Recover { site; at } ->
-          (crashes, (site, at) :: recoveries, partitions, msg_faults)
+          (crashes, (site, at) :: recoveries, partitions, msg_faults, disk_faults)
       | Sim.Nemesis.Partition { from_t; until_t; groups } ->
-          (crashes, recoveries, (from_t, until_t, groups) :: partitions, msg_faults)
+          (crashes, recoveries, (from_t, until_t, groups) :: partitions, msg_faults, disk_faults)
       | Sim.Nemesis.Msg { nth; fault } ->
-          (crashes, recoveries, partitions, (nth, fault) :: msg_faults)
+          (crashes, recoveries, partitions, (nth, fault) :: msg_faults, disk_faults)
+      | Sim.Nemesis.Disk_fault { site; fault; nth } ->
+          ( crashes,
+            recoveries,
+            partitions,
+            msg_faults,
+            (site, { Sim.Disk.fault; nth }) :: disk_faults )
       | Sim.Nemesis.Step_crash _ | Sim.Nemesis.Backup_crash _ ->
-          (crashes, recoveries, partitions, msg_faults))
-    ([], [], [], []) schedule
-  |> fun (c, r, p, m) -> (List.rev c, List.rev r, List.rev p, List.rev m)
+          (crashes, recoveries, partitions, msg_faults, disk_faults))
+    ([], [], [], [], []) schedule
+  |> fun (c, r, p, m, d) -> (List.rev c, List.rev r, List.rev p, List.rev m, List.rev d)
 
 let crash_sites schedule =
   List.filter_map
@@ -142,14 +150,30 @@ let violations ~(protocol : Node.protocol) ~schedule (r : Db.result) =
           };
         ]
   in
-  atomicity @ progress @ conservation
+  (* Durability: what left a site must be justified by its repaired
+     stable log — regardless of crashes, recoveries or partitions. *)
+  let durability =
+    match r.Db.durability_breaches with
+    | [] -> []
+    | (site, txn, what) :: _ ->
+        [
+          {
+            oracle = Durability;
+            detail =
+              Fmt.str "%d unjustified external action(s), e.g. txn %d at site %d: %s"
+                (List.length r.Db.durability_breaches) txn site what;
+          };
+        ]
+  in
+  atomicity @ progress @ conservation @ durability
 
 let run_schedule ?(protocol = Node.Three_phase) ?(termination = Node.T_skeen) ?(n_sites = 4)
-    ?(until = 3000.0) ?(tracing = false) ~seed (schedule : Sim.Nemesis.schedule) =
-  let crashes, recoveries, partitions, msg_faults = lower schedule in
+    ?(until = 3000.0) ?(tracing = false) ?(durable_wal = true) ~seed
+    (schedule : Sim.Nemesis.schedule) =
+  let crashes, recoveries, partitions, msg_faults, disk_faults = lower schedule in
   let cfg =
     Db.config ~n_sites ~protocol ~termination ~seed ~until ~tracing ~crashes ~recoveries
-      ~partitions ~msg_faults
+      ~partitions ~msg_faults ~durable_wal ~disk_faults
       ~initial_data:(Workload.bank_initial ~accounts ~initial_balance)
       ()
   in
@@ -164,13 +188,13 @@ type run_outcome = {
 }
 
 let run_one ?(profile = default_profile) ?protocol ?termination ?(n_sites = 4) ?until ?tracing
-    ~k ~seed () =
+    ?durable_wal ~k ~seed () =
   let root = Sim.Rng.create ~seed in
   ignore (Sim.Rng.split root) (* the workload stream, consumed by [workload_of] *);
   let sched_rng = Sim.Rng.split root in
   let schedule = Sim.Nemesis.generate sched_rng ~n_sites ~k profile in
   let result, violations =
-    run_schedule ?protocol ?termination ~n_sites ?until ?tracing ~seed schedule
+    run_schedule ?protocol ?termination ~n_sites ?until ?tracing ?durable_wal ~seed schedule
   in
   { seed; schedule; result; violations }
 
@@ -205,12 +229,12 @@ let round_candidates (schedule : Sim.Nemesis.schedule) =
          | _ -> [])
        schedule)
 
-let shrink ?protocol ?termination ?n_sites ?until ~seed ~oracle (schedule : Sim.Nemesis.schedule)
-    =
+let shrink ?protocol ?termination ?n_sites ?until ?durable_wal ~seed ~oracle
+    (schedule : Sim.Nemesis.schedule) =
   let runs = ref 0 in
   let still_fails candidate =
     incr runs;
-    let _, vs = run_schedule ?protocol ?termination ?n_sites ?until ~seed candidate in
+    let _, vs = run_schedule ?protocol ?termination ?n_sites ?until ?durable_wal ~seed candidate in
     List.exists (fun v -> v.oracle = oracle) vs
   in
   let rec reduce current =
@@ -237,12 +261,12 @@ type summary = {
 }
 
 let sweep ?(profile = default_profile) ?(protocol = Node.Three_phase) ?termination ?(n_sites = 4)
-    ?until ?(seed_base = 0) ?(max_counterexamples = 3) ~k ~seeds () =
+    ?until ?durable_wal ?(seed_base = 0) ?(max_counterexamples = 3) ~k ~seeds () =
   let by_oracle = Hashtbl.create 4 in
   let failing = ref [] in
   for i = 0 to seeds - 1 do
     let seed = seed_base + i in
-    let o = run_one ~profile ~protocol ?termination ~n_sites ?until ~k ~seed () in
+    let o = run_one ~profile ~protocol ?termination ~n_sites ?until ?durable_wal ~k ~seed () in
     if o.violations <> [] then begin
       List.iter
         (fun v ->
@@ -253,7 +277,8 @@ let sweep ?(profile = default_profile) ?(protocol = Node.Three_phase) ?terminati
         if List.length !failing < max_counterexamples then
           let v = List.hd o.violations in
           fst
-            (shrink ~protocol ?termination ~n_sites ?until ~seed ~oracle:v.oracle o.schedule)
+            (shrink ~protocol ?termination ~n_sites ?until ?durable_wal ~seed ~oracle:v.oracle
+               o.schedule)
         else o.schedule
       in
       failing := (seed, o.violations, shrunk) :: !failing

@@ -2,12 +2,14 @@
     lowered onto a {!Db} bank-transfer run, judged by end-to-end oracles —
     atomicity (outcome logs agree, committed writes applied), conservation
     (the bank total is invariant once every site is back and nothing is in
-    doubt), and nonblocking progress (no operational site ends the run
+    doubt), nonblocking progress (no operational site ends the run
     holding locks in doubt unless its transaction's whole participant set
-    crashed).  Violating schedules shrink greedily to a minimal
-    counterexample.  Deterministic in [(protocol, n_sites, k, seed)]. *)
+    crashed), and durability (every yes vote and announced outcome must
+    be justified by the announcing site's repaired stable log).
+    Violating schedules shrink greedily to a minimal counterexample.
+    Deterministic in [(protocol, n_sites, k, seed)]. *)
 
-type oracle = Atomicity | Conservation | Progress
+type oracle = Atomicity | Conservation | Progress | Durability
 
 val pp_oracle : Format.formatter -> oracle -> unit
 val equal_oracle : oracle -> oracle -> bool
@@ -32,8 +34,9 @@ val lower :
   * (Core.Types.site * float) list
   * (float * float * Core.Types.site list list) list
   * (int * Sim.World.msg_fault) list
-(** Schedule → (crashes, recoveries, partitions, msg_faults) as
-    {!Db.config} takes them.  Step- and backup-pinned crashes are
+  * (Core.Types.site * Sim.Disk.injection) list
+(** Schedule → (crashes, recoveries, partitions, msg_faults, disk_faults)
+    as {!Db.config} takes them.  Step- and backup-pinned crashes are
     dropped. *)
 
 val run_schedule :
@@ -42,6 +45,7 @@ val run_schedule :
   ?n_sites:int ->
   ?until:float ->
   ?tracing:bool ->
+  ?durable_wal:bool ->
   seed:int ->
   Sim.Nemesis.schedule ->
   Db.result * violation list
@@ -62,6 +66,7 @@ val run_one :
   ?n_sites:int ->
   ?until:float ->
   ?tracing:bool ->
+  ?durable_wal:bool ->
   k:int ->
   seed:int ->
   unit ->
@@ -73,6 +78,7 @@ val shrink :
   ?termination:Node.termination ->
   ?n_sites:int ->
   ?until:float ->
+  ?durable_wal:bool ->
   seed:int ->
   oracle:oracle ->
   Sim.Nemesis.schedule ->
@@ -99,6 +105,7 @@ val sweep :
   ?termination:Node.termination ->
   ?n_sites:int ->
   ?until:float ->
+  ?durable_wal:bool ->
   ?seed_base:int ->
   ?max_counterexamples:int ->
   k:int ->

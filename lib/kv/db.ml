@@ -21,6 +21,8 @@ type config = {
   recoveries : (Core.Types.site * float) list;
   partitions : (float * float * Core.Types.site list list) list;
   msg_faults : (int * Sim.World.msg_fault) list;
+  durable_wal : bool;  (** log through simulated disks (sync semantics, crash loses the tail) *)
+  disk_faults : (Core.Types.site * Sim.Disk.injection) list;
   initial_data : (string * int) list;
 }
 
@@ -28,7 +30,7 @@ let config ?(n_sites = 4) ?(protocol = Node.Three_phase) ?(presumption = Node.No
     ?(termination = Node.T_skeen) ?(read_only_opt = false) ?(seed = 1) ?(lock_wait_timeout = 25.0)
     ?(query_interval = 10.0) ?(query_backoff_cap = 60.0) ?(query_budget = 200) ?(tracing = false)
     ?(until = 100_000.0) ?(crashes = []) ?(recoveries = []) ?(partitions = []) ?(msg_faults = [])
-    ?(initial_data = []) () =
+    ?(durable_wal = true) ?(disk_faults = []) ?(initial_data = []) () =
   {
     n_sites;
     protocol;
@@ -46,6 +48,8 @@ let config ?(n_sites = 4) ?(protocol = Node.Three_phase) ?(presumption = Node.No
     recoveries;
     partitions;
     msg_faults;
+    durable_wal;
+    disk_faults;
     initial_data;
   }
 
@@ -78,6 +82,13 @@ type result = {
           operational site when the run ended — locks held, outcome
           unknown.  Nonempty means blocking (or a total participant-set
           failure the termination protocol does not cover). *)
+  durability_breaches : (Core.Types.site * int * string) list;
+      (** (site, txn, what): an externally visible action the repaired
+          stable log cannot justify — a yes vote on the wire with no
+          prepared record surviving, or an announced outcome the log
+          resolved the other way.  Always empty under the paper's force
+          discipline; nonempty only when the stable-storage axiom itself
+          is broken (lying sync) *)
   fates : (int * txn_fate) list;
   storage_totals : int;  (** sum of all values across all sites *)
   trace : Sim.World.trace_entry list;  (** empty unless [tracing] *)
@@ -96,7 +107,26 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
   in
   Sim.World.set_tracing world cfg.tracing;
   let storages = Array.init cfg.n_sites (fun _ -> Storage.create ()) in
-  let wals = Array.init cfg.n_sites (fun _ -> Kv_wal.create ()) in
+  (* per-site disks seeded by site id: the fault stream is private to the
+     disk, so arming storage faults never perturbs the world's RNG *)
+  let wals =
+    Array.init cfg.n_sites (fun i -> Kv_wal.create ~seed:(i + 1) ~durable:cfg.durable_wal ())
+  in
+  List.iteri
+    (fun i wal ->
+      let site = i + 1 in
+      match List.filter_map (fun (s, inj) -> if s = site then Some inj else None) cfg.disk_faults with
+      | [] -> ()
+      | injections -> Kv_wal.set_faults wal injections)
+    (Array.to_list wals);
+  Sim.World.set_crash_hook world (fun site ->
+      match Kv_wal.crash wals.(site - 1) with
+      | None -> ()
+      | Some rep ->
+          Sim.Metrics.incr (Sim.World.metrics world) "wal_repairs";
+          Sim.World.record world "site %d wal repair: %d survived, %d lost, %d bytes dropped%s"
+            site rep.Kv_wal.survived rep.Kv_wal.lost_records rep.Kv_wal.dropped_bytes
+            (match rep.Kv_wal.reason with Some r -> " (" ^ r ^ ")" | None -> ""));
   (* partition the initial data *)
   List.iter
     (fun (k, v) ->
@@ -218,6 +248,51 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
                n.Node.p_txns [])
     |> List.sort compare
   in
+  (* ---- durability oracle inputs: externally visible actions (recorded
+     in the nodes' sticky tables at send time, surviving crashes because
+     the world cannot un-see a message) judged against what each site's
+     repaired stable log can justify ---- *)
+  let durability_breaches =
+    Array.to_list nodes
+    |> List.concat_map (fun (n : Node.t) ->
+           let recs = Kv_wal.records n.Node.wal in
+           let unjustified_votes =
+             Hashtbl.fold
+               (fun txn () acc ->
+                 if
+                   List.exists
+                     (function Kv_wal.P_prepared { txn = x; _ } -> x = txn | _ -> false)
+                     recs
+                 then acc
+                 else
+                   (n.Node.site, txn, "yes vote on the wire with no prepared record on the log")
+                   :: acc)
+               n.Node.sent_yes_txns []
+           in
+           let contradicted_announcements =
+             Hashtbl.fold
+               (fun txn commit acc ->
+                 let opposite =
+                   List.exists
+                     (function
+                       | Kv_wal.C_decided { txn = x; commit = c }
+                       | Kv_wal.P_outcome { txn = x; commit = c } ->
+                           x = txn && c <> commit
+                       | _ -> false)
+                     recs
+                 in
+                 if opposite then
+                   ( n.Node.site,
+                     txn,
+                     Printf.sprintf "announced %s but the log resolved the other way"
+                       (if commit then "commit" else "abort") )
+                   :: acc
+                 else acc)
+               n.Node.announced_outcomes []
+           in
+           unjustified_votes @ contradicted_announcements)
+    |> List.sort_uniq compare
+  in
   let metrics = Sim.World.metrics world in
   {
     committed;
@@ -236,6 +311,7 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
     outcome_contradiction = !contradiction;
     missing_applied;
     in_doubt;
+    durability_breaches;
     fates;
     storage_totals = Array.to_list storages |> List.fold_left (fun a s -> a + Storage.total s) 0;
     trace = Sim.World.trace_entries world;

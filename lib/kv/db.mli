@@ -23,6 +23,13 @@ type config = {
   msg_faults : (int * Sim.World.msg_fault) list;
       (** message-level chaos keyed by global send index
           ({!Sim.World.set_msg_faults}) *)
+  durable_wal : bool;
+      (** log through simulated disks: appends are volatile until the
+          node's next sync, crashes lose the unsynced tail, and recovery
+          replays the repaired durable image.  [false] is the PR-3
+          in-memory log, kept as the benchmark baseline. *)
+  disk_faults : (Core.Types.site * Sim.Disk.injection) list;
+      (** storage faults to arm on specific sites' disks *)
   initial_data : (string * int) list;
 }
 
@@ -43,6 +50,8 @@ val config :
   ?recoveries:(Core.Types.site * float) list ->
   ?partitions:(float * float * Core.Types.site list list) list ->
   ?msg_faults:(int * Sim.World.msg_fault) list ->
+  ?durable_wal:bool ->
+  ?disk_faults:(Core.Types.site * Sim.Disk.injection) list ->
   ?initial_data:(string * int) list ->
   unit ->
   config
@@ -80,6 +89,13 @@ type result = {
           operational site when the run ended — locks held, outcome
           unknown.  Nonempty means blocking (or a total participant-set
           failure the termination protocol does not cover). *)
+  durability_breaches : (Core.Types.site * int * string) list;
+      (** (site, txn, what): an externally visible action the repaired
+          stable log cannot justify — a yes vote on the wire with no
+          prepared record surviving, or an announced outcome the log
+          resolved the other way.  Always empty under the paper's force
+          discipline; nonempty only when the stable-storage axiom itself
+          is broken (lying sync) *)
   fates : (int * txn_fate) list;
   storage_totals : int;
   trace : Sim.World.trace_entry list;  (** empty unless [tracing] *)

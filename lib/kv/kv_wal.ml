@@ -1,7 +1,12 @@
 (** The database write-ahead log: per-site stable storage for the commit
-    path.  Forced records at every protocol boundary, replayed by crash
-    recovery to re-establish locks of in-doubt transactions and to classify
-    them (before the vote: unilateral abort; after: in doubt). *)
+    path.  Records are serialized through a binary codec, framed with a
+    length prefix + CRC-32 ({!Sim.Disk.Frame}), and written to a
+    simulated disk whose sync barrier defines what a crash preserves —
+    [append] alone is not durable, the node must [force] (append + sync)
+    before any externally visible action.  Crash recovery replays the
+    durable image (truncating at the first invalid frame) to re-establish
+    locks of in-doubt transactions and to classify them (before the vote:
+    unilateral abort; after: in doubt). *)
 
 type record =
   | P_prepared of {
@@ -22,12 +27,219 @@ type record =
   | C_finished of { txn : int }
 [@@deriving show { with_path = false }, eq]
 
-type t = { mutable records : record list (* newest first *) }
+(* ---------------- binary codec ---------------- *)
 
-let create () = { records = [] }
-let append t r = t.records <- r :: t.records
-let records t = List.rev t.records
-let length t = List.length t.records
+let put_string b s =
+  let n = String.length s in
+  if n > 0xffff then invalid_arg "Kv_wal: string too long to encode";
+  Buffer.add_uint16_le b n;
+  Buffer.add_string b s
+
+let put_int b i = Buffer.add_int32_le b (Int32.of_int i)
+let put_bool b x = Buffer.add_uint8 b (if x then 1 else 0)
+
+let put_list b put l =
+  let n = List.length l in
+  if n > 0xffff then invalid_arg "Kv_wal: list too long to encode";
+  Buffer.add_uint16_le b n;
+  List.iter (put b) l
+
+let put_site b s = Buffer.add_uint16_le b s
+let put_write b (k, v) = put_string b k; put_int b v
+
+let put_lock b (k, m) =
+  put_string b k;
+  Buffer.add_uint8 b (match m with Lock_table.Shared -> 0 | Lock_table.Exclusive -> 1)
+
+let to_bytes r =
+  let b = Buffer.create 48 in
+  (match r with
+  | P_prepared { txn; coordinator; participants; writes; locks } ->
+      Buffer.add_uint8 b 0;
+      put_int b txn;
+      put_site b coordinator;
+      put_list b put_site participants;
+      put_list b put_write writes;
+      put_list b put_lock locks
+  | P_precommitted { txn } ->
+      Buffer.add_uint8 b 1;
+      put_int b txn
+  | P_outcome { txn; commit } ->
+      Buffer.add_uint8 b 2;
+      put_int b txn;
+      put_bool b commit
+  | C_begin { txn; participants; three_phase } ->
+      Buffer.add_uint8 b 3;
+      put_int b txn;
+      put_list b put_site participants;
+      put_bool b three_phase
+  | C_precommitted { txn } ->
+      Buffer.add_uint8 b 4;
+      put_int b txn
+  | C_decided { txn; commit } ->
+      Buffer.add_uint8 b 5;
+      put_int b txn;
+      put_bool b commit
+  | C_finished { txn } ->
+      Buffer.add_uint8 b 6;
+      put_int b txn);
+  Buffer.to_bytes b
+
+let of_bytes bytes =
+  let total = Bytes.length bytes in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Failure m)) fmt in
+  let u8 () =
+    if !pos >= total then fail "truncated record at byte %d" !pos;
+    let v = Char.code (Bytes.get bytes !pos) in
+    incr pos;
+    v
+  in
+  let u16 () =
+    if !pos + 2 > total then fail "truncated u16 at byte %d" !pos;
+    let v = Bytes.get_uint16_le bytes !pos in
+    pos := !pos + 2;
+    v
+  in
+  let int () =
+    if !pos + 4 > total then fail "truncated int at byte %d" !pos;
+    let v = Int32.to_int (Bytes.get_int32_le bytes !pos) in
+    pos := !pos + 4;
+    v
+  in
+  let bool () = match u8 () with 0 -> false | 1 -> true | v -> fail "bad bool byte %d" v in
+  let str () =
+    let n = u16 () in
+    if !pos + n > total then fail "truncated string body at byte %d" !pos;
+    let s = Bytes.sub_string bytes !pos n in
+    pos := !pos + n;
+    s
+  in
+  let list item () = List.init (u16 ()) (fun _ -> item ()) in
+  let site () = u16 () in
+  let write () = let k = str () in (k, int ()) in
+  let lock () =
+    let k = str () in
+    (k, match u8 () with 0 -> Lock_table.Shared | 1 -> Lock_table.Exclusive
+        | v -> fail "bad lock mode byte %d" v)
+  in
+  match
+    let r =
+      match u8 () with
+      | 0 ->
+          let txn = int () in
+          let coordinator = site () in
+          let participants = list site () in
+          let writes = list write () in
+          let locks = list lock () in
+          P_prepared { txn; coordinator; participants; writes; locks }
+      | 1 -> P_precommitted { txn = int () }
+      | 2 ->
+          let txn = int () in
+          P_outcome { txn; commit = bool () }
+      | 3 ->
+          let txn = int () in
+          let participants = list site () in
+          C_begin { txn; participants; three_phase = bool () }
+      | 4 -> C_precommitted { txn = int () }
+      | 5 ->
+          let txn = int () in
+          C_decided { txn; commit = bool () }
+      | 6 -> C_finished { txn = int () }
+      | tag -> fail "unknown record tag %d" tag
+    in
+    if !pos <> total then fail "%d trailing bytes after record" (total - !pos);
+    r
+  with
+  | r -> Ok r
+  | exception Failure m -> Error m
+
+(* ---------------- the log ---------------- *)
+
+type repair = {
+  survived : int;
+  lost_records : int;
+  dropped_bytes : int;
+  reason : string option;
+}
+[@@deriving show { with_path = false }, eq]
+
+type mode = Memory | Durable of Sim.Disk.t
+
+type t = {
+  mutable cache : record list;  (** newest first — the live (volatile) view *)
+  mode : mode;
+  mutable repair_log : repair list;  (** newest first *)
+}
+
+let create ?(seed = 0) ?(durable = true) () =
+  {
+    cache = [];
+    mode = (if durable then Durable (Sim.Disk.create ~seed ()) else Memory);
+    repair_log = [];
+  }
+
+let append t r =
+  t.cache <- r :: t.cache;
+  match t.mode with
+  | Memory -> ()
+  | Durable disk -> Sim.Disk.write disk (Sim.Disk.Frame.encode (to_bytes r))
+
+let sync t = match t.mode with Memory -> () | Durable disk -> Sim.Disk.sync disk
+
+(** The paper's forced write: not durable until both halves complete. *)
+let force t r =
+  append t r;
+  sync t
+
+let set_faults t injections =
+  match t.mode with
+  | Memory -> ()
+  | Durable disk -> Sim.Disk.set_faults disk injections
+
+let disk t = match t.mode with Memory -> None | Durable d -> Some d
+
+(** Crash the log's disk and rebuild the cache from the durable image:
+    scan frames, verify checksums, truncate at the first invalid one (and
+    cut the disk back to the valid prefix).  After this the in-memory
+    view {e is} the durable view. *)
+let crash t =
+  match t.mode with
+  | Memory -> None
+  | Durable disk ->
+      let before = List.length t.cache in
+      Sim.Disk.crash disk;
+      let image = Sim.Disk.durable_contents disk in
+      let payloads, frame_repair = Sim.Disk.Frame.scan image in
+      let rec decode acc kept_bytes err = function
+        | [] -> (acc, kept_bytes, err)
+        | p :: rest -> (
+            match of_bytes p with
+            | Ok r ->
+                decode (r :: acc) (kept_bytes + Sim.Disk.Frame.header_len + Bytes.length p) err rest
+            | Error e -> (acc, kept_bytes, Some (Printf.sprintf "undecodable record: %s" e)))
+      in
+      let rev_records, kept_bytes, decode_err = decode [] 0 None payloads in
+      Sim.Disk.truncate disk kept_bytes;
+      t.cache <- rev_records;
+      let survived = List.length rev_records in
+      let repair =
+        {
+          survived;
+          lost_records = before - survived;
+          dropped_bytes = Bytes.length image - kept_bytes;
+          reason = (match decode_err with Some _ as e -> e | None -> frame_repair.Sim.Disk.Frame.reason);
+        }
+      in
+      if repair.lost_records > 0 || repair.dropped_bytes > 0 then begin
+        t.repair_log <- repair :: t.repair_log;
+        Some repair
+      end
+      else None
+
+let repairs t = List.rev t.repair_log
+let records t = List.rev t.cache
+let length t = List.length t.cache
 
 (** Participant-side classification of [txn] from the log. *)
 type p_class =

@@ -1,5 +1,9 @@
 (** The database write-ahead log: per-site stable storage for the commit
-    path, with forced records at every protocol boundary. *)
+    path, with forced records at every protocol boundary.  Records are
+    serialized through a binary codec, framed by {!Sim.Disk.Frame}, and
+    written to a simulated disk — [append] alone is not durable until the
+    next [sync]; crash recovery replays the durable image, truncating at
+    the first invalid frame. *)
 
 type record =
   | P_prepared of {
@@ -20,10 +24,50 @@ val pp_record : Format.formatter -> record -> unit
 val show_record : record -> string
 val equal_record : record -> record -> bool
 
+val to_bytes : record -> Bytes.t
+(** The on-disk payload (framing is {!Sim.Disk.Frame}'s job). *)
+
+val of_bytes : Bytes.t -> (record, string) result
+(** Total inverse of {!to_bytes}: [of_bytes (to_bytes r) = Ok r]; any
+    truncated or mangled payload is an [Error], never an exception. *)
+
+type repair = {
+  survived : int;
+  lost_records : int;
+  dropped_bytes : int;
+  reason : string option;
+}
+
+val pp_repair : Format.formatter -> repair -> unit
+val show_repair : repair -> string
+val equal_repair : repair -> repair -> bool
+
 type t
 
-val create : unit -> t
+val create : ?seed:int -> ?durable:bool -> unit -> t
+(** [durable:false] is the in-memory log (sync free, crash lossless),
+    kept as the benchmark baseline.  [seed] feeds only the disk's private
+    fault stream. *)
+
 val append : t -> record -> unit
+(** Volatile until the next {!sync}. *)
+
+val sync : t -> unit
+
+val force : t -> record -> unit
+(** [append] + [sync]: the paper's "force a record to stable storage". *)
+
+val crash : t -> repair option
+(** Lose the unsynced tail (with whatever storage faults are armed) and
+    rebuild the in-memory view from the repaired durable image.
+    [Some repair] iff anything was lost. *)
+
+val set_faults : t -> Sim.Disk.injection list -> unit
+val disk : t -> Sim.Disk.t option
+
+val repairs : t -> repair list
+(** Oldest first; one entry per crash that lost records or bytes. *)
+
 val records : t -> record list
 val length : t -> int
 

@@ -93,6 +93,14 @@ type t = {
           abort outcome for a transaction the cohort may have committed.
           Volatile is enough: a crash bumps the site's generation, which
           already kills every pre-crash duplicate in flight. *)
+  sent_yes_txns : (int, unit) Hashtbl.t;
+      (** transactions whose yes vote this site put on the wire —
+          deliberately sticky across crashes (the world cannot un-see a
+          message): the durability oracle compares it against what the
+          repaired stable log can justify *)
+  announced_outcomes : (int, bool) Hashtbl.t;
+      (** outcomes this site actually announced to a peer — sticky for
+          the same reason *)
   mutable down_view : Core.Types.site list;
   mutable tainted : Core.Types.site list;  (** peers known to have crashed this run *)
   mutable ever_crashed : bool;
@@ -127,6 +135,8 @@ let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_
     backups = Hashtbl.create 8;
     pollings = Hashtbl.create 8;
     ro_done = Hashtbl.create 8;
+    sent_yes_txns = Hashtbl.create 8;
+    announced_outcomes = Hashtbl.create 8;
     down_view = [];
     tainted = [];
     ever_crashed = false;
@@ -142,6 +152,14 @@ let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_
     latencies = [];
     blocked_time = 0.0;
   }
+
+(* an outcome is about to leave this site: record it in the sticky
+   announcement table the durability oracle checks post-hoc.  [add], not
+   [replace]: if a site ever announces both outcomes, both bindings must
+   survive so the contradiction cannot mask itself *)
+let note_announce node ~txn ~commit =
+  if not (List.mem commit (Hashtbl.find_all node.announced_outcomes txn)) then
+    Hashtbl.add node.announced_outcomes txn commit
 
 let metric ctx name = Sim.Metrics.incr (Sim.World.metrics ctx.Sim.World.world) name
 let now ctx = Sim.World.now ctx.Sim.World.world
@@ -175,7 +193,9 @@ let p_abort_unvoted node ctx (p : p_txn) ~notify =
   match p.status with
   | P_working ->
       Sim.Metrics.timer_discard (metrics ctx) "kv_lock_wait" ~key:p.txn;
-      Kv_wal.append node.wal (Kv_wal.P_outcome { txn = p.txn; commit = false });
+      (* forced before the no vote leaves: the vote is this abort's first
+         externally visible consequence *)
+      Kv_wal.force node.wal (Kv_wal.P_outcome { txn = p.txn; commit = false });
       p.status <- P_done false;
       release node p;
       if notify then
@@ -187,7 +207,7 @@ let p_finish node ctx (p : p_txn) ~commit =
   | P_done _ -> ()
   | P_working | P_prepared | P_precommitted ->
       if commit then Storage.apply node.storage ~txn:p.txn p.writes;
-      Kv_wal.append node.wal (Kv_wal.P_outcome { txn = p.txn; commit });
+      Kv_wal.force node.wal (Kv_wal.P_outcome { txn = p.txn; commit });
       note_unblocked node ctx p;
       p.status <- P_done commit;
       release node p;
@@ -255,7 +275,10 @@ let rec p_continue node ctx (p : p_txn) =
         end
         else begin
           Sim.Metrics.timer_stop (metrics ctx) "kv_lock_wait" ~key:p.txn ~at:(now ctx);
-          Kv_wal.append node.wal
+          (* THE force point of the commit path: the prepared record must
+             be stable before the yes vote leaves — a crash between them
+             is a different (and correctly handled) state than one after *)
+          Kv_wal.force node.wal
             (Kv_wal.P_prepared
                {
                  txn = p.txn;
@@ -265,6 +288,7 @@ let rec p_continue node ctx (p : p_txn) =
                  locks = p.held;
                });
           p.status <- P_prepared;
+          Hashtbl.replace node.sent_yes_txns p.txn ();
           Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Vote { txn = p.txn; vote = `Yes })
         end
 
@@ -296,7 +320,8 @@ let on_prepare node ctx ~src ~txn ~ops ~participants =
 
 let c_announce node ctx (c : c_txn) ~commit =
   c.c_status <- C_decided commit;
-  Kv_wal.append node.wal (Kv_wal.C_decided { txn = c.c_id; commit });
+  (* forced before the outcome broadcast below *)
+  Kv_wal.force node.wal (Kv_wal.C_decided { txn = c.c_id; commit });
   if commit then node.committed <- node.committed + 1 else node.aborted <- node.aborted + 1;
   node.latencies <- (now ctx -. c.submitted_at) :: node.latencies;
   observe ctx (if commit then "commit_latency" else "abort_latency") (now ctx -. c.submitted_at);
@@ -305,6 +330,7 @@ let c_announce node ctx (c : c_txn) ~commit =
   (match c.votes_in_at with
   | Some t0 -> observe ctx "kv_decision_phase" (now ctx -. t0)
   | None -> ());
+  if c.c_participants <> [] then note_announce node ~txn:c.c_id ~commit;
   List.iter
     (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = c.c_id; commit }))
     c.c_participants;
@@ -317,7 +343,7 @@ let c_announce node ctx (c : c_txn) ~commit =
     | Presume_commit -> commit
   in
   if presumed then begin
-    Kv_wal.append node.wal (Kv_wal.C_finished { txn = c.c_id });
+    Kv_wal.force node.wal (Kv_wal.C_finished { txn = c.c_id });
     Hashtbl.remove node.c_txns c.c_id
   end
 
@@ -341,7 +367,9 @@ let c_all_votes_in node ctx (c : c_txn) =
         let up = List.filter (fun s -> not (List.mem s node.down_view)) c.c_participants in
         c.c_status <- C_precommitting;
         c.awaiting_acks <- up;
-        Kv_wal.append node.wal (Kv_wal.C_precommitted { txn = c.c_id });
+        (* forced before the precommit round: a recovered coordinator must
+           know a backup may have terminated this transaction either way *)
+        Kv_wal.force node.wal (Kv_wal.C_precommitted { txn = c.c_id });
         List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = c.c_id })) up;
         if up = [] then c_announce node ctx c ~commit:true
       end
@@ -364,10 +392,10 @@ let on_client_begin node ctx (txn : Txn.t) =
   in
   if List.exists (fun s -> List.mem s node.down_view) involved then begin
     (* a participant is known to be down: refuse outright (abort without
-       engaging the commit protocol) *)
+       engaging the commit protocol) — one sync covers both records *)
     Kv_wal.append node.wal
       (Kv_wal.C_begin { txn = txn.Txn.id; participants; three_phase = node.protocol = Three_phase });
-    Kv_wal.append node.wal (Kv_wal.C_decided { txn = txn.Txn.id; commit = false });
+    Kv_wal.force node.wal (Kv_wal.C_decided { txn = txn.Txn.id; commit = false });
     node.aborted <- node.aborted + 1;
     node.latencies <- 0.0 :: node.latencies;
     metric ctx "refused_participant_down"
@@ -386,7 +414,8 @@ let on_client_begin node ctx (txn : Txn.t) =
     }
   in
   Hashtbl.replace node.c_txns txn.Txn.id c;
-  Kv_wal.append node.wal
+  (* forced before the prepares go out *)
+  Kv_wal.force node.wal
     (Kv_wal.C_begin
        { txn = txn.Txn.id; participants; three_phase = node.protocol = Three_phase });
   List.iter
@@ -414,13 +443,16 @@ let on_vote node ctx ~src ~txn ~vote =
          participant now holds locks awaiting an outcome that was
          announced before it voted.  Answer from the log. *)
       match status_of node ~txn with
-      | Some commit -> Sim.World.send ctx ~dst:src (Kv_msg.Outcome { txn; commit })
+      | Some commit ->
+          note_announce node ~txn ~commit;
+          Sim.World.send ctx ~dst:src (Kv_msg.Outcome { txn; commit })
       | None -> ())
   | Some c -> (
       match c.c_status with
       | C_decided commit ->
           (* late or duplicated vote after the decision: the voter is a
              prepared participant that missed the announcement — repeat it *)
+          note_announce node ~txn ~commit;
           Sim.World.send ctx ~dst:src (Kv_msg.Outcome { txn; commit })
       | C_precommitting -> ()
       | C_collecting -> (
@@ -450,6 +482,7 @@ let on_precommit_ack node ctx ~src ~txn =
         Hashtbl.remove node.backups txn;
         match Hashtbl.find_opt node.p_txns txn with
         | Some p ->
+            note_announce node ~txn ~commit:true;
             List.iter
               (fun dst ->
                 if dst <> node.site then
@@ -468,6 +501,7 @@ let on_demote_ack node ctx ~src ~txn =
         Hashtbl.remove node.backups txn;
         match Hashtbl.find_opt node.p_txns txn with
         | Some p ->
+            note_announce node ~txn ~commit:false;
             List.iter
               (fun dst ->
                 if dst <> node.site then
@@ -528,6 +562,7 @@ let run_termination node ctx (p : p_txn) =
     match p.status with
     | P_done commit ->
         (* already final: phase 1 omitted *)
+        if others <> [] then note_announce node ~txn:p.txn ~commit;
         List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = p.txn; commit })) others
     | P_precommitted ->
         (* decision rule: concurrency set of the buffer state contains a
@@ -576,7 +611,7 @@ let rec evaluate_quorum_poll node ctx (p : p_txn) ~q (poll : poll_state) =
       in
       (match Hashtbl.find_opt node.p_txns p.txn with
       | Some me when me.status = P_prepared ->
-          Kv_wal.append node.wal (Kv_wal.P_precommitted { txn = p.txn });
+          Kv_wal.force node.wal (Kv_wal.P_precommitted { txn = p.txn });
           me.status <- P_precommitted
       | _ -> ());
       Hashtbl.replace node.backups p.txn { b_awaiting = to_move; b_commit = true };
@@ -596,6 +631,8 @@ let rec evaluate_quorum_poll node ctx (p : p_txn) ~q (poll : poll_state) =
   end
 
 and finish_orphan node ctx (p : p_txn) ~commit =
+  if List.exists (fun dst -> dst <> node.site) p.participants then
+    note_announce node ~txn:p.txn ~commit;
   List.iter
     (fun dst -> if dst <> node.site then Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = p.txn; commit }))
     p.participants;
@@ -610,10 +647,12 @@ let run_quorum_termination node ctx (p : p_txn) ~q =
     metric ctx "terminations";
     match p.status with
     | P_done commit ->
+        let others = reachable_others node p in
+        if others <> [] then note_announce node ~txn:p.txn ~commit;
         List.iter
           (fun dst ->
             if dst <> node.site then Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = p.txn; commit }))
-          (reachable_others node p)
+          others
     | P_working | P_prepared | P_precommitted ->
         let others = reachable_others node p in
         let poll = { q_awaiting = others; q_reps = [ (node.site, local_pstate node ~txn:p.txn) ] } in
@@ -791,13 +830,15 @@ let on_restart node ctx =
       | Kv_wal.C_unknown -> ()
       | Kv_wal.C_resolved { finished = true; _ } -> ()
       | Kv_wal.C_resolved { participants; commit; finished = false } ->
+          if participants <> [] then note_announce node ~txn ~commit;
           List.iter
             (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit }))
             participants
       | Kv_wal.C_collecting { participants; _ } ->
           (* presumed abort: no outcome can have been announced *)
-          Kv_wal.append node.wal (Kv_wal.C_decided { txn; commit = false });
+          Kv_wal.force node.wal (Kv_wal.C_decided { txn; commit = false });
           node.aborted <- node.aborted + 1;
+          if participants <> [] then note_announce node ~txn ~commit:false;
           List.iter
             (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit = false }))
             participants
@@ -839,7 +880,9 @@ let on_message node ctx ~src (msg : Kv_msg.t) =
       | Some p ->
           (match p.status with
           | P_prepared ->
-              Kv_wal.append node.wal (Kv_wal.P_precommitted { txn });
+              (* forced before the ack: a recovered backup must find the
+                 buffer state it was told about *)
+              Kv_wal.force node.wal (Kv_wal.P_precommitted { txn });
               p.status <- P_precommitted
           | P_working | P_precommitted | P_done _ -> ());
           (match p.status with
@@ -874,12 +917,18 @@ let on_message node ctx ~src (msg : Kv_msg.t) =
       | Some c -> (
           match c.c_status with
           | C_decided _ ->
-              Kv_wal.append node.wal (Kv_wal.C_finished { txn });
+              (* forced not for safety (losing it only causes idempotent
+                 outcome re-sends at recovery) but for determinism: the
+                 durable image must equal the volatile log at every crash
+                 point, so fault-free runs replay byte-identically *)
+              Kv_wal.force node.wal (Kv_wal.C_finished { txn });
               Hashtbl.remove node.c_txns txn
           | C_collecting | C_precommitting -> ())
       | None -> ())
   | Kv_msg.Status_req { txn } ->
-      Sim.World.send ctx ~dst:src (Kv_msg.Status_rep { txn; outcome = status_of node ~txn })
+      let outcome = status_of node ~txn in
+      (match outcome with Some commit -> note_announce node ~txn ~commit | None -> ());
+      Sim.World.send ctx ~dst:src (Kv_msg.Status_rep { txn; outcome })
   | Kv_msg.PState_req { txn } ->
       Sim.World.send ctx ~dst:src (Kv_msg.PState_rep { txn; state = local_pstate node ~txn })
   | Kv_msg.PState_rep { txn; state } -> (
@@ -900,9 +949,10 @@ let on_message node ctx ~src (msg : Kv_msg.t) =
           | None -> ());
           match Kv_wal.classify_coordinator node.wal ~txn with
           | Kv_wal.C_in_precommit { participants } when not (Hashtbl.mem node.c_txns txn) ->
-              Kv_wal.append node.wal (Kv_wal.C_decided { txn; commit });
+              Kv_wal.force node.wal (Kv_wal.C_decided { txn; commit });
               if commit then node.committed <- node.committed + 1
               else node.aborted <- node.aborted + 1;
+              if participants <> [] then note_announce node ~txn ~commit;
               List.iter
                 (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit }))
                 participants

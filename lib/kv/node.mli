@@ -84,6 +84,14 @@ type t = {
       (** volatile: read-only participations already completed, so a
           duplicated Prepare cannot re-open them (and then force-log a
           spurious abort on a lock-wait timeout) *)
+  sent_yes_txns : (int, unit) Hashtbl.t;
+      (** transactions whose yes vote this site put on the wire —
+          deliberately sticky across crashes (the world cannot un-see a
+          message): the durability oracle compares it against what the
+          repaired stable log can justify *)
+  announced_outcomes : (int, bool) Hashtbl.t;
+      (** outcomes this site actually announced to a peer — sticky for
+          the same reason *)
   mutable down_view : Core.Types.site list;
   mutable tainted : Core.Types.site list;
   mutable ever_crashed : bool;

@@ -26,6 +26,9 @@ type fault =
   | Recover of { site : int; at : float }
   | Partition of { from_t : float; until_t : float; groups : int list list }
   | Msg of { nth : int; fault : World.msg_fault }
+  | Disk_fault of { site : int; fault : Disk.fault; nth : int }
+      (** storage fault on the site's log device: [Torn]/[Corrupt] fire
+          at the disk's [nth] crash, [Lost_flush] at its [nth] sync *)
 [@@deriving show { with_path = false }, eq]
 
 type schedule = fault list [@@deriving show { with_path = false }, eq]
@@ -55,6 +58,20 @@ type profile = {
           ablation profile, not a correctness profile. *)
   partition_min_len : float;
   partition_max_len : float;
+  p_disk_fault : float;
+      (** probability a crash incident carries a storage fault on the
+          crashing site's log device.  Default 0 — and generation draws
+          nothing from the stream when 0, so schedules (and everything
+          downstream of them) are byte-identical to a profile without
+          disk faults. *)
+  torn_weight : int;
+  corrupt_weight : int;
+  lost_flush_weight : int;
+      (** relative weights of the three {!Disk.fault} kinds.  Lost
+          flushes default to 0: a lying sync violates the paper's
+          stable-storage axiom outright, so they are opt-in for ablation
+          profiles, exactly like message drops. *)
+  disk_sync_window : int;  (** [Lost_flush] sync indices are drawn from [0, disk_sync_window) *)
 }
 
 let default_profile =
@@ -75,6 +92,11 @@ let default_profile =
     p_partition = 0.0;
     partition_min_len = 5.0;
     partition_max_len = 40.0;
+    p_disk_fault = 0.0;
+    torn_weight = 1;
+    corrupt_weight = 1;
+    lost_flush_weight = 0;
+    disk_sync_window = 16;
   }
 
 (* Conservative activity interval of a crash incident, for the ≤ k
@@ -83,7 +105,7 @@ let default_profile =
 let interval = function
   | Crash { at; _ } -> Some (at, infinity)
   | Step_crash _ | Backup_crash _ -> Some (0.0, infinity)
-  | Recover _ | Partition _ | Msg _ -> None
+  | Recover _ | Partition _ | Msg _ | Disk_fault _ -> None
 
 let close_interval recovery_at = function
   | Some (from_t, _) -> Some (from_t, recovery_at)
@@ -125,7 +147,25 @@ let gen_crash_incident rng ~n_sites ~site profile =
     end
     else None
   in
-  (crash, recovery)
+  (* The [p_disk_fault > 0.0] short-circuit is load-bearing: with disk
+     faults off this consumes zero draws, so the stream — and every
+     schedule generated from it — is byte-identical to before the
+     durability layer existed. *)
+  let disk =
+    let total = profile.torn_weight + profile.corrupt_weight + profile.lost_flush_weight in
+    if profile.p_disk_fault > 0.0 && total > 0 && Rng.flip rng ~p:profile.p_disk_fault then begin
+      let x = Rng.int rng total in
+      if x < profile.torn_weight then
+        (* this site's first crash of the run — the incident's own *)
+        Some (Disk_fault { site; fault = Disk.Torn; nth = 0 })
+      else if x < profile.torn_weight + profile.corrupt_weight then
+        Some (Disk_fault { site; fault = Disk.Corrupt; nth = 0 })
+      else
+        Some (Disk_fault { site; fault = Disk.Lost_flush; nth = Rng.int rng profile.disk_sync_window })
+    end
+    else None
+  in
+  (crash, recovery, disk)
 
 let gen_msg_fault rng profile =
   let total = profile.dup_weight + profile.delay_weight + profile.drop_weight in
@@ -166,7 +206,7 @@ let generate rng ~n_sites ~k profile =
     | [] -> []
     | _ when taken >= n_incidents -> []
     | site :: rest ->
-        let crash, recovery = gen_crash_incident rng ~n_sites ~site profile in
+        let crash, recovery, disk = gen_crash_incident rng ~n_sites ~site profile in
         let iv =
           match recovery with
           | Some (Recover { at; _ }) -> close_interval at (interval crash)
@@ -174,7 +214,7 @@ let generate rng ~n_sites ~k profile =
         in
         let keep = match iv with None -> false | Some iv -> fits_k k intervals iv in
         if keep then
-          let faults = crash :: Option.to_list recovery in
+          let faults = (crash :: Option.to_list disk) @ Option.to_list recovery in
           faults
           @ build (taken + 1)
               (match iv with Some iv -> iv :: intervals | None -> intervals)

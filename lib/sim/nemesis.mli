@@ -21,6 +21,9 @@ type fault =
   | Recover of { site : int; at : float }
   | Partition of { from_t : float; until_t : float; groups : int list list }
   | Msg of { nth : int; fault : World.msg_fault }
+  | Disk_fault of { site : int; fault : Disk.fault; nth : int }
+      (** storage fault on the site's log device: [Torn]/[Corrupt] fire
+          at the disk's [nth] crash, [Lost_flush] at its [nth] sync *)
 [@@deriving show, eq]
 
 type schedule = fault list [@@deriving show, eq]
@@ -42,6 +45,18 @@ type profile = {
   p_partition : float;
   partition_min_len : float;
   partition_max_len : float;
+  p_disk_fault : float;
+      (** probability a crash incident carries a storage fault on the
+          crashing site's log device; when 0 (the default) generation
+          draws nothing extra from the stream, keeping schedules
+          byte-identical to a disk-fault-free profile *)
+  torn_weight : int;
+  corrupt_weight : int;
+  lost_flush_weight : int;
+      (** relative weights of the three {!Disk.fault} kinds; lost
+          flushes default to 0 — a lying sync violates the paper's
+          stable-storage axiom, so they are ablation-only, like drops *)
+  disk_sync_window : int;
 }
 
 val default_profile : profile

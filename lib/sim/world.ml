@@ -64,6 +64,9 @@ and 'msg t = {
       (** global count of send attempts from live senders; the key space
           of the message-fault schedule below *)
   msg_faults : (int, msg_fault) Hashtbl.t;
+  mutable crash_hook : (site -> unit) option;
+      (** invoked at the instant a site crashes, before anything observes
+          the failure: the durability layer loses its unsynced tail here *)
 }
 
 and partition = { p_from : float; p_until : float; p_group : (site * int) list }
@@ -100,6 +103,7 @@ let create ?(latency = default_latency) ?(detection_delay = 2.0) ~n_sites ~seed 
     partitions = [];
     send_seq = 0;
     msg_faults = Hashtbl.create 16;
+    crash_hook = None;
   }
 
 let now w = w.now
@@ -182,6 +186,7 @@ let set_msg_faults w faults =
   List.iter (fun (nth, f) -> Hashtbl.replace w.msg_faults nth f) faults
 
 let sends_attempted w = w.send_seq
+let set_crash_hook w f = w.crash_hook <- Some f
 
 let send ctx ~dst msg =
   let w = ctx.world in
@@ -260,6 +265,7 @@ let do_crash w s =
     w.generation.(s) <- w.generation.(s) + 1;
     Metrics.incr w.metrics "crashes";
     record w "CRASH site %d" s;
+    (match w.crash_hook with Some f -> f s | None -> ());
     (* The network reliably reports the failure to every operational site
        after the detection delay. *)
     List.iter

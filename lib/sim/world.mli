@@ -69,6 +69,12 @@ val set_msg_faults : 'msg t -> (int * msg_fault) list -> unit
 val sends_attempted : 'msg t -> int
 (** How many fault-indexable send attempts have happened so far. *)
 
+val set_crash_hook : 'msg t -> (site -> unit) -> unit
+(** [f site] runs at the instant [site] crashes, before any other site
+    can observe the failure — the durability layer registers here so a
+    crash drops the site's unsynced log tail.  One hook per world;
+    replaces any previous hook. *)
+
 val broadcast : 'msg ctx -> dsts:site list -> 'msg -> unit
 
 val inject : 'msg t -> dst:site -> at:float -> 'msg -> unit

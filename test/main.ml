@@ -37,4 +37,7 @@ let () =
       ("nemesis", Test_nemesis.suite);
       ("failure-plan", Test_failure_plan.suite);
       ("chaos", Test_chaos.suite);
+      ("disk", Test_disk.suite);
+      ("wal", Test_wal.suite);
+      ("durability", Test_durability.suite);
     ]

@@ -73,7 +73,7 @@ let test_shrunk_plan_replays_through_text () =
      minimal plan through its printed form and re-judge it *)
   let o = C.run_one (Lazy.force rb_c2) ~k:1 ~seed:35 () in
   let minimal, _ = C.shrink (Lazy.force rb_c2) ~seed:35 ~oracle:C.Progress o.C.plan in
-  let reloaded = FP.of_string (FP.to_string minimal) in
+  let reloaded = FP.of_string_exn (FP.to_string minimal) in
   let _, violations = C.run_plan (Lazy.force rb_c2) ~plan:reloaded ~seed:35 () in
   Alcotest.(check bool) "reloaded plan still trips the oracle" true (has C.Progress violations)
 

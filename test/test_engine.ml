@@ -27,7 +27,7 @@ let test_wal_no_vote () =
   Alcotest.(check bool) "no vote is not a yes vote" false (W.voted_yes w)
 
 let test_wal_store () =
-  let store = W.Store.create ~n_sites:3 in
+  let store = W.Store.create ~n_sites:3 () in
   W.append (W.Store.log store ~site:2) (W.Decided Core.Types.Aborted);
   Alcotest.(check int) "site 2 log grew" 1 (W.length (W.Store.log store ~site:2));
   Alcotest.(check int) "site 1 untouched" 0 (W.length (W.Store.log store ~site:1))

@@ -24,17 +24,23 @@ let test_round_trip_every_clause () =
       ~partitions:[ { FP.from_t = 5.0; until_t = 9.5; groups = [ [ 1 ]; [ 2; 3 ] ] } ]
       ~msg_faults:
         [ (0, Sim.World.Fault_drop); (4, Sim.World.Fault_duplicate); (7, Sim.World.Fault_delay 2.75) ]
+      ~disk_faults:
+        [
+          (1, { Sim.Disk.fault = Sim.Disk.Torn; nth = 0 });
+          (2, { Sim.Disk.fault = Sim.Disk.Corrupt; nth = 1 });
+          (3, { Sim.Disk.fault = Sim.Disk.Lost_flush; nth = 4 });
+        ]
       ()
   in
-  Alcotest.check plan "round trip" p (FP.of_string (FP.to_string p))
+  Alcotest.check plan "round trip" p (FP.of_string_exn (FP.to_string p))
 
 let test_round_trip_empty () =
-  Alcotest.check plan "empty plan" FP.none (FP.of_string (FP.to_string FP.none))
+  Alcotest.check plan "empty plan" FP.none (FP.of_string_exn (FP.to_string FP.none))
 
 let test_parse_pinned_syntax () =
   (* the exact strings counterexamples print in — pinned so a plan pasted
      into a regression test keeps parsing across releases *)
-  let p = FP.of_string "step-crash site=1 step=1 mode=before; msg nth=4 fault=dup" in
+  let p = FP.of_string_exn "step-crash site=1 step=1 mode=before; msg nth=4 fault=dup" in
   Alcotest.check plan "parses the documented syntax"
     (FP.make
        ~step_crashes:[ { FP.site = 1; step = 1; mode = FP.Before_transition } ]
@@ -42,13 +48,49 @@ let test_parse_pinned_syntax () =
        ())
     p;
   Alcotest.check plan "newlines separate clauses too"
-    (FP.of_string "crash site=2 at=3\nrecover site=2 at=20")
-    (FP.make ~timed_crashes:[ (2, 3.0) ] ~recoveries:[ (2, 20.0) ] ())
+    (FP.of_string_exn "crash site=2 at=3\nrecover site=2 at=20")
+    (FP.make ~timed_crashes:[ (2, 3.0) ] ~recoveries:[ (2, 20.0) ] ());
+  Alcotest.check plan "disk clause parses"
+    (FP.of_string_exn "disk site=2 fault=torn nth=0")
+    (FP.make ~disk_faults:[ (2, { Sim.Disk.fault = Sim.Disk.Torn; nth = 0 }) ] ())
 
 let test_parse_error () =
   Alcotest.check_raises "garbage raises Parse_error"
     (FP.Parse_error "unknown fault kind: \"frobnicate\"") (fun () ->
-      ignore (FP.of_string "frobnicate site=1"))
+      ignore (FP.of_string_exn "frobnicate site=1"))
+
+let test_of_string_is_total () =
+  (* the CLI path: every malformed input must come back as [Error msg],
+     never an exception, and the message must name what went wrong *)
+  let table =
+    [
+      ("frobnicate site=1", "unknown fault kind");
+      ("crash site=x at=3", "site");
+      ("crash at=3", "site");
+      ("crash site=1 at=soon", "at");
+      ("step-crash site=1 step=1 mode=sideways", "mode");
+      ("msg nth=4 fault=explode", "fault");
+      ("msg nth=four fault=dup", "nth");
+      ("disk site=1 fault=melted nth=0", "disk fault");
+      ("disk site=1 fault=torn", "nth");
+      ("partition from=1 until=2 groups=a", "groups");
+      ("crash site=1 at", "key=value");
+    ]
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (input, needle) ->
+      match FP.of_string input with
+      | Ok p -> Alcotest.failf "%S parsed as %s" input (FP.to_string p)
+      | Error msg ->
+          Alcotest.(check bool)
+            (Fmt.str "%S error mentions %S: %S" input needle msg)
+            true (contains msg needle))
+    table
 
 let gen_plan =
   let open QCheck2.Gen in
@@ -85,13 +127,22 @@ let gen_plan =
          (small_list site))
   in
   let* msg_faults = small_list (pair (int_range 0 50) fault) in
+  let* disk_faults =
+    small_list
+      (map2
+         (fun site (fault, nth) -> (site, { Sim.Disk.fault; nth }))
+         site
+         (pair
+            (oneof [ return Sim.Disk.Torn; return Sim.Disk.Corrupt; return Sim.Disk.Lost_flush ])
+            (int_range 0 5)))
+  in
   return
     (FP.make ~step_crashes ~timed_crashes ~recoveries ~move_crashes ~decide_crashes ~partitions
-       ~msg_faults ())
+       ~msg_faults ~disk_faults ())
 
 let prop_round_trip =
   Helpers.qtest "of_string (to_string p) = p" gen_plan (fun p ->
-      FP.equal p (FP.of_string (FP.to_string p)))
+      FP.equal p (FP.of_string_exn (FP.to_string p)))
 
 let prop_fault_count_matches_clauses =
   Helpers.qtest "fault_count counts every clause" gen_plan (fun p ->
@@ -99,7 +150,7 @@ let prop_fault_count_matches_clauses =
         List.length p.FP.step_crashes + List.length p.FP.timed_crashes
         + List.length p.FP.recoveries + List.length p.FP.move_crashes
         + List.length p.FP.decide_crashes + List.length p.FP.partitions
-        + List.length p.FP.msg_faults
+        + List.length p.FP.msg_faults + List.length p.FP.disk_faults
       in
       FP.fault_count p = clauses)
 
@@ -141,7 +192,7 @@ let prop_of_schedule_round_trips_textually =
         N.generate (Sim.Rng.create ~seed) ~n_sites:3 ~k:2 N.default_profile
       in
       let p = FP.of_schedule schedule in
-      FP.equal p (FP.of_string (FP.to_string p)))
+      FP.equal p (FP.of_string_exn (FP.to_string p)))
 
 let suite =
   [
@@ -149,6 +200,7 @@ let suite =
     Alcotest.test_case "round trip: empty" `Quick test_round_trip_empty;
     Alcotest.test_case "pinned counterexample syntax parses" `Quick test_parse_pinned_syntax;
     Alcotest.test_case "parse error on garbage" `Quick test_parse_error;
+    Alcotest.test_case "of_string is total on malformed input" `Quick test_of_string_is_total;
     prop_round_trip;
     prop_fault_count_matches_clauses;
     Alcotest.test_case "of_schedule maps each fault kind" `Quick test_of_schedule_mapping;

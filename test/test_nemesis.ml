@@ -45,9 +45,26 @@ let prop_schedule_deterministic =
       N.equal_schedule a b)
 
 (* max concurrent failures = max over interval start points of the number
-   of down-intervals containing that point *)
+   of down-intervals containing that point.  A crash's interval closes at
+   its site's recovery, mirroring the generator's own bookkeeping: a
+   recovered site is up, so a later crash elsewhere is not concurrent
+   with it. *)
 let max_concurrent schedule =
-  let intervals = List.filter_map N.interval schedule in
+  let recovery_of site =
+    List.find_map
+      (function N.Recover { site = s; at } when s = site -> Some at | _ -> None)
+      schedule
+  in
+  let intervals =
+    List.filter_map
+      (fun fault ->
+        match (fault, N.interval fault) with
+        | ( (N.Crash { site; _ } | N.Step_crash { site; _ } | N.Backup_crash { site; _ }),
+            Some (from_t, until_t) ) ->
+            Some (from_t, Option.value ~default:until_t (recovery_of site))
+        | _ -> None)
+      schedule
+  in
   List.fold_left
     (fun acc (s, _) ->
       max acc
@@ -65,12 +82,12 @@ let prop_k_zero_no_crashes =
       List.for_all
         (function
           | N.Crash _ | N.Step_crash _ | N.Backup_crash _ -> false
-          | N.Recover _ | N.Partition _ | N.Msg _ -> true)
+          | N.Recover _ | N.Partition _ | N.Msg _ | N.Disk_fault _ -> true)
         (N.generate (Sim.Rng.create ~seed) ~n_sites:3 ~k:0 N.default_profile))
 
 let test_default_profile_respects_network_assumptions () =
-  (* drops and partitions violate the paper's model: the correctness
-     profile must never generate them *)
+  (* drops, partitions and storage faults violate the paper's model: the
+     correctness profile must never generate them *)
   for seed = 0 to 200 do
     List.iter
       (function
@@ -78,8 +95,38 @@ let test_default_profile_respects_network_assumptions () =
             Alcotest.failf "seed %d generated a drop under the default profile" seed
         | N.Partition _ ->
             Alcotest.failf "seed %d generated a partition under the default profile" seed
+        | N.Disk_fault _ ->
+            Alcotest.failf "seed %d generated a disk fault under the default profile" seed
         | _ -> ())
       (gen seed)
+  done
+
+let test_disk_fault_profile_generates_disk_faults () =
+  (* with p_disk_fault armed, some seed must attach a storage fault to a
+     crash incident — and never a lost flush unless its weight is > 0 *)
+  let profile = { N.default_profile with N.p_disk_fault = 0.6 } in
+  let faults =
+    List.concat_map
+      (fun seed ->
+        List.filter_map
+          (function N.Disk_fault { fault; _ } -> Some fault | _ -> None)
+          (gen ~profile seed))
+      (List.init 50 Fun.id)
+  in
+  Alcotest.(check bool) "some disk faults generated" true (faults <> []);
+  Alcotest.(check bool) "lost flushes stay ablation-only" false
+    (List.mem Sim.Disk.Lost_flush faults)
+
+let test_zero_disk_fault_profile_is_stream_transparent () =
+  (* p_disk_fault = 0 must draw nothing extra: schedules stay
+     byte-identical to the disk-fault-free profile, so every PR-3 seed
+     replays unchanged *)
+  let profile = { N.default_profile with N.lost_flush_weight = 3; disk_sync_window = 99 } in
+  for seed = 0 to 100 do
+    Alcotest.(check bool)
+      (Fmt.str "seed %d schedule unchanged" seed)
+      true
+      (N.equal_schedule (gen seed) (gen ~profile seed))
   done
 
 (* ---------------- the World message-fault layer ---------------- *)
@@ -167,6 +214,10 @@ let suite =
     prop_k_zero_no_crashes;
     Alcotest.test_case "default profile: no drops, no partitions" `Quick
       test_default_profile_respects_network_assumptions;
+    Alcotest.test_case "disk-fault profile generates disk faults" `Quick
+      test_disk_fault_profile_generates_disk_faults;
+    Alcotest.test_case "p_disk_fault=0 draws nothing from the stream" `Quick
+      test_zero_disk_fault_profile_is_stream_transparent;
     Alcotest.test_case "msg fault: duplicate" `Quick test_fault_duplicate_delivers_twice;
     Alcotest.test_case "msg fault: drop" `Quick test_fault_drop_loses_message;
     Alcotest.test_case "msg fault: delay" `Quick test_fault_delay_adds_latency;
