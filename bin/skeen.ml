@@ -298,13 +298,69 @@ let chaos_cmd =
              against a bank-transfer workload, judged by the atomicity, conservation and \
              nonblocking-progress oracles (central-2pc and central-3pc only).")
   in
+  let detector_arg =
+    Arg.(
+      value & flag
+      & info [ "detector" ]
+          ~doc:
+            "Replace the failure oracle with timeout-based heartbeat suspicion: sites detect \
+             failures from missing heartbeats, may suspect falsely, and fence termination \
+             directives by election epoch.")
+  in
+  let no_fencing_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fencing" ]
+          ~doc:
+            "Ablation: accept termination directives regardless of epoch.  A deposed-but-alive \
+             backup's stale orders are then obeyed — expect atomicity violations (experiment \
+             E19).  Implies --detector.")
+  in
+  let detector_faults_arg =
+    Arg.(
+      value & flag
+      & info [ "detector-faults" ]
+          ~doc:
+            "Fault profile: add latency spikes, heartbeat-loss bursts and stall (GC-pause) \
+             windows to the schedules — faults that provoke false suspicion without killing \
+             any site.  Implies --detector.")
+  in
+  let heartbeat_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "heartbeat-period" ] ~docv:"T" ~doc:"Detector heartbeat period (seconds).")
+  in
+  let suspicion_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "suspicion-timeout" ] ~docv:"T"
+          ~doc:"Silence after which a peer is suspected (must exceed the heartbeat period).")
+  in
+  let election_arg =
+    Arg.(
+      value & opt float 4.0
+      & info [ "election-timeout" ] ~docv:"T"
+          ~doc:"Objection window a campaigning backup waits before assuming leadership.")
+  in
+  let detector_profile base =
+    {
+      base with
+      Sim.Nemesis.p_delay_spike = 0.4;
+      spike_extra_min = 1.0;
+      spike_extra_max = 3.5;
+      p_stall = 0.45;
+      p_hb_loss = 0.5;
+      detector_window_min = 4.0;
+      detector_window_max = 14.0;
+    }
+  in
   let storage_profile base ~disk_faults ~lost_flush =
     if disk_faults || lost_flush > 0 then
       { base with Sim.Nemesis.p_disk_fault = 0.6; lost_flush_weight = lost_flush }
     else base
   in
   let run_kv label n k seeds seed_base until replay partitions drops quorum ~disk_faults
-      ~lost_flush =
+      ~lost_flush ~detector ~fencing ~detector_faults =
     let protocol =
       match label with
       | "central-2pc" -> Kv.Node.Two_phase
@@ -325,11 +381,12 @@ let chaos_cmd =
           drop_weight = drops;
         }
     in
+    let profile = if detector_faults then detector_profile profile else profile in
     match replay with
     | Some seed ->
         let o =
-          Kv.Chaos_db.run_one ~profile ~protocol ~termination ~n_sites:n ~until ~tracing:true ~k
-            ~seed ()
+          Kv.Chaos_db.run_one ~profile ~protocol ~termination ~n_sites:n ~until ~tracing:true
+            ~detector ~fencing ~k ~seed ()
         in
         Fmt.pr "seed %d schedule:@.%s@." seed
           (match Sim.Nemesis.to_string o.Kv.Chaos_db.schedule with "" -> "(no faults)" | s -> s);
@@ -342,7 +399,8 @@ let chaos_cmd =
     | None ->
         let t0 = Unix.gettimeofday () in
         let summary =
-          Kv.Chaos_db.sweep ~profile ~protocol ~termination ~n_sites:n ~until ~seed_base ~k ~seeds ()
+          Kv.Chaos_db.sweep ~profile ~protocol ~termination ~n_sites:n ~until ~detector ~fencing
+            ~seed_base ~k ~seeds ()
         in
         let wall = Unix.gettimeofday () -. t0 in
         Fmt.pr "%a@." Kv.Chaos_db.pp_summary summary;
@@ -359,9 +417,12 @@ let chaos_cmd =
         if summary.Kv.Chaos_db.violations_by_oracle <> [] then exit 1
   in
   let run label n k seeds seed_base until replay plan_str partitions drops quorum disk_faults
-      lost_flush kv metrics_json =
+      lost_flush kv detector_flag no_fencing detector_faults heartbeat_period suspicion_timeout
+      election_timeout metrics_json =
+    let detector = detector_flag || no_fencing || detector_faults in
+    let fencing = not no_fencing in
     if kv then run_kv label n k seeds seed_base until replay partitions drops quorum ~disk_faults
-        ~lost_flush
+        ~lost_flush ~detector ~fencing ~detector_faults
     else
     let rb = Engine.Rulebook.compile (build label n) in
     let termination =
@@ -375,6 +436,7 @@ let chaos_cmd =
           drop_weight = drops;
         }
     in
+    let profile = if detector_faults then detector_profile profile else profile in
     match (plan_str, replay) with
     | Some s, _ ->
         let plan =
@@ -385,7 +447,8 @@ let chaos_cmd =
               exit 2
         in
         let result, violations =
-          Engine.Chaos.run_plan ~until ~termination ~tracing:true rb ~plan ~seed:seed_base ()
+          Engine.Chaos.run_plan ~until ~termination ~tracing:true ~detector ~heartbeat_period
+            ~suspicion_timeout ~election_timeout ~fencing rb ~plan ~seed:seed_base ()
         in
         Fmt.pr "plan: %s@." (Engine.Failure_plan.to_string plan);
         Fmt.pr "%a@." Engine.Runtime.pp_result result;
@@ -396,10 +459,12 @@ let chaos_cmd =
         if violations <> [] then exit 1
     | None, Some seed ->
         let { Engine.Chaos.plan; violations; _ } =
-          Engine.Chaos.run_one ~profile ~until ~termination rb ~k ~seed ()
+          Engine.Chaos.run_one ~profile ~until ~termination ~detector ~heartbeat_period
+            ~suspicion_timeout ~election_timeout ~fencing rb ~k ~seed ()
         in
         let result, _ =
-          Engine.Chaos.run_plan ~until ~termination ~tracing:true rb ~plan ~seed ()
+          Engine.Chaos.run_plan ~until ~termination ~tracing:true ~detector ~heartbeat_period
+            ~suspicion_timeout ~election_timeout ~fencing rb ~plan ~seed ()
         in
         Fmt.pr "seed %d generates: %s@." seed
           (match Engine.Failure_plan.to_string plan with "" -> "(no faults)" | s -> s);
@@ -411,7 +476,8 @@ let chaos_cmd =
     | None, None ->
         let t0 = Unix.gettimeofday () in
         let summary =
-          Engine.Chaos.sweep ~profile ~until ~termination ~seed_base rb ~k ~seeds ()
+          Engine.Chaos.sweep ~profile ~until ~termination ~detector ~heartbeat_period
+            ~suspicion_timeout ~election_timeout ~fencing ~seed_base rb ~k ~seeds ()
         in
         let wall = Unix.gettimeofday () -. t0 in
         Fmt.pr "%a@." Engine.Chaos.pp_summary summary;
@@ -437,7 +503,8 @@ let chaos_cmd =
     Term.(
       const run $ protocol_opt $ sites_arg $ k_arg $ seeds_arg $ seed_base_arg $ until_arg
       $ replay_arg $ plan_arg $ partitions_arg $ drops_arg $ quorum_arg $ disk_faults_arg
-      $ lost_flush_arg $ kv_arg $ metrics_json_arg)
+      $ lost_flush_arg $ kv_arg $ detector_arg $ no_fencing_arg $ detector_faults_arg
+      $ heartbeat_arg $ suspicion_arg $ election_arg $ metrics_json_arg)
 
 (* ---------------- model-check ---------------- *)
 

@@ -34,7 +34,7 @@
     as a {!Failure_plan.to_string} value that pastes straight into a
     regression test, together with the event trace of its run. *)
 
-type oracle = Atomicity | Progress | Recovery_convergence | Durability
+type oracle = Atomicity | Progress | Recovery_convergence | Durability | Split_brain
 [@@deriving show { with_path = false }, eq]
 
 let oracle_name = function
@@ -42,6 +42,7 @@ let oracle_name = function
   | Progress -> "progress"
   | Recovery_convergence -> "recovery"
   | Durability -> "durability"
+  | Split_brain -> "split-brain"
 
 type violation = { oracle : oracle; detail : string } [@@deriving show { with_path = false }, eq]
 
@@ -176,7 +177,34 @@ let check_durability (result : Runtime.result) =
     Some { oracle = Durability; detail = String.concat "; " problems }
   else None
 
-(* Run the four oracles, timing each into [metrics] when provided. *)
+(* Split-brain: election epochs are globally unique per site by
+   construction ([round * n_sites + (site - 1)]), so an epoch claimed by
+   two distinct sites means two backups believed they owned the same
+   election round — exactly what fencing is meant to exclude.  (The
+   observable damage of a split brain — contradictory decisions — is the
+   atomicity oracle's finding; this one pins the structural invariant.) *)
+let check_split_brain (result : Runtime.result) =
+  let owner = Hashtbl.create 8 in
+  let dup =
+    List.find_opt
+      (fun (site, e) ->
+        match Hashtbl.find_opt owner e with
+        | Some s -> s <> site
+        | None ->
+            Hashtbl.replace owner e site;
+            false)
+      result.Runtime.directive_epochs
+  in
+  match dup with
+  | None -> None
+  | Some (site, e) ->
+      Some
+        {
+          oracle = Split_brain;
+          detail = Printf.sprintf "epoch %d claimed by two sites, e.g. site %d" e site;
+        }
+
+(* Run the five oracles, timing each into [metrics] when provided. *)
 let violations_of ?metrics result =
   let timed name f =
     match metrics with
@@ -193,17 +221,47 @@ let violations_of ?metrics result =
       timed "progress" check_progress;
       timed "recovery" check_recovery;
       timed "durability" check_durability;
+      timed "split_brain" check_split_brain;
     ]
 
+(* The per-run detector counters worth aggregating across a sweep: they
+   answer "how often did suspicion misfire, and what did fencing stop". *)
+let detector_counter_names =
+  [ "false_suspicions"; "elections_started"; "elections"; "epoch_rejected_directives" ]
+
+let aggregate_run_metrics m result =
+  let rm = result.Runtime.run_metrics in
+  List.iter
+    (fun name ->
+      match Sim.Metrics.counter rm name with
+      | 0 -> ()
+      | by -> Sim.Metrics.incr ~by m name)
+    detector_counter_names;
+  (* fold the crash-to-suspicion latency histogram by re-observing bucket
+     midpoints: within one bucket width of exact, which is all the
+     summary percentiles claim anyway *)
+  List.iter
+    (fun (lower, upper, count) ->
+      let v = if Float.is_finite upper then (lower +. upper) /. 2.0 else lower in
+      for _ = 1 to count do
+        Sim.Metrics.observe m "suspicion_latency" v
+      done)
+    (Sim.Metrics.buckets rm "suspicion_latency")
+
 let run_plan ?metrics ?(until = 1500.0) ?(termination = Runtime.Skeen) ?(tracing = false)
-    ?(late_force = false) rulebook ~plan ~seed () =
+    ?(late_force = false) ?detector ?heartbeat_period ?suspicion_timeout ?election_timeout
+    ?fencing rulebook ~plan ~seed () =
   let result =
-    Runtime.run (Runtime.config ~plan ~seed ~tracing ~until ~termination ~late_force rulebook)
+    Runtime.run
+      (Runtime.config ~plan ~seed ~tracing ~until ~termination ~late_force ?detector
+         ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing rulebook)
   in
+  (match metrics with Some m -> aggregate_run_metrics m result | None -> ());
   (result, violations_of ?metrics result)
 
 let run_one ?metrics ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?late_force
-    rulebook ~k ~seed () =
+    ?detector ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing rulebook ~k ~seed ()
+    =
   let n_sites = Core.Protocol.n_sites rulebook.Rulebook.protocol in
   (* The seed's randomness splits: the schedule draws from its own
      stream, the world's latency draws from another, so the schedule
@@ -217,7 +275,8 @@ let run_one ?metrics ?(profile = Sim.Nemesis.default_profile) ?until ?terminatio
       Sim.Metrics.observe m "schedule_faults" (float_of_int (Failure_plan.fault_count plan))
   | None -> ());
   let result, violations =
-    run_plan ?metrics ?until ?termination ?late_force rulebook ~plan ~seed ()
+    run_plan ?metrics ?until ?termination ?late_force ?detector ?heartbeat_period
+      ?suspicion_timeout ?election_timeout ?fencing rulebook ~plan ~seed ()
   in
   { seed; plan; result; violations }
 
@@ -235,6 +294,9 @@ let removal_candidates (p : Failure_plan.t) =
   @ List.mapi (fun i _ -> { p with partitions = remove_nth i p.partitions }) p.partitions
   @ List.mapi (fun i _ -> { p with msg_faults = remove_nth i p.msg_faults }) p.msg_faults
   @ List.mapi (fun i _ -> { p with disk_faults = remove_nth i p.disk_faults }) p.disk_faults
+  @ List.mapi (fun i _ -> { p with delay_spikes = remove_nth i p.delay_spikes }) p.delay_spikes
+  @ List.mapi (fun i _ -> { p with stalls = remove_nth i p.stalls }) p.stalls
+  @ List.mapi (fun i _ -> { p with hb_losses = remove_nth i p.hb_losses }) p.hb_losses
 
 (* Round every non-integral fault time, one at a time, so the minimal
    counterexample reads "crash site=1 at=2" rather than "at=2.0386...". *)
@@ -269,13 +331,41 @@ let rounding_candidates (p : Failure_plan.t) =
         | _ -> None)
       (fun l -> { p with msg_faults = l })
       p.msg_faults
+  @ rounded
+      (fun (d : delay_spec) ->
+        let d_from = Float.round d.d_from
+        and d_until = Float.round d.d_until
+        and d_extra = Float.max 1.0 (Float.round d.d_extra) in
+        if d_from <> d.d_from || d_until <> d.d_until || d_extra <> d.d_extra then
+          Some { d with d_from; d_until; d_extra }
+        else None)
+      (fun l -> { p with delay_spikes = l })
+      p.delay_spikes
+  @ rounded
+      (fun (w : window_spec) ->
+        let w_from = Float.round w.w_from and w_until = Float.round w.w_until in
+        if w_from <> w.w_from || w_until <> w.w_until then Some { w with w_from; w_until }
+        else None)
+      (fun l -> { p with stalls = l })
+      p.stalls
+  @ rounded
+      (fun (w : window_spec) ->
+        let w_from = Float.round w.w_from and w_until = Float.round w.w_until in
+        if w_from <> w.w_from || w_until <> w.w_until then Some { w with w_from; w_until }
+        else None)
+      (fun l -> { p with hb_losses = l })
+      p.hb_losses
 
-let shrink ?metrics ?until ?termination ?late_force rulebook ~seed ~oracle plan =
+let shrink ?metrics ?until ?termination ?late_force ?detector ?heartbeat_period
+    ?suspicion_timeout ?election_timeout ?fencing rulebook ~seed ~oracle plan =
   let runs = ref 0 in
   let still_fails p =
     incr runs;
     (match metrics with Some m -> Sim.Metrics.incr m "shrink_runs" | None -> ());
-    let _, vs = run_plan ?metrics ?until ?termination ?late_force rulebook ~plan:p ~seed () in
+    let _, vs =
+      run_plan ?metrics ?until ?termination ?late_force ?detector ?heartbeat_period
+        ?suspicion_timeout ?election_timeout ?fencing rulebook ~plan:p ~seed ()
+    in
     List.exists (fun v -> v.oracle = oracle) vs
   in
   let rec reduce candidates_of p =
@@ -287,16 +377,17 @@ let shrink ?metrics ?until ?termination ?late_force rulebook ~seed ~oracle plan 
   let p = reduce rounding_candidates p in
   (p, !runs)
 
-let counterexample_of ?metrics ?until ?termination ?late_force rulebook (run : run_outcome)
-    violation =
+let counterexample_of ?metrics ?until ?termination ?late_force ?detector ?heartbeat_period
+    ?suspicion_timeout ?election_timeout ?fencing rulebook (run : run_outcome) violation =
   let cx_plan, cx_shrink_runs =
-    shrink ?metrics ?until ?termination ?late_force rulebook ~seed:run.seed
+    shrink ?metrics ?until ?termination ?late_force ?detector ?heartbeat_period
+      ?suspicion_timeout ?election_timeout ?fencing rulebook ~seed:run.seed
       ~oracle:violation.oracle run.plan
   in
   (* replay the minimal plan with tracing to capture the evidence *)
   let result, vs =
-    run_plan ?until ?termination ~tracing:true ?late_force rulebook ~plan:cx_plan
-      ~seed:run.seed ()
+    run_plan ?until ?termination ~tracing:true ?late_force ?detector ?heartbeat_period
+      ?suspicion_timeout ?election_timeout ?fencing rulebook ~plan:cx_plan ~seed:run.seed ()
   in
   let cx_violation =
     match List.find_opt (fun v -> v.oracle = violation.oracle) vs with
@@ -315,14 +406,18 @@ let counterexample_of ?metrics ?until ?termination ?late_force rulebook (run : r
 
 (* ---------------- seed sweeps ---------------- *)
 
-let sweep ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?late_force
-    ?(seed_base = 0) ?(max_counterexamples = 5) rulebook ~k ~seeds () =
+let sweep ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?late_force ?detector
+    ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing ?(seed_base = 0)
+    ?(max_counterexamples = 5) rulebook ~k ~seeds () =
   let metrics = Sim.Metrics.create () in
   let counterexamples = ref [] in
   let by_oracle = Hashtbl.create 4 in
   for i = 0 to seeds - 1 do
     let seed = seed_base + i in
-    let run = run_one ~metrics ~profile ?until ?termination ?late_force rulebook ~k ~seed () in
+    let run =
+      run_one ~metrics ~profile ?until ?termination ?late_force ?detector ?heartbeat_period
+        ?suspicion_timeout ?election_timeout ?fencing rulebook ~k ~seed ()
+    in
     List.iter
       (fun v ->
         Sim.Metrics.incr metrics (Printf.sprintf "violations_%s" (oracle_name v.oracle));
@@ -330,7 +425,8 @@ let sweep ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?late_for
           (1 + Option.value ~default:0 (Hashtbl.find_opt by_oracle v.oracle));
         if List.length !counterexamples < max_counterexamples then
           counterexamples :=
-            counterexample_of ~metrics ?until ?termination ?late_force rulebook run v
+            counterexample_of ~metrics ?until ?termination ?late_force ?detector
+              ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing rulebook run v
             :: !counterexamples)
       run.violations
   done;

@@ -13,7 +13,7 @@
     are greedily shrunk to a minimal plan that {!Failure_plan.to_string}
     renders ready to paste into a regression test. *)
 
-type oracle = Atomicity | Progress | Recovery_convergence | Durability
+type oracle = Atomicity | Progress | Recovery_convergence | Durability | Split_brain
 
 val pp_oracle : Format.formatter -> oracle -> unit
 val equal_oracle : oracle -> oracle -> bool
@@ -53,8 +53,9 @@ type summary = {
 }
 
 val violations_of : ?metrics:Sim.Metrics.t -> Runtime.result -> violation list
-(** Run the four oracles on a finished run (timing each into [metrics]
-    when given). *)
+(** Run the five oracles on a finished run (timing each into [metrics]
+    when given).  [Split_brain] checks no election epoch in
+    [result.directive_epochs] is claimed by two distinct sites. *)
 
 val run_plan :
   ?metrics:Sim.Metrics.t ->
@@ -62,6 +63,11 @@ val run_plan :
   ?termination:Runtime.termination_rule ->
   ?tracing:bool ->
   ?late_force:bool ->
+  ?detector:bool ->
+  ?heartbeat_period:float ->
+  ?suspicion_timeout:float ->
+  ?election_timeout:float ->
+  ?fencing:bool ->
   Rulebook.t ->
   plan:Failure_plan.t ->
   seed:int ->
@@ -78,6 +84,11 @@ val run_one :
   ?until:float ->
   ?termination:Runtime.termination_rule ->
   ?late_force:bool ->
+  ?detector:bool ->
+  ?heartbeat_period:float ->
+  ?suspicion_timeout:float ->
+  ?election_timeout:float ->
+  ?fencing:bool ->
   Rulebook.t ->
   k:int ->
   seed:int ->
@@ -90,6 +101,11 @@ val shrink :
   ?until:float ->
   ?termination:Runtime.termination_rule ->
   ?late_force:bool ->
+  ?detector:bool ->
+  ?heartbeat_period:float ->
+  ?suspicion_timeout:float ->
+  ?election_timeout:float ->
+  ?fencing:bool ->
   Rulebook.t ->
   seed:int ->
   oracle:oracle ->
@@ -104,6 +120,11 @@ val sweep :
   ?until:float ->
   ?termination:Runtime.termination_rule ->
   ?late_force:bool ->
+  ?detector:bool ->
+  ?heartbeat_period:float ->
+  ?suspicion_timeout:float ->
+  ?election_timeout:float ->
+  ?fencing:bool ->
   ?seed_base:int ->
   ?max_counterexamples:int ->
   Rulebook.t ->

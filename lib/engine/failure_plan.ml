@@ -36,6 +36,17 @@ type partition_spec = {
 }
 [@@deriving show { with_path = false }, eq]
 
+type delay_spec = {
+  d_site : Core.Types.site;
+  d_from : float;
+  d_until : float;
+  d_extra : float;  (** added to every message touching the site in the window *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type window_spec = { w_site : Core.Types.site; w_from : float; w_until : float }
+[@@deriving show { with_path = false }, eq]
+
 type t = {
   step_crashes : step_crash list;
   timed_crashes : (Core.Types.site * float) list;
@@ -51,6 +62,9 @@ type t = {
       (** the nth global send attempt suffers the paired fault *)
   disk_faults : (Core.Types.site * Sim.Disk.injection) list;
       (** storage faults armed on the site's log device *)
+  delay_spikes : delay_spec list;  (** latency-spike windows *)
+  stalls : window_spec list;  (** slow-site ("GC pause") windows *)
+  hb_losses : window_spec list;  (** heartbeat-loss bursts *)
 }
 [@@deriving show { with_path = false }, eq]
 
@@ -64,10 +78,14 @@ let none =
     partitions = [];
     msg_faults = [];
     disk_faults = [];
+    delay_spikes = [];
+    stalls = [];
+    hb_losses = [];
   }
 
 let make ?(step_crashes = []) ?(timed_crashes = []) ?(recoveries = []) ?(move_crashes = [])
-    ?(decide_crashes = []) ?(partitions = []) ?(msg_faults = []) ?(disk_faults = []) () =
+    ?(decide_crashes = []) ?(partitions = []) ?(msg_faults = []) ?(disk_faults = [])
+    ?(delay_spikes = []) ?(stalls = []) ?(hb_losses = []) () =
   {
     step_crashes;
     timed_crashes;
@@ -77,6 +95,9 @@ let make ?(step_crashes = []) ?(timed_crashes = []) ?(recoveries = []) ?(move_cr
     partitions;
     msg_faults;
     disk_faults;
+    delay_spikes;
+    stalls;
+    hb_losses;
   }
 
 (** [crash_at_step ~site ~step ~mode] : the simplest single-crash plan. *)
@@ -94,7 +115,8 @@ let crashing_sites t =
 let fault_count t =
   List.length t.step_crashes + List.length t.timed_crashes + List.length t.recoveries
   + List.length t.move_crashes + List.length t.decide_crashes + List.length t.partitions
-  + List.length t.msg_faults + List.length t.disk_faults
+  + List.length t.msg_faults + List.length t.disk_faults + List.length t.delay_spikes
+  + List.length t.stalls + List.length t.hb_losses
 
 (** Lower a generated {!Sim.Nemesis} schedule into a plan the runtime can
     execute.  Order within each fault family is preserved. *)
@@ -120,7 +142,24 @@ let of_schedule (schedule : Sim.Nemesis.schedule) =
       | Sim.Nemesis.Msg { nth; fault } ->
           { plan with msg_faults = plan.msg_faults @ [ (nth, fault) ] }
       | Sim.Nemesis.Disk_fault { site; fault; nth } ->
-          { plan with disk_faults = plan.disk_faults @ [ (site, { Sim.Disk.fault; nth }) ] })
+          { plan with disk_faults = plan.disk_faults @ [ (site, { Sim.Disk.fault; nth }) ] }
+      | Sim.Nemesis.Delay_window { site; from_t; until_t; extra } ->
+          {
+            plan with
+            delay_spikes =
+              plan.delay_spikes
+              @ [ { d_site = site; d_from = from_t; d_until = until_t; d_extra = extra } ];
+          }
+      | Sim.Nemesis.Stall { site; from_t; until_t } ->
+          {
+            plan with
+            stalls = plan.stalls @ [ { w_site = site; w_from = from_t; w_until = until_t } ];
+          }
+      | Sim.Nemesis.Hb_loss { site; from_t; until_t } ->
+          {
+            plan with
+            hb_losses = plan.hb_losses @ [ { w_site = site; w_from = from_t; w_until = until_t } ];
+          })
     none schedule
 
 (* ------------------------------------------------------------------ *)
@@ -170,6 +209,21 @@ let clause_strings t =
         in
         Printf.sprintf "disk site=%d fault=%s nth=%d" site f_str nth)
       t.disk_faults
+  @ List.map
+      (fun d ->
+        Printf.sprintf "delay site=%d from=%s until=%s extra=%s" d.d_site (float_str d.d_from)
+          (float_str d.d_until) (float_str d.d_extra))
+      t.delay_spikes
+  @ List.map
+      (fun w ->
+        Printf.sprintf "stall site=%d from=%s until=%s" w.w_site (float_str w.w_from)
+          (float_str w.w_until))
+      t.stalls
+  @ List.map
+      (fun w ->
+        Printf.sprintf "hb-loss site=%d from=%s until=%s" w.w_site (float_str w.w_from)
+          (float_str w.w_until))
+      t.hb_losses
 
 let to_string t = String.concat "; " (clause_strings t)
 
@@ -265,6 +319,34 @@ let parse_clause plan clause =
           in
           let d = (int_of "site" (get "site" kvs), { Sim.Disk.fault; nth = int_of "nth" (get "nth" kvs) }) in
           { plan with disk_faults = plan.disk_faults @ [ d ] }
+      | "delay" ->
+          let d =
+            {
+              d_site = int_of "site" (get "site" kvs);
+              d_from = float_of "from" (get "from" kvs);
+              d_until = float_of "until" (get "until" kvs);
+              d_extra = float_of "extra" (get "extra" kvs);
+            }
+          in
+          { plan with delay_spikes = plan.delay_spikes @ [ d ] }
+      | "stall" ->
+          let w =
+            {
+              w_site = int_of "site" (get "site" kvs);
+              w_from = float_of "from" (get "from" kvs);
+              w_until = float_of "until" (get "until" kvs);
+            }
+          in
+          { plan with stalls = plan.stalls @ [ w ] }
+      | "hb-loss" ->
+          let w =
+            {
+              w_site = int_of "site" (get "site" kvs);
+              w_from = float_of "from" (get "from" kvs);
+              w_until = float_of "until" (get "until" kvs);
+            }
+          in
+          { plan with hb_losses = plan.hb_losses @ [ w ] }
       | v -> parse_fail "unknown fault kind: %S" v)
 
 (** Inverse of {!to_string}; clauses separated by ';' or newlines.

@@ -23,6 +23,21 @@ type partition_spec = { from_t : float; until_t : float; groups : Core.Types.sit
 val pp_partition_spec : Format.formatter -> partition_spec -> unit
 val equal_partition_spec : partition_spec -> partition_spec -> bool
 
+type delay_spec = {
+  d_site : Core.Types.site;
+  d_from : float;
+  d_until : float;
+  d_extra : float;  (** added to every message touching the site in the window *)
+}
+
+val pp_delay_spec : Format.formatter -> delay_spec -> unit
+val equal_delay_spec : delay_spec -> delay_spec -> bool
+
+type window_spec = { w_site : Core.Types.site; w_from : float; w_until : float }
+
+val pp_window_spec : Format.formatter -> window_spec -> unit
+val equal_window_spec : window_spec -> window_spec -> bool
+
 type t = {
   step_crashes : step_crash list;
   timed_crashes : (Core.Types.site * float) list;
@@ -36,6 +51,9 @@ type t = {
       (** the nth global send attempt suffers the paired fault *)
   disk_faults : (Core.Types.site * Sim.Disk.injection) list;
       (** storage faults armed on the site's log device *)
+  delay_spikes : delay_spec list;  (** latency-spike windows *)
+  stalls : window_spec list;  (** slow-site ("GC pause") windows *)
+  hb_losses : window_spec list;  (** heartbeat-loss bursts *)
 }
 
 val pp : Format.formatter -> t -> unit
@@ -51,6 +69,9 @@ val make :
   ?partitions:partition_spec list ->
   ?msg_faults:(int * Sim.World.msg_fault) list ->
   ?disk_faults:(Core.Types.site * Sim.Disk.injection) list ->
+  ?delay_spikes:delay_spec list ->
+  ?stalls:window_spec list ->
+  ?hb_losses:window_spec list ->
   unit ->
   t
 

@@ -59,15 +59,28 @@ type site_rt = {
   mutable down_view : Core.Types.site list;  (** failure-detector reports *)
   mutable tainted_view : Core.Types.site list;  (** sites known to have crashed at least once *)
   mutable decided_at : float option;
-  mutable leader_rank_seen : Core.Types.site;
-      (** highest-ranked backup coordinator this site has obeyed.  Under
-          fail-stop (no recovery into leadership) successive backups have
-          strictly increasing site ids, so the rank doubles as an election
-          epoch: a Move_to from a lower rank is a stale directive from a
-          deposed (crashed) backup and must be ignored — otherwise it can
-          re-move a participant out of the state the current backup put it
-          in (the model checker found exactly that split-brain at n=4 with
-          three cascading crashes). *)
+  mutable epoch_seen : int;
+      (** highest election epoch this site has obeyed (-1 before any).
+          Epochs are allotted [round * n_sites + (site - 1)]: globally
+          unique per site, and at round 0 ordered exactly like site rank —
+          so under the reliable detector (where deposed backups are dead
+          and rounds stay 0) this generalizes the old [leader_rank_seen]
+          rule bit-for-bit.  A directive fenced below [epoch_seen] is a
+          stale order from a deposed backup and must be ignored —
+          otherwise it can re-move a participant out of the state the
+          current backup put it in (the model checker found exactly that
+          split-brain at n=4 with three cascading crashes; with a lying
+          detector the deposed backup is still *alive*, which is why rank
+          alone stopped being enough). *)
+  mutable campaigning : bool;
+      (** detector mode: this site has broadcast [Elect] and is waiting
+          for a better-ranked site to object before leading *)
+  mutable lead_epoch : int;
+      (** the epoch this site last assumed leadership at — [site - 1]
+          (its rank-order authority) until it first leads.  Stamped on
+          every directive it issues, so under the oracle a [Move_to] from
+          site [s] always carries epoch [s - 1], exactly the rank the old
+          rule fenced on. *)
   mutable impaired : bool;
       (** a site failure has been detected: the commit protocol proper is
           over and only the termination/recovery protocols may change this
@@ -110,11 +123,28 @@ type config = {
       (** deliberately mis-place the transition force point: append, send
           the transition's messages, and only then sync.  A test-only
           ablation — the durability oracle must catch it. *)
+  detector : bool;
+      (** [true]: replace the oracle failure reports with the
+          timeout-based {!Sim.Detector} (heartbeats over real sends,
+          revocable suspicion, bully election with epochs).  [false] (the
+          default) keeps the paper's reliable-detector oracle; every
+          pre-detector run replays unchanged. *)
+  heartbeat_period : float;  (** detector mode: heartbeat broadcast period *)
+  suspicion_timeout : float;  (** detector mode: silence before suspicion *)
+  election_timeout : float;
+      (** detector mode: how long a candidate waits for a better-ranked
+          site to object to its [Elect] before leading *)
+  fencing : bool;
+      (** [false]: accept every directive regardless of epoch — the
+          ablation that must reproduce a split-brain, mirroring
+          [late_force].  Default [true]. *)
 }
 
 let config ?(votes = []) ?(plan = Failure_plan.none) ?(seed = 1) ?(tracing = false)
     ?(until = 10_000.0) ?(query_interval = 5.0) ?(query_backoff_cap = 45.0) ?partition
-    ?(termination = Skeen) ?(durable_wal = true) ?(late_force = false) rulebook =
+    ?(termination = Skeen) ?(durable_wal = true) ?(late_force = false) ?(detector = false)
+    ?(heartbeat_period = 1.0) ?(suspicion_timeout = 5.0) ?(election_timeout = 4.0)
+    ?(fencing = true) rulebook =
   {
     rulebook;
     votes;
@@ -128,6 +158,11 @@ let config ?(votes = []) ?(plan = Failure_plan.none) ?(seed = 1) ?(tracing = fal
     termination;
     durable_wal;
     late_force;
+    detector;
+    heartbeat_period;
+    suspicion_timeout;
+    election_timeout;
+    fencing;
   }
 
 (** A majority quorum for [n] sites. *)
@@ -161,10 +196,18 @@ type result = {
           only for blocking protocols (or total-failure scenarios) *)
   all_operational_decided : bool;
   store : Wal.Store.t;  (** every site's stable log, for post-hoc oracles *)
+  directive_epochs : (Core.Types.site * int) list;
+      (** every leadership assumption of the run, in order: (site, epoch)
+          at the moment the site began issuing directives.  The
+          split-brain oracle checks that no epoch is shared by two
+          distinct sites. *)
   trace : Sim.World.trace_entry list;
   metrics_json : Sim.Json.t;
       (** full metrics snapshot of the run ({!Sim.Metrics.to_json}):
           counters, gauges and latency histograms *)
+  run_metrics : Sim.Metrics.t;
+      (** the run's live metrics registry (the source of [metrics_json]),
+          so sweeps can aggregate detector counters across runs *)
 }
 
 let planned_vote cfg site =
@@ -197,6 +240,11 @@ module Exec = struct
     query_rng : Sim.Rng.t;
         (** jitter for the query backoff — its own stream, so query
             timing never perturbs the network latency draws *)
+    mutable detector : Msg.t Sim.Detector.t option;
+        (** detector mode only; wired in [run] once the world exists *)
+    mutable directive_epochs : (Core.Types.site * int) list;
+        (** reverse-chronological (site, epoch) of every leadership
+            assumption — the split-brain oracle's feed *)
   }
 
   let rt t site = t.rts.(site - 1)
@@ -344,13 +392,36 @@ module Exec = struct
      the paper assumes those reports are reliable, and the partition
      ablation shows what breaks when they are not. *)
   let eligible_leader t (rt : site_rt) =
-    let candidates =
+    let pick ~ignore_taint =
       Sim.World.sites t.world
       |> List.filter (fun s ->
              if s = rt.site then not rt.ever_crashed
-             else (not (List.mem s rt.down_view)) && not (List.mem s rt.tainted_view))
+             else
+               (not (List.mem s rt.down_view))
+               && (ignore_taint || not (List.mem s rt.tainted_view)))
+      |> function [] -> None | s :: _ -> Some s
     in
-    match candidates with [] -> None | s :: _ -> Some s
+    match pick ~ignore_taint:false with
+    | Some _ as r -> r
+    | None ->
+        (* Under the oracle, taint is fact and an all-tainted view really
+           is a total failure.  Under the detector it is hearsay — every
+           suspicion, false ones included, taints — so insisting on it
+           forever would deadlock runs where every site was briefly
+           suspected.  Fall back to current suspicion only; epochs keep
+           the extra candidates safe. *)
+        if t.cfg.detector then pick ~ignore_taint:true else None
+
+  (* The smallest epoch of this site's allotment ([round * n + site - 1])
+     that outranks everything it has already obeyed — a deposed backup
+     re-elects itself one round up instead of re-issuing stale orders. *)
+  let next_epoch t (rt : site_rt) =
+    let n = List.length (Sim.World.sites t.world) in
+    let rec go r =
+      let e = (r * n) + rt.site - 1 in
+      if e > rt.epoch_seen then e else go (r + 1)
+    in
+    go 0
 
   let broadcast_decide t ctx (rt : site_rt) o =
     let peers = List.filter (fun s -> s <> rt.site) (Sim.World.sites t.world) in
@@ -363,7 +434,8 @@ module Exec = struct
             Sim.World.crash_self ctx
         | _ -> ());
         if Sim.World.is_alive t.world rt.site then rt.announced <- Some o;
-        Sim.World.send ctx ~dst (Msg.Decide o))
+        Sim.World.send ctx ~dst
+          (Msg.Decide { outcome = o; epoch = max rt.lead_epoch rt.epoch_seen }))
       peers;
     match crash_after with
     | Some k when k >= List.length peers -> Sim.World.crash_self ctx
@@ -405,7 +477,7 @@ module Exec = struct
             record t "backup %d crashes after sending %d move(s)" rt.site k;
             Sim.World.crash_self ctx
         | _ -> ());
-        Sim.World.send ctx ~dst (Msg.Move_to target))
+        Sim.World.send ctx ~dst (Msg.Move_to { target; epoch = rt.lead_epoch }))
       participants;
     (match crash_after with
     | Some k when k >= List.length participants -> Sim.World.crash_self ctx
@@ -494,8 +566,16 @@ module Exec = struct
     match rt.mode with
     | Leading _ | Polling _ | Stalled -> ()
     | Normal -> (
-        record t "site %d becomes backup coordinator (state %s)" rt.site rt.state;
-        rt.leader_rank_seen <- max rt.leader_rank_seen rt.site;
+        (* Elect an epoch: the site's rank under the oracle (a deposed
+           backup is dead, round 0 suffices and orders exactly like the
+           old rank rule), the next free round under the detector (a
+           deposed backup may be deposed in error and come back — it must
+           outrank its own stale orders). *)
+        let e = if t.cfg.detector then next_epoch t rt else rt.site - 1 in
+        record t "site %d becomes backup coordinator (state %s, epoch %d)" rt.site rt.state e;
+        rt.lead_epoch <- e;
+        rt.epoch_seen <- max rt.epoch_seen e;
+        t.directive_epochs <- (rt.site, e) :: t.directive_epochs;
         Sim.Metrics.incr (Sim.World.metrics t.world) "elections";
         match rt.outcome with
         | Some o ->
@@ -509,7 +589,9 @@ module Exec = struct
                 (* poll the reachable participants' states first *)
                 let participants = reachable_participants t rt in
                 rt.mode <- Polling { awaiting = participants; polled = [ (rt.site, rt.state) ] };
-                List.iter (fun dst -> Sim.World.send ctx ~dst Msg.State_req) participants;
+                List.iter
+                  (fun dst -> Sim.World.send ctx ~dst (Msg.State_req { epoch = e }))
+                  participants;
                 maybe_finish_poll t ctx rt ~q)
             | Skeen -> (
                 match Rulebook.verdict t.cfg.rulebook ~site:rt.site ~state:rt.state with
@@ -522,14 +604,42 @@ module Exec = struct
                     run_phase1 t ctx rt ~target:rt.state
                       ~participants:(reachable_participants t rt))))
 
-  let reconsider_leadership t ctx (rt : site_rt) =
+  let rec reconsider_leadership t ctx (rt : site_rt) =
     match eligible_leader t rt with
-    | Some s when s = rt.site -> start_termination t ctx rt
+    | Some s when s = rt.site ->
+        if t.cfg.detector then start_campaign t ctx rt else start_termination t ctx rt
     | Some _ -> ()
     | None ->
         (* Every site has crashed at least once: no termination protocol can
            run; undecided survivors fall back to querying. *)
         if rt.outcome = None then enter_stalled t ctx rt
+
+  (* Bully election with a second chance: the candidate asks EVERY
+     better-ranked site to object — suspected ones included, because a
+     suspicion may be false and a live better-ranked site must win.  An
+     objection ([Elect_ack]) makes the candidate stand down; silence for
+     [election_timeout] lets it lead. *)
+  and start_campaign t ctx (rt : site_rt) =
+    match rt.mode with
+    | Leading _ | Polling _ | Stalled -> ()
+    | Normal ->
+        if not rt.campaigning then begin
+          let lower = List.filter (fun s -> s < rt.site) (Sim.World.sites t.world) in
+          if lower = [] then start_termination t ctx rt
+          else begin
+            rt.campaigning <- true;
+            Sim.Metrics.incr (Sim.World.metrics t.world) "elections_started";
+            let e = next_epoch t rt in
+            record t "site %d campaigns for leadership at epoch %d" rt.site e;
+            Sim.World.broadcast ctx ~dsts:lower (Msg.Elect { epoch = e });
+            ignore
+              (Sim.World.set_timer ctx ~delay:t.cfg.election_timeout (fun () ->
+                   if rt.campaigning then begin
+                     rt.campaigning <- false;
+                     if eligible_leader t rt = Some rt.site then start_termination t ctx rt
+                   end))
+          end
+        end
 
   (* ---------------- handlers ---------------- *)
 
@@ -541,24 +651,40 @@ module Exec = struct
           rt.inbox <- Core.Message.Multiset.add m rt.inbox;
           try_fire t ctx rt
         end
-    | Msg.Move_to s -> (
+    | Msg.Heartbeat ->
+        (* evidence of life only — already consumed by [Detector.heard] *)
+        ()
+    | Msg.Move_to { target = s; epoch = e } -> (
         match rt.outcome with
         | Some o ->
             rt.announced <- Some o;
-            Sim.World.send ctx ~dst:src (Msg.Decide o)
+            Sim.World.send ctx ~dst:src (Msg.Decide { outcome = o; epoch = max e rt.epoch_seen })
         | None ->
             if rt.ever_crashed then
               (* Recovered sites follow the recovery protocol only. *)
               ()
-            else if src < rt.leader_rank_seen then
-              (* a stale directive from a deposed backup: ignore it *)
-              record t "site %d ignores stale move from deposed backup %d" rt.site src
+            else if t.cfg.fencing && e < rt.epoch_seen then begin
+              (* a stale directive from a deposed backup: fence it.  Under
+                 the detector the deposed backup is possibly still alive —
+                 tell it, so it stands down instead of deciding alone. *)
+              Sim.Metrics.incr (Sim.World.metrics t.world) "epoch_rejected_directives";
+              record t "site %d fences stale move from deposed backup %d (e%d < e%d)" rt.site src
+                e rt.epoch_seen;
+              if t.cfg.detector then
+                Sim.World.send ctx ~dst:src (Msg.Epoch_reject { epoch = rt.epoch_seen })
+            end
             else begin
               (* a backup with higher authority (from a view in which we
-                 are not the leader) is directing us: abandon any poll of
-                 our own and follow it *)
-              rt.leader_rank_seen <- src;
-              (match rt.mode with Polling _ -> rt.mode <- Normal | Normal | Leading _ | Stalled -> ());
+                 are not the leader) is directing us: abandon any poll or
+                 phase 1 of our own and follow it *)
+              rt.epoch_seen <- max rt.epoch_seen e;
+              (match rt.mode with
+              | Polling _ -> rt.mode <- Normal
+              | Leading _ when t.cfg.detector -> rt.mode <- Normal
+              | Normal | Leading _ | Stalled -> ());
+              (* under the detector a directive is also the failure signal
+                 itself: freeze the FSA exactly as an oracle report would *)
+              if t.cfg.detector then rt.impaired <- true;
               if rt.state <> s then begin
                 (* forced before the ack: the backup will decide from the
                    belief that this move is stable *)
@@ -574,11 +700,23 @@ module Exec = struct
             l.awaiting <- List.filter (fun x -> x <> src) l.awaiting;
             maybe_finish_phase1 t ctx rt
         | Polling _ | Normal | Stalled -> ())
-    | Msg.State_req ->
-        (* quorum poll: recovered sites that have not resolved keep quiet
-           (their pre-crash state is stale); everyone else reports *)
-        if rt.outcome <> None || not rt.ever_crashed then
-          Sim.World.send ctx ~dst:src (Msg.State_rep rt.state)
+    | Msg.State_req { epoch = e } ->
+        if t.cfg.detector && t.cfg.fencing && e < rt.epoch_seen then begin
+          Sim.Metrics.incr (Sim.World.metrics t.world) "epoch_rejected_directives";
+          record t "site %d fences stale state-req from deposed backup %d (e%d < e%d)" rt.site
+            src e rt.epoch_seen;
+          Sim.World.send ctx ~dst:src (Msg.Epoch_reject { epoch = rt.epoch_seen })
+        end
+        else begin
+          if t.cfg.detector then begin
+            rt.epoch_seen <- max rt.epoch_seen e;
+            if rt.outcome = None && not rt.ever_crashed then rt.impaired <- true
+          end;
+          (* quorum poll: recovered sites that have not resolved keep quiet
+             (their pre-crash state is stale); everyone else reports *)
+          if rt.outcome <> None || not rt.ever_crashed then
+            Sim.World.send ctx ~dst:src (Msg.State_rep rt.state)
+        end
     | Msg.State_rep s -> (
         match (rt.mode, t.cfg.termination) with
         | Polling p, Quorum q ->
@@ -586,15 +724,25 @@ module Exec = struct
             p.awaiting <- List.filter (fun x -> x <> src) p.awaiting;
             maybe_finish_poll t ctx rt ~q
         | _ -> ())
-    | Msg.Decide o ->
-        let was_leading =
-          match rt.mode with Leading _ -> true | Polling _ | Normal | Stalled -> false
-        in
-        if rt.outcome = None then begin
-          finalize t rt o;
-          (* A participant that was already final answered our Move_to with
-             the outcome: relay it so phase 2 still reaches everyone. *)
-          if was_leading then broadcast_decide t ctx rt o
+    | Msg.Decide { outcome = o; epoch = e } ->
+        if t.cfg.detector && t.cfg.fencing && e < rt.epoch_seen then begin
+          Sim.Metrics.incr (Sim.World.metrics t.world) "epoch_rejected_directives";
+          record t "site %d fences stale decide from deposed backup %d (e%d < e%d)" rt.site src
+            e rt.epoch_seen;
+          Sim.World.send ctx ~dst:src (Msg.Epoch_reject { epoch = rt.epoch_seen })
+        end
+        else begin
+          if t.cfg.detector then rt.epoch_seen <- max rt.epoch_seen e;
+          let was_leading =
+            match rt.mode with Leading _ -> true | Polling _ | Normal | Stalled -> false
+          in
+          if rt.outcome = None then begin
+            finalize t rt o;
+            (* A participant that was already final answered our Move_to
+               with the outcome: relay it so phase 2 still reaches
+               everyone. *)
+            if was_leading then broadcast_decide t ctx rt o
+          end
         end
     | Msg.Query_outcome ->
         (match rt.outcome with Some o -> rt.announced <- Some o | None -> ());
@@ -608,8 +756,35 @@ module Exec = struct
           if was_stalled then broadcast_decide t ctx rt o
         end
     | Msg.Outcome_reply None -> ()
+    | Msg.Elect { epoch = e } ->
+        (* A worse-ranked site believes the leader chain is broken.  If we
+           are a live, never-crashed better-ranked site we object — the
+           candidate stands down — and take the hint to reconsider leading
+           ourselves.  A suspected-but-alive site's objection is exactly
+           the second chance that makes false suspicion survivable. *)
+        if rt.site < src && not rt.ever_crashed then begin
+          record t "site %d objects to site %d's campaign (epoch %d)" rt.site src e;
+          Sim.World.send ctx ~dst:src Msg.Elect_ack;
+          reconsider_leadership t ctx rt
+        end
+    | Msg.Elect_ack ->
+        if rt.campaigning then begin
+          record t "site %d stands down: a better-ranked site objected" rt.site;
+          rt.campaigning <- false
+        end
+    | Msg.Epoch_reject { epoch = e } -> (
+        rt.epoch_seen <- max rt.epoch_seen e;
+        match rt.mode with
+        | Leading _ | Polling _ ->
+            (* Deposed while directing: abandon the round WITHOUT deciding
+               (the higher-epoch backup owns the transaction now) and fall
+               back to querying for its outcome. *)
+            record t "backup %d stands down: deposed at epoch %d" rt.site e;
+            rt.mode <- Normal;
+            if rt.outcome = None then enter_stalled t ctx rt
+        | Normal | Stalled -> ())
 
-  let on_peer_down t ctx failed =
+  let handle_peer_down t ctx failed =
     let rt = rt t ctx.Sim.World.self in
     rt.impaired <- true;
     if not (List.mem failed rt.down_view) then rt.down_view <- failed :: rt.down_view;
@@ -629,9 +804,22 @@ module Exec = struct
        waiting by a coordinator that crashed mid-broadcast still learn it. *)
     reconsider_leadership t ctx rt
 
-  let on_peer_up t ctx recovered =
+  let handle_peer_up t ctx recovered =
     let rt = rt t ctx.Sim.World.self in
     rt.down_view <- List.filter (fun x -> x <> recovered) rt.down_view;
+    (* A retracted false suspicion: if no failure evidence remains and no
+       termination directive ever reached this site, the freeze was
+       spurious — thaw the FSA and resume the normal protocol.  (Once a
+       directive has been obeyed the termination protocol owns the
+       transaction, so the freeze must stick.) *)
+    if
+      t.cfg.detector && rt.impaired && rt.down_view = [] && rt.epoch_seen < 0
+      && rt.mode = Normal && rt.outcome = None
+    then begin
+      record t "site %d thaws: every suspicion was retracted" rt.site;
+      rt.impaired <- false;
+      try_fire t ctx rt
+    end;
     (* a stalled site may be deep into its backoff when the peer returns:
        the recovery report is the signal that querying can succeed again
        (messages dropped by a partition are dropped at send time, so
@@ -654,6 +842,16 @@ module Exec = struct
         reconsider_leadership t ctx rt
     | Quorum _ | Skeen -> ()
 
+  (* The oracle's reports and the detector's suspicions drive the same
+     view machinery; in detector mode the oracle events are ignored (the
+     world still emits them — they are generated from the crash schedule —
+     but suspicion is the only failure signal the sites may act on). *)
+  let on_peer_down t ctx failed =
+    if not t.cfg.detector then handle_peer_down t ctx failed
+
+  let on_peer_up t ctx recovered =
+    if not t.cfg.detector then handle_peer_up t ctx recovered
+
   (* Recovery protocol (paper §7): classify the stable log.  Before the
      commit point — no yes vote on the log — the site aborts unilaterally,
      provided its protocol gives it a veto at all; otherwise, and after a
@@ -663,6 +861,7 @@ module Exec = struct
     rt.ever_crashed <- true;
     rt.inbox <- Core.Message.Multiset.empty;
     rt.mode <- Normal;
+    rt.campaigning <- false;
     rt.query_attempts <- 0;
     (* volatile memory did not survive: the decision must be re-derived
        from the stable log.  With a lossless log this is a no-op (the
@@ -697,11 +896,21 @@ module Exec = struct
 
   let handlers t _site : Msg.t Sim.World.handlers =
     {
-      Sim.World.on_start = (fun _ctx -> ());
-      on_message = (fun ctx ~src msg -> on_message t ctx ~src msg);
+      Sim.World.on_start =
+        (fun ctx -> match t.detector with Some d -> Sim.Detector.start d ctx | None -> ());
+      on_message =
+        (fun ctx ~src msg ->
+          (match t.detector with
+          | Some d -> Sim.Detector.heard d ~self:ctx.Sim.World.self ~src
+          | None -> ());
+          on_message t ctx ~src msg);
       on_peer_down = (fun ctx failed -> on_peer_down t ctx failed);
       on_peer_up = (fun ctx recovered -> on_peer_up t ctx recovered);
-      on_restart = (fun ctx -> on_restart t ctx);
+      on_restart =
+        (fun ctx ->
+          on_restart t ctx;
+          (* the crashed incarnation's detector timers died with it *)
+          match t.detector with Some d -> Sim.Detector.start d ctx | None -> ());
     }
 end
 
@@ -758,7 +967,9 @@ let run (cfg : config) : result =
           down_view = [];
           tainted_view = [];
           decided_at = None;
-          leader_rank_seen = 0;
+          epoch_seen = -1;
+          campaigning = false;
+          lead_epoch = site - 1;
           impaired = false;
           sent_yes = false;
           announced = None;
@@ -772,8 +983,19 @@ let run (cfg : config) : result =
       store;
       rts;
       query_rng = Sim.Rng.split (Sim.Rng.create ~seed:cfg.seed);
+      detector = None;
+      directive_epochs = [];
     }
   in
+  if cfg.detector then
+    exec.Exec.detector <-
+      Some
+        (Sim.Detector.create ~heartbeat_period:cfg.heartbeat_period
+           ~suspicion_timeout:cfg.suspicion_timeout ~world ~heartbeat:Msg.Heartbeat
+           ~is_heartbeat:(function Msg.Heartbeat -> true | _ -> false)
+           ~on_suspect:(fun ctx s -> Exec.handle_peer_down exec ctx s)
+           ~on_unsuspect:(fun ctx s -> Exec.handle_peer_up exec ctx s)
+           ());
   (* Environment input: the initial transaction requests. *)
   List.iter
     (fun m -> Sim.World.inject world ~dst:m.Core.Message.dst ~at:0.01 (Msg.Proto m))
@@ -793,6 +1015,25 @@ let run (cfg : config) : result =
         Sim.World.schedule_partition world ~from_t:p.from_t ~until_t:p.until_t p.groups)
     cfg.plan.Failure_plan.partitions;
   Sim.World.set_msg_faults world cfg.plan.Failure_plan.msg_faults;
+  (* detector-stressing faults: scheduled regardless of mode (a latency
+     spike perturbs message timing either way; heartbeat loss is inert
+     without a detector) *)
+  List.iter
+    (fun (d : Failure_plan.delay_spec) ->
+      Sim.World.schedule_latency_spike world ~site:d.Failure_plan.d_site
+        ~from_t:d.Failure_plan.d_from ~until_t:d.Failure_plan.d_until
+        ~extra:d.Failure_plan.d_extra)
+    cfg.plan.Failure_plan.delay_spikes;
+  List.iter
+    (fun (w : Failure_plan.window_spec) ->
+      Sim.World.schedule_stall world ~site:w.Failure_plan.w_site ~from_t:w.Failure_plan.w_from
+        ~until_t:w.Failure_plan.w_until)
+    cfg.plan.Failure_plan.stalls;
+  List.iter
+    (fun (w : Failure_plan.window_spec) ->
+      Sim.World.schedule_hb_loss world ~site:w.Failure_plan.w_site ~from_t:w.Failure_plan.w_from
+        ~until_t:w.Failure_plan.w_until)
+    cfg.plan.Failure_plan.hb_losses;
   ignore (Sim.World.run world ~handlers:(Exec.handlers exec) ~until:cfg.until ());
   (* ---- reporting ---- *)
   let wal_outcome (rt : site_rt) =
@@ -840,8 +1081,10 @@ let run (cfg : config) : result =
     blocked_operational = List.length operational_undecided;
     all_operational_decided = operational_undecided = [];
     store;
+    directive_epochs = List.rev exec.Exec.directive_epochs;
     trace = Sim.World.trace_entries world;
     metrics_json = Sim.Metrics.to_json metrics;
+    run_metrics = metrics;
   }
 
 let pp_result ppf r =

@@ -52,6 +52,21 @@ type config = {
       (** deliberately mis-place the transition force point (append, send,
           then sync) — a test-only ablation the durability oracle must
           catch *)
+  detector : bool;
+      (** [true]: replace the oracle failure reports with the
+          timeout-based {!Sim.Detector} (heartbeats over real sends,
+          revocable suspicion, bully election with epochs).  [false] (the
+          default) keeps the paper's reliable-detector oracle; every
+          pre-detector run replays unchanged. *)
+  heartbeat_period : float;  (** detector mode: heartbeat broadcast period *)
+  suspicion_timeout : float;  (** detector mode: silence before suspicion *)
+  election_timeout : float;
+      (** detector mode: how long a candidate waits for a better-ranked
+          site to object to its [Elect] before leading *)
+  fencing : bool;
+      (** [false]: accept every termination directive regardless of epoch —
+          the ablation that must reproduce a split-brain, mirroring
+          [late_force].  Default [true]. *)
 }
 
 val config :
@@ -66,6 +81,11 @@ val config :
   ?termination:termination_rule ->
   ?durable_wal:bool ->
   ?late_force:bool ->
+  ?detector:bool ->
+  ?heartbeat_period:float ->
+  ?suspicion_timeout:float ->
+  ?election_timeout:float ->
+  ?fencing:bool ->
   Rulebook.t ->
   config
 
@@ -101,12 +121,19 @@ type result = {
           for blocking protocols or total-failure scenarios *)
   all_operational_decided : bool;
   store : Wal.Store.t;  (** every site's stable log, for post-hoc oracles *)
+  directive_epochs : (Core.Types.site * int) list;
+      (** every leadership assumption of the run, in order: (site, epoch)
+          when the site began issuing directives.  The split-brain oracle
+          checks no epoch is shared by two distinct sites. *)
   trace : Sim.World.trace_entry list;
   metrics_json : Sim.Json.t;
       (** full metrics snapshot of the run ({!Sim.Metrics.to_json}):
           counters, gauges and latency histograms — decision latency,
           messages-to-decision, WAL appends, termination rounds, event
           counts and queue-depth high-water mark *)
+  run_metrics : Sim.Metrics.t;
+      (** the run's live metrics registry (the source of [metrics_json]),
+          so sweeps can aggregate detector counters across runs *)
 }
 
 val run : config -> result

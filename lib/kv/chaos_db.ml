@@ -14,7 +14,7 @@
     counterexample that {!Sim.Nemesis.to_string} renders ready to pin in
     a regression test. *)
 
-type oracle = Atomicity | Conservation | Progress | Durability
+type oracle = Atomicity | Conservation | Progress | Durability | Split_brain
 [@@deriving show { with_path = false }, eq]
 
 let oracle_name = function
@@ -22,6 +22,7 @@ let oracle_name = function
   | Conservation -> "conservation"
   | Progress -> "progress"
   | Durability -> "durability"
+  | Split_brain -> "split-brain"
 
 type violation = { oracle : oracle; detail : string }
 
@@ -52,29 +53,40 @@ let workload_of ~seed =
   Workload.bank rng ~n_txns ~accounts ~arrival_rate:0.4
 
 (* Lower a nemesis schedule onto the Db config's fault surface.  Step- and
-   backup-pinned crashes (absent under the default profile) are ignored. *)
+   backup-pinned crashes (absent under the default profile) are ignored.
+   Detector faults (latency spikes, stalls, heartbeat loss) ride through
+   via {!Engine.Failure_plan}-style windows in the Db config. *)
 let lower (schedule : Sim.Nemesis.schedule) =
   List.fold_left
-    (fun (crashes, recoveries, partitions, msg_faults, disk_faults) fault ->
+    (fun (crashes, recoveries, partitions, msg_faults, disk_faults, windows) fault ->
       match fault with
       | Sim.Nemesis.Crash { site; at } ->
-          ((site, at) :: crashes, recoveries, partitions, msg_faults, disk_faults)
+          ((site, at) :: crashes, recoveries, partitions, msg_faults, disk_faults, windows)
       | Sim.Nemesis.Recover { site; at } ->
-          (crashes, (site, at) :: recoveries, partitions, msg_faults, disk_faults)
+          (crashes, (site, at) :: recoveries, partitions, msg_faults, disk_faults, windows)
       | Sim.Nemesis.Partition { from_t; until_t; groups } ->
-          (crashes, recoveries, (from_t, until_t, groups) :: partitions, msg_faults, disk_faults)
+          ( crashes,
+            recoveries,
+            (from_t, until_t, groups) :: partitions,
+            msg_faults,
+            disk_faults,
+            windows )
       | Sim.Nemesis.Msg { nth; fault } ->
-          (crashes, recoveries, partitions, (nth, fault) :: msg_faults, disk_faults)
+          (crashes, recoveries, partitions, (nth, fault) :: msg_faults, disk_faults, windows)
       | Sim.Nemesis.Disk_fault { site; fault; nth } ->
           ( crashes,
             recoveries,
             partitions,
             msg_faults,
-            (site, { Sim.Disk.fault; nth }) :: disk_faults )
+            (site, { Sim.Disk.fault; nth }) :: disk_faults,
+            windows )
+      | (Sim.Nemesis.Delay_window _ | Sim.Nemesis.Stall _ | Sim.Nemesis.Hb_loss _) as w ->
+          (crashes, recoveries, partitions, msg_faults, disk_faults, w :: windows)
       | Sim.Nemesis.Step_crash _ | Sim.Nemesis.Backup_crash _ ->
-          (crashes, recoveries, partitions, msg_faults, disk_faults))
-    ([], [], [], [], []) schedule
-  |> fun (c, r, p, m, d) -> (List.rev c, List.rev r, List.rev p, List.rev m, List.rev d)
+          (crashes, recoveries, partitions, msg_faults, disk_faults, windows))
+    ([], [], [], [], [], []) schedule
+  |> fun (c, r, p, m, d, w) ->
+  (List.rev c, List.rev r, List.rev p, List.rev m, List.rev d, List.rev w)
 
 let crash_sites schedule =
   List.filter_map
@@ -165,15 +177,41 @@ let violations ~(protocol : Node.protocol) ~schedule (r : Db.result) =
           };
         ]
   in
-  atomicity @ progress @ conservation @ durability
+  (* Split-brain: election epochs are globally unique per site by
+     construction ([round * n_sites + (site - 1)]), so two distinct sites
+     sharing a (txn, epoch) pair means two backups believed they owned
+     the same election round — exactly what fencing is meant to exclude. *)
+  let split_brain =
+    let owner = Hashtbl.create 16 in
+    let dup =
+      List.find_opt
+        (fun (txn, site, e) ->
+          match Hashtbl.find_opt owner (txn, e) with
+          | Some s -> s <> site
+          | None ->
+              Hashtbl.replace owner (txn, e) site;
+              false)
+        r.Db.directive_epochs
+    in
+    match dup with
+    | None -> []
+    | Some (txn, site, e) ->
+        [
+          {
+            oracle = Split_brain;
+            detail = Fmt.str "epoch %d of txn %d claimed by two sites, e.g. site %d" e txn site;
+          };
+        ]
+  in
+  atomicity @ progress @ conservation @ durability @ split_brain
 
 let run_schedule ?(protocol = Node.Three_phase) ?(termination = Node.T_skeen) ?(n_sites = 4)
-    ?(until = 3000.0) ?(tracing = false) ?(durable_wal = true) ~seed
+    ?(until = 3000.0) ?(tracing = false) ?(durable_wal = true) ?detector ?fencing ~seed
     (schedule : Sim.Nemesis.schedule) =
-  let crashes, recoveries, partitions, msg_faults, disk_faults = lower schedule in
+  let crashes, recoveries, partitions, msg_faults, disk_faults, detector_faults = lower schedule in
   let cfg =
     Db.config ~n_sites ~protocol ~termination ~seed ~until ~tracing ~crashes ~recoveries
-      ~partitions ~msg_faults ~durable_wal ~disk_faults
+      ~partitions ~msg_faults ~durable_wal ~disk_faults ~detector_faults ?detector ?fencing
       ~initial_data:(Workload.bank_initial ~accounts ~initial_balance)
       ()
   in
@@ -188,13 +226,14 @@ type run_outcome = {
 }
 
 let run_one ?(profile = default_profile) ?protocol ?termination ?(n_sites = 4) ?until ?tracing
-    ?durable_wal ~k ~seed () =
+    ?durable_wal ?detector ?fencing ~k ~seed () =
   let root = Sim.Rng.create ~seed in
   ignore (Sim.Rng.split root) (* the workload stream, consumed by [workload_of] *);
   let sched_rng = Sim.Rng.split root in
   let schedule = Sim.Nemesis.generate sched_rng ~n_sites ~k profile in
   let result, violations =
-    run_schedule ?protocol ?termination ~n_sites ?until ?tracing ?durable_wal ~seed schedule
+    run_schedule ?protocol ?termination ~n_sites ?until ?tracing ?durable_wal ?detector ?fencing
+      ~seed schedule
   in
   { seed; schedule; result; violations }
 
@@ -226,15 +265,44 @@ let round_candidates (schedule : Sim.Nemesis.schedule) =
                  (Sim.Nemesis.Msg
                     { nth; fault = Sim.World.Fault_delay (Float.max 1.0 (Float.round d)) });
              ]
+         | Sim.Nemesis.Delay_window { site; from_t; until_t; extra }
+           when non_integral from_t || non_integral until_t || non_integral extra ->
+             [
+               replace
+                 (Sim.Nemesis.Delay_window
+                    {
+                      site;
+                      from_t = Float.round from_t;
+                      until_t = Float.round until_t;
+                      extra = Float.max 1.0 (Float.round extra);
+                    });
+             ]
+         | Sim.Nemesis.Stall { site; from_t; until_t }
+           when non_integral from_t || non_integral until_t ->
+             [
+               replace
+                 (Sim.Nemesis.Stall
+                    { site; from_t = Float.round from_t; until_t = Float.round until_t });
+             ]
+         | Sim.Nemesis.Hb_loss { site; from_t; until_t }
+           when non_integral from_t || non_integral until_t ->
+             [
+               replace
+                 (Sim.Nemesis.Hb_loss
+                    { site; from_t = Float.round from_t; until_t = Float.round until_t });
+             ]
          | _ -> [])
        schedule)
 
-let shrink ?protocol ?termination ?n_sites ?until ?durable_wal ~seed ~oracle
+let shrink ?protocol ?termination ?n_sites ?until ?durable_wal ?detector ?fencing ~seed ~oracle
     (schedule : Sim.Nemesis.schedule) =
   let runs = ref 0 in
   let still_fails candidate =
     incr runs;
-    let _, vs = run_schedule ?protocol ?termination ?n_sites ?until ?durable_wal ~seed candidate in
+    let _, vs =
+      run_schedule ?protocol ?termination ?n_sites ?until ?durable_wal ?detector ?fencing ~seed
+        candidate
+    in
     List.exists (fun v -> v.oracle = oracle) vs
   in
   let rec reduce current =
@@ -261,12 +329,16 @@ type summary = {
 }
 
 let sweep ?(profile = default_profile) ?(protocol = Node.Three_phase) ?termination ?(n_sites = 4)
-    ?until ?durable_wal ?(seed_base = 0) ?(max_counterexamples = 3) ~k ~seeds () =
+    ?until ?durable_wal ?detector ?fencing ?(seed_base = 0) ?(max_counterexamples = 3) ~k ~seeds
+    () =
   let by_oracle = Hashtbl.create 4 in
   let failing = ref [] in
   for i = 0 to seeds - 1 do
     let seed = seed_base + i in
-    let o = run_one ~profile ~protocol ?termination ~n_sites ?until ?durable_wal ~k ~seed () in
+    let o =
+      run_one ~profile ~protocol ?termination ~n_sites ?until ?durable_wal ?detector ?fencing ~k
+        ~seed ()
+    in
     if o.violations <> [] then begin
       List.iter
         (fun v ->
@@ -277,8 +349,8 @@ let sweep ?(profile = default_profile) ?(protocol = Node.Three_phase) ?terminati
         if List.length !failing < max_counterexamples then
           let v = List.hd o.violations in
           fst
-            (shrink ~protocol ?termination ~n_sites ?until ?durable_wal ~seed ~oracle:v.oracle
-               o.schedule)
+            (shrink ~protocol ?termination ~n_sites ?until ?durable_wal ?detector ?fencing ~seed
+               ~oracle:v.oracle o.schedule)
         else o.schedule
       in
       failing := (seed, o.violations, shrunk) :: !failing

@@ -9,7 +9,7 @@
     Violating schedules shrink greedily to a minimal counterexample.
     Deterministic in [(protocol, n_sites, k, seed)]. *)
 
-type oracle = Atomicity | Conservation | Progress | Durability
+type oracle = Atomicity | Conservation | Progress | Durability | Split_brain
 
 val pp_oracle : Format.formatter -> oracle -> unit
 val equal_oracle : oracle -> oracle -> bool
@@ -35,9 +35,11 @@ val lower :
   * (float * float * Core.Types.site list list) list
   * (int * Sim.World.msg_fault) list
   * (Core.Types.site * Sim.Disk.injection) list
-(** Schedule → (crashes, recoveries, partitions, msg_faults, disk_faults)
-    as {!Db.config} takes them.  Step- and backup-pinned crashes are
-    dropped. *)
+  * Sim.Nemesis.fault list
+(** Schedule → (crashes, recoveries, partitions, msg_faults, disk_faults,
+    detector_faults) as {!Db.config} takes them.  Step- and backup-pinned
+    crashes are dropped; the detector-provoking windows (latency spikes,
+    stalls, heartbeat loss) pass through verbatim. *)
 
 val run_schedule :
   ?protocol:Node.protocol ->
@@ -46,6 +48,8 @@ val run_schedule :
   ?until:float ->
   ?tracing:bool ->
   ?durable_wal:bool ->
+  ?detector:bool ->
+  ?fencing:bool ->
   seed:int ->
   Sim.Nemesis.schedule ->
   Db.result * violation list
@@ -67,6 +71,8 @@ val run_one :
   ?until:float ->
   ?tracing:bool ->
   ?durable_wal:bool ->
+  ?detector:bool ->
+  ?fencing:bool ->
   k:int ->
   seed:int ->
   unit ->
@@ -79,6 +85,8 @@ val shrink :
   ?n_sites:int ->
   ?until:float ->
   ?durable_wal:bool ->
+  ?detector:bool ->
+  ?fencing:bool ->
   seed:int ->
   oracle:oracle ->
   Sim.Nemesis.schedule ->
@@ -106,6 +114,8 @@ val sweep :
   ?n_sites:int ->
   ?until:float ->
   ?durable_wal:bool ->
+  ?detector:bool ->
+  ?fencing:bool ->
   ?seed_base:int ->
   ?max_counterexamples:int ->
   k:int ->

@@ -24,13 +24,26 @@ type config = {
   durable_wal : bool;  (** log through simulated disks (sync semantics, crash loses the tail) *)
   disk_faults : (Core.Types.site * Sim.Disk.injection) list;
   initial_data : (string * int) list;
+  detector : bool;
+      (** [true]: replace the oracle failure reports with the timeout-based
+          {!Sim.Detector}; termination directives are fenced by election
+          epochs instead of sender identity.  [false] (the default) keeps
+          the oracle; every pre-detector run replays unchanged. *)
+  fencing : bool;  (** [false]: the split-brain ablation — accept any epoch *)
+  heartbeat_period : float;
+  suspicion_timeout : float;
+  detector_faults : Sim.Nemesis.fault list;
+      (** detector-provoking windows (latency spikes, stalls, heartbeat
+          loss); other fault constructors in the list are ignored here *)
 }
 
 let config ?(n_sites = 4) ?(protocol = Node.Three_phase) ?(presumption = Node.No_presumption)
     ?(termination = Node.T_skeen) ?(read_only_opt = false) ?(seed = 1) ?(lock_wait_timeout = 25.0)
     ?(query_interval = 10.0) ?(query_backoff_cap = 60.0) ?(query_budget = 200) ?(tracing = false)
     ?(until = 100_000.0) ?(crashes = []) ?(recoveries = []) ?(partitions = []) ?(msg_faults = [])
-    ?(durable_wal = true) ?(disk_faults = []) ?(initial_data = []) () =
+    ?(durable_wal = true) ?(disk_faults = []) ?(initial_data = []) ?(detector = false)
+    ?(fencing = true) ?(heartbeat_period = 1.0) ?(suspicion_timeout = 5.0) ?(detector_faults = [])
+    () =
   {
     n_sites;
     protocol;
@@ -51,6 +64,11 @@ let config ?(n_sites = 4) ?(protocol = Node.Three_phase) ?(presumption = Node.No
     durable_wal;
     disk_faults;
     initial_data;
+    detector;
+    fencing;
+    heartbeat_period;
+    suspicion_timeout;
+    detector_faults;
   }
 
 type txn_fate = Fate_committed | Fate_aborted | Fate_pending
@@ -90,6 +108,11 @@ type result = {
           discipline; nonempty only when the stable-storage axiom itself
           is broken (lying sync) *)
   fates : (int * txn_fate) list;
+  directive_epochs : (int * Core.Types.site * int) list;
+      (** every termination-leadership assumption of the run, in order:
+          (txn, site, epoch) when the site began issuing directives for
+          the transaction.  The split-brain oracle checks no (txn, epoch)
+          pair is shared by two distinct sites. *)
   storage_totals : int;  (** sum of all values across all sites *)
   trace : Sim.World.trace_entry list;  (** empty unless [tracing] *)
   metrics : (string * int) list;
@@ -142,20 +165,40 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
           ~query_rng:(Sim.Rng.split qrng_root) ~site:(i + 1)
           ~n_sites:cfg.n_sites ~protocol:cfg.protocol ~storage:storages.(i) ~wal:wals.(i)
           ~lock_wait_timeout:cfg.lock_wait_timeout ~query_interval:cfg.query_interval
-          ~query_budget:cfg.query_budget ())
+          ~query_budget:cfg.query_budget ~detector:cfg.detector ~fencing:cfg.fencing ())
   in
   let node site = nodes.(site - 1) in
+  (* detector mode: suspicion (revocable) drives the nodes' peer views
+     instead of the oracle's crash/recovery reports *)
+  let detector =
+    if not cfg.detector then None
+    else
+      Some
+        (Sim.Detector.create ~heartbeat_period:cfg.heartbeat_period
+           ~suspicion_timeout:cfg.suspicion_timeout ~world ~heartbeat:Kv_msg.Heartbeat
+           ~is_heartbeat:(function Kv_msg.Heartbeat -> true | _ -> false)
+           ~on_suspect:(fun ctx s -> Node.on_peer_down (node ctx.Sim.World.self) ctx s)
+           ~on_unsuspect:(fun ctx s -> Node.on_peer_up (node ctx.Sim.World.self) ctx s)
+           ())
+  in
   let handlers site : Kv_msg.t Sim.World.handlers =
     let n = node site in
     {
-      Sim.World.on_start = (fun ctx -> Node.install_grant_hook n ctx);
-      on_message = (fun ctx ~src msg -> Node.on_message n ctx ~src msg);
-      on_peer_down = (fun ctx failed -> Node.on_peer_down n ctx failed);
-      on_peer_up = (fun ctx recovered -> Node.on_peer_up n ctx recovered);
+      Sim.World.on_start =
+        (fun ctx ->
+          Node.install_grant_hook n ctx;
+          match detector with Some d -> Sim.Detector.start d ctx | None -> ());
+      on_message =
+        (fun ctx ~src msg ->
+          (match detector with Some d -> Sim.Detector.heard d ~self:site ~src | None -> ());
+          Node.on_message n ctx ~src msg);
+      on_peer_down = (fun ctx failed -> if not cfg.detector then Node.on_peer_down n ctx failed);
+      on_peer_up = (fun ctx recovered -> if not cfg.detector then Node.on_peer_up n ctx recovered);
       on_restart =
         (fun ctx ->
           Node.install_grant_hook n ctx;
-          Node.on_restart n ctx);
+          Node.on_restart n ctx;
+          match detector with Some d -> Sim.Detector.start d ctx | None -> ());
     }
   in
   (* client arrivals *)
@@ -169,6 +212,16 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
     (fun (from_t, until_t, groups) -> Sim.World.schedule_partition world ~from_t ~until_t groups)
     cfg.partitions;
   List.iter (fun (s, at) -> Sim.World.schedule_recovery world ~at s) cfg.recoveries;
+  List.iter
+    (function
+      | Sim.Nemesis.Delay_window { site; from_t; until_t; extra } ->
+          Sim.World.schedule_latency_spike world ~site ~from_t ~until_t ~extra
+      | Sim.Nemesis.Stall { site; from_t; until_t } ->
+          Sim.World.schedule_stall world ~site ~from_t ~until_t
+      | Sim.Nemesis.Hb_loss { site; from_t; until_t } ->
+          Sim.World.schedule_hb_loss world ~site ~from_t ~until_t
+      | _ -> ())
+    cfg.detector_faults;
   let duration = Sim.World.run world ~handlers ~until:cfg.until () in
   (* transactions still blocked at quiescence never resolved: account their
      lock-holding time up to the end of the run *)
@@ -313,6 +366,11 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
     in_doubt;
     durability_breaches;
     fates;
+    directive_epochs =
+      Array.to_list nodes
+      |> List.concat_map (fun (n : Node.t) ->
+             List.rev_map (fun (txn, e) -> (txn, n.Node.site, e)) n.Node.directive_epochs)
+      |> List.sort compare;
     storage_totals = Array.to_list storages |> List.fold_left (fun a s -> a + Storage.total s) 0;
     trace = Sim.World.trace_entries world;
     metrics = Sim.Metrics.counters metrics;

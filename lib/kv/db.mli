@@ -31,6 +31,17 @@ type config = {
   disk_faults : (Core.Types.site * Sim.Disk.injection) list;
       (** storage faults to arm on specific sites' disks *)
   initial_data : (string * int) list;
+  detector : bool;
+      (** [true]: replace the oracle failure reports with the timeout-based
+          {!Sim.Detector}; termination directives are fenced by election
+          epochs instead of sender identity.  [false] (the default) keeps
+          the oracle; every pre-detector run replays unchanged. *)
+  fencing : bool;  (** [false]: the split-brain ablation — accept any epoch *)
+  heartbeat_period : float;
+  suspicion_timeout : float;
+  detector_faults : Sim.Nemesis.fault list;
+      (** detector-provoking windows (latency spikes, stalls, heartbeat
+          loss); other fault constructors in the list are ignored here *)
 }
 
 val config :
@@ -53,6 +64,11 @@ val config :
   ?durable_wal:bool ->
   ?disk_faults:(Core.Types.site * Sim.Disk.injection) list ->
   ?initial_data:(string * int) list ->
+  ?detector:bool ->
+  ?fencing:bool ->
+  ?heartbeat_period:float ->
+  ?suspicion_timeout:float ->
+  ?detector_faults:Sim.Nemesis.fault list ->
   unit ->
   config
 
@@ -97,6 +113,11 @@ type result = {
           discipline; nonempty only when the stable-storage axiom itself
           is broken (lying sync) *)
   fates : (int * txn_fate) list;
+  directive_epochs : (int * Core.Types.site * int) list;
+      (** every termination-leadership assumption of the run, in order:
+          (txn, site, epoch) when the site began issuing directives for
+          the transaction.  The split-brain oracle checks no (txn, epoch)
+          pair is shared by two distinct sites. *)
   storage_totals : int;
   trace : Sim.World.trace_entry list;  (** empty unless [tracing] *)
   metrics : (string * int) list;

@@ -11,17 +11,26 @@ type t =
   | Vote of { txn : int; vote : [ `Yes | `No | `Read_only ] }
       (** [`Read_only]: the participant only read, has released its locks,
           and need not hear the outcome (the R*-style optimization) *)
-  | Precommit of { txn : int }  (** 3PC buffer phase; also termination phase 1 "move up" *)
+  | Precommit of { txn : int; epoch : int }
+      (** 3PC buffer phase; also termination phase 1 "move up".  Carries
+          the issuing coordinator's election epoch
+          ([round * n_sites + (site - 1)], the live coordinator at round
+          0) so participants can fence directives from deposed-but-alive
+          backups in detector mode. *)
   | Precommit_ack of { txn : int }
-  | Demote of { txn : int }  (** termination phase 1 "move down" to prepared *)
+  | Demote of { txn : int; epoch : int }  (** termination phase 1 "move down" to prepared *)
   | Demote_ack of { txn : int }
   | Outcome of { txn : int; commit : bool }
   | Done of { txn : int }  (** participant's final acknowledgement *)
   | Status_req of { txn : int }  (** recovery: what happened to this transaction? *)
   | Status_rep of { txn : int; outcome : bool option }
-  | PState_req of { txn : int }
+  | PState_req of { txn : int; epoch : int }
       (** quorum termination: a backup polls participant progress *)
   | PState_rep of { txn : int; state : [ `Working | `Prepared | `Precommitted | `Done of bool ] }
+  | Heartbeat  (** detector mode: periodic evidence of life *)
+  | Epoch_reject of { txn : int; epoch : int }
+      (** a directive for [txn] was fenced; carries the participant's
+          current epoch so the deposed backup stands down *)
 [@@deriving show { with_path = false }, eq]
 
 let to_string = function
@@ -30,9 +39,9 @@ let to_string = function
   | Vote { txn; vote } ->
       Fmt.str "vote(t%d,%s)" txn
         (match vote with `Yes -> "yes" | `No -> "no" | `Read_only -> "read-only")
-  | Precommit { txn } -> Fmt.str "precommit(t%d)" txn
+  | Precommit { txn; epoch } -> Fmt.str "precommit(t%d,e%d)" txn epoch
   | Precommit_ack { txn } -> Fmt.str "precommit-ack(t%d)" txn
-  | Demote { txn } -> Fmt.str "demote(t%d)" txn
+  | Demote { txn; epoch } -> Fmt.str "demote(t%d,e%d)" txn epoch
   | Demote_ack { txn } -> Fmt.str "demote-ack(t%d)" txn
   | Outcome { txn; commit } -> Fmt.str "outcome(t%d,%s)" txn (if commit then "commit" else "abort")
   | Done { txn } -> Fmt.str "done(t%d)" txn
@@ -40,7 +49,7 @@ let to_string = function
   | Status_rep { txn; outcome } ->
       Fmt.str "status-rep(t%d,%s)" txn
         (match outcome with None -> "unknown" | Some true -> "commit" | Some false -> "abort")
-  | PState_req { txn } -> Fmt.str "pstate-req(t%d)" txn
+  | PState_req { txn; epoch } -> Fmt.str "pstate-req(t%d,e%d)" txn epoch
   | PState_rep { txn; state } ->
       Fmt.str "pstate-rep(t%d,%s)" txn
         (match state with
@@ -49,3 +58,5 @@ let to_string = function
         | `Precommitted -> "precommitted"
         | `Done true -> "committed"
         | `Done false -> "aborted")
+  | Heartbeat -> "heartbeat"
+  | Epoch_reject { txn; epoch } -> Fmt.str "epoch-reject(t%d,e%d)" txn epoch

@@ -6,17 +6,21 @@ type t =
       (** phase 1: execute, lock, vote; carries the participant list so
           survivors can run the termination protocol *)
   | Vote of { txn : int; vote : [ `Yes | `No | `Read_only ] }
-  | Precommit of { txn : int }  (** 3PC buffer phase / termination move-up *)
+  | Precommit of { txn : int; epoch : int }
+      (** 3PC buffer phase / termination move-up, fenced by election epoch *)
   | Precommit_ack of { txn : int }
-  | Demote of { txn : int }  (** termination phase 1 on the abort side *)
+  | Demote of { txn : int; epoch : int }  (** termination phase 1 on the abort side *)
   | Demote_ack of { txn : int }
   | Outcome of { txn : int; commit : bool }
   | Done of { txn : int }
   | Status_req of { txn : int }
   | Status_rep of { txn : int; outcome : bool option }
-  | PState_req of { txn : int }
+  | PState_req of { txn : int; epoch : int }
       (** quorum termination: a backup polls participant progress *)
   | PState_rep of { txn : int; state : [ `Working | `Prepared | `Precommitted | `Done of bool ] }
+  | Heartbeat  (** detector mode: periodic evidence of life *)
+  | Epoch_reject of { txn : int; epoch : int }
+      (** a directive was fenced; carries the participant's current epoch *)
 
 val pp : Format.formatter -> t -> unit
 val show : t -> string

@@ -67,6 +67,7 @@ type backup_state = { mutable b_awaiting : Core.Types.site list; b_commit : bool
 type poll_state = {
   mutable q_awaiting : Core.Types.site list;
   mutable q_reps : (Core.Types.site * [ `Working | `Prepared | `Precommitted | `Done of bool ]) list;
+  q_epoch : int;  (** the epoch this poll (and its move-ups) is fenced at *)
 }
 
 type t = {
@@ -104,6 +105,20 @@ type t = {
   mutable down_view : Core.Types.site list;
   mutable tainted : Core.Types.site list;  (** peers known to have crashed this run *)
   mutable ever_crashed : bool;
+  detector : bool;
+      (** failure reports come from the timeout {!Sim.Detector}, not the
+          oracle: suspicion is revocable, so sender-taint is no longer a
+          sound staleness test — epoch fencing replaces it *)
+  fencing : bool;  (** [false]: the split-brain ablation (detector mode) *)
+  epoch_seen : (int, int) Hashtbl.t;
+      (** per transaction: highest election epoch obeyed (absent = -1).
+          Epochs are [round * n_sites + (site - 1)] — globally unique per
+          site, the live coordinator at round 0.  Deliberately NOT reset
+          on restart: a recovered site keeps fencing orders it already
+          knows to be stale. *)
+  mutable directive_epochs : (int * int) list;
+      (** reverse-chronological (txn, epoch) at each termination this
+          site led — feed for the split-brain oracle *)
   lock_wait_timeout : float;
   query_interval : float;
   query_backoff_cap : float;
@@ -118,8 +133,8 @@ type t = {
 }
 
 let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_opt = false)
-    ?(query_backoff_cap = 60.0) ?query_rng ~site ~n_sites ~protocol ~storage ~wal
-    ~lock_wait_timeout ~query_interval ~query_budget () =
+    ?(query_backoff_cap = 60.0) ?query_rng ?(detector = false) ?(fencing = true) ~site ~n_sites
+    ~protocol ~storage ~wal ~lock_wait_timeout ~query_interval ~query_budget () =
   {
     site;
     n_sites;
@@ -140,6 +155,10 @@ let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_
     down_view = [];
     tainted = [];
     ever_crashed = false;
+    detector;
+    fencing;
+    epoch_seen = Hashtbl.create 32;
+    directive_epochs = [];
     lock_wait_timeout;
     query_interval;
     query_backoff_cap;
@@ -160,6 +179,31 @@ let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_
 let note_announce node ~txn ~commit =
   if not (List.mem commit (Hashtbl.find_all node.announced_outcomes txn)) then
     Hashtbl.add node.announced_outcomes txn commit
+
+(* ---- election epochs (see the [epoch_seen] field doc) ---- *)
+
+let epoch_of node ~txn = Option.value ~default:(-1) (Hashtbl.find_opt node.epoch_seen txn)
+
+let bump_epoch node ~txn e =
+  if e > epoch_of node ~txn then Hashtbl.replace node.epoch_seen txn e
+
+(* The smallest epoch of this site's allotment that outranks everything it
+   has obeyed for [txn].  In oracle mode terminations use plain rank
+   ([site - 1], round 0): a deposed backup is dead there, and rank order
+   is exactly the old deterministic election. *)
+let next_epoch node ~txn =
+  let seen = epoch_of node ~txn in
+  let rec go r =
+    let e = (r * node.n_sites) + node.site - 1 in
+    if e > seen then e else go (r + 1)
+  in
+  go 0
+
+let elect_epoch node ~txn =
+  let e = if node.detector then next_epoch node ~txn else node.site - 1 in
+  bump_epoch node ~txn e;
+  node.directive_epochs <- (txn, e) :: node.directive_epochs;
+  e
 
 let metric ctx name = Sim.Metrics.incr (Sim.World.metrics ctx.Sim.World.world) name
 let now ctx = Sim.World.now ctx.Sim.World.world
@@ -370,7 +414,12 @@ let c_all_votes_in node ctx (c : c_txn) =
         (* forced before the precommit round: a recovered coordinator must
            know a backup may have terminated this transaction either way *)
         Kv_wal.force node.wal (Kv_wal.C_precommitted { txn = c.c_id });
-        List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = c.c_id })) up;
+        (* the live coordinator's round-0 authority *)
+        let epoch = node.site - 1 in
+        bump_epoch node ~txn:c.c_id epoch;
+        List.iter
+          (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = c.c_id; epoch }))
+          up;
         if up = [] then c_announce node ctx c ~commit:true
       end
 
@@ -553,6 +602,26 @@ let reachable_others node (p : p_txn) =
       s <> node.site && (not (List.mem s node.down_view)) && not (List.mem s node.tainted))
     p.participants
 
+(* The backup election: lowest operational, never-crashed participant.
+   Deterministic under the oracle.  Under the detector, taint is hearsay
+   (every suspicion taints) and an all-tainted participant set would
+   deadlock the transaction — fall back to current suspicion only; epoch
+   fencing keeps the extra candidates safe. *)
+let eligible_backup node (p : p_txn) =
+  let pick ~ignore_taint =
+    List.filter
+      (fun s ->
+        (not (List.mem s node.down_view))
+        && (ignore_taint || not (List.mem s node.tainted))
+        && (s <> node.site || not node.ever_crashed))
+      p.participants
+  in
+  match pick ~ignore_taint:false with
+  | backup :: _ -> Some backup
+  | [] -> (
+      if not node.detector then None
+      else match pick ~ignore_taint:true with backup :: _ -> Some backup | [] -> None)
+
 (** The backup coordinator's action for one orphaned transaction, driven by
     the paper's decision rule applied to {e its own} participant state. *)
 let run_termination node ctx (p : p_txn) =
@@ -568,14 +637,20 @@ let run_termination node ctx (p : p_txn) =
         (* decision rule: concurrency set of the buffer state contains a
            commit state -> COMMIT.  Phase 1: move everyone up to
            precommitted; phase 2 on the acks. *)
+        let epoch = elect_epoch node ~txn:p.txn in
         Hashtbl.replace node.backups p.txn { b_awaiting = others; b_commit = true };
-        List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = p.txn })) others;
+        List.iter
+          (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = p.txn; epoch }))
+          others;
         if others = [] then on_precommit_ack node ctx ~src:node.site ~txn:p.txn
     | P_prepared | P_working ->
         (* decision rule: no commit state in the concurrency set -> ABORT.
            Phase 1: move everyone down to prepared; phase 2 on the acks. *)
+        let epoch = elect_epoch node ~txn:p.txn in
         Hashtbl.replace node.backups p.txn { b_awaiting = others; b_commit = false };
-        List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Demote { txn = p.txn })) others;
+        List.iter
+          (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Demote { txn = p.txn; epoch }))
+          others;
         if others = [] then on_demote_ack node ctx ~src:node.site ~txn:p.txn
   end
 
@@ -615,7 +690,10 @@ let rec evaluate_quorum_poll node ctx (p : p_txn) ~q (poll : poll_state) =
           me.status <- P_precommitted
       | _ -> ());
       Hashtbl.replace node.backups p.txn { b_awaiting = to_move; b_commit = true };
-      List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = p.txn })) to_move;
+      List.iter
+        (fun dst ->
+          Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = p.txn; epoch = poll.q_epoch }))
+        to_move;
       if to_move = [] then on_precommit_ack node ctx ~src:node.site ~txn:p.txn
     end
     else if count (fun r -> r = `Working || r = `Prepared) >= q then
@@ -655,9 +733,18 @@ let run_quorum_termination node ctx (p : p_txn) ~q =
           others
     | P_working | P_prepared | P_precommitted ->
         let others = reachable_others node p in
-        let poll = { q_awaiting = others; q_reps = [ (node.site, local_pstate node ~txn:p.txn) ] } in
+        let epoch = elect_epoch node ~txn:p.txn in
+        let poll =
+          {
+            q_awaiting = others;
+            q_reps = [ (node.site, local_pstate node ~txn:p.txn) ];
+            q_epoch = epoch;
+          }
+        in
         Hashtbl.replace node.pollings p.txn poll;
-        List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.PState_req { txn = p.txn })) others;
+        List.iter
+          (fun dst -> Sim.World.send ctx ~dst (Kv_msg.PState_req { txn = p.txn; epoch }))
+          others;
         evaluate_quorum_poll node ctx p ~q poll
   end
 
@@ -715,26 +802,17 @@ let on_peer_down node ctx failed =
                     in
                     query_loop node ctx ~txn:p.txn ~targets)
             | Three_phase ->
-                (* Elect the backup: lowest operational, never-crashed
-                   participant.  Deterministic given the reliable failure
-                   detector; cascading failures re-elect automatically.  A
-                   backup already in a final state announces the outcome
-                   directly (phase 1 omitted). *)
-                let eligible =
-                  List.filter
-                    (fun s ->
-                      (not (List.mem s node.down_view))
-                      && (not (List.mem s node.tainted))
-                      && (s <> node.site || not node.ever_crashed))
-                    p.participants
-                in
-                (match eligible with
-                | backup :: _ when backup = node.site -> (
+                (* Elect the backup.  Deterministic given the reliable
+                   failure detector; cascading failures re-elect
+                   automatically.  A backup already in a final state
+                   announces the outcome directly (phase 1 omitted). *)
+                (match eligible_backup node p with
+                | Some backup when backup = node.site -> (
                     match node.termination with
                     | T_skeen -> run_termination node ctx p
                     | T_quorum q -> run_quorum_termination node ctx p ~q)
-                | _ :: _ -> ()
-                | [] ->
+                | Some _ -> ()
+                | None ->
                     (* every participant crashed at least once: fall back to
                        querying (total-failure case) *)
                     query_loop node ctx ~txn:p.txn ~targets:p.participants)))
@@ -761,16 +839,8 @@ let on_peer_up node ctx recovered =
           match p.status with
           | (P_prepared | P_precommitted)
             when List.mem p.coordinator node.tainted && not (Hashtbl.mem node.backups p.txn) -> (
-              let eligible =
-                List.filter
-                  (fun s ->
-                    (not (List.mem s node.down_view))
-                    && (not (List.mem s node.tainted))
-                    && (s <> node.site || not node.ever_crashed))
-                  p.participants
-              in
-              match eligible with
-              | backup :: _ when backup = node.site ->
+              match eligible_backup node p with
+              | Some backup when backup = node.site ->
                   Hashtbl.remove node.pollings p.txn;
                   run_quorum_termination node ctx p ~q
               | _ -> ())
@@ -860,22 +930,36 @@ let on_restart node ctx =
 (* message dispatch                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* A state move is stale when its issuer no longer owns the transaction.
+   Under the oracle that is sender-identity: a directive from a crashed
+   site was in flight when the sender died, and the live backup now owns
+   the transaction's state — adopting it could re-promote a participant
+   the backup demoted.  Under the detector the sender may be alive and
+   merely deposed, so identity is not enough: the directive's election
+   epoch must be no older than the newest this participant has obeyed. *)
+let stale_directive node ~src ~txn ~epoch =
+  if node.detector then node.fencing && epoch < epoch_of node ~txn
+  else List.mem src node.tainted
+
+let fence_directive node ctx ~src ~txn =
+  metric ctx "stale_termination_ignored";
+  if node.detector then begin
+    metric ctx "epoch_rejected_directives";
+    (* tell the deposed backup so it stands down instead of retrying *)
+    Sim.World.send ctx ~dst:src (Kv_msg.Epoch_reject { txn; epoch = epoch_of node ~txn })
+  end
+
 let on_message node ctx ~src (msg : Kv_msg.t) =
   match msg with
   | Kv_msg.Client_begin txn -> on_client_begin node ctx txn
   | Kv_msg.Prepare { txn; ops; participants } -> on_prepare node ctx ~src ~txn ~ops ~participants
   | Kv_msg.Vote { txn; vote } -> on_vote node ctx ~src ~txn ~vote
-  | Kv_msg.Precommit { txn } when List.mem src node.tainted ->
-      (* a state move from a sender known to have crashed is stale — it was
-         in flight (delayed or duplicated) when the sender died, and the
-         live backup coordinator now owns this transaction's state.
-         Adopting it could re-promote a participant the backup demoted. *)
-      ignore txn;
-      metric ctx "stale_termination_ignored"
-  | Kv_msg.Demote { txn } when List.mem src node.tainted ->
-      ignore txn;
-      metric ctx "stale_termination_ignored"
-  | Kv_msg.Precommit { txn } -> (
+  | Kv_msg.Precommit { txn; epoch } when stale_directive node ~src ~txn ~epoch ->
+      fence_directive node ctx ~src ~txn
+  | Kv_msg.Demote { txn; epoch } when stale_directive node ~src ~txn ~epoch ->
+      fence_directive node ctx ~src ~txn
+  | Kv_msg.Precommit { txn; epoch } -> (
+      bump_epoch node ~txn epoch;
       match Hashtbl.find_opt node.p_txns txn with
       | Some p ->
           (match p.status with
@@ -891,7 +975,8 @@ let on_message node ctx ~src (msg : Kv_msg.t) =
           | _ -> ())
       | None -> ())
   | Kv_msg.Precommit_ack { txn } -> on_precommit_ack node ctx ~src ~txn
-  | Kv_msg.Demote { txn } -> (
+  | Kv_msg.Demote { txn; epoch } -> (
+      bump_epoch node ~txn epoch;
       match Hashtbl.find_opt node.p_txns txn with
       | Some p ->
           (* termination phase 1, abort side: adopt the backup's state
@@ -929,8 +1014,28 @@ let on_message node ctx ~src (msg : Kv_msg.t) =
       let outcome = status_of node ~txn in
       (match outcome with Some commit -> note_announce node ~txn ~commit | None -> ());
       Sim.World.send ctx ~dst:src (Kv_msg.Status_rep { txn; outcome })
-  | Kv_msg.PState_req { txn } ->
+  | Kv_msg.PState_req { txn; epoch }
+    when node.detector && node.fencing && epoch < epoch_of node ~txn ->
+      (* a poll is read-only, so it was never identity-checked under the
+         oracle; in detector mode fencing it stops a deposed backup from
+         gathering a quorum it would then act on *)
+      fence_directive node ctx ~src ~txn
+  | Kv_msg.PState_req { txn; epoch } ->
+      if node.detector then bump_epoch node ~txn epoch;
       Sim.World.send ctx ~dst:src (Kv_msg.PState_rep { txn; state = local_pstate node ~txn })
+  | Kv_msg.Heartbeat -> ()
+  | Kv_msg.Epoch_reject { txn; epoch } ->
+      (* a participant refused our directive: a newer backup owns this
+         transaction.  Stand down without deciding — abandon the
+         termination attempt and fall back to querying for the outcome. *)
+      bump_epoch node ~txn epoch;
+      if Hashtbl.mem node.backups txn || Hashtbl.mem node.pollings txn then begin
+        Hashtbl.remove node.backups txn;
+        Hashtbl.remove node.pollings txn;
+        match Hashtbl.find_opt node.p_txns txn with
+        | Some p -> query_loop node ctx ~txn ~targets:(reachable_others node p)
+        | None -> ()
+      end
   | Kv_msg.PState_rep { txn; state } -> (
       match (Hashtbl.find_opt node.pollings txn, node.termination) with
       | Some poll, T_quorum q when List.mem src poll.q_awaiting -> (

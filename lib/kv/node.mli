@@ -64,6 +64,7 @@ type poll_state = {
   mutable q_awaiting : Core.Types.site list;
   mutable q_reps :
     (Core.Types.site * [ `Working | `Prepared | `Precommitted | `Done of bool ]) list;
+  q_epoch : int;  (** the epoch this poll (and its move-ups) is fenced at *)
 }
 
 type t = {
@@ -95,6 +96,18 @@ type t = {
   mutable down_view : Core.Types.site list;
   mutable tainted : Core.Types.site list;
   mutable ever_crashed : bool;
+  detector : bool;
+      (** failure reports come from the timeout {!Sim.Detector}, not the
+          oracle: suspicion is revocable, so sender-taint is no longer a
+          sound staleness test — epoch fencing replaces it *)
+  fencing : bool;  (** [false]: the split-brain ablation (detector mode) *)
+  epoch_seen : (int, int) Hashtbl.t;
+      (** per transaction: highest election epoch obeyed (absent = -1);
+          epochs are [round * n_sites + (site - 1)], globally unique per
+          site.  Not reset on restart. *)
+  mutable directive_epochs : (int * int) list;
+      (** reverse-chronological (txn, epoch) at each termination this
+          site led — feed for the split-brain oracle *)
   lock_wait_timeout : float;
   query_interval : float;
   query_backoff_cap : float;
@@ -114,6 +127,8 @@ val create :
   ?read_only_opt:bool ->
   ?query_backoff_cap:float ->
   ?query_rng:Sim.Rng.t ->
+  ?detector:bool ->
+  ?fencing:bool ->
   site:Core.Types.site ->
   n_sites:int ->
   protocol:protocol ->

@@ -1,0 +1,155 @@
+(** Timeout-based failure suspicion over real {!World.send} traffic.
+
+    The paper assumes the network *reliably* reports failures; this module
+    is the realistic replacement: every site periodically broadcasts a
+    heartbeat message, counts every delivered message (protocol or
+    heartbeat) as evidence its sender is up, and *suspects* a peer it has
+    not heard from within the suspicion timeout.  Hearing from a suspected
+    peer again retracts the suspicion ([on_unsuspect]) — unlike the
+    oracle, a report here is a revocable opinion, not a fact.
+
+    Stall-wake grace: a site returning from a "GC pause"
+    ({!World.schedule_stall}) sees its deferred check timer fire *late*.
+    At that moment its own clocks of every peer are stale even though the
+    peers were talking the whole time, so a late check refreshes the
+    last-heard table instead of mass-suspecting the world.  (The peers
+    suspecting the *stalled* site is the interesting, correct behaviour;
+    the waking site suspecting everyone else would be pure noise.)
+
+    Accounting: suspecting a site that is actually alive increments the
+    [false_suspicions] counter; suspecting one that really crashed
+    records the crash-to-suspicion delay in the [suspicion_latency]
+    histogram (crash instants observed via {!World.add_crash_hook}). *)
+
+type site = World.site
+
+type 'msg per_site = {
+  last_heard : float array;  (** index: peer site; absolute sim time *)
+  suspected : bool array;
+}
+
+type 'msg t = {
+  world : 'msg World.t;
+  heartbeat_period : float;
+  suspicion_timeout : float;
+  heartbeat : 'msg;
+  is_heartbeat : 'msg -> bool;
+  on_suspect : 'msg World.ctx -> site -> unit;
+  on_unsuspect : 'msg World.ctx -> site -> unit;
+  state : 'msg per_site array;  (** index: the observing site *)
+  crashed_at : float array;  (** last real crash instant per site, -1 if never *)
+}
+
+let create ?(heartbeat_period = 1.0) ?(suspicion_timeout = 5.0) ~world ~heartbeat ~is_heartbeat
+    ~on_suspect ~on_unsuspect () =
+  if suspicion_timeout <= heartbeat_period then
+    invalid_arg "Detector.create: suspicion_timeout must exceed heartbeat_period";
+  let n = List.length (World.sites world) in
+  let t =
+    {
+      world;
+      heartbeat_period;
+      suspicion_timeout;
+      heartbeat;
+      is_heartbeat;
+      on_suspect;
+      on_unsuspect;
+      state =
+        Array.init (n + 1) (fun _ ->
+            { last_heard = Array.make (n + 1) 0.0; suspected = Array.make (n + 1) false });
+      crashed_at = Array.make (n + 1) (-1.0);
+    }
+  in
+  World.add_crash_hook world (fun s -> t.crashed_at.(s) <- World.now world);
+  t
+
+let is_heartbeat t m = t.is_heartbeat m
+
+let suspects t ~self =
+  let st = t.state.(self) in
+  List.filter (fun p -> st.suspected.(p)) (World.sites t.world)
+
+let is_suspected t ~self ~peer = t.state.(self).suspected.(peer)
+
+let peers t self = List.filter (fun p -> p <> self) (World.sites t.world)
+
+let suspect t (ctx : 'msg World.ctx) peer =
+  let st = t.state.(ctx.World.self) in
+  st.suspected.(peer) <- true;
+  let m = World.metrics t.world in
+  if World.is_alive t.world peer then begin
+    Metrics.incr m "false_suspicions";
+    World.record t.world "site %d FALSELY suspects site %d (timeout)" ctx.World.self peer
+  end
+  else begin
+    World.record t.world "site %d suspects site %d (timeout)" ctx.World.self peer;
+    if t.crashed_at.(peer) >= 0.0 then
+      Metrics.observe m "suspicion_latency" (World.now t.world -. t.crashed_at.(peer))
+  end;
+  t.on_suspect ctx peer
+
+let unsuspect t (ctx : 'msg World.ctx) peer =
+  let st = t.state.(ctx.World.self) in
+  st.suspected.(peer) <- false;
+  World.record t.world "site %d retracts suspicion of site %d" ctx.World.self peer;
+  t.on_unsuspect ctx peer
+
+(* Evidence of life: every delivered message counts, whatever its kind. *)
+let heard t ~self ~src =
+  if src >= 1 && src < Array.length t.state then begin
+    let st = t.state.(self) in
+    st.last_heard.(src) <- World.now t.world;
+    if st.suspected.(src) then unsuspect t { World.world = t.world; self } src
+  end
+
+let beat t (ctx : 'msg World.ctx) =
+  if not (World.hb_suppressed t.world ctx.World.self) then
+    World.broadcast ctx ~dsts:(peers t ctx.World.self) t.heartbeat
+
+let rec arm_heartbeat t (ctx : 'msg World.ctx) =
+  ignore
+    (World.set_timer ctx ~delay:t.heartbeat_period (fun () ->
+         beat t ctx;
+         arm_heartbeat t ctx))
+
+(* Lateness beyond this means the timer was deferred (a stall window):
+   discrete-event timers otherwise fire exactly on schedule. *)
+let stall_grace = 1e-9
+
+let rec arm_check t (ctx : 'msg World.ctx) =
+  let expected = World.now t.world +. t.heartbeat_period in
+  ignore
+    (World.set_timer ctx ~delay:t.heartbeat_period (fun () ->
+         let self = ctx.World.self in
+         let st = t.state.(self) in
+         let now = World.now t.world in
+         if now > expected +. stall_grace then begin
+           (* waking from a stall: our silence was ours, not theirs *)
+           World.record t.world "site %d wakes from a stall; refreshing peer clocks" self;
+           List.iter (fun p -> st.last_heard.(p) <- now) (peers t self)
+         end
+         else
+           List.iter
+             (fun p ->
+               if (not st.suspected.(p)) && now -. st.last_heard.(p) > t.suspicion_timeout then
+                 suspect t ctx p)
+             (peers t self);
+         arm_check t ctx))
+
+(** Call exactly once per incarnation — from [on_start] and again from
+    [on_restart].  Resets the site's view (a recovering site starts from a
+    clean, unsuspecting slate) and arms the heartbeat/check timer chains;
+    the previous incarnation's chains died with the crash (the world's
+    timer generation check), so re-arming cannot double them. *)
+let start t (ctx : 'msg World.ctx) =
+  let self = ctx.World.self in
+  let st = t.state.(self) in
+  let now = World.now t.world in
+  List.iter
+    (fun p ->
+      st.last_heard.(p) <- now;
+      st.suspected.(p) <- false)
+    (peers t self);
+  beat t ctx;
+  arm_heartbeat t ctx;
+  arm_check t ctx

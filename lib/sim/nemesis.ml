@@ -29,6 +29,15 @@ type fault =
   | Disk_fault of { site : int; fault : Disk.fault; nth : int }
       (** storage fault on the site's log device: [Torn]/[Corrupt] fire
           at the disk's [nth] crash, [Lost_flush] at its [nth] sync *)
+  | Delay_window of { site : int; from_t : float; until_t : float; extra : float }
+      (** latency spike: every message touching [site] in the window gets
+          [extra] added on top of its normal draw *)
+  | Stall of { site : int; from_t : float; until_t : float }
+      (** "GC pause": the site's processor freezes for the window — alive
+          but silent, the canonical false-suspicion provocation *)
+  | Hb_loss of { site : int; from_t : float; until_t : float }
+      (** heartbeat-loss burst: the site's detector heartbeats are
+          suppressed while protocol traffic flows untouched *)
 [@@deriving show { with_path = false }, eq]
 
 type schedule = fault list [@@deriving show { with_path = false }, eq]
@@ -72,6 +81,19 @@ type profile = {
           stable-storage axiom outright, so they are opt-in for ablation
           profiles, exactly like message drops. *)
   disk_sync_window : int;  (** [Lost_flush] sync indices are drawn from [0, disk_sync_window) *)
+  p_delay_spike : float;
+      (** probability the schedule includes one latency-spike window.
+          Default 0 — and generation draws nothing from the stream when
+          0, so detector-era profiles leave earlier schedules
+          byte-identical (the same discipline as [p_disk_fault]). *)
+  spike_extra_min : float;
+  spike_extra_max : float;  (** extra latency drawn from [spike_extra_min, spike_extra_max) *)
+  p_stall : float;  (** probability of one slow-site ("GC pause") stall window; default 0 *)
+  p_hb_loss : float;  (** probability of one heartbeat-loss burst; default 0 *)
+  detector_window_min : float;
+  detector_window_max : float;
+      (** spike/stall/heartbeat-loss window lengths are drawn from
+          [detector_window_min, detector_window_max) *)
 }
 
 let default_profile =
@@ -97,6 +119,13 @@ let default_profile =
     corrupt_weight = 1;
     lost_flush_weight = 0;
     disk_sync_window = 16;
+    p_delay_spike = 0.0;
+    spike_extra_min = 2.0;
+    spike_extra_max = 12.0;
+    p_stall = 0.0;
+    p_hb_loss = 0.0;
+    detector_window_min = 4.0;
+    detector_window_max = 15.0;
   }
 
 (* Conservative activity interval of a crash incident, for the ≤ k
@@ -105,7 +134,7 @@ let default_profile =
 let interval = function
   | Crash { at; _ } -> Some (at, infinity)
   | Step_crash _ | Backup_crash _ -> Some (0.0, infinity)
-  | Recover _ | Partition _ | Msg _ | Disk_fault _ -> None
+  | Recover _ | Partition _ | Msg _ | Disk_fault _ | Delay_window _ | Stall _ | Hb_loss _ -> None
 
 let close_interval recovery_at = function
   | Some (from_t, _) -> Some (from_t, recovery_at)
@@ -197,6 +226,41 @@ let gen_partition rng ~n_sites profile =
     Some (Partition { from_t; until_t = from_t +. len; groups = [ [ isolated ]; rest ] })
   end
 
+(* One detector-fault window.  Each [p_X > 0.0] guard is load-bearing,
+   like [p_disk_fault]'s: with the knob at its default 0 the generator
+   consumes zero draws, so pre-detector schedules replay byte-identically. *)
+let gen_window rng ~n_sites ~p profile =
+  if p > 0.0 && Rng.flip rng ~p then begin
+    let site = 1 + Rng.int rng n_sites in
+    let from_t = Rng.float rng profile.horizon in
+    let len =
+      profile.detector_window_min
+      +. Rng.float rng (profile.detector_window_max -. profile.detector_window_min)
+    in
+    Some (site, from_t, from_t +. len)
+  end
+  else None
+
+let gen_delay_spike rng ~n_sites profile =
+  match gen_window rng ~n_sites ~p:profile.p_delay_spike profile with
+  | Some (site, from_t, until_t) ->
+      let extra =
+        profile.spike_extra_min
+        +. Rng.float rng (profile.spike_extra_max -. profile.spike_extra_min)
+      in
+      Some (Delay_window { site; from_t; until_t; extra })
+  | None -> None
+
+let gen_stall rng ~n_sites profile =
+  match gen_window rng ~n_sites ~p:profile.p_stall profile with
+  | Some (site, from_t, until_t) -> Some (Stall { site; from_t; until_t })
+  | None -> None
+
+let gen_hb_loss rng ~n_sites profile =
+  match gen_window rng ~n_sites ~p:profile.p_hb_loss profile with
+  | Some (site, from_t, until_t) -> Some (Hb_loss { site; from_t; until_t })
+  | None -> None
+
 let generate rng ~n_sites ~k profile =
   if n_sites < 1 then invalid_arg "Nemesis.generate: need at least one site";
   if k < 0 then invalid_arg "Nemesis.generate: k must be >= 0";
@@ -227,7 +291,14 @@ let generate rng ~n_sites ~k profile =
     List.filter_map (fun _ -> gen_msg_fault rng profile) (List.init m Fun.id)
   in
   let partition = Option.to_list (gen_partition rng ~n_sites profile) in
-  crashes @ partition @ msg_faults
+  (* detector-fault draws come last so the stream prefix — and therefore
+     every pre-detector schedule — is unchanged when the knobs are 0 *)
+  let detector_faults =
+    Option.to_list (gen_delay_spike rng ~n_sites profile)
+    @ Option.to_list (gen_stall rng ~n_sites profile)
+    @ Option.to_list (gen_hb_loss rng ~n_sites profile)
+  in
+  crashes @ partition @ detector_faults @ msg_faults
 
 let to_string schedule =
   String.concat "\n" (List.map show_fault schedule)

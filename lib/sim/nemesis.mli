@@ -24,6 +24,13 @@ type fault =
   | Disk_fault of { site : int; fault : Disk.fault; nth : int }
       (** storage fault on the site's log device: [Torn]/[Corrupt] fire
           at the disk's [nth] crash, [Lost_flush] at its [nth] sync *)
+  | Delay_window of { site : int; from_t : float; until_t : float; extra : float }
+      (** latency spike on every message touching [site] in the window *)
+  | Stall of { site : int; from_t : float; until_t : float }
+      (** "GC pause": the site freezes for the window — alive but silent *)
+  | Hb_loss of { site : int; from_t : float; until_t : float }
+      (** detector heartbeats from [site] suppressed; protocol traffic
+          untouched — the canonical false-suspicion provocation *)
 [@@deriving show, eq]
 
 type schedule = fault list [@@deriving show, eq]
@@ -57,6 +64,15 @@ type profile = {
           flushes default to 0 — a lying sync violates the paper's
           stable-storage axiom, so they are ablation-only, like drops *)
   disk_sync_window : int;
+  p_delay_spike : float;
+      (** probability of one latency-spike window; 0 (the default) draws
+          nothing from the stream — the [p_disk_fault] replay discipline *)
+  spike_extra_min : float;
+  spike_extra_max : float;
+  p_stall : float;  (** probability of one slow-site ("GC pause") window; default 0 *)
+  p_hb_loss : float;  (** probability of one heartbeat-loss burst; default 0 *)
+  detector_window_min : float;
+  detector_window_max : float;
 }
 
 val default_profile : profile

@@ -64,10 +64,20 @@ and 'msg t = {
       (** global count of send attempts from live senders; the key space
           of the message-fault schedule below *)
   msg_faults : (int, msg_fault) Hashtbl.t;
-  mutable crash_hook : (site -> unit) option;
-      (** invoked at the instant a site crashes, before anything observes
-          the failure: the durability layer loses its unsynced tail here *)
+  mutable crash_hooks : (site -> unit) list;
+      (** invoked (registration order) at the instant a site crashes,
+          before anything observes the failure: the durability layer loses
+          its unsynced tail here, the failure detector timestamps the
+          crash for suspicion-latency accounting *)
+  mutable delay_windows : window list;
+      (** latency spikes: extra delay on sends touching a site *)
+  mutable stall_windows : window list;
+      (** "GC pauses": events targeting the site are deferred to window end *)
+  mutable hb_loss_windows : window list;
+      (** heartbeat-loss bursts, queried by the failure detector *)
 }
+
+and window = { w_site : site; w_from : float; w_until : float; w_extra : float }
 
 and partition = { p_from : float; p_until : float; p_group : (site * int) list }
 
@@ -103,7 +113,10 @@ let create ?(latency = default_latency) ?(detection_delay = 2.0) ~n_sites ~seed 
     partitions = [];
     send_seq = 0;
     msg_faults = Hashtbl.create 16;
-    crash_hook = None;
+    crash_hooks = [];
+    delay_windows = [];
+    stall_windows = [];
+    hb_loss_windows = [];
   }
 
 let now w = w.now
@@ -186,7 +199,59 @@ let set_msg_faults w faults =
   List.iter (fun (nth, f) -> Hashtbl.replace w.msg_faults nth f) faults
 
 let sends_attempted w = w.send_seq
-let set_crash_hook w f = w.crash_hook <- Some f
+let add_crash_hook w f = w.crash_hooks <- w.crash_hooks @ [ f ]
+let set_crash_hook w f = add_crash_hook w f
+
+(* ---- detector-fault windows ---- *)
+
+let in_window w site windows =
+  List.exists (fun win -> win.w_site = site && w.now >= win.w_from && w.now < win.w_until) windows
+
+(** [schedule_latency_spike w ~site ~from_t ~until_t ~extra] adds [extra]
+    latency to every message sent from or to [site] while the window is
+    open (judged at send time, like partitions).  Does not consume
+    message-fault indices, so armed fault schedules replay unchanged. *)
+let schedule_latency_spike w ~site ~from_t ~until_t ~extra =
+  check_site w site;
+  w.delay_windows <- { w_site = site; w_from = from_t; w_until = until_t; w_extra = extra } :: w.delay_windows
+
+let spike_extra w ~src ~dst =
+  List.fold_left
+    (fun acc win ->
+      if
+        (win.w_site = src || win.w_site = dst)
+        && w.now >= win.w_from && w.now < win.w_until
+      then acc +. win.w_extra
+      else acc)
+    0.0 w.delay_windows
+
+(** [schedule_stall w ~site ~from_t ~until_t] freezes [site] — a "GC
+    pause": deliveries and timers targeting it while the window is open
+    are deferred to the window's end instead of dispatching.  The site
+    does not crash; peers simply stop hearing from it. *)
+let schedule_stall w ~site ~from_t ~until_t =
+  check_site w site;
+  w.stall_windows <- { w_site = site; w_from = from_t; w_until = until_t; w_extra = 0.0 } :: w.stall_windows
+
+let stalled_until w site =
+  List.fold_left
+    (fun acc win ->
+      if win.w_site = site && w.now >= win.w_from && w.now < win.w_until then
+        match acc with
+        | Some u -> Some (Float.max u win.w_until)
+        | None -> Some win.w_until
+      else acc)
+    None w.stall_windows
+
+(** [schedule_hb_loss w ~site ~from_t ~until_t] suppresses failure-detector
+    heartbeats sent by [site] during the window.  Protocol messages are
+    untouched — the channel stays reliable while the detector starves,
+    which is exactly the false-suspicion scenario. *)
+let schedule_hb_loss w ~site ~from_t ~until_t =
+  check_site w site;
+  w.hb_loss_windows <- { w_site = site; w_from = from_t; w_until = until_t; w_extra = 0.0 } :: w.hb_loss_windows
+
+let hb_suppressed w site = in_window w site w.hb_loss_windows
 
 let send ctx ~dst msg =
   let w = ctx.world in
@@ -205,7 +270,11 @@ let send ctx ~dst msg =
     else begin
       let enqueue ?(extra = 0.0) () =
         let delay = w.latency w ~src:ctx.self ~dst in
-        Eventq.push w.queue ~time:(w.now +. delay +. extra)
+        (* latency spikes are judged at send time, like partitions; with no
+           windows armed the sum is exactly 0.0 and the delivery time is
+           bit-identical to a spike-free run *)
+        let spike = spike_extra w ~src:ctx.self ~dst in
+        Eventq.push w.queue ~time:(w.now +. delay +. extra +. spike)
           (Deliver { src = ctx.self; dst; dst_gen = w.generation.(dst); msg })
       in
       match Hashtbl.find_opt w.msg_faults nth with
@@ -265,7 +334,7 @@ let do_crash w s =
     w.generation.(s) <- w.generation.(s) + 1;
     Metrics.incr w.metrics "crashes";
     record w "CRASH site %d" s;
-    (match w.crash_hook with Some f -> f s | None -> ());
+    List.iter (fun f -> f s) w.crash_hooks;
     (* The network reliably reports the failure to every operational site
        after the detection delay. *)
     List.iter
@@ -297,7 +366,17 @@ let do_recover w s =
 
 let stop w = w.stopped <- true
 
-let dispatch w = function
+(* The site an event executes at, for stall deferral.  Crashes and
+   recoveries are acts of the environment, not of the site's processor,
+   so a stalled site still crashes (and recovers) on time. *)
+let event_target = function
+  | Deliver { dst; _ } -> Some dst
+  | Timer { site; _ } -> Some site
+  | Detect_down { observer; _ } | Detect_up { observer; _ } | False_down { observer; _ } ->
+      Some observer
+  | Crash _ | Recover _ -> None
+
+let dispatch_now w = function
   | Deliver { src; dst; dst_gen; msg } ->
       (* the partition check happened at send time: a message on the wire
          is past the network's drop decision *)
@@ -346,6 +425,24 @@ let dispatch w = function
         record w "site %d detects recovery of site %d" observer recovered;
         (handlers_for w observer).on_peer_up { world = w; self = observer } recovered
       end
+
+(* A stalled site's processor does nothing while the window is open:
+   events targeting it are parked and re-enqueued at the window's end,
+   where they dispatch in one burst — the wake-up after a GC pause. *)
+let dispatch w ev =
+  let deferred =
+    match event_target ev with
+    | Some s -> (
+        match stalled_until w s with
+        | Some until_t when until_t > w.now ->
+            Metrics.incr w.metrics "events_stalled";
+            record w "stall defers an event at site %d to %.2f" s until_t;
+            Eventq.push w.queue ~time:until_t ev;
+            true
+        | _ -> false)
+    | None -> false
+  in
+  if not deferred then dispatch_now w ev
 
 (** [run w ~handlers ?until ()] registers handlers, starts every site, and
     processes events in timestamp order until quiescence, [until] (default

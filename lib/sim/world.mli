@@ -69,11 +69,42 @@ val set_msg_faults : 'msg t -> (int * msg_fault) list -> unit
 val sends_attempted : 'msg t -> int
 (** How many fault-indexable send attempts have happened so far. *)
 
-val set_crash_hook : 'msg t -> (site -> unit) -> unit
+val add_crash_hook : 'msg t -> (site -> unit) -> unit
 (** [f site] runs at the instant [site] crashes, before any other site
     can observe the failure — the durability layer registers here so a
-    crash drops the site's unsynced log tail.  One hook per world;
-    replaces any previous hook. *)
+    crash drops the site's unsynced log tail, and the failure detector
+    registers here to timestamp real crashes for suspicion-latency
+    accounting.  Hooks compose: each registration appends, and all hooks
+    run in registration order on every crash. *)
+
+val set_crash_hook : 'msg t -> (site -> unit) -> unit
+(** Deprecated alias for {!add_crash_hook} (it no longer replaces prior
+    hooks — registrations accumulate). *)
+
+val schedule_latency_spike :
+  'msg t -> site:site -> from_t:float -> until_t:float -> extra:float -> unit
+(** Add [extra] latency to every message sent from or to [site] while the
+    window \[[from_t], [until_t]) is open, judged at send time like
+    partitions.  Does not consume message-fault indices, so armed fault
+    schedules replay unchanged. *)
+
+val schedule_stall :
+  'msg t -> site:site -> from_t:float -> until_t:float -> unit
+(** Freeze [site]'s processor — a "GC pause" — during the window:
+    deliveries, timers and detector reports targeting it are deferred to
+    the window's end and then dispatch in one burst.  The site does not
+    crash, and crashes/recoveries scheduled inside the window still
+    happen on time. *)
+
+val schedule_hb_loss :
+  'msg t -> site:site -> from_t:float -> until_t:float -> unit
+(** Suppress failure-detector heartbeats sent by [site] during the
+    window.  Protocol messages are untouched: the channel stays reliable
+    while the detector starves — the canonical false-suspicion fault. *)
+
+val hb_suppressed : 'msg t -> site -> bool
+(** Is the site currently inside a heartbeat-loss window?  Queried by
+    {!Detector} before each heartbeat broadcast. *)
 
 val broadcast : 'msg ctx -> dsts:site list -> 'msg -> unit
 

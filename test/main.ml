@@ -40,4 +40,5 @@ let () =
       ("disk", Test_disk.suite);
       ("wal", Test_wal.suite);
       ("durability", Test_durability.suite);
+      ("detector", Test_detector.suite);
     ]

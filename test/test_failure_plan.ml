@@ -30,6 +30,9 @@ let test_round_trip_every_clause () =
           (2, { Sim.Disk.fault = Sim.Disk.Corrupt; nth = 1 });
           (3, { Sim.Disk.fault = Sim.Disk.Lost_flush; nth = 4 });
         ]
+      ~delay_spikes:[ { FP.d_site = 2; d_from = 3.0; d_until = 9.75; d_extra = 2.5 } ]
+      ~stalls:[ { FP.w_site = 1; w_from = 4.0; w_until = 14.5 } ]
+      ~hb_losses:[ { FP.w_site = 3; w_from = 0.25; w_until = 60.0 } ]
       ()
   in
   Alcotest.check plan "round trip" p (FP.of_string_exn (FP.to_string p))
@@ -52,7 +55,17 @@ let test_parse_pinned_syntax () =
     (FP.make ~timed_crashes:[ (2, 3.0) ] ~recoveries:[ (2, 20.0) ] ());
   Alcotest.check plan "disk clause parses"
     (FP.of_string_exn "disk site=2 fault=torn nth=0")
-    (FP.make ~disk_faults:[ (2, { Sim.Disk.fault = Sim.Disk.Torn; nth = 0 }) ] ())
+    (FP.make ~disk_faults:[ (2, { Sim.Disk.fault = Sim.Disk.Torn; nth = 0 }) ] ());
+  (* the detector-fault clauses a PR-5 counterexample prints in *)
+  Alcotest.check plan "delay clause parses"
+    (FP.of_string_exn "delay site=2 from=3 until=9.75 extra=2.5")
+    (FP.make ~delay_spikes:[ { FP.d_site = 2; d_from = 3.0; d_until = 9.75; d_extra = 2.5 } ] ());
+  Alcotest.check plan "stall clause parses"
+    (FP.of_string_exn "stall site=2 from=4 until=14")
+    (FP.make ~stalls:[ { FP.w_site = 2; w_from = 4.0; w_until = 14.0 } ] ());
+  Alcotest.check plan "hb-loss clause parses"
+    (FP.of_string_exn "hb-loss site=3 from=1 until=60")
+    (FP.make ~hb_losses:[ { FP.w_site = 3; w_from = 1.0; w_until = 60.0 } ] ())
 
 let test_parse_error () =
   Alcotest.check_raises "garbage raises Parse_error"
@@ -75,6 +88,11 @@ let test_of_string_is_total () =
       ("disk site=1 fault=torn", "nth");
       ("partition from=1 until=2 groups=a", "groups");
       ("crash site=1 at", "key=value");
+      ("delay site=2 from=3 until=9 extra=lots", "extra");
+      ("delay site=2 from=3 extra=1", "until");
+      ("stall site=2 from=now until=9", "from");
+      ("stall from=3 until=9", "site");
+      ("hb-loss site=3 from=1 until=never", "until");
     ]
   in
   let contains s sub =
@@ -136,9 +154,21 @@ let gen_plan =
             (oneof [ return Sim.Disk.Torn; return Sim.Disk.Corrupt; return Sim.Disk.Lost_flush ])
             (int_range 0 5)))
   in
+  let* delay_spikes =
+    small_list
+      (map2
+         (fun s ((f, u), e) -> { FP.d_site = s; d_from = f; d_until = u; d_extra = e })
+         site
+         (pair (pair tf tf) tf))
+  in
+  let window =
+    map2 (fun s (f, u) -> { FP.w_site = s; w_from = f; w_until = u }) site (pair tf tf)
+  in
+  let* stalls = small_list window in
+  let* hb_losses = small_list window in
   return
     (FP.make ~step_crashes ~timed_crashes ~recoveries ~move_crashes ~decide_crashes ~partitions
-       ~msg_faults ~disk_faults ())
+       ~msg_faults ~disk_faults ~delay_spikes ~stalls ~hb_losses ())
 
 let prop_round_trip =
   Helpers.qtest "of_string (to_string p) = p" gen_plan (fun p ->
@@ -151,6 +181,8 @@ let prop_fault_count_matches_clauses =
         + List.length p.FP.recoveries + List.length p.FP.move_crashes
         + List.length p.FP.decide_crashes + List.length p.FP.partitions
         + List.length p.FP.msg_faults + List.length p.FP.disk_faults
+        + List.length p.FP.delay_spikes + List.length p.FP.stalls
+        + List.length p.FP.hb_losses
       in
       FP.fault_count p = clauses)
 

@@ -82,7 +82,9 @@ let prop_k_zero_no_crashes =
       List.for_all
         (function
           | N.Crash _ | N.Step_crash _ | N.Backup_crash _ -> false
-          | N.Recover _ | N.Partition _ | N.Msg _ | N.Disk_fault _ -> true)
+          | N.Recover _ | N.Partition _ | N.Msg _ | N.Disk_fault _ | N.Delay_window _ | N.Stall _
+          | N.Hb_loss _ ->
+              true)
         (N.generate (Sim.Rng.create ~seed) ~n_sites:3 ~k:0 N.default_profile))
 
 let test_default_profile_respects_network_assumptions () =
