@@ -12,15 +12,13 @@
     database harness under 3PC must be clean.  Exits non-zero on any
     unexpected result. *)
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let time = Helpers_bench.time
+let rate = Helpers_bench.rate
+let count_for = Helpers_bench.count_for
 
-let rate n wall = if wall > 0.0 then float_of_int n /. wall else 0.0
-
-let count_for by_oracle o =
-  Option.value ~default:0 (List.assoc_opt o by_oracle)
+(* [--workers N] shards every seed sweep below across N domains via
+   Sim.Sweep; results are byte-identical whatever the value. *)
+let workers = Helpers_bench.arg_int "--workers" ~default:1 Sys.argv
 
 (* ---------------- full bench: protocol-level rows ---------------- *)
 
@@ -40,7 +38,7 @@ let engine_configs =
 let engine_row (label, build, n, k, seeds, expected_blocking) =
   Fmt.epr "chaos %s n=%d k=%d seeds=%d...@." label n k seeds;
   let rb = Engine.Rulebook.compile (build n) in
-  let summary, wall = time (fun () -> Engine.Chaos.sweep rb ~k ~seeds ()) in
+  let summary, wall = time (fun () -> Engine.Chaos.sweep rb ~workers ~k ~seeds ()) in
   let by = summary.Engine.Chaos.violations_by_oracle in
   let shrink_runs =
     List.fold_left
@@ -70,7 +68,7 @@ let engine_row (label, build, n, k, seeds, expected_blocking) =
       ( "min_shrunk_faults",
         if min_shrunk = max_int then Sim.Json.Null else Sim.Json.Int min_shrunk );
       ("expected_blocking", Sim.Json.Bool expected_blocking);
-      (* chaos_runs/shrink_runs counters and the per-oracle oracle_*_s
+      (* chaos_runs/shrink_runs counters and the per-oracle wall_oracle_*_s
          timing histograms *)
       ("metrics", Sim.Metrics.to_json summary.Engine.Chaos.metrics);
     ]
@@ -86,7 +84,9 @@ let kv_configs =
 
 let kv_row (protocol, label, n, k, seeds, expected_blocking) =
   Fmt.epr "chaos --kv %s n=%d k=%d seeds=%d...@." label n k seeds;
-  let summary, wall = time (fun () -> Kv.Chaos_db.sweep ~protocol ~n_sites:n ~k ~seeds ()) in
+  let summary, wall =
+    time (fun () -> Kv.Chaos_db.sweep ~protocol ~n_sites:n ~workers ~k ~seeds ())
+  in
   let by = summary.Kv.Chaos_db.violations_by_oracle in
   let min_shrunk =
     List.fold_left
@@ -137,7 +137,7 @@ let smoke () =
   (* 2PC must block — and block only: atomicity must hold even though
      progress does not. *)
   let rb2 = Engine.Rulebook.compile (Core.Catalog.central_2pc 3) in
-  let s2 = Engine.Chaos.sweep rb2 ~k:1 ~seeds () in
+  let s2 = Engine.Chaos.sweep rb2 ~workers ~k:1 ~seeds () in
   let by2 = s2.Engine.Chaos.violations_by_oracle in
   check "central-2pc found no progress (blocking) violation"
     (count_for by2 Engine.Chaos.Progress > 0);
@@ -155,7 +155,7 @@ let smoke () =
   (* decentralized 2PC blocks too — its first blocking seed sits deeper
      in the corpus, hence the larger sweep *)
   let rbd2 = Engine.Rulebook.compile (Core.Catalog.decentralized_2pc 3) in
-  let sd2 = Engine.Chaos.sweep rbd2 ~k:1 ~seeds:200 () in
+  let sd2 = Engine.Chaos.sweep rbd2 ~workers ~k:1 ~seeds:200 () in
   let byd2 = sd2.Engine.Chaos.violations_by_oracle in
   check "decentralized-2pc found no progress (blocking) violation"
     (count_for byd2 Engine.Chaos.Progress > 0);
@@ -171,7 +171,7 @@ let smoke () =
   List.iter
     (fun (label, build) ->
       let rb = Engine.Rulebook.compile (build 3) in
-      let s = Engine.Chaos.sweep rb ~k:1 ~seeds () in
+      let s = Engine.Chaos.sweep rb ~workers ~k:1 ~seeds () in
       check
         (Fmt.str "%s reported violations" label)
         (s.Engine.Chaos.violations_by_oracle = []))
@@ -183,7 +183,7 @@ let smoke () =
      regression seeds that found the precommit-to-dead-site and
      late-prepare-after-abort bugs *)
   let skv =
-    Kv.Chaos_db.sweep ~protocol:Kv.Node.Three_phase ~n_sites:4 ~k:1 ~seeds:40 ()
+    Kv.Chaos_db.sweep ~protocol:Kv.Node.Three_phase ~n_sites:4 ~workers ~k:1 ~seeds:40 ()
   in
   check "kv central-3pc reported violations" (skv.Kv.Chaos_db.violations_by_oracle = []);
   List.iter

@@ -32,13 +32,13 @@ module N = Sim.Nemesis
 module KC = Kv.Chaos_db
 module M = Sim.Metrics
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let time = Helpers_bench.time
+let rate = Helpers_bench.rate
+let count_for = Helpers_bench.count_for
 
-let rate n wall = if wall > 0.0 then float_of_int n /. wall else 0.0
-let count_for by o = Option.value ~default:0 (List.assoc_opt o by)
+(* [--workers N] shards the seed sweeps below across N domains via
+   Sim.Sweep; results are byte-identical whatever the value. *)
+let workers = Helpers_bench.arg_int "--workers" ~default:1 Sys.argv
 
 (* Latency jitter below the default suspicion threshold plus one-sided
    detector starvation (stalls, heartbeat loss): the fault class fencing
@@ -146,7 +146,7 @@ let engine_detector_sweep ~seeds =
   Fmt.epr "detector sweep: central-3pc n=3 k=1 x%d...@." seeds;
   let rb = Engine.Rulebook.compile (Core.Catalog.central_3pc 3) in
   let summary, wall =
-    time (fun () -> C.sweep ~profile:detector_profile ~detector:true rb ~k:1 ~seeds ())
+    time (fun () -> C.sweep ~profile:detector_profile ~detector:true rb ~workers ~k:1 ~seeds ())
   in
   let by = summary.C.violations_by_oracle in
   let m = summary.C.metrics in
@@ -181,7 +181,7 @@ let kv_detector_sweep ~seeds =
   Fmt.epr "detector sweep: kv central-3pc n=4 k=1 x%d...@." seeds;
   let summary, wall =
     time (fun () ->
-        KC.sweep ~profile:kv_detector_profile ~n_sites:4 ~detector:true ~k:1 ~seeds ())
+        KC.sweep ~profile:kv_detector_profile ~n_sites:4 ~detector:true ~workers ~k:1 ~seeds ())
   in
   let by = summary.KC.violations_by_oracle in
   let safety =
@@ -261,11 +261,13 @@ let check what ok =
 let smoke () =
   let rb3 = Engine.Rulebook.compile (Core.Catalog.central_3pc 3) in
   (* detector-fault sweeps must stay safety-clean under fencing *)
-  let s = C.sweep ~profile:detector_profile ~detector:true rb3 ~k:1 ~seeds:60 () in
+  let s = C.sweep ~profile:detector_profile ~detector:true rb3 ~workers ~k:1 ~seeds:60 () in
   check "engine detector sweep violated safety" (safety_clean s.C.violations_by_oracle);
   check "engine detector sweep suspected nobody falsely"
     (M.counter s.C.metrics "false_suspicions" > 0);
-  let skv = KC.sweep ~profile:kv_detector_profile ~n_sites:4 ~detector:true ~k:1 ~seeds:20 () in
+  let skv =
+    KC.sweep ~profile:kv_detector_profile ~n_sites:4 ~detector:true ~workers ~k:1 ~seeds:20 ()
+  in
   check "kv detector sweep violated safety"
     (count_for skv.KC.violations_by_oracle KC.Atomicity = 0
     && count_for skv.KC.violations_by_oracle KC.Split_brain = 0);

@@ -27,13 +27,13 @@ module FP = Engine.Failure_plan
 module N = Sim.Nemesis
 module KC = Kv.Chaos_db
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let time = Helpers_bench.time
+let rate = Helpers_bench.rate
+let count_for = Helpers_bench.count_for
 
-let rate n wall = if wall > 0.0 then float_of_int n /. wall else 0.0
-let count_for by o = Option.value ~default:0 (List.assoc_opt o by)
+(* [--workers N] shards the seed sweeps below across N domains via
+   Sim.Sweep; results are byte-identical whatever the value. *)
+let workers = Helpers_bench.arg_int "--workers" ~default:1 Sys.argv
 let faulty_profile = { N.default_profile with N.p_disk_fault = 0.6 }
 let kv_faulty_profile = { KC.default_profile with N.p_disk_fault = 0.6 }
 
@@ -160,7 +160,7 @@ let engine_overhead_row seeds =
 let kv_overhead_row seeds =
   Fmt.epr "overhead: kv sweeps x%d (memory vs durable vs faulted)...@." seeds;
   let sweep ?profile ~durable_wal () =
-    time (fun () -> ignore (KC.sweep ?profile ~n_sites:4 ~k:1 ~seeds ~durable_wal ()))
+    time (fun () -> ignore (KC.sweep ?profile ~n_sites:4 ~workers ~k:1 ~seeds ~durable_wal ()))
   in
   let (), mem = sweep ~durable_wal:false () in
   let (), dur = sweep ~durable_wal:true () in
@@ -181,7 +181,9 @@ let kv_overhead_row seeds =
 let engine_durability_row (label, build, n, k, seeds) =
   Fmt.epr "durability sweep %s n=%d k=%d seeds=%d...@." label n k seeds;
   let rb = Engine.Rulebook.compile (build n) in
-  let summary, wall = time (fun () -> C.sweep ~profile:faulty_profile rb ~k ~seeds ()) in
+  let summary, wall =
+    time (fun () -> C.sweep ~profile:faulty_profile rb ~workers ~k ~seeds ())
+  in
   let by = summary.C.violations_by_oracle in
   Sim.Json.Obj
     [
@@ -203,7 +205,7 @@ let engine_durability_row (label, build, n, k, seeds) =
 let kv_durability_row seeds =
   Fmt.epr "durability sweep kv central-3pc seeds=%d...@." seeds;
   let summary, wall =
-    time (fun () -> KC.sweep ~profile:kv_faulty_profile ~n_sites:4 ~k:1 ~seeds ())
+    time (fun () -> KC.sweep ~profile:kv_faulty_profile ~n_sites:4 ~workers ~k:1 ~seeds ())
   in
   let by = summary.KC.violations_by_oracle in
   Sim.Json.Obj
@@ -324,11 +326,11 @@ let smoke () =
   let rb_d3 = Engine.Rulebook.compile (Core.Catalog.decentralized_3pc 3) in
   (* fault-on sweeps must stay clean: torn/corrupt tails are vacuous
      under the force discipline *)
-  let sc = C.sweep ~profile:faulty_profile rb_c3 ~k:1 ~seeds:80 () in
+  let sc = C.sweep ~profile:faulty_profile rb_c3 ~workers ~k:1 ~seeds:80 () in
   check "central-3pc reported violations under disk faults" (sc.C.violations_by_oracle = []);
-  let sd = C.sweep ~profile:faulty_profile rb_d3 ~k:1 ~seeds:40 () in
+  let sd = C.sweep ~profile:faulty_profile rb_d3 ~workers ~k:1 ~seeds:40 () in
   check "decentralized-3pc reported violations under disk faults" (sd.C.violations_by_oracle = []);
-  let skv = KC.sweep ~profile:kv_faulty_profile ~n_sites:4 ~k:1 ~seeds:25 () in
+  let skv = KC.sweep ~profile:kv_faulty_profile ~n_sites:4 ~workers ~k:1 ~seeds:25 () in
   check "kv central-3pc reported violations under disk faults" (skv.KC.violations_by_oracle = []);
   (* the late-force ablation must be caught, and only the ablation *)
   let plan = FP.of_string_exn late_force_pinned in

@@ -29,12 +29,8 @@ let ks = [ 0; 1; 2 ]
 let reach_limit = 2_000_000
 let mc_limit = 1_000_000
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
-let rate states wall = if wall > 0.0 then float_of_int states /. wall else 0.0
+let time = Helpers_bench.time
+let rate = Helpers_bench.rate
 
 (* ---------------- full bench ---------------- *)
 

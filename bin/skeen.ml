@@ -228,6 +228,15 @@ let chaos_cmd =
   let seed_base_arg =
     Arg.(value & opt int 0 & info [ "seed-base" ] ~docv:"S" ~doc:"First seed of the sweep.")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"W"
+          ~doc:
+            "Shard the seed sweep across W domains (default 1).  Every seed runs in an isolated \
+             simulation instance and per-seed metrics merge in seed order, so the summary and \
+             counterexamples are byte-identical whatever W is; only wall-clock changes.")
+  in
   let until_arg =
     Arg.(
       value & opt float 1500.0
@@ -359,7 +368,7 @@ let chaos_cmd =
       { base with Sim.Nemesis.p_disk_fault = 0.6; lost_flush_weight = lost_flush }
     else base
   in
-  let run_kv label n k seeds seed_base until replay partitions drops quorum ~disk_faults
+  let run_kv label n k seeds seed_base workers until replay partitions drops quorum ~disk_faults
       ~lost_flush ~detector ~fencing ~detector_faults =
     let protocol =
       match label with
@@ -397,12 +406,11 @@ let chaos_cmd =
           o.Kv.Chaos_db.result.Kv.Db.trace;
         if o.Kv.Chaos_db.violations <> [] then exit 1
     | None ->
-        let t0 = Unix.gettimeofday () in
-        let summary =
-          Kv.Chaos_db.sweep ~profile ~protocol ~termination ~n_sites:n ~until ~detector ~fencing
-            ~seed_base ~k ~seeds ()
+        let summary, wall =
+          Sim.Clock.time (fun () ->
+              Kv.Chaos_db.sweep ~profile ~protocol ~termination ~n_sites:n ~until ~detector
+                ~fencing ~seed_base ~workers ~k ~seeds ())
         in
-        let wall = Unix.gettimeofday () -. t0 in
         Fmt.pr "%a@." Kv.Chaos_db.pp_summary summary;
         Fmt.pr "%.0f schedules/sec (%.2f s wall)@."
           (if wall > 0.0 then float_of_int seeds /. wall else 0.0)
@@ -416,13 +424,13 @@ let chaos_cmd =
           summary.Kv.Chaos_db.failing;
         if summary.Kv.Chaos_db.violations_by_oracle <> [] then exit 1
   in
-  let run label n k seeds seed_base until replay plan_str partitions drops quorum disk_faults
-      lost_flush kv detector_flag no_fencing detector_faults heartbeat_period suspicion_timeout
-      election_timeout metrics_json =
+  let run label n k seeds seed_base workers until replay plan_str partitions drops quorum
+      disk_faults lost_flush kv detector_flag no_fencing detector_faults heartbeat_period
+      suspicion_timeout election_timeout metrics_json =
     let detector = detector_flag || no_fencing || detector_faults in
     let fencing = not no_fencing in
-    if kv then run_kv label n k seeds seed_base until replay partitions drops quorum ~disk_faults
-        ~lost_flush ~detector ~fencing ~detector_faults
+    if kv then run_kv label n k seeds seed_base workers until replay partitions drops quorum
+        ~disk_faults ~lost_flush ~detector ~fencing ~detector_faults
     else
     let rb = Engine.Rulebook.compile (build label n) in
     let termination =
@@ -474,12 +482,11 @@ let chaos_cmd =
           (fun e -> Fmt.pr "%8.2f  %s@." e.Sim.World.at e.Sim.World.what)
           result.Engine.Runtime.trace
     | None, None ->
-        let t0 = Unix.gettimeofday () in
-        let summary =
-          Engine.Chaos.sweep ~profile ~until ~termination ~detector ~heartbeat_period
-            ~suspicion_timeout ~election_timeout ~fencing ~seed_base rb ~k ~seeds ()
+        let summary, wall =
+          Sim.Clock.time (fun () ->
+              Engine.Chaos.sweep ~profile ~until ~termination ~detector ~heartbeat_period
+                ~suspicion_timeout ~election_timeout ~fencing ~seed_base ~workers rb ~k ~seeds ())
         in
-        let wall = Unix.gettimeofday () -. t0 in
         Fmt.pr "%a@." Engine.Chaos.pp_summary summary;
         Fmt.pr "%.0f schedules/sec (%.2f s wall)@."
           (if wall > 0.0 then float_of_int seeds /. wall else 0.0)
@@ -501,8 +508,8 @@ let chaos_cmd =
           oracles.  Violations are shrunk to a minimal replayable failure plan.  Exits 1 if any \
           violation was found.")
     Term.(
-      const run $ protocol_opt $ sites_arg $ k_arg $ seeds_arg $ seed_base_arg $ until_arg
-      $ replay_arg $ plan_arg $ partitions_arg $ drops_arg $ quorum_arg $ disk_faults_arg
+      const run $ protocol_opt $ sites_arg $ k_arg $ seeds_arg $ seed_base_arg $ workers_arg
+      $ until_arg $ replay_arg $ plan_arg $ partitions_arg $ drops_arg $ quorum_arg $ disk_faults_arg
       $ lost_flush_arg $ kv_arg $ detector_arg $ no_fencing_arg $ detector_faults_arg
       $ heartbeat_arg $ suspicion_arg $ election_arg $ metrics_json_arg)
 
@@ -551,9 +558,7 @@ let check_cmd =
   let run label n k limit bench =
     let rb = Engine.Rulebook.compile (build label n) in
     let cfg = { Engine.Model_check.rulebook = rb; max_crashes = k; limit; rule = `Skeen } in
-    let t0 = Unix.gettimeofday () in
-    let r = Engine.Model_check.run cfg in
-    let wall = Unix.gettimeofday () -. t0 in
+    let r, wall = Sim.Clock.time (fun () -> Engine.Model_check.run cfg) in
     Fmt.pr "%a@." Engine.Model_check.pp_report r;
     if bench then
       Fmt.pr "wall: %.3f s, %.0f states/sec, peak resident states: %d@." wall

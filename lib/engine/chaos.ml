@@ -72,7 +72,7 @@ type summary = {
   violations_by_oracle : (oracle * int) list;
   metrics : Sim.Metrics.t;
       (** chaos_runs, shrink_runs, per-oracle violation counters and
-          oracle_*_s timing histograms, schedule_faults histogram *)
+          wall_oracle_*_s timing histograms, schedule_faults histogram *)
 }
 
 let outcome_str = function Core.Types.Committed -> "commit" | Core.Types.Aborted -> "abort"
@@ -204,15 +204,20 @@ let check_split_brain (result : Runtime.result) =
           detail = Printf.sprintf "epoch %d claimed by two sites, e.g. site %d" e site;
         }
 
-(* Run the five oracles, timing each into [metrics] when provided. *)
+(* Run the five oracles, timing each into [metrics] when provided.  The
+   timing histograms carry the reserved [wall_] prefix: they are host
+   wall-clock measurements through the one shared clock ({!Sim.Clock}),
+   nondeterministic across runs and excluded from sweep
+   merge-equivalence checks.  Never [Sys.time] here — that is
+   process-wide CPU time, which sums across a parallel sweep's domains
+   and turns every per-oracle histogram into garbage. *)
 let violations_of ?metrics result =
   let timed name f =
     match metrics with
     | None -> f result
     | Some m ->
-        let t0 = Sys.time () in
-        let v = f result in
-        Sim.Metrics.observe m (Printf.sprintf "oracle_%s_s" name) (Sys.time () -. t0);
+        let v, dt = Sim.Clock.time (fun () -> f result) in
+        Sim.Metrics.observe m (Printf.sprintf "wall_oracle_%s_s" name) dt;
         v
   in
   List.filter_map Fun.id
@@ -408,28 +413,40 @@ let counterexample_of ?metrics ?until ?termination ?late_force ?detector ?heartb
 
 let sweep ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?late_force ?detector
     ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing ?(seed_base = 0)
-    ?(max_counterexamples = 5) rulebook ~k ~seeds () =
-  let metrics = Sim.Metrics.create () in
+    ?(max_counterexamples = 5) ?(workers = 1) rulebook ~k ~seeds () =
+  (* Phase 1, embarrassingly parallel: each seed runs in full isolation —
+     its own World, Metrics registry and Rng stream, sharing only the
+     read-only compiled rulebook — so worker assignment is unobservable. *)
+  let runs, metrics =
+    Sim.Sweep.sweep ~workers ~seed_base ~seeds (fun ~metrics ~seed ->
+        let run =
+          run_one ~metrics ~profile ?until ?termination ?late_force ?detector ?heartbeat_period
+            ?suspicion_timeout ?election_timeout ?fencing rulebook ~k ~seed ()
+        in
+        List.iter
+          (fun v ->
+            Sim.Metrics.incr metrics (Printf.sprintf "violations_%s" (oracle_name v.oracle)))
+          run.violations;
+        run)
+  in
+  (* Phase 2, sequential and seed-ordered: aggregate verdicts and shrink
+     the first [max_counterexamples] violations — identical selection and
+     results whatever the worker count. *)
   let counterexamples = ref [] in
   let by_oracle = Hashtbl.create 4 in
-  for i = 0 to seeds - 1 do
-    let seed = seed_base + i in
-    let run =
-      run_one ~metrics ~profile ?until ?termination ?late_force ?detector ?heartbeat_period
-        ?suspicion_timeout ?election_timeout ?fencing rulebook ~k ~seed ()
-    in
-    List.iter
-      (fun v ->
-        Sim.Metrics.incr metrics (Printf.sprintf "violations_%s" (oracle_name v.oracle));
-        Hashtbl.replace by_oracle v.oracle
-          (1 + Option.value ~default:0 (Hashtbl.find_opt by_oracle v.oracle));
-        if List.length !counterexamples < max_counterexamples then
-          counterexamples :=
-            counterexample_of ~metrics ?until ?termination ?late_force ?detector
-              ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing rulebook run v
-            :: !counterexamples)
-      run.violations
-  done;
+  Array.iter
+    (fun run ->
+      List.iter
+        (fun v ->
+          Hashtbl.replace by_oracle v.oracle
+            (1 + Option.value ~default:0 (Hashtbl.find_opt by_oracle v.oracle));
+          if List.length !counterexamples < max_counterexamples then
+            counterexamples :=
+              counterexample_of ~metrics ?until ?termination ?late_force ?detector
+                ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing rulebook run v
+              :: !counterexamples)
+        run.violations)
+    runs;
   {
     protocol = rulebook.Rulebook.protocol.Core.Protocol.name;
     n_sites = Core.Protocol.n_sites rulebook.Rulebook.protocol;

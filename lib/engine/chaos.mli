@@ -49,7 +49,8 @@ type summary = {
   violations_by_oracle : (oracle * int) list;
   metrics : Sim.Metrics.t;
       (** chaos_runs / shrink_runs / violations_* counters, per-oracle
-          [oracle_*_s] timing histograms, schedule_faults histogram *)
+          [wall_oracle_*_s] timing histograms (host wall clock,
+          nondeterministic), schedule_faults histogram *)
 }
 
 val violations_of : ?metrics:Sim.Metrics.t -> Runtime.result -> violation list
@@ -127,13 +128,23 @@ val sweep :
   ?fencing:bool ->
   ?seed_base:int ->
   ?max_counterexamples:int ->
+  ?workers:int ->
   Rulebook.t ->
   k:int ->
   seeds:int ->
   unit ->
   summary
 (** Run seeds [seed_base .. seed_base + seeds - 1]; shrink (and trace) at
-    most [max_counterexamples] violations (default 5). *)
+    most [max_counterexamples] violations (default 5).
+
+    [workers] (default 1) shards the seed range across OCaml domains via
+    {!Sim.Sweep}: each seed runs in a fully isolated World/Metrics/Rng
+    instance and per-seed registries merge in seed order, so the summary
+    — counterexamples included — and the deterministic projection of
+    [metrics] ({!Sim.Metrics.to_json} [~drop_wall:true]) are
+    byte-identical whatever the worker count.  Only the [wall_]-prefixed
+    oracle-timing histograms vary run to run.  Shrinking runs in a
+    sequential seed-ordered phase after the sharded runs. *)
 
 val pp_counterexample : Format.formatter -> counterexample -> unit
 val pp_summary : Format.formatter -> summary -> unit

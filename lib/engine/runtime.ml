@@ -1066,6 +1066,9 @@ let run (cfg : config) : result =
     List.filter (fun r -> r.operational && (not r.ever_crashed) && r.outcome = None) reports
   in
   let metrics = Sim.World.metrics world in
+  (* a site that crashed mid-measure leaves a dangling timer_start:
+     account it before anything snapshots or merges this registry *)
+  Sim.Metrics.drain_timers metrics;
   {
     reports;
     messages_sent = Sim.Metrics.counter metrics "messages_sent";

@@ -326,36 +326,57 @@ type summary = {
       (** (seed, violations, shrunk schedule) for each failing seed, at
           most [max_counterexamples] of them shrunk *)
   violations_by_oracle : (oracle * int) list;
+  metrics : Sim.Metrics.t;
+      (** per-seed registries (chaos_runs / violations_* / shrink_runs
+          counters plus every {!Db.result}.run_metrics — commit
+          latencies, lock waits, message counts) merged in seed order *)
 }
 
 let sweep ?(profile = default_profile) ?(protocol = Node.Three_phase) ?termination ?(n_sites = 4)
-    ?until ?durable_wal ?detector ?fencing ?(seed_base = 0) ?(max_counterexamples = 3) ~k ~seeds
-    () =
+    ?until ?durable_wal ?detector ?fencing ?(seed_base = 0) ?(max_counterexamples = 3)
+    ?(workers = 1) ~k ~seeds () =
+  (* Phase 1, Domain-sharded: one isolated Db run (own World, Metrics,
+     Rng) per seed — see {!Sim.Sweep} for the isolation contract. *)
+  let outcomes, metrics =
+    Sim.Sweep.sweep ~workers ~seed_base ~seeds (fun ~metrics ~seed ->
+        let o =
+          run_one ~profile ~protocol ?termination ~n_sites ?until ?durable_wal ?detector ?fencing
+            ~k ~seed ()
+        in
+        Sim.Metrics.incr metrics "chaos_runs";
+        List.iter
+          (fun v -> Sim.Metrics.incr metrics ("violations_" ^ oracle_name v.oracle))
+          o.violations;
+        Sim.Metrics.merge metrics o.result.Db.run_metrics;
+        o)
+  in
+  (* Phase 2, sequential in seed order: aggregate and shrink the first
+     [max_counterexamples] failing seeds — worker-count independent. *)
   let by_oracle = Hashtbl.create 4 in
   let failing = ref [] in
-  for i = 0 to seeds - 1 do
-    let seed = seed_base + i in
-    let o =
-      run_one ~profile ~protocol ?termination ~n_sites ?until ?durable_wal ?detector ?fencing ~k
-        ~seed ()
-    in
-    if o.violations <> [] then begin
-      List.iter
-        (fun v ->
-          Hashtbl.replace by_oracle v.oracle
-            (1 + Option.value ~default:0 (Hashtbl.find_opt by_oracle v.oracle)))
-        o.violations;
-      let shrunk =
-        if List.length !failing < max_counterexamples then
-          let v = List.hd o.violations in
-          fst
-            (shrink ~protocol ?termination ~n_sites ?until ?durable_wal ?detector ?fencing ~seed
-               ~oracle:v.oracle o.schedule)
-        else o.schedule
-      in
-      failing := (seed, o.violations, shrunk) :: !failing
-    end
-  done;
+  Array.iter
+    (fun (o : run_outcome) ->
+      if o.violations <> [] then begin
+        List.iter
+          (fun v ->
+            Hashtbl.replace by_oracle v.oracle
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_oracle v.oracle)))
+          o.violations;
+        let shrunk =
+          if List.length !failing < max_counterexamples then begin
+            let v = List.hd o.violations in
+            let minimal, runs =
+              shrink ~protocol ?termination ~n_sites ?until ?durable_wal ?detector ?fencing
+                ~seed:o.seed ~oracle:v.oracle o.schedule
+            in
+            Sim.Metrics.incr ~by:runs metrics "shrink_runs";
+            minimal
+          end
+          else o.schedule
+        in
+        failing := (o.seed, o.violations, shrunk) :: !failing
+      end)
+    outcomes;
   {
     protocol;
     n_sites;
@@ -363,6 +384,7 @@ let sweep ?(profile = default_profile) ?(protocol = Node.Three_phase) ?terminati
     seeds_run = seeds;
     failing = List.rev !failing;
     violations_by_oracle = Hashtbl.fold (fun o n acc -> (o, n) :: acc) by_oracle [];
+    metrics;
   }
 
 let pp_summary ppf (s : summary) =

@@ -105,6 +105,10 @@ type summary = {
           [max_counterexamples] of them are shrunk, the rest keep their
           full schedule *)
   violations_by_oracle : (oracle * int) list;
+  metrics : Sim.Metrics.t;
+      (** per-seed registries (chaos_runs / violations_* / shrink_runs
+          counters plus every {!Db.result}.run_metrics) merged in seed
+          order — worker-count independent *)
 }
 
 val sweep :
@@ -118,9 +122,15 @@ val sweep :
   ?fencing:bool ->
   ?seed_base:int ->
   ?max_counterexamples:int ->
+  ?workers:int ->
   k:int ->
   seeds:int ->
   unit ->
   summary
+(** [workers] (default 1) shards the seed range across OCaml domains via
+    {!Sim.Sweep}; every seed runs in an isolated World/Metrics/Rng and
+    the summary (shrunk counterexamples included) is byte-identical
+    whatever the worker count.  Shrinking runs sequentially after the
+    sharded phase. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -120,6 +120,9 @@ type result = {
       (** full metrics snapshot ({!Sim.Metrics.to_json}): counters, gauges
           and latency histograms — commit latency and its
           lock-wait/vote/decision phase split, blocked durations *)
+  run_metrics : Sim.Metrics.t;
+      (** the run's live registry (the source of [metrics_json]), so
+          sweeps can {!Sim.Metrics.merge} per-run registries *)
 }
 
 (** [run cfg workload] executes [workload] (arrival-time, transaction)
@@ -347,6 +350,10 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
     |> List.sort_uniq compare
   in
   let metrics = Sim.World.metrics world in
+  (* account interrupted measurements (e.g. kv_lock_wait timers of sites
+     that crashed holding locks) before the registry is snapshot or
+     merged into a sweep aggregate *)
+  Sim.Metrics.drain_timers metrics;
   {
     committed;
     aborted;
@@ -375,6 +382,7 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
     trace = Sim.World.trace_entries world;
     metrics = Sim.Metrics.counters metrics;
     metrics_json = Sim.Metrics.to_json metrics;
+    run_metrics = metrics;
   }
 
 let pp_result ppf r =

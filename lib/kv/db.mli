@@ -125,6 +125,9 @@ type result = {
       (** full metrics snapshot ({!Sim.Metrics.to_json}): counters, gauges
           and latency histograms — commit latency and its
           lock-wait/vote/decision phase split, blocked durations *)
+  run_metrics : Sim.Metrics.t;
+      (** the run's live registry (the source of [metrics_json]), so
+          sweeps can {!Sim.Metrics.merge} per-run registries *)
 }
 
 val run : config -> (float * Txn.t) list -> result

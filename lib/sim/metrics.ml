@@ -105,23 +105,24 @@ let gauges t = Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.gauges [] |> List.
 
 (* ---------------- histograms ---------------- *)
 
+let find_or_create_hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_count = 0;
+          h_total = 0.0;
+          h_min = Float.infinity;
+          h_max = Float.neg_infinity;
+          counts = Array.make n_buckets 0;
+        }
+      in
+      Hashtbl.add t.hists name h;
+      h
+
 let observe t name v =
-  let h =
-    match Hashtbl.find_opt t.hists name with
-    | Some h -> h
-    | None ->
-        let h =
-          {
-            h_count = 0;
-            h_total = 0.0;
-            h_min = Float.infinity;
-            h_max = Float.neg_infinity;
-            counts = Array.make n_buckets 0;
-          }
-        in
-        Hashtbl.add t.hists name h;
-        h
-  in
+  let h = find_or_create_hist t name in
   h.h_count <- h.h_count + 1;
   h.h_total <- h.h_total +. v;
   if v < h.h_min then h.h_min <- v;
@@ -207,6 +208,50 @@ let timer_stop t name ~key ~at =
 
 let timer_discard t name ~key = Hashtbl.remove t.timers (name, key)
 
+let timers_in_flight t =
+  Hashtbl.fold (fun (name, _) _ acc -> (name, 1 + Option.value ~default:0 (List.assoc_opt name acc)) :: List.remove_assoc name acc) t.timers []
+  |> List.sort compare
+
+let drain_timers t =
+  (* A timer started and never stopped — a site that crashed mid-measure —
+     must not silently vanish from the registry: account each one under a
+     per-label counter, then clear, so [merge] never sees a dangling
+     start.  Idempotent once drained. *)
+  List.iter
+    (fun (name, n) -> incr ~by:n t ("timers_in_flight_" ^ name))
+    (timers_in_flight t);
+  Hashtbl.reset t.timers
+
+(* ---------------- merge ---------------- *)
+
+let merge dst src =
+  (* Counters sum; gauges keep the overall high-water mark; histograms
+     add bucket arrays element-wise with exact count/total and the
+     combined min/max.  Deterministic: folding the same source
+     registries in the same order always produces the same [dst], so a
+     sharded sweep merged in seed order is reproducible whatever the
+     worker count.  In-flight timers on either side are drained first —
+     an interrupted measurement becomes a [timers_in_flight_<label>]
+     counter instead of silently disappearing. *)
+  drain_timers dst;
+  List.iter (fun (name, n) -> incr ~by:n dst ("timers_in_flight_" ^ name)) (timers_in_flight src);
+  List.iter (fun (name, v) -> incr ~by:v dst name) (Hashtbl.fold (fun k v acc -> (k, !v) :: acc) src.counters [] |> List.sort compare);
+  List.iter (fun (name, v) -> gauge_max dst name v) (Hashtbl.fold (fun k v acc -> (k, !v) :: acc) src.gauges [] |> List.sort compare);
+  List.iter
+    (fun (name, h) ->
+      let d = find_or_create_hist dst name in
+      d.h_count <- d.h_count + h.h_count;
+      d.h_total <- d.h_total +. h.h_total;
+      if h.h_min < d.h_min then d.h_min <- h.h_min;
+      if h.h_max > d.h_max then d.h_max <- h.h_max;
+      Array.iteri (fun i c -> d.counts.(i) <- d.counts.(i) + c) h.counts)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) src.hists [] |> List.sort compare)
+
+let merge_all srcs =
+  let t = create () in
+  List.iter (merge t) srcs;
+  t
+
 (* ---------------- rendering ---------------- *)
 
 let pp ppf t =
@@ -218,7 +263,14 @@ let pp ppf t =
         s.mean s.min s.max s.p50 s.p90 s.p99)
     (histograms t)
 
-let to_json t : Json.t =
+(* Names under the [wall_] prefix hold host wall-clock measurements
+   (see {!Clock}): real time, different on every run.  Everything else
+   is simulation-derived and deterministic in the seed, which is what
+   sweep merge-equivalence checks compare. *)
+let is_wall name = String.length name >= 5 && String.sub name 0 5 = "wall_"
+
+let to_json ?(drop_wall = false) t : Json.t =
+  let keep (name, _) = (not drop_wall) || not (is_wall name) in
   let hist_json (name, s) =
     ( name,
       Json.Obj
@@ -242,7 +294,7 @@ let to_json t : Json.t =
   in
   Json.Obj
     [
-      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
-      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (gauges t)));
-      ("histograms", Json.Obj (List.map hist_json (histograms t)));
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (List.filter keep (counters t))));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (List.filter keep (gauges t))));
+      ("histograms", Json.Obj (List.map hist_json (List.filter keep (histograms t))));
     ]

@@ -86,10 +86,43 @@ val timer_stop : t -> string -> key:int -> at:float -> unit
 
 val timer_discard : t -> string -> key:int -> unit
 
+val timers_in_flight : t -> (string * int) list
+(** Labels with pending [timer_start]s and how many, sorted by name. *)
+
+val drain_timers : t -> unit
+(** End-of-run accounting for interrupted measurements: every pending
+    [timer_start] (e.g. a site that crashed mid-measure and never
+    stopped its timer) becomes an increment of the
+    [timers_in_flight_<label>] counter and is cleared, so nothing
+    dangles into {!merge} and nothing silently vanishes from the
+    histograms.  Idempotent. *)
+
+(** {1 Merge (sharded sweeps)} *)
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst]: counters sum, gauges keep
+    the overall high-water mark, histogram bucket arrays add
+    element-wise (count and total exact, min/max combined).  Both sides
+    are timer-drained first ([src] without being mutated).
+    Deterministic: merging the same sources in the same order always
+    yields the same [dst], which is what makes a Domain-sharded sweep's
+    merged output independent of the worker count. *)
+
+val merge_all : t list -> t
+(** A fresh registry with every source merged in list order. *)
+
 (** {1 Export} *)
 
-val to_json : t -> Json.t
+val is_wall : string -> bool
+(** Does the name carry the reserved [wall_] prefix?  Such entries hold
+    host wall-clock measurements ({!Clock}) — real time, nondeterministic
+    across runs — and are excluded from determinism comparisons. *)
+
+val to_json : ?drop_wall:bool -> t -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {name:
-    {count,total,min,max,mean,p50,p90,p99,buckets:[{le,count},...]}}}] *)
+    {count,total,min,max,mean,p50,p90,p99,buckets:[{le,count},...]}}}].
+    [~drop_wall:true] omits every [wall_]-prefixed entry — the
+    deterministic projection compared by sweep merge-equivalence
+    checks. *)
 
 val pp : Format.formatter -> t -> unit

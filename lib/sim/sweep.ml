@@ -1,0 +1,65 @@
+(** Domain-sharded seed sweeps.
+
+    Seeds are embarrassingly parallel: every run in this tree is a pure
+    function of its seed, executing against its own {!World}, its own
+    {!Metrics} registry and its own {!Rng} stream — no per-run state is
+    ambient.  This module exploits that: [map] shards a seed range
+    across OCaml 5 domains, each worker pulling the next unclaimed seed
+    from a shared atomic cursor, and returns the results in seed order.
+
+    Determinism is the contract.  The result array is indexed by seed
+    offset, so which worker happened to run a seed is unobservable:
+    [map ~workers:4] returns exactly what [map ~workers:1] returns, and
+    a caller that folds per-seed {!Metrics} registries in array order
+    (see {!Metrics.merge}) gets byte-identical merged output whatever
+    the worker count.  [workers = 1] does not spawn at all — it is the
+    plain sequential loop.
+
+    The isolation invariant callers must keep: the sweep function [f]
+    must derive everything mutable it touches from [seed] alone.
+    Sharing a read-only compiled {!Engine.Rulebook} across workers is
+    fine; sharing a metrics registry, a world or an RNG is not. *)
+
+let available_workers () = Domain.recommended_domain_count ()
+
+let map (type a) ?(workers = 1) ?(seed_base = 0) ~seeds (f : seed:int -> a) : a array =
+  if seeds < 0 then invalid_arg "Sweep.map: seeds must be >= 0";
+  if workers < 1 then invalid_arg "Sweep.map: workers must be >= 1";
+  let workers = min workers (max 1 seeds) in
+  if workers = 1 then Array.init seeds (fun i -> f ~seed:(seed_base + i))
+  else begin
+    let results : a option array = Array.make seeds None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < seeds then begin
+        (* each slot is written by exactly one domain and read only
+           after the joins below: no data race *)
+        results.(i) <- Some (f ~seed:(seed_base + i));
+        worker ()
+      end
+    in
+    let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    (match worker () with
+    | () -> List.iter Domain.join domains
+    | exception e ->
+        (* drain the cursor so helpers stop, then surface the failure *)
+        Atomic.set next seeds;
+        List.iter (fun d -> try Domain.join d with _ -> ()) domains;
+        raise e);
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let sweep ?workers ?seed_base ~seeds (f : metrics:Metrics.t -> seed:int -> 'a) =
+  (* One fresh registry per seed, timer-drained at run end, merged in
+     seed order: full run isolation with a deterministic aggregate. *)
+  let runs =
+    map ?workers ?seed_base ~seeds (fun ~seed ->
+        let metrics = Metrics.create () in
+        let v = f ~metrics ~seed in
+        Metrics.drain_timers metrics;
+        (v, metrics))
+  in
+  let merged = Metrics.create () in
+  Array.iter (fun (_, m) -> Metrics.merge merged m) runs;
+  (Array.map fst runs, merged)

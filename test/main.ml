@@ -41,4 +41,5 @@ let () =
       ("wal", Test_wal.suite);
       ("durability", Test_durability.suite);
       ("detector", Test_detector.suite);
+      ("sweep", Test_sweep.suite);
     ]

@@ -195,6 +195,111 @@ let test_run_deterministic () =
   in
   Alcotest.(check string) "same seed, same metrics" (snapshot ()) (snapshot ())
 
+(* ---------------- merge, drain, wall filtering ---------------- *)
+
+let hist_names = [| "lat"; "dur"; "q" |]
+
+type op = Obs of int * float | Incr of int * int | Gauge of int * int
+
+let gen_ops =
+  let open QCheck2.Gen in
+  let gen_op =
+    oneof
+      [
+        map2 (fun i v -> Obs (i, v)) (int_range 0 2) (float_range 0.0005 5000.0);
+        map2 (fun i n -> Incr (i, n)) (int_range 0 2) (int_range 1 5);
+        map2 (fun i n -> Gauge (i, n)) (int_range 0 2) (int_range 0 100);
+      ]
+  in
+  pair (list_size (int_range 0 400) gen_op) (int_range 1 5)
+
+let apply m = function
+  | Obs (i, v) -> M.observe m hist_names.(i) v
+  | Incr (i, n) -> M.incr ~by:n m ("c_" ^ hist_names.(i))
+  | Gauge (i, n) -> M.gauge_max m ("g_" ^ hist_names.(i)) n
+
+let buckets_of m name =
+  Option.bind (J.member "histograms" (M.to_json m)) (J.member name)
+  |> Fun.flip Option.bind (J.member "buckets")
+  |> Option.map J.to_string
+
+(* Sharding a stream of updates K ways and merging must be observably
+   equivalent to applying the stream to one registry: counters and gauges
+   exact, histogram bucket arrays / count / min / max exact — hence
+   identical percentiles — and totals equal up to float reassociation. *)
+let prop_merge_equals_single =
+  Helpers.qtest ~count:150 "merge: K-way sharded registries = the single run" gen_ops
+    (fun (ops, k) ->
+      let single = M.create () in
+      List.iter (apply single) ops;
+      let shards = Array.init k (fun _ -> M.create ()) in
+      List.iteri (fun ix op -> apply shards.(ix mod k) op) ops;
+      let merged = M.merge_all (Array.to_list shards) in
+      M.counters merged = M.counters single
+      && Array.for_all
+           (fun name -> M.gauge merged ("g_" ^ name) = M.gauge single ("g_" ^ name))
+           hist_names
+      && Array.for_all
+           (fun name ->
+             buckets_of merged name = buckets_of single name
+             &&
+             match (M.summarize merged name, M.summarize single name) with
+             | None, None -> true
+             | Some a, Some b ->
+                 a.M.count = b.M.count && a.M.min = b.M.min && a.M.max = b.M.max
+                 && a.M.p50 = b.M.p50 && a.M.p90 = b.M.p90 && a.M.p99 = b.M.p99
+                 && Float.abs (a.M.total -. b.M.total)
+                    <= 1e-9 *. Float.max 1.0 (Float.abs b.M.total)
+             | _ -> false)
+           hist_names)
+
+let test_drain_timers () =
+  let m = M.create () in
+  M.timer_start m "op" ~key:1 ~at:1.0;
+  M.timer_start m "op" ~key:2 ~at:2.0;
+  M.timer_stop m "op" ~key:1 ~at:3.0;
+  M.timer_start m "other" ~key:1 ~at:0.0;
+  Alcotest.(check (list (pair string int)))
+    "in flight" [ ("op", 1); ("other", 1) ] (M.timers_in_flight m);
+  M.drain_timers m;
+  Alcotest.(check int) "op leak counted" 1 (M.counter m "timers_in_flight_op");
+  Alcotest.(check int) "other leak counted" 1 (M.counter m "timers_in_flight_other");
+  Alcotest.(check (list (pair string int))) "drained" [] (M.timers_in_flight m);
+  (* a stop after the drain is ignored: its start was cleared *)
+  M.timer_stop m "op" ~key:2 ~at:9.0;
+  (match M.summarize m "op" with
+  | Some s -> Alcotest.(check int) "only the completed timer observed" 1 s.M.count
+  | None -> Alcotest.fail "expected a summary");
+  M.drain_timers m;
+  Alcotest.(check int) "drain idempotent" 1 (M.counter m "timers_in_flight_op")
+
+let test_merge_drains_in_flight () =
+  let a = M.create () and b = M.create () in
+  M.timer_start a "op" ~key:1 ~at:0.0;
+  M.timer_start b "op" ~key:9 ~at:5.0;
+  M.merge a b;
+  Alcotest.(check int) "both sides' leaks counted" 2 (M.counter a "timers_in_flight_op");
+  Alcotest.(check (list (pair string int))) "nothing left in flight" [] (M.timers_in_flight a)
+
+let test_drop_wall () =
+  Alcotest.(check bool) "wall_ prefix detected" true (M.is_wall "wall_oracle_atomicity_s");
+  Alcotest.(check bool) "plain name kept" false (M.is_wall "oracle_atomicity_s");
+  let m = M.create () in
+  M.incr m "wall_ticks";
+  M.incr m "sim_ticks";
+  M.observe m "wall_oracle_atomicity_s" 0.5;
+  M.observe m "lat" 1.0;
+  let j = M.to_json ~drop_wall:true m in
+  let has section name = Option.bind (J.member section j) (J.member name) <> None in
+  Alcotest.(check bool) "wall counter dropped" false (has "counters" "wall_ticks");
+  Alcotest.(check bool) "sim counter kept" true (has "counters" "sim_ticks");
+  Alcotest.(check bool) "wall histogram dropped" false (has "histograms" "wall_oracle_atomicity_s");
+  Alcotest.(check bool) "sim histogram kept" true (has "histograms" "lat");
+  let full = M.to_json m in
+  Alcotest.(check bool)
+    "default keeps wall series" true
+    (Option.bind (J.member "counters" full) (J.member "wall_ticks") <> None)
+
 (* ---------------- report ---------------- *)
 
 let test_report_sections () =
@@ -220,5 +325,9 @@ let suite =
     Alcotest.test_case "to_json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
     Alcotest.test_case "run metrics deterministic" `Quick test_run_deterministic;
+    prop_merge_equals_single;
+    Alcotest.test_case "drain_timers accounts leaks" `Quick test_drain_timers;
+    Alcotest.test_case "merge drains in-flight timers" `Quick test_merge_drains_in_flight;
+    Alcotest.test_case "to_json ~drop_wall filters wall_ series" `Quick test_drop_wall;
     Alcotest.test_case "report sections" `Quick test_report_sections;
   ]

@@ -241,9 +241,7 @@ let test_world_timer_cancel_many () =
         done)
       ()
   in
-  let t0 = Sys.time () in
-  ignore (Sim.World.run w ~handlers ());
-  let elapsed = Sys.time () -. t0 in
+  let (), elapsed = Sim.Clock.time (fun () -> ignore (Sim.World.run w ~handlers ())) in
   Alcotest.(check int) "no cancelled timer fired" 0 !fired;
   Alcotest.(check int) "all cancellations accounted for" n
     (Sim.Metrics.counter (Sim.World.metrics w) "timers_cancelled");
