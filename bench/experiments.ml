@@ -466,7 +466,8 @@ let e14_quorum_termination () =
 
 let e15_presumption_ablation () =
   section "E15" "Extension: commit presumptions and the read-only optimization (2PC engineering)";
-  let run ~presumption ~read_only_opt ~write_ratio seed =
+  let run ?(protocol = Kv.Node.Two_phase) ?(durable_wal = false) ~presumption ~read_only_opt
+      ~write_ratio seed =
     let rng = Sim.Rng.create ~seed in
     let spec =
       {
@@ -479,9 +480,7 @@ let e15_presumption_ablation () =
       }
     in
     let wl = Kv.Workload.mixed rng spec in
-    let cfg =
-      Kv.Db.config ~n_sites:4 ~protocol:Kv.Node.Two_phase ~presumption ~read_only_opt ~seed ()
-    in
+    let cfg = Kv.Db.config ~n_sites:4 ~protocol ~durable_wal ~presumption ~read_only_opt ~seed () in
     Kv.Db.run cfg wl
   in
   Fmt.pr "%-18s %-10s %12s %12s %10s@." "variant" "writes" "msgs" "committed" "aborted";
@@ -510,7 +509,44 @@ let e15_presumption_ablation () =
   List.iter
     (fun ((label, wr), r) ->
       check (Fmt.str "E15 %s (w=%.1f) atomic" label wr) r.Kv.Db.atomicity_ok)
-    rows
+    rows;
+  (* beyond 2PC: the same levers on the nonblocking 3PC through the
+     durable WAL, where the read-only optimization's skipped syncs show
+     up as a forces-per-commit drop, not just a message saving *)
+  Fmt.pr "@.3PC + durable WAL:@.";
+  Fmt.pr "%-18s %-10s %12s %12s %10s %8s@." "variant" "writes" "msgs" "committed" "forces"
+    "f/commit";
+  let rows3 =
+    List.concat_map
+      (fun write_ratio ->
+        List.map
+          (fun (label, presumption, ro) ->
+            let r =
+              run ~protocol:Kv.Node.Three_phase ~durable_wal:true ~presumption ~read_only_opt:ro
+                ~write_ratio 9
+            in
+            Fmt.pr "%-18s %-10.1f %12d %12d %10d %8.2f@." label write_ratio r.Kv.Db.messages_sent
+              r.Kv.Db.committed r.Kv.Db.wal_forces r.Kv.Db.forces_per_commit;
+            ((label, write_ratio), r))
+          [
+            ("standard", Kv.Node.No_presumption, false);
+            ("presume-commit", Kv.Node.Presume_commit, false);
+            ("pc + read-only", Kv.Node.Presume_commit, true);
+          ])
+      [ 1.0; 0.3 ]
+  in
+  let r3 label wr = List.assoc (label, wr) rows3 in
+  check "E15 3PC presume-commit saves messages on commit-heavy load"
+    ((r3 "presume-commit" 1.0).Kv.Db.messages_sent < (r3 "standard" 1.0).Kv.Db.messages_sent);
+  check "E15 3PC read-only optimization saves forces on read-heavy load"
+    ((r3 "pc + read-only" 0.3).Kv.Db.wal_forces < (r3 "presume-commit" 0.3).Kv.Db.wal_forces);
+  check "E15 3PC read-only optimization lowers forces per commit"
+    ((r3 "pc + read-only" 0.3).Kv.Db.forces_per_commit
+    < (r3 "presume-commit" 0.3).Kv.Db.forces_per_commit);
+  List.iter
+    (fun ((label, wr), r) ->
+      check (Fmt.str "E15 3PC %s (w=%.1f) atomic" label wr) r.Kv.Db.atomicity_ok)
+    rows3
 
 let e16_model_checking () =
   section "E16"

@@ -351,6 +351,49 @@ let chaos_cmd =
       & info [ "election-timeout" ] ~docv:"T"
           ~doc:"Objection window a campaigning backup waits before assuming leadership.")
   in
+  let presumption_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("abort", `Abort); ("commit", `Commit) ])) None
+      & info [ "presumption" ] ~docv:"abort|commit"
+          ~doc:
+            "Commit presumption: the covered outcome's decision record is appended but not \
+             forced, trading one disk force per transaction for a bounded durability gap \
+             the oracles license.")
+  in
+  let read_only_opt_arg =
+    Arg.(
+      value & flag
+      & info [ "read-only-opt" ]
+          ~doc:
+            "Read-only participant optimization: read-only participants vote and drop out \
+             of the protocol without forcing their log.  On the engine path the \
+             highest-numbered participant is marked read-only.")
+  in
+  let group_commit_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "group-commit" ] ~docv:"N"
+          ~doc:
+            "Group commit: coalesce up to N concurrent log forces into one shared disk \
+             sync (straggler timer 0.05 s).  0 disables batching.  Only observable with a \
+             nonzero $(b,--sync-latency).")
+  in
+  let pipeline_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"D"
+          ~doc:
+            "Coordinator pipelining depth ($(b,--kv) only): admit a new transaction while \
+             fewer than D log forces are in flight.  1 serializes admission on disk I/O \
+             (the default).")
+  in
+  let sync_latency_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "sync-latency" ] ~docv:"T"
+          ~doc:"Simulated disk sync latency in seconds (0 = synchronous forces).")
+  in
   let detector_profile base =
     {
       base with
@@ -369,7 +412,17 @@ let chaos_cmd =
     else base
   in
   let run_kv label n k seeds seed_base workers until replay partitions drops quorum ~disk_faults
-      ~lost_flush ~detector ~fencing ~detector_faults =
+      ~lost_flush ~detector ~fencing ~detector_faults ~presumption ~read_only_opt ~group_commit
+      ~pipeline_depth ~sync_latency =
+    let presumption =
+      Option.map
+        (function `Abort -> Kv.Node.Presume_abort | `Commit -> Kv.Node.Presume_commit)
+        presumption
+    in
+    let group_commit =
+      if group_commit > 0 then Some { Kv.Kv_wal.max_batch = group_commit; max_wait = 0.05 }
+      else None
+    in
     let protocol =
       match label with
       | "central-2pc" -> Kv.Node.Two_phase
@@ -395,7 +448,8 @@ let chaos_cmd =
     | Some seed ->
         let o =
           Kv.Chaos_db.run_one ~profile ~protocol ~termination ~n_sites:n ~until ~tracing:true
-            ~detector ~fencing ~k ~seed ()
+            ~detector ~fencing ?presumption ~read_only_opt ?group_commit ~sync_latency
+            ~pipeline_depth ~k ~seed ()
         in
         Fmt.pr "seed %d schedule:@.%s@." seed
           (match Sim.Nemesis.to_string o.Kv.Chaos_db.schedule with "" -> "(no faults)" | s -> s);
@@ -409,7 +463,8 @@ let chaos_cmd =
         let summary, wall =
           Sim.Clock.time (fun () ->
               Kv.Chaos_db.sweep ~profile ~protocol ~termination ~n_sites:n ~until ~detector
-                ~fencing ~seed_base ~workers ~k ~seeds ())
+                ~fencing ?presumption ~read_only_opt ?group_commit ~sync_latency ~pipeline_depth
+                ~seed_base ~workers ~k ~seeds ())
         in
         Fmt.pr "%a@." Kv.Chaos_db.pp_summary summary;
         Fmt.pr "%.0f schedules/sec (%.2f s wall)@."
@@ -426,12 +481,27 @@ let chaos_cmd =
   in
   let run label n k seeds seed_base workers until replay plan_str partitions drops quorum
       disk_faults lost_flush kv detector_flag no_fencing detector_faults heartbeat_period
-      suspicion_timeout election_timeout metrics_json =
+      suspicion_timeout election_timeout presumption read_only_opt group_commit pipeline_depth
+      sync_latency metrics_json =
     let detector = detector_flag || no_fencing || detector_faults in
     let fencing = not no_fencing in
     if kv then run_kv label n k seeds seed_base workers until replay partitions drops quorum
-        ~disk_faults ~lost_flush ~detector ~fencing ~detector_faults
-    else
+        ~disk_faults ~lost_flush ~detector ~fencing ~detector_faults ~presumption ~read_only_opt
+        ~group_commit ~pipeline_depth ~sync_latency
+    else begin
+    if pipeline_depth <> 1 then
+      Fmt.epr "skeen chaos: --pipeline applies only to --kv (the bare protocol engine runs one \
+               transaction); ignoring it@.";
+    let presumption =
+      Option.map
+        (function `Abort -> Engine.Runtime.Presume_abort | `Commit -> Engine.Runtime.Presume_commit)
+        presumption
+    in
+    let group_commit =
+      if group_commit > 0 then Some { Engine.Wal.max_batch = group_commit; max_wait = 0.05 }
+      else None
+    in
+    let read_only = if read_only_opt then Some [ n ] else None in
     let rb = Engine.Rulebook.compile (build label n) in
     let termination =
       if quorum then Engine.Runtime.Quorum (Engine.Runtime.majority n) else Engine.Runtime.Skeen
@@ -456,7 +526,8 @@ let chaos_cmd =
         in
         let result, violations =
           Engine.Chaos.run_plan ~until ~termination ~tracing:true ~detector ~heartbeat_period
-            ~suspicion_timeout ~election_timeout ~fencing rb ~plan ~seed:seed_base ()
+            ~suspicion_timeout ~election_timeout ~fencing ?presumption ?read_only ?group_commit
+            ~sync_latency rb ~plan ~seed:seed_base ()
         in
         Fmt.pr "plan: %s@." (Engine.Failure_plan.to_string plan);
         Fmt.pr "%a@." Engine.Runtime.pp_result result;
@@ -468,11 +539,13 @@ let chaos_cmd =
     | None, Some seed ->
         let { Engine.Chaos.plan; violations; _ } =
           Engine.Chaos.run_one ~profile ~until ~termination ~detector ~heartbeat_period
-            ~suspicion_timeout ~election_timeout ~fencing rb ~k ~seed ()
+            ~suspicion_timeout ~election_timeout ~fencing ?presumption ?read_only ?group_commit
+            ~sync_latency rb ~k ~seed ()
         in
         let result, _ =
           Engine.Chaos.run_plan ~until ~termination ~tracing:true ~detector ~heartbeat_period
-            ~suspicion_timeout ~election_timeout ~fencing rb ~plan ~seed ()
+            ~suspicion_timeout ~election_timeout ~fencing ?presumption ?read_only ?group_commit
+            ~sync_latency rb ~plan ~seed ()
         in
         Fmt.pr "seed %d generates: %s@." seed
           (match Engine.Failure_plan.to_string plan with "" -> "(no faults)" | s -> s);
@@ -485,7 +558,8 @@ let chaos_cmd =
         let summary, wall =
           Sim.Clock.time (fun () ->
               Engine.Chaos.sweep ~profile ~until ~termination ~detector ~heartbeat_period
-                ~suspicion_timeout ~election_timeout ~fencing ~seed_base ~workers rb ~k ~seeds ())
+                ~suspicion_timeout ~election_timeout ~fencing ?presumption ?read_only
+                ?group_commit ~sync_latency ~seed_base ~workers rb ~k ~seeds ())
         in
         Fmt.pr "%a@." Engine.Chaos.pp_summary summary;
         Fmt.pr "%.0f schedules/sec (%.2f s wall)@."
@@ -498,6 +572,7 @@ let chaos_cmd =
           (fun f -> write_metrics_json f (Sim.Metrics.to_json summary.Engine.Chaos.metrics))
           metrics_json;
         if summary.Engine.Chaos.violations_by_oracle <> [] then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -511,7 +586,8 @@ let chaos_cmd =
       const run $ protocol_opt $ sites_arg $ k_arg $ seeds_arg $ seed_base_arg $ workers_arg
       $ until_arg $ replay_arg $ plan_arg $ partitions_arg $ drops_arg $ quorum_arg $ disk_faults_arg
       $ lost_flush_arg $ kv_arg $ detector_arg $ no_fencing_arg $ detector_faults_arg
-      $ heartbeat_arg $ suspicion_arg $ election_arg $ metrics_json_arg)
+      $ heartbeat_arg $ suspicion_arg $ election_arg $ presumption_arg $ read_only_opt_arg
+      $ group_commit_arg $ pipeline_arg $ sync_latency_arg $ metrics_json_arg)
 
 (* ---------------- model-check ---------------- *)
 
@@ -628,15 +704,59 @@ let bank_cmd =
       & opt (some int) None
       & info [ "isolate" ] ~docv:"S" ~doc:"Partition site S away from t=40 to t=160.")
   in
-  let run n three_phase txns crash_site crash_at recover_at seed quorum isolate metrics_json =
+  let presumption =
+    Arg.(
+      value
+      & opt (some (enum [ ("abort", `Abort); ("commit", `Commit) ])) None
+      & info [ "presumption" ] ~docv:"abort|commit"
+          ~doc:"Commit presumption (skip forcing the covered outcome's decision record).")
+  in
+  let read_only_opt =
+    Arg.(
+      value & flag
+      & info [ "read-only-opt" ]
+          ~doc:"Read-only participants vote and drop out without forcing their log.")
+  in
+  let group_commit =
+    Arg.(
+      value & opt int 0
+      & info [ "group-commit" ] ~docv:"N"
+          ~doc:
+            "Coalesce up to N concurrent log forces into one shared sync (straggler timer \
+             0.05 s); 0 disables.  Only observable with a nonzero $(b,--sync-latency).")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"D"
+          ~doc:"Coordinator pipelining depth: admit while fewer than D forces are in flight.")
+  in
+  let sync_latency =
+    Arg.(
+      value & opt float 0.0
+      & info [ "sync-latency" ] ~docv:"T"
+          ~doc:"Simulated disk sync latency in seconds (0 = synchronous forces).")
+  in
+  let run n three_phase txns crash_site crash_at recover_at seed quorum isolate presumption
+      read_only_opt group_commit pipeline_depth sync_latency metrics_json =
     let accounts = 32 and initial_balance = 100 in
     let rng = Sim.Rng.create ~seed in
     let wl = Kv.Workload.bank rng ~n_txns:txns ~accounts ~arrival_rate:1.0 in
+    let presumption =
+      match presumption with
+      | None -> Kv.Node.No_presumption
+      | Some `Abort -> Kv.Node.Presume_abort
+      | Some `Commit -> Kv.Node.Presume_commit
+    in
+    let group_commit =
+      if group_commit > 0 then Some { Kv.Kv_wal.max_batch = group_commit; max_wait = 0.05 }
+      else None
+    in
     let cfg =
       Kv.Db.config ~n_sites:n
         ~protocol:(if three_phase then Kv.Node.Three_phase else Kv.Node.Two_phase)
         ~termination:(if quorum then Kv.Node.T_quorum ((n / 2) + 1) else Kv.Node.T_skeen)
-        ~seed
+        ~presumption ~read_only_opt ?group_commit ~pipeline_depth ~sync_latency ~seed
         ~crashes:(match crash_site with Some s -> [ (s, crash_at) ] | None -> [])
         ~recoveries:
           (match (crash_site, recover_at) with Some s, Some t -> [ (s, t) ] | _ -> [])
@@ -659,7 +779,8 @@ let bank_cmd =
     (Cmd.info "bank" ~doc:"Run the bank-transfer workload on the distributed KV store.")
     Term.(
       const run $ sites_arg $ three_phase $ txns $ crash_site $ crash_at $ recover_at $ seed
-      $ quorum $ isolate $ metrics_json_arg)
+      $ quorum $ isolate $ presumption $ read_only_opt $ group_commit $ pipeline $ sync_latency
+      $ metrics_json_arg)
 
 let () =
   let doc = "Nonblocking commit protocols (Skeen, SIGMOD 1981): analysis and simulation." in

@@ -103,11 +103,19 @@ let check_atomicity (result : Runtime.result) =
       }
   else None
 
-let check_progress (result : Runtime.result) =
+(* Read-only sites are outside the progress and recovery contracts: they
+   are excluded from backup leadership and quorum counts, so a run where
+   only read-only sites survive is the total-failure scenario for them —
+   and their recovery asks peers with no log of its own to converge
+   from. *)
+let check_progress ?(read_only = []) (result : Runtime.result) =
   let stuck =
     List.filter
       (fun (r : Runtime.site_report) ->
-        r.operational && (not r.ever_crashed) && r.outcome = None)
+        r.operational
+        && (not r.ever_crashed)
+        && (not (List.mem r.site read_only))
+        && r.outcome = None)
       result.reports
   in
   if stuck <> [] then
@@ -121,7 +129,7 @@ let check_progress (result : Runtime.result) =
       }
   else None
 
-let check_recovery (result : Runtime.result) =
+let check_recovery ?(read_only = []) (result : Runtime.result) =
   let decisions =
     List.filter_map effective result.reports |> List.sort_uniq compare
   in
@@ -133,7 +141,9 @@ let check_recovery (result : Runtime.result) =
       let stuck =
         List.filter
           (fun (r : Runtime.site_report) ->
-            r.operational && r.ever_crashed && r.outcome = None)
+            r.operational && r.ever_crashed
+            && (not (List.mem r.site read_only))
+            && r.outcome = None)
           result.reports
       in
       if stuck <> [] then
@@ -155,22 +165,40 @@ let check_recovery (result : Runtime.result) =
    durable prefix after repair — comparing it against the sticky
    [sent_yes]/[announced] flags (which survive crashes precisely because
    the world cannot un-see a message) makes the check sound post-hoc. *)
-let check_durability (result : Runtime.result) =
+let check_durability ?(presumption = Runtime.No_presumption) ?(read_only = [])
+    (result : Runtime.result) =
+  (* the presumption licenses exactly one gap: an announced covered
+     outcome whose [Decided] record the crash took — the record was
+     appended, not forced, by design.  A log that resolved the *other*
+     way is still a breach, as is a covered gap under the wrong
+     presumption. *)
+  let presumed_covered o =
+    match (presumption, o) with
+    | Runtime.Presume_abort, Core.Types.Aborted -> true
+    | Runtime.Presume_commit, Core.Types.Committed -> true
+    | (Runtime.No_presumption | Runtime.Presume_abort | Runtime.Presume_commit), _ -> false
+  in
   let problems =
     List.filter_map
       (fun (r : Runtime.site_report) ->
-        let wal = Wal.Store.log result.store ~site:r.site in
-        if r.sent_yes && not (Wal.voted_yes wal) then
-          Some
-            (Printf.sprintf "site %d sent a yes vote its durable log cannot justify" r.site)
+        if List.mem r.site read_only then
+          (* a read-only site's log is volatile by design: nothing it
+             shows (or fails to show) is binding *)
+          None
         else
-          match r.announced with
-          | Some o when r.wal_outcome <> Some o ->
-              Some
-                (Printf.sprintf "site %d announced %s but its durable log says %s" r.site
-                   (outcome_str o)
-                   (match r.wal_outcome with Some o' -> outcome_str o' | None -> "nothing"))
-          | _ -> None)
+          let wal = Wal.Store.log result.store ~site:r.site in
+          if r.sent_yes && not (Wal.voted_yes wal) then
+            Some
+              (Printf.sprintf "site %d sent a yes vote its durable log cannot justify" r.site)
+          else
+            match r.announced with
+            | Some o when r.wal_outcome = None && presumed_covered o -> None
+            | Some o when r.wal_outcome <> Some o ->
+                Some
+                  (Printf.sprintf "site %d announced %s but its durable log says %s" r.site
+                     (outcome_str o)
+                     (match r.wal_outcome with Some o' -> outcome_str o' | None -> "nothing"))
+            | _ -> None)
       result.reports
   in
   if problems <> [] then
@@ -211,7 +239,7 @@ let check_split_brain (result : Runtime.result) =
    merge-equivalence checks.  Never [Sys.time] here — that is
    process-wide CPU time, which sums across a parallel sweep's domains
    and turns every per-oracle histogram into garbage. *)
-let violations_of ?metrics result =
+let violations_of ?metrics ?presumption ?read_only result =
   let timed name f =
     match metrics with
     | None -> f result
@@ -223,9 +251,9 @@ let violations_of ?metrics result =
   List.filter_map Fun.id
     [
       timed "atomicity" check_atomicity;
-      timed "progress" check_progress;
-      timed "recovery" check_recovery;
-      timed "durability" check_durability;
+      timed "progress" (check_progress ?read_only);
+      timed "recovery" (check_recovery ?read_only);
+      timed "durability" (check_durability ?presumption ?read_only);
       timed "split_brain" check_split_brain;
     ]
 
@@ -254,19 +282,20 @@ let aggregate_run_metrics m result =
     (Sim.Metrics.buckets rm "suspicion_latency")
 
 let run_plan ?metrics ?(until = 1500.0) ?(termination = Runtime.Skeen) ?(tracing = false)
-    ?(late_force = false) ?detector ?heartbeat_period ?suspicion_timeout ?election_timeout
-    ?fencing rulebook ~plan ~seed () =
+    ?presumption ?read_only ?group_commit ?sync_latency ?(late_force = false) ?detector
+    ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing rulebook ~plan ~seed () =
   let result =
     Runtime.run
-      (Runtime.config ~plan ~seed ~tracing ~until ~termination ~late_force ?detector
-         ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing rulebook)
+      (Runtime.config ~plan ~seed ~tracing ~until ~termination ?presumption ?read_only
+         ?group_commit ?sync_latency ~late_force ?detector ?heartbeat_period ?suspicion_timeout
+         ?election_timeout ?fencing rulebook)
   in
   (match metrics with Some m -> aggregate_run_metrics m result | None -> ());
-  (result, violations_of ?metrics result)
+  (result, violations_of ?metrics ?presumption ?read_only result)
 
-let run_one ?metrics ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?late_force
-    ?detector ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing rulebook ~k ~seed ()
-    =
+let run_one ?metrics ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?presumption
+    ?read_only ?group_commit ?sync_latency ?late_force ?detector ?heartbeat_period
+    ?suspicion_timeout ?election_timeout ?fencing rulebook ~k ~seed () =
   let n_sites = Core.Protocol.n_sites rulebook.Rulebook.protocol in
   (* The seed's randomness splits: the schedule draws from its own
      stream, the world's latency draws from another, so the schedule
@@ -280,8 +309,9 @@ let run_one ?metrics ?(profile = Sim.Nemesis.default_profile) ?until ?terminatio
       Sim.Metrics.observe m "schedule_faults" (float_of_int (Failure_plan.fault_count plan))
   | None -> ());
   let result, violations =
-    run_plan ?metrics ?until ?termination ?late_force ?detector ?heartbeat_period
-      ?suspicion_timeout ?election_timeout ?fencing rulebook ~plan ~seed ()
+    run_plan ?metrics ?until ?termination ?presumption ?read_only ?group_commit ?sync_latency
+      ?late_force ?detector ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing
+      rulebook ~plan ~seed ()
   in
   { seed; plan; result; violations }
 
@@ -361,15 +391,17 @@ let rounding_candidates (p : Failure_plan.t) =
       (fun l -> { p with hb_losses = l })
       p.hb_losses
 
-let shrink ?metrics ?until ?termination ?late_force ?detector ?heartbeat_period
-    ?suspicion_timeout ?election_timeout ?fencing rulebook ~seed ~oracle plan =
+let shrink ?metrics ?until ?termination ?presumption ?read_only ?group_commit ?sync_latency
+    ?late_force ?detector ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing
+    rulebook ~seed ~oracle plan =
   let runs = ref 0 in
   let still_fails p =
     incr runs;
     (match metrics with Some m -> Sim.Metrics.incr m "shrink_runs" | None -> ());
     let _, vs =
-      run_plan ?metrics ?until ?termination ?late_force ?detector ?heartbeat_period
-        ?suspicion_timeout ?election_timeout ?fencing rulebook ~plan:p ~seed ()
+      run_plan ?metrics ?until ?termination ?presumption ?read_only ?group_commit ?sync_latency
+        ?late_force ?detector ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing
+        rulebook ~plan:p ~seed ()
     in
     List.exists (fun v -> v.oracle = oracle) vs
   in
@@ -382,17 +414,19 @@ let shrink ?metrics ?until ?termination ?late_force ?detector ?heartbeat_period
   let p = reduce rounding_candidates p in
   (p, !runs)
 
-let counterexample_of ?metrics ?until ?termination ?late_force ?detector ?heartbeat_period
-    ?suspicion_timeout ?election_timeout ?fencing rulebook (run : run_outcome) violation =
+let counterexample_of ?metrics ?until ?termination ?presumption ?read_only ?group_commit
+    ?sync_latency ?late_force ?detector ?heartbeat_period ?suspicion_timeout ?election_timeout
+    ?fencing rulebook (run : run_outcome) violation =
   let cx_plan, cx_shrink_runs =
-    shrink ?metrics ?until ?termination ?late_force ?detector ?heartbeat_period
-      ?suspicion_timeout ?election_timeout ?fencing rulebook ~seed:run.seed
-      ~oracle:violation.oracle run.plan
+    shrink ?metrics ?until ?termination ?presumption ?read_only ?group_commit ?sync_latency
+      ?late_force ?detector ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing
+      rulebook ~seed:run.seed ~oracle:violation.oracle run.plan
   in
   (* replay the minimal plan with tracing to capture the evidence *)
   let result, vs =
-    run_plan ?until ?termination ~tracing:true ?late_force ?detector ?heartbeat_period
-      ?suspicion_timeout ?election_timeout ?fencing rulebook ~plan:cx_plan ~seed:run.seed ()
+    run_plan ?until ?termination ~tracing:true ?presumption ?read_only ?group_commit
+      ?sync_latency ?late_force ?detector ?heartbeat_period ?suspicion_timeout ?election_timeout
+      ?fencing rulebook ~plan:cx_plan ~seed:run.seed ()
   in
   let cx_violation =
     match List.find_opt (fun v -> v.oracle = violation.oracle) vs with
@@ -411,17 +445,19 @@ let counterexample_of ?metrics ?until ?termination ?late_force ?detector ?heartb
 
 (* ---------------- seed sweeps ---------------- *)
 
-let sweep ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?late_force ?detector
-    ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing ?(seed_base = 0)
-    ?(max_counterexamples = 5) ?(workers = 1) rulebook ~k ~seeds () =
+let sweep ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?presumption ?read_only
+    ?group_commit ?sync_latency ?late_force ?detector ?heartbeat_period ?suspicion_timeout
+    ?election_timeout ?fencing ?(seed_base = 0) ?(max_counterexamples = 5) ?(workers = 1)
+    rulebook ~k ~seeds () =
   (* Phase 1, embarrassingly parallel: each seed runs in full isolation —
      its own World, Metrics registry and Rng stream, sharing only the
      read-only compiled rulebook — so worker assignment is unobservable. *)
   let runs, metrics =
     Sim.Sweep.sweep ~workers ~seed_base ~seeds (fun ~metrics ~seed ->
         let run =
-          run_one ~metrics ~profile ?until ?termination ?late_force ?detector ?heartbeat_period
-            ?suspicion_timeout ?election_timeout ?fencing rulebook ~k ~seed ()
+          run_one ~metrics ~profile ?until ?termination ?presumption ?read_only ?group_commit
+            ?sync_latency ?late_force ?detector ?heartbeat_period ?suspicion_timeout
+            ?election_timeout ?fencing rulebook ~k ~seed ()
         in
         List.iter
           (fun v ->
@@ -442,8 +478,9 @@ let sweep ?(profile = Sim.Nemesis.default_profile) ?until ?termination ?late_for
             (1 + Option.value ~default:0 (Hashtbl.find_opt by_oracle v.oracle));
           if List.length !counterexamples < max_counterexamples then
             counterexamples :=
-              counterexample_of ~metrics ?until ?termination ?late_force ?detector
-                ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing rulebook run v
+              counterexample_of ~metrics ?until ?termination ?presumption ?read_only
+                ?group_commit ?sync_latency ?late_force ?detector ?heartbeat_period
+                ?suspicion_timeout ?election_timeout ?fencing rulebook run v
               :: !counterexamples)
         run.violations)
     runs;

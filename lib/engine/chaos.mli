@@ -53,16 +53,30 @@ type summary = {
           nondeterministic), schedule_faults histogram *)
 }
 
-val violations_of : ?metrics:Sim.Metrics.t -> Runtime.result -> violation list
+val violations_of :
+  ?metrics:Sim.Metrics.t ->
+  ?presumption:Runtime.presumption ->
+  ?read_only:Core.Types.site list ->
+  Runtime.result ->
+  violation list
 (** Run the five oracles on a finished run (timing each into [metrics]
     when given).  [Split_brain] checks no election epoch in
-    [result.directive_epochs] is claimed by two distinct sites. *)
+    [result.directive_epochs] is claimed by two distinct sites.
+    [presumption] licenses exactly one durability gap: an announced
+    covered outcome whose appended-not-forced [Decided] record the crash
+    took.  [read_only] sites are exempt from the progress, recovery and
+    durability oracles (their log is volatile by design and they are
+    excluded from termination). *)
 
 val run_plan :
   ?metrics:Sim.Metrics.t ->
   ?until:float ->
   ?termination:Runtime.termination_rule ->
   ?tracing:bool ->
+  ?presumption:Runtime.presumption ->
+  ?read_only:Core.Types.site list ->
+  ?group_commit:Wal.group_commit ->
+  ?sync_latency:float ->
   ?late_force:bool ->
   ?detector:bool ->
   ?heartbeat_period:float ->
@@ -84,6 +98,10 @@ val run_one :
   ?profile:Sim.Nemesis.profile ->
   ?until:float ->
   ?termination:Runtime.termination_rule ->
+  ?presumption:Runtime.presumption ->
+  ?read_only:Core.Types.site list ->
+  ?group_commit:Wal.group_commit ->
+  ?sync_latency:float ->
   ?late_force:bool ->
   ?detector:bool ->
   ?heartbeat_period:float ->
@@ -101,6 +119,10 @@ val shrink :
   ?metrics:Sim.Metrics.t ->
   ?until:float ->
   ?termination:Runtime.termination_rule ->
+  ?presumption:Runtime.presumption ->
+  ?read_only:Core.Types.site list ->
+  ?group_commit:Wal.group_commit ->
+  ?sync_latency:float ->
   ?late_force:bool ->
   ?detector:bool ->
   ?heartbeat_period:float ->
@@ -120,6 +142,10 @@ val sweep :
   ?profile:Sim.Nemesis.profile ->
   ?until:float ->
   ?termination:Runtime.termination_rule ->
+  ?presumption:Runtime.presumption ->
+  ?read_only:Core.Types.site list ->
+  ?group_commit:Wal.group_commit ->
+  ?sync_latency:float ->
   ?late_force:bool ->
   ?detector:bool ->
   ?heartbeat_period:float ->

@@ -43,6 +43,16 @@ type mode =
     one-directional and the rule cascade-safe without ballots. *)
 type termination_rule = Skeen | Quorum of int
 
+(** The classic commit-protocol presumptions, promoted from the database
+    layer: the covered outcome's [Decided] record is appended but not
+    forced — its durability rides the next sync (or is lost with the
+    crash, which the presumption makes reconstructible).  Scoped to the
+    force-vs-append of [Decided] records only: answering inquiries by
+    presumption is unsound in this single-transaction model (a site that
+    has not yet voted is indistinguishable from one that forgot a covered
+    outcome, and the cohort may still commit). *)
+type presumption = No_presumption | Presume_abort | Presume_commit
+
 type site_rt = {
   site : Core.Types.site;
   automaton : Core.Automaton.t;
@@ -98,6 +108,10 @@ type site_rt = {
       (** an outcome this site actually announced to a peer (a [Decide],
           an [Outcome_reply], a final transition's messages) — sticky for
           the same reason as [sent_yes]. *)
+  mutable firing : bool;
+      (** a transition's force is in flight (group commit / sync
+          latency): no further transition may fire until its continuation
+          runs.  Always false on the synchronous fast path. *)
 }
 
 type config = {
@@ -118,6 +132,24 @@ type config = {
           the paper's reliable-detector assumption — the ablation that
           shows why the assumption is needed *)
   termination : termination_rule;
+  presumption : presumption;
+      (** append rather than force the covered outcome's [Decided]
+          record; see {!presumption} for the (narrow) scope *)
+  read_only : Core.Types.site list;
+      (** read-only participants: run the FSA normally (votes and acks
+          still flow) but never sync — they hold no data whose durability
+          matters — and are excluded from backup leadership, termination
+          moves and quorum counts (a volatile prepared state must not
+          widen a commit quorum).  They still learn outcomes in phase 2
+          broadcasts. *)
+  group_commit : Wal.group_commit option;
+      (** coalesce concurrent WAL forces into shared syncs — API parity
+          with the database layer; with one transaction a site has at
+          most one force in flight, so batches are size 1 and this is a
+          correctness lever here, not a throughput one *)
+  sync_latency : float;
+      (** simulated seconds per WAL sync (0.0: synchronous forces,
+          byte-identical replay of every prior run) *)
   durable_wal : bool;  (** [false]: the PR 3 in-memory log (bench baseline) *)
   late_force : bool;
       (** deliberately mis-place the transition force point: append, send
@@ -142,9 +174,11 @@ type config = {
 
 let config ?(votes = []) ?(plan = Failure_plan.none) ?(seed = 1) ?(tracing = false)
     ?(until = 10_000.0) ?(query_interval = 5.0) ?(query_backoff_cap = 45.0) ?partition
-    ?(termination = Skeen) ?(durable_wal = true) ?(late_force = false) ?(detector = false)
+    ?(termination = Skeen) ?(presumption = No_presumption) ?(read_only = []) ?group_commit
+    ?(sync_latency = 0.0) ?(durable_wal = true) ?(late_force = false) ?(detector = false)
     ?(heartbeat_period = 1.0) ?(suspicion_timeout = 5.0) ?(election_timeout = 4.0)
     ?(fencing = true) rulebook =
+  if sync_latency < 0.0 then invalid_arg "Runtime.config: sync_latency must be >= 0";
   {
     rulebook;
     votes;
@@ -156,6 +190,10 @@ let config ?(votes = []) ?(plan = Failure_plan.none) ?(seed = 1) ?(tracing = fal
     query_backoff_cap;
     partition;
     termination;
+    presumption;
+    read_only;
+    group_commit;
+    sync_latency;
     durable_wal;
     late_force;
     detector;
@@ -257,16 +295,31 @@ module Exec = struct
     Sim.Metrics.incr (Sim.World.metrics t.world) "wal_appends";
     Wal.append wal r
 
+  let is_ro t site = List.mem site t.cfg.read_only
+
+  (* whether the presumption covers this outcome: its [Decided] record
+     may be appended instead of forced *)
+  let covered t (o : Core.Types.outcome) =
+    match t.cfg.presumption with
+    | No_presumption -> false
+    | Presume_abort -> o = Core.Types.Aborted
+    | Presume_commit -> o = Core.Types.Committed
+
   (* the paper's forced write: append + sync, durable before the caller
-     takes any externally visible action *)
-  let force_wal t wal r =
-    append_wal t wal r;
-    Wal.sync wal
+     takes any externally visible action.  Read-only sites never sync —
+     nothing of theirs needs to survive a crash. *)
+  let force_wal t (rt : site_rt) r =
+    Sim.Metrics.incr (Sim.World.metrics t.world) "wal_appends";
+    if is_ro t rt.site then Wal.append rt.wal r else Wal.force rt.wal r
 
   let finalize t (rt : site_rt) (o : Core.Types.outcome) =
     if rt.outcome = None then begin
-      (* forced before any caller announces the decision to a peer *)
-      force_wal t rt.wal (Wal.Decided o);
+      (* forced before any caller announces the decision to a peer —
+         except when the presumption covers [o]: then the record merely
+         rides the next sync, and the durability oracle accepts an
+         announced covered outcome the repaired log cannot show *)
+      if covered t o then append_wal t rt.wal (Wal.Decided o)
+      else force_wal t rt (Wal.Decided o);
       rt.outcome <- Some o;
       rt.decided_at <- Some (Sim.World.now t.world);
       rt.state <- final_state_for rt.automaton o;
@@ -282,7 +335,7 @@ module Exec = struct
   (* ---------------- FSA execution ---------------- *)
 
   let rec try_fire t ctx (rt : site_rt) =
-    if rt.outcome = None && rt.mode = Normal && not rt.impaired then begin
+    if rt.outcome = None && rt.mode = Normal && (not rt.impaired) && not rt.firing then begin
       let enabled =
         Core.Automaton.enabled rt.automaton rt.state rt.inbox
         |> List.filter (vote_allowed t.cfg rt.site)
@@ -298,15 +351,6 @@ module Exec = struct
               Sim.World.crash_self ctx
           | _ ->
               rt.steps <- rt.steps + 1;
-              (* Write-ahead: force the transition record before any message
-                 leaves the site — the paper's rule.  Under the [late_force]
-                 ablation only the append happens here; the sync is deferred
-                 until after the sends, opening exactly the
-                 acted-before-durable window the durability oracle must
-                 catch. *)
-              append_wal t rt.wal
-                (Wal.Transitioned { to_state = tr.Core.Automaton.to_state; vote = tr.Core.Automaton.vote });
-              if not t.cfg.late_force then Wal.sync rt.wal;
               (match Core.Message.Multiset.remove_all tr.Core.Automaton.consumes rt.inbox with
               | Some inbox -> rt.inbox <- inbox
               | None -> assert false);
@@ -320,37 +364,74 @@ module Exec = struct
                 Core.Types.outcome_of_kind
                   (Core.Automaton.kind_of rt.automaton tr.Core.Automaton.to_state)
               in
-              List.iteri
-                (fun i m ->
-                  (match crash_after_k with
-                  | Some k when i = k ->
-                      record t "site %d crashes mid-transition after %d of %d sends" rt.site k
-                        (List.length tr.Core.Automaton.emits);
-                      Sim.World.crash_self ctx
-                  | _ -> ());
-                  (* sends from a crashed site are dropped by the world, so
-                     only live sends count as externally observed *)
-                  if Sim.World.is_alive t.world rt.site then begin
-                    (match tr.Core.Automaton.vote with
-                    | Some Core.Types.Yes -> rt.sent_yes <- true
-                    | Some Core.Types.No | None -> ());
-                    match announces with Some o -> rt.announced <- Some o | None -> ()
-                  end;
-                  Sim.World.send ctx ~dst:m.Core.Message.dst (Msg.Proto m))
-                tr.Core.Automaton.emits;
-              (match crash_after_k with
-              | Some k when k >= List.length tr.Core.Automaton.emits ->
-                  record t "site %d crashes right after transition to %s" rt.site
-                    tr.Core.Automaton.to_state;
-                  Sim.World.crash_self ctx
-              | _ -> ());
-              if t.cfg.late_force && Sim.World.is_alive t.world rt.site then Wal.sync rt.wal;
-              rt.state <- tr.Core.Automaton.to_state;
-              (if Sim.World.is_alive t.world rt.site then
-                 match Core.Types.outcome_of_kind (Core.Automaton.kind_of rt.automaton rt.state) with
-                 | Some o -> finalize t rt o
-                 | None -> ());
-              if Sim.World.is_alive t.world rt.site then try_fire t ctx rt)
+              (* everything after the record is durable: sends, volatile
+                 state, the decision.  On the synchronous fast path this
+                 runs inline and the whole transition is atomic wrt the
+                 scheduler, exactly as before the levers existed. *)
+              let continue () =
+                rt.firing <- false;
+                (* a termination directive may have arrived while the
+                   force was in flight: the record is durable but the
+                   commit protocol proper is over — adopt the state (it
+                   is on stable storage; a poll may honestly report it)
+                   but put nothing more on the wire *)
+                let frozen = rt.impaired || rt.mode <> Normal in
+                if not frozen then
+                  List.iteri
+                    (fun i m ->
+                      (match crash_after_k with
+                      | Some k when i = k ->
+                          record t "site %d crashes mid-transition after %d of %d sends" rt.site
+                            k
+                            (List.length tr.Core.Automaton.emits);
+                          Sim.World.crash_self ctx
+                      | _ -> ());
+                      (* sends from a crashed site are dropped by the world,
+                         so only live sends count as externally observed *)
+                      if Sim.World.is_alive t.world rt.site then begin
+                        (match tr.Core.Automaton.vote with
+                        | Some Core.Types.Yes -> rt.sent_yes <- true
+                        | Some Core.Types.No | None -> ());
+                        match announces with Some o -> rt.announced <- Some o | None -> ()
+                      end;
+                      Sim.World.send ctx ~dst:m.Core.Message.dst (Msg.Proto m))
+                    tr.Core.Automaton.emits;
+                (match crash_after_k with
+                | Some k when (not frozen) && k >= List.length tr.Core.Automaton.emits ->
+                    record t "site %d crashes right after transition to %s" rt.site
+                      tr.Core.Automaton.to_state;
+                    Sim.World.crash_self ctx
+                | _ -> ());
+                if t.cfg.late_force && (not (is_ro t rt.site)) && Sim.World.is_alive t.world rt.site
+                then Wal.sync rt.wal;
+                rt.state <- tr.Core.Automaton.to_state;
+                (if Sim.World.is_alive t.world rt.site then
+                   match
+                     Core.Types.outcome_of_kind (Core.Automaton.kind_of rt.automaton rt.state)
+                   with
+                   | Some o -> finalize t rt o
+                   | None -> ());
+                if Sim.World.is_alive t.world rt.site && not frozen then try_fire t ctx rt
+              in
+              (* Write-ahead: force the transition record before any message
+                 leaves the site — the paper's rule.  Under the [late_force]
+                 ablation only the append happens here; the sync is deferred
+                 until after the sends, opening exactly the
+                 acted-before-durable window the durability oracle must
+                 catch.  Read-only sites never sync at all. *)
+              let record_ =
+                Wal.Transitioned
+                  { to_state = tr.Core.Automaton.to_state; vote = tr.Core.Automaton.vote }
+              in
+              Sim.Metrics.incr (Sim.World.metrics t.world) "wal_appends";
+              if t.cfg.late_force || is_ro t rt.site then begin
+                Wal.append rt.wal record_;
+                continue ()
+              end
+              else begin
+                rt.firing <- true;
+                Wal.force_k rt.wal record_ continue
+              end)
     end
 
   (* ---------------- queries (recovery & blocked sites) ---------------- *)
@@ -394,6 +475,9 @@ module Exec = struct
   let eligible_leader t (rt : site_rt) =
     let pick ~ignore_taint =
       Sim.World.sites t.world
+      (* read-only sites never lead: their log is volatile, so a decision
+         derived from it could not honour the force discipline *)
+      |> List.filter (fun s -> not (is_ro t s))
       |> List.filter (fun s ->
              if s = rt.site then not rt.ever_crashed
              else
@@ -458,10 +542,15 @@ module Exec = struct
     | Leading l when l.awaiting = [] && rt.outcome = None -> leader_decide t ctx rt
     | Leading _ | Polling _ | Normal | Stalled -> ()
 
+  (* Read-only sites are excluded from moves and polls: their state is
+     volatile, so counting it toward a quorum (or deciding from a move
+     they acked) would let a crash shrink a commit quorum after the
+     fact.  They still learn the outcome from phase 2 broadcasts. *)
   let reachable_participants t (rt : site_rt) =
     Sim.World.sites t.world
     |> List.filter (fun s ->
            s <> rt.site
+           && (not (is_ro t s))
            && (not (List.mem s rt.down_view))
            && not (List.mem s rt.tainted_view))
 
@@ -524,7 +613,7 @@ module Exec = struct
             record t "quorum backup %d: %d prepared >= %d -> move up and COMMIT" rt.site
               n_prepared q;
             if rt.state <> p then begin
-              force_wal t rt.wal (Wal.Moved { to_state = p });
+              force_wal t rt (Wal.Moved { to_state = p });
               rt.state <- p
             end;
             run_phase1 t ctx rt ~target:p
@@ -643,6 +732,26 @@ module Exec = struct
 
   (* ---------------- handlers ---------------- *)
 
+  let handle_peer_down t ctx failed =
+    let rt = rt t ctx.Sim.World.self in
+    rt.impaired <- true;
+    if not (List.mem failed rt.down_view) then rt.down_view <- failed :: rt.down_view;
+    if not (List.mem failed rt.tainted_view) then rt.tainted_view <- failed :: rt.tainted_view;
+    (match rt.mode with
+    | Leading l ->
+        l.awaiting <- List.filter (fun x -> x <> failed) l.awaiting;
+        maybe_finish_phase1 t ctx rt
+    | Polling p ->
+        p.awaiting <- List.filter (fun x -> x <> failed) p.awaiting;
+        (match t.cfg.termination with
+        | Quorum q -> maybe_finish_poll t ctx rt ~q
+        | Skeen -> ())
+    | Normal | Stalled -> ());
+    (* Even a site that has already decided must reconsider: if it is now
+       the backup coordinator it announces the outcome, so that sites left
+       waiting by a coordinator that crashed mid-broadcast still learn it. *)
+    reconsider_leadership t ctx rt
+
   let on_message t ctx ~src msg =
     let rt = rt t ctx.Sim.World.self in
     match msg with
@@ -688,7 +797,7 @@ module Exec = struct
               if rt.state <> s then begin
                 (* forced before the ack: the backup will decide from the
                    belief that this move is stable *)
-                force_wal t rt.wal (Wal.Moved { to_state = s });
+                force_wal t rt (Wal.Moved { to_state = s });
                 record t "site %d moves %s -> %s at backup's request" rt.site rt.state s;
                 rt.state <- s
               end;
@@ -746,7 +855,20 @@ module Exec = struct
         end
     | Msg.Query_outcome ->
         (match rt.outcome with Some o -> rt.announced <- Some o | None -> ());
-        Sim.World.send ctx ~dst:src (Msg.Outcome_reply rt.outcome)
+        Sim.World.send ctx ~dst:src (Msg.Outcome_reply rt.outcome);
+        (* Under the timeout detector a peer's query is harder failure
+           evidence than any timeout: only a site that abandoned the
+           normal FSA path (crashed and recovered, or frozen by a
+           termination directive) queries, so it will never send the
+           protocol message this site may still be waiting for.  A
+           chaos-delayed pre-crash heartbeat can mask a crash-and-recover
+           window from every detector, leaving an undecided coordinator
+           waiting forever on a vote or ack the querier lost — the query
+           itself is the one signal that cannot be masked. *)
+        if t.cfg.detector && rt.outcome = None && not (List.mem src rt.down_view) then begin
+          record t "site %d treats site %d's outcome query as failure evidence" rt.site src;
+          handle_peer_down t ctx src
+        end
     | Msg.Outcome_reply (Some o) ->
         let was_stalled = rt.mode = Stalled in
         if rt.outcome = None then begin
@@ -761,8 +883,10 @@ module Exec = struct
            are a live, never-crashed better-ranked site we object — the
            candidate stands down — and take the hint to reconsider leading
            ourselves.  A suspected-but-alive site's objection is exactly
-           the second chance that makes false suspicion survivable. *)
-        if rt.site < src && not rt.ever_crashed then begin
+           the second chance that makes false suspicion survivable.
+           Read-only sites never object: an objection is a promise to
+           take over, and they are excluded from leadership. *)
+        if rt.site < src && (not rt.ever_crashed) && not (is_ro t rt.site) then begin
           record t "site %d objects to site %d's campaign (epoch %d)" rt.site src e;
           Sim.World.send ctx ~dst:src Msg.Elect_ack;
           reconsider_leadership t ctx rt
@@ -783,26 +907,6 @@ module Exec = struct
             rt.mode <- Normal;
             if rt.outcome = None then enter_stalled t ctx rt
         | Normal | Stalled -> ())
-
-  let handle_peer_down t ctx failed =
-    let rt = rt t ctx.Sim.World.self in
-    rt.impaired <- true;
-    if not (List.mem failed rt.down_view) then rt.down_view <- failed :: rt.down_view;
-    if not (List.mem failed rt.tainted_view) then rt.tainted_view <- failed :: rt.tainted_view;
-    (match rt.mode with
-    | Leading l ->
-        l.awaiting <- List.filter (fun x -> x <> failed) l.awaiting;
-        maybe_finish_phase1 t ctx rt
-    | Polling p ->
-        p.awaiting <- List.filter (fun x -> x <> failed) p.awaiting;
-        (match t.cfg.termination with
-        | Quorum q -> maybe_finish_poll t ctx rt ~q
-        | Skeen -> ())
-    | Normal | Stalled -> ());
-    (* Even a site that has already decided must reconsider: if it is now
-       the backup coordinator it announces the outcome, so that sites left
-       waiting by a coordinator that crashed mid-broadcast still learn it. *)
-    reconsider_leadership t ctx rt
 
   let handle_peer_up t ctx recovered =
     let rt = rt t ctx.Sim.World.self in
@@ -862,6 +966,7 @@ module Exec = struct
     rt.inbox <- Core.Message.Multiset.empty;
     rt.mode <- Normal;
     rt.campaigning <- false;
+    rt.firing <- false;
     rt.query_attempts <- 0;
     (* volatile memory did not survive: the decision must be re-derived
        from the stable log.  With a lossless log this is a no-op (the
@@ -884,7 +989,15 @@ module Exec = struct
                decision stands even if the [Decided] record is missing. *)
             finalize t rt o
         | None ->
-            if (not (Wal.voted_yes rt.wal)) && site_has_veto rt.automaton then begin
+            if is_ro t rt.site then begin
+              (* a read-only site's log is volatile by design, so its
+                 silence proves nothing — in particular not that it never
+                 voted: a unilateral abort here could contradict a commit
+                 the cohort reached on its (lost) yes vote *)
+              record t "read-only site %d recovers: must ask peers" rt.site;
+              enter_stalled t ctx rt
+            end
+            else if (not (Wal.voted_yes rt.wal)) && site_has_veto rt.automaton then begin
               record t "site %d recovers before its commit point: unilateral abort" rt.site;
               finalize t rt Core.Types.Aborted
             end
@@ -894,10 +1007,22 @@ module Exec = struct
             end));
     Sim.Metrics.incr (Sim.World.metrics t.world) "recoveries_processed"
 
+  (* wire the site's log into the run: force counters, and a site-bound
+     timer for deferred group-commit flushes (so a pending batch dies
+     with the site's crash).  Re-done on restart — the crashed
+     incarnation's timers died with it. *)
+  let attach_wal t ctx =
+    Wal.attach
+      (Wal.Store.log t.store ~site:ctx.Sim.World.self)
+      ~metrics:(Sim.World.metrics t.world)
+      ~schedule:(fun delay k -> ignore (Sim.World.set_timer ctx ~delay k))
+
   let handlers t _site : Msg.t Sim.World.handlers =
     {
       Sim.World.on_start =
-        (fun ctx -> match t.detector with Some d -> Sim.Detector.start d ctx | None -> ());
+        (fun ctx ->
+          attach_wal t ctx;
+          match t.detector with Some d -> Sim.Detector.start d ctx | None -> ());
       on_message =
         (fun ctx ~src msg ->
           (match t.detector with
@@ -908,6 +1033,7 @@ module Exec = struct
       on_peer_up = (fun ctx recovered -> on_peer_up t ctx recovered);
       on_restart =
         (fun ctx ->
+          attach_wal t ctx;
           on_restart t ctx;
           (* the crashed incarnation's detector timers died with it *)
           match t.detector with Some d -> Sim.Detector.start d ctx | None -> ());
@@ -922,7 +1048,10 @@ let run (cfg : config) : result =
   let n = Core.Protocol.n_sites protocol in
   let world = Sim.World.create ~n_sites:n ~seed:cfg.seed ~msg_to_string:Msg.to_string () in
   Sim.World.set_tracing world cfg.tracing;
-  let store = Wal.Store.create ~durable:cfg.durable_wal ~n_sites:n () in
+  let store =
+    Wal.Store.create ~durable:cfg.durable_wal ?group_commit:cfg.group_commit
+      ~sync_latency:cfg.sync_latency ~n_sites:n ()
+  in
   (* storage faults from the plan arm each site's private disk *)
   List.iter
     (fun site ->
@@ -973,6 +1102,7 @@ let run (cfg : config) : result =
           impaired = false;
           sent_yes = false;
           announced = None;
+          firing = false;
         })
   in
   let exec =

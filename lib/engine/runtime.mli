@@ -26,6 +26,14 @@
     the rule is cascade-safe without ballots. *)
 type termination_rule = Skeen | Quorum of int
 
+(** The classic commit-protocol presumptions, promoted from the database
+    layer: the covered outcome's [Decided] record is appended but not
+    forced.  Scoped to force-vs-append only — answering inquiries by
+    presumption is unsound in this single-transaction model (a site that
+    has not yet voted is indistinguishable from one that forgot a
+    covered outcome, and the cohort may still commit). *)
+type presumption = No_presumption | Presume_abort | Presume_commit
+
 val majority : int -> int
 (** [majority n = n/2 + 1]. *)
 
@@ -45,6 +53,22 @@ type config = {
       (** (from, until, groups): run under a network partition, violating
           the paper's reliable-detector assumption *)
   termination : termination_rule;
+  presumption : presumption;
+      (** append rather than force the covered outcome's [Decided] record *)
+  read_only : Core.Types.site list;
+      (** read-only participants: run the FSA normally (votes and acks
+          still flow) but never sync, and are excluded from backup
+          leadership, termination moves and quorum counts (a volatile
+          prepared state must not widen a commit quorum).  They still
+          learn outcomes from phase 2 broadcasts. *)
+  group_commit : Wal.group_commit option;
+      (** coalesce concurrent WAL forces into shared syncs — API parity
+          with the database layer; with one transaction a site has at
+          most one force in flight, so this is a correctness lever here,
+          not a throughput one *)
+  sync_latency : float;
+      (** simulated seconds per WAL sync (0.0: synchronous forces,
+          byte-identical replay of every prior run) *)
   durable_wal : bool;
       (** [false]: the PR 3 in-memory log (sync free, crash lossless) —
           kept as the benchmark baseline *)
@@ -79,6 +103,10 @@ val config :
   ?query_backoff_cap:float ->
   ?partition:float * float * Core.Types.site list list ->
   ?termination:termination_rule ->
+  ?presumption:presumption ->
+  ?read_only:Core.Types.site list ->
+  ?group_commit:Wal.group_commit ->
+  ?sync_latency:float ->
   ?durable_wal:bool ->
   ?late_force:bool ->
   ?detector:bool ->

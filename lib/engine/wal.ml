@@ -118,22 +118,54 @@ type repair = {
 
 type mode = Memory | Durable of Sim.Disk.t
 
+type group_commit = Sim.Batch.group = { max_batch : int; max_wait : float }
+
 type t = {
   mutable cache : record list;  (** newest first — the live (volatile) view of the log *)
   mode : mode;
   mutable repair_log : repair list;  (** newest first; one entry per crash that lost anything *)
+  batch : Sim.Batch.t option;
+      (** group-commit batcher over the disk's sync barrier; [None] on
+          the fast path (no group, zero sync latency) where every force
+          is a synchronous sync *)
+  mutable metrics : Sim.Metrics.t option;
 }
 
 (** [durable:false] is the PR 3 in-memory log — sync is free and a crash
     loses nothing; it remains as the benchmark baseline the codec+sync
     overhead is measured against.  [seed] feeds the disk's private fault
     stream (torn lengths, flipped bits) only. *)
-let create ?(seed = 0) ?(durable = true) () =
-  {
-    cache = [];
-    mode = (if durable then Durable (Sim.Disk.create ~seed ()) else Memory);
-    repair_log = [];
-  }
+let create ?(seed = 0) ?(durable = true) ?group_commit ?(sync_latency = 0.0) () =
+  let mode = if durable then Durable (Sim.Disk.create ~seed ()) else Memory in
+  let batch =
+    match mode with
+    | Memory -> None
+    | Durable disk ->
+        if group_commit = None && sync_latency = 0.0 then None
+        else
+          Some
+            (Sim.Batch.create ?group:group_commit ~sync_latency
+               ~sync:(fun () -> Sim.Disk.sync disk)
+               ())
+  in
+  { cache = []; mode; repair_log = []; batch; metrics = None }
+
+(** Wire the log into a run: forces count into [metrics] and deferred
+    flushes ride [schedule] — pass a site-bound timer so pending batches
+    die with the site's crash. *)
+let attach ?on_drain t ~metrics ~schedule =
+  t.metrics <- Some metrics;
+  match t.batch with
+  | None -> ()
+  | Some b ->
+      Sim.Batch.attach b ~schedule
+        ~on_flush:(fun ~batch ->
+          Sim.Metrics.incr metrics "wal_group_flushes";
+          Sim.Metrics.observe metrics "group_batch_size" (float_of_int batch))
+        ?on_drain ()
+
+let count_force t =
+  match t.metrics with None -> () | Some m -> Sim.Metrics.incr m "wal_forces"
 
 let append t r =
   t.cache <- r :: t.cache;
@@ -143,10 +175,31 @@ let append t r =
 
 let sync t = match t.mode with Memory -> () | Durable disk -> Sim.Disk.sync disk
 
-(** The paper's forced write: not durable until both halves complete. *)
+(** The paper's forced write: not durable until both halves complete.
+    With a batcher armed, flushes through synchronously (covering the
+    queue ahead of it too). *)
 let force t r =
+  count_force t;
   append t r;
-  sync t
+  match t.batch with None -> sync t | Some b -> Sim.Batch.flush_now b
+
+(** Asynchronous force: append now, run [k] once the record is on stable
+    storage.  Fast path = [force t r; k ()]; a crash in between loses
+    both record and callback. *)
+let force_k t r k =
+  count_force t;
+  append t r;
+  match t.batch with
+  | None ->
+      sync t;
+      k ()
+  | Some b -> Sim.Batch.submit b k
+
+(** Run [k] once everything appended so far is durable — immediately when
+    nothing is pending. *)
+let after_durable t k = match t.batch with None -> k () | Some b -> Sim.Batch.barrier b k
+
+let pending_forces t = match t.batch with None -> 0 | Some b -> Sim.Batch.pending b
 
 let records t = List.rev t.cache
 let length t = List.length t.cache
@@ -164,6 +217,7 @@ let disk t = match t.mode with Memory -> None | Durable d -> Some d
     post-recovery appends land after well-formed frames).  After this
     returns, the in-memory view *is* the durable view. *)
 let crash t =
+  (match t.batch with Some b -> Sim.Batch.crash b | None -> ());
   match t.mode with
   | Memory -> None
   | Durable disk ->
@@ -234,8 +288,8 @@ module Store = struct
 
   (* each site's disk gets its own fault stream, seeded by site id:
      independent of the world RNG and of every other disk *)
-  let create ?(durable = true) ~n_sites () : t =
-    Array.init n_sites (fun i -> create ~seed:(i + 1) ~durable ())
+  let create ?(durable = true) ?group_commit ?(sync_latency = 0.0) ~n_sites () : t =
+    Array.init n_sites (fun i -> create ~seed:(i + 1) ~durable ?group_commit ~sync_latency ())
 
   let log (t : t) ~site = t.(site - 1)
   let sites (t : t) = List.init (Array.length t) (fun i -> i + 1)

@@ -40,10 +40,31 @@ val equal_repair : repair -> repair -> bool
 
 type t
 
-val create : ?seed:int -> ?durable:bool -> unit -> t
+(** Group-commit knobs: at most [max_batch] records per shared sync, at
+    most [max_wait] simulated seconds of waiting for stragglers while
+    the device is idle. *)
+type group_commit = Sim.Batch.group = { max_batch : int; max_wait : float }
+
+val create :
+  ?seed:int -> ?durable:bool -> ?group_commit:group_commit -> ?sync_latency:float -> unit -> t
 (** [durable:false] is the PR 3 in-memory log (sync free, crash
     lossless), kept as the benchmark baseline.  [seed] feeds only the
-    disk's private fault stream. *)
+    disk's private fault stream.  [group_commit] coalesces concurrent
+    {!force_k} calls into shared syncs; [sync_latency] charges simulated
+    seconds per sync (the cost group commit amortizes).  With neither
+    (the default) every force is a synchronous sync and all prior
+    behaviour is byte-identical. *)
+
+val attach :
+  ?on_drain:(unit -> unit) ->
+  t ->
+  metrics:Sim.Metrics.t ->
+  schedule:(float -> (unit -> unit) -> unit) ->
+  unit
+(** Wire the log into a run: forces count into [metrics] (wal_forces,
+    wal_group_flushes, group_batch_size) and deferred flushes ride
+    [schedule] — pass a site-bound timer so pending batches die with the
+    site.  [on_drain] fires after each batch's callbacks complete. *)
 
 val append : t -> record -> unit
 (** Volatile until the next {!sync}. *)
@@ -51,7 +72,23 @@ val append : t -> record -> unit
 val sync : t -> unit
 
 val force : t -> record -> unit
-(** [append] + [sync]: the paper's "force a record to stable storage". *)
+(** [append] + [sync]: the paper's "force a record to stable storage".
+    With a batcher armed, flushes through synchronously (draining the
+    queue ahead of it first). *)
+
+val force_k : t -> record -> (unit -> unit) -> unit
+(** Asynchronous force: append now, run the callback once the record is
+    on stable storage.  Equals [force t r; k ()] on the fast path; under
+    group commit / sync latency the callback waits for the covering
+    batch, and a crash in between loses both record and callback. *)
+
+val after_durable : t -> (unit -> unit) -> unit
+(** Run the callback once everything appended so far is durable —
+    immediately when nothing is pending.  For reply-from-log paths that
+    must not expose a not-yet-durable record. *)
+
+val pending_forces : t -> int
+(** Forces whose completion callback has not yet fired. *)
 
 val crash : t -> repair option
 (** Lose the unsynced tail (with whatever storage faults are armed),
@@ -88,7 +125,8 @@ module Store : sig
   type wal = t
   type t
 
-  val create : ?durable:bool -> n_sites:int -> unit -> t
+  val create :
+    ?durable:bool -> ?group_commit:group_commit -> ?sync_latency:float -> n_sites:int -> unit -> t
   val log : t -> site:Core.Types.site -> wal
   val sites : t -> Core.Types.site list
   val iter : (Core.Types.site -> wal -> unit) -> t -> unit

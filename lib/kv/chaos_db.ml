@@ -205,13 +205,15 @@ let violations ~(protocol : Node.protocol) ~schedule (r : Db.result) =
   in
   atomicity @ progress @ conservation @ durability @ split_brain
 
-let run_schedule ?(protocol = Node.Three_phase) ?(termination = Node.T_skeen) ?(n_sites = 4)
-    ?(until = 3000.0) ?(tracing = false) ?(durable_wal = true) ?detector ?fencing ~seed
+let run_schedule ?(protocol = Node.Three_phase) ?(termination = Node.T_skeen) ?presumption
+    ?read_only_opt ?group_commit ?sync_latency ?pipeline_depth ?(n_sites = 4) ?(until = 3000.0)
+    ?(tracing = false) ?(durable_wal = true) ?detector ?fencing ~seed
     (schedule : Sim.Nemesis.schedule) =
   let crashes, recoveries, partitions, msg_faults, disk_faults, detector_faults = lower schedule in
   let cfg =
-    Db.config ~n_sites ~protocol ~termination ~seed ~until ~tracing ~crashes ~recoveries
-      ~partitions ~msg_faults ~durable_wal ~disk_faults ~detector_faults ?detector ?fencing
+    Db.config ~n_sites ~protocol ~termination ?presumption ?read_only_opt ?group_commit
+      ?sync_latency ?pipeline_depth ~seed ~until ~tracing ~crashes ~recoveries ~partitions
+      ~msg_faults ~durable_wal ~disk_faults ~detector_faults ?detector ?fencing
       ~initial_data:(Workload.bank_initial ~accounts ~initial_balance)
       ()
   in
@@ -225,15 +227,16 @@ type run_outcome = {
   violations : violation list;
 }
 
-let run_one ?(profile = default_profile) ?protocol ?termination ?(n_sites = 4) ?until ?tracing
-    ?durable_wal ?detector ?fencing ~k ~seed () =
+let run_one ?(profile = default_profile) ?protocol ?termination ?presumption ?read_only_opt
+    ?group_commit ?sync_latency ?pipeline_depth ?(n_sites = 4) ?until ?tracing ?durable_wal
+    ?detector ?fencing ~k ~seed () =
   let root = Sim.Rng.create ~seed in
   ignore (Sim.Rng.split root) (* the workload stream, consumed by [workload_of] *);
   let sched_rng = Sim.Rng.split root in
   let schedule = Sim.Nemesis.generate sched_rng ~n_sites ~k profile in
   let result, violations =
-    run_schedule ?protocol ?termination ~n_sites ?until ?tracing ?durable_wal ?detector ?fencing
-      ~seed schedule
+    run_schedule ?protocol ?termination ?presumption ?read_only_opt ?group_commit ?sync_latency
+      ?pipeline_depth ~n_sites ?until ?tracing ?durable_wal ?detector ?fencing ~seed schedule
   in
   { seed; schedule; result; violations }
 
@@ -294,14 +297,15 @@ let round_candidates (schedule : Sim.Nemesis.schedule) =
          | _ -> [])
        schedule)
 
-let shrink ?protocol ?termination ?n_sites ?until ?durable_wal ?detector ?fencing ~seed ~oracle
+let shrink ?protocol ?termination ?presumption ?read_only_opt ?group_commit ?sync_latency
+    ?pipeline_depth ?n_sites ?until ?durable_wal ?detector ?fencing ~seed ~oracle
     (schedule : Sim.Nemesis.schedule) =
   let runs = ref 0 in
   let still_fails candidate =
     incr runs;
     let _, vs =
-      run_schedule ?protocol ?termination ?n_sites ?until ?durable_wal ?detector ?fencing ~seed
-        candidate
+      run_schedule ?protocol ?termination ?presumption ?read_only_opt ?group_commit ?sync_latency
+        ?pipeline_depth ?n_sites ?until ?durable_wal ?detector ?fencing ~seed candidate
     in
     List.exists (fun v -> v.oracle = oracle) vs
   in
@@ -332,16 +336,17 @@ type summary = {
           latencies, lock waits, message counts) merged in seed order *)
 }
 
-let sweep ?(profile = default_profile) ?(protocol = Node.Three_phase) ?termination ?(n_sites = 4)
-    ?until ?durable_wal ?detector ?fencing ?(seed_base = 0) ?(max_counterexamples = 3)
-    ?(workers = 1) ~k ~seeds () =
+let sweep ?(profile = default_profile) ?(protocol = Node.Three_phase) ?termination ?presumption
+    ?read_only_opt ?group_commit ?sync_latency ?pipeline_depth ?(n_sites = 4) ?until ?durable_wal
+    ?detector ?fencing ?(seed_base = 0) ?(max_counterexamples = 3) ?(workers = 1) ~k ~seeds () =
   (* Phase 1, Domain-sharded: one isolated Db run (own World, Metrics,
      Rng) per seed — see {!Sim.Sweep} for the isolation contract. *)
   let outcomes, metrics =
     Sim.Sweep.sweep ~workers ~seed_base ~seeds (fun ~metrics ~seed ->
         let o =
-          run_one ~profile ~protocol ?termination ~n_sites ?until ?durable_wal ?detector ?fencing
-            ~k ~seed ()
+          run_one ~profile ~protocol ?termination ?presumption ?read_only_opt ?group_commit
+            ?sync_latency ?pipeline_depth ~n_sites ?until ?durable_wal ?detector ?fencing ~k
+            ~seed ()
         in
         Sim.Metrics.incr metrics "chaos_runs";
         List.iter
@@ -366,7 +371,8 @@ let sweep ?(profile = default_profile) ?(protocol = Node.Three_phase) ?terminati
           if List.length !failing < max_counterexamples then begin
             let v = List.hd o.violations in
             let minimal, runs =
-              shrink ~protocol ?termination ~n_sites ?until ?durable_wal ?detector ?fencing
+              shrink ~protocol ?termination ?presumption ?read_only_opt ?group_commit
+                ?sync_latency ?pipeline_depth ~n_sites ?until ?durable_wal ?detector ?fencing
                 ~seed:o.seed ~oracle:v.oracle o.schedule
             in
             Sim.Metrics.incr ~by:runs metrics "shrink_runs";

@@ -44,6 +44,11 @@ val lower :
 val run_schedule :
   ?protocol:Node.protocol ->
   ?termination:Node.termination ->
+  ?presumption:Node.presumption ->
+  ?read_only_opt:bool ->
+  ?group_commit:Kv_wal.group_commit ->
+  ?sync_latency:float ->
+  ?pipeline_depth:int ->
   ?n_sites:int ->
   ?until:float ->
   ?tracing:bool ->
@@ -67,6 +72,11 @@ val run_one :
   ?profile:Sim.Nemesis.profile ->
   ?protocol:Node.protocol ->
   ?termination:Node.termination ->
+  ?presumption:Node.presumption ->
+  ?read_only_opt:bool ->
+  ?group_commit:Kv_wal.group_commit ->
+  ?sync_latency:float ->
+  ?pipeline_depth:int ->
   ?n_sites:int ->
   ?until:float ->
   ?tracing:bool ->
@@ -82,6 +92,11 @@ val run_one :
 val shrink :
   ?protocol:Node.protocol ->
   ?termination:Node.termination ->
+  ?presumption:Node.presumption ->
+  ?read_only_opt:bool ->
+  ?group_commit:Kv_wal.group_commit ->
+  ?sync_latency:float ->
+  ?pipeline_depth:int ->
   ?n_sites:int ->
   ?until:float ->
   ?durable_wal:bool ->
@@ -115,6 +130,11 @@ val sweep :
   ?profile:Sim.Nemesis.profile ->
   ?protocol:Node.protocol ->
   ?termination:Node.termination ->
+  ?presumption:Node.presumption ->
+  ?read_only_opt:bool ->
+  ?group_commit:Kv_wal.group_commit ->
+  ?sync_latency:float ->
+  ?pipeline_depth:int ->
   ?n_sites:int ->
   ?until:float ->
   ?durable_wal:bool ->

@@ -22,6 +22,15 @@ type config = {
   partitions : (float * float * Core.Types.site list list) list;
   msg_faults : (int * Sim.World.msg_fault) list;
   durable_wal : bool;  (** log through simulated disks (sync semantics, crash loses the tail) *)
+  group_commit : Kv_wal.group_commit option;
+      (** coalesce concurrent WAL forces on one site into shared syncs *)
+  sync_latency : float;
+      (** simulated seconds per WAL sync (0.0: syncs are instantaneous
+          and every force completes synchronously, as before) *)
+  pipeline_depth : int;
+      (** coordinator pipelining bound: client transactions admitted
+          while fewer than this many WAL forces are in flight at the
+          coordinator; vacuous at 0.0 sync latency *)
   disk_faults : (Core.Types.site * Sim.Disk.injection) list;
   initial_data : (string * int) list;
   detector : bool;
@@ -41,9 +50,9 @@ let config ?(n_sites = 4) ?(protocol = Node.Three_phase) ?(presumption = Node.No
     ?(termination = Node.T_skeen) ?(read_only_opt = false) ?(seed = 1) ?(lock_wait_timeout = 25.0)
     ?(query_interval = 10.0) ?(query_backoff_cap = 60.0) ?(query_budget = 200) ?(tracing = false)
     ?(until = 100_000.0) ?(crashes = []) ?(recoveries = []) ?(partitions = []) ?(msg_faults = [])
-    ?(durable_wal = true) ?(disk_faults = []) ?(initial_data = []) ?(detector = false)
-    ?(fencing = true) ?(heartbeat_period = 1.0) ?(suspicion_timeout = 5.0) ?(detector_faults = [])
-    () =
+    ?(durable_wal = true) ?group_commit ?(sync_latency = 0.0) ?(pipeline_depth = 1)
+    ?(disk_faults = []) ?(initial_data = []) ?(detector = false) ?(fencing = true)
+    ?(heartbeat_period = 1.0) ?(suspicion_timeout = 5.0) ?(detector_faults = []) () =
   {
     n_sites;
     protocol;
@@ -62,6 +71,9 @@ let config ?(n_sites = 4) ?(protocol = Node.Three_phase) ?(presumption = Node.No
     partitions;
     msg_faults;
     durable_wal;
+    group_commit;
+    sync_latency;
+    pipeline_depth;
     disk_faults;
     initial_data;
     detector;
@@ -84,6 +96,11 @@ type result = {
   mean_latency : float option;  (** submission → coordinator decision, committed+aborted *)
   blocked_time : float;  (** total lock-time spent blocked across sites *)
   messages_sent : int;
+  wal_forces : int;  (** forced WAL writes across all sites *)
+  forces_per_commit : float;
+      (** [wal_forces / committed] — the lever benches and sweeps read:
+          presumption, the read-only optimization and group commit all
+          push it down (0.0 when nothing committed) *)
   atomicity_ok : bool;
       (** every transaction's outcome agrees across all logs, and committed
           writes are applied at every operational participant *)
@@ -136,7 +153,9 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
   (* per-site disks seeded by site id: the fault stream is private to the
      disk, so arming storage faults never perturbs the world's RNG *)
   let wals =
-    Array.init cfg.n_sites (fun i -> Kv_wal.create ~seed:(i + 1) ~durable:cfg.durable_wal ())
+    Array.init cfg.n_sites (fun i ->
+        Kv_wal.create ~seed:(i + 1) ~durable:cfg.durable_wal ?group_commit:cfg.group_commit
+          ~sync_latency:cfg.sync_latency ())
   in
   List.iteri
     (fun i wal ->
@@ -164,7 +183,8 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
   let nodes =
     Array.init cfg.n_sites (fun i ->
         Node.create ~presumption:cfg.presumption ~termination:cfg.termination
-          ~read_only_opt:cfg.read_only_opt ~query_backoff_cap:cfg.query_backoff_cap
+          ~read_only_opt:cfg.read_only_opt ~pipeline_depth:cfg.pipeline_depth
+          ~query_backoff_cap:cfg.query_backoff_cap
           ~query_rng:(Sim.Rng.split qrng_root) ~site:(i + 1)
           ~n_sites:cfg.n_sites ~protocol:cfg.protocol ~storage:storages.(i) ~wal:wals.(i)
           ~lock_wait_timeout:cfg.lock_wait_timeout ~query_interval:cfg.query_interval
@@ -186,9 +206,20 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
   in
   let handlers site : Kv_msg.t Sim.World.handlers =
     let n = node site in
+    (* (re)wire the WAL's batcher to this site's timers and the metrics
+       registry; completed batches refill the pipelining admission gate.
+       Must rebind on every (re)start: timers set through a pre-crash ctx
+       die with the crash. *)
+    let attach_wal ctx =
+      Kv_wal.attach wals.(site - 1)
+        ~on_drain:(fun () -> Node.drain_admissions n ctx)
+        ~metrics:(Sim.World.metrics world)
+        ~schedule:(fun delay k -> ignore (Sim.World.set_timer ctx ~delay k))
+    in
     {
       Sim.World.on_start =
         (fun ctx ->
+          attach_wal ctx;
           Node.install_grant_hook n ctx;
           match detector with Some d -> Sim.Detector.start d ctx | None -> ());
       on_message =
@@ -199,6 +230,7 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
       on_peer_up = (fun ctx recovered -> if not cfg.detector then Node.on_peer_up n ctx recovered);
       on_restart =
         (fun ctx ->
+          attach_wal ctx;
           Node.install_grant_hook n ctx;
           Node.on_restart n ctx;
           match detector with Some d -> Sim.Detector.start d ctx | None -> ());
@@ -354,6 +386,13 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
      that crashed holding locks) before the registry is snapshot or
      merged into a sweep aggregate *)
   Sim.Metrics.drain_timers metrics;
+  let wal_forces = Sim.Metrics.counter metrics "wal_forces" in
+  let forces_per_commit =
+    if committed > 0 then float_of_int wal_forces /. float_of_int committed else 0.0
+  in
+  (* derived, but first-class: published into the registry so sweep
+     merges aggregate it like any other distribution *)
+  if committed > 0 then Sim.Metrics.observe metrics "forces_per_commit" forces_per_commit;
   {
     committed;
     aborted;
@@ -367,6 +406,8 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
       | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)));
     blocked_time = Array.to_list nodes |> List.fold_left (fun a n -> a +. n.Node.blocked_time) 0.0;
     messages_sent = Sim.Metrics.counter metrics "messages_sent";
+    wal_forces;
+    forces_per_commit;
     atomicity_ok = (not !contradiction) && missing_applied = [];
     outcome_contradiction = !contradiction;
     missing_applied;

@@ -28,6 +28,17 @@ type config = {
           node's next sync, crashes lose the unsynced tail, and recovery
           replays the repaired durable image.  [false] is the PR-3
           in-memory log, kept as the benchmark baseline. *)
+  group_commit : Kv_wal.group_commit option;
+      (** coalesce concurrent WAL forces on one site into shared syncs
+          (ticket-based; callbacks fire after the covering barrier) *)
+  sync_latency : float;
+      (** simulated seconds per WAL sync.  0.0 (default): syncs are
+          instantaneous, every force completes synchronously, and all
+          prior runs replay byte-identically. *)
+  pipeline_depth : int;
+      (** coordinator pipelining: admit a client transaction while fewer
+          than this many WAL forces are in flight at the coordinator;
+          the rest queue.  Vacuous at 0.0 sync latency. *)
   disk_faults : (Core.Types.site * Sim.Disk.injection) list;
       (** storage faults to arm on specific sites' disks *)
   initial_data : (string * int) list;
@@ -62,6 +73,9 @@ val config :
   ?partitions:(float * float * Core.Types.site list list) list ->
   ?msg_faults:(int * Sim.World.msg_fault) list ->
   ?durable_wal:bool ->
+  ?group_commit:Kv_wal.group_commit ->
+  ?sync_latency:float ->
+  ?pipeline_depth:int ->
   ?disk_faults:(Core.Types.site * Sim.Disk.injection) list ->
   ?initial_data:(string * int) list ->
   ?detector:bool ->
@@ -89,6 +103,11 @@ type result = {
       (** cumulative lock-holding time of transactions blocked by a dead
           coordinator — the operational cost of a blocking protocol *)
   messages_sent : int;
+  wal_forces : int;  (** total WAL forces across all sites *)
+  forces_per_commit : float;
+      (** [wal_forces / committed] — the lever benches and sweeps read:
+          presumption, the read-only optimization and group commit all
+          push it down (0.0 when nothing committed) *)
   atomicity_ok : bool;
       (** outcomes agree across all logs and committed writes are applied
           at every operational participant *)

@@ -166,18 +166,48 @@ type repair = {
 
 type mode = Memory | Durable of Sim.Disk.t
 
+type group_commit = Sim.Batch.group = { max_batch : int; max_wait : float }
+
 type t = {
   mutable cache : record list;  (** newest first — the live (volatile) view *)
   mode : mode;
   mutable repair_log : repair list;  (** newest first *)
+  batch : Sim.Batch.t option;  (** group-commit / sync-latency machinery, when armed *)
+  mutable metrics : Sim.Metrics.t option;
 }
 
-let create ?(seed = 0) ?(durable = true) () =
-  {
-    cache = [];
-    mode = (if durable then Durable (Sim.Disk.create ~seed ()) else Memory);
-    repair_log = [];
-  }
+let create ?(seed = 0) ?(durable = true) ?group_commit ?(sync_latency = 0.0) () =
+  let mode = if durable then Durable (Sim.Disk.create ~seed ()) else Memory in
+  let batch =
+    match mode with
+    | Memory -> None
+    | Durable disk ->
+        if group_commit = None && sync_latency <= 0.0 then None
+        else
+          Some
+            (Sim.Batch.create ?group:group_commit ~sync_latency
+               ~sync:(fun () -> Sim.Disk.sync disk)
+               ())
+  in
+  { cache = []; mode; repair_log = []; batch; metrics = None }
+
+(** [attach t ~metrics ~schedule] wires the log into a run: forces are
+    counted into [metrics] (wal_forces / wal_group_flushes /
+    group_batch_size) and deferred flushes ride [schedule] — a site-bound
+    timer, so pending batches die with the site. *)
+let attach ?on_drain t ~metrics ~schedule =
+  t.metrics <- Some metrics;
+  match t.batch with
+  | None -> ()
+  | Some b ->
+      Sim.Batch.attach b ~schedule
+        ~on_flush:(fun ~batch ->
+          Sim.Metrics.incr metrics "wal_group_flushes";
+          Sim.Metrics.observe metrics "group_batch_size" (float_of_int batch))
+        ?on_drain ()
+
+let count_force t =
+  match t.metrics with Some m -> Sim.Metrics.incr m "wal_forces" | None -> ()
 
 let append t r =
   t.cache <- r :: t.cache;
@@ -187,10 +217,37 @@ let append t r =
 
 let sync t = match t.mode with Memory -> () | Durable disk -> Sim.Disk.sync disk
 
-(** The paper's forced write: not durable until both halves complete. *)
+(** The paper's forced write: not durable until both halves complete.
+    With a batcher armed this flushes through synchronously, draining
+    whatever was queued ahead of it first (order preserved). *)
 let force t r =
+  count_force t;
   append t r;
-  sync t
+  match t.batch with None -> sync t | Some b -> Sim.Batch.flush_now b
+
+(** [force_k t r k] — the asynchronous force: append [r] now, run [k]
+    once [r] is on stable storage.  On the fast path (no batcher) that is
+    immediately, making it byte-identical to [force t r; k ()]; with
+    group commit or sync latency armed, [k] waits for the covering batch
+    and a crash in between loses both the record and the callback. *)
+let force_k t r k =
+  count_force t;
+  append t r;
+  match t.batch with
+  | None ->
+      sync t;
+      k ()
+  | Some b -> Sim.Batch.submit b k
+
+(** [after_durable t k] runs [k] once everything appended so far is on
+    stable storage — immediately when nothing is pending.  Used for
+    reply-from-log paths that must not expose a not-yet-durable record. *)
+let after_durable t k =
+  match t.batch with None -> k () | Some b -> Sim.Batch.barrier b k
+
+(** Forces submitted whose completion has not yet fired (the coordinator
+    pipelining admission gate reads this). *)
+let pending_forces t = match t.batch with None -> 0 | Some b -> Sim.Batch.pending b
 
 let set_faults t injections =
   match t.mode with
@@ -204,6 +261,7 @@ let disk t = match t.mode with Memory -> None | Durable d -> Some d
     cut the disk back to the valid prefix).  After this the in-memory
     view {e is} the durable view. *)
 let crash t =
+  (match t.batch with Some b -> Sim.Batch.crash b | None -> ());
   match t.mode with
   | Memory -> None
   | Durable disk ->

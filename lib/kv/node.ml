@@ -119,6 +119,15 @@ type t = {
   mutable directive_epochs : (int * int) list;
       (** reverse-chronological (txn, epoch) at each termination this
           site led — feed for the split-brain oracle *)
+  pipeline_depth : int;
+      (** coordinator pipelining bound: admit a new client transaction
+          only while fewer than this many WAL forces are in flight at
+          this site.  Vacuous (always admits) when forces complete
+          synchronously — with sync latency or group commit armed it is
+          the window of transactions overlapping their commit forces. *)
+  admission_q : (Txn.t * float) Queue.t;
+      (** volatile: client transactions awaiting admission (with their
+          arrival time, so queueing shows up in commit latency) *)
   lock_wait_timeout : float;
   query_interval : float;
   query_backoff_cap : float;
@@ -133,8 +142,10 @@ type t = {
 }
 
 let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_opt = false)
-    ?(query_backoff_cap = 60.0) ?query_rng ?(detector = false) ?(fencing = true) ~site ~n_sites
-    ~protocol ~storage ~wal ~lock_wait_timeout ~query_interval ~query_budget () =
+    ?(pipeline_depth = 1) ?(query_backoff_cap = 60.0) ?query_rng ?(detector = false)
+    ?(fencing = true) ~site ~n_sites ~protocol ~storage ~wal ~lock_wait_timeout ~query_interval
+    ~query_budget () =
+  if pipeline_depth < 1 then invalid_arg "Node.create: pipeline_depth must be >= 1";
   {
     site;
     n_sites;
@@ -159,6 +170,8 @@ let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_
     fencing;
     epoch_seen = Hashtbl.create 32;
     directive_epochs = [];
+    pipeline_depth;
+    admission_q = Queue.create ();
     lock_wait_timeout;
     query_interval;
     query_backoff_cap;
@@ -237,33 +250,45 @@ let p_abort_unvoted node ctx (p : p_txn) ~notify =
   match p.status with
   | P_working ->
       Sim.Metrics.timer_discard (metrics ctx) "kv_lock_wait" ~key:p.txn;
+      (* status flips before the force so the abort cannot re-enter while
+         the record is in flight; locks stay held until it is durable *)
+      p.status <- P_done false;
       (* forced before the no vote leaves: the vote is this abort's first
          externally visible consequence *)
-      Kv_wal.force node.wal (Kv_wal.P_outcome { txn = p.txn; commit = false });
-      p.status <- P_done false;
-      release node p;
-      if notify then
-        Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Vote { txn = p.txn; vote = `No })
+      Kv_wal.force_k node.wal
+        (Kv_wal.P_outcome { txn = p.txn; commit = false })
+        (fun () ->
+          release node p;
+          if notify then
+            Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Vote { txn = p.txn; vote = `No }))
   | P_prepared | P_precommitted | P_done _ -> ()
 
-let p_finish node ctx (p : p_txn) ~commit =
+(** Apply and log the outcome.  [announce] runs once the outcome record
+    is durable on this log — outward outcome broadcasts (a backup
+    coordinator's, a termination's) go through it so no peer can see an
+    outcome a crash could still take back. *)
+let p_finish ?announce node ctx (p : p_txn) ~commit =
   match p.status with
-  | P_done _ -> ()
+  | P_done _ -> (
+      match announce with Some k -> Kv_wal.after_durable node.wal k | None -> ())
   | P_working | P_prepared | P_precommitted ->
-      if commit then Storage.apply node.storage ~txn:p.txn p.writes;
-      Kv_wal.force node.wal (Kv_wal.P_outcome { txn = p.txn; commit });
-      note_unblocked node ctx p;
       p.status <- P_done commit;
-      release node p;
-      (* the presumed side needs no acknowledgement: the coordinator has
-         already forgotten the transaction *)
-      let presumed =
-        match node.presumption with
-        | No_presumption -> false
-        | Presume_abort -> not commit
-        | Presume_commit -> commit
-      in
-      if not presumed then Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Done { txn = p.txn })
+      if commit then Storage.apply node.storage ~txn:p.txn p.writes;
+      Kv_wal.force_k node.wal
+        (Kv_wal.P_outcome { txn = p.txn; commit })
+        (fun () ->
+          (match announce with Some k -> k () | None -> ());
+          note_unblocked node ctx p;
+          release node p;
+          (* the presumed side needs no acknowledgement: the coordinator has
+             already forgotten the transaction *)
+          let presumed =
+            match node.presumption with
+            | No_presumption -> false
+            | Presume_abort -> not commit
+            | Presume_commit -> commit
+          in
+          if not presumed then Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Done { txn = p.txn }))
 
 (* Continue acquiring locks for p's remaining ops; once all are held, force
    the prepared record and vote yes. *)
@@ -319,10 +344,11 @@ let rec p_continue node ctx (p : p_txn) =
         end
         else begin
           Sim.Metrics.timer_stop (metrics ctx) "kv_lock_wait" ~key:p.txn ~at:(now ctx);
+          p.status <- P_prepared;
           (* THE force point of the commit path: the prepared record must
              be stable before the yes vote leaves — a crash between them
              is a different (and correctly handled) state than one after *)
-          Kv_wal.force node.wal
+          Kv_wal.force_k node.wal
             (Kv_wal.P_prepared
                {
                  txn = p.txn;
@@ -330,10 +356,10 @@ let rec p_continue node ctx (p : p_txn) =
                  participants = p.participants;
                  writes = p.writes;
                  locks = p.held;
-               });
-          p.status <- P_prepared;
-          Hashtbl.replace node.sent_yes_txns p.txn ();
-          Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Vote { txn = p.txn; vote = `Yes })
+               })
+            (fun () ->
+              Hashtbl.replace node.sent_yes_txns p.txn ();
+              Sim.World.send ctx ~dst:p.coordinator (Kv_msg.Vote { txn = p.txn; vote = `Yes }))
         end
 
 let on_prepare node ctx ~src ~txn ~ops ~participants =
@@ -355,7 +381,17 @@ let on_prepare node ctx ~src ~txn ~ops ~participants =
     (* lock-wait phase: from the prepare's arrival to this participant's
        vote (stopped in [p_continue], discarded on unilateral abort) *)
     Sim.Metrics.timer_start (metrics ctx) "kv_lock_wait" ~key:txn ~at:(now ctx);
-    p_continue node ctx p
+    if List.mem src node.down_view then begin
+      (* A chaos-delayed Prepare can outlive its coordinator.  The
+         failure notification for [src] has already fired, so nothing
+         will ever re-examine this transaction — voting yes now would
+         hold locks for an outcome nobody can announce.  Refuse: abort
+         unilaterally and answer no (a dead coordinator drops the vote;
+         a falsely-suspected live one aborts the transaction). *)
+      metric ctx "orphan_prepare_refused";
+      p_abort_unvoted node ctx p ~notify:true
+    end
+    else p_continue node ctx p
   end
 
 (* ------------------------------------------------------------------ *)
@@ -363,33 +399,42 @@ let on_prepare node ctx ~src ~txn ~ops ~participants =
 (* ------------------------------------------------------------------ *)
 
 let c_announce node ctx (c : c_txn) ~commit =
-  c.c_status <- C_decided commit;
-  (* forced before the outcome broadcast below *)
-  Kv_wal.force node.wal (Kv_wal.C_decided { txn = c.c_id; commit });
-  if commit then node.committed <- node.committed + 1 else node.aborted <- node.aborted + 1;
-  node.latencies <- (now ctx -. c.submitted_at) :: node.latencies;
-  observe ctx (if commit then "commit_latency" else "abort_latency") (now ctx -. c.submitted_at);
-  (* decision phase: from the last vote's arrival to the outcome
-     broadcast (covers 3PC's precommit round; ~0 under 2PC) *)
-  (match c.votes_in_at with
-  | Some t0 -> observe ctx "kv_decision_phase" (now ctx -. t0)
-  | None -> ());
-  if c.c_participants <> [] then note_announce node ~txn:c.c_id ~commit;
-  List.iter
-    (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = c.c_id; commit }))
-    c.c_participants;
-  (* the presumed side is forgotten at once: no acknowledgements expected,
-     no retained coordinator state (inquiries are answered from the log) *)
-  let presumed =
-    match node.presumption with
-    | No_presumption -> false
-    | Presume_abort -> not commit
-    | Presume_commit -> commit
-  in
-  if presumed then begin
-    Kv_wal.force node.wal (Kv_wal.C_finished { txn = c.c_id });
-    Hashtbl.remove node.c_txns c.c_id
-  end
+  match c.c_status with
+  | C_decided _ -> ()  (* a pending decision force already owns this transaction *)
+  | C_collecting | C_precommitting ->
+      c.c_status <- C_decided commit;
+      (* forced before the outcome broadcast below *)
+      Kv_wal.force_k node.wal
+        (Kv_wal.C_decided { txn = c.c_id; commit })
+        (fun () ->
+          if commit then node.committed <- node.committed + 1
+          else node.aborted <- node.aborted + 1;
+          node.latencies <- (now ctx -. c.submitted_at) :: node.latencies;
+          observe ctx
+            (if commit then "commit_latency" else "abort_latency")
+            (now ctx -. c.submitted_at);
+          (* decision phase: from the last vote's arrival to the outcome
+             broadcast (covers 3PC's precommit round; ~0 under 2PC) *)
+          (match c.votes_in_at with
+          | Some t0 -> observe ctx "kv_decision_phase" (now ctx -. t0)
+          | None -> ());
+          if c.c_participants <> [] then note_announce node ~txn:c.c_id ~commit;
+          List.iter
+            (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = c.c_id; commit }))
+            c.c_participants;
+          (* the presumed side is forgotten at once: no acknowledgements
+             expected, no retained coordinator state (inquiries are
+             answered from the log) *)
+          let presumed =
+            match node.presumption with
+            | No_presumption -> false
+            | Presume_abort -> not commit
+            | Presume_commit -> commit
+          in
+          if presumed then begin
+            Hashtbl.remove node.c_txns c.c_id;
+            Kv_wal.force_k node.wal (Kv_wal.C_finished { txn = c.c_id }) (fun () -> ())
+          end)
 
 let c_all_votes_in node ctx (c : c_txn) =
   c.votes_in_at <- Some (now ctx);
@@ -413,17 +458,20 @@ let c_all_votes_in node ctx (c : c_txn) =
         c.awaiting_acks <- up;
         (* forced before the precommit round: a recovered coordinator must
            know a backup may have terminated this transaction either way *)
-        Kv_wal.force node.wal (Kv_wal.C_precommitted { txn = c.c_id });
-        (* the live coordinator's round-0 authority *)
-        let epoch = node.site - 1 in
-        bump_epoch node ~txn:c.c_id epoch;
-        List.iter
-          (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = c.c_id; epoch }))
-          up;
-        if up = [] then c_announce node ctx c ~commit:true
+        Kv_wal.force_k node.wal
+          (Kv_wal.C_precommitted { txn = c.c_id })
+          (fun () ->
+            (* the live coordinator's round-0 authority *)
+            let epoch = node.site - 1 in
+            bump_epoch node ~txn:c.c_id epoch;
+            List.iter
+              (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = c.c_id; epoch }))
+              up;
+            if up = [] then c_announce node ctx c ~commit:true)
       end
 
-let on_client_begin node ctx (txn : Txn.t) =
+let on_client_begin ?submitted_at node ctx (txn : Txn.t) =
+  let submitted_at = match submitted_at with Some t -> t | None -> now ctx in
   let involved = Txn.participants ~n_sites:node.n_sites txn in
   (* Under the read-only optimization, sites that only read will drop out
      at vote time; they are therefore excluded from the {e termination}
@@ -444,10 +492,12 @@ let on_client_begin node ctx (txn : Txn.t) =
        engaging the commit protocol) — one sync covers both records *)
     Kv_wal.append node.wal
       (Kv_wal.C_begin { txn = txn.Txn.id; participants; three_phase = node.protocol = Three_phase });
-    Kv_wal.force node.wal (Kv_wal.C_decided { txn = txn.Txn.id; commit = false });
-    node.aborted <- node.aborted + 1;
-    node.latencies <- 0.0 :: node.latencies;
-    metric ctx "refused_participant_down"
+    Kv_wal.force_k node.wal
+      (Kv_wal.C_decided { txn = txn.Txn.id; commit = false })
+      (fun () ->
+        node.aborted <- node.aborted + 1;
+        node.latencies <- 0.0 :: node.latencies;
+        metric ctx "refused_participant_down")
   end
   else
   let c =
@@ -458,21 +508,49 @@ let on_client_begin node ctx (txn : Txn.t) =
       awaiting_votes = involved;
       awaiting_acks = [];
       c_status = C_collecting;
-      submitted_at = now ctx;
+      submitted_at;
       votes_in_at = None;
     }
   in
   Hashtbl.replace node.c_txns txn.Txn.id c;
   (* forced before the prepares go out *)
-  Kv_wal.force node.wal
-    (Kv_wal.C_begin
-       { txn = txn.Txn.id; participants; three_phase = node.protocol = Three_phase });
-  List.iter
-    (fun dst ->
-      Sim.World.send ctx ~dst
-        (Kv_msg.Prepare
-           { txn = txn.Txn.id; ops = Txn.ops_for ~n_sites:node.n_sites txn ~site:dst; participants }))
-    involved
+  Kv_wal.force_k node.wal
+    (Kv_wal.C_begin { txn = txn.Txn.id; participants; three_phase = node.protocol = Three_phase })
+    (fun () ->
+      List.iter
+        (fun dst ->
+          Sim.World.send ctx ~dst
+            (Kv_msg.Prepare
+               {
+                 txn = txn.Txn.id;
+                 ops = Txn.ops_for ~n_sites:node.n_sites txn ~site:dst;
+                 participants;
+               }))
+        involved)
+
+(* Coordinator pipelining: a client transaction is admitted only while
+   fewer than [pipeline_depth] WAL forces are in flight here; the rest
+   queue and drain as forces complete (the batcher's on_drain hook).
+   Vacuous when forces are synchronous — the gate never sees a pending
+   force, so levers-off behaviour is unchanged. *)
+let drain_admissions node ctx =
+  while
+    (not (Queue.is_empty node.admission_q))
+    && Kv_wal.pending_forces node.wal < node.pipeline_depth
+  do
+    let txn, arrived = Queue.pop node.admission_q in
+    on_client_begin ~submitted_at:arrived node ctx txn
+  done
+
+let admit_client node ctx (txn : Txn.t) =
+  if
+    Kv_wal.pending_forces node.wal >= node.pipeline_depth
+    || not (Queue.is_empty node.admission_q)
+  then begin
+    metric ctx "pipeline_queued";
+    Queue.push (txn, now ctx) node.admission_q
+  end
+  else on_client_begin node ctx txn
 
 let status_of node ~txn : bool option =
   (* what this site knows about txn's outcome, from stable state *)
@@ -491,18 +569,21 @@ let on_vote node ctx ~src ~txn ~vote =
          prepares its participant after the decision — and that
          participant now holds locks awaiting an outcome that was
          announced before it voted.  Answer from the log. *)
-      match status_of node ~txn with
-      | Some commit ->
-          note_announce node ~txn ~commit;
-          Sim.World.send ctx ~dst:src (Kv_msg.Outcome { txn; commit })
-      | None -> ())
+      Kv_wal.after_durable node.wal (fun () ->
+          match status_of node ~txn with
+          | Some commit ->
+              note_announce node ~txn ~commit;
+              Sim.World.send ctx ~dst:src (Kv_msg.Outcome { txn; commit })
+          | None -> ()))
   | Some c -> (
       match c.c_status with
       | C_decided commit ->
           (* late or duplicated vote after the decision: the voter is a
-             prepared participant that missed the announcement — repeat it *)
-          note_announce node ~txn ~commit;
-          Sim.World.send ctx ~dst:src (Kv_msg.Outcome { txn; commit })
+             prepared participant that missed the announcement — repeat it
+             (once the decision record is safely on stable storage) *)
+          Kv_wal.after_durable node.wal (fun () ->
+              note_announce node ~txn ~commit;
+              Sim.World.send ctx ~dst:src (Kv_msg.Outcome { txn; commit }))
       | C_precommitting -> ()
       | C_collecting -> (
           match vote with
@@ -531,13 +612,13 @@ let on_precommit_ack node ctx ~src ~txn =
         Hashtbl.remove node.backups txn;
         match Hashtbl.find_opt node.p_txns txn with
         | Some p ->
-            note_announce node ~txn ~commit:true;
-            List.iter
-              (fun dst ->
-                if dst <> node.site then
-                  Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit = true }))
-              p.participants;
-            p_finish node ctx p ~commit:true
+            p_finish node ctx p ~commit:true ~announce:(fun () ->
+                note_announce node ~txn ~commit:true;
+                List.iter
+                  (fun dst ->
+                    if dst <> node.site then
+                      Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit = true }))
+                  p.participants)
         | None -> ()
       end
   | Some _ | None -> ()
@@ -550,13 +631,13 @@ let on_demote_ack node ctx ~src ~txn =
         Hashtbl.remove node.backups txn;
         match Hashtbl.find_opt node.p_txns txn with
         | Some p ->
-            note_announce node ~txn ~commit:false;
-            List.iter
-              (fun dst ->
-                if dst <> node.site then
-                  Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit = false }))
-              p.participants;
-            p_finish node ctx p ~commit:false
+            p_finish node ctx p ~commit:false ~announce:(fun () ->
+                note_announce node ~txn ~commit:false;
+                List.iter
+                  (fun dst ->
+                    if dst <> node.site then
+                      Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit = false }))
+                  p.participants)
         | None -> ()
       end
   | Some _ | None -> ()
@@ -630,9 +711,14 @@ let run_termination node ctx (p : p_txn) =
     let others = reachable_others node p in
     match p.status with
     | P_done commit ->
-        (* already final: phase 1 omitted *)
-        if others <> [] then note_announce node ~txn:p.txn ~commit;
-        List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = p.txn; commit })) others
+        (* already final: phase 1 omitted (announce once the outcome
+           record — possibly still in a pending batch — is durable) *)
+        if others <> [] then
+          Kv_wal.after_durable node.wal (fun () ->
+              note_announce node ~txn:p.txn ~commit;
+              List.iter
+                (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = p.txn; commit }))
+                others)
     | P_precommitted ->
         (* decision rule: concurrency set of the buffer state contains a
            commit state -> COMMIT.  Phase 1: move everyone up to
@@ -684,17 +770,19 @@ let rec evaluate_quorum_poll node ctx (p : p_txn) ~q (poll : poll_state) =
       let to_move =
         List.filter_map (fun (s, r) -> if s <> node.site && r = `Prepared then Some s else None) reps
       in
-      (match Hashtbl.find_opt node.p_txns p.txn with
+      let move_others () =
+        Hashtbl.replace node.backups p.txn { b_awaiting = to_move; b_commit = true };
+        List.iter
+          (fun dst ->
+            Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = p.txn; epoch = poll.q_epoch }))
+          to_move;
+        if to_move = [] then on_precommit_ack node ctx ~src:node.site ~txn:p.txn
+      in
+      match Hashtbl.find_opt node.p_txns p.txn with
       | Some me when me.status = P_prepared ->
-          Kv_wal.force node.wal (Kv_wal.P_precommitted { txn = p.txn });
-          me.status <- P_precommitted
-      | _ -> ());
-      Hashtbl.replace node.backups p.txn { b_awaiting = to_move; b_commit = true };
-      List.iter
-        (fun dst ->
-          Sim.World.send ctx ~dst (Kv_msg.Precommit { txn = p.txn; epoch = poll.q_epoch }))
-        to_move;
-      if to_move = [] then on_precommit_ack node ctx ~src:node.site ~txn:p.txn
+          me.status <- P_precommitted;
+          Kv_wal.force_k node.wal (Kv_wal.P_precommitted { txn = p.txn }) move_others
+      | _ -> move_others ()
     end
     else if count (fun r -> r = `Working || r = `Prepared) >= q then
       (* monotone: no demotion needed — a commit quorum can never have
@@ -709,12 +797,13 @@ let rec evaluate_quorum_poll node ctx (p : p_txn) ~q (poll : poll_state) =
   end
 
 and finish_orphan node ctx (p : p_txn) ~commit =
-  if List.exists (fun dst -> dst <> node.site) p.participants then
-    note_announce node ~txn:p.txn ~commit;
-  List.iter
-    (fun dst -> if dst <> node.site then Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = p.txn; commit }))
-    p.participants;
-  p_finish node ctx p ~commit
+  p_finish node ctx p ~commit ~announce:(fun () ->
+      if List.exists (fun dst -> dst <> node.site) p.participants then
+        note_announce node ~txn:p.txn ~commit;
+      List.iter
+        (fun dst ->
+          if dst <> node.site then Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = p.txn; commit }))
+        p.participants)
 
 (** Quorum termination for one orphaned transaction: poll the reachable
     participants' states, then commit only on a quorum of
@@ -726,11 +815,14 @@ let run_quorum_termination node ctx (p : p_txn) ~q =
     match p.status with
     | P_done commit ->
         let others = reachable_others node p in
-        if others <> [] then note_announce node ~txn:p.txn ~commit;
-        List.iter
-          (fun dst ->
-            if dst <> node.site then Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = p.txn; commit }))
-          others
+        if others <> [] then
+          Kv_wal.after_durable node.wal (fun () ->
+              note_announce node ~txn:p.txn ~commit;
+              List.iter
+                (fun dst ->
+                  if dst <> node.site then
+                    Sim.World.send ctx ~dst (Kv_msg.Outcome { txn = p.txn; commit }))
+                others)
     | P_working | P_prepared | P_precommitted ->
         let others = reachable_others node p in
         let epoch = elect_epoch node ~txn:p.txn in
@@ -865,6 +957,7 @@ let on_peer_up node ctx recovered =
 let on_restart node ctx =
   node.ever_crashed <- true;
   node.locks <- Lock_table.create ();
+  Queue.clear node.admission_q;
   Hashtbl.reset node.p_txns;
   Hashtbl.reset node.c_txns;
   Hashtbl.reset node.backups;
@@ -906,12 +999,14 @@ let on_restart node ctx =
             participants
       | Kv_wal.C_collecting { participants; _ } ->
           (* presumed abort: no outcome can have been announced *)
-          Kv_wal.force node.wal (Kv_wal.C_decided { txn; commit = false });
-          node.aborted <- node.aborted + 1;
-          if participants <> [] then note_announce node ~txn ~commit:false;
-          List.iter
-            (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit = false }))
-            participants
+          Kv_wal.force_k node.wal
+            (Kv_wal.C_decided { txn; commit = false })
+            (fun () ->
+              node.aborted <- node.aborted + 1;
+              if participants <> [] then note_announce node ~txn ~commit:false;
+              List.iter
+                (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit = false }))
+                participants)
       | Kv_wal.C_in_precommit { participants } ->
           (* a backup may have committed or aborted it: ask *)
           query_loop node ctx ~txn ~targets:(List.filter (fun s -> s <> node.site) participants))
@@ -951,7 +1046,7 @@ let fence_directive node ctx ~src ~txn =
 
 let on_message node ctx ~src (msg : Kv_msg.t) =
   match msg with
-  | Kv_msg.Client_begin txn -> on_client_begin node ctx txn
+  | Kv_msg.Client_begin txn -> admit_client node ctx txn
   | Kv_msg.Prepare { txn; ops; participants } -> on_prepare node ctx ~src ~txn ~ops ~participants
   | Kv_msg.Vote { txn; vote } -> on_vote node ctx ~src ~txn ~vote
   | Kv_msg.Precommit { txn; epoch } when stale_directive node ~src ~txn ~epoch ->
@@ -961,18 +1056,21 @@ let on_message node ctx ~src (msg : Kv_msg.t) =
   | Kv_msg.Precommit { txn; epoch } -> (
       bump_epoch node ~txn epoch;
       match Hashtbl.find_opt node.p_txns txn with
-      | Some p ->
-          (match p.status with
+      | Some p -> (
+          match p.status with
           | P_prepared ->
+              p.status <- P_precommitted;
               (* forced before the ack: a recovered backup must find the
                  buffer state it was told about *)
-              Kv_wal.force node.wal (Kv_wal.P_precommitted { txn });
-              p.status <- P_precommitted
-          | P_working | P_precommitted | P_done _ -> ());
-          (match p.status with
-          | P_precommitted -> Sim.World.send ctx ~dst:src (Kv_msg.Precommit_ack { txn })
-          | P_done true -> Sim.World.send ctx ~dst:src (Kv_msg.Precommit_ack { txn })
-          | _ -> ())
+              Kv_wal.force_k node.wal
+                (Kv_wal.P_precommitted { txn })
+                (fun () -> Sim.World.send ctx ~dst:src (Kv_msg.Precommit_ack { txn }))
+          | P_precommitted | P_done true ->
+              (* duplicate: the ack must still not outrun the record it
+                 vouches for (it may sit in a pending batch) *)
+              Kv_wal.after_durable node.wal (fun () ->
+                  Sim.World.send ctx ~dst:src (Kv_msg.Precommit_ack { txn }))
+          | P_working | P_done false -> ())
       | None -> ())
   | Kv_msg.Precommit_ack { txn } -> on_precommit_ack node ctx ~src ~txn
   | Kv_msg.Demote { txn; epoch } -> (
@@ -1002,18 +1100,24 @@ let on_message node ctx ~src (msg : Kv_msg.t) =
       | Some c -> (
           match c.c_status with
           | C_decided _ ->
-              (* forced not for safety (losing it only causes idempotent
-                 outcome re-sends at recovery) but for determinism: the
-                 durable image must equal the volatile log at every crash
-                 point, so fault-free runs replay byte-identically *)
-              Kv_wal.force node.wal (Kv_wal.C_finished { txn });
-              Hashtbl.remove node.c_txns txn
+              (* removed before the force so a second Done cannot log a
+                 duplicate record while this one is in flight.  Forced not
+                 for safety (losing it only causes idempotent outcome
+                 re-sends at recovery) but for determinism: the durable
+                 image must equal the volatile log at every crash point,
+                 so fault-free runs replay byte-identically *)
+              Hashtbl.remove node.c_txns txn;
+              Kv_wal.force_k node.wal (Kv_wal.C_finished { txn }) (fun () -> ())
           | C_collecting | C_precommitting -> ())
       | None -> ())
   | Kv_msg.Status_req { txn } ->
-      let outcome = status_of node ~txn in
-      (match outcome with Some commit -> note_announce node ~txn ~commit | None -> ());
-      Sim.World.send ctx ~dst:src (Kv_msg.Status_rep { txn; outcome })
+      (* answered from stable state, once pending forces have landed: a
+         decision sitting in an open batch must not be exposed before a
+         crash can no longer take it back *)
+      Kv_wal.after_durable node.wal (fun () ->
+          let outcome = status_of node ~txn in
+          (match outcome with Some commit -> note_announce node ~txn ~commit | None -> ());
+          Sim.World.send ctx ~dst:src (Kv_msg.Status_rep { txn; outcome }))
   | Kv_msg.PState_req { txn; epoch }
     when node.detector && node.fencing && epoch < epoch_of node ~txn ->
       (* a poll is read-only, so it was never identity-checked under the
@@ -1022,7 +1126,11 @@ let on_message node ctx ~src (msg : Kv_msg.t) =
       fence_directive node ctx ~src ~txn
   | Kv_msg.PState_req { txn; epoch } ->
       if node.detector then bump_epoch node ~txn epoch;
-      Sim.World.send ctx ~dst:src (Kv_msg.PState_rep { txn; state = local_pstate node ~txn })
+      (* the reply feeds a quorum count: a volatile precommit whose record
+         is still in a pending batch must not be reported until it is
+         durable, or a crash could shrink a counted commit quorum *)
+      Kv_wal.after_durable node.wal (fun () ->
+          Sim.World.send ctx ~dst:src (Kv_msg.PState_rep { txn; state = local_pstate node ~txn }))
   | Kv_msg.Heartbeat -> ()
   | Kv_msg.Epoch_reject { txn; epoch } ->
       (* a participant refused our directive: a newer backup owns this
@@ -1054,13 +1162,15 @@ let on_message node ctx ~src (msg : Kv_msg.t) =
           | None -> ());
           match Kv_wal.classify_coordinator node.wal ~txn with
           | Kv_wal.C_in_precommit { participants } when not (Hashtbl.mem node.c_txns txn) ->
-              Kv_wal.force node.wal (Kv_wal.C_decided { txn; commit });
-              if commit then node.committed <- node.committed + 1
-              else node.aborted <- node.aborted + 1;
-              if participants <> [] then note_announce node ~txn ~commit;
-              List.iter
-                (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit }))
-                participants
+              Kv_wal.force_k node.wal
+                (Kv_wal.C_decided { txn; commit })
+                (fun () ->
+                  if commit then node.committed <- node.committed + 1
+                  else node.aborted <- node.aborted + 1;
+                  if participants <> [] then note_announce node ~txn ~commit;
+                  List.iter
+                    (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit }))
+                    participants)
           | _ -> ()))
 
 (* wire the lock table's grant callback so parked transactions resume *)

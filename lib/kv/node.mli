@@ -108,6 +108,13 @@ type t = {
   mutable directive_epochs : (int * int) list;
       (** reverse-chronological (txn, epoch) at each termination this
           site led — feed for the split-brain oracle *)
+  pipeline_depth : int;
+      (** coordinator pipelining bound: admit a new client transaction
+          only while fewer than this many WAL forces are in flight.
+          Vacuous with synchronous forces (levers off). *)
+  admission_q : (Txn.t * float) Queue.t;
+      (** volatile: client transactions awaiting admission, with arrival
+          times so queueing shows up in commit latency *)
   lock_wait_timeout : float;
   query_interval : float;
   query_backoff_cap : float;
@@ -125,6 +132,7 @@ val create :
   ?presumption:presumption ->
   ?termination:termination ->
   ?read_only_opt:bool ->
+  ?pipeline_depth:int ->
   ?query_backoff_cap:float ->
   ?query_rng:Sim.Rng.t ->
   ?detector:bool ->
@@ -152,3 +160,8 @@ val on_restart : t -> Kv_msg.t Sim.World.ctx -> unit
 val install_grant_hook : t -> Kv_msg.t Sim.World.ctx -> unit
 (** Wire the lock table's grant callback so parked transactions resume;
     must be called at start and after every restart. *)
+
+val drain_admissions : t -> Kv_msg.t Sim.World.ctx -> unit
+(** Admit queued client transactions while the pipelining gate has room;
+    wire it as the WAL batcher's [on_drain] hook so completed forces
+    refill the pipeline. *)

@@ -42,4 +42,5 @@ let () =
       ("durability", Test_durability.suite);
       ("detector", Test_detector.suite);
       ("sweep", Test_sweep.suite);
+      ("commit-levers", Test_commit_levers.suite);
     ]
