@@ -15,13 +15,17 @@ open Cmdliner
 
 let protocol_conv =
   let labels = List.map (fun e -> e.Core.Catalog.label) Core.Catalog.all in
-  Arg.enum (List.map (fun l -> (l, l)) labels)
+  (* "paxos" is accepted as a synonym of the catalog label "paxos-commit" *)
+  Arg.enum (("paxos", "paxos-commit") :: List.map (fun l -> (l, l)) labels)
 
 let protocol_arg =
   Arg.(
     required
     & pos 0 (some protocol_conv) None
-    & info [] ~docv:"PROTOCOL" ~doc:"Protocol: 1pc, central-2pc, decentralized-2pc, central-3pc, decentralized-3pc.")
+    & info [] ~docv:"PROTOCOL"
+        ~doc:
+          "Protocol: 1pc, central-2pc, decentralized-2pc, central-3pc, decentralized-3pc, \
+           paxos-commit.")
 
 let sites_arg =
   Arg.(value & opt int 3 & info [ "n"; "sites" ] ~docv:"N" ~doc:"Number of participating sites.")
@@ -217,7 +221,18 @@ let chaos_cmd =
       required
       & opt (some protocol_conv) None
       & info [ "protocol" ] ~docv:"PROTOCOL"
-          ~doc:"Protocol: 1pc, central-2pc, decentralized-2pc, central-3pc, decentralized-3pc.")
+          ~doc:
+            "Protocol: 1pc, central-2pc, decentralized-2pc, central-3pc, decentralized-3pc, \
+             paxos-commit (or its synonym paxos).")
+  in
+  let f_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "f" ] ~docv:"F"
+          ~doc:
+            "Paxos Commit only: tolerated acceptor failures.  The decision is replicated on \
+             2F+1 acceptors; F=0 degenerates to a single-copy coordinator log (2PC-equivalent \
+             blocking behaviour).")
   in
   let k_arg =
     Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Maximum concurrent failures to inject.")
@@ -411,7 +426,23 @@ let chaos_cmd =
       { base with Sim.Nemesis.p_disk_fault = 0.6; lost_flush_weight = lost_flush }
     else base
   in
-  let run_kv label n k seeds seed_base workers until replay partitions drops quorum ~disk_faults
+  (* --plan goes through the family check before anything runs: a clause the
+     selected protocol cannot execute (e.g. move-crash outside 3PC,
+     acceptor-crash outside Paxos Commit) would otherwise be silently
+     ignored and the run would vacuously pass. *)
+  let parse_plan ~label s =
+    match Engine.Failure_plan.of_string s with
+    | Error msg ->
+        Fmt.epr "skeen chaos: bad --plan: %s@." msg;
+        exit 2
+    | Ok plan -> (
+        match Engine.Failure_plan.unsupported_clauses ~protocol:label plan with
+        | [] -> plan
+        | msgs ->
+            List.iter (fun m -> Fmt.epr "skeen chaos: %s@." m) msgs;
+            exit 2)
+  in
+  let run_kv label n f k seeds seed_base workers until replay partitions drops quorum ~disk_faults
       ~lost_flush ~detector ~fencing ~detector_faults ~presumption ~read_only_opt ~group_commit
       ~pipeline_depth ~sync_latency =
     let presumption =
@@ -427,8 +458,11 @@ let chaos_cmd =
       match label with
       | "central-2pc" -> Kv.Node.Two_phase
       | "central-3pc" -> Kv.Node.Three_phase
+      | "paxos-commit" -> Kv.Node.Paxos f
       | other ->
-          Fmt.epr "skeen chaos --kv: unsupported protocol %s (use central-2pc or central-3pc)@."
+          Fmt.epr
+            "skeen chaos --kv: unsupported protocol %s (use central-2pc, central-3pc or \
+             paxos-commit)@."
             other;
           exit 2
     in
@@ -444,6 +478,20 @@ let chaos_cmd =
         }
     in
     let profile = if detector_faults then detector_profile profile else profile in
+    let profile =
+      match protocol with
+      | Kv.Node.Paxos f ->
+          (* aim faults at the replicated-coordinator state: the KV harness
+             puts the 2f+1 acceptors on the lowest-numbered sites *)
+          {
+            profile with
+            Sim.Nemesis.p_acceptor_crash = 0.5;
+            acceptor_sites = List.init ((2 * f) + 1) (fun i -> i + 1);
+            max_acceptor_crashes = f;
+            p_lease_fault = 0.3;
+          }
+      | _ -> profile
+    in
     match replay with
     | Some seed ->
         let o =
@@ -479,15 +527,80 @@ let chaos_cmd =
           summary.Kv.Chaos_db.failing;
         if summary.Kv.Chaos_db.violations_by_oracle <> [] then exit 1
   in
-  let run label n k seeds seed_base workers until replay plan_str partitions drops quorum
+  let run label n f k seeds seed_base workers until replay plan_str partitions drops quorum
       disk_faults lost_flush kv detector_flag no_fencing detector_faults heartbeat_period
       suspicion_timeout election_timeout presumption read_only_opt group_commit pipeline_depth
       sync_latency metrics_json =
     let detector = detector_flag || no_fencing || detector_faults in
     let fencing = not no_fencing in
-    if kv then run_kv label n k seeds seed_base workers until replay partitions drops quorum
+    if kv then run_kv label n f k seeds seed_base workers until replay partitions drops quorum
         ~disk_faults ~lost_flush ~detector ~fencing ~detector_faults ~presumption ~read_only_opt
         ~group_commit ~pipeline_depth ~sync_latency
+    else if label = "paxos-commit" then begin
+      let module EP = Engine.Paxos in
+      let profile =
+        storage_profile ~disk_faults ~lost_flush
+          {
+            (EP.sweep_profile ~n_sites:n ~f) with
+            Sim.Nemesis.p_partition = (if partitions then 0.35 else 0.0);
+            drop_weight = drops;
+          }
+      in
+      let profile = if detector_faults then detector_profile profile else profile in
+      match (plan_str, replay) with
+      | Some s, _ ->
+          let plan = parse_plan ~label s in
+          let cfg = EP.config ~plan ~seed:seed_base ~tracing:true ~until ~n_sites:n ~f () in
+          let result = EP.run cfg in
+          let violations = EP.violations ~cfg result in
+          Fmt.pr "plan: %s@." (Engine.Failure_plan.to_string plan);
+          Fmt.pr "%a@." Engine.Runtime.pp_result result;
+          List.iter (fun v -> Fmt.pr "VIOLATION %a@." Engine.Chaos.pp_violation v) violations;
+          List.iter
+            (fun e -> Fmt.pr "%8.2f  %s@." e.Sim.World.at e.Sim.World.what)
+            result.Engine.Runtime.trace;
+          if violations <> [] then exit 1
+      | None, Some seed ->
+          let o = EP.run_one ~profile ~until ~n_sites:n ~f ~k ~seed () in
+          let cfg =
+            EP.config ~plan:o.EP.ro_plan ~seed ~tracing:true ~until ~n_sites:n ~f ()
+          in
+          let result = EP.run cfg in
+          Fmt.pr "seed %d generates: %s@." seed
+            (match Engine.Failure_plan.to_string o.EP.ro_plan with
+            | "" -> "(no faults)"
+            | s -> s);
+          Fmt.pr "%a@." Engine.Runtime.pp_result result;
+          List.iter
+            (fun v -> Fmt.pr "VIOLATION %a@." Engine.Chaos.pp_violation v)
+            o.EP.ro_violations;
+          List.iter
+            (fun e -> Fmt.pr "%8.2f  %s@." e.Sim.World.at e.Sim.World.what)
+            result.Engine.Runtime.trace
+      | None, None ->
+          let summary, wall =
+            Sim.Clock.time (fun () ->
+                EP.sweep ~profile ~until ~seed_base ~n_sites:n ~f ~k ~seeds ())
+          in
+          Fmt.pr "paxos-commit n=%d f=%d (%d acceptors) k=%d: %d seeds run, %d failing@." n f
+            (List.length (EP.acceptors ~n_sites:n ~f))
+            k summary.EP.ps_seeds_run
+            (List.length summary.EP.ps_failing);
+          Fmt.pr "%.0f schedules/sec (%.2f s wall)@."
+            (if wall > 0.0 then float_of_int seeds /. wall else 0.0)
+            wall;
+          List.iter
+            (fun (seed, vs, plan) ->
+              Fmt.pr "@.seed %d:@." seed;
+              List.iter (fun v -> Fmt.pr "  %a@." Engine.Chaos.pp_violation v) vs;
+              Fmt.pr "  plan: %s@."
+                (match Engine.Failure_plan.to_string plan with "" -> "(no faults)" | s -> s))
+            summary.EP.ps_failing;
+          Option.iter
+            (fun file -> write_metrics_json file (Sim.Metrics.to_json summary.EP.ps_metrics))
+            metrics_json;
+          if summary.EP.ps_failing <> [] then exit 1
+    end
     else begin
     if pipeline_depth <> 1 then
       Fmt.epr "skeen chaos: --pipeline applies only to --kv (the bare protocol engine runs one \
@@ -517,13 +630,7 @@ let chaos_cmd =
     let profile = if detector_faults then detector_profile profile else profile in
     match (plan_str, replay) with
     | Some s, _ ->
-        let plan =
-          match Engine.Failure_plan.of_string s with
-          | Ok plan -> plan
-          | Error msg ->
-              Fmt.epr "skeen chaos: bad --plan: %s@." msg;
-              exit 2
-        in
+        let plan = parse_plan ~label s in
         let result, violations =
           Engine.Chaos.run_plan ~until ~termination ~tracing:true ~detector ~heartbeat_period
             ~suspicion_timeout ~election_timeout ~fencing ?presumption ?read_only ?group_commit
@@ -583,7 +690,7 @@ let chaos_cmd =
           oracles.  Violations are shrunk to a minimal replayable failure plan.  Exits 1 if any \
           violation was found.")
     Term.(
-      const run $ protocol_opt $ sites_arg $ k_arg $ seeds_arg $ seed_base_arg $ workers_arg
+      const run $ protocol_opt $ sites_arg $ f_arg $ k_arg $ seeds_arg $ seed_base_arg $ workers_arg
       $ until_arg $ replay_arg $ plan_arg $ partitions_arg $ drops_arg $ quorum_arg $ disk_faults_arg
       $ lost_flush_arg $ kv_arg $ detector_arg $ no_fencing_arg $ detector_faults_arg
       $ heartbeat_arg $ suspicion_arg $ election_arg $ presumption_arg $ read_only_opt_arg
@@ -787,7 +894,7 @@ let () =
   (* cmdliner renders one-character names as short options only; accept the
      long spellings --n and --k as synonyms of -n and -k *)
   let argv =
-    Array.map (function "--n" -> "-n" | "--k" -> "-k" | s -> s) Sys.argv
+    Array.map (function "--n" -> "-n" | "--k" -> "-k" | "--f" -> "-f" | s -> s) Sys.argv
   in
   exit
     (Cmd.eval ~argv

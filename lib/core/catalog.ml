@@ -498,6 +498,23 @@ let central_2pc_hasty n =
     ~automata:(Array.init n (fun i -> if i = 0 then coord' else Protocol.automaton base (i + 1)))
     ~initial_network:base.Protocol.initial_network
 
+(** Paxos Commit's single-site projection: each participant runs a
+    2PC-shaped FSA — vote, then learn the outcome.  The nonblocking-ness
+    of Paxos Commit lives in the replicated coordinator, outside the
+    single-site FSA formalism, so the projection itself is blocking and
+    the catalog says so ([nonblocking_expected = false]): the
+    concurrency-set and buffer-state analyses apply to what a single
+    site can observe, and the replication win shows up only on the
+    runtime harnesses ({!module:Engine.Paxos} and the database layer). *)
+let paxos_commit n =
+  check_n n;
+  let base = central_2pc n in
+  Protocol.make
+    ~name:(Fmt.str "paxos-commit-%d" n)
+    ~paradigm:Protocol.Central_site
+    ~automata:(Array.init n (fun i -> Protocol.automaton base (i + 1)))
+    ~initial_network:base.Protocol.initial_network
+
 type entry = { label : string; build : int -> Protocol.t; nonblocking_expected : bool }
 
 (** Every protocol in the catalog, with the paper's verdict on it. *)
@@ -508,6 +525,7 @@ let all : entry list =
     { label = "decentralized-2pc"; build = decentralized_2pc; nonblocking_expected = false };
     { label = "central-3pc"; build = central_3pc; nonblocking_expected = true };
     { label = "decentralized-3pc"; build = decentralized_3pc; nonblocking_expected = true };
+    { label = "paxos-commit"; build = paxos_commit; nonblocking_expected = false };
   ]
 
 let find label =

@@ -26,6 +26,13 @@ val one_pc : int -> Protocol.t
 (** One-phase commit: the coordinator relays the client's decision;
     slaves cannot vote — the paper's example of an inadequate protocol. *)
 
+val paxos_commit : int -> Protocol.t
+(** Paxos Commit's single-site projection: a 2PC-shaped FSA per
+    participant.  The nonblocking-ness of Paxos Commit lives in the
+    replicated coordinator, outside the single-site formalism, so the
+    catalog marks the projection blocking; the replication win shows up
+    on the runtime harnesses. *)
+
 val central_2pc_hasty : int -> Protocol.t
 (** A deliberately broken 2PC in which the coordinator may abort
     spontaneously without reading the votes: {e not} synchronous within

@@ -332,6 +332,10 @@ let removal_candidates (p : Failure_plan.t) =
   @ List.mapi (fun i _ -> { p with delay_spikes = remove_nth i p.delay_spikes }) p.delay_spikes
   @ List.mapi (fun i _ -> { p with stalls = remove_nth i p.stalls }) p.stalls
   @ List.mapi (fun i _ -> { p with hb_losses = remove_nth i p.hb_losses }) p.hb_losses
+  @ List.mapi
+      (fun i _ -> { p with acceptor_crashes = remove_nth i p.acceptor_crashes })
+      p.acceptor_crashes
+  @ List.mapi (fun i _ -> { p with lease_faults = remove_nth i p.lease_faults }) p.lease_faults
 
 (* Round every non-integral fault time, one at a time, so the minimal
    counterexample reads "crash site=1 at=2" rather than "at=2.0386...". *)
@@ -390,6 +394,11 @@ let rounding_candidates (p : Failure_plan.t) =
         else None)
       (fun l -> { p with hb_losses = l })
       p.hb_losses
+  @ rounded round_time (fun l -> { p with acceptor_crashes = l }) p.acceptor_crashes
+  @ rounded
+      (fun at -> if Float.round at <> at then Some (Float.round at) else None)
+      (fun l -> { p with lease_faults = l })
+      p.lease_faults
 
 let shrink ?metrics ?until ?termination ?presumption ?read_only ?group_commit ?sync_latency
     ?late_force ?detector ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing

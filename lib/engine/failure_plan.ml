@@ -65,6 +65,13 @@ type t = {
   delay_spikes : delay_spec list;  (** latency-spike windows *)
   stalls : window_spec list;  (** slow-site ("GC pause") windows *)
   hb_losses : window_spec list;  (** heartbeat-loss bursts *)
+  acceptor_crashes : (Core.Types.site * float) list;
+      (** timed crashes aimed at Paxos-Commit acceptor sites; a plain
+          crash semantically, kept distinct so family validation and
+          acceptor-targeted sweeps can tell them apart *)
+  lease_faults : float list;
+      (** leader-lease expiries: at each time a standby acceptor opens a
+          higher-ballot recovery round while the leader is still alive *)
 }
 [@@deriving show { with_path = false }, eq]
 
@@ -81,11 +88,14 @@ let none =
     delay_spikes = [];
     stalls = [];
     hb_losses = [];
+    acceptor_crashes = [];
+    lease_faults = [];
   }
 
 let make ?(step_crashes = []) ?(timed_crashes = []) ?(recoveries = []) ?(move_crashes = [])
     ?(decide_crashes = []) ?(partitions = []) ?(msg_faults = []) ?(disk_faults = [])
-    ?(delay_spikes = []) ?(stalls = []) ?(hb_losses = []) () =
+    ?(delay_spikes = []) ?(stalls = []) ?(hb_losses = []) ?(acceptor_crashes = [])
+    ?(lease_faults = []) () =
   {
     step_crashes;
     timed_crashes;
@@ -98,6 +108,8 @@ let make ?(step_crashes = []) ?(timed_crashes = []) ?(recoveries = []) ?(move_cr
     delay_spikes;
     stalls;
     hb_losses;
+    acceptor_crashes;
+    lease_faults;
   }
 
 (** [crash_at_step ~site ~step ~mode] : the simplest single-crash plan. *)
@@ -110,13 +122,15 @@ let find_step_crash t ~site ~step =
 let crashing_sites t =
   List.map (fun c -> c.site) t.step_crashes
   @ List.map fst t.timed_crashes @ List.map fst t.move_crashes @ List.map fst t.decide_crashes
+  @ List.map fst t.acceptor_crashes
   |> List.sort_uniq compare
 
 let fault_count t =
   List.length t.step_crashes + List.length t.timed_crashes + List.length t.recoveries
   + List.length t.move_crashes + List.length t.decide_crashes + List.length t.partitions
   + List.length t.msg_faults + List.length t.disk_faults + List.length t.delay_spikes
-  + List.length t.stalls + List.length t.hb_losses
+  + List.length t.stalls + List.length t.hb_losses + List.length t.acceptor_crashes
+  + List.length t.lease_faults
 
 (** Lower a generated {!Sim.Nemesis} schedule into a plan the runtime can
     execute.  Order within each fault family is preserved. *)
@@ -159,7 +173,11 @@ let of_schedule (schedule : Sim.Nemesis.schedule) =
           {
             plan with
             hb_losses = plan.hb_losses @ [ { w_site = site; w_from = from_t; w_until = until_t } ];
-          })
+          }
+      | Sim.Nemesis.Acceptor_crash { site; at } ->
+          { plan with acceptor_crashes = plan.acceptor_crashes @ [ (site, at) ] }
+      | Sim.Nemesis.Lease_fault { at } ->
+          { plan with lease_faults = plan.lease_faults @ [ at ] })
     none schedule
 
 (* ------------------------------------------------------------------ *)
@@ -224,6 +242,10 @@ let clause_strings t =
         Printf.sprintf "hb-loss site=%d from=%s until=%s" w.w_site (float_str w.w_from)
           (float_str w.w_until))
       t.hb_losses
+  @ List.map
+      (fun (s, at) -> Printf.sprintf "acceptor-crash site=%d at=%s" s (float_str at))
+      t.acceptor_crashes
+  @ List.map (fun at -> Printf.sprintf "lease-fault at=%s" (float_str at)) t.lease_faults
 
 let to_string t = String.concat "; " (clause_strings t)
 
@@ -347,6 +369,11 @@ let parse_clause plan clause =
             }
           in
           { plan with hb_losses = plan.hb_losses @ [ w ] }
+      | "acceptor-crash" ->
+          let c = (int_of "site" (get "site" kvs), float_of "at" (get "at" kvs)) in
+          { plan with acceptor_crashes = plan.acceptor_crashes @ [ c ] }
+      | "lease-fault" ->
+          { plan with lease_faults = plan.lease_faults @ [ float_of "at" (get "at" kvs) ] }
       | v -> parse_fail "unknown fault kind: %S" v)
 
 (** Inverse of {!to_string}; clauses separated by ';' or newlines.
@@ -360,3 +387,45 @@ let of_string_exn s =
     [--plan], a counterexample pasted from a report: a malformed clause
     becomes a friendly [Error message], never a backtrace. *)
 let of_string s = match of_string_exn s with p -> Ok p | exception Parse_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Protocol-family validation.  Some clauses only make sense against a
+   runtime that actually has the targeted machinery: termination-phase
+   crashes need 3PC's backup coordinators, acceptor/lease faults need
+   Paxos Commit's replicated coordinator, and decide-crashes need either
+   (both broadcast a decision from an elected backup/leader). *)
+
+let is_3pc protocol =
+  match protocol with "central-3pc" | "decentralized-3pc" -> true | _ -> false
+
+let is_paxos protocol =
+  String.length protocol >= 5 && String.sub protocol 0 5 = "paxos"
+
+let unsupported_clauses ~protocol t =
+  let reject clauses fmt_clause needs =
+    List.map
+      (fun c ->
+        Printf.sprintf "%s: %s (protocol %s does not implement it)" (fmt_clause c) needs protocol)
+      clauses
+  in
+  (if is_3pc protocol then []
+   else
+     reject t.move_crashes
+       (fun (s, k) -> Printf.sprintf "move-crash site=%d sent=%d" s k)
+       "termination phase 1 requires a 3PC protocol")
+  @ (if is_3pc protocol || is_paxos protocol then []
+     else
+       reject t.decide_crashes
+         (fun (s, k) -> Printf.sprintf "decide-crash site=%d sent=%d" s k)
+         "a backup/leader decision broadcast requires 3PC or Paxos Commit")
+  @ (if is_paxos protocol then []
+     else
+       reject t.acceptor_crashes
+         (fun (s, at) -> Printf.sprintf "acceptor-crash site=%d at=%s" s (float_str at))
+         "acceptors exist only under Paxos Commit")
+  @
+  if is_paxos protocol then []
+  else
+    reject t.lease_faults
+      (fun at -> Printf.sprintf "lease-fault at=%s" (float_str at))
+      "leader leases exist only under Paxos Commit"

@@ -54,6 +54,11 @@ type t = {
   delay_spikes : delay_spec list;  (** latency-spike windows *)
   stalls : window_spec list;  (** slow-site ("GC pause") windows *)
   hb_losses : window_spec list;  (** heartbeat-loss bursts *)
+  acceptor_crashes : (Core.Types.site * float) list;
+      (** timed crashes aimed at Paxos-Commit acceptor sites *)
+  lease_faults : float list;
+      (** leader-lease expiries: a standby acceptor opens a higher-ballot
+          recovery round while the leader is still alive *)
 }
 
 val pp : Format.formatter -> t -> unit
@@ -72,6 +77,8 @@ val make :
   ?delay_spikes:delay_spec list ->
   ?stalls:window_spec list ->
   ?hb_losses:window_spec list ->
+  ?acceptor_crashes:(Core.Types.site * float) list ->
+  ?lease_faults:float list ->
   unit ->
   t
 
@@ -107,3 +114,10 @@ val of_string : string -> (t, string) result
 val of_string_exn : string -> t
 (** As {!of_string} but raising {!Parse_error} — for pinned plans in
     tests where a parse failure is itself the test failure. *)
+
+val unsupported_clauses : protocol:string -> t -> string list
+(** Clauses the named protocol family cannot execute, one human-readable
+    message each: [move-crash] needs a 3PC protocol, [decide-crash]
+    needs 3PC or Paxos Commit, [acceptor-crash]/[lease-fault] need Paxos
+    Commit.  Empty means every clause in the plan is runnable — what the
+    CLI's [--plan] checks before launching a run. *)

@@ -442,22 +442,19 @@ module Exec = struct
     Sim.World.broadcast ctx ~dsts:peers Msg.Query_outcome
 
   (* Outcome queries retry for as long as the site is undecided, with
-     capped exponential backoff plus jitter: a fixed retry budget tied
-     liveness to how long a peer stayed unreachable, while a fixed
-     interval kept blocked runs noisy.  The backoff resets when a peer
-     comes back (see [on_peer_up]) and on restart. *)
+     capped exponential backoff plus jitter ({!Sim.Backoff}): a fixed
+     retry budget tied liveness to how long a peer stayed unreachable,
+     while a fixed interval kept blocked runs noisy.  The backoff resets
+     when a peer comes back (see [on_peer_up]) and on restart. *)
   let rec start_query_loop t ctx (rt : site_rt) =
     if rt.outcome = None then begin
       query_peers t ctx rt;
-      let backoff =
-        Float.min
-          (t.cfg.query_interval *. (2.0 ** float_of_int (min rt.query_attempts 12)))
-          t.cfg.query_backoff_cap
+      let delay =
+        Sim.Backoff.delay ~rng:t.query_rng ~interval:t.cfg.query_interval
+          ~cap:t.cfg.query_backoff_cap ~attempt:rt.query_attempts
       in
-      let jitter = Sim.Rng.float t.query_rng (0.25 *. backoff) in
       rt.query_attempts <- rt.query_attempts + 1;
-      ignore
-        (Sim.World.set_timer ctx ~delay:(backoff +. jitter) (fun () -> start_query_loop t ctx rt))
+      ignore (Sim.World.set_timer ctx ~delay (fun () -> start_query_loop t ctx rt))
     end
 
   let enter_stalled t ctx (rt : site_rt) =

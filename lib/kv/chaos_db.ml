@@ -58,50 +58,83 @@ let workload_of ~seed =
    via {!Engine.Failure_plan}-style windows in the Db config. *)
 let lower (schedule : Sim.Nemesis.schedule) =
   List.fold_left
-    (fun (crashes, recoveries, partitions, msg_faults, disk_faults, windows) fault ->
+    (fun (crashes, recoveries, partitions, msg_faults, disk_faults, windows, leases) fault ->
       match fault with
-      | Sim.Nemesis.Crash { site; at } ->
-          ((site, at) :: crashes, recoveries, partitions, msg_faults, disk_faults, windows)
+      | Sim.Nemesis.Crash { site; at } | Sim.Nemesis.Acceptor_crash { site; at } ->
+          ((site, at) :: crashes, recoveries, partitions, msg_faults, disk_faults, windows, leases)
       | Sim.Nemesis.Recover { site; at } ->
-          (crashes, (site, at) :: recoveries, partitions, msg_faults, disk_faults, windows)
+          (crashes, (site, at) :: recoveries, partitions, msg_faults, disk_faults, windows, leases)
       | Sim.Nemesis.Partition { from_t; until_t; groups } ->
           ( crashes,
             recoveries,
             (from_t, until_t, groups) :: partitions,
             msg_faults,
             disk_faults,
-            windows )
+            windows,
+            leases )
       | Sim.Nemesis.Msg { nth; fault } ->
-          (crashes, recoveries, partitions, (nth, fault) :: msg_faults, disk_faults, windows)
+          (crashes, recoveries, partitions, (nth, fault) :: msg_faults, disk_faults, windows, leases)
       | Sim.Nemesis.Disk_fault { site; fault; nth } ->
           ( crashes,
             recoveries,
             partitions,
             msg_faults,
             (site, { Sim.Disk.fault; nth }) :: disk_faults,
-            windows )
+            windows,
+            leases )
       | (Sim.Nemesis.Delay_window _ | Sim.Nemesis.Stall _ | Sim.Nemesis.Hb_loss _) as w ->
-          (crashes, recoveries, partitions, msg_faults, disk_faults, w :: windows)
+          (crashes, recoveries, partitions, msg_faults, disk_faults, w :: windows, leases)
+      | Sim.Nemesis.Lease_fault { at } ->
+          (crashes, recoveries, partitions, msg_faults, disk_faults, windows, at :: leases)
       | Sim.Nemesis.Step_crash _ | Sim.Nemesis.Backup_crash _ ->
-          (crashes, recoveries, partitions, msg_faults, disk_faults, windows))
-    ([], [], [], [], [], []) schedule
-  |> fun (c, r, p, m, d, w) ->
-  (List.rev c, List.rev r, List.rev p, List.rev m, List.rev d, List.rev w)
+          (crashes, recoveries, partitions, msg_faults, disk_faults, windows, leases))
+    ([], [], [], [], [], [], []) schedule
+  |> fun (c, r, p, m, d, w, l) ->
+  (List.rev c, List.rev r, List.rev p, List.rev m, List.rev d, List.rev w, List.rev l)
 
 let crash_sites schedule =
   List.filter_map
-    (function Sim.Nemesis.Crash { site; _ } -> Some site | _ -> None)
-    schedule
-
-let recover_sites schedule =
-  List.filter_map
-    (function Sim.Nemesis.Recover { site; _ } -> Some site | _ -> None)
+    (function
+      | Sim.Nemesis.Crash { site; _ } | Sim.Nemesis.Acceptor_crash { site; _ } -> Some site
+      | _ -> None)
     schedule
 
 let violations ~(protocol : Node.protocol) ~schedule (r : Db.result) =
-  ignore protocol;
   let crashed = crash_sites schedule in
-  let down_at_end = List.filter (fun s -> not (List.mem s (recover_sites schedule))) crashed in
+  (* A site is down at the end iff its last crash postdates its last
+     recovery — membership tests alone would count a crash/recover/crash
+     site as "back" and mis-arm the conservation oracle. *)
+  let down_at_end =
+    let last events site =
+      List.fold_left (fun a (s, at) -> if s = site then Float.max a at else a) neg_infinity events
+    in
+    let crash_times =
+      List.filter_map
+        (function
+          | Sim.Nemesis.Crash { site; at } | Sim.Nemesis.Acceptor_crash { site; at } ->
+              Some (site, at)
+          | _ -> None)
+        schedule
+    and recover_times =
+      List.filter_map
+        (function Sim.Nemesis.Recover { site; at } -> Some (site, at) | _ -> None)
+        schedule
+    in
+    List.filter
+      (fun s -> last crash_times s > last recover_times s)
+      (List.sort_uniq compare crashed)
+  in
+  (* Paxos Commit promises liveness only up to f acceptor failures: a
+     schedule that leaves a majority of the 2f+1 acceptors down at the end
+     is beyond the fault model, and blocking there is legitimate (safety
+     oracles still apply in full). *)
+  let beyond_paxos_f =
+    match protocol with
+    | Node.Two_phase | Node.Three_phase -> false
+    | Node.Paxos f ->
+        let acceptors = List.init ((2 * f) + 1) (fun i -> i + 1) in
+        List.length (List.filter (fun s -> List.mem s down_at_end) acceptors) > f
+  in
   (* A transaction whose whole participant set crashed at some point is a
      total failure: the paper's termination and recovery protocols
      explicitly do not cover it, so a survivor legitimately stays in doubt
@@ -132,7 +165,8 @@ let violations ~(protocol : Node.protocol) ~schedule (r : Db.result) =
      locks in doubt — unless its transaction's participant set totally
      failed. *)
   let blocked =
-    List.filter (fun (_, _, participants) -> not (total_failure participants)) r.Db.in_doubt
+    if beyond_paxos_f then []
+    else List.filter (fun (_, _, participants) -> not (total_failure participants)) r.Db.in_doubt
   in
   let progress =
     match blocked with
@@ -209,11 +243,13 @@ let run_schedule ?(protocol = Node.Three_phase) ?(termination = Node.T_skeen) ?p
     ?read_only_opt ?group_commit ?sync_latency ?pipeline_depth ?(n_sites = 4) ?(until = 3000.0)
     ?(tracing = false) ?(durable_wal = true) ?detector ?fencing ~seed
     (schedule : Sim.Nemesis.schedule) =
-  let crashes, recoveries, partitions, msg_faults, disk_faults, detector_faults = lower schedule in
+  let crashes, recoveries, partitions, msg_faults, disk_faults, detector_faults, lease_faults =
+    lower schedule
+  in
   let cfg =
     Db.config ~n_sites ~protocol ~termination ?presumption ?read_only_opt ?group_commit
       ?sync_latency ?pipeline_depth ~seed ~until ~tracing ~crashes ~recoveries ~partitions
-      ~msg_faults ~durable_wal ~disk_faults ~detector_faults ?detector ?fencing
+      ~msg_faults ~durable_wal ~disk_faults ~detector_faults ~lease_faults ?detector ?fencing
       ~initial_data:(Workload.bank_initial ~accounts ~initial_balance)
       ()
   in
@@ -294,6 +330,10 @@ let round_candidates (schedule : Sim.Nemesis.schedule) =
                  (Sim.Nemesis.Hb_loss
                     { site; from_t = Float.round from_t; until_t = Float.round until_t });
              ]
+         | Sim.Nemesis.Acceptor_crash { site; at } when non_integral at ->
+             [ replace (Sim.Nemesis.Acceptor_crash { site; at = Float.round at }) ]
+         | Sim.Nemesis.Lease_fault { at } when non_integral at ->
+             [ replace (Sim.Nemesis.Lease_fault { at = Float.round at }) ]
          | _ -> [])
        schedule)
 

@@ -36,10 +36,12 @@ val lower :
   * (int * Sim.World.msg_fault) list
   * (Core.Types.site * Sim.Disk.injection) list
   * Sim.Nemesis.fault list
+  * float list
 (** Schedule → (crashes, recoveries, partitions, msg_faults, disk_faults,
-    detector_faults) as {!Db.config} takes them.  Step- and backup-pinned
-    crashes are dropped; the detector-provoking windows (latency spikes,
-    stalls, heartbeat loss) pass through verbatim. *)
+    detector_faults, lease_faults) as {!Db.config} takes them.  Step- and
+    backup-pinned crashes are dropped; acceptor crashes lower to plain
+    crashes; the detector-provoking windows (latency spikes, stalls,
+    heartbeat loss) pass through verbatim. *)
 
 val run_schedule :
   ?protocol:Node.protocol ->

@@ -44,6 +44,11 @@ type config = {
   detector_faults : Sim.Nemesis.fault list;
       (** detector-provoking windows (latency spikes, stalls, heartbeat
           loss); other fault constructors in the list are ignored here *)
+  lease_faults : float list;
+      (** Paxos-Commit leader-lease expiries: at each time every node is
+          told its coordinator leases lapsed, so standby acceptors open
+          higher-ballot recovery rounds for in-flight transactions.
+          Ignored (no messages injected) under 2PC/3PC. *)
 }
 
 let config ?(n_sites = 4) ?(protocol = Node.Three_phase) ?(presumption = Node.No_presumption)
@@ -52,7 +57,8 @@ let config ?(n_sites = 4) ?(protocol = Node.Three_phase) ?(presumption = Node.No
     ?(until = 100_000.0) ?(crashes = []) ?(recoveries = []) ?(partitions = []) ?(msg_faults = [])
     ?(durable_wal = true) ?group_commit ?(sync_latency = 0.0) ?(pipeline_depth = 1)
     ?(disk_faults = []) ?(initial_data = []) ?(detector = false) ?(fencing = true)
-    ?(heartbeat_period = 1.0) ?(suspicion_timeout = 5.0) ?(detector_faults = []) () =
+    ?(heartbeat_period = 1.0) ?(suspicion_timeout = 5.0) ?(detector_faults = [])
+    ?(lease_faults = []) () =
   {
     n_sites;
     protocol;
@@ -81,6 +87,7 @@ let config ?(n_sites = 4) ?(protocol = Node.Three_phase) ?(presumption = Node.No
     heartbeat_period;
     suspicion_timeout;
     detector_faults;
+    lease_faults;
   }
 
 type txn_fate = Fate_committed | Fate_aborted | Fate_pending
@@ -257,6 +264,12 @@ let run (cfg : config) (workload : (float * Txn.t) list) : result =
           Sim.World.schedule_hb_loss world ~site ~from_t ~until_t
       | _ -> ())
     cfg.detector_faults;
+  List.iter
+    (fun at ->
+      for site = 1 to cfg.n_sites do
+        Sim.World.inject world ~dst:site ~at Kv_msg.Lease_expire
+      done)
+    cfg.lease_faults;
   let duration = Sim.World.run world ~handlers ~until:cfg.until () in
   (* transactions still blocked at quiescence never resolved: account their
      lock-holding time up to the end of the run *)

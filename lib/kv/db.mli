@@ -53,6 +53,10 @@ type config = {
   detector_faults : Sim.Nemesis.fault list;
       (** detector-provoking windows (latency spikes, stalls, heartbeat
           loss); other fault constructors in the list are ignored here *)
+  lease_faults : float list;
+      (** times at which a [Lease_expire] is injected to every site —
+          Paxos standby acceptors open recovery for in-flight
+          transactions; a no-op under 2PC/3PC *)
 }
 
 val config :
@@ -83,6 +87,7 @@ val config :
   ?heartbeat_period:float ->
   ?suspicion_timeout:float ->
   ?detector_faults:Sim.Nemesis.fault list ->
+  ?lease_faults:float list ->
   unit ->
   config
 

@@ -31,6 +31,25 @@ type t =
   | Epoch_reject of { txn : int; epoch : int }
       (** a directive for [txn] was fenced; carries the participant's
           current epoch so the deposed backup stands down *)
+  | PaxAccept of { txn : int; ballot : int; commit : bool; participants : Core.Types.site list }
+      (** Paxos Commit phase 2a: a leader (the round-0 coordinator or a
+          recovery leader) asks the acceptors to accept the outcome *)
+  | PaxAccepted of { txn : int; ballot : int; commit : bool }  (** phase 2b, back to the leader *)
+  | PaxP1a of { txn : int; ballot : int }  (** recovery phase 1a: prepare at [ballot] *)
+  | PaxP1b of { txn : int; ballot : int; accepted : (int * bool) option }
+      (** promise not to accept below [ballot]; carries the acceptor's
+          highest accepted (ballot, outcome), if any — the value a new
+          leader must adopt *)
+  | PaxReject of { txn : int; ballot : int }
+      (** the acceptor has promised a higher ballot than the sender's;
+          carries it so the deposed leader stands down *)
+  | PaxRecover of { txn : int; participants : Core.Types.site list }
+      (** a blocked prepared participant nudges a standby acceptor into
+          leading recovery for [txn] *)
+  | Lease_expire
+      (** fault injection: the leader lease lapsed — standby acceptors
+          open higher-ballot recovery rounds for in-flight transactions
+          even though the coordinator may still be alive *)
 [@@deriving show { with_path = false }, eq]
 
 let to_string = function
@@ -60,3 +79,16 @@ let to_string = function
         | `Done false -> "aborted")
   | Heartbeat -> "heartbeat"
   | Epoch_reject { txn; epoch } -> Fmt.str "epoch-reject(t%d,e%d)" txn epoch
+  | PaxAccept { txn; ballot; commit; _ } ->
+      Fmt.str "pax-accept(t%d,b%d,%s)" txn ballot (if commit then "commit" else "abort")
+  | PaxAccepted { txn; ballot; commit } ->
+      Fmt.str "pax-accepted(t%d,b%d,%s)" txn ballot (if commit then "commit" else "abort")
+  | PaxP1a { txn; ballot } -> Fmt.str "pax-p1a(t%d,b%d)" txn ballot
+  | PaxP1b { txn; ballot; accepted } ->
+      Fmt.str "pax-p1b(t%d,b%d,%s)" txn ballot
+        (match accepted with
+        | None -> "free"
+        | Some (b, c) -> Fmt.str "accepted@b%d=%s" b (if c then "commit" else "abort"))
+  | PaxReject { txn; ballot } -> Fmt.str "pax-reject(t%d,b%d)" txn ballot
+  | PaxRecover { txn; _ } -> Fmt.str "pax-recover(t%d)" txn
+  | Lease_expire -> "lease-expire"

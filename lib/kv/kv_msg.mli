@@ -21,6 +21,19 @@ type t =
   | Heartbeat  (** detector mode: periodic evidence of life *)
   | Epoch_reject of { txn : int; epoch : int }
       (** a directive was fenced; carries the participant's current epoch *)
+  | PaxAccept of { txn : int; ballot : int; commit : bool; participants : Core.Types.site list }
+      (** Paxos Commit phase 2a: a leader asks the acceptors to accept *)
+  | PaxAccepted of { txn : int; ballot : int; commit : bool }  (** phase 2b *)
+  | PaxP1a of { txn : int; ballot : int }  (** recovery phase 1a *)
+  | PaxP1b of { txn : int; ballot : int; accepted : (int * bool) option }
+      (** promise; carries the highest accepted (ballot, outcome), if any *)
+  | PaxReject of { txn : int; ballot : int }
+      (** a higher ballot was promised; the deposed leader stands down *)
+  | PaxRecover of { txn : int; participants : Core.Types.site list }
+      (** a blocked participant nudges a standby acceptor into recovery *)
+  | Lease_expire
+      (** fault injection: standby acceptors act as if the leader lease
+          lapsed, opening higher-ballot recovery while it may be alive *)
 
 val pp : Format.formatter -> t -> unit
 val show : t -> string

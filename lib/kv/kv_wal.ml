@@ -25,6 +25,13 @@ type record =
   | C_precommitted of { txn : int }  (** coordinator logged the buffer phase *)
   | C_decided of { txn : int; commit : bool }
   | C_finished of { txn : int }
+  | A_promised of { txn : int; ballot : int }
+      (** Paxos-Commit acceptor: promised not to accept below [ballot] —
+          forced before the phase-1b reply leaves *)
+  | A_accepted of { txn : int; ballot : int; commit : bool }
+      (** Paxos-Commit acceptor: accepted the outcome at [ballot] —
+          forced before the phase-2b reply leaves (the replicated half of
+          the decision; a recovering leader rebuilds from these) *)
 [@@deriving show { with_path = false }, eq]
 
 (* ---------------- binary codec ---------------- *)
@@ -82,7 +89,16 @@ let to_bytes r =
       put_bool b commit
   | C_finished { txn } ->
       Buffer.add_uint8 b 6;
-      put_int b txn);
+      put_int b txn
+  | A_promised { txn; ballot } ->
+      Buffer.add_uint8 b 7;
+      put_int b txn;
+      put_int b ballot
+  | A_accepted { txn; ballot; commit } ->
+      Buffer.add_uint8 b 8;
+      put_int b txn;
+      put_int b ballot;
+      put_bool b commit);
   Buffer.to_bytes b
 
 let of_bytes bytes =
@@ -146,6 +162,13 @@ let of_bytes bytes =
           let txn = int () in
           C_decided { txn; commit = bool () }
       | 6 -> C_finished { txn = int () }
+      | 7 ->
+          let txn = int () in
+          A_promised { txn; ballot = int () }
+      | 8 ->
+          let txn = int () in
+          let ballot = int () in
+          A_accepted { txn; ballot; commit = bool () }
       | tag -> fail "unknown record tag %d" tag
     in
     if !pos <> total then fail "%d trailing bytes after record" (total - !pos);
@@ -353,6 +376,22 @@ let classify_coordinator t ~txn : c_class =
 let coordinated_txns t =
   List.filter_map (function C_begin { txn; _ } -> Some txn | _ -> None) (records t)
   |> List.sort_uniq compare
+
+(** Paxos-Commit acceptor state for [txn]:
+    (highest ballot promised or accepted, highest accepted (ballot, outcome)).
+    [-1] when nothing was promised — every ballot outranks it. *)
+let acceptor_state t ~txn =
+  List.fold_left
+    (fun ((promised, accepted) as acc) r ->
+      match r with
+      | A_promised { txn = x; ballot } when x = txn -> (max promised ballot, accepted)
+      | A_accepted { txn = x; ballot; commit } when x = txn ->
+          ( max promised ballot,
+            match accepted with
+            | Some (b, _) when b >= ballot -> accepted
+            | _ -> Some (ballot, commit) )
+      | _ -> acc)
+    (-1, None) (records t)
 
 (** Every transaction id mentioned as participant on this log. *)
 let participated_txns t =

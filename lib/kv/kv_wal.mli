@@ -19,6 +19,10 @@ type record =
   | C_precommitted of { txn : int }
   | C_decided of { txn : int; commit : bool }
   | C_finished of { txn : int }
+  | A_promised of { txn : int; ballot : int }
+      (** Paxos-Commit acceptor: promised not to accept below [ballot] *)
+  | A_accepted of { txn : int; ballot : int; commit : bool }
+      (** Paxos-Commit acceptor: accepted the outcome at [ballot] *)
 
 val pp_record : Format.formatter -> record -> unit
 val show_record : record -> string
@@ -133,3 +137,8 @@ type c_class =
 val classify_coordinator : t -> txn:int -> c_class
 val coordinated_txns : t -> int list
 val participated_txns : t -> int list
+
+val acceptor_state : t -> txn:int -> int * (int * bool) option
+(** Paxos-Commit acceptor state for the transaction: (highest ballot
+    promised or accepted, highest accepted (ballot, outcome)).  [-1]
+    when nothing was promised — every ballot outranks it. *)

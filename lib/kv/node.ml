@@ -14,7 +14,18 @@
     acknowledgements, then announce the decision — so cascading backup
     failures stay safe. *)
 
-type protocol = Two_phase | Three_phase [@@deriving show { with_path = false }, eq]
+type protocol = Two_phase | Three_phase | Paxos of int
+[@@deriving show { with_path = false }, eq]
+(** [Paxos f] is Paxos Commit (Gray & Lamport) at the decision level: the
+    coordinator runs 2PC's vote collection, but the commit/abort decision
+    is chosen by a Paxos instance over the [2f+1] lowest-numbered sites
+    acting as acceptors, so any [f] failures leave a majority that
+    remembers it.  A blocked prepared participant does not wait for the
+    coordinator to recover (2PC) or elect a backup from its own state
+    (3PC): it nudges a standby acceptor, which completes the instance at a
+    higher ballot — adopting any accepted outcome, else aborting.
+    [Paxos 0] is the degenerate single-acceptor form, behaviourally 2PC
+    with the decision forced on the acceptor's log. *)
 
 (** The classic commit-protocol presumptions (of the R-star system): which outcome the
     coordinator may "forget" immediately, because a recovering or inquiring
@@ -57,6 +68,19 @@ type c_txn = {
   mutable c_status : c_status;
   submitted_at : float;
   mutable votes_in_at : float option;  (** when the last vote arrived (phase split) *)
+  mutable pax_accepts : Core.Types.site list;
+      (** Paxos: acceptors that accepted this coordinator's proposal *)
+}
+
+(** A standby acceptor leading Paxos recovery for one transaction. *)
+type pax_rec = {
+  pr_ballot : int;
+  pr_participants : Core.Types.site list;
+  mutable pr_promises : (Core.Types.site * (int * bool) option) list;
+      (** phase 1b replies: acceptor, highest accepted (ballot, outcome) *)
+  mutable pr_accepts : Core.Types.site list;  (** phase 2b replies *)
+  mutable pr_phase2 : bool;
+  mutable pr_commit : bool;  (** the adopted (or free-instance Abort) value *)
 }
 
 (** Termination-protocol state for one orphaned transaction (3PC backup
@@ -86,6 +110,7 @@ type t = {
   c_txns : (int, c_txn) Hashtbl.t;  (** volatile *)
   backups : (int, backup_state) Hashtbl.t;  (** volatile *)
   pollings : (int, poll_state) Hashtbl.t;  (** volatile: quorum-termination polls *)
+  pax_recoveries : (int, pax_rec) Hashtbl.t;  (** volatile: Paxos recovery rounds led here *)
   ro_done : (int, unit) Hashtbl.t;
       (** volatile: transactions this site completed as a read-only
           participant.  The p_txn is removed at vote time, so without this
@@ -146,6 +171,13 @@ let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_
     ?(fencing = true) ~site ~n_sites ~protocol ~storage ~wal ~lock_wait_timeout ~query_interval
     ~query_budget () =
   if pipeline_depth < 1 then invalid_arg "Node.create: pipeline_depth must be >= 1";
+  (match protocol with
+  | Paxos f when f < 0 -> invalid_arg "Node.create: Paxos f must be >= 0"
+  | Paxos f when (2 * f) + 1 > n_sites ->
+      invalid_arg
+        (Printf.sprintf "Node.create: Paxos f=%d needs 2f+1=%d acceptors but only %d sites" f
+           ((2 * f) + 1) n_sites)
+  | _ -> ());
   {
     site;
     n_sites;
@@ -160,6 +192,7 @@ let create ?(presumption = No_presumption) ?(termination = T_skeen) ?(read_only_
     c_txns = Hashtbl.create 32;
     backups = Hashtbl.create 8;
     pollings = Hashtbl.create 8;
+    pax_recoveries = Hashtbl.create 8;
     ro_done = Hashtbl.create 8;
     sent_yes_txns = Hashtbl.create 8;
     announced_outcomes = Hashtbl.create 8;
@@ -214,6 +247,31 @@ let next_epoch node ~txn =
 
 let elect_epoch node ~txn =
   let e = if node.detector then next_epoch node ~txn else node.site - 1 in
+  bump_epoch node ~txn e;
+  node.directive_epochs <- (txn, e) :: node.directive_epochs;
+  e
+
+(* ---- Paxos Commit: acceptor set and ballots ---- *)
+
+let pax_f node = match node.protocol with Paxos f -> f | Two_phase | Three_phase -> 0
+
+(* every site can coordinate, so the acceptor set is pinned to the
+   2f+1 lowest-numbered sites regardless of which site leads *)
+let acceptors node = List.init ((2 * pax_f node) + 1) (fun i -> i + 1)
+
+(* A standby leader's ballot: the epoch encoding, at round >= 1 so it
+   always outranks every coordinator's round-0 ballot (site - 1 <= n - 1)
+   — that is what obliges it to run phase 1 and adopt any accepted value
+   before proposing.  Recorded in [directive_epochs] like a termination
+   election, feeding the split-brain oracle; bumping [epoch_seen] makes
+   consecutive ballots from this site strictly increase. *)
+let pax_elect_ballot node ~txn =
+  let seen = max (epoch_of node ~txn) (node.n_sites - 1) in
+  let rec go r =
+    let e = (r * node.n_sites) + node.site - 1 in
+    if e > seen then e else go (r + 1)
+  in
+  let e = go 1 in
   bump_epoch node ~txn e;
   node.directive_epochs <- (txn, e) :: node.directive_epochs;
   e
@@ -436,12 +494,61 @@ let c_announce node ctx (c : c_txn) ~commit =
             Kv_wal.force_k node.wal (Kv_wal.C_finished { txn = c.c_id }) (fun () -> ())
           end)
 
+(* Paxos Commit: all votes were yes — propose Commit to the acceptors at
+   the coordinator's round-0 ballot.  The C_precommitted record is forced
+   BEFORE the proposal leaves: a coordinator that crashes afterwards must
+   classify as in-precommit and query at recovery, never presume abort
+   against an outcome a recovery leader may have driven to Commit. *)
+(* The accept round retries under [query_budget], like {!query_round}: a
+   crashed-and-recovered acceptor (or a dropped 2a/2b) must not strand a
+   live coordinator in C_precommitting forever.  Re-sent accepts are
+   idempotent at the acceptors; a PaxReject ends the loop by removing the
+   c_txn. *)
+let rec pax_accept_round node ctx ~txn ~attempt =
+  match Hashtbl.find_opt node.c_txns txn with
+  | Some c when c.c_status = C_precommitting ->
+      let ballot = node.site - 1 in
+      List.iter
+        (fun dst ->
+          Sim.World.send ctx ~dst
+            (Kv_msg.PaxAccept { txn; ballot; commit = true; participants = c.c_participants }))
+        (acceptors node);
+      if node.query_budget > 0 then begin
+        node.query_budget <- node.query_budget - 1;
+        let delay =
+          Sim.Backoff.delay ~rng:node.query_rng ~interval:node.query_interval
+            ~cap:node.query_backoff_cap ~attempt
+        in
+        ignore
+          (Sim.World.set_timer ctx ~delay (fun () ->
+               pax_accept_round node ctx ~txn ~attempt:(attempt + 1)))
+      end
+  | _ -> ()
+
+let pax_propose node ctx (c : c_txn) =
+  match c.c_status with
+  | C_decided _ -> ()
+  | C_collecting | C_precommitting ->
+      c.c_status <- C_precommitting;
+      Kv_wal.force_k node.wal
+        (Kv_wal.C_precommitted { txn = c.c_id })
+        (fun () ->
+          (* the round-0 authority of the epoch encoding *)
+          bump_epoch node ~txn:c.c_id (node.site - 1);
+          pax_accept_round node ctx ~txn:c.c_id ~attempt:0)
+
 let c_all_votes_in node ctx (c : c_txn) =
   c.votes_in_at <- Some (now ctx);
   (* vote phase: from submission to the last yes vote *)
   observe ctx "kv_vote_phase" (now ctx -. c.submitted_at);
   match node.protocol with
   | Two_phase -> c_announce node ctx c ~commit:true
+  | Paxos _ ->
+      if c.c_participants = [] then
+        (* every participant was read-only: no locks held anywhere, no
+           recovery possible — nothing to replicate *)
+        c_announce node ctx c ~commit:true
+      else pax_propose node ctx c
   | Three_phase ->
       if c.c_participants = [] then
         (* every participant was read-only: nothing to precommit *)
@@ -510,6 +617,7 @@ let on_client_begin ?submitted_at node ctx (txn : Txn.t) =
       c_status = C_collecting;
       submitted_at;
       votes_in_at = None;
+      pax_accepts = [];
     }
   in
   Hashtbl.replace node.c_txns txn.Txn.id c;
@@ -649,10 +757,10 @@ let on_demote_ack node ctx ~src ~txn =
 (* Periodic outcome query for in-doubt transactions: a blocked 2PC
    participant asking its (hopefully recovering) coordinator, or a
    recovered site asking its peers.  Retries back off exponentially
-   (capped, jittered) so a long outage is not hammered at a fixed rate;
-   [query_budget] stays as the outer bound across all of this site's
-   in-doubt transactions. *)
-let rec query_round node ctx ~txn ~targets ~attempt =
+   (capped, jittered — {!Sim.Backoff}) so a long outage is not hammered
+   at a fixed rate; [query_budget] stays as the outer bound across all
+   of this site's in-doubt transactions. *)
+let rec query_round ?(on_round = fun () -> ()) node ctx ~txn ~targets ~attempt =
   let unresolved () =
     match Hashtbl.find_opt node.p_txns txn with
     | Some p -> (match p.status with P_done _ -> false | _ -> true)
@@ -663,16 +771,15 @@ let rec query_round node ctx ~txn ~targets ~attempt =
   in
   if unresolved () && node.query_budget > 0 then begin
     node.query_budget <- node.query_budget - 1;
+    on_round ();
     List.iter (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Status_req { txn })) targets;
-    let backoff =
-      Float.min
-        (node.query_interval *. (2.0 ** float_of_int (min attempt 12)))
-        node.query_backoff_cap
+    let delay =
+      Sim.Backoff.delay ~rng:node.query_rng ~interval:node.query_interval
+        ~cap:node.query_backoff_cap ~attempt
     in
-    let jitter = Sim.Rng.float node.query_rng (0.25 *. backoff) in
     ignore
-      (Sim.World.set_timer ctx ~delay:(backoff +. jitter) (fun () ->
-           query_round node ctx ~txn ~targets ~attempt:(attempt + 1)))
+      (Sim.World.set_timer ctx ~delay (fun () ->
+           query_round ~on_round node ctx ~txn ~targets ~attempt:(attempt + 1)))
   end
 
 let query_loop node ctx ~txn ~targets = query_round node ctx ~txn ~targets ~attempt:0
@@ -702,6 +809,126 @@ let eligible_backup node (p : p_txn) =
   | [] -> (
       if not node.detector then None
       else match pick ~ignore_taint:true with backup :: _ -> Some backup | [] -> None)
+
+(* ---- Paxos Commit recovery (the replicated-coordinator path) ---- *)
+
+(* The standby-leader election: lowest operational acceptor, preferring
+   never-crashed ones.  Unlike [eligible_backup], taint is only a
+   preference here, never a veto: an acceptor's promise/accept state is
+   WAL-durable ([A_promised] records) and every directive is ballot-
+   fenced, so a crashed-and-recovered acceptor leads recovery safely —
+   vetoing it would deadlock any schedule that touches every acceptor
+   once, with a live majority still reachable.  [exclude] skips a site
+   regardless (the still-alive coordinator, under a lease fault); 0
+   excludes nobody. *)
+let eligible_acceptor node ~exclude =
+  let pick ~ignore_taint =
+    List.filter
+      (fun s ->
+        s <> exclude
+        && (not (List.mem s node.down_view))
+        && (ignore_taint || not (List.mem s node.tainted))
+        && (ignore_taint || s <> node.site || not node.ever_crashed))
+      (acceptors node)
+  in
+  match pick ~ignore_taint:false with
+  | a :: _ -> Some a
+  | [] -> ( match pick ~ignore_taint:true with a :: _ -> Some a | [] -> None)
+
+(* A recovery leader's decision: logged coordinator-style (C_begin first,
+   so classification and restart re-announcement work), forced before the
+   outcome leaves. *)
+let pax_leader_decide node ctx ~txn ~participants ~commit =
+  (match Kv_wal.classify_coordinator node.wal ~txn with
+  | Kv_wal.C_unknown ->
+      Kv_wal.append node.wal (Kv_wal.C_begin { txn; participants; three_phase = true })
+  | _ -> ());
+  Kv_wal.force_k node.wal
+    (Kv_wal.C_decided { txn; commit })
+    (fun () ->
+      if List.exists (fun s -> s <> node.site) participants then note_announce node ~txn ~commit;
+      List.iter
+        (fun dst -> if dst <> node.site then Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit }))
+        participants;
+      match Hashtbl.find_opt node.p_txns txn with
+      | Some p -> p_finish node ctx p ~commit
+      | None -> ())
+
+(** Lead Paxos recovery for [txn]: phase 1a at a fresh round->=1 ballot to
+    every acceptor; on f+1 promises adopt the highest-ballot accepted
+    outcome (a wholly free instance aborts) and run phase 2a.  Answers
+    directly when this site's log already resolves the transaction. *)
+let start_pax_recovery node ctx ~txn ~participants =
+  Kv_wal.after_durable node.wal (fun () ->
+      match status_of node ~txn with
+      | Some commit ->
+          (* already resolved here: re-announce (the asker missed it) *)
+          if List.exists (fun s -> s <> node.site) participants then
+            note_announce node ~txn ~commit;
+          List.iter
+            (fun dst ->
+              if dst <> node.site then Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit }))
+            participants;
+          (match Hashtbl.find_opt node.p_txns txn with
+          | Some p -> p_finish node ctx p ~commit
+          | None -> ())
+      | None -> (
+          match Hashtbl.find_opt node.pax_recoveries txn with
+          | Some pr ->
+              (* already leading: re-drive the pending phase at the same
+                 ballot — the first broadcast may have hit a dead majority
+                 and a nudge means someone believes acceptors are back.
+                 Re-sent 1a/2a messages are idempotent at the acceptors. *)
+              List.iter
+                (fun dst ->
+                  Sim.World.send ctx ~dst
+                    (if pr.pr_phase2 then
+                       Kv_msg.PaxAccept
+                         {
+                           txn;
+                           ballot = pr.pr_ballot;
+                           commit = pr.pr_commit;
+                           participants = pr.pr_participants;
+                         }
+                     else Kv_msg.PaxP1a { txn; ballot = pr.pr_ballot }))
+                (acceptors node)
+          | None ->
+              metric ctx "paxos_recoveries";
+              let ballot = pax_elect_ballot node ~txn in
+              Hashtbl.replace node.pax_recoveries txn
+                {
+                  pr_ballot = ballot;
+                  pr_participants = participants;
+                  pr_promises = [];
+                  pr_accepts = [];
+                  pr_phase2 = false;
+                  pr_commit = false;
+                };
+              List.iter
+                (fun dst -> Sim.World.send ctx ~dst (Kv_msg.PaxP1a { txn; ballot }))
+                (acceptors node)))
+
+(* A blocked prepared participant under Paxos: nudge a standby acceptor
+   into leading recovery, and keep nudging on every query round — the
+   first leader may itself die mid-recovery, and re-election is just
+   another nudge at whoever is now the lowest live acceptor. *)
+let pax_initiate node ctx (p : p_txn) ~exclude =
+  if p.blocked_since = None then p.blocked_since <- Some (now ctx);
+  let nudge () =
+    match eligible_acceptor node ~exclude with
+    | Some a when a = node.site ->
+        start_pax_recovery node ctx ~txn:p.txn ~participants:p.participants
+    | Some a ->
+        Sim.World.send ctx ~dst:a (Kv_msg.PaxRecover { txn = p.txn; participants = p.participants })
+    | None -> ()
+  in
+  let targets =
+    (p.coordinator :: acceptors node) @ p.participants
+    |> List.filter (fun s -> s <> node.site)
+    |> List.sort_uniq compare
+  in
+  nudge ();
+  query_round ~on_round:nudge node ctx ~txn:p.txn ~targets ~attempt:0
 
 (** The backup coordinator's action for one orphaned transaction, driven by
     the paper's decision rule applied to {e its own} participant state. *)
@@ -850,12 +1077,17 @@ let on_peer_down node ctx failed =
   Hashtbl.iter
     (fun _ c ->
       if List.mem failed c.c_participants || List.mem failed c.awaiting_votes then
-        match c.c_status with
-        | C_collecting when List.mem failed c.awaiting_votes -> c_announce node ctx c ~commit:false
-        | C_precommitting ->
+        match (c.c_status, node.protocol) with
+        | C_collecting, _ when List.mem failed c.awaiting_votes ->
+            c_announce node ctx c ~commit:false
+        | C_precommitting, Paxos _ ->
+            (* awaiting acceptor majorities, not participant acks: with at
+               most f acceptors down the remaining f+1 still answer *)
+            ()
+        | C_precommitting, _ ->
             c.awaiting_acks <- List.filter (fun s -> s <> failed) c.awaiting_acks;
             if c.awaiting_acks = [] then c_announce node ctx c ~commit:true
-        | C_collecting | C_decided _ -> ())
+        | (C_collecting | C_decided _), _ -> ())
     node.c_txns;
   (* Backup side: a participant crashed during termination phase 1. *)
   Hashtbl.iter
@@ -877,6 +1109,15 @@ let on_peer_down node ctx failed =
             p_abort_unvoted node ctx p ~notify:false
         | P_prepared | P_precommitted | P_done _ -> (
             match node.protocol with
+            | Paxos _ -> (
+                match p.status with
+                | P_done _ -> ()
+                | _ ->
+                    (* the replicated coordinator: no blocking, no local
+                       decision rule — a standby acceptor completes the
+                       Paxos instance at a higher ballot *)
+                    metric ctx "blocked_paxos";
+                    pax_initiate node ctx p ~exclude:0)
             | Two_phase -> (
                 match p.status with
                 | P_done _ -> ()
@@ -922,6 +1163,25 @@ let on_peer_down node ctx failed =
 
 let on_peer_up node ctx recovered =
   node.down_view <- List.filter (fun s -> s <> recovered) node.down_view;
+  (* a recovered acceptor may have restored the Paxos majority: re-nudge
+     recovery for every transaction still blocked here (the parked
+     leader re-drives its pending phase on the nudge) *)
+  (match node.protocol with
+  | Paxos _ ->
+      Hashtbl.iter
+        (fun _ (p : p_txn) ->
+          match p.status with
+          | (P_prepared | P_precommitted) when p.blocked_since <> None -> (
+              match eligible_acceptor node ~exclude:0 with
+              | Some a when a = node.site ->
+                  start_pax_recovery node ctx ~txn:p.txn ~participants:p.participants
+              | Some a ->
+                  Sim.World.send ctx ~dst:a
+                    (Kv_msg.PaxRecover { txn = p.txn; participants = p.participants })
+              | None -> ())
+          | _ -> ())
+        node.p_txns
+  | Two_phase | Three_phase -> ());
   (* under quorum termination a healed partition may have restored the
      quorum: re-poll every still-orphaned transaction *)
   match node.termination with
@@ -962,6 +1222,7 @@ let on_restart node ctx =
   Hashtbl.reset node.c_txns;
   Hashtbl.reset node.backups;
   Hashtbl.reset node.pollings;
+  Hashtbl.reset node.pax_recoveries;
   Hashtbl.reset node.ro_done;
   (* participant side *)
   List.iter
@@ -1007,17 +1268,39 @@ let on_restart node ctx =
               List.iter
                 (fun dst -> Sim.World.send ctx ~dst (Kv_msg.Outcome { txn; commit = false }))
                 participants)
-      | Kv_wal.C_in_precommit { participants } ->
-          (* a backup may have committed or aborted it: ask *)
-          query_loop node ctx ~txn ~targets:(List.filter (fun s -> s <> node.site) participants))
+      | Kv_wal.C_in_precommit { participants } -> (
+          (* a backup may have committed or aborted it: ask.  Under Paxos
+             the decision may also never have been chosen at all (the
+             accept round died with this coordinator), so asking is not
+             enough — keep nudging a standby acceptor into completing
+             the instance. *)
+          let targets = List.filter (fun s -> s <> node.site) participants in
+          match node.protocol with
+          | Paxos _ ->
+              let nudge () =
+                match eligible_acceptor node ~exclude:0 with
+                | Some a when a = node.site -> start_pax_recovery node ctx ~txn ~participants
+                | Some a ->
+                    Sim.World.send ctx ~dst:a (Kv_msg.PaxRecover { txn; participants })
+                | None -> ()
+              in
+              nudge ();
+              query_round ~on_round:nudge node ctx ~txn ~targets ~attempt:0
+          | Two_phase | Three_phase -> query_loop node ctx ~txn ~targets))
     (Kv_wal.coordinated_txns node.wal);
-  (* the in-doubt participant entries: ask around *)
+  (* the in-doubt participant entries: ask around (under Paxos, also
+     nudge recovery — the coordinator may be dead with nobody leading) *)
   Hashtbl.iter
     (fun txn (p : p_txn) ->
       match p.status with
-      | P_prepared | P_precommitted ->
-          let everyone = List.filter (fun s -> s <> node.site) (List.init node.n_sites (fun i -> i + 1)) in
-          query_loop node ctx ~txn ~targets:everyone
+      | P_prepared | P_precommitted -> (
+          match node.protocol with
+          | Paxos _ -> pax_initiate node ctx p ~exclude:0
+          | Two_phase | Three_phase ->
+              let everyone =
+                List.filter (fun s -> s <> node.site) (List.init node.n_sites (fun i -> i + 1))
+              in
+              query_loop node ctx ~txn ~targets:everyone)
       | P_working | P_done _ -> ())
     node.p_txns
 
@@ -1153,6 +1436,122 @@ let on_message node ctx ~src (msg : Kv_msg.t) =
           | Some p -> evaluate_quorum_poll node ctx p ~q poll
           | None -> ())
       | _ -> ())
+  | Kv_msg.PaxAccept { txn; ballot; commit; participants = _ } ->
+      (* acceptor, phase 2a: accept unless a higher ballot was promised;
+         the accepted record is forced before the reply leaves — it IS
+         the replicated decision state a recovering leader rebuilds from *)
+      let promised, _ = Kv_wal.acceptor_state node.wal ~txn in
+      if ballot < promised then
+        Kv_wal.after_durable node.wal (fun () ->
+            Sim.World.send ctx ~dst:src (Kv_msg.PaxReject { txn; ballot = promised }))
+      else begin
+        bump_epoch node ~txn ballot;
+        Kv_wal.force_k node.wal
+          (Kv_wal.A_accepted { txn; ballot; commit })
+          (fun () -> Sim.World.send ctx ~dst:src (Kv_msg.PaxAccepted { txn; ballot; commit }))
+      end
+  | Kv_msg.PaxP1a { txn; ballot } ->
+      (* acceptor, phase 1a: promise (forced) and report the highest
+         accepted outcome so the new leader adopts it *)
+      let promised, accepted = Kv_wal.acceptor_state node.wal ~txn in
+      if ballot < promised then
+        Kv_wal.after_durable node.wal (fun () ->
+            Sim.World.send ctx ~dst:src (Kv_msg.PaxReject { txn; ballot = promised }))
+      else begin
+        bump_epoch node ~txn ballot;
+        Kv_wal.force_k node.wal
+          (Kv_wal.A_promised { txn; ballot })
+          (fun () -> Sim.World.send ctx ~dst:src (Kv_msg.PaxP1b { txn; ballot; accepted }))
+      end
+  | Kv_msg.PaxP1b { txn; ballot; accepted } -> (
+      (* recovery leader: count promises; at f+1, adopt and propose *)
+      match Hashtbl.find_opt node.pax_recoveries txn with
+      | Some pr when (not pr.pr_phase2) && ballot = pr.pr_ballot ->
+          if not (List.mem_assoc src pr.pr_promises) then
+            pr.pr_promises <- (src, accepted) :: pr.pr_promises;
+          if List.length pr.pr_promises >= pax_f node + 1 then begin
+            pr.pr_phase2 <- true;
+            let adopted =
+              List.fold_left
+                (fun acc (_, a) ->
+                  match (acc, a) with
+                  | None, a -> a
+                  | Some (b, _), Some (b', _) when b' > b -> a
+                  | acc, _ -> acc)
+                None pr.pr_promises
+            in
+            (* a wholly free instance is decided Abort: nothing was ever
+               proposed, so nobody can have released locks on a commit *)
+            pr.pr_commit <- (match adopted with Some (_, c) -> c | None -> false);
+            List.iter
+              (fun dst ->
+                Sim.World.send ctx ~dst
+                  (Kv_msg.PaxAccept
+                     {
+                       txn;
+                       ballot = pr.pr_ballot;
+                       commit = pr.pr_commit;
+                       participants = pr.pr_participants;
+                     }))
+              (acceptors node)
+          end
+      | _ -> ())
+  | Kv_msg.PaxAccepted { txn; ballot; commit } -> (
+      (* the round-0 coordinator collecting its own proposal *)
+      (match Hashtbl.find_opt node.c_txns txn with
+      | Some c when c.c_status = C_precommitting && ballot = node.site - 1 ->
+          if not (List.mem src c.pax_accepts) then c.pax_accepts <- src :: c.pax_accepts;
+          if List.length c.pax_accepts >= pax_f node + 1 then c_announce node ctx c ~commit
+      | _ -> ());
+      (* a recovery leader collecting phase 2b *)
+      match Hashtbl.find_opt node.pax_recoveries txn with
+      | Some pr when pr.pr_phase2 && ballot = pr.pr_ballot ->
+          if not (List.mem src pr.pr_accepts) then pr.pr_accepts <- src :: pr.pr_accepts;
+          if List.length pr.pr_accepts >= pax_f node + 1 then begin
+            Hashtbl.remove node.pax_recoveries txn;
+            pax_leader_decide node ctx ~txn ~participants:pr.pr_participants ~commit:pr.pr_commit
+          end
+      | _ -> ())
+  | Kv_msg.PaxReject { txn; ballot } ->
+      (* deposed: a higher-ballot leader owns the instance.  Stand down
+         without deciding and fall back to querying for the outcome. *)
+      bump_epoch node ~txn ballot;
+      metric ctx "pax_rejected";
+      (match Hashtbl.find_opt node.c_txns txn with
+      | Some c when c.c_status = C_precommitting ->
+          Hashtbl.remove node.c_txns txn;
+          query_loop node ctx ~txn
+            ~targets:(List.filter (fun s -> s <> node.site) c.c_participants)
+      | _ -> ());
+      if Hashtbl.mem node.pax_recoveries txn then begin
+        Hashtbl.remove node.pax_recoveries txn;
+        match Hashtbl.find_opt node.p_txns txn with
+        | Some p -> query_loop node ctx ~txn ~targets:(reachable_others node p)
+        | None -> ()
+      end
+  | Kv_msg.PaxRecover { txn; participants } -> (
+      match node.protocol with
+      | Paxos _ -> start_pax_recovery node ctx ~txn ~participants
+      | Two_phase | Three_phase -> ())
+  | Kv_msg.Lease_expire -> (
+      (* injected lease fault: act as if every coordinator lease lapsed —
+         push recovery of each in-doubt transaction to a standby acceptor
+         that is NOT its (possibly live) coordinator.  Ballot fencing
+         keeps the race between the deposed-but-alive coordinator and the
+         new leader safe; the run stays a liveness/split-brain probe. *)
+      match node.protocol with
+      | Paxos _ ->
+          Hashtbl.iter
+            (fun _ (p : p_txn) ->
+              match p.status with
+              | P_prepared | P_precommitted ->
+                  (* the full initiation loop, not a one-shot nudge: the
+                     elected standby may itself die mid-recovery, and only
+                     the re-nudge cadence fails over to the next acceptor *)
+                  pax_initiate node ctx p ~exclude:p.coordinator
+              | P_working | P_done _ -> ())
+            node.p_txns
+      | Two_phase | Three_phase -> ())
   | Kv_msg.Status_rep { txn; outcome } -> (
       match outcome with
       | None -> ()

@@ -3,7 +3,11 @@
     it.  {!Db} wires nodes into a world; this interface exposes the
     handler surface plus the observability counters the harness reads. *)
 
-type protocol = Two_phase | Three_phase
+(** [Paxos f] is Paxos Commit (Gray & Lamport) at the decision level: 2PC
+    vote collection, but the outcome is chosen by a majority of the 2f+1
+    acceptors (the lowest-numbered sites), so any f acceptor crashes —
+    including the coordinator's — leave the decision recoverable. *)
+type protocol = Two_phase | Three_phase | Paxos of int
 
 val pp_protocol : Format.formatter -> protocol -> unit
 val show_protocol : protocol -> string
@@ -55,9 +59,21 @@ type c_txn = {
   mutable c_status : c_status;
   submitted_at : float;
   mutable votes_in_at : float option;  (** when the last vote arrived (phase split) *)
+  mutable pax_accepts : Core.Types.site list;
+      (** Paxos: acceptors that accepted this coordinator's proposal *)
 }
 
 type backup_state = { mutable b_awaiting : Core.Types.site list; b_commit : bool }
+
+(** A standby acceptor leading Paxos recovery for one transaction. *)
+type pax_rec = {
+  pr_ballot : int;
+  pr_participants : Core.Types.site list;
+  mutable pr_promises : (Core.Types.site * (int * bool) option) list;
+  mutable pr_accepts : Core.Types.site list;
+  mutable pr_phase2 : bool;
+  mutable pr_commit : bool;
+}
 
 (** Quorum termination: a state poll in flight. *)
 type poll_state = {
@@ -81,6 +97,7 @@ type t = {
   c_txns : (int, c_txn) Hashtbl.t;  (** volatile *)
   backups : (int, backup_state) Hashtbl.t;  (** volatile *)
   pollings : (int, poll_state) Hashtbl.t;  (** volatile *)
+  pax_recoveries : (int, pax_rec) Hashtbl.t;  (** volatile: Paxos recovery rounds led here *)
   ro_done : (int, unit) Hashtbl.t;
       (** volatile: read-only participations already completed, so a
           duplicated Prepare cannot re-open them (and then force-log a

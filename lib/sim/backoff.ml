@@ -1,0 +1,4 @@
+let delay ~rng ~interval ~cap ~attempt =
+  let backoff = Float.min (interval *. (2.0 ** float_of_int (min attempt 12))) cap in
+  let jitter = Rng.float rng (0.25 *. backoff) in
+  backoff +. jitter

@@ -1,0 +1,13 @@
+(** Capped exponential backoff with jitter — the one retry policy every
+    outcome-query loop shares.
+
+    Both the protocol engine's termination queries and the database's
+    status polls retry at [interval * 2^attempt], capped at [cap], plus a
+    uniform jitter of up to a quarter of the backoff so synchronized
+    sites do not stampede a recovering peer.  The exponent saturates at
+    12 to keep the float finite long before the cap applies. *)
+
+val delay : rng:Rng.t -> interval:float -> cap:float -> attempt:int -> float
+(** [delay ~rng ~interval ~cap ~attempt] is the wait before retry number
+    [attempt] (0-based).  Consumes exactly one draw from [rng] — callers
+    pin replay determinism on that. *)

@@ -38,6 +38,16 @@ type fault =
   | Hb_loss of { site : int; from_t : float; until_t : float }
       (** heartbeat-loss burst: the site's detector heartbeats are
           suppressed while protocol traffic flows untouched *)
+  | Acceptor_crash of { site : int; at : float }
+      (** timed crash aimed at a Paxos-Commit acceptor site: semantically
+          a [Crash], kept distinct so acceptor-targeted sweeps (and the
+          family validation in the CLI) can tell replicated-state faults
+          from ordinary participant crashes *)
+  | Lease_fault of { at : float }
+      (** leader-lease expiry at [at]: a standby acceptor starts a
+          higher-ballot recovery round even though the current leader is
+          alive — exercising ballot fencing the way stale-epoch
+          directives exercise epoch fencing *)
 [@@deriving show { with_path = false }, eq]
 
 type schedule = fault list [@@deriving show { with_path = false }, eq]
@@ -94,6 +104,18 @@ type profile = {
   detector_window_max : float;
       (** spike/stall/heartbeat-loss window lengths are drawn from
           [detector_window_min, detector_window_max) *)
+  p_acceptor_crash : float;
+      (** per-candidate probability an acceptor site crashes.  Default 0
+          — and generation draws nothing from the stream when 0, the
+          same replay discipline as [p_disk_fault]. *)
+  acceptor_sites : int list;
+      (** the candidate acceptor sites acceptor crashes are drawn from;
+          empty (the default) disables them regardless of probability *)
+  max_acceptor_crashes : int;
+      (** at most this many acceptor crashes per schedule — sweeps set
+          it to the Paxos F so generated schedules stay survivable *)
+  p_lease_fault : float;
+      (** probability of one leader-lease expiry; default 0 (zero draws) *)
 }
 
 let default_profile =
@@ -126,15 +148,21 @@ let default_profile =
     p_hb_loss = 0.0;
     detector_window_min = 4.0;
     detector_window_max = 15.0;
+    p_acceptor_crash = 0.0;
+    acceptor_sites = [];
+    max_acceptor_crashes = 0;
+    p_lease_fault = 0.0;
   }
 
 (* Conservative activity interval of a crash incident, for the ≤ k
    concurrent-failures bound: step- and backup-pinned crashes have no
    a-priori firing time, so they are treated as down from time 0. *)
 let interval = function
-  | Crash { at; _ } -> Some (at, infinity)
+  | Crash { at; _ } | Acceptor_crash { at; _ } -> Some (at, infinity)
   | Step_crash _ | Backup_crash _ -> Some (0.0, infinity)
-  | Recover _ | Partition _ | Msg _ | Disk_fault _ | Delay_window _ | Stall _ | Hb_loss _ -> None
+  | Recover _ | Partition _ | Msg _ | Disk_fault _ | Delay_window _ | Stall _ | Hb_loss _
+  | Lease_fault _ ->
+      None
 
 let close_interval recovery_at = function
   | Some (from_t, _) -> Some (from_t, recovery_at)
@@ -298,7 +326,38 @@ let generate rng ~n_sites ~k profile =
     @ Option.to_list (gen_stall rng ~n_sites profile)
     @ Option.to_list (gen_hb_loss rng ~n_sites profile)
   in
-  crashes @ partition @ detector_faults @ msg_faults
+  (* Paxos-fault draws come after everything else for the same reason the
+     detector draws come after the crash draws: with the knobs at their
+     default 0 this consumes nothing, so every earlier schedule — pinned
+     seeds included — replays byte-identically with the Paxos code
+     compiled in but unselected. *)
+  let paxos_faults =
+    let acceptor_crashes =
+      if profile.p_acceptor_crash > 0.0 && profile.acceptor_sites <> []
+         && profile.max_acceptor_crashes > 0
+      then begin
+        let order = Rng.shuffle rng profile.acceptor_sites in
+        let rec take budget = function
+          | [] -> []
+          | _ when budget = 0 -> []
+          | site :: rest ->
+              if Rng.flip rng ~p:profile.p_acceptor_crash then
+                Acceptor_crash { site; at = Rng.float rng profile.horizon }
+                :: take (budget - 1) rest
+              else take budget rest
+        in
+        take profile.max_acceptor_crashes order
+      end
+      else []
+    in
+    let lease =
+      if profile.p_lease_fault > 0.0 && Rng.flip rng ~p:profile.p_lease_fault then
+        [ Lease_fault { at = Rng.float rng profile.horizon } ]
+      else []
+    in
+    acceptor_crashes @ lease
+  in
+  crashes @ partition @ detector_faults @ msg_faults @ paxos_faults
 
 let to_string schedule =
   String.concat "\n" (List.map show_fault schedule)

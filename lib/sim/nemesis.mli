@@ -31,6 +31,13 @@ type fault =
   | Hb_loss of { site : int; from_t : float; until_t : float }
       (** detector heartbeats from [site] suppressed; protocol traffic
           untouched — the canonical false-suspicion provocation *)
+  | Acceptor_crash of { site : int; at : float }
+      (** timed crash aimed at a Paxos-Commit acceptor site — a [Crash]
+          semantically, distinct so sweeps and the CLI family check can
+          target the replicated coordinator state *)
+  | Lease_fault of { at : float }
+      (** leader-lease expiry: a standby acceptor opens a higher-ballot
+          recovery round while the leader is still alive *)
 [@@deriving show, eq]
 
 type schedule = fault list [@@deriving show, eq]
@@ -73,6 +80,13 @@ type profile = {
   p_hb_loss : float;  (** probability of one heartbeat-loss burst; default 0 *)
   detector_window_min : float;
   detector_window_max : float;
+  p_acceptor_crash : float;
+      (** per-candidate probability an acceptor site crashes; 0 (the
+          default) draws nothing from the stream — the [p_disk_fault]
+          replay discipline *)
+  acceptor_sites : int list;  (** candidate acceptor sites; empty disables *)
+  max_acceptor_crashes : int;  (** cap per schedule — sweeps set it to the Paxos F *)
+  p_lease_fault : float;  (** probability of one leader-lease expiry; default 0 *)
 }
 
 val default_profile : profile

@@ -43,4 +43,5 @@ let () =
       ("detector", Test_detector.suite);
       ("sweep", Test_sweep.suite);
       ("commit-levers", Test_commit_levers.suite);
+      ("paxos", Test_paxos.suite);
     ]

@@ -110,7 +110,7 @@ let test_find () =
   Alcotest.check_raises "unknown protocol"
     (Invalid_argument
        "Catalog.find: unknown protocol \"nope\" (known: 1pc, central-2pc, decentralized-2pc, \
-        central-3pc, decentralized-3pc)") (fun () -> ignore (C.find "nope"))
+        central-3pc, decentralized-3pc, paxos-commit)") (fun () -> ignore (C.find "nope"))
 
 let test_hasty_variant () =
   let p = C.central_2pc_hasty 3 in

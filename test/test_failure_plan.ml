@@ -33,7 +33,8 @@ let test_round_trip_every_clause () =
       ~delay_spikes:[ { FP.d_site = 2; d_from = 3.0; d_until = 9.75; d_extra = 2.5 } ]
       ~stalls:[ { FP.w_site = 1; w_from = 4.0; w_until = 14.5 } ]
       ~hb_losses:[ { FP.w_site = 3; w_from = 0.25; w_until = 60.0 } ]
-      ()
+      ~acceptor_crashes:[ (3, 2.0); (5, 4.75) ]
+      ~lease_faults:[ 1.25; 8.0 ] ()
   in
   Alcotest.check plan "round trip" p (FP.of_string_exn (FP.to_string p))
 
@@ -65,7 +66,14 @@ let test_parse_pinned_syntax () =
     (FP.make ~stalls:[ { FP.w_site = 2; w_from = 4.0; w_until = 14.0 } ] ());
   Alcotest.check plan "hb-loss clause parses"
     (FP.of_string_exn "hb-loss site=3 from=1 until=60")
-    (FP.make ~hb_losses:[ { FP.w_site = 3; w_from = 1.0; w_until = 60.0 } ] ())
+    (FP.make ~hb_losses:[ { FP.w_site = 3; w_from = 1.0; w_until = 60.0 } ] ());
+  (* the Paxos-Commit clauses a paxos counterexample prints in *)
+  Alcotest.check plan "acceptor-crash clause parses"
+    (FP.of_string_exn "acceptor-crash site=5 at=2")
+    (FP.make ~acceptor_crashes:[ (5, 2.0) ] ());
+  Alcotest.check plan "lease-fault clause parses"
+    (FP.of_string_exn "lease-fault at=1.89")
+    (FP.make ~lease_faults:[ 1.89 ] ())
 
 let test_parse_error () =
   Alcotest.check_raises "garbage raises Parse_error"
@@ -93,6 +101,10 @@ let test_of_string_is_total () =
       ("stall site=2 from=now until=9", "from");
       ("stall from=3 until=9", "site");
       ("hb-loss site=3 from=1 until=never", "until");
+      ("acceptor-crash at=2", "site");
+      ("acceptor-crash site=5 at=soon", "at");
+      ("lease-fault", "at");
+      ("lease-fault at=whenever", "at");
     ]
   in
   let contains s sub =
@@ -166,9 +178,12 @@ let gen_plan =
   in
   let* stalls = small_list window in
   let* hb_losses = small_list window in
+  let* acceptor_crashes = small_list (pair site tf) in
+  let* lease_faults = small_list tf in
   return
     (FP.make ~step_crashes ~timed_crashes ~recoveries ~move_crashes ~decide_crashes ~partitions
-       ~msg_faults ~disk_faults ~delay_spikes ~stalls ~hb_losses ())
+       ~msg_faults ~disk_faults ~delay_spikes ~stalls ~hb_losses ~acceptor_crashes ~lease_faults
+       ())
 
 let prop_round_trip =
   Helpers.qtest "of_string (to_string p) = p" gen_plan (fun p ->
@@ -182,9 +197,27 @@ let prop_fault_count_matches_clauses =
         + List.length p.FP.decide_crashes + List.length p.FP.partitions
         + List.length p.FP.msg_faults + List.length p.FP.disk_faults
         + List.length p.FP.delay_spikes + List.length p.FP.stalls
-        + List.length p.FP.hb_losses
+        + List.length p.FP.hb_losses + List.length p.FP.acceptor_crashes
+        + List.length p.FP.lease_faults
       in
       FP.fault_count p = clauses)
+
+let prop_unsupported_clauses_partition_by_family =
+  (* the CLI's family gate: on any mixed plan, 2PC rejects exactly the
+     termination + paxos clauses, 3PC exactly the paxos clauses, Paxos
+     exactly the move-crash (termination phase 1) clauses — and every
+     family accepts a plan stripped of the clauses it names *)
+  Helpers.qtest "unsupported_clauses partitions any mixed plan" gen_plan (fun p ->
+      let count protocol = List.length (FP.unsupported_clauses ~protocol p) in
+      count "central-2pc"
+      = List.length p.FP.move_crashes + List.length p.FP.decide_crashes
+        + List.length p.FP.acceptor_crashes + List.length p.FP.lease_faults
+      && count "central-3pc" = List.length p.FP.acceptor_crashes + List.length p.FP.lease_faults
+      && count "paxos-commit" = List.length p.FP.move_crashes
+      && FP.unsupported_clauses ~protocol:"paxos-commit" { p with FP.move_crashes = [] } = []
+      && FP.unsupported_clauses ~protocol:"central-3pc"
+           { p with FP.acceptor_crashes = []; lease_faults = [] }
+         = [])
 
 (* ---------------- of_schedule ---------------- *)
 
@@ -235,6 +268,7 @@ let suite =
     Alcotest.test_case "of_string is total on malformed input" `Quick test_of_string_is_total;
     prop_round_trip;
     prop_fault_count_matches_clauses;
+    prop_unsupported_clauses_partition_by_family;
     Alcotest.test_case "of_schedule maps each fault kind" `Quick test_of_schedule_mapping;
     prop_of_schedule_round_trips_textually;
   ]

@@ -81,9 +81,9 @@ let prop_k_zero_no_crashes =
   Helpers.qtest "k=0 generates no crash incidents" (QCheck2.Gen.int_range 0 2_000) (fun seed ->
       List.for_all
         (function
-          | N.Crash _ | N.Step_crash _ | N.Backup_crash _ -> false
+          | N.Crash _ | N.Step_crash _ | N.Backup_crash _ | N.Acceptor_crash _ -> false
           | N.Recover _ | N.Partition _ | N.Msg _ | N.Disk_fault _ | N.Delay_window _ | N.Stall _
-          | N.Hb_loss _ ->
+          | N.Hb_loss _ | N.Lease_fault _ ->
               true)
         (N.generate (Sim.Rng.create ~seed) ~n_sites:3 ~k:0 N.default_profile))
 
