@@ -112,8 +112,7 @@ let kv_row (protocol, label, n, k, seeds, expected_blocking) =
     ]
 
 let full () =
-  let report = Sim.Report.create () in
-  Sim.Report.add report "schema_version" (Sim.Json.Int 1);
+  let report = Sim.Report.create ~bench_name:"chaos" () in
   Sim.Report.add report "chaos" (Sim.Json.List (List.map engine_row engine_configs));
   Sim.Report.add report "chaos_kv" (Sim.Json.List (List.map kv_row kv_configs));
   let file = "BENCH_chaos.json" in

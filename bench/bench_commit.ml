@@ -226,7 +226,7 @@ let run ~n_txns ~loads ~combos ~sweep_seeds ~min_speedup ~file =
       (safety_rows ~seeds:sweep_seeds rb)
   in
   (* report *)
-  let report = Sim.Report.create () in
+  let report = Sim.Report.create ~bench_name:"commit" () in
   Sim.Report.add report "config"
     (J.Obj
        [

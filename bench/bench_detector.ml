@@ -235,8 +235,7 @@ let fencing_ablation_row () =
 (* ---------------- full bench ---------------- *)
 
 let full () =
-  let report = Sim.Report.create () in
-  Sim.Report.add report "schema_version" (Sim.Json.Int 1);
+  let report = Sim.Report.create ~bench_name:"detector" () in
   Sim.Report.add report "timeout_sweep"
     (Sim.Json.List (List.map (timeout_row ~seeds:150) [ 2.0; 3.0; 5.0; 8.0; 12.0 ]));
   let engine_row, suspicion, _ = engine_detector_sweep ~seeds:500 in

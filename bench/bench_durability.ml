@@ -287,8 +287,7 @@ let lost_flush_rows () =
 (* ---------------- full bench ---------------- *)
 
 let full () =
-  let report = Sim.Report.create () in
-  Sim.Report.add report "schema_version" (Sim.Json.Int 1);
+  let report = Sim.Report.create ~bench_name:"durability" () in
   Sim.Report.add report "codec"
     (Sim.Json.List
        [

@@ -271,7 +271,7 @@ let run ~smoke =
   check "engine f=2 sweep not clean" (e2_failing = 0);
   check "kv f=1 sweep not clean" (kv_failing = 0);
 
-  let report = Sim.Report.create () in
+  let report = Sim.Report.create ~bench_name:"paxos" () in
   Sim.Report.add report "smoke" (Sim.Json.Bool smoke);
   Sim.Report.add report "cost" (Sim.Json.List (List.map (fun (_, _, j) -> j) costs));
   Sim.Report.add report "fault_matrix" (Sim.Json.List (List.map snd cells));

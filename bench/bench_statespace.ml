@@ -159,7 +159,7 @@ let bench_speedup () =
     speedup_configs
 
 let full () =
-  let report = Sim.Report.create () in
+  let report = Sim.Report.create ~bench_name:"statespace" () in
   Sim.Report.add report "reachability" (Sim.Json.List (bench_reachability ()));
   Sim.Report.add report "model_check" (Sim.Json.List (bench_model_check ()));
   Sim.Report.add report "speedup_vs_reference" (Sim.Json.List (bench_speedup ()));

@@ -86,8 +86,7 @@ let kv_row ~seeds ~seq_wall ~seq_fp (workers, summary, wall) =
     ]
 
 let write_report ~engine_rows ~kv_rows ~file =
-  let report = Sim.Report.create () in
-  Sim.Report.add report "schema_version" (Sim.Json.Int 1);
+  let report = Sim.Report.create ~bench_name:"sweep" () in
   Sim.Report.add report "host"
     (Sim.Json.Obj [ ("available_workers", Sim.Json.Int (Sim.Sweep.available_workers ())) ]);
   Sim.Report.add report "chaos" (Sim.Json.List engine_rows);

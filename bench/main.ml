@@ -135,7 +135,7 @@ let report_file = "BENCH_results.json"
 let () =
   let argv = Array.to_list Sys.argv in
   let want s = List.mem s argv in
-  let report = Sim.Report.create () in
+  let report = Sim.Report.create ~bench_name:"results" () in
   let ok = if want "micro" && not (want "experiments") then true else Experiments.run_all () in
   Sim.Report.add report "experiments" (Experiments.results_json ());
   if (not (want "experiments")) || want "micro" then begin

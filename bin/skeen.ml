@@ -9,6 +9,7 @@
     - [synthesize]  apply the buffer-state transformation to a 2PC protocol
     - [simulate]    execute a transaction with optional crash injection
     - [chaos]       randomized fault schedules + oracles + shrinking
+    - [explore]     coverage-guided fault-space search over a plan corpus
     - [bank]        run the bank workload on the KV store *)
 
 open Cmdliner
@@ -696,6 +697,197 @@ let chaos_cmd =
       $ heartbeat_arg $ suspicion_arg $ election_arg $ presumption_arg $ read_only_opt_arg
       $ group_commit_arg $ pipeline_arg $ sync_latency_arg $ metrics_json_arg)
 
+(* ---------------- explore ---------------- *)
+
+let explore_cmd =
+  let protocol_opt =
+    Arg.(
+      required
+      & opt (some protocol_conv) None
+      & info [ "protocol" ] ~docv:"PROTOCOL"
+          ~doc:
+            "Protocol: central-2pc, decentralized-2pc, central-3pc, decentralized-3pc \
+             (engine harness); with $(b,--kv) also paxos-commit.")
+  in
+  let kv_arg =
+    Arg.(
+      value & flag
+      & info [ "kv" ]
+          ~doc:
+            "Explore the database harness instead of a bare protocol instance: plans run \
+             against the bank-transfer workload under the kv oracles.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "budget" ] ~docv:"B" ~doc:"Number of plans to execute (mutants or random).")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("guided", `Guided); ("random", `Random) ]) `Guided
+      & info [ "mode" ] ~docv:"guided|random"
+          ~doc:
+            "guided: mutate the novelty-ranked corpus; random: the classic chaos sweep at \
+             the same budget (the baseline the bench compares against).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Corpus directory: existing *.plan files seed the search, and the final corpus \
+             (plus bug-*.plan shrunk violations) is written back, one replayable \
+             $(b,Failure_plan.to_string) line per file.")
+  in
+  let replay_arg =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Replay every *.plan in $(b,--corpus) once instead of searching, and report each \
+             plan's oracle verdicts — the corpus regression check.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"W"
+          ~doc:
+            "Evaluate candidate plans across W domains.  Candidates are derived and folded \
+             sequentially, so the search result is byte-identical whatever W is.")
+  in
+  let f_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "f" ] ~docv:"F" ~doc:"Paxos Commit only: tolerated acceptor failures.")
+  in
+  let k_arg =
+    Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Maximum concurrent failures to inject.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Root seed of the search stream.")
+  in
+  let storms_arg =
+    Arg.(
+      value & flag
+      & info [ "storms" ]
+          ~doc:
+            "Arm crash-recover storms in the random baseline's fault profile (guided \
+             mutations can always add storm clauses).")
+  in
+  let run label n f k budget mode corpus replay workers kv seed storms =
+    let storm_profile base =
+      if storms then { base with Sim.Nemesis.p_storm = 0.7 } else base
+    in
+    let harness =
+      if kv then begin
+        let protocol =
+          match label with
+          | "central-2pc" -> Kv.Node.Two_phase
+          | "central-3pc" -> Kv.Node.Three_phase
+          | "paxos-commit" -> Kv.Node.Paxos f
+          | other ->
+              Fmt.epr
+                "skeen explore --kv: unsupported protocol %s (use central-2pc, central-3pc \
+                 or paxos-commit)@."
+                other;
+              exit 2
+        in
+        let n_sites = if n = 3 then 4 else n in
+        Helpers_bench.kv_harness ~protocol ~n_sites ~fencing:true
+          ~profile:(storm_profile Kv.Chaos_db.default_profile)
+          ~k ()
+      end
+      else if label = "paxos-commit" then begin
+        Fmt.epr
+          "skeen explore: the engine harness does not cover paxos-commit; use --kv \
+           --protocol paxos-commit@.";
+        exit 2
+      end
+      else
+        Engine.Explore.engine_harness
+          ~profile:(storm_profile Sim.Nemesis.default_profile)
+          ~k
+          (Engine.Rulebook.compile (build label n))
+    in
+    if replay then begin
+      match corpus with
+      | None ->
+          Fmt.epr "skeen explore: --replay needs --corpus DIR@.";
+          exit 2
+      | Some dir ->
+          let entries = Engine.Explore.load_corpus ~dir in
+          if entries = [] then begin
+            Fmt.epr "skeen explore: no *.plan files under %s@." dir;
+            exit 2
+          end;
+          let reports = Engine.Explore.replay ~workers harness (List.map snd entries) in
+          let tripped = ref 0 in
+          List.iter2
+            (fun (name, _) (plan, report) ->
+              let vs = report.Engine.Explore.violations in
+              if vs <> [] then incr tripped;
+              Fmt.pr "%s: %s@.  plan: %s@." name
+                (if vs = [] then "clean"
+                 else
+                   String.concat ", "
+                     (List.map (fun (o, d) -> Printf.sprintf "%s (%s)" o d) vs))
+                (match Engine.Failure_plan.to_string plan with "" -> "(no faults)" | s -> s))
+            entries reports;
+          Fmt.pr "@.%d/%d plans tripped an oracle@." !tripped (List.length entries)
+    end
+    else begin
+      let initial =
+        match corpus with
+        | Some dir -> List.map snd (Engine.Explore.load_corpus ~dir)
+        | None -> []
+      in
+      if initial <> [] then
+        Fmt.epr "seeding the search from %d corpus plan(s)@." (List.length initial);
+      let progress ~runs ~coverage ~bugs =
+        Fmt.epr "  %d/%d runs, %d features, %d distinct bugs@." runs budget coverage bugs
+      in
+      let result, wall =
+        Sim.Clock.time (fun () ->
+            Engine.Explore.search ~workers ~seed ~initial ~progress harness ~mode ~budget ())
+      in
+      Fmt.pr "%s %s: %d runs, %d coverage features, corpus %d, %d violating runs (%.2f s)@."
+        result.Engine.Explore.harness_name
+        (Engine.Explore.mode_name result.Engine.Explore.mode)
+        result.Engine.Explore.runs result.Engine.Explore.coverage
+        (List.length result.Engine.Explore.corpus)
+        result.Engine.Explore.violating_runs wall;
+      List.iter
+        (fun (b : Engine.Explore.bug) ->
+          Fmt.pr "@.bug (%s, first at run %d): %s@.  shrunk (%d faults, %d shrink runs): %s@."
+            b.Engine.Explore.bug_oracle b.Engine.Explore.bug_found_at
+            b.Engine.Explore.bug_detail
+            (Engine.Failure_plan.fault_count b.Engine.Explore.bug_shrunk)
+            b.Engine.Explore.bug_shrink_runs
+            (match Engine.Failure_plan.to_string b.Engine.Explore.bug_shrunk with
+            | "" -> "(no faults)"
+            | s -> s))
+        result.Engine.Explore.bugs;
+      match corpus with
+      | Some dir ->
+          Engine.Explore.save_corpus ~dir result;
+          Fmt.pr "@.corpus saved to %s@." dir
+      | None -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Coverage-guided exploration of the fault-schedule space: plans that exercise unseen \
+          protocol behaviour join a corpus, mutants of corpus entries (add/remove/retime/\
+          retarget a fault, widen a window, add a crash-recover storm, splice two plans) are \
+          scheduled next, violations are shrunk to minimal replayable plans.  The corpus \
+          persists as *.plan text files for $(b,--replay) or pinned regression tests.")
+    Term.(
+      const run $ protocol_opt $ sites_arg $ f_arg $ k_arg $ budget_arg $ mode_arg $ corpus_arg
+      $ replay_arg $ workers_arg $ kv_arg $ seed_arg $ storms_arg)
+
 (* ---------------- model-check ---------------- *)
 
 let model_check_cmd =
@@ -908,6 +1100,7 @@ let () =
             synthesize_cmd;
             simulate_cmd;
             chaos_cmd;
+            explore_cmd;
             model_check_cmd;
             check_cmd;
             election_cmd;

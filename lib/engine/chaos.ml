@@ -281,6 +281,61 @@ let aggregate_run_metrics m result =
       done)
     (Sim.Metrics.buckets rm "suspicion_latency")
 
+(* ---------------- coverage fingerprints ---------------- *)
+
+(* The run's behavioural signature for the coverage-guided explorer
+   ({!Explore}): per-site-class protocol-state edges walked by the
+   stable log — read post hoc from the WAL store, so the runtime's
+   metrics stay byte-identical to every pinned expectation — plus
+   terminal outcomes, bucketed detector/election activity and oracle
+   near-miss flags.  Everything here is deterministic in the run; no
+   wall-clock measurement may leak in. *)
+let fingerprint_of (result : Runtime.result) =
+  let open Sim.Coverage in
+  let site_features (r : Runtime.site_report) =
+    let class_ = if r.site = 1 then "coord" else "part" in
+    let labels =
+      List.map
+        (function
+          | Wal.Began { initial; _ } -> initial
+          | Wal.Transitioned { to_state; vote } -> (
+              match vote with
+              | Some Core.Types.Yes -> to_state ^ "+y"
+              | Some Core.Types.No -> to_state ^ "+n"
+              | None -> to_state)
+          | Wal.Moved { to_state } -> "mv-" ^ to_state
+          | Wal.Decided o -> "dec-" ^ outcome_str o)
+        (Wal.records (Wal.Store.log result.store ~site:r.site))
+    in
+    let rec edges = function
+      | a :: (b :: _ as rest) -> edge ~class_ a b :: edges rest
+      | [] | [ _ ] -> []
+    in
+    edges labels
+    @ [
+        feat ("final-" ^ class_) r.final_state;
+        feat ("end-" ^ class_)
+          (Printf.sprintf "%s%s%s"
+             (match effective r with Some o -> outcome_str o | None -> "undecided")
+             (if r.ever_crashed then "+crashed" else "")
+             (if r.operational then "" else "+down"));
+      ]
+  in
+  List.concat_map site_features result.reports
+  @ [
+      feat "outcome"
+        (match result.global_outcome with Some o -> outcome_str o | None -> "none");
+      feat "consistent" (string_of_bool result.consistent);
+      feat "blocked" (bucket result.blocked_operational);
+      feat "epochs" (bucket (List.length result.directive_epochs));
+      feat "epoch-sites"
+        (bucket
+           (List.length (List.sort_uniq compare (List.map fst result.directive_epochs))));
+    ]
+  @ List.map
+      (fun name -> feat name (bucket (Sim.Metrics.counter result.run_metrics name)))
+      detector_counter_names
+
 let run_plan ?metrics ?(until = 1500.0) ?(termination = Runtime.Skeen) ?(tracing = false)
     ?presumption ?read_only ?group_commit ?sync_latency ?(late_force = false) ?detector
     ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing rulebook ~plan ~seed () =
@@ -336,6 +391,25 @@ let removal_candidates (p : Failure_plan.t) =
       (fun i _ -> { p with acceptor_crashes = remove_nth i p.acceptor_crashes })
       p.acceptor_crashes
   @ List.mapi (fun i _ -> { p with lease_faults = remove_nth i p.lease_faults }) p.lease_faults
+  @ List.mapi (fun i _ -> { p with storms = remove_nth i p.storms }) p.storms
+  (* a storm is one discrete fault but has an internal dimension: also
+     offer each storm with one fewer wave, so a wedge that needs only the
+     first crash/recover cycle shrinks past the whole-storm clause *)
+  @ List.concat
+      (List.mapi
+         (fun i (s : Failure_plan.storm_spec) ->
+           if s.s_waves > 1 then
+             [
+               {
+                 p with
+                 storms =
+                   List.mapi
+                     (fun j s' -> if j = i then { s with s_waves = s.s_waves - 1 } else s')
+                     p.storms;
+               };
+             ]
+           else [])
+         p.storms)
 
 (* Round every non-integral fault time, one at a time, so the minimal
    counterexample reads "crash site=1 at=2" rather than "at=2.0386...". *)
@@ -399,6 +473,14 @@ let rounding_candidates (p : Failure_plan.t) =
       (fun at -> if Float.round at <> at then Some (Float.round at) else None)
       (fun l -> { p with lease_faults = l })
       p.lease_faults
+  @ rounded
+      (fun (s : storm_spec) ->
+        (* only the start time: rounding period/down could break the
+           down < period invariant the storm model relies on *)
+        if Float.round s.s_first <> s.s_first then Some { s with s_first = Float.round s.s_first }
+        else None)
+      (fun l -> { p with storms = l })
+      p.storms
 
 let shrink ?metrics ?until ?termination ?presumption ?read_only ?group_commit ?sync_latency
     ?late_force ?detector ?heartbeat_period ?suspicion_timeout ?election_timeout ?fencing

@@ -68,6 +68,14 @@ val violations_of :
     durability oracles (their log is volatile by design and they are
     excluded from termination). *)
 
+val fingerprint_of : Runtime.result -> string list
+(** The run's behavioural signature for the coverage-guided explorer
+    ({!Explore}): per-site-class protocol-state edges walked by the
+    stable log (read post hoc from the WAL store — the runtime's metrics
+    stay untouched), terminal outcomes, bucketed detector/election
+    activity ({!Sim.Coverage.bucket}) and oracle near-miss flags.
+    Deterministic in the run. *)
+
 val run_plan :
   ?metrics:Sim.Metrics.t ->
   ?until:float ->

@@ -47,6 +47,15 @@ type delay_spec = {
 type window_spec = { w_site : Core.Types.site; w_from : float; w_until : float }
 [@@deriving show { with_path = false }, eq]
 
+type storm_spec = {
+  s_site : Core.Types.site;
+  s_first : float;  (** first wave's crash time *)
+  s_waves : int;
+  s_period : float;  (** crash-to-crash spacing between waves *)
+  s_down : float;  (** downtime per wave, [< s_period] *)
+}
+[@@deriving show { with_path = false }, eq]
+
 type t = {
   step_crashes : step_crash list;
   timed_crashes : (Core.Types.site * float) list;
@@ -72,6 +81,9 @@ type t = {
   lease_faults : float list;
       (** leader-lease expiries: at each time a standby acceptor opens a
           higher-ballot recovery round while the leader is still alive *)
+  storms : storm_spec list;
+      (** crash-recover storms: repeated crash/recover waves on one site,
+          expanded at lowering time via {!Sim.Nemesis.storm_events} *)
 }
 [@@deriving show { with_path = false }, eq]
 
@@ -90,12 +102,13 @@ let none =
     hb_losses = [];
     acceptor_crashes = [];
     lease_faults = [];
+    storms = [];
   }
 
 let make ?(step_crashes = []) ?(timed_crashes = []) ?(recoveries = []) ?(move_crashes = [])
     ?(decide_crashes = []) ?(partitions = []) ?(msg_faults = []) ?(disk_faults = [])
     ?(delay_spikes = []) ?(stalls = []) ?(hb_losses = []) ?(acceptor_crashes = [])
-    ?(lease_faults = []) () =
+    ?(lease_faults = []) ?(storms = []) () =
   {
     step_crashes;
     timed_crashes;
@@ -110,6 +123,7 @@ let make ?(step_crashes = []) ?(timed_crashes = []) ?(recoveries = []) ?(move_cr
     hb_losses;
     acceptor_crashes;
     lease_faults;
+    storms;
   }
 
 (** [crash_at_step ~site ~step ~mode] : the simplest single-crash plan. *)
@@ -119,10 +133,16 @@ let find_step_crash t ~site ~step =
   List.find_opt (fun c -> c.site = site && c.step = step) t.step_crashes
   |> Option.map (fun c -> c.mode)
 
+let storm_events (s : storm_spec) =
+  Sim.Nemesis.storm_events
+    (Sim.Nemesis.Storm
+       { site = s.s_site; first = s.s_first; waves = s.s_waves; period = s.s_period; down = s.s_down })
+
 let crashing_sites t =
   List.map (fun c -> c.site) t.step_crashes
   @ List.map fst t.timed_crashes @ List.map fst t.move_crashes @ List.map fst t.decide_crashes
   @ List.map fst t.acceptor_crashes
+  @ List.map (fun s -> s.s_site) t.storms
   |> List.sort_uniq compare
 
 let fault_count t =
@@ -130,7 +150,7 @@ let fault_count t =
   + List.length t.move_crashes + List.length t.decide_crashes + List.length t.partitions
   + List.length t.msg_faults + List.length t.disk_faults + List.length t.delay_spikes
   + List.length t.stalls + List.length t.hb_losses + List.length t.acceptor_crashes
-  + List.length t.lease_faults
+  + List.length t.lease_faults + List.length t.storms
 
 (** Lower a generated {!Sim.Nemesis} schedule into a plan the runtime can
     execute.  Order within each fault family is preserved. *)
@@ -177,8 +197,65 @@ let of_schedule (schedule : Sim.Nemesis.schedule) =
       | Sim.Nemesis.Acceptor_crash { site; at } ->
           { plan with acceptor_crashes = plan.acceptor_crashes @ [ (site, at) ] }
       | Sim.Nemesis.Lease_fault { at } ->
-          { plan with lease_faults = plan.lease_faults @ [ at ] })
+          { plan with lease_faults = plan.lease_faults @ [ at ] }
+      | Sim.Nemesis.Storm { site; first; waves; period; down } ->
+          {
+            plan with
+            storms =
+              plan.storms
+              @ [ { s_site = site; s_first = first; s_waves = waves; s_period = period; s_down = down } ];
+          })
     none schedule
+
+(** Inverse of {!of_schedule} on its image: rebuild a {!Sim.Nemesis}
+    schedule from a plan, family-grouped in clause order.  The only lossy
+    corner is [After_transition] step crashes, which {!of_schedule} never
+    produces — they lower to a before-transition crash of the same step.
+    This is what lets the kv harness (which consumes schedules, not
+    plans) replay corpus entries persisted as plan text. *)
+let to_schedule t =
+  List.map
+    (fun c ->
+      let sent =
+        match c.mode with
+        | Before_transition | After_transition -> None
+        | After_logging k -> Some k
+      in
+      Sim.Nemesis.Step_crash { site = c.site; step = c.step; sent })
+    t.step_crashes
+  @ List.map (fun (site, at) -> Sim.Nemesis.Crash { site; at }) t.timed_crashes
+  @ List.map (fun (site, at) -> Sim.Nemesis.Recover { site; at }) t.recoveries
+  @ List.map
+      (fun (site, sent) -> Sim.Nemesis.Backup_crash { site; phase = Sim.Nemesis.Move; sent })
+      t.move_crashes
+  @ List.map
+      (fun (site, sent) -> Sim.Nemesis.Backup_crash { site; phase = Sim.Nemesis.Decide; sent })
+      t.decide_crashes
+  @ List.map
+      (fun p -> Sim.Nemesis.Partition { from_t = p.from_t; until_t = p.until_t; groups = p.groups })
+      t.partitions
+  @ List.map (fun (nth, fault) -> Sim.Nemesis.Msg { nth; fault }) t.msg_faults
+  @ List.map
+      (fun (site, { Sim.Disk.fault; nth }) -> Sim.Nemesis.Disk_fault { site; fault; nth })
+      t.disk_faults
+  @ List.map
+      (fun d ->
+        Sim.Nemesis.Delay_window
+          { site = d.d_site; from_t = d.d_from; until_t = d.d_until; extra = d.d_extra })
+      t.delay_spikes
+  @ List.map
+      (fun w -> Sim.Nemesis.Stall { site = w.w_site; from_t = w.w_from; until_t = w.w_until })
+      t.stalls
+  @ List.map
+      (fun w -> Sim.Nemesis.Hb_loss { site = w.w_site; from_t = w.w_from; until_t = w.w_until })
+      t.hb_losses
+  @ List.map (fun (site, at) -> Sim.Nemesis.Acceptor_crash { site; at }) t.acceptor_crashes
+  @ List.map (fun at -> Sim.Nemesis.Lease_fault { at }) t.lease_faults
+  @ List.map
+      (fun s ->
+        Sim.Nemesis.Storm
+          { site = s.s_site; first = s.s_first; waves = s.s_waves; period = s.s_period; down = s.s_down })
+      t.storms
 
 (* ------------------------------------------------------------------ *)
 (* Textual round-trip.  One clause per fault, "; "-separated, so a
@@ -246,6 +323,11 @@ let clause_strings t =
       (fun (s, at) -> Printf.sprintf "acceptor-crash site=%d at=%s" s (float_str at))
       t.acceptor_crashes
   @ List.map (fun at -> Printf.sprintf "lease-fault at=%s" (float_str at)) t.lease_faults
+  @ List.map
+      (fun s ->
+        Printf.sprintf "storm site=%d first=%s waves=%d period=%s down=%s" s.s_site
+          (float_str s.s_first) s.s_waves (float_str s.s_period) (float_str s.s_down))
+      t.storms
 
 let to_string t = String.concat "; " (clause_strings t)
 
@@ -374,6 +456,17 @@ let parse_clause plan clause =
           { plan with acceptor_crashes = plan.acceptor_crashes @ [ c ] }
       | "lease-fault" ->
           { plan with lease_faults = plan.lease_faults @ [ float_of "at" (get "at" kvs) ] }
+      | "storm" ->
+          let s =
+            {
+              s_site = int_of "site" (get "site" kvs);
+              s_first = float_of "first" (get "first" kvs);
+              s_waves = int_of "waves" (get "waves" kvs);
+              s_period = float_of "period" (get "period" kvs);
+              s_down = float_of "down" (get "down" kvs);
+            }
+          in
+          { plan with storms = plan.storms @ [ s ] }
       | v -> parse_fail "unknown fault kind: %S" v)
 
 (** Inverse of {!to_string}; clauses separated by ';' or newlines.

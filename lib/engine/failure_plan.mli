@@ -38,6 +38,17 @@ type window_spec = { w_site : Core.Types.site; w_from : float; w_until : float }
 val pp_window_spec : Format.formatter -> window_spec -> unit
 val equal_window_spec : window_spec -> window_spec -> bool
 
+type storm_spec = {
+  s_site : Core.Types.site;
+  s_first : float;  (** first wave's crash time *)
+  s_waves : int;
+  s_period : float;  (** crash-to-crash spacing between waves *)
+  s_down : float;  (** downtime per wave, [< s_period] *)
+}
+
+val pp_storm_spec : Format.formatter -> storm_spec -> unit
+val equal_storm_spec : storm_spec -> storm_spec -> bool
+
 type t = {
   step_crashes : step_crash list;
   timed_crashes : (Core.Types.site * float) list;
@@ -59,6 +70,9 @@ type t = {
   lease_faults : float list;
       (** leader-lease expiries: a standby acceptor opens a higher-ballot
           recovery round while the leader is still alive *)
+  storms : storm_spec list;
+      (** crash-recover storms: repeated crash/recover waves on one site,
+          expanded at lowering time via {!Sim.Nemesis.storm_events} *)
 }
 
 val pp : Format.formatter -> t -> unit
@@ -79,6 +93,7 @@ val make :
   ?hb_losses:window_spec list ->
   ?acceptor_crashes:(Core.Types.site * float) list ->
   ?lease_faults:float list ->
+  ?storms:storm_spec list ->
   unit ->
   t
 
@@ -87,6 +102,11 @@ val crash_at_step : site:Core.Types.site -> step:int -> mode:crash_mode -> t
 
 val find_step_crash : t -> site:Core.Types.site -> step:int -> crash_mode option
 val crashing_sites : t -> Core.Types.site list
+
+val storm_events : storm_spec -> (Core.Types.site * float * float) list
+(** [(site, crash_at, recover_at)] per wave — {!Sim.Nemesis.storm_events}
+    on the spec, so runtimes lower plan storms exactly as the kv chaos
+    layer lowers schedule storms. *)
 
 val fault_count : t -> int
 (** Total number of discrete faults (every clause counts, recoveries
@@ -97,6 +117,14 @@ val of_schedule : Sim.Nemesis.schedule -> t
     [Step_crash] becomes a [step_crash] ([sent = None] ⇒
     [Before_transition], [Some j] ⇒ [After_logging j]), [Backup_crash]
     becomes a move/decide crash, and the rest map one-to-one. *)
+
+val to_schedule : t -> Sim.Nemesis.schedule
+(** Inverse of {!of_schedule} on its image, family-grouped in clause
+    order — [of_schedule (to_schedule p) = p] for any plan without
+    [After_transition] step crashes (which {!of_schedule} never emits;
+    they lower, lossily, to a before-transition crash).  Lets harnesses
+    that consume schedules — the kv chaos layer — replay corpus entries
+    persisted as plan text. *)
 
 exception Parse_error of string
 

@@ -677,6 +677,14 @@ let run (cfg : config) : Runtime.result =
     (fun (s, at) -> Sim.World.schedule_recovery world ~at s)
     cfg.plan.Failure_plan.recoveries;
   List.iter
+    (fun (st : Failure_plan.storm_spec) ->
+      List.iter
+        (fun (site, crash_at, recover_at) ->
+          Sim.World.schedule_crash world ~at:crash_at site;
+          Sim.World.schedule_recovery world ~at:recover_at site)
+        (Failure_plan.storm_events st))
+    cfg.plan.Failure_plan.storms;
+  List.iter
     (fun at ->
       List.iter (fun site -> Sim.World.inject world ~dst:site ~at Lease_expire) (all_sites t))
     cfg.plan.Failure_plan.lease_faults;

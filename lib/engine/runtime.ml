@@ -853,16 +853,19 @@ module Exec = struct
     | Msg.Query_outcome ->
         (match rt.outcome with Some o -> rt.announced <- Some o | None -> ());
         Sim.World.send ctx ~dst:src (Msg.Outcome_reply rt.outcome);
-        (* Under the timeout detector a peer's query is harder failure
-           evidence than any timeout: only a site that abandoned the
-           normal FSA path (crashed and recovered, or frozen by a
-           termination directive) queries, so it will never send the
-           protocol message this site may still be waiting for.  A
-           chaos-delayed pre-crash heartbeat can mask a crash-and-recover
-           window from every detector, leaving an undecided coordinator
-           waiting forever on a vote or ack the querier lost — the query
-           itself is the one signal that cannot be masked. *)
-        if t.cfg.detector && rt.outcome = None && not (List.mem src rt.down_view) then begin
+        (* A peer's query is harder failure evidence than any report:
+           only a site that abandoned the normal FSA path (crashed and
+           recovered, or frozen by a termination directive) queries, so
+           it will never send the protocol message this site may still
+           be waiting for.  Both failure-signal sources can miss the
+           crash behind such a query: the oracle samples liveness after
+           [detection_delay], so a crash-recover window shorter than the
+           delay produces no report at all, and under the timeout
+           detector a chaos-delayed pre-crash heartbeat masks the same
+           window.  Either way an undecided coordinator would wait
+           forever on a vote or ack the querier lost — the query itself
+           is the one signal that cannot be masked. *)
+        if rt.outcome = None && not (List.mem src rt.down_view) then begin
           record t "site %d treats site %d's outcome query as failure evidence" rt.site src;
           handle_peer_down t ctx src
         end
@@ -1002,6 +1005,28 @@ module Exec = struct
               record t "site %d recovers after voting yes: must ask peers" rt.site;
               enter_stalled t ctx rt
             end));
+    (* A crash-recover window shorter than the detection delay is
+       invisible: the oracle samples liveness when the report comes due,
+       finds the site back up, and stays silent, so peers never run the
+       termination protocol and keep waiting on whatever message died
+       with the crash.  When the stable log let this site resolve
+       locally (a [Decided] record, a final logged state, or the
+       unilateral abort above), re-announce the outcome: [Decide] is
+       idempotent, and the broadcast replaces the phase the crash
+       swallowed.  A site that could not resolve locally stalls and
+       queries instead, and the query-as-failure-evidence rule covers
+       that half of the masked window. *)
+    (match rt.outcome with
+    | Some o ->
+        record t "recovered site %d re-announces %s" rt.site
+          (match o with Core.Types.Committed -> "COMMIT" | Aborted -> "ABORT");
+        rt.announced <- Some o;
+        List.iter
+          (fun dst ->
+            Sim.World.send ctx ~dst
+              (Msg.Decide { outcome = o; epoch = max rt.lead_epoch rt.epoch_seen }))
+          (List.filter (fun s -> s <> rt.site) (Sim.World.sites t.world))
+    | None -> ());
     Sim.Metrics.incr (Sim.World.metrics t.world) "recoveries_processed"
 
   (* wire the site's log into the run: force counters, and a site-bound
@@ -1132,6 +1157,14 @@ let run (cfg : config) : result =
   List.iter
     (fun (s, at) -> Sim.World.schedule_recovery world ~at s)
     cfg.plan.Failure_plan.recoveries;
+  List.iter
+    (fun (st : Failure_plan.storm_spec) ->
+      List.iter
+        (fun (site, crash_at, recover_at) ->
+          Sim.World.schedule_crash world ~at:crash_at site;
+          Sim.World.schedule_recovery world ~at:recover_at site)
+        (Failure_plan.storm_events st))
+    cfg.plan.Failure_plan.storms;
   (match cfg.partition with
   | Some (from_t, until_t, groups) when groups <> [] ->
       Sim.World.schedule_partition world ~from_t ~until_t groups

@@ -86,6 +86,15 @@ let lower (schedule : Sim.Nemesis.schedule) =
           (crashes, recoveries, partitions, msg_faults, disk_faults, w :: windows, leases)
       | Sim.Nemesis.Lease_fault { at } ->
           (crashes, recoveries, partitions, msg_faults, disk_faults, windows, at :: leases)
+      | Sim.Nemesis.Storm _ as s ->
+          (* one discrete fault, many crash/recover pairs: expand through
+             the shared event list so every lowering layer agrees *)
+          let crashes, recoveries =
+            List.fold_left
+              (fun (cs, rs) (site, c, r) -> ((site, c) :: cs, (site, r) :: rs))
+              (crashes, recoveries) (Sim.Nemesis.storm_events s)
+          in
+          (crashes, recoveries, partitions, msg_faults, disk_faults, windows, leases)
       | Sim.Nemesis.Step_crash _ | Sim.Nemesis.Backup_crash _ ->
           (crashes, recoveries, partitions, msg_faults, disk_faults, windows, leases))
     ([], [], [], [], [], [], []) schedule
@@ -95,9 +104,14 @@ let lower (schedule : Sim.Nemesis.schedule) =
 let crash_sites schedule =
   List.filter_map
     (function
-      | Sim.Nemesis.Crash { site; _ } | Sim.Nemesis.Acceptor_crash { site; _ } -> Some site
+      | Sim.Nemesis.Crash { site; _ }
+      | Sim.Nemesis.Acceptor_crash { site; _ }
+      | Sim.Nemesis.Storm { site; _ } ->
+          Some site
       | _ -> None)
     schedule
+
+let storm_pairs schedule = List.concat_map Sim.Nemesis.storm_events schedule
 
 let violations ~(protocol : Node.protocol) ~schedule (r : Db.result) =
   let crashed = crash_sites schedule in
@@ -115,10 +129,12 @@ let violations ~(protocol : Node.protocol) ~schedule (r : Db.result) =
               Some (site, at)
           | _ -> None)
         schedule
+      @ List.map (fun (s, c, _) -> (s, c)) (storm_pairs schedule)
     and recover_times =
       List.filter_map
         (function Sim.Nemesis.Recover { site; at } -> Some (site, at) | _ -> None)
         schedule
+      @ List.map (fun (s, _, r) -> (s, r)) (storm_pairs schedule)
     in
     List.filter
       (fun s -> last crash_times s > last recover_times s)
@@ -239,6 +255,37 @@ let violations ~(protocol : Node.protocol) ~schedule (r : Db.result) =
   in
   atomicity @ progress @ conservation @ durability @ split_brain
 
+(* The run's behavioural signature for the coverage-guided explorer:
+   per-transaction fates, bucketed outcome/conflict/election counters
+   and oracle near-miss flags, all read post hoc from the finished
+   {!Db.result} — no new runtime counters, so pinned metrics stay
+   byte-identical.  Deterministic in the run. *)
+let fingerprint_of (r : Db.result) =
+  let open Sim.Coverage in
+  let fate_str = function
+    | Db.Fate_committed -> "committed"
+    | Db.Fate_aborted -> "aborted"
+    | Db.Fate_pending -> "pending"
+  in
+  List.map (fun (txn, fate) -> feat (Printf.sprintf "fate%d" txn) (fate_str fate)) r.Db.fates
+  @ [
+      feat "committed" (bucket r.Db.committed);
+      feat "aborted" (bucket r.Db.aborted);
+      feat "pending" (bucket r.Db.pending);
+      feat "deadlock-aborts" (bucket r.Db.deadlock_aborts);
+      feat "in-doubt" (bucket (List.length r.Db.in_doubt));
+      feat "missing-applied" (bucket (List.length r.Db.missing_applied));
+      feat "contradiction" (string_of_bool r.Db.outcome_contradiction);
+      feat "breaches" (bucket (List.length r.Db.durability_breaches));
+      feat "epochs" (bucket (List.length r.Db.directive_epochs));
+      feat "epoch-sites"
+        (bucket
+           (List.length
+              (List.sort_uniq compare (List.map (fun (_, s, _) -> s) r.Db.directive_epochs))));
+      feat "blocked-time" (bucket (int_of_float r.Db.blocked_time));
+    ]
+  @ List.map (fun (name, v) -> feat name (bucket v)) r.Db.metrics
+
 let run_schedule ?(protocol = Node.Three_phase) ?(termination = Node.T_skeen) ?presumption
     ?read_only_opt ?group_commit ?sync_latency ?pipeline_depth ?(n_sites = 4) ?(until = 3000.0)
     ?(tracing = false) ?(durable_wal = true) ?detector ?fencing ~seed
@@ -334,6 +381,17 @@ let round_candidates (schedule : Sim.Nemesis.schedule) =
              [ replace (Sim.Nemesis.Acceptor_crash { site; at = Float.round at }) ]
          | Sim.Nemesis.Lease_fault { at } when non_integral at ->
              [ replace (Sim.Nemesis.Lease_fault { at = Float.round at }) ]
+         | Sim.Nemesis.Storm { site; first; waves; period; down } ->
+             (* a storm is one discrete fault, so give the shrinker a way
+                inside it: fewer waves first, then a rounded start time
+                (period/down stay put — rounding could break down < period) *)
+             (if waves > 1 then
+                [ replace (Sim.Nemesis.Storm { site; first; waves = waves - 1; period; down }) ]
+              else [])
+             @
+             if non_integral first then
+               [ replace (Sim.Nemesis.Storm { site; first = Float.round first; waves; period; down }) ]
+             else []
          | _ -> [])
        schedule)
 

@@ -43,6 +43,13 @@ val lower :
     crashes; the detector-provoking windows (latency spikes, stalls,
     heartbeat loss) pass through verbatim. *)
 
+val fingerprint_of : Db.result -> string list
+(** The run's behavioural signature for the coverage-guided explorer
+    ({!Engine.Explore}): per-transaction fates, bucketed outcome /
+    conflict / election counters ({!Sim.Coverage.bucket}) and oracle
+    near-miss flags, read post hoc from the result — pinned metrics stay
+    byte-identical.  Deterministic in the run. *)
+
 val run_schedule :
   ?protocol:Node.protocol ->
   ?termination:Node.termination ->

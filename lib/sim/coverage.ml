@@ -1,0 +1,41 @@
+(** Run-coverage accounting for the fault-space explorer: an accumulator
+    of feature strings plus the shared fingerprint vocabulary.  See the
+    interface for the contract; the representation is a plain string
+    hash table — features are short and a search touches at most a few
+    thousand of them. *)
+
+type t = (string, unit) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+
+let dedup fingerprint = List.sort_uniq compare fingerprint
+
+let novel t fingerprint =
+  List.length (List.filter (fun f -> not (Hashtbl.mem t f)) (dedup fingerprint))
+
+let add t fingerprint =
+  List.fold_left
+    (fun fresh f ->
+      if Hashtbl.mem t f then fresh
+      else begin
+        Hashtbl.replace t f ();
+        fresh + 1
+      end)
+    0 (dedup fingerprint)
+
+let mem t f = Hashtbl.mem t f
+let count t = Hashtbl.length t
+let features t = Hashtbl.fold (fun f () acc -> f :: acc) t [] |> List.sort compare
+
+(* Exact up to 4, then log2 buckets: a counter that ran away still maps
+   to a handful of features, so coverage growth measures behaviours, not
+   magnitudes. *)
+let bucket n =
+  if n <= 4 then string_of_int (max 0 n)
+  else begin
+    let rec ceil_pow2 p = if p >= n then p else ceil_pow2 (2 * p) in
+    Printf.sprintf "le%d" (ceil_pow2 8)
+  end
+
+let edge ~class_ a b = Printf.sprintf "e:%s:%s->%s" class_ a b
+let feat key v = Printf.sprintf "%s:%s" key v

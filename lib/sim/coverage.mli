@@ -1,0 +1,52 @@
+(** Run-coverage accounting for the fault-space explorer.
+
+    A finished chaos run is summarized as a {e fingerprint}: a small set
+    of feature strings — protocol-state edges walked per site class,
+    bucketed counter activity, oracle near-miss flags.  The accumulator
+    remembers every feature ever seen across a search; a run is {e novel}
+    iff it contributes at least one unseen feature, which is what the
+    corpus ranks mutants by.
+
+    Features are plain strings so the engine and database harnesses can
+    each speak their own vocabulary without this module knowing either.
+    Everything here is deterministic: no hashing of physical addresses,
+    no ambient state. *)
+
+type t
+(** The feature accumulator of one search. *)
+
+val create : unit -> t
+
+val add : t -> string list -> int
+(** [add t fingerprint] records every feature and returns how many of
+    them were new to the accumulator (duplicates within the fingerprint
+    count once). *)
+
+val novel : t -> string list -> int
+(** Like {!add} without recording: how many features the fingerprint
+    would contribute. *)
+
+val mem : t -> string -> bool
+val count : t -> int
+(** Distinct features seen so far — the "coverage edges" benches plot. *)
+
+val features : t -> string list
+(** Sorted, for stable reports. *)
+
+(** {1 Fingerprint vocabulary helpers}
+
+    Shared bucketing so the engine and kv harnesses produce comparable
+    features: exact small counts collapse into log2 buckets above 4,
+    times into coarse decades.  Both are total and monotone. *)
+
+val bucket : int -> string
+(** ["0"], ["1"], ..., ["4"], then ["le8"], ["le16"], ... — log2 buckets
+    so a counter's feature space stays finite whatever the run did. *)
+
+val edge : class_:string -> string -> string -> string
+(** [edge ~class_ a b] names the protocol-state transition [a -> b]
+    observed on a site of [class_] (e.g. coordinator vs participant):
+    ["e:coord:q1->w1"]. *)
+
+val feat : string -> string -> string
+(** [feat key v] is ["key:v"] — counters, flags, terminal states. *)

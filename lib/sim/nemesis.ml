@@ -48,6 +48,13 @@ type fault =
           higher-ballot recovery round even though the current leader is
           alive — exercising ballot fencing the way stale-epoch
           directives exercise epoch fencing *)
+  | Storm of { site : int; first : float; waves : int; period : float; down : float }
+      (** crash-recover storm: [waves] crash/recover cycles on one site —
+          wave [i] crashes at [first + i*period] and recovers [down]
+          seconds later ([down < period], so the site is up between
+          waves and up at the end).  A single discrete fault, so
+          shrinking drops the whole storm at once; lowering expands it
+          to timed crash/recover pairs ({!storm_events}). *)
 [@@deriving show { with_path = false }, eq]
 
 type schedule = fault list [@@deriving show { with_path = false }, eq]
@@ -116,6 +123,20 @@ type profile = {
           it to the Paxos F so generated schedules stay survivable *)
   p_lease_fault : float;
       (** probability of one leader-lease expiry; default 0 (zero draws) *)
+  p_storm : float;
+      (** probability of one crash-recover storm.  Default 0 — and
+          generation draws nothing from the stream when 0, the same
+          replay discipline as [p_disk_fault]: every pre-storm schedule
+          replays byte-identically. *)
+  storm_waves_min : int;
+  storm_waves_max : int;  (** wave count drawn from [storm_waves_min, storm_waves_max] *)
+  storm_period_min : float;
+  storm_period_max : float;  (** crash-to-crash period drawn from [storm_period_min, storm_period_max) *)
+  storm_down_frac_min : float;
+  storm_down_frac_max : float;
+      (** each wave's downtime is this fraction of the period, drawn from
+          [storm_down_frac_min, storm_down_frac_max) — strictly below 1
+          so the site is up between waves and after the last one *)
 }
 
 let default_profile =
@@ -152,7 +173,25 @@ let default_profile =
     acceptor_sites = [];
     max_acceptor_crashes = 0;
     p_lease_fault = 0.0;
+    p_storm = 0.0;
+    storm_waves_min = 2;
+    storm_waves_max = 4;
+    storm_period_min = 60.0;
+    storm_period_max = 160.0;
+    storm_down_frac_min = 0.25;
+    storm_down_frac_max = 0.75;
   }
+
+(* The (site, crash_at, recover_at) events a storm expands to at lowering
+   time; [] for every other fault. *)
+let storm_events = function
+  | Storm { site; first; waves; period; down } ->
+      List.init waves (fun i ->
+          let at = first +. (float_of_int i *. period) in
+          (site, at, at +. down))
+  | Crash _ | Step_crash _ | Backup_crash _ | Recover _ | Partition _ | Msg _ | Disk_fault _
+  | Delay_window _ | Stall _ | Hb_loss _ | Acceptor_crash _ | Lease_fault _ ->
+      []
 
 (* Conservative activity interval of a crash incident, for the ≤ k
    concurrent-failures bound: step- and backup-pinned crashes have no
@@ -160,6 +199,11 @@ let default_profile =
 let interval = function
   | Crash { at; _ } | Acceptor_crash { at; _ } -> Some (at, infinity)
   | Step_crash _ | Backup_crash _ -> Some (0.0, infinity)
+  | Storm { first; waves; period; down; _ } ->
+      (* whole-envelope: the site is intermittently down from the first
+         crash to the last recovery; treating the envelope as solid keeps
+         the ≤ k bound conservative *)
+      Some (first, first +. (float_of_int (waves - 1) *. period) +. down)
   | Recover _ | Partition _ | Msg _ | Disk_fault _ | Delay_window _ | Stall _ | Hb_loss _
   | Lease_fault _ ->
       None
@@ -295,8 +339,8 @@ let generate rng ~n_sites ~k profile =
   let n_incidents = if k = 0 then 0 else Rng.int rng (k + 2) in
   let sites = Rng.shuffle rng (List.init n_sites (fun i -> i + 1)) in
   let rec build taken intervals = function
-    | [] -> []
-    | _ when taken >= n_incidents -> []
+    | [] -> ([], intervals)
+    | _ when taken >= n_incidents -> ([], intervals)
     | site :: rest ->
         let crash, recovery, disk = gen_crash_incident rng ~n_sites ~site profile in
         let iv =
@@ -307,13 +351,15 @@ let generate rng ~n_sites ~k profile =
         let keep = match iv with None -> false | Some iv -> fits_k k intervals iv in
         if keep then
           let faults = (crash :: Option.to_list disk) @ Option.to_list recovery in
-          faults
-          @ build (taken + 1)
+          let rest_faults, intervals =
+            build (taken + 1)
               (match iv with Some iv -> iv :: intervals | None -> intervals)
               rest
+          in
+          (faults @ rest_faults, intervals)
         else build taken intervals rest
   in
-  let crashes = build 0 [] sites in
+  let crashes, crash_intervals = build 0 [] sites in
   let msg_faults =
     let m = Rng.int rng (profile.max_msg_faults + 1) in
     List.filter_map (fun _ -> gen_msg_fault rng profile) (List.init m Fun.id)
@@ -357,7 +403,34 @@ let generate rng ~n_sites ~k profile =
     in
     acceptor_crashes @ lease
   in
-  crashes @ partition @ detector_faults @ msg_faults @ paxos_faults
+  (* Storm draws come last of all — the [p_storm > 0.0] guard keeps every
+     pre-storm schedule byte-identical, and the whole-envelope interval
+     check keeps the ≤ k concurrency bound sound against the crash
+     incidents drawn above. *)
+  let storms =
+    if k > 0 && profile.p_storm > 0.0 && Rng.flip rng ~p:profile.p_storm then begin
+      let site = 1 + Rng.int rng n_sites in
+      let first = Rng.float rng profile.horizon in
+      let waves =
+        profile.storm_waves_min
+        + Rng.int rng (max 1 (profile.storm_waves_max - profile.storm_waves_min + 1))
+      in
+      let period =
+        profile.storm_period_min
+        +. Rng.float rng (profile.storm_period_max -. profile.storm_period_min)
+      in
+      let frac =
+        profile.storm_down_frac_min
+        +. Rng.float rng (profile.storm_down_frac_max -. profile.storm_down_frac_min)
+      in
+      let storm = Storm { site; first; waves; period; down = frac *. period } in
+      match interval storm with
+      | Some iv when fits_k k crash_intervals iv -> [ storm ]
+      | Some _ | None -> []
+    end
+    else []
+  in
+  crashes @ partition @ detector_faults @ msg_faults @ paxos_faults @ storms
 
 let to_string schedule =
   String.concat "\n" (List.map show_fault schedule)

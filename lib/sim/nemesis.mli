@@ -38,6 +38,11 @@ type fault =
   | Lease_fault of { at : float }
       (** leader-lease expiry: a standby acceptor opens a higher-ballot
           recovery round while the leader is still alive *)
+  | Storm of { site : int; first : float; waves : int; period : float; down : float }
+      (** crash-recover storm: [waves] crash/recover cycles on one site —
+          wave [i] crashes at [first + i*period], recovers [down] seconds
+          later ([down < period]).  One discrete fault: shrinking drops
+          the whole storm, lowering expands it via {!storm_events}. *)
 [@@deriving show, eq]
 
 type schedule = fault list [@@deriving show, eq]
@@ -87,6 +92,18 @@ type profile = {
   acceptor_sites : int list;  (** candidate acceptor sites; empty disables *)
   max_acceptor_crashes : int;  (** cap per schedule — sweeps set it to the Paxos F *)
   p_lease_fault : float;  (** probability of one leader-lease expiry; default 0 *)
+  p_storm : float;
+      (** probability of one crash-recover storm; 0 (the default) draws
+          nothing from the stream — the [p_disk_fault] replay discipline *)
+  storm_waves_min : int;
+  storm_waves_max : int;
+  storm_period_min : float;
+  storm_period_max : float;
+  storm_down_frac_min : float;
+  storm_down_frac_max : float;
+      (** each wave's downtime is [frac * period] with [frac] drawn from
+          this range; keeping [frac < 1] guarantees the site is back up
+          before the next wave crashes it *)
 }
 
 val default_profile : profile
@@ -102,7 +119,14 @@ val generate : Rng.t -> n_sites:int -> k:int -> profile -> schedule
 
 val interval : fault -> (float * float) option
 (** Conservative down-interval of a crash fault ([None] for recoveries,
-    partitions and message faults); exposed for the ≤ k bound tests. *)
+    partitions and message faults); exposed for the ≤ k bound tests.  A
+    storm's interval is its whole envelope — first crash to last
+    recovery — so the ≤ k bound holds even mid-storm. *)
+
+val storm_events : fault -> (int * float * float) list
+(** [(site, crash_at, recover_at)] per wave of a [Storm]; [[]] for every
+    other fault.  The lowering layers (engine runtime, Paxos runtime,
+    kv chaos) expand storms through this so all three agree. *)
 
 val to_string : schedule -> string
 val pp : Format.formatter -> schedule -> unit

@@ -4,9 +4,12 @@
 
 let schema_version = 1
 
-type t = { mutable sections : (string * Json.t) list  (** newest first *) }
+type t = {
+  bench_name : string option;
+  mutable sections : (string * Json.t) list;  (** newest first *)
+}
 
-let create () = { sections = [] }
+let create ?bench_name () = { bench_name; sections = [] }
 
 let add t name json =
   if List.mem_assoc name t.sections then
@@ -16,7 +19,13 @@ let add t name json =
 
 let sections t = List.rev t.sections
 
-let to_json t = Json.Obj (("schema_version", Json.Int schema_version) :: sections t)
+let to_json t =
+  let head =
+    ("schema_version", Json.Int schema_version)
+    ::
+    (match t.bench_name with Some n -> [ ("bench_name", Json.Str n) ] | None -> [])
+  in
+  Json.Obj (head @ sections t)
 
 let write t ~file =
   let oc = open_out file in

@@ -6,7 +6,9 @@ type t
 
 val schema_version : int
 
-val create : unit -> t
+val create : ?bench_name:string -> unit -> t
+(** [bench_name] stamps the report so cross-PR diffing tooling can key
+    on which bench wrote a given BENCH_*.json. *)
 
 val add : t -> string -> Json.t -> unit
 (** [add t name json] appends section [name]; re-adding a name replaces
@@ -16,7 +18,8 @@ val sections : t -> (string * Json.t) list
 (** In insertion order. *)
 
 val to_json : t -> Json.t
-(** [{"schema_version": n, <section>: ..., ...}] in insertion order. *)
+(** [{"schema_version": n, "bench_name": ..., <section>: ...}] in
+    insertion order. *)
 
 val write : t -> file:string -> unit
 (** Write {!to_json} (compact, one line) to [file]. *)

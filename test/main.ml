@@ -44,4 +44,6 @@ let () =
       ("sweep", Test_sweep.suite);
       ("commit-levers", Test_commit_levers.suite);
       ("paxos", Test_paxos.suite);
+      ("backoff", Test_backoff.suite);
+      ("explore", Test_explore.suite);
     ]

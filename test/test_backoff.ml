@@ -1,0 +1,105 @@
+(** Tests for {!Sim.Backoff}: the jitter bound [base, 1.25 * base], cap
+    saturation, exponent saturation at attempt 12, determinism under a
+    fixed seed, and the exactly-one-rng-draw contract the replay layer
+    depends on. *)
+
+module B = Sim.Backoff
+
+(* mirror of the implementation's jitter-free base *)
+let base ~interval ~cap ~attempt =
+  Float.min (interval *. (2.0 ** float_of_int (min attempt 12))) cap
+
+let delay ~seed ~interval ~cap ~attempt =
+  B.delay ~rng:(Sim.Rng.create ~seed) ~interval ~cap ~attempt
+
+let gen_params =
+  QCheck2.Gen.(
+    let* interval = float_range 0.01 10.0 in
+    let* cap = float_range interval (interval *. 1000.0) in
+    let* attempt = int_range 0 40 in
+    let* seed = int_range 0 100_000 in
+    return (interval, cap, attempt, seed))
+
+let prop_jitter_bounds =
+  Helpers.qtest "delay lies in [base, 1.25 * base]" gen_params
+    (fun (interval, cap, attempt, seed) ->
+      let b = base ~interval ~cap ~attempt in
+      let d = delay ~seed ~interval ~cap ~attempt in
+      d >= b && d <= 1.25 *. b)
+
+let prop_never_exceeds_jittered_cap =
+  Helpers.qtest "delay never exceeds 1.25 * cap" gen_params
+    (fun (interval, cap, attempt, seed) ->
+      delay ~seed ~interval ~cap ~attempt <= 1.25 *. cap)
+
+let prop_cap_saturation =
+  (* once interval * 2^attempt crosses the cap, the base is exactly the
+     cap: delays for very different large attempts share the window
+     [cap, 1.25 * cap] *)
+  Helpers.qtest "large attempts saturate at the cap"
+    QCheck2.Gen.(triple (float_range 0.5 5.0) (int_range 20 100) (int_range 0 100_000))
+    (fun (interval, attempt, seed) ->
+      let cap = interval *. 8.0 in
+      let d = delay ~seed ~interval ~cap ~attempt in
+      d >= cap && d <= 1.25 *. cap)
+
+let prop_exponent_saturates_at_12 =
+  (* with an effectively infinite cap, attempts 12 and 13 share the same
+     base, so under the same seed they yield the same delay *)
+  Helpers.qtest "exponent saturates at 12 (same seed, same delay)"
+    QCheck2.Gen.(pair (float_range 0.01 2.0) (int_range 0 100_000))
+    (fun (interval, seed) ->
+      let cap = Float.max_float in
+      let d12 = delay ~seed ~interval ~cap ~attempt:12 in
+      let d13 = delay ~seed ~interval ~cap ~attempt:13 in
+      Float.equal d12 d13)
+
+let prop_deterministic =
+  Helpers.qtest "same seed, same delay" gen_params
+    (fun (interval, cap, attempt, seed) ->
+      Float.equal
+        (delay ~seed ~interval ~cap ~attempt)
+        (delay ~seed ~interval ~cap ~attempt))
+
+let prop_consumes_exactly_one_draw =
+  (* the replay layer pins determinism on delay consuming exactly one
+     draw: the rng position after a delay call must equal the position
+     after one manual draw on a fresh stream with the same seed *)
+  Helpers.qtest "delay consumes exactly one rng draw" gen_params
+    (fun (interval, cap, attempt, seed) ->
+      let rng_a = Sim.Rng.create ~seed in
+      ignore (B.delay ~rng:rng_a ~interval ~cap ~attempt);
+      let rng_b = Sim.Rng.create ~seed in
+      ignore (Sim.Rng.float rng_b 1.0);
+      Float.equal (Sim.Rng.float rng_a 1.0) (Sim.Rng.float rng_b 1.0))
+
+let test_attempt_zero_base () =
+  (* attempt 0 waits at least one full interval, at most 1.25 of it *)
+  let d = delay ~seed:7 ~interval:5.0 ~cap:45.0 ~attempt:0 in
+  Alcotest.(check bool) "attempt 0 >= interval" true (d >= 5.0);
+  Alcotest.(check bool) "attempt 0 <= 1.25 * interval" true (d <= 6.25)
+
+let test_growth_before_cap () =
+  (* pre-cap, consecutive bases double; since the jitter tops out at a
+     quarter of the base, the floor of attempt n+1 strictly exceeds the
+     ceiling of attempt n no matter the seeds *)
+  let interval = 1.0 and cap = 1.0e9 in
+  for attempt = 0 to 10 do
+    let hi_n = 1.25 *. base ~interval ~cap ~attempt in
+    let lo_next = base ~interval ~cap ~attempt:(attempt + 1) in
+    Alcotest.(check bool)
+      (Fmt.str "floor(attempt %d) > ceiling(attempt %d)" (attempt + 1) attempt)
+      true (lo_next > hi_n)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "attempt zero base" `Quick test_attempt_zero_base;
+    Alcotest.test_case "growth before cap" `Quick test_growth_before_cap;
+    prop_jitter_bounds;
+    prop_never_exceeds_jittered_cap;
+    prop_cap_saturation;
+    prop_exponent_saturates_at_12;
+    prop_deterministic;
+    prop_consumes_exactly_one_draw;
+  ]

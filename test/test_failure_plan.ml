@@ -34,7 +34,9 @@ let test_round_trip_every_clause () =
       ~stalls:[ { FP.w_site = 1; w_from = 4.0; w_until = 14.5 } ]
       ~hb_losses:[ { FP.w_site = 3; w_from = 0.25; w_until = 60.0 } ]
       ~acceptor_crashes:[ (3, 2.0); (5, 4.75) ]
-      ~lease_faults:[ 1.25; 8.0 ] ()
+      ~lease_faults:[ 1.25; 8.0 ]
+      ~storms:[ { FP.s_site = 2; s_first = 10.0; s_waves = 3; s_period = 80.0; s_down = 25.5 } ]
+      ()
   in
   Alcotest.check plan "round trip" p (FP.of_string_exn (FP.to_string p))
 
@@ -73,7 +75,13 @@ let test_parse_pinned_syntax () =
     (FP.make ~acceptor_crashes:[ (5, 2.0) ] ());
   Alcotest.check plan "lease-fault clause parses"
     (FP.of_string_exn "lease-fault at=1.89")
-    (FP.make ~lease_faults:[ 1.89 ] ())
+    (FP.make ~lease_faults:[ 1.89 ] ());
+  (* the crash-recover storm clause the explorer's corpus files print in *)
+  Alcotest.check plan "storm clause parses"
+    (FP.of_string_exn "storm site=2 first=10 waves=3 period=80 down=25.5")
+    (FP.make
+       ~storms:[ { FP.s_site = 2; s_first = 10.0; s_waves = 3; s_period = 80.0; s_down = 25.5 } ]
+       ())
 
 let test_parse_error () =
   Alcotest.check_raises "garbage raises Parse_error"
@@ -105,6 +113,8 @@ let test_of_string_is_total () =
       ("acceptor-crash site=5 at=soon", "at");
       ("lease-fault", "at");
       ("lease-fault at=whenever", "at");
+      ("storm site=2 first=10 waves=lots period=80 down=25", "waves");
+      ("storm site=2 waves=3 period=80 down=25", "first");
     ]
   in
   let contains s sub =
@@ -180,10 +190,20 @@ let gen_plan =
   let* hb_losses = small_list window in
   let* acceptor_crashes = small_list (pair site tf) in
   let* lease_faults = small_list tf in
+  let* storms =
+    small_list
+      (map2
+         (fun s ((first, waves), (period, down_frac)) ->
+           (* down strictly inside the period, as the generator guarantees *)
+           { FP.s_site = s; s_first = first; s_waves = waves; s_period = period;
+             s_down = period *. down_frac })
+         site
+         (pair (pair tf (int_range 1 4)) (pair (map (fun x -> 20.0 +. x) tf) (return 0.5))))
+  in
   return
     (FP.make ~step_crashes ~timed_crashes ~recoveries ~move_crashes ~decide_crashes ~partitions
        ~msg_faults ~disk_faults ~delay_spikes ~stalls ~hb_losses ~acceptor_crashes ~lease_faults
-       ())
+       ~storms ())
 
 let prop_round_trip =
   Helpers.qtest "of_string (to_string p) = p" gen_plan (fun p ->
@@ -198,7 +218,7 @@ let prop_fault_count_matches_clauses =
         + List.length p.FP.msg_faults + List.length p.FP.disk_faults
         + List.length p.FP.delay_spikes + List.length p.FP.stalls
         + List.length p.FP.hb_losses + List.length p.FP.acceptor_crashes
-        + List.length p.FP.lease_faults
+        + List.length p.FP.lease_faults + List.length p.FP.storms
       in
       FP.fault_count p = clauses)
 
@@ -249,6 +269,22 @@ let test_of_schedule_mapping () =
        ())
     (FP.of_schedule schedule)
 
+let prop_to_schedule_round_trips =
+  (* the corpus-replay path: kv harnesses consume schedules, so a plan
+     persisted as text must survive plan -> schedule -> plan losslessly.
+     After_transition step crashes are the documented exception
+     (of_schedule never emits them), so strip those first. *)
+  Helpers.qtest "of_schedule (to_schedule p) = p" gen_plan (fun p ->
+      let p =
+        {
+          p with
+          FP.step_crashes =
+            List.filter (fun (c : FP.step_crash) -> c.FP.mode <> FP.After_transition)
+              p.FP.step_crashes;
+        }
+      in
+      FP.equal p (FP.of_schedule (FP.to_schedule p)))
+
 let prop_of_schedule_round_trips_textually =
   Helpers.qtest "generated schedules lower to printable plans"
     QCheck2.Gen.(int_range 0 2_000)
@@ -270,5 +306,6 @@ let suite =
     prop_fault_count_matches_clauses;
     prop_unsupported_clauses_partition_by_family;
     Alcotest.test_case "of_schedule maps each fault kind" `Quick test_of_schedule_mapping;
+    prop_to_schedule_round_trips;
     prop_of_schedule_round_trips_textually;
   ]

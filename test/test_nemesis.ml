@@ -81,7 +81,8 @@ let prop_k_zero_no_crashes =
   Helpers.qtest "k=0 generates no crash incidents" (QCheck2.Gen.int_range 0 2_000) (fun seed ->
       List.for_all
         (function
-          | N.Crash _ | N.Step_crash _ | N.Backup_crash _ | N.Acceptor_crash _ -> false
+          | N.Crash _ | N.Step_crash _ | N.Backup_crash _ | N.Acceptor_crash _ | N.Storm _ ->
+              false
           | N.Recover _ | N.Partition _ | N.Msg _ | N.Disk_fault _ | N.Delay_window _ | N.Stall _
           | N.Hb_loss _ | N.Lease_fault _ ->
               true)
@@ -130,6 +131,99 @@ let test_zero_disk_fault_profile_is_stream_transparent () =
       true
       (N.equal_schedule (gen seed) (gen ~profile seed))
   done
+
+(* ---------------- crash-recover storms ---------------- *)
+
+let storm_profile = { N.default_profile with N.p_storm = 1.0 }
+
+let storms_of schedule =
+  List.filter_map (function N.Storm _ as s -> Some s | _ -> None) schedule
+
+let test_zero_storm_profile_is_stream_transparent () =
+  (* the storm draw comes last and is guarded on p_storm > 0: the
+     default (storm-free) profile must replay every pre-storm seed
+     byte-identically, and tuning the storm shape knobs alone must draw
+     nothing either *)
+  let shaped =
+    { N.default_profile with N.storm_waves_max = 9; storm_period_max = 500.0 }
+  in
+  for seed = 0 to 100 do
+    Alcotest.(check bool)
+      (Fmt.str "seed %d schedule unchanged" seed)
+      true
+      (N.equal_schedule (gen seed) (gen ~profile:shaped seed))
+  done
+
+let prop_storm_shape_within_profile =
+  Helpers.qtest "generated storms respect the profile's shape bounds"
+    QCheck2.Gen.(int_range 0 3_000)
+    (fun seed ->
+      let p = storm_profile in
+      List.for_all
+        (function
+          | N.Storm { site; first; waves; period; down } ->
+              site >= 1 && site <= 3
+              && first >= 0.0 && first <= p.N.horizon
+              && waves >= p.N.storm_waves_min && waves <= p.N.storm_waves_max
+              && period >= p.N.storm_period_min && period <= p.N.storm_period_max
+              && down >= p.N.storm_down_frac_min *. period
+              && down <= p.N.storm_down_frac_max *. period
+              && down < period
+          | _ -> true)
+        (gen ~profile:storm_profile seed))
+
+let prop_storm_events_expansion =
+  Helpers.qtest "storm_events expands wave i at first + i*period, up for period - down"
+    QCheck2.Gen.(int_range 0 3_000)
+    (fun seed ->
+      List.for_all
+        (function
+          | N.Storm { site; first; waves; period; down } as storm ->
+              let events = N.storm_events storm in
+              List.length events = waves
+              && List.for_all2
+                   (fun i (s, crash_at, recover_at) ->
+                     s = site
+                     && Float.equal crash_at (first +. (float_of_int i *. period))
+                     && Float.equal recover_at (crash_at +. down))
+                   (List.init waves Fun.id) events
+          | other -> N.storm_events other = [])
+        (gen ~profile:storm_profile seed))
+
+let prop_storm_respects_k_envelope =
+  (* a storm's ≤ k interval is its whole first-crash-to-last-recovery
+     envelope: under k=1 a storm never coexists with a timed crash whose
+     interval overlaps it *)
+  Helpers.qtest "storms count against the ≤ k bound by whole envelope"
+    QCheck2.Gen.(int_range 0 3_000)
+    (fun seed ->
+      let schedule = gen ~profile:storm_profile ~k:1 seed in
+      let recovery_of site =
+        match
+          List.find_map
+            (function N.Recover { site = s; at } when s = site -> Some at | _ -> None)
+            schedule
+        with
+        | Some at -> at
+        | None -> infinity
+      in
+      match storms_of schedule with
+      | [] -> true
+      | [ N.Storm { first; waves; period; down; _ } ] ->
+          let s_end = first +. (float_of_int (waves - 1) *. period) +. down in
+          List.for_all
+            (function
+              | N.Crash { site; at } ->
+                  (* the crash is down over [at, recovery): the storm's
+                     solid envelope must not overlap that interval *)
+                  not (first < recovery_of site && at < s_end)
+              | N.Step_crash _ | N.Backup_crash _ ->
+                  (* pinned crashes are conservatively down from 0 —
+                     incompatible with any storm under k=1 *)
+                  false
+              | _ -> true)
+            schedule
+      | _ -> false (* at most one storm per schedule *))
 
 (* ---------------- the World message-fault layer ---------------- *)
 
@@ -220,6 +314,11 @@ let suite =
       test_disk_fault_profile_generates_disk_faults;
     Alcotest.test_case "p_disk_fault=0 draws nothing from the stream" `Quick
       test_zero_disk_fault_profile_is_stream_transparent;
+    Alcotest.test_case "p_storm=0 draws nothing from the stream" `Quick
+      test_zero_storm_profile_is_stream_transparent;
+    prop_storm_shape_within_profile;
+    prop_storm_events_expansion;
+    prop_storm_respects_k_envelope;
     Alcotest.test_case "msg fault: duplicate" `Quick test_fault_duplicate_delivers_twice;
     Alcotest.test_case "msg fault: drop" `Quick test_fault_drop_loses_message;
     Alcotest.test_case "msg fault: delay" `Quick test_fault_delay_adds_latency;
